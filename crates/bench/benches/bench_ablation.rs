@@ -1,0 +1,91 @@
+//! Ablation benchmarks for the design choices DESIGN.md §3 calls out:
+//! entropy-ordered resolution, adaptive vs fixed top-k, virtual-cell
+//! generation on/off, and the α/β prior mixing (cost side; the quality
+//! side is `briq-eval ablation-extra`).
+
+use briq_core::pipeline::{Briq, BriqConfig};
+use briq_core::resolution::ResolutionConfig;
+use briq_corpus::corpus::{generate_corpus, CorpusConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn sample_doc() -> briq_table::Document {
+    let c = generate_corpus(&CorpusConfig { n_documents: 20, seed: 77, ..Default::default() });
+    // pick the largest document (most targets) for a meaningful ablation
+    c.documents
+        .into_iter()
+        .map(|d| d.document)
+        .max_by_key(|d| d.tables.iter().map(|t| t.n_rows * t.n_cols).sum::<usize>())
+        .unwrap()
+}
+
+fn bench_virtual_cell_ablation(c: &mut Criterion) {
+    let doc = sample_doc();
+    let mut group = c.benchmark_group("ablation/virtual_cells");
+    group.sample_size(20);
+
+    let briq_full = Briq::untrained(BriqConfig::default());
+    group.bench_function("with_virtual_cells", |b| {
+        b.iter(|| briq_full.align(black_box(&doc)).len())
+    });
+
+    let mut cfg = BriqConfig::default();
+    cfg.virtual_cells.sums = false;
+    cfg.virtual_cells.differences = false;
+    cfg.virtual_cells.percentages = false;
+    cfg.virtual_cells.change_ratios = false;
+    let briq_none = Briq::untrained(cfg);
+    group.bench_function("without_virtual_cells", |b| {
+        b.iter(|| briq_none.align(black_box(&doc)).len())
+    });
+    group.finish();
+}
+
+fn bench_filter_ablation(c: &mut Criterion) {
+    let doc = sample_doc();
+    let mut group = c.benchmark_group("ablation/filtering");
+    group.sample_size(20);
+
+    let adaptive = Briq::untrained(BriqConfig::default());
+    group.bench_function("adaptive_topk", |b| {
+        b.iter(|| adaptive.align(black_box(&doc)).len())
+    });
+
+    let mut cfg = BriqConfig::default();
+    cfg.filter.k_exact = 16;
+    cfg.filter.k_approx = 16;
+    cfg.filter.k_small = 16;
+    cfg.filter.k_large = 16;
+    let loose = Briq::untrained(cfg);
+    group.bench_function("fixed_top16", |b| {
+        b.iter(|| loose.align(black_box(&doc)).len())
+    });
+    group.finish();
+}
+
+fn bench_walk_ablation(c: &mut Criterion) {
+    let doc = sample_doc();
+    let mut group = c.benchmark_group("ablation/walk");
+    group.sample_size(20);
+
+    let walk = Briq::untrained(BriqConfig::default());
+    group.bench_function("with_walk", |b| b.iter(|| walk.align(black_box(&doc)).len()));
+
+    let mut cfg = BriqConfig::default();
+    // β = 1: prior-only decisions (the walk still runs but cannot change
+    // the argmax; measures the walk's compute share).
+    cfg.resolution = ResolutionConfig { alpha: 0.0, beta: 1.0, ..cfg.resolution };
+    let no_walk = Briq::untrained(cfg);
+    group.bench_function("prior_only", |b| b.iter(|| no_walk.align(black_box(&doc)).len()));
+
+    let mut tight = BriqConfig::default();
+    tight.resolution.tolerance = 1e-4;
+    tight.resolution.max_iterations = 20;
+    let fast_walk = Briq::untrained(tight);
+    group.bench_function("loose_convergence", |b| {
+        b.iter(|| fast_walk.align(black_box(&doc)).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_virtual_cell_ablation, bench_filter_ablation, bench_walk_ablation);
+criterion_main!(benches);

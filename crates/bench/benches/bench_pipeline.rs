@@ -1,0 +1,102 @@
+//! Pipeline-stage benchmarks: feature computation, scoring, filtering,
+//! graph construction + resolution, and full per-document alignment for
+//! each domain (the per-document costs behind Table VIII).
+
+use briq_core::features::feature_vector;
+use briq_core::graph_builder::build_graph;
+use briq_core::mention::text_mentions;
+use briq_core::pipeline::{Briq, BriqConfig};
+use briq_core::resolution::resolve;
+use briq_corpus::corpus::{generate_corpus, CorpusConfig};
+use briq_corpus::Domain;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn corpus_docs() -> Vec<(Domain, briq_table::Document)> {
+    let c = generate_corpus(&CorpusConfig { n_documents: 60, seed: 12, ..Default::default() });
+    c.domains.into_iter().zip(c.documents.into_iter().map(|d| d.document)).collect()
+}
+
+fn bench_features(c: &mut Criterion) {
+    let briq = Briq::untrained(BriqConfig::default());
+    let docs = corpus_docs();
+    let doc = &docs[0].1;
+    let sd = briq.score_document(doc);
+    let x = &sd.mentions[0];
+    let t = &sd.targets[0];
+    c.bench_function("pipeline/feature_vector", |b| {
+        b.iter(|| feature_vector(black_box(x), black_box(t), &sd.ctx))
+    });
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let briq = Briq::untrained(BriqConfig::default());
+    let docs = corpus_docs();
+    let doc = docs
+        .iter()
+        .find(|(d, _)| *d == Domain::Finance)
+        .map(|(_, d)| d.clone())
+        .unwrap_or_else(|| docs[0].1.clone());
+
+    c.bench_function("pipeline/score_document", |b| {
+        b.iter(|| briq.score_document(black_box(&doc)).targets.len())
+    });
+
+    let sd = briq.score_document(&doc);
+    c.bench_function("pipeline/adaptive_filter", |b| {
+        b.iter(|| briq.filter(black_box(&sd)).0.len())
+    });
+
+    let (candidates, _) = briq.filter(&sd);
+    let positions: Vec<usize> = sd.ctx.mentions.iter().map(|m| m.token_index).collect();
+    c.bench_function("pipeline/graph_build_and_resolve", |b| {
+        b.iter(|| {
+            let ag = build_graph(
+                &sd.mentions,
+                &positions,
+                sd.ctx.tokens.len(),
+                &sd.targets,
+                &candidates,
+                &briq.cfg.graph,
+            );
+            resolve(ag, &candidates, &briq.cfg.resolution).len()
+        })
+    });
+}
+
+fn bench_align_by_domain(c: &mut Criterion) {
+    let briq = Briq::untrained(BriqConfig::default());
+    let docs = corpus_docs();
+    let mut group = c.benchmark_group("pipeline/align_by_domain");
+    group.sample_size(20);
+    for domain in Domain::ALL {
+        if let Some((_, doc)) = docs.iter().find(|(d, _)| *d == domain) {
+            group.bench_with_input(BenchmarkId::from_parameter(domain.name()), doc, |b, doc| {
+                b.iter(|| briq.align(black_box(doc)).len())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let briq = Briq::untrained(BriqConfig::default());
+    let docs = corpus_docs();
+    let doc = &docs[0].1;
+    let mut group = c.benchmark_group("pipeline/systems");
+    group.sample_size(20);
+    group.bench_function("briq", |b| b.iter(|| briq.align(black_box(doc)).len()));
+    group.bench_function("rf_only", |b| {
+        b.iter(|| briq_core::baselines::rf_only(&briq, black_box(doc)).len())
+    });
+    group.bench_function("rwr_only", |b| {
+        b.iter(|| briq_core::baselines::rwr_only(&briq, black_box(doc)).len())
+    });
+    group.finish();
+    // Scale check: text mention extraction per doc.
+    c.bench_function("pipeline/text_mentions", |b| {
+        b.iter(|| text_mentions(black_box(doc)).len())
+    });
+}
+
+criterion_group!(benches, bench_features, bench_stages, bench_align_by_domain, bench_baselines);
+criterion_main!(benches);

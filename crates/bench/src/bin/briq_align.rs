@@ -1,0 +1,121 @@
+//! `briq-align` — align quantities in an HTML page from the command line.
+//!
+//! ```text
+//! briq-align <page.html> [--model model.json] [--json]
+//! briq-align --train-demo model.json      # train on a synthetic corpus
+//! ```
+//!
+//! Without `--model`, the heuristic (untrained) prior is used. With
+//! `--train-demo`, a model is trained on the synthetic corpus and saved so
+//! subsequent runs can load it.
+
+use briq_core::pipeline::{Briq, BriqConfig};
+use briq_table::html::parse_page;
+use briq_table::segment::{segment_page, SegmentConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: briq-align <page.html> [--model model.json] [--json]");
+        eprintln!("       briq-align --train-demo <model.json>");
+        return ExitCode::FAILURE;
+    }
+
+    if args[0] == "--train-demo" {
+        let Some(path) = args.get(1) else {
+            eprintln!("--train-demo needs an output path");
+            return ExitCode::FAILURE;
+        };
+        return train_demo(path);
+    }
+
+    let page_path = &args[0];
+    let as_json = args.iter().any(|a| a == "--json");
+    let model_path = args
+        .iter()
+        .position(|a| a == "--model")
+        .and_then(|i| args.get(i + 1));
+
+    let html = match std::fs::read_to_string(page_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {page_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let briq = match model_path {
+        Some(p) => match std::fs::read_to_string(p).map_err(|e| e.to_string()).and_then(
+            |s| Briq::from_json(&s).map_err(|e| e.to_string()),
+        ) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot load model {p}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Briq::untrained(BriqConfig::default()),
+    };
+
+    let page = parse_page(&html);
+    let docs = segment_page(&page, &SegmentConfig::default(), 0);
+    if docs.is_empty() {
+        eprintln!("no paragraph/table documents found in {page_path}");
+        return ExitCode::FAILURE;
+    }
+
+    for doc in &docs {
+        let alignments = briq.align(doc);
+        if as_json {
+            match serde_json::to_string_pretty(&alignments) {
+                Ok(s) => println!("{s}"),
+                Err(e) => eprintln!("serialization error: {e}"),
+            }
+        } else {
+            println!("document {}: {:.60}…", doc.id, doc.text);
+            if alignments.is_empty() {
+                println!("  (no alignments)");
+            }
+            for a in alignments {
+                println!(
+                    "  {:24} -> table {} {:12} cells {:?} (value {}, score {:.3})",
+                    format!("{:?}", a.mention_raw),
+                    a.target.table,
+                    a.target.kind.name(),
+                    a.target.cells,
+                    a.target.value,
+                    a.score,
+                );
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn train_demo(path: &str) -> ExitCode {
+    use briq_corpus::annotate::{annotate, AnnotatorConfig};
+    use briq_corpus::corpus::{generate_corpus, CorpusConfig};
+    use briq_ml::split::random_split;
+
+    eprintln!("training a demo model on a synthetic corpus…");
+    let corpus = generate_corpus(&CorpusConfig { n_documents: 200, seed: 1, ..Default::default() });
+    let mut docs = corpus.documents;
+    annotate(&mut docs, &AnnotatorConfig::default());
+    let split = random_split(docs.len(), 0.1, 0.0, 1);
+    let train: Vec<_> = split.train.iter().map(|&i| docs[i].clone()).collect();
+    let val: Vec<_> = split.validation.iter().map(|&i| docs[i].clone()).collect();
+    let briq = Briq::train(BriqConfig::default(), &train, &val);
+    match briq.to_json().map_err(|e| e.to_string()).and_then(|s| {
+        std::fs::write(path, s).map_err(|e| e.to_string())
+    }) {
+        Ok(()) => {
+            eprintln!("model saved to {path}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot save model: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! # briq-bench
+//!
+//! Experiment harness reproducing every table of the paper's evaluation
+//! (§VIII) on the synthetic corpus, plus the throughput machinery for
+//! Table VIII. The `briq-eval` binary drives it; Criterion benches in
+//! `benches/` time the individual pipeline stages.
+
+pub mod experiments;
+pub mod report;
+pub mod throughput;
+
+pub use experiments::{ExperimentSetup, SystemKind};

@@ -1,0 +1,108 @@
+//! Plain-text table rendering for experiment reports (the rows printed by
+//! `briq-eval` mirror the paper's table layouts so EXPERIMENTS.md can
+//! hold paper-vs-measured side by side).
+
+use briq_core::evaluate::EvalReport;
+use briq_ml::metrics::Prf;
+use std::fmt::Write as _;
+
+/// Fixed mention-type order used by the paper's Tables III–VI.
+pub const TYPE_ORDER: [&str; 5] = ["sum", "diff", "percent", "ratio", "single-cell"];
+
+/// Render a metric as the paper does (two decimals).
+pub fn fmt(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// A simple aligned text table.
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match header length).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len());
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for r in &self.rows {
+            for (w, c) in widths.iter_mut().zip(r) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (c, w) in cells.iter().zip(widths) {
+                let _ = write!(out, "{c:<width$}  ", width = w);
+            }
+            out.push('\n');
+        };
+        line(&self.header, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for r in &self.rows {
+            line(r, &widths, &mut out);
+        }
+        out
+    }
+}
+
+/// Render a per-type recall/precision/F1 table (paper Tables III–V).
+pub fn per_type_table(report: &EvalReport) -> String {
+    let mut t = TextTable::new(&["", "sum", "diff", "percent", "ratio", "single-cell"]);
+    let metric = |f: fn(&Prf) -> f64| -> Vec<String> {
+        TYPE_ORDER.iter().map(|k| fmt(f(&report.prf_for(k)))).collect()
+    };
+    let mut row = vec!["recall".to_string()];
+    row.extend(metric(|p| p.recall));
+    t.row(row);
+    let mut row = vec!["prec.".to_string()];
+    row.extend(metric(|p| p.precision));
+    t.row(row);
+    let mut row = vec!["F1".to_string()];
+    row.extend(metric(|p| p.f1));
+    t.row(row);
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.row(vec!["alpha".into(), "1".into()]);
+        t.row(vec!["b".into(), "12345".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("alpha"));
+    }
+
+    #[test]
+    fn fmt_two_decimals() {
+        assert_eq!(fmt(0.7341), "0.73");
+        assert_eq!(fmt(1.0), "1.00");
+    }
+
+    #[test]
+    fn per_type_table_has_three_metric_rows() {
+        let r = EvalReport::default();
+        let s = per_type_table(&r);
+        assert_eq!(s.lines().count(), 5);
+        assert!(s.contains("single-cell"));
+    }
+}

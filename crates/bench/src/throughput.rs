@@ -1,0 +1,176 @@
+//! Document-throughput measurement (Table VIII) with a crossbeam-channel
+//! worker pool — the single-machine stand-in for the paper's 10-executor
+//! Spark cluster.
+//!
+//! The timed path per page mirrors the production pipeline: HTML parsing,
+//! page segmentation, mention/target extraction, classification,
+//! filtering and global resolution.
+
+use briq_core::pipeline::Briq;
+use briq_core::training::LabeledDocument;
+use briq_corpus::page::render_page;
+use briq_table::html::parse_page;
+use briq_table::segment::{segment_page, SegmentConfig};
+use std::time::Instant;
+
+/// Throughput result for one batch of pages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputResult {
+    /// Pages processed.
+    pub pages: usize,
+    /// Documents produced by segmentation.
+    pub documents: usize,
+    /// Text mentions aligned or considered.
+    pub mentions: usize,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+}
+
+impl ThroughputResult {
+    /// Documents per minute — the unit of Table VIII.
+    pub fn docs_per_minute(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            return 0.0;
+        }
+        self.documents as f64 * 60.0 / self.seconds
+    }
+}
+
+/// How to process each document in the throughput run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThroughputSystem {
+    /// The full BriQ pipeline.
+    Briq,
+    /// The RWR-only baseline (no pruning — "fairly expensive", §VII-D).
+    RwrOnly,
+}
+
+/// Materialize documents into HTML pages (a few documents per page, as on
+/// the web).
+pub fn build_pages(docs: &[LabeledDocument], docs_per_page: usize) -> Vec<String> {
+    docs.chunks(docs_per_page.max(1))
+        .map(|chunk| {
+            let refs: Vec<&LabeledDocument> = chunk.iter().collect();
+            render_page(&refs)
+        })
+        .collect()
+}
+
+fn process_page(briq: &Briq, system: ThroughputSystem, html: &str) -> (usize, usize) {
+    let page = parse_page(html);
+    let docs = segment_page(&page, &SegmentConfig::default(), 0);
+    let mut mentions = 0;
+    for doc in &docs {
+        match system {
+            ThroughputSystem::Briq => {
+                mentions += briq.align(doc).len().max(
+                    briq_core::mention::text_mentions(doc).len(),
+                );
+            }
+            ThroughputSystem::RwrOnly => {
+                let sd = briq.score_document(doc);
+                mentions += sd.mentions.len();
+                let _ = briq_core::baselines::rwr_only_scored(briq, &sd);
+            }
+        }
+    }
+    (docs.len(), mentions)
+}
+
+/// Run the throughput measurement over `pages` with `workers` threads.
+pub fn measure(
+    briq: &Briq,
+    system: ThroughputSystem,
+    pages: &[String],
+    workers: usize,
+) -> ThroughputResult {
+    let start = Instant::now();
+    let (documents, mentions) = if workers <= 1 {
+        let mut d = 0;
+        let mut m = 0;
+        for p in pages {
+            let (pd, pm) = process_page(briq, system, p);
+            d += pd;
+            m += pm;
+        }
+        (d, m)
+    } else {
+        parallel_run(briq, system, pages, workers)
+    };
+    ThroughputResult { pages: pages.len(), documents, mentions, seconds: start.elapsed().as_secs_f64() }
+}
+
+fn parallel_run(
+    briq: &Briq,
+    system: ThroughputSystem,
+    pages: &[String],
+    workers: usize,
+) -> (usize, usize) {
+    let (tx, rx) = crossbeam::channel::unbounded::<&String>();
+    for p in pages {
+        tx.send(p).expect("queue send");
+    }
+    drop(tx);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let rx = rx.clone();
+                scope.spawn(move || {
+                    let mut d = 0usize;
+                    let mut m = 0usize;
+                    while let Ok(p) = rx.recv() {
+                        let (pd, pm) = process_page(briq, system, p);
+                        d += pd;
+                        m += pm;
+                    }
+                    (d, m)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .fold((0, 0), |(ad, am), (d, m)| (ad + d, am + m))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use briq_core::pipeline::BriqConfig;
+    use briq_corpus::corpus::{generate_corpus, CorpusConfig};
+
+    fn docs() -> Vec<LabeledDocument> {
+        generate_corpus(&CorpusConfig::small(31)).documents
+    }
+
+    #[test]
+    fn pages_built_and_processed() {
+        let docs = docs();
+        let pages = build_pages(&docs[..12], 3);
+        assert_eq!(pages.len(), 4);
+        let briq = Briq::untrained(BriqConfig::default());
+        let r = measure(&briq, ThroughputSystem::Briq, &pages, 1);
+        assert_eq!(r.pages, 4);
+        assert!(r.documents >= 8, "segmented {} documents", r.documents);
+        assert!(r.docs_per_minute() > 0.0);
+    }
+
+    #[test]
+    fn parallel_matches_serial_counts() {
+        let docs = docs();
+        let pages = build_pages(&docs[..8], 2);
+        let briq = Briq::untrained(BriqConfig::default());
+        let serial = measure(&briq, ThroughputSystem::Briq, &pages, 1);
+        let parallel = measure(&briq, ThroughputSystem::Briq, &pages, 4);
+        assert_eq!(serial.documents, parallel.documents);
+        assert_eq!(serial.mentions, parallel.mentions);
+    }
+
+    #[test]
+    fn zero_seconds_guard() {
+        let r = ThroughputResult { pages: 0, documents: 0, mentions: 0, seconds: 0.0 };
+        assert_eq!(r.docs_per_minute(), 0.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! The mention-pair classifier (§IV): a class-weighted Random Forest over
+//! the 12-feature vectors, with an ablation mask.
+
+use briq_ml::{Dataset, RandomForest, RandomForestConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::features::FeatureMask;
+
+/// A trained mention-pair classifier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PairClassifier {
+    forest: RandomForest,
+    mask: FeatureMask,
+}
+
+impl PairClassifier {
+    /// Train on a dataset of 12-feature vectors. The mask is applied to
+    /// the training rows and remembered for scoring. Class weights should
+    /// already be applied to `data` (see [`Dataset::apply_class_weights`]).
+    pub fn train(data: &Dataset, rf: RandomForestConfig, mask: FeatureMask) -> PairClassifier {
+        let mut masked = data.clone();
+        for row in &mut masked.features {
+            mask.apply(row);
+        }
+        PairClassifier { forest: RandomForest::fit(&masked, rf), mask }
+    }
+
+    /// Confidence that the pair is related, in `[0, 1]`.
+    pub fn score(&self, features: &[f64]) -> f64 {
+        let mut row = features.to_vec();
+        self.mask.apply(&mut row);
+        self.forest.predict_proba(&row)
+    }
+
+    /// The ablation mask in force.
+    pub fn mask(&self) -> FeatureMask {
+        self.mask
+    }
+
+    /// Number of trees (diagnostics).
+    pub fn n_trees(&self) -> usize {
+        self.forest.n_trees()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FEATURE_COUNT;
+
+    /// Synthetic pair data: "related" iff value distance (f6 at index 5)
+    /// is small and surface similarity (f1 at index 0) is high.
+    fn synth(n: usize, seed: u64) -> Dataset {
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut d = Dataset::new();
+        for _ in 0..n {
+            let related = rng.random_bool(0.3);
+            let mut row = vec![0.0; FEATURE_COUNT];
+            row[0] = if related { rng.random_range(0.7..1.0) } else { rng.random_range(0.0..0.8) };
+            row[5] = if related { rng.random_range(0.0..0.1) } else { rng.random_range(0.05..1.0) };
+            row[1] = rng.random_range(0.0..1.0);
+            d.push(row, related);
+        }
+        d.apply_class_weights();
+        d
+    }
+
+    #[test]
+    fn learns_synthetic_signal() {
+        let train = synth(500, 1);
+        let clf = PairClassifier::train(&train, RandomForestConfig::default(), FeatureMask::all());
+        let mut strong = vec![0.0; FEATURE_COUNT];
+        strong[0] = 0.95;
+        strong[5] = 0.01;
+        let mut weak = vec![0.0; FEATURE_COUNT];
+        weak[0] = 0.2;
+        weak[5] = 0.8;
+        assert!(clf.score(&strong) > 0.6, "{}", clf.score(&strong));
+        assert!(clf.score(&weak) < 0.4, "{}", clf.score(&weak));
+    }
+
+    #[test]
+    fn mask_disables_features_at_scoring_time() {
+        let train = synth(500, 2);
+        let mask = FeatureMask { surface: false, context: true, quantity: false };
+        let clf = PairClassifier::train(&train, RandomForestConfig::default(), mask);
+        // With surface and quantity masked, the two probe rows that only
+        // differ in f1/f6 must score identically.
+        let mut a = vec![0.0; FEATURE_COUNT];
+        a[0] = 0.95;
+        a[5] = 0.01;
+        let mut b = vec![0.0; FEATURE_COUNT];
+        b[0] = 0.1;
+        b[5] = 0.9;
+        assert_eq!(clf.score(&a), clf.score(&b));
+        assert_eq!(clf.mask(), mask);
+    }
+
+    #[test]
+    fn scores_bounded() {
+        let train = synth(200, 3);
+        let clf = PairClassifier::train(&train, RandomForestConfig::default(), FeatureMask::all());
+        for _ in 0..10 {
+            let row = vec![0.5; FEATURE_COUNT];
+            let s = clf.score(&row);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+}

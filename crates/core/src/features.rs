@@ -1,0 +1,339 @@
+//! The 12 mention-pair features of §IV-B.
+//!
+//! | # | feature | group |
+//! |---|---------|-------|
+//! | f1 | surface-form Jaro-Winkler similarity | surface |
+//! | f2 | local context word overlap (position-weighted) | context |
+//! | f3 | global context word overlap | context |
+//! | f4 | local context noun-phrase overlap | context |
+//! | f5 | global context noun-phrase overlap | context |
+//! | f6 | relative difference of normalized values | quantity |
+//! | f7 | relative difference of unnormalized values | quantity |
+//! | f8 | unit match (4-valued categorical) | quantity |
+//! | f9 | scale (order-of-magnitude) difference | quantity |
+//! | f10 | precision difference | quantity |
+//! | f11 | approximation indicator (categorical) | context |
+//! | f12 | aggregate-function match (4-valued categorical) | context |
+//!
+//! The ablation grouping (surface / context / quantity) follows §VIII-B.
+
+use briq_table::TableMention;
+use briq_text::cues::ApproxIndicator;
+use briq_text::units::Unit;
+
+use crate::context::{overlap, weighted_overlap, DocContext};
+use crate::jaro::jaro_winkler;
+use crate::mention::TextMention;
+
+/// Number of features per mention pair.
+pub const FEATURE_COUNT: usize = 12;
+
+/// Four-valued match degree shared by f8 and f12 (§IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchDegree {
+    /// Both sides specified and equal.
+    StrongMatch,
+    /// Neither side specified.
+    WeakMatch,
+    /// Exactly one side specified.
+    WeakMismatch,
+    /// Both sides specified and different.
+    StrongMismatch,
+}
+
+impl MatchDegree {
+    /// Encode as a small ordinal for tree features.
+    pub fn encode(self) -> f64 {
+        match self {
+            Self::StrongMatch => 0.0,
+            Self::WeakMatch => 1.0,
+            Self::WeakMismatch => 2.0,
+            Self::StrongMismatch => 3.0,
+        }
+    }
+}
+
+/// Degree to which two units match (feature f8).
+pub fn unit_match(x: Unit, t: Unit) -> MatchDegree {
+    match (x.is_specified(), t.is_specified()) {
+        (true, true) => {
+            if x.matches(t) {
+                MatchDegree::StrongMatch
+            } else {
+                MatchDegree::StrongMismatch
+            }
+        }
+        (false, false) => MatchDegree::WeakMatch,
+        _ => MatchDegree::WeakMismatch,
+    }
+}
+
+fn encode_approx(a: ApproxIndicator) -> f64 {
+    match a {
+        ApproxIndicator::None => 0.0,
+        ApproxIndicator::Approximate => 1.0,
+        ApproxIndicator::Exact => 2.0,
+        ApproxIndicator::UpperBound => 3.0,
+        ApproxIndicator::LowerBound => 4.0,
+    }
+}
+
+/// Relative difference `|x − t| / max(|x|, |t|)`, 0 when both are 0,
+/// capped at 2 (opposite signs can exceed 1).
+pub fn relative_difference(x: f64, t: f64) -> f64 {
+    let denom = x.abs().max(t.abs());
+    if denom == 0.0 {
+        return 0.0;
+    }
+    ((x - t).abs() / denom).min(2.0)
+}
+
+/// Canonical surface form of a table mention for f1: the cell text for
+/// single cells, the formatted value for virtual cells (which have no
+/// natural surface form).
+pub fn table_surface(t: &TableMention) -> String {
+    if t.is_aggregate() {
+        format_value(t.value)
+    } else {
+        t.raw.clone()
+    }
+}
+
+/// Format a numeric value the way a writer would (trim float noise).
+pub fn format_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        let s = format!("{v:.4}");
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    }
+}
+
+/// Compute the 12-feature vector for text mention `x` against table
+/// mention `t` within a prepared document context.
+pub fn feature_vector(x: &TextMention, t: &TableMention, ctx: &DocContext) -> Vec<f64> {
+    let mctx = &ctx.mentions[x.id];
+    let tctx = &ctx.tables[t.table];
+    let q = &x.quantity;
+
+    let f1 = jaro_winkler(&q.raw.to_lowercase(), &table_surface(t).to_lowercase());
+
+    let t_local_words = tctx.local_words(t);
+    let f2 = weighted_overlap(&mctx.local_weights, &t_local_words);
+    let f3 = overlap(&ctx.paragraph_words, &tctx.table_words);
+    let f4 = overlap(&mctx.sentence_phrases, &tctx.local_phrases(t));
+    let f5 = overlap(&ctx.paragraph_phrases, &tctx.table_phrases);
+
+    let f6 = relative_difference(q.value, t.value);
+    let f7 = relative_difference(q.unnormalized, t.unnormalized);
+    let f8 = unit_match(q.unit, t.unit).encode();
+    let f9 = (q.scale() - t.scale()).abs() as f64;
+    let f10 = (q.precision as i32 - t.precision as i32).abs() as f64;
+    let f11 = encode_approx(q.approx);
+
+    let f12 = {
+        let x_agg = mctx.inferred_aggregation;
+        let t_agg = t.aggregation();
+        match (x_agg, t_agg) {
+            (Some(a), Some(b)) if a == b => MatchDegree::StrongMatch,
+            (Some(_), Some(_)) => MatchDegree::StrongMismatch,
+            (None, None) => MatchDegree::WeakMatch,
+            _ => MatchDegree::WeakMismatch,
+        }
+        .encode()
+    };
+
+    vec![f1, f2, f3, f4, f5, f6, f7, f8, f9, f10, f11, f12]
+}
+
+/// Ablation mask over the three feature groups of §VIII-B. Masked features
+/// are zeroed (constant features are never chosen as tree splits, so this
+/// is equivalent to removing them — while keeping vector shapes stable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FeatureMask {
+    /// Keep f1.
+    pub surface: bool,
+    /// Keep f2–f5, f11, f12.
+    pub context: bool,
+    /// Keep f6–f10.
+    pub quantity: bool,
+}
+
+impl Default for FeatureMask {
+    fn default() -> Self {
+        FeatureMask { surface: true, context: true, quantity: true }
+    }
+}
+
+impl FeatureMask {
+    /// All features on.
+    pub fn all() -> Self {
+        Self::default()
+    }
+
+    /// Group membership of each feature index.
+    fn keeps(&self, idx: usize) -> bool {
+        match idx {
+            0 => self.surface,
+            1..=4 | 10 | 11 => self.context,
+            5..=9 => self.quantity,
+            _ => true,
+        }
+    }
+
+    /// Apply the mask in place.
+    pub fn apply(&self, features: &mut [f64]) {
+        for (i, f) in features.iter_mut().enumerate() {
+            if !self.keeps(i) {
+                *f = 0.0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{ContextConfig, DocContext};
+    use crate::mention::text_mentions;
+    use briq_table::{Document, Table, TableMentionKind};
+    use briq_text::units::Currency;
+
+    fn doc() -> Document {
+        Document::new(
+            0,
+            "A total of 123 patients reported side effects; depression was \
+             reported by 38 patients.",
+            vec![Table::from_grid(
+                "",
+                vec![
+                    vec!["side effects".into(), "patients".into()],
+                    vec!["Rash".into(), "35".into()],
+                    vec!["Depression".into(), "38".into()],
+                ],
+            )],
+        )
+    }
+
+    fn setup() -> (Document, Vec<crate::mention::TextMention>, DocContext) {
+        let d = doc();
+        let ms = text_mentions(&d);
+        let ctx = DocContext::build(&d, &ms, &ContextConfig::default());
+        (d, ms, ctx)
+    }
+
+    fn single(cells: (usize, usize), value: f64, raw: &str) -> TableMention {
+        TableMention {
+            table: 0,
+            kind: TableMentionKind::SingleCell,
+            cells: vec![cells],
+            value,
+            unnormalized: value,
+            raw: raw.into(),
+            unit: Unit::None,
+            precision: 0,
+            orientation: None,
+        }
+    }
+
+    #[test]
+    fn vector_has_twelve_features() {
+        let (_, ms, ctx) = setup();
+        let t = single((2, 1), 38.0, "38");
+        let v = feature_vector(&ms[1], &t, &ctx);
+        assert_eq!(v.len(), FEATURE_COUNT);
+    }
+
+    #[test]
+    fn exact_value_match_beats_mismatch() {
+        let (_, ms, ctx) = setup();
+        let right = single((2, 1), 38.0, "38");
+        let wrong = single((1, 1), 35.0, "35");
+        let v_right = feature_vector(&ms[1], &right, &ctx);
+        let v_wrong = feature_vector(&ms[1], &wrong, &ctx);
+        // f1 surface and f6 value distance both favor the right cell
+        assert!(v_right[0] > v_wrong[0]);
+        assert!(v_right[5] < v_wrong[5]);
+        // context: "depression" appears in the right cell's row
+        assert!(v_right[1] > v_wrong[1]);
+    }
+
+    #[test]
+    fn relative_difference_properties() {
+        assert_eq!(relative_difference(0.0, 0.0), 0.0);
+        assert_eq!(relative_difference(10.0, 10.0), 0.0);
+        assert!((relative_difference(37000.0, 36900.0) - 100.0 / 37000.0).abs() < 1e-12);
+        assert_eq!(relative_difference(-1.0, 1.0), 2.0);
+        assert_eq!(relative_difference(5.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn unit_match_degrees() {
+        use MatchDegree::*;
+        let usd = Unit::Currency(Currency::Usd);
+        let eur = Unit::Currency(Currency::Eur);
+        assert_eq!(unit_match(usd, usd), StrongMatch);
+        assert_eq!(unit_match(usd, eur), StrongMismatch);
+        assert_eq!(unit_match(Unit::None, Unit::None), WeakMatch);
+        assert_eq!(unit_match(usd, Unit::None), WeakMismatch);
+        assert_eq!(unit_match(Unit::None, Unit::Percent), WeakMismatch);
+    }
+
+    #[test]
+    fn aggregate_match_feature() {
+        let (_, ms, ctx) = setup();
+        // Mention 0 ("total of 123") infers Sum.
+        let sum_target = TableMention {
+            kind: TableMentionKind::Aggregate(briq_text::AggregationKind::Sum),
+            cells: vec![(1, 1), (2, 1)],
+            value: 73.0,
+            unnormalized: 73.0,
+            raw: "sum".into(),
+            orientation: Some(briq_table::Orientation::Column(1)),
+            ..single((1, 1), 73.0, "73")
+        };
+        let diff_target = TableMention {
+            kind: TableMentionKind::Aggregate(briq_text::AggregationKind::Difference),
+            ..sum_target.clone()
+        };
+        let v_sum = feature_vector(&ms[0], &sum_target, &ctx);
+        let v_diff = feature_vector(&ms[0], &diff_target, &ctx);
+        assert_eq!(v_sum[11], MatchDegree::StrongMatch.encode());
+        assert_eq!(v_diff[11], MatchDegree::StrongMismatch.encode());
+    }
+
+    #[test]
+    fn format_value_trims() {
+        assert_eq!(format_value(123.0), "123");
+        assert_eq!(format_value(1.5), "1.5");
+        assert_eq!(format_value(1.5730000), "1.573");
+        assert_eq!(format_value(-70.0), "-70");
+    }
+
+    #[test]
+    fn mask_zeroes_groups() {
+        let mut v: Vec<f64> = (1..=12).map(|i| i as f64).collect();
+        let m = FeatureMask { surface: false, context: true, quantity: true };
+        m.apply(&mut v);
+        assert_eq!(v[0], 0.0);
+        assert_eq!(v[1], 2.0);
+
+        let mut v: Vec<f64> = (1..=12).map(|i| i as f64).collect();
+        let m = FeatureMask { surface: true, context: false, quantity: true };
+        m.apply(&mut v);
+        assert_eq!(v[0], 1.0);
+        for i in [1, 2, 3, 4, 10, 11] {
+            assert_eq!(v[i], 0.0, "f{} should be masked", i + 1);
+        }
+        for i in [5, 6, 7, 8, 9] {
+            assert_ne!(v[i], 0.0);
+        }
+
+        let mut v: Vec<f64> = (1..=12).map(|i| i as f64).collect();
+        let m = FeatureMask { surface: true, context: true, quantity: false };
+        m.apply(&mut v);
+        for i in [5, 6, 7, 8, 9] {
+            assert_eq!(v[i], 0.0);
+        }
+    }
+}

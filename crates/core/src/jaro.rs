@@ -1,0 +1,129 @@
+//! Jaro-Winkler string similarity.
+//!
+//! §IV-B: "We adopted the Jaro-Winkler distance measure … because it
+//! emphasizes a match at the beginning of the string, which is desirable
+//! when comparing quantity mentions. For example, '26.7$' is closer to
+//! '26.65$' than to '29.75$'."
+
+/// Jaro similarity in `[0, 1]`.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches_a: Vec<char> = Vec::new();
+    let mut match_idx_b: Vec<usize> = Vec::new();
+
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == ca {
+                b_used[j] = true;
+                matches_a.push(ca);
+                match_idx_b.push(j);
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    // transpositions: compare matched chars of a against matched chars of
+    // b in b-order
+    let mut b_matches: Vec<(usize, char)> =
+        match_idx_b.iter().map(|&j| (j, b[j])).collect();
+    b_matches.sort_by_key(|&(j, _)| j);
+    let t = matches_a
+        .iter()
+        .zip(b_matches.iter())
+        .filter(|(ca, (_, cb))| *ca != cb)
+        .count() as f64
+        / 2.0;
+
+    let m = m as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity: Jaro boosted by common prefix (up to 4 chars)
+/// with the standard scaling factor 0.1.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    j + prefix * 0.1 * (1.0 - j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_strings() {
+        assert_eq!(jaro_winkler("26.7$", "26.7$"), 1.0);
+        assert_eq!(jaro("", ""), 1.0);
+    }
+
+    #[test]
+    fn empty_vs_nonempty() {
+        assert_eq!(jaro("", "abc"), 0.0);
+        assert_eq!(jaro_winkler("abc", ""), 0.0);
+    }
+
+    #[test]
+    fn classic_reference_values() {
+        // MARTHA/MARHTA: jaro = 0.944..., jw = 0.961...
+        let j = jaro("MARTHA", "MARHTA");
+        assert!((j - 0.944444).abs() < 1e-4, "{j}");
+        let jw = jaro_winkler("MARTHA", "MARHTA");
+        assert!((jw - 0.961111).abs() < 1e-4, "{jw}");
+        // DIXON/DICKSONX: jaro ≈ 0.76667, jw ≈ 0.81333
+        let j = jaro("DIXON", "DICKSONX");
+        assert!((j - 0.766667).abs() < 1e-4, "{j}");
+        let jw = jaro_winkler("DIXON", "DICKSONX");
+        assert!((jw - 0.813333).abs() < 1e-4, "{jw}");
+    }
+
+    #[test]
+    fn paper_example_prefix_preference() {
+        // "26.7$" closer to "26.65$" than to "29.75$" (§IV-B).
+        let close = jaro_winkler("26.7$", "26.65$");
+        let far = jaro_winkler("26.7$", "29.75$");
+        assert!(close > far, "close={close} far={far}");
+    }
+
+    #[test]
+    fn symmetry() {
+        for (a, b) in [("37K", "36900"), ("1.5", "1.543"), ("abc", "xbc")] {
+            assert!((jaro(a, b) - jaro(b, a)).abs() < 1e-12);
+            assert!((jaro_winkler(a, b) - jaro_winkler(b, a)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bounds() {
+        for (a, b) in [("123", "9999999"), ("x", "y"), ("12.5%", "12.5%")] {
+            let v = jaro_winkler(a, b);
+            assert!((0.0..=1.0).contains(&v));
+        }
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn unicode_strings() {
+        let v = jaro_winkler("37 €", "37 €");
+        assert_eq!(v, 1.0);
+        assert!(jaro_winkler("37€", "38€") > 0.5);
+    }
+}

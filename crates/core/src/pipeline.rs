@@ -1,0 +1,443 @@
+//! The end-to-end BriQ pipeline (Fig. 2).
+
+use briq_ml::RandomForestConfig;
+use briq_table::virtual_cells::{all_table_mentions, VirtualCellConfig};
+use briq_table::{Document, TableMention};
+use briq_text::cues::AggregationKind;
+
+use crate::classifier::PairClassifier;
+use crate::context::{ContextConfig, DocContext};
+use crate::features::{feature_vector, FeatureMask};
+use crate::filtering::{filter_mention, Candidate, FilterConfig, FilterStats};
+use crate::graph_builder::{build_graph, GraphConfig};
+use crate::mention::{text_mentions, Alignment, TextMention};
+use crate::resolution::{resolve, ResolutionConfig};
+use crate::tagger::{tagger_features, MentionTagger, TaggerExample};
+use crate::training::{
+    build_training_examples, examples_to_dataset, tagger_label, LabeledDocument,
+};
+
+/// Full pipeline configuration.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct BriqConfig {
+    /// Context-window parameters (§IV-B).
+    pub context: ContextConfig,
+    /// Virtual-cell generation (§II-A).
+    pub virtual_cells: VirtualCellConfig,
+    /// Adaptive filtering (§V).
+    pub filter: FilterConfig,
+    /// Graph construction (§VI-A).
+    pub graph: GraphConfig,
+    /// Global resolution (§VI-B).
+    pub resolution: ResolutionConfig,
+    /// Random-forest settings for the pair classifier.
+    pub forest: RandomForestConfig,
+    /// Random-forest settings for the tagger.
+    pub tagger_forest: RandomForestConfig,
+    /// Tagger confidence threshold (§V-A, precision-oriented).
+    pub tagger_threshold: f64,
+    /// Feature-ablation mask (§VIII-B).
+    pub mask: FeatureMask,
+}
+
+impl Default for BriqConfig {
+    fn default() -> Self {
+        BriqConfig {
+            context: ContextConfig::default(),
+            virtual_cells: VirtualCellConfig::default(),
+            filter: FilterConfig::default(),
+            graph: GraphConfig::default(),
+            resolution: ResolutionConfig::default(),
+            forest: RandomForestConfig::default(),
+            tagger_forest: RandomForestConfig { n_trees: 32, ..Default::default() },
+            tagger_threshold: 0.6,
+            mask: FeatureMask::all(),
+        }
+    }
+}
+
+/// A document prepared for alignment: mentions, context, targets, and the
+/// full classifier score matrix. Shared by BriQ and the baselines.
+pub struct ScoredDocument {
+    /// Extracted text mentions.
+    pub mentions: Vec<TextMention>,
+    /// Precomputed document context.
+    pub ctx: DocContext,
+    /// All table mentions (single + virtual cells).
+    pub targets: Vec<TableMention>,
+    /// Per mention, every `(target index, prior score)` pair.
+    pub scored: Vec<Vec<(usize, f64)>>,
+    /// Per mention, the tagger's predicted aggregation kinds (empty =
+    /// single cell).
+    pub tags: Vec<Vec<AggregationKind>>,
+}
+
+/// The BriQ system: trained classifier + tagger + configuration.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Briq {
+    /// Configuration in force.
+    pub cfg: BriqConfig,
+    classifier: Option<PairClassifier>,
+    tagger: MentionTagger,
+}
+
+/// Uniform-weight combination of the 12 features into a `[0, 1]` score —
+/// the prior used before training and by the RWR-only baseline ("these
+/// features are combined using uniform weights", §VII-D).
+pub fn heuristic_prior(f: &[f64]) -> f64 {
+    let surface = f[0];
+    let ctx = (f[1] + f[2] + f[3] + f[4]) / 4.0;
+    let value = 1.0 - f[5].min(1.0);
+    let value_raw = 1.0 - f[6].min(1.0);
+    let unit = (3.0 - f[7]) / 3.0;
+    let scale = (1.0 - f[8] / 4.0).max(0.0);
+    let precision = (1.0 - f[9] / 4.0).max(0.0);
+    let agg = (3.0 - f[11]) / 3.0;
+    ((surface + ctx + value + value_raw + unit + scale + precision + agg) / 8.0).clamp(0.0, 1.0)
+}
+
+impl Briq {
+    /// A BriQ instance without a trained classifier: the heuristic prior
+    /// replaces the Random Forest and a lexical tagger replaces the
+    /// trained one. Useful for exploration and doc examples.
+    pub fn untrained(cfg: BriqConfig) -> Briq {
+        let tagger = MentionTagger::lexical(cfg.tagger_threshold);
+        Briq { cfg, classifier: None, tagger }
+    }
+
+    /// Train the classifier on `train_docs` and the tagger on
+    /// `tagger_docs` (the paper withholds a separate small set for the
+    /// tagger, §V-A).
+    pub fn train(
+        cfg: BriqConfig,
+        train_docs: &[LabeledDocument],
+        tagger_docs: &[LabeledDocument],
+    ) -> Briq {
+        let (examples, _) =
+            build_training_examples(train_docs, &cfg.virtual_cells, &cfg.context);
+        let data = examples_to_dataset(&examples);
+        let classifier = PairClassifier::train(&data, cfg.forest, cfg.mask);
+
+        let tagger = Self::train_tagger(&cfg, tagger_docs);
+        Briq { cfg, classifier: Some(classifier), tagger }
+    }
+
+    /// Train and then tune the resolution hyper-parameters (α/β mix and
+    /// acceptance threshold ε of Eq. 1) by grid search on the validation
+    /// documents (§VII-C: "we use grid search to choose the best values
+    /// for the hyper-parameters, for the classifiers as well as for the
+    /// graph-based algorithm"). Returns the tuned system and the selected
+    /// parameters' validation F1.
+    pub fn train_tuned(
+        cfg: BriqConfig,
+        train_docs: &[LabeledDocument],
+        validation_docs: &[LabeledDocument],
+    ) -> (Briq, f64) {
+        let mut briq = Self::train(cfg, train_docs, validation_docs);
+
+        let alphas = [0.3, 0.5, 0.7];
+        let epsilons = [0.05, 0.12, 0.2];
+        let sigma_mins = [0.0, 0.1, 0.25];
+        let mut grid: Vec<(f64, f64, f64)> = Vec::new();
+        for &a in &alphas {
+            for &e in &epsilons {
+                for &m in &sigma_mins {
+                    grid.push((a, e, m));
+                }
+            }
+        }
+
+        let f1_of = |briq: &Briq| {
+            let mut report = crate::evaluate::EvalReport::default();
+            for ld in validation_docs {
+                report.add_document(&briq.align(&ld.document), &ld.gold);
+            }
+            report.overall().f1
+        };
+
+        let best = briq_ml::gridsearch::grid_search(&grid, |&(alpha, epsilon, sigma_min)| {
+            let mut candidate = briq.clone();
+            candidate.cfg.resolution.alpha = alpha;
+            candidate.cfg.resolution.beta = 1.0 - alpha;
+            candidate.cfg.resolution.epsilon = epsilon;
+            candidate.cfg.resolution.sigma_min = sigma_min;
+            f1_of(&candidate)
+        });
+        if let Some((i, f1)) = best {
+            let (alpha, epsilon, sigma_min) = grid[i];
+            briq.cfg.resolution.alpha = alpha;
+            briq.cfg.resolution.beta = 1.0 - alpha;
+            briq.cfg.resolution.epsilon = epsilon;
+            briq.cfg.resolution.sigma_min = sigma_min;
+            (briq, f1)
+        } else {
+            let f1 = f1_of(&briq);
+            (briq, f1)
+        }
+    }
+
+    fn train_tagger(cfg: &BriqConfig, docs: &[LabeledDocument]) -> MentionTagger {
+        let mut examples = Vec::new();
+        for ld in docs {
+            let mentions = text_mentions(&ld.document);
+            if mentions.is_empty() {
+                continue;
+            }
+            let ctx = DocContext::build(&ld.document, &mentions, &cfg.context);
+            for x in &mentions {
+                let gold = ld.gold.iter().find(|g| {
+                    x.quantity.start < g.mention_end && g.mention_start < x.quantity.end
+                });
+                let Some(g) = gold else { continue };
+                examples.push(TaggerExample {
+                    features: tagger_features(x, &ctx, &ld.document),
+                    label: tagger_label(g.kind),
+                });
+            }
+        }
+        if examples.is_empty() {
+            MentionTagger::lexical(cfg.tagger_threshold)
+        } else {
+            MentionTagger::train(&examples, cfg.tagger_forest, cfg.tagger_threshold)
+        }
+    }
+
+    /// Is a trained classifier in force?
+    pub fn is_trained(&self) -> bool {
+        self.classifier.is_some()
+    }
+
+    /// Serialize the whole system (configuration, classifier forest,
+    /// tagger forests) to JSON for later reuse.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Restore a system saved with [`Briq::to_json`].
+    pub fn from_json(s: &str) -> serde_json::Result<Briq> {
+        serde_json::from_str(s)
+    }
+
+    /// Prior score of a feature vector (trained RF or heuristic).
+    pub fn prior(&self, features: &[f64]) -> f64 {
+        match &self.classifier {
+            Some(c) => c.score(features),
+            None => {
+                let mut f = features.to_vec();
+                self.cfg.mask.apply(&mut f);
+                heuristic_prior(&f)
+            }
+        }
+    }
+
+    /// Stage 1+2: extract mentions/targets and score every pair.
+    pub fn score_document(&self, doc: &Document) -> ScoredDocument {
+        let mentions = text_mentions(doc);
+        let ctx = DocContext::build(doc, &mentions, &self.cfg.context);
+        let targets = all_table_mentions(&doc.tables, &self.cfg.virtual_cells);
+
+        let scored: Vec<Vec<(usize, f64)>> = mentions
+            .iter()
+            .map(|x| {
+                targets
+                    .iter()
+                    .enumerate()
+                    .map(|(ti, t)| (ti, self.prior(&feature_vector(x, t, &ctx))))
+                    .collect()
+            })
+            .collect();
+
+        let tags: Vec<Vec<AggregationKind>> = mentions
+            .iter()
+            .enumerate()
+            .map(|(i, x)| {
+                let mut tags = self.tagger.tags(&tagger_features(x, &ctx, doc));
+                if self.cfg.virtual_cells.extended {
+                    tags.extend(crate::tagger::extended_lexical_tags(
+                        &ctx.mentions[i].immediate_words,
+                    ));
+                }
+                tags
+            })
+            .collect();
+
+        ScoredDocument { mentions, ctx, targets, scored, tags }
+    }
+
+    /// Stage 3: adaptive filtering of a scored document.
+    pub fn filter(&self, sd: &ScoredDocument) -> (Vec<Vec<Candidate>>, FilterStats) {
+        let mut stats = FilterStats::default();
+        let candidates = sd
+            .mentions
+            .iter()
+            .zip(&sd.scored)
+            .zip(&sd.tags)
+            .map(|((x, scored), tags)| {
+                filter_mention(x, scored, &sd.targets, tags, &self.cfg.filter, &mut stats)
+            })
+            .collect();
+        (candidates, stats)
+    }
+
+    /// Full pipeline: align a document's text mentions to table mentions.
+    pub fn align(&self, doc: &Document) -> Vec<Alignment> {
+        self.align_detailed(doc).0
+    }
+
+    /// Like [`Briq::align`], also returning filtering statistics and the
+    /// candidates (for Table VI style analyses).
+    pub fn align_detailed(&self, doc: &Document) -> (Vec<Alignment>, FilterStats, Vec<Vec<Candidate>>) {
+        let sd = self.score_document(doc);
+        let (candidates, stats) = self.filter(&sd);
+        let positions: Vec<usize> = sd.ctx.mentions.iter().map(|m| m.token_index).collect();
+        let ag = build_graph(
+            &sd.mentions,
+            &positions,
+            sd.ctx.tokens.len(),
+            &sd.targets,
+            &candidates,
+            &self.cfg.graph,
+        );
+        let resolved = resolve(ag, &candidates, &self.cfg.resolution);
+        let alignments = resolved
+            .into_iter()
+            .map(|r| {
+                let x = &sd.mentions[r.mention];
+                Alignment {
+                    mention_start: x.quantity.start,
+                    mention_end: x.quantity.end,
+                    mention_raw: x.quantity.raw.clone(),
+                    target: sd.targets[r.target].clone(),
+                    score: r.score,
+                }
+            })
+            .collect();
+        (alignments, stats, candidates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use briq_table::Table;
+
+    fn health_doc() -> Document {
+        Document::new(
+            0,
+            "A total of 123 patients reported side effects; depression was \
+             the most common, reported by 38 patients, and eye disorders \
+             the least common, reported by 5 patients.",
+            vec![Table::from_grid(
+                "",
+                vec![
+                    vec!["side effects".into(), "male".into(), "female".into(), "total".into()],
+                    vec!["Rash".into(), "15".into(), "20".into(), "35".into()],
+                    vec!["Depression".into(), "13".into(), "25".into(), "38".into()],
+                    vec!["Hypertension".into(), "19".into(), "15".into(), "34".into()],
+                    vec!["Nausea".into(), "5".into(), "6".into(), "11".into()],
+                    vec!["Eye Disorders".into(), "2".into(), "3".into(), "5".into()],
+                ],
+            )],
+        )
+    }
+
+    #[test]
+    fn untrained_pipeline_aligns_fig1a() {
+        let briq = Briq::untrained(BriqConfig::default());
+        let doc = health_doc();
+        let alignments = briq.align(&doc);
+        assert!(!alignments.is_empty());
+        // "38" should go to the Depression row's total cell (2,3).
+        let a38 = alignments.iter().find(|a| a.mention_raw.starts_with("38")).expect("38 aligned");
+        assert_eq!(a38.target.cells, vec![(2, 3)]);
+        // "total of 123" should map to the sum of the total column.
+        let a123 = alignments.iter().find(|a| a.mention_raw.starts_with("123"));
+        if let Some(a) = a123 {
+            assert!(a.target.is_aggregate(), "{a:?}");
+            assert_eq!(a.target.value, 123.0);
+        }
+    }
+
+    #[test]
+    fn score_document_shapes() {
+        let briq = Briq::untrained(BriqConfig::default());
+        let sd = briq.score_document(&health_doc());
+        assert_eq!(sd.mentions.len(), sd.scored.len());
+        assert_eq!(sd.mentions.len(), sd.tags.len());
+        assert!(!sd.targets.is_empty());
+        for row in &sd.scored {
+            assert_eq!(row.len(), sd.targets.len());
+            for &(_, s) in row {
+                assert!((0.0..=1.0).contains(&s));
+            }
+        }
+    }
+
+    #[test]
+    fn filtering_reduces_candidates() {
+        let briq = Briq::untrained(BriqConfig::default());
+        let sd = briq.score_document(&health_doc());
+        let (candidates, stats) = briq.filter(&sd);
+        let total_pairs: usize = sd.scored.iter().map(Vec::len).sum();
+        let kept: usize = candidates.iter().map(Vec::len).sum();
+        assert!(kept < total_pairs / 2, "kept {kept} of {total_pairs}");
+        assert!(stats.overall_selectivity() < 0.5);
+    }
+
+    #[test]
+    fn empty_document_no_alignments() {
+        let briq = Briq::untrained(BriqConfig::default());
+        let doc = Document::new(0, "no numbers here at all", vec![]);
+        assert!(briq.align(&doc).is_empty());
+    }
+
+    #[test]
+    fn heuristic_prior_ranges() {
+        let perfect = vec![1.0, 1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let terrible = vec![0.0, 0.0, 0.0, 0.0, 0.0, 2.0, 2.0, 3.0, 6.0, 4.0, 0.0, 3.0];
+        assert!(heuristic_prior(&perfect) > 0.9);
+        assert!(heuristic_prior(&terrible) < 0.2);
+        assert!(heuristic_prior(&perfect) <= 1.0);
+        assert!(heuristic_prior(&terrible) >= 0.0);
+    }
+
+    #[test]
+    fn train_tuned_selects_valid_parameters() {
+        let doc = health_doc();
+        let s38 = doc.text.find("38").unwrap();
+        let gold = vec![crate::mention::GoldAlignment {
+            mention_start: s38,
+            mention_end: s38 + 2,
+            table: 0,
+            kind: briq_table::TableMentionKind::SingleCell,
+            cells: vec![(2, 3)],
+        }];
+        let ld = LabeledDocument { document: doc, gold };
+        let mut cfg = BriqConfig::default();
+        cfg.forest.n_trees = 16;
+        cfg.tagger_forest.n_trees = 8;
+        let (briq, f1) = Briq::train_tuned(cfg, &[ld.clone()], &[ld]);
+        assert!(briq.cfg.resolution.alpha + briq.cfg.resolution.beta > 0.99);
+        assert!((0.0..=1.0).contains(&f1));
+    }
+
+    #[test]
+    fn trained_pipeline_runs() {
+        // Minimal training corpus from the health example itself.
+        let doc = health_doc();
+        let s38 = doc.text.find("38").unwrap();
+        let gold = vec![crate::mention::GoldAlignment {
+            mention_start: s38,
+            mention_end: s38 + 2,
+            table: 0,
+            kind: briq_table::TableMentionKind::SingleCell,
+            cells: vec![(2, 3)],
+        }];
+        let ld = LabeledDocument { document: doc.clone(), gold };
+        let briq = Briq::train(BriqConfig::default(), &[ld.clone()], &[ld]);
+        assert!(briq.is_trained());
+        let alignments = briq.align(&doc);
+        // The trained system still produces alignments on its train doc.
+        assert!(!alignments.is_empty());
+    }
+}

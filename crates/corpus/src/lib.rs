@@ -1,0 +1,40 @@
+//! # briq-corpus
+//!
+//! Synthetic corpus generator standing in for the paper's annotated
+//! Common-Crawl data (§VII-A: the `tableS` / `tableL` slices of the
+//! Dresden Web Table Corpus, which are not redistributable).
+//!
+//! The generator reproduces the *phenomena* the paper identifies as the
+//! hard parts of quantity alignment, with exact ground truth:
+//!
+//! * six thematic domains with the table shapes of Table IX (health
+//!   tables are small, sports tables large),
+//! * text mentions rendered in heterogeneous surface forms — grouped
+//!   (`3,263`), rescaled (`$3.26 billion` for a cell `3,263` under an
+//!   `(in Mio)` caption), suffix-scaled (`37K`), approximate, with or
+//!   without units,
+//! * aggregate references (column totals, differences, percentages,
+//!   change ratios) whose values appear in *no* cell,
+//! * same-value collisions within and across tables (the Fig. 3 / Fig. 6
+//!   ambiguities),
+//! * distractor quantities that refer to no table (the mapping is
+//!   partial),
+//! * the type-frequency skew of Table I (percent/ratio mentions rare),
+//! * a simulated 8-annotator panel with consensus labeling and a
+//!   measurable Fleiss κ (§VII-A).
+//!
+//! Difficulty knobs live in [`corpus::CorpusConfig`] and are fixed once
+//! for all experiments (see DESIGN.md §1, substitution table).
+
+pub mod annotate;
+pub mod corpus;
+pub mod domain;
+pub mod numbers;
+pub mod page;
+pub mod perturb;
+pub mod tablegen;
+pub mod textgen;
+
+pub use corpus::{generate_corpus, CorpusConfig, GeneratedCorpus};
+pub use domain::Domain;
+pub use perturb::{perturb_document, Perturbation};

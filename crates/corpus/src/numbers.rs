@@ -1,0 +1,301 @@
+//! Value sampling and surface rendering.
+//!
+//! Cells are rendered with realistic formatting (digit grouping, decimals)
+//! and text mentions are re-rendered in possibly *different* formats —
+//! the format heterogeneity that motivates the paper (§I: "37K EUR" in
+//! text vs `36900` in a cell).
+
+use crate::domain::ColumnKind;
+use rand::prelude::*;
+
+/// Sample a cell value for a column kind.
+///
+/// Bare integers avoid the 1900–2100 range so the extractor's date filter
+/// never eats a legitimate value (years are excluded quantities, §II-A).
+pub fn sample_value(kind: ColumnKind, rng: &mut impl Rng) -> f64 {
+    let v = match kind {
+        ColumnKind::Money => {
+            // spread across magnitudes: hundreds .. tens of millions
+            let mag = rng.random_range(2..7);
+            let base: f64 = rng.random_range(1.0..10.0);
+            (base * 10f64.powi(mag)).round()
+        }
+        ColumnKind::Percent => (rng.random_range(0.1..99.9f64) * 10.0).round() / 10.0,
+        ColumnKind::Rating => (rng.random_range(1.0..5.0f64) * 100.0).round() / 100.0,
+        ColumnKind::SmallCount => rng.random_range(1..150) as f64,
+        ColumnKind::Count => rng.random_range(10..5_000) as f64,
+        ColumnKind::BigCount => rng.random_range(10_000..5_000_000) as f64,
+    };
+    avoid_year_range(v)
+}
+
+/// Nudge integer values out of 1900–2100 (which read as years).
+pub fn avoid_year_range(v: f64) -> f64 {
+    if v.fract() == 0.0 && (1900.0..=2100.0).contains(&v) {
+        v + 250.0
+    } else {
+        v
+    }
+}
+
+/// Format a value as a table cell (Western grouping, minimal decimals).
+pub fn render_cell(v: f64, kind: ColumnKind) -> String {
+    match kind {
+        ColumnKind::Percent => format!("{v:.1}%"),
+        ColumnKind::Rating => trim_decimal(&format!("{v:.2}")),
+        _ => {
+            if v.fract() == 0.0 {
+                group_thousands(v as i64)
+            } else {
+                trim_decimal(&format!("{v:.2}"))
+            }
+        }
+    }
+}
+
+/// Insert `,` thousands separators.
+pub fn group_thousands(v: i64) -> String {
+    let neg = v < 0;
+    let digits = v.abs().to_string();
+    let mut out = String::new();
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    if neg {
+        format!("-{out}")
+    } else {
+        out
+    }
+}
+
+fn trim_decimal(s: &str) -> String {
+    if s.contains('.') {
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    } else {
+        s.to_string()
+    }
+}
+
+/// How a text mention renders a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MentionStyle {
+    /// Exactly the cell surface (`3,263`).
+    Exact,
+    /// Plain digits without grouping (`3263`).
+    Plain,
+    /// Rescaled with a scale word (`$3.26 billion` for 3 263 000 000).
+    ScaleWord,
+    /// `K` suffix (`37K` for 36 900).
+    SuffixK,
+    /// Rounded to ~2 significant digits with an "about" cue upstream.
+    Approximate,
+    /// Least significant digit truncated (`6746` → `6740`) — writers do
+    /// this routinely, and it keeps value-distance features from becoming
+    /// razor-thin exact-match detectors.
+    TruncatedDigit,
+    /// Least significant digit rounded (`6746` → `6750`).
+    RoundedDigit,
+}
+
+/// Render a *normalized* value as a text mention surface.
+///
+/// Returns `(surface, is_approximate)` — approximate surfaces do not
+/// reproduce the value exactly and generators should prepend an
+/// approximation cue word sometimes.
+pub fn render_mention(v: f64, style: MentionStyle, cell_surface: &str) -> (String, bool) {
+    match style {
+        MentionStyle::Exact => (cell_surface.trim_end_matches('%').to_string(), false),
+        MentionStyle::Plain => {
+            if v.fract() == 0.0 {
+                (format!("{}", v as i64), false)
+            } else {
+                (trim_decimal(&format!("{v:.2}")), false)
+            }
+        }
+        MentionStyle::ScaleWord => {
+            let (scaled, word) = if v.abs() >= 1e9 {
+                (v / 1e9, "billion")
+            } else if v.abs() >= 1e6 {
+                (v / 1e6, "million")
+            } else if v.abs() >= 1e3 {
+                (v / 1e3, "thousand")
+            } else {
+                return render_mention(v, MentionStyle::Plain, cell_surface);
+            };
+            let rounded = (scaled * 100.0).round() / 100.0;
+            let approx = (rounded * match word {
+                "billion" => 1e9,
+                "million" => 1e6,
+                _ => 1e3,
+            } - v)
+                .abs()
+                > 1e-9;
+            (format!("{} {word}", trim_decimal(&format!("{rounded:.2}"))), approx)
+        }
+        MentionStyle::SuffixK => {
+            if v.abs() < 1e3 {
+                return render_mention(v, MentionStyle::Plain, cell_surface);
+            }
+            let k = v / 1e3;
+            let rounded = k.round();
+            let approx = (rounded * 1e3 - v).abs() > 1e-9;
+            (format!("{}K", rounded as i64), approx)
+        }
+        MentionStyle::Approximate => {
+            let rounded = round_significant(v, 2);
+            let approx = (rounded - v).abs() > 1e-9;
+            let s = if rounded.fract() == 0.0 {
+                format!("{}", rounded as i64)
+            } else {
+                trim_decimal(&format!("{rounded:.2}"))
+            };
+            (s, approx)
+        }
+        MentionStyle::TruncatedDigit | MentionStyle::RoundedDigit => {
+            let (plain, _) = render_mention(v, MentionStyle::Plain, cell_surface);
+            let digits = plain.chars().filter(|c| c.is_ascii_digit()).count();
+            if digits <= 1 {
+                return (plain, false);
+            }
+            let adjusted = if plain.contains('.') {
+                let prec = plain.len() - plain.rfind('.').unwrap() - 1;
+                let factor = 10f64.powi(prec as i32 - 1);
+                let x = v * factor;
+                let x = if style == MentionStyle::TruncatedDigit { x.trunc() } else { x.round() };
+                let x = x / factor;
+                if prec <= 1 {
+                    format!("{}", x as i64)
+                } else {
+                    trim_decimal(&format!("{x:.*}", prec - 1))
+                }
+            } else {
+                let i = v as i64;
+                let i = if style == MentionStyle::TruncatedDigit {
+                    (i / 10) * 10
+                } else {
+                    ((i as f64 / 10.0).round() as i64) * 10
+                };
+                format!("{i}")
+            };
+            let approx = adjusted != plain;
+            (adjusted, approx)
+        }
+    }
+}
+
+/// Round to `sig` significant digits.
+pub fn round_significant(v: f64, sig: u32) -> f64 {
+    if v == 0.0 {
+        return 0.0;
+    }
+    let mag = v.abs().log10().floor() as i32;
+    let factor = 10f64.powi(sig as i32 - 1 - mag);
+    (v * factor).round() / factor
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn grouping() {
+        assert_eq!(group_thousands(3263), "3,263");
+        assert_eq!(group_thousands(1144716), "1,144,716");
+        assert_eq!(group_thousands(42), "42");
+        assert_eq!(group_thousands(-9500), "-9,500");
+    }
+
+    #[test]
+    fn cell_rendering() {
+        assert_eq!(render_cell(3263.0, ColumnKind::Money), "3,263");
+        assert_eq!(render_cell(12.7, ColumnKind::Percent), "12.7%");
+        assert_eq!(render_cell(2.67, ColumnKind::Rating), "2.67");
+        assert_eq!(render_cell(1.5, ColumnKind::Money), "1.5");
+    }
+
+    #[test]
+    fn sampled_values_parse_back() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for kind in [
+            ColumnKind::Money,
+            ColumnKind::Percent,
+            ColumnKind::Rating,
+            ColumnKind::SmallCount,
+            ColumnKind::Count,
+            ColumnKind::BigCount,
+        ] {
+            for _ in 0..50 {
+                let v = sample_value(kind, &mut rng);
+                let cell = render_cell(v, kind);
+                let q = briq_text::parse_cell_quantity(&cell)
+                    .unwrap_or_else(|| panic!("cell {cell:?} must parse"));
+                assert!((q.value - v).abs() < 1e-6, "{cell} -> {} != {v}", q.value);
+            }
+        }
+    }
+
+    #[test]
+    fn year_range_avoided() {
+        assert_eq!(avoid_year_range(1995.0), 2245.0);
+        assert_eq!(avoid_year_range(1995.5), 1995.5);
+        assert_eq!(avoid_year_range(150.0), 150.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let v = sample_value(ColumnKind::Count, &mut rng);
+            assert!(!(v.fract() == 0.0 && (1900.0..=2100.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn scale_word_mentions() {
+        let (s, _) = render_mention(3.263e9, MentionStyle::ScaleWord, "3,263");
+        assert_eq!(s, "3.26 billion");
+        let (s, approx) = render_mention(36900.0, MentionStyle::SuffixK, "36,900");
+        assert_eq!(s, "37K");
+        assert!(approx);
+        let (s, approx) = render_mention(500000.0, MentionStyle::SuffixK, "500,000");
+        assert_eq!(s, "500K");
+        assert!(!approx);
+    }
+
+    #[test]
+    fn exact_and_plain() {
+        let (s, a) = render_mention(3263.0, MentionStyle::Exact, "3,263");
+        assert_eq!(s, "3,263");
+        assert!(!a);
+        let (s, a) = render_mention(3263.0, MentionStyle::Plain, "3,263");
+        assert_eq!(s, "3263");
+        assert!(!a);
+    }
+
+    #[test]
+    fn approximate_rounds_to_two_sig() {
+        assert_eq!(round_significant(36900.0, 2), 37000.0);
+        assert_eq!(round_significant(0.0157, 2), 0.016);
+        assert_eq!(round_significant(0.0, 2), 0.0);
+        let (s, approx) = render_mention(36900.0, MentionStyle::Approximate, "36,900");
+        assert_eq!(s, "37000");
+        assert!(approx);
+    }
+
+    #[test]
+    fn mention_surfaces_extract() {
+        // every style must survive the text extractor
+        for (v, style) in [
+            (3263.0, MentionStyle::Exact),
+            (3263.0, MentionStyle::Plain),
+            (3.263e9, MentionStyle::ScaleWord),
+            (36900.0, MentionStyle::SuffixK),
+            (36900.0, MentionStyle::Approximate),
+        ] {
+            let (s, _) = render_mention(v, style, "3,263");
+            let text = format!("the figure reached {s} overall");
+            let ms = briq_text::extract_quantities(&text);
+            assert_eq!(ms.len(), 1, "style {style:?} surface {s:?}");
+        }
+    }
+}

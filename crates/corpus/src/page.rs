@@ -1,0 +1,97 @@
+//! HTML page materialization — used by the throughput experiments
+//! (Table VIII) so the timed path includes HTML parsing and page
+//! segmentation, as in the original system.
+
+use briq_core::training::LabeledDocument;
+use briq_table::Table;
+
+/// Serialize a [`Table`] back to minimal HTML.
+pub fn table_to_html(table: &Table) -> String {
+    let mut out = String::from("<table>");
+    if !table.caption.is_empty() {
+        out.push_str("<caption>");
+        out.push_str(&escape(&table.caption));
+        out.push_str("</caption>");
+    }
+    for (r, row) in table.cells.iter().enumerate() {
+        out.push_str("<tr>");
+        for cell in row {
+            let tag = if r < table.header_rows { "th" } else { "td" };
+            out.push('<');
+            out.push_str(tag);
+            out.push('>');
+            out.push_str(&escape(cell));
+            out.push_str("</");
+            out.push_str(tag);
+            out.push('>');
+        }
+        out.push_str("</tr>");
+    }
+    out.push_str("</table>");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Render several labeled documents as one web page: paragraph, then its
+/// tables, repeated.
+pub fn render_page(docs: &[&LabeledDocument]) -> String {
+    let mut out = String::from("<html><body>");
+    for ld in docs {
+        out.push_str("<p>");
+        out.push_str(&escape(&ld.document.text));
+        out.push_str("</p>");
+        for t in &ld.document.tables {
+            out.push_str(&table_to_html(t));
+        }
+    }
+    out.push_str("</body></html>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{generate_corpus, CorpusConfig};
+    use briq_table::html::parse_page;
+    use briq_table::segment::{segment_page, SegmentConfig};
+
+    #[test]
+    fn tables_roundtrip_through_html() {
+        let c = generate_corpus(&CorpusConfig::small(21));
+        let ld = &c.documents[0];
+        let html = table_to_html(&ld.document.tables[0]);
+        let page = parse_page(&html);
+        assert_eq!(page.tables.len(), 1);
+        let reparsed = Table::from_raw(&page.tables[0]);
+        assert_eq!(reparsed.cells, ld.document.tables[0].cells);
+        assert_eq!(reparsed.caption, ld.document.tables[0].caption);
+        assert_eq!(reparsed.quantity_count(), ld.document.tables[0].quantity_count());
+    }
+
+    #[test]
+    fn pages_segment_back_into_documents() {
+        let c = generate_corpus(&CorpusConfig::small(22));
+        let slice: Vec<&LabeledDocument> = c.documents.iter().take(3).collect();
+        let html = render_page(&slice);
+        let page = parse_page(&html);
+        assert_eq!(page.paragraphs.len(), 3);
+        assert_eq!(page.tables.len(), slice.iter().map(|d| d.document.tables.len()).sum::<usize>());
+        let docs = segment_page(&page, &SegmentConfig::default(), 0);
+        // every paragraph relates at least to its adjacent table
+        assert!(docs.len() >= 2, "segmented {} documents", docs.len());
+    }
+
+    #[test]
+    fn entities_escaped() {
+        let t = Table::from_grid(
+            "a < b & c",
+            vec![vec!["x".into(), "1".into()], vec!["<y>".into(), "2".into()]],
+        );
+        let html = table_to_html(&t);
+        assert!(html.contains("a &lt; b &amp; c"));
+        assert!(html.contains("&lt;y&gt;"));
+    }
+}

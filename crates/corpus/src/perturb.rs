@@ -1,0 +1,251 @@
+//! Mention perturbation for the robustness experiments of Table II.
+//!
+//! * **Truncated** — "we removed the least significant digit of each
+//!   original text mention. For example, 6746, 2.74, 0.19 became 6740,
+//!   2.7, and 0.1."
+//! * **Rounded** — "we numerically rounded the least significant digit
+//!   … 6746, 2.74, 0.19 became 6750, 2.7, and 0.2."
+//!
+//! Only the *text* is perturbed; tables stay intact. Gold spans are
+//! re-mapped through the edits.
+
+use briq_core::training::LabeledDocument;
+use briq_text::extract_quantities;
+
+/// Which variant of the text to produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Perturbation {
+    /// The text as generated.
+    Original,
+    /// Least significant digit truncated.
+    Truncated,
+    /// Least significant digit rounded.
+    Rounded,
+}
+
+impl Perturbation {
+    /// All three variants in the paper's order.
+    pub const ALL: [Perturbation; 3] =
+        [Perturbation::Original, Perturbation::Truncated, Perturbation::Rounded];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Perturbation::Original => "original",
+            Perturbation::Truncated => "truncated",
+            Perturbation::Rounded => "rounded",
+        }
+    }
+}
+
+/// Transform one numeral surface (Western format: `.` decimal, `,`
+/// grouping). Returns `None` when the numeral is a single digit (nothing
+/// to remove).
+pub fn perturb_numeral(s: &str, p: Perturbation) -> Option<String> {
+    if p == Perturbation::Original {
+        return Some(s.to_string());
+    }
+    let digits = s.chars().filter(|c| c.is_ascii_digit()).count();
+    if digits <= 1 {
+        return None;
+    }
+    if let Some(dot) = s.rfind('.') {
+        let frac = &s[dot + 1..];
+        if !frac.is_empty() && frac.chars().all(|c| c.is_ascii_digit()) {
+            // decimal: drop (or round away) the last fractional digit
+            let value: f64 = s.replace(',', "").parse().ok()?;
+            let new_prec = frac.len() - 1;
+            let factor = 10f64.powi(new_prec as i32);
+            let adjusted = match p {
+                Perturbation::Truncated => (value * factor).trunc() / factor,
+                Perturbation::Rounded => (value * factor).round() / factor,
+                Perturbation::Original => unreachable!(),
+            };
+            return Some(if new_prec == 0 {
+                format!("{}", adjusted as i64)
+            } else {
+                format!("{adjusted:.new_prec$}")
+            });
+        }
+    }
+    // integer: zero (or round) the ones digit, preserving grouping style
+    let grouped = s.contains(',');
+    let value: i64 = s.replace(',', "").parse().ok()?;
+    let adjusted = match p {
+        Perturbation::Truncated => (value / 10) * 10,
+        Perturbation::Rounded => ((value as f64 / 10.0).round() as i64) * 10,
+        Perturbation::Original => unreachable!(),
+    };
+    Some(if grouped { crate::numbers::group_thousands(adjusted) } else { adjusted.to_string() })
+}
+
+/// Locate the numeral core inside a mention's span of `text`: the maximal
+/// run of digits/grouping/decimal marks starting at the first digit.
+fn numeral_range(text: &str, start: usize, end: usize) -> Option<(usize, usize)> {
+    let span = &text[start..end];
+    let first = span.find(|c: char| c.is_ascii_digit())?;
+    let rest = &span[first..];
+    let mut len = 0;
+    let bytes = rest.as_bytes();
+    while len < bytes.len() {
+        let c = bytes[len] as char;
+        if c.is_ascii_digit() {
+            len += 1;
+        } else if (c == ',' || c == '.')
+            && len + 1 < bytes.len()
+            && (bytes[len + 1] as char).is_ascii_digit()
+        {
+            len += 2;
+        } else {
+            break;
+        }
+    }
+    Some((start + first, start + first + len))
+}
+
+/// Produce the perturbed variant of a labeled document. All extracted
+/// text-mention numerals are transformed; gold spans are re-mapped.
+pub fn perturb_document(ld: &LabeledDocument, p: Perturbation) -> LabeledDocument {
+    if p == Perturbation::Original {
+        return ld.clone();
+    }
+    let text = &ld.document.text;
+    let mentions = extract_quantities(text);
+
+    // Build the edit list (start, end, replacement).
+    let mut edits: Vec<(usize, usize, String)> = Vec::new();
+    for m in &mentions {
+        if let Some((ns, ne)) = numeral_range(text, m.start, m.end) {
+            if let Some(new) = perturb_numeral(&text[ns..ne], p) {
+                if new != text[ns..ne] {
+                    edits.push((ns, ne, new));
+                }
+            }
+        }
+    }
+    edits.sort_by_key(|&(s, _, _)| s);
+
+    // Apply edits and remap gold offsets through them.
+    let mut out = String::with_capacity(text.len());
+    let mut last = 0usize;
+    for &(s, e, ref rep) in &edits {
+        out.push_str(&text[last..s]);
+        out.push_str(rep);
+        last = e;
+    }
+    out.push_str(&text[last..]);
+
+    let map = |p: usize| -> usize {
+        let mut delta: i64 = 0;
+        for &(s, e, ref rep) in &edits {
+            if e <= p {
+                delta += rep.len() as i64 - (e - s) as i64;
+            } else if s < p {
+                // inside the edited range: clamp into the replacement
+                let off = (p - s).min(rep.len());
+                return (s as i64 + delta) as usize + off;
+            } else {
+                break;
+            }
+        }
+        (p as i64 + delta) as usize
+    };
+    let mut gold = ld.gold.clone();
+    for g in &mut gold {
+        g.mention_start = map(g.mention_start);
+        g.mention_end = map(g.mention_end).max(g.mention_start + 1).min(out.len());
+    }
+
+    let mut doc = ld.document.clone();
+    doc.text = out;
+    LabeledDocument { document: doc, gold }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{generate_corpus, CorpusConfig};
+
+    #[test]
+    fn paper_examples_truncated() {
+        assert_eq!(perturb_numeral("6746", Perturbation::Truncated).unwrap(), "6740");
+        assert_eq!(perturb_numeral("2.74", Perturbation::Truncated).unwrap(), "2.7");
+        assert_eq!(perturb_numeral("0.19", Perturbation::Truncated).unwrap(), "0.1");
+    }
+
+    #[test]
+    fn paper_examples_rounded() {
+        assert_eq!(perturb_numeral("6746", Perturbation::Rounded).unwrap(), "6750");
+        assert_eq!(perturb_numeral("2.74", Perturbation::Rounded).unwrap(), "2.7");
+        assert_eq!(perturb_numeral("0.19", Perturbation::Rounded).unwrap(), "0.2");
+    }
+
+    #[test]
+    fn grouping_preserved() {
+        assert_eq!(perturb_numeral("3,263", Perturbation::Truncated).unwrap(), "3,260");
+        assert_eq!(perturb_numeral("3,267", Perturbation::Rounded).unwrap(), "3,270");
+    }
+
+    #[test]
+    fn single_digits_untouched() {
+        assert_eq!(perturb_numeral("5", Perturbation::Truncated), None);
+        assert_eq!(perturb_numeral("5", Perturbation::Rounded), None);
+    }
+
+    #[test]
+    fn decimal_collapse_to_integer() {
+        assert_eq!(perturb_numeral("1.5", Perturbation::Truncated).unwrap(), "1");
+        assert_eq!(perturb_numeral("1.5", Perturbation::Rounded).unwrap(), "2");
+    }
+
+    #[test]
+    fn original_is_identity() {
+        let c = generate_corpus(&CorpusConfig::small(9));
+        let ld = &c.documents[0];
+        let same = perturb_document(ld, Perturbation::Original);
+        assert_eq!(same.document.text, ld.document.text);
+        assert_eq!(same.gold, ld.gold);
+    }
+
+    #[test]
+    fn perturbed_gold_spans_still_cover_numbers() {
+        let c = generate_corpus(&CorpusConfig::small(10));
+        for p in [Perturbation::Truncated, Perturbation::Rounded] {
+            for ld in &c.documents {
+                let out = perturb_document(ld, p);
+                assert_eq!(out.gold.len(), ld.gold.len());
+                for g in &out.gold {
+                    assert!(g.mention_end <= out.document.text.len());
+                    let slice = &out.document.text[g.mention_start..g.mention_end];
+                    assert!(
+                        slice.chars().any(|ch| ch.is_ascii_digit()),
+                        "{p:?}: gold slice {slice:?} lost its number"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tables_unchanged() {
+        let c = generate_corpus(&CorpusConfig::small(11));
+        let ld = &c.documents[0];
+        let out = perturb_document(ld, Perturbation::Truncated);
+        assert_eq!(out.document.tables, ld.document.tables);
+    }
+
+    #[test]
+    fn truncation_changes_most_multidigit_numbers() {
+        let c = generate_corpus(&CorpusConfig::small(12));
+        let mut changed = 0;
+        let mut total = 0;
+        for ld in &c.documents {
+            let out = perturb_document(ld, Perturbation::Truncated);
+            total += 1;
+            if out.document.text != ld.document.text {
+                changed += 1;
+            }
+        }
+        assert!(changed * 10 >= total * 7, "only {changed}/{total} documents changed");
+    }
+}

@@ -1,0 +1,360 @@
+//! Domain-specific table generation with full semantic metadata.
+
+use briq_table::Table;
+use rand::prelude::*;
+
+use crate::domain::{ColumnKind, Domain};
+use crate::numbers::{render_cell, sample_value};
+
+/// A generated table plus the ground-truth values behind its cells.
+#[derive(Debug, Clone)]
+pub struct GeneratedTable {
+    /// The parsed, normalized table (as the pipeline will see it).
+    pub table: Table,
+    /// Normalized value of data cell `(data_row, data_col)` (0-based in
+    /// data coordinates; add 1 to each for grid coordinates).
+    pub values: Vec<Vec<f64>>,
+    /// Column kinds per data column.
+    pub kinds: Vec<ColumnKind>,
+    /// Row-entity names per data row.
+    pub entities: Vec<String>,
+    /// Column-attribute names per data column.
+    pub attrs: Vec<String>,
+    /// Caption scale applied to money columns (1.0 when none).
+    pub scale: f64,
+}
+
+impl GeneratedTable {
+    /// Grid coordinates of data cell `(r, c)` (header row/col offset).
+    pub fn grid_pos(&self, r: usize, c: usize) -> (usize, usize) {
+        (r + 1, c + 1)
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of data columns.
+    pub fn n_cols(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Data columns suitable as aggregate targets (counts and money).
+    pub fn aggregatable_cols(&self) -> Vec<usize> {
+        (0..self.n_cols())
+            .filter(|&c| {
+                !matches!(self.kinds[c], ColumnKind::Percent | ColumnKind::Rating)
+            })
+            .collect()
+    }
+}
+
+/// Table-generation knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct TableGenConfig {
+    /// Probability that a money table gets an `(in $ Millions)` caption
+    /// (cells then hold small numbers that normalize ×1e6 — Fig. 1c).
+    pub caption_scale_rate: f64,
+    /// Probability of duplicating one value into another cell of the same
+    /// column (same-value collision, Fig. 6a).
+    pub collision_rate: f64,
+    /// For twin tables (Fig. 3): probability that each cell of the twin
+    /// copies the corresponding cell of the base table, creating
+    /// cross-table same-value collisions only joint inference can break.
+    pub twin_copy_rate: f64,
+}
+
+impl Default for TableGenConfig {
+    fn default() -> Self {
+        TableGenConfig { caption_scale_rate: 0.35, collision_rate: 0.3, twin_copy_rate: 0.6 }
+    }
+}
+
+/// Generate one table for `domain`.
+pub fn generate_table(
+    domain: Domain,
+    cfg: &TableGenConfig,
+    rng: &mut impl Rng,
+) -> GeneratedTable {
+    let (want_rows, want_cols) = domain.table_shape();
+    // jitter the shape slightly (±1) but stay within vocabulary bounds
+    let n_rows = (want_rows as i64 + rng.random_range(-1..=1)).max(2) as usize;
+    let n_rows = n_rows.min(domain.entities().len());
+    let n_cols = (want_cols as i64 + rng.random_range(-1..=1)).max(2) as usize;
+    let n_cols = n_cols.min(domain.attributes().len());
+
+    // pick entities and attributes without replacement
+    let mut entities: Vec<&str> = domain.entities().to_vec();
+    entities.shuffle(rng);
+    entities.truncate(n_rows);
+    let mut attrs: Vec<(&str, ColumnKind)> = domain.attributes().to_vec();
+    attrs.shuffle(rng);
+    attrs.truncate(n_cols);
+
+    // Caption scale only for tables where every non-percent column is
+    // monetary: the normalizer applies a caption scale hint to *all*
+    // unitless cells, so mixing scaled money with unscaled counts would
+    // corrupt the count columns.
+    let all_money = attrs
+        .iter()
+        .all(|&(_, k)| matches!(k, ColumnKind::Money | ColumnKind::Percent))
+        && attrs.iter().any(|&(_, k)| k == ColumnKind::Money);
+    let scaled = all_money && rng.random_bool(cfg.caption_scale_rate);
+    let (caption, scale) = if scaled {
+        (format!("{} figures (in $ Millions)", domain.name()), 1e6)
+    } else {
+        (format!("{} statistics", domain.name()), 1.0)
+    };
+
+    // sample raw values; a literal "total" column sums the counts before it
+    let mut raw: Vec<Vec<f64>> = Vec::with_capacity(n_rows);
+    for _ in 0..n_rows {
+        let mut row: Vec<f64> = attrs.iter().map(|&(_, k)| sample_value(k, rng)).collect();
+        for (c, &(name, _)) in attrs.iter().enumerate() {
+            if name.eq_ignore_ascii_case("total") {
+                let sum: f64 = attrs
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, &(n2, k2))| {
+                        i != c && !n2.eq_ignore_ascii_case("total")
+                            && matches!(k2, ColumnKind::Count | ColumnKind::SmallCount)
+                    })
+                    .map(|(i, _)| row[i])
+                    .sum();
+                if sum > 0.0 {
+                    row[c] = sum;
+                }
+            }
+        }
+        raw.push(row);
+    }
+
+    // same-value collisions within columns (Fig. 6a): each column may
+    // duplicate one of its values into another row
+    if n_rows >= 2 {
+        for c in 0..n_cols {
+            if rng.random_bool(cfg.collision_rate) {
+                let a = rng.random_range(0..n_rows);
+                let mut b = rng.random_range(0..n_rows);
+                if a == b {
+                    b = (b + 1) % n_rows;
+                }
+                raw[b][c] = raw[a][c];
+            }
+        }
+    }
+
+    let entities: Vec<String> = entities.iter().map(|s| s.to_string()).collect();
+    let attrs: Vec<(String, ColumnKind)> =
+        attrs.iter().map(|&(a, k)| (a.to_string(), k)).collect();
+    assemble(&caption, entities, attrs, raw, scale)
+}
+
+/// Build the twin of `base` (Fig. 3): identical attributes and entities,
+/// fresh values, with each cell copied from the base with probability
+/// `cfg.twin_copy_rate` — the cross-table same-value collisions that make
+/// purely local resolution fail.
+pub fn twin_table(base: &GeneratedTable, cfg: &TableGenConfig, rng: &mut impl Rng) -> GeneratedTable {
+    let n_rows = base.n_rows();
+    let n_cols = base.n_cols();
+    let mut raw: Vec<Vec<f64>> = (0..n_rows)
+        .map(|r| {
+            (0..n_cols)
+                .map(|c| {
+                    if rng.random_bool(cfg.twin_copy_rate) {
+                        base.values[r][c] / if base.kinds[c] == ColumnKind::Money { base.scale } else { 1.0 }
+                    } else {
+                        sample_value(base.kinds[c], rng)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    // keep literal "total" columns consistent in the twin as well
+    for (c, name) in base.attrs.iter().enumerate() {
+        if name.eq_ignore_ascii_case("total") {
+            for row in raw.iter_mut() {
+                let sum: f64 = base
+                    .kinds
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, k)| {
+                        i != c && matches!(k, ColumnKind::Count | ColumnKind::SmallCount)
+                    })
+                    .map(|(i, _)| row[i])
+                    .sum();
+                if sum > 0.0 {
+                    row[c] = sum;
+                }
+            }
+        }
+    }
+    let caption = format!("{} — segment B", base.table.caption);
+    let attrs: Vec<(String, ColumnKind)> =
+        base.attrs.iter().cloned().zip(base.kinds.iter().copied()).collect();
+    assemble(&caption, base.entities.clone(), attrs, raw, base.scale)
+}
+
+/// Assemble a [`GeneratedTable`] from its parts. `raw` holds the numbers
+/// as written in the cells; money columns normalize by `scale`.
+fn assemble(
+    caption: &str,
+    entities: Vec<String>,
+    attrs: Vec<(String, ColumnKind)>,
+    raw: Vec<Vec<f64>>,
+    scale: f64,
+) -> GeneratedTable {
+    let mut grid: Vec<Vec<String>> = Vec::with_capacity(raw.len() + 1);
+    let mut header = vec![String::new()];
+    header.extend(attrs.iter().map(|(a, _)| a.clone()));
+    grid.push(header);
+    for (r, entity) in entities.iter().enumerate() {
+        let mut row = vec![entity.clone()];
+        for (c, &(_, kind)) in attrs.iter().enumerate() {
+            row.push(render_cell(raw[r][c], kind));
+        }
+        grid.push(row);
+    }
+
+    let table = Table::from_grid(caption, grid);
+
+    // normalized values: money columns scale by the caption factor
+    let values: Vec<Vec<f64>> = raw
+        .iter()
+        .map(|row| {
+            row.iter()
+                .enumerate()
+                .map(|(c, &v)| if attrs[c].1 == ColumnKind::Money { v * scale } else { v })
+                .collect()
+        })
+        .collect();
+
+    GeneratedTable {
+        table,
+        values,
+        kinds: attrs.iter().map(|&(_, k)| k).collect(),
+        entities,
+        attrs: attrs.into_iter().map(|(a, _)| a).collect(),
+        scale,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn generated_table_parses_consistently() {
+        let mut rng = rng();
+        for domain in Domain::ALL {
+            for _ in 0..10 {
+                let g = generate_table(domain, &TableGenConfig::default(), &mut rng);
+                assert_eq!(g.table.header_rows, 1, "{domain:?}");
+                assert_eq!(g.table.header_cols, 1, "{domain:?}");
+                for r in 0..g.n_rows() {
+                    for c in 0..g.n_cols() {
+                        let (gr, gc) = g.grid_pos(r, c);
+                        let q = g.table.quantity(gr, gc).unwrap_or_else(|| {
+                            panic!("{domain:?} cell ({gr},{gc}) must parse")
+                        });
+                        assert!(
+                            (q.value - g.values[r][c]).abs() < 1e-6 * g.values[r][c].abs().max(1.0),
+                            "{domain:?} ({gr},{gc}): parsed {} vs truth {}",
+                            q.value,
+                            g.values[r][c]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shapes_near_domain_targets() {
+        let mut rng = rng();
+        let g = generate_table(Domain::Sports, &TableGenConfig::default(), &mut rng);
+        let (want_r, want_c) = Domain::Sports.table_shape();
+        assert!((g.n_rows() as i64 - want_r as i64).abs() <= 1);
+        assert!((g.n_cols() as i64 - want_c as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn caption_scale_applied() {
+        let mut rng = rng();
+        let cfg = TableGenConfig { caption_scale_rate: 1.0, collision_rate: 0.0, ..Default::default() };
+        // finance always has money columns
+        let g = generate_table(Domain::Finance, &cfg, &mut rng);
+        assert_eq!(g.scale, 1e6);
+        // a money cell's normalized value carries the scale
+        let money_col = g.kinds.iter().position(|&k| k == ColumnKind::Money);
+        if let Some(c) = money_col {
+            let (gr, gc) = g.grid_pos(0, c);
+            let q = g.table.quantity(gr, gc).unwrap();
+            assert!((q.value - g.values[0][c]).abs() < 1e-3);
+            assert!(q.value >= 1e6, "scaled money value, got {}", q.value);
+        }
+    }
+
+    #[test]
+    fn collisions_duplicate_values() {
+        let mut rng = rng();
+        let cfg = TableGenConfig { caption_scale_rate: 0.0, collision_rate: 1.0, ..Default::default() };
+        let mut found = false;
+        for _ in 0..10 {
+            let g = generate_table(Domain::Politics, &cfg, &mut rng);
+            for c in 0..g.n_cols() {
+                let mut vals: Vec<u64> =
+                    (0..g.n_rows()).map(|r| g.values[r][c].to_bits()).collect();
+                let before = vals.len();
+                vals.sort_unstable();
+                vals.dedup();
+                if vals.len() < before {
+                    found = true;
+                }
+            }
+        }
+        assert!(found, "collisions should appear with rate 1.0");
+    }
+
+    #[test]
+    fn aggregatable_cols_exclude_percent_and_rating() {
+        let mut rng = rng();
+        let g = generate_table(Domain::Environment, &TableGenConfig::default(), &mut rng);
+        for c in g.aggregatable_cols() {
+            assert!(!matches!(g.kinds[c], ColumnKind::Percent | ColumnKind::Rating));
+        }
+    }
+
+    #[test]
+    fn health_total_column_sums() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..20 {
+            let g = generate_table(
+                Domain::Health,
+                &TableGenConfig { caption_scale_rate: 0.0, collision_rate: 0.0, ..Default::default() },
+                &mut rng,
+            );
+            if let Some(tc) = g.attrs.iter().position(|a| a == "total") {
+                for r in 0..g.n_rows() {
+                    let expect: f64 = (0..g.n_cols())
+                        .filter(|&c| c != tc)
+                        .filter(|&c| {
+                            matches!(g.kinds[c], ColumnKind::Count | ColumnKind::SmallCount)
+                        })
+                        .map(|c| g.values[r][c])
+                        .sum();
+                    if expect > 0.0 {
+                        assert_eq!(g.values[r][tc], expect);
+                    }
+                }
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,517 @@
+//! Paragraph synthesis with exact gold alignments.
+//!
+//! Every quantity written into the text records a [`GoldAlignment`] span,
+//! so generated corpora come with perfect ground truth — the role the 8
+//! hired annotators played for the paper's `tableS` (§VII-A).
+
+use briq_core::GoldAlignment;
+use briq_table::TableMentionKind;
+use briq_text::cues::AggregationKind;
+use rand::prelude::*;
+
+use crate::domain::{ColumnKind, Domain};
+use crate::numbers::{render_mention, MentionStyle};
+use crate::tablegen::GeneratedTable;
+
+/// Text-rendering knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct TextGenConfig {
+    /// Probability that a sentence names the row entity.
+    pub entity_hint_rate: f64,
+    /// Probability that a sentence names the column attribute.
+    pub attr_hint_rate: f64,
+    /// Probability of an explicit approximation cue before approximate
+    /// surfaces ("about", "nearly").
+    pub approx_cue_rate: f64,
+    /// Probability of rendering the unit with the mention (`$`, noun).
+    pub unit_rate: f64,
+}
+
+impl Default for TextGenConfig {
+    fn default() -> Self {
+        TextGenConfig {
+            entity_hint_rate: 0.45,
+            attr_hint_rate: 0.30,
+            approx_cue_rate: 0.6,
+            unit_rate: 0.6,
+        }
+    }
+}
+
+/// What a sentence should reference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MentionPlan {
+    /// One data cell `(table, data_row, data_col)`.
+    Single { table: usize, row: usize, col: usize },
+    /// Sum over a data column.
+    Sum { table: usize, col: usize },
+    /// Difference of two cells in the same data row.
+    Diff { table: usize, row: usize, col_a: usize, col_b: usize },
+    /// Percentage of two cells in the same data column.
+    Percent { table: usize, col: usize, row_num: usize, row_den: usize },
+    /// Change ratio of two cells in the same data row.
+    Ratio { table: usize, row: usize, col_new: usize, col_old: usize },
+    /// A number that refers to no table.
+    Distractor,
+    /// A ranking reference: the minimum or maximum of a data column
+    /// (extended aggregates, §II-A).
+    Ranking {
+        /// Table index.
+        table: usize,
+        /// Data column.
+        col: usize,
+        /// Max (true) or min (false).
+        maximum: bool,
+    },
+}
+
+/// Incremental text builder that records gold spans.
+struct Builder {
+    text: String,
+    gold: Vec<GoldAlignment>,
+}
+
+impl Builder {
+    fn push(&mut self, s: &str) {
+        self.text.push_str(s);
+    }
+
+    fn push_mention(
+        &mut self,
+        surface: &str,
+        table: usize,
+        kind: TableMentionKind,
+        cells: Vec<(usize, usize)>,
+    ) {
+        let start = self.text.len();
+        self.text.push_str(surface);
+        self.gold.push(GoldAlignment {
+            mention_start: start,
+            mention_end: self.text.len(),
+            table,
+            kind,
+            cells,
+        });
+    }
+
+    fn push_plain_number(&mut self, surface: &str) {
+        self.text.push_str(surface);
+    }
+}
+
+const APPROX_CUES: [&str; 3] = ["about ", "nearly ", "approximately "];
+
+fn fmt_pct(v: f64) -> String {
+    let s = format!("{v:.1}");
+    s.trim_end_matches('0').trim_end_matches('.').to_string()
+}
+
+/// Render a document's paragraph for `tables` following `plans`.
+/// Returns the text and its gold alignments.
+pub fn render_document(
+    domain: Domain,
+    tables: &[GeneratedTable],
+    plans: &[MentionPlan],
+    cfg: &TextGenConfig,
+    rng: &mut impl Rng,
+) -> (String, Vec<GoldAlignment>) {
+    let mut b = Builder { text: String::new(), gold: Vec::new() };
+
+    // Topical opener so segmentation has overlap to work with.
+    let opener = domain.filler()[rng.random_range(0..domain.filler().len())];
+    b.push(&capitalize(opener));
+    b.push(". ");
+
+    for (i, plan) in plans.iter().enumerate() {
+        render_plan(domain, tables, *plan, cfg, rng, &mut b);
+        // occasional filler between sentences
+        if rng.random_bool(0.25) && i + 1 < plans.len() {
+            let f = domain.filler()[rng.random_range(0..domain.filler().len())];
+            b.push(&capitalize(f));
+            b.push(". ");
+        }
+    }
+    let text = b.text.trim_end().to_string();
+    (text, b.gold)
+}
+
+fn capitalize(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) => c.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+/// Pick a mention style appropriate to a value. Approximate renderings
+/// are frequent — "such approximate mentions are frequent" (§I).
+fn pick_style(v: f64, rng: &mut impl Rng) -> MentionStyle {
+    let roll: f64 = rng.random_range(0.0..1.0);
+    if roll < 0.26 {
+        MentionStyle::Exact
+    } else if roll < 0.38 {
+        MentionStyle::Plain
+    } else if roll < 0.58 && v.abs() >= 1e6 {
+        MentionStyle::ScaleWord
+    } else if roll < 0.72 && v.abs() >= 1e4 {
+        MentionStyle::SuffixK
+    } else if roll < 0.80 {
+        MentionStyle::TruncatedDigit
+    } else if roll < 0.88 {
+        MentionStyle::RoundedDigit
+    } else {
+        MentionStyle::Approximate
+    }
+}
+
+fn render_plan(
+    domain: Domain,
+    tables: &[GeneratedTable],
+    plan: MentionPlan,
+    cfg: &TextGenConfig,
+    rng: &mut impl Rng,
+    b: &mut Builder,
+) {
+    match plan {
+        MentionPlan::Single { table, row, col } => {
+            let g = &tables[table];
+            let value = g.values[row][col];
+            let kind = g.kinds[col];
+            let cell_surface = {
+                let (gr, gc) = g.grid_pos(row, col);
+                g.table.cells[gr][gc].clone()
+            };
+            let style =
+                if kind == ColumnKind::Percent || kind == ColumnKind::Rating {
+                    MentionStyle::Exact
+                } else {
+                    pick_style(value, rng)
+                };
+            let (surface, approx) = render_mention(value, style, &cell_surface);
+
+            let entity_hint = rng.random_bool(cfg.entity_hint_rate);
+            let attr_hint = rng.random_bool(cfg.attr_hint_rate);
+            // Real prose around single-cell quantities is littered with
+            // words that double as aggregation cues ("up", "overall",
+            // "growth"); sprinkle them in so cue features are noisy.
+            let misleading = rng.random_bool(0.35);
+            if misleading && rng.random_bool(0.5) {
+                b.push("Overall, ");
+            }
+            if entity_hint {
+                b.push(&capitalize(&g.entities[row]));
+                b.push(" recorded ");
+            } else {
+                b.push("The figure reached ");
+            }
+            if approx && rng.random_bool(cfg.approx_cue_rate) {
+                b.push(APPROX_CUES[rng.random_range(0..APPROX_CUES.len())]);
+            }
+            let with_unit = rng.random_bool(cfg.unit_rate);
+            let (prefix, suffix) = decorations(kind, domain, with_unit);
+            let full = format!("{prefix}{surface}{suffix}");
+            let (gr, gc) = g.grid_pos(row, col);
+            b.push_mention(&full, table, TableMentionKind::SingleCell, vec![(gr, gc)]);
+            if attr_hint {
+                b.push(" in ");
+                b.push(&g.attrs[col]);
+            }
+            if misleading {
+                let tails = [
+                    ", up on the year",
+                    ", a growth the report highlights",
+                    " compared with earlier estimates",
+                    ", its share of the overall market",
+                ];
+                b.push(tails[rng.random_range(0..tails.len())]);
+            }
+            b.push(". ");
+        }
+        MentionPlan::Sum { table, col } => {
+            let g = &tables[table];
+            let total: f64 = (0..g.n_rows()).map(|r| g.values[r][col]).sum();
+            let cells: Vec<(usize, usize)> =
+                (0..g.n_rows()).map(|r| g.grid_pos(r, col)).collect();
+            // Large totals are often written approximately; small counts
+            // exactly ("a total of 123 patients").
+            let style = if total.abs() >= 1e4 { pick_style(total, rng) } else { MentionStyle::Plain };
+            let (surface, approx) = render_mention(total, style, &format!("{total}"));
+            let kind = g.kinds[col];
+            let with_unit = rng.random_bool(cfg.unit_rate);
+            let (prefix, suffix) = decorations(kind, domain, with_unit);
+            // A quarter of sum references come without any lexical cue —
+            // the tagger legitimately misses those (its recall cost,
+            // §V-A).
+            let cued = rng.random_bool(0.75);
+            if cued {
+                b.push("A total of ");
+            } else {
+                b.push("The sheet closes at ");
+            }
+            if approx && rng.random_bool(cfg.approx_cue_rate) {
+                b.push(APPROX_CUES[rng.random_range(0..APPROX_CUES.len())]);
+            }
+            b.push_mention(
+                &format!("{prefix}{surface}{suffix}"),
+                table,
+                TableMentionKind::Aggregate(AggregationKind::Sum),
+                cells,
+            );
+            if rng.random_bool(cfg.attr_hint_rate) {
+                b.push(" was recorded for ");
+                b.push(&g.attrs[col]);
+            }
+            if cued {
+                b.push(" overall");
+            }
+            b.push(". ");
+        }
+        MentionPlan::Diff { table, row, col_a, col_b } => {
+            let g = &tables[table];
+            let d = (g.values[row][col_a] - g.values[row][col_b]).abs();
+            let style = pick_style(d, rng);
+            let (surface, approx) = render_mention(d, style, &format!("{d}"));
+            let kind = g.kinds[col_a];
+            let (prefix, suffix) = decorations(kind, domain, rng.random_bool(cfg.unit_rate));
+            if rng.random_bool(cfg.entity_hint_rate) {
+                b.push(&capitalize(&g.entities[row]));
+            } else {
+                b.push("The result");
+            }
+            b.push(" was up ");
+            if approx && rng.random_bool(cfg.approx_cue_rate) {
+                b.push(APPROX_CUES[rng.random_range(0..APPROX_CUES.len())]);
+            }
+            b.push_mention(
+                &format!("{prefix}{surface}{suffix}"),
+                table,
+                TableMentionKind::Aggregate(AggregationKind::Difference),
+                vec![g.grid_pos(row, col_a), g.grid_pos(row, col_b)],
+            );
+            b.push(" compared with ");
+            b.push(&g.attrs[col_b]);
+            b.push(". ");
+        }
+        MentionPlan::Percent { table, col, row_num, row_den } => {
+            let g = &tables[table];
+            let pct = g.values[row_num][col] / g.values[row_den][col] * 100.0;
+            let surface = fmt_pct(pct);
+            if rng.random_bool(cfg.entity_hint_rate) {
+                b.push(&capitalize(&g.entities[row_num]));
+            } else {
+                b.push("That group");
+            }
+            b.push(" accounted for a share of ");
+            b.push_mention(
+                &format!("{surface}%"),
+                table,
+                TableMentionKind::Aggregate(AggregationKind::Percentage),
+                vec![g.grid_pos(row_num, col), g.grid_pos(row_den, col)],
+            );
+            b.push(" of ");
+            b.push(&g.entities[row_den]);
+            if rng.random_bool(cfg.attr_hint_rate) {
+                b.push(" in ");
+                b.push(&g.attrs[col]);
+            }
+            b.push(". ");
+        }
+        MentionPlan::Ratio { table, row, col_new, col_old } => {
+            let g = &tables[table];
+            let (vn, vo) = (g.values[row][col_new], g.values[row][col_old]);
+            if vn == 0.0 {
+                return;
+            }
+            let ratio = ((vn - vo) / vn * 100.0).abs();
+            let surface = fmt_pct(ratio);
+            if rng.random_bool(cfg.entity_hint_rate) {
+                b.push(&capitalize(&g.entities[row]));
+            } else {
+                b.push("The figure");
+            }
+            b.push(" increased by ");
+            b.push_mention(
+                &format!("{surface}%"),
+                table,
+                TableMentionKind::Aggregate(AggregationKind::ChangeRatio),
+                vec![g.grid_pos(row, col_new), g.grid_pos(row, col_old)],
+            );
+            b.push(" compared with ");
+            b.push(&g.attrs[col_old]);
+            b.push(". ");
+        }
+        MentionPlan::Ranking { table, col, maximum } => {
+            let g = &tables[table];
+            let values: Vec<f64> = (0..g.n_rows()).map(|r| g.values[r][col]).collect();
+            let v = if maximum {
+                values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            } else {
+                values.iter().copied().fold(f64::INFINITY, f64::min)
+            };
+            let cells: Vec<(usize, usize)> =
+                (0..g.n_rows()).map(|r| g.grid_pos(r, col)).collect();
+            let (surface, _) = render_mention(v, MentionStyle::Plain, &format!("{v}"));
+            b.push(if maximum { "The highest figure" } else { "The lowest figure" });
+            if rng.random_bool(cfg.attr_hint_rate) {
+                b.push(" in ");
+                b.push(&g.attrs[col]);
+            }
+            b.push(" was ");
+            let kind = g.kinds[col];
+            let (prefix, suffix) = decorations(kind, domain, rng.random_bool(cfg.unit_rate));
+            b.push_mention(
+                &format!("{prefix}{surface}{suffix}"),
+                table,
+                TableMentionKind::Aggregate(if maximum {
+                    AggregationKind::Max
+                } else {
+                    AggregationKind::Min
+                }),
+                cells,
+            );
+            b.push(". ");
+        }
+        MentionPlan::Distractor => {
+            // A quantity referring to nothing in the tables.
+            let v = rng.random_range(3..800);
+            let templates = [
+                format!("The briefing lasted {v} minutes"),
+                format!("The venue seats {v} visitors"),
+                format!("Registration costs {v} dollars at the door"),
+            ];
+            let t = &templates[rng.random_range(0..templates.len())];
+            b.push_plain_number(t);
+            b.push(". ");
+        }
+    }
+}
+
+/// Unit decorations around a mention surface.
+fn decorations(kind: ColumnKind, domain: Domain, with_unit: bool) -> (String, String) {
+    if !with_unit {
+        return (String::new(), String::new());
+    }
+    match kind {
+        ColumnKind::Money => ("$".to_string(), String::new()),
+        ColumnKind::Percent => (String::new(), "%".to_string()),
+        ColumnKind::Rating => (String::new(), String::new()),
+        _ => (String::new(), format!(" {}", domain.count_noun())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tablegen::{generate_table, TableGenConfig};
+    use briq_text::extract_quantities;
+    use rand::rngs::StdRng;
+
+    fn setup(seed: u64) -> (GeneratedTable, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generate_table(
+            Domain::Health,
+            &TableGenConfig { caption_scale_rate: 0.0, collision_rate: 0.0, ..Default::default() },
+            &mut rng,
+        );
+        (g, rng)
+    }
+
+    #[test]
+    fn gold_spans_cover_real_quantities() {
+        let (g, mut rng) = setup(3);
+        let plans = vec![
+            MentionPlan::Single { table: 0, row: 0, col: 0 },
+            MentionPlan::Sum { table: 0, col: 0 },
+            MentionPlan::Distractor,
+        ];
+        let (text, gold) =
+            render_document(Domain::Health, &[g], &plans, &TextGenConfig::default(), &mut rng);
+        assert_eq!(gold.len(), 2); // distractor records no gold
+        let mentions = extract_quantities(&text);
+        for ga in &gold {
+            let covered = mentions
+                .iter()
+                .any(|m| m.start < ga.mention_end && ga.mention_start < m.end);
+            assert!(covered, "gold span {:?} not extracted from {text:?}", ga);
+        }
+    }
+
+    #[test]
+    fn sum_gold_covers_whole_column() {
+        let (g, mut rng) = setup(4);
+        let n = g.n_rows();
+        let plans = vec![MentionPlan::Sum { table: 0, col: 1 }];
+        let (_, gold) =
+            render_document(Domain::Health, &[g], &plans, &TextGenConfig::default(), &mut rng);
+        assert_eq!(gold[0].cells.len(), n);
+        assert_eq!(gold[0].kind, TableMentionKind::Aggregate(AggregationKind::Sum));
+    }
+
+    #[test]
+    fn pair_aggregates_have_two_cells() {
+        let (g, mut rng) = setup(5);
+        let plans = vec![
+            MentionPlan::Diff { table: 0, row: 0, col_a: 0, col_b: 1 },
+            MentionPlan::Percent { table: 0, col: 0, row_num: 0, row_den: 1 },
+            MentionPlan::Ratio { table: 0, row: 0, col_new: 0, col_old: 1 },
+        ];
+        let (text, gold) =
+            render_document(Domain::Health, &[g], &plans, &TextGenConfig::default(), &mut rng);
+        assert_eq!(gold.len(), 3, "{text:?}");
+        for ga in &gold {
+            assert_eq!(ga.cells.len(), 2);
+        }
+        assert_eq!(gold[0].kind, TableMentionKind::Aggregate(AggregationKind::Difference));
+        assert_eq!(gold[1].kind, TableMentionKind::Aggregate(AggregationKind::Percentage));
+        assert_eq!(gold[2].kind, TableMentionKind::Aggregate(AggregationKind::ChangeRatio));
+    }
+
+    #[test]
+    fn spans_match_text_slices() {
+        let (g, mut rng) = setup(6);
+        let plans = vec![
+            MentionPlan::Single { table: 0, row: 1, col: 1 },
+            MentionPlan::Sum { table: 0, col: 1 },
+        ];
+        let (text, gold) =
+            render_document(Domain::Health, &[g], &plans, &TextGenConfig::default(), &mut rng);
+        for ga in &gold {
+            let slice = &text[ga.mention_start..ga.mention_end];
+            assert!(
+                slice.chars().any(|c| c.is_ascii_digit()),
+                "span {slice:?} should contain digits"
+            );
+        }
+    }
+
+    #[test]
+    fn cue_words_present_for_aggregates() {
+        let (g, mut rng) = setup(7);
+        let (text, _) = render_document(
+            Domain::Health,
+            &[g.clone()],
+            &[MentionPlan::Sum { table: 0, col: 0 }],
+            &TextGenConfig::default(),
+            &mut rng,
+        );
+        assert!(text.to_lowercase().contains("total"), "{text:?}");
+        let (text, _) = render_document(
+            Domain::Health,
+            &[g],
+            &[MentionPlan::Ratio { table: 0, row: 0, col_new: 0, col_old: 1 }],
+            &TextGenConfig::default(),
+            &mut rng,
+        );
+        assert!(text.contains("increased by"), "{text:?}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (g1, mut r1) = setup(8);
+        let (g2, mut r2) = setup(8);
+        let plans = vec![MentionPlan::Single { table: 0, row: 0, col: 0 }];
+        let a = render_document(Domain::Health, &[g1], &plans, &TextGenConfig::default(), &mut r1);
+        let b = render_document(Domain::Health, &[g2], &plans, &TextGenConfig::default(), &mut r2);
+        assert_eq!(a.0, b.0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property/invariant tests for the corpus generator: gold alignments
+//! must always be realizable by the pipeline's own target generation.
+
+use briq_core::training::matches_target;
+use briq_corpus::corpus::{generate_corpus, CorpusConfig, MentionWeights};
+use briq_corpus::perturb::{perturb_document, perturb_numeral, Perturbation};
+use briq_corpus::tablegen::{generate_table, twin_table, TableGenConfig};
+use briq_corpus::Domain;
+use briq_table::virtual_cells::{all_table_mentions, VirtualCellConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every gold alignment of every seed has a generated target and a
+    /// span that the text extractor covers.
+    #[test]
+    fn gold_is_always_realizable(seed in 0u64..5000) {
+        let cfg = CorpusConfig { n_documents: 8, seed, ..Default::default() };
+        let corpus = generate_corpus(&cfg);
+        let vc = VirtualCellConfig::default();
+        for ld in &corpus.documents {
+            let targets = all_table_mentions(&ld.document.tables, &vc);
+            let mentions = briq_text::extract_quantities(&ld.document.text);
+            for g in &ld.gold {
+                prop_assert!(
+                    targets.iter().any(|t| matches_target(g, t)),
+                    "seed {seed}: gold {g:?} has no target"
+                );
+                prop_assert!(
+                    mentions.iter().any(|m| m.start < g.mention_end && g.mention_start < m.end),
+                    "seed {seed}: gold span not extracted in {:?}",
+                    ld.document.text
+                );
+            }
+        }
+    }
+
+    /// Twin tables share shape and copy values at the configured rate.
+    #[test]
+    fn twins_share_structure(seed in 0u64..5000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = TableGenConfig { twin_copy_rate: 1.0, ..Default::default() };
+        let base = generate_table(Domain::Sports, &cfg, &mut rng);
+        let twin = twin_table(&base, &cfg, &mut rng);
+        prop_assert_eq!(twin.n_rows(), base.n_rows());
+        prop_assert_eq!(twin.n_cols(), base.n_cols());
+        prop_assert_eq!(&twin.attrs, &base.attrs);
+        // copy rate 1.0 → all non-"total" cells equal
+        for r in 0..base.n_rows() {
+            for c in 0..base.n_cols() {
+                if !base.attrs[c].eq_ignore_ascii_case("total") {
+                    prop_assert_eq!(twin.values[r][c], base.values[r][c]);
+                }
+            }
+        }
+    }
+
+    /// Perturbed numerals stay numerals and move the value by at most one
+    /// unit of the removed digit's place.
+    #[test]
+    fn perturbation_bounds(v in 10u32..10_000_000) {
+        let s = v.to_string();
+        for p in [Perturbation::Truncated, Perturbation::Rounded] {
+            let out = perturb_numeral(&s, p).unwrap();
+            let parsed: f64 = out.parse().unwrap();
+            prop_assert!((parsed - v as f64).abs() <= 10.0, "{s} -> {out}");
+            // ones digit is zeroed
+            prop_assert_eq!(parsed as i64 % 10, 0);
+        }
+    }
+
+    /// Document perturbation preserves gold counts and table contents.
+    #[test]
+    fn perturbation_preserves_structure(seed in 0u64..3000) {
+        let cfg = CorpusConfig { n_documents: 4, seed, ..Default::default() };
+        let corpus = generate_corpus(&cfg);
+        for ld in &corpus.documents {
+            for p in Perturbation::ALL {
+                let out = perturb_document(ld, p);
+                prop_assert_eq!(out.gold.len(), ld.gold.len());
+                prop_assert_eq!(&out.document.tables, &ld.document.tables);
+            }
+        }
+    }
+
+    /// Ranking weights generate min/max gold when requested.
+    #[test]
+    fn ranking_weight_generates_extended_gold(seed in 0u64..1000) {
+        let cfg = CorpusConfig {
+            n_documents: 30,
+            seed,
+            weights: MentionWeights { ranking: 0.4, single: 0.4, ..Default::default() },
+            ..Default::default()
+        };
+        let corpus = generate_corpus(&cfg);
+        let has_ranking = corpus.documents.iter().flat_map(|d| &d.gold).any(|g| {
+            matches!(g.kind.name(), "min" | "max")
+        });
+        prop_assert!(has_ranking, "seed {seed} produced no ranking gold");
+        // and those targets exist with extended virtual cells enabled
+        let vc = VirtualCellConfig { extended: true, ..Default::default() };
+        for ld in &corpus.documents {
+            let targets = all_table_mentions(&ld.document.tables, &vc);
+            for g in ld.gold.iter().filter(|g| matches!(g.kind.name(), "min" | "max")) {
+                prop_assert!(targets.iter().any(|t| matches_target(g, t)));
+            }
+        }
+    }
+}

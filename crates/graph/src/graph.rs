@@ -1,0 +1,169 @@
+//! Undirected edge-weighted graph with adjacency lists.
+//!
+//! Nodes are dense `usize` ids. Supports the operations Algorithm 1 needs:
+//! weighted edge insertion, edge deletion after an alignment decision, and
+//! row-stochastic transition probabilities for the walker.
+
+/// An undirected weighted graph.
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    adj: Vec<Vec<(usize, f64)>>,
+}
+
+impl Graph {
+    /// Create a graph with `n` isolated nodes.
+    pub fn new(n: usize) -> Self {
+        Graph { adj: vec![Vec::new(); n] }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Add a node, returning its id.
+    pub fn add_node(&mut self) -> usize {
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
+
+    /// Add (or accumulate onto) the undirected edge `a – b` with weight
+    /// `w > 0`. Self-loops are ignored.
+    pub fn add_edge(&mut self, a: usize, b: usize, w: f64) {
+        assert!(a < self.len() && b < self.len(), "node out of range");
+        if a == b || !(w > 0.0) || !w.is_finite() {
+            return;
+        }
+        match self.adj[a].iter_mut().find(|(n, _)| *n == b) {
+            Some((_, ew)) => {
+                *ew += w;
+                if let Some((_, ew2)) = self.adj[b].iter_mut().find(|(n, _)| *n == a) {
+                    *ew2 += w;
+                }
+            }
+            None => {
+                self.adj[a].push((b, w));
+                self.adj[b].push((a, w));
+            }
+        }
+    }
+
+    /// Remove the edge `a – b` if present. Returns true when removed.
+    pub fn remove_edge(&mut self, a: usize, b: usize) -> bool {
+        let mut removed = false;
+        if a < self.len() {
+            let before = self.adj[a].len();
+            self.adj[a].retain(|&(n, _)| n != b);
+            removed = self.adj[a].len() != before;
+        }
+        if b < self.len() {
+            self.adj[b].retain(|&(n, _)| n != a);
+        }
+        removed
+    }
+
+    /// Weight of edge `a – b`, if present.
+    pub fn edge_weight(&self, a: usize, b: usize) -> Option<f64> {
+        self.adj.get(a)?.iter().find(|&&(n, _)| n == b).map(|&(_, w)| w)
+    }
+
+    /// Neighbors of `a` with raw edge weights.
+    pub fn neighbors(&self, a: usize) -> &[(usize, f64)] {
+        &self.adj[a]
+    }
+
+    /// Total outgoing weight of `a` (0 for isolated nodes).
+    pub fn weight_sum(&self, a: usize) -> f64 {
+        self.adj[a].iter().map(|&(_, w)| w).sum()
+    }
+
+    /// Degree (number of incident edges) of `a`.
+    pub fn degree(&self, a: usize) -> usize {
+        self.adj[a].len()
+    }
+
+    /// Number of undirected edges in the graph.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Transition probabilities from `a` — the stochastic normalization of
+    /// §VI-A ("dividing each node's outgoing weights by the total weight
+    /// of these edges"). Empty for isolated nodes.
+    pub fn transitions(&self, a: usize) -> Vec<(usize, f64)> {
+        let total = self.weight_sum(a);
+        if total <= 0.0 {
+            return Vec::new();
+        }
+        self.adj[a].iter().map(|&(n, w)| (n, w / total)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 2.0);
+        g.add_edge(1, 2, 3.0);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.edge_weight(0, 1), Some(2.0));
+        assert_eq!(g.edge_weight(1, 0), Some(2.0));
+        assert_eq!(g.edge_weight(0, 2), None);
+        assert_eq!(g.weight_sum(1), 5.0);
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    fn parallel_edges_accumulate() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(0, 1, 0.5);
+        assert_eq!(g.edge_weight(0, 1), Some(1.5));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn self_loops_and_bad_weights_ignored() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 0, 1.0);
+        g.add_edge(0, 1, 0.0);
+        g.add_edge(0, 1, -1.0);
+        g.add_edge(0, 1, f64::NAN);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn remove_edge_both_sides() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1, 1.0);
+        assert!(g.remove_edge(1, 0));
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.degree(0), 0);
+        assert!(!g.remove_edge(0, 1));
+    }
+
+    #[test]
+    fn transitions_are_stochastic() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(0, 2, 3.0);
+        let t = g.transitions(0);
+        let total: f64 = t.iter().map(|&(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(t.iter().find(|&&(n, _)| n == 2).unwrap().1, 0.75);
+        assert!(g.transitions(1).len() == 1);
+        let mut g2 = Graph::new(1);
+        assert!(g2.transitions(0).is_empty());
+        let id = g2.add_node();
+        assert_eq!(id, 1);
+    }
+}

@@ -1,0 +1,14 @@
+//! # briq-graph
+//!
+//! Graph substrate for BriQ's global resolution (§VI): an undirected
+//! edge-weighted graph with stochastic normalization and random walk with
+//! restart (personalized PageRank), computed by power iteration with a
+//! convergence bound. A dense linear solver provides an exact reference
+//! used by tests to validate the iterative walk.
+
+pub mod graph;
+pub mod rwr;
+pub mod solve;
+
+pub use graph::Graph;
+pub use rwr::{random_walk_with_restart, RwrConfig};

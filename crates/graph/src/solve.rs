@@ -1,0 +1,118 @@
+//! Exact RWR solution by dense Gaussian elimination.
+//!
+//! The stationary vector of a random walk with restart satisfies
+//! `π = (1−c)·Pᵀπ + c·e_s`, i.e. `(I − (1−c)·Pᵀ)·π = c·e_s`. Solving this
+//! small linear system exactly gives a reference implementation used by
+//! tests to validate the power iteration in [`crate::rwr`]. Dangling nodes
+//! redirect their mass to the start node, mirroring the iterative code.
+
+use crate::graph::Graph;
+
+/// Solve the RWR system exactly. Returns `None` if the system is singular
+/// (cannot happen for `0 < restart ≤ 1` but guarded anyway).
+pub fn exact_rwr(graph: &Graph, start: usize, restart: f64) -> Option<Vec<f64>> {
+    let n = graph.len();
+    let c = restart.clamp(1e-6, 1.0);
+
+    // Build A = I − (1−c)·M where M[u][v] = P(v→u) plus dangling→start.
+    let mut a = vec![vec![0.0f64; n]; n];
+    for (u, row) in a.iter_mut().enumerate() {
+        row[u] = 1.0;
+    }
+    for v in 0..n {
+        let trans = graph.transitions(v);
+        if trans.is_empty() {
+            a[start][v] -= 1.0 - c;
+        } else {
+            for (u, p) in trans {
+                a[u][v] -= (1.0 - c) * p;
+            }
+        }
+    }
+    let mut b = vec![0.0f64; n];
+    b[start] = c;
+    gaussian_solve(a, b)
+}
+
+/// Solve `A·x = b` with partial pivoting.
+fn gaussian_solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // pivot
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap_or(std::cmp::Ordering::Equal)
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in (col + 1)..n {
+            let f = a[row][col] / a[col][col];
+            if f == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= f * a[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    // back substitution
+    let mut x = vec![0.0f64; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let x = gaussian_solve(
+            vec![vec![1.0, 0.0], vec![0.0, 1.0]],
+            vec![3.0, 4.0],
+        )
+        .unwrap();
+        assert_eq!(x, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn solves_general_system() {
+        // 2x + y = 5 ; x - y = 1 → x = 2, y = 1
+        let x = gaussian_solve(
+            vec![vec![2.0, 1.0], vec![1.0, -1.0]],
+            vec![5.0, 1.0],
+        )
+        .unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_returns_none() {
+        assert!(gaussian_solve(
+            vec![vec![1.0, 1.0], vec![2.0, 2.0]],
+            vec![1.0, 2.0],
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn exact_rwr_is_distribution() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 2.0);
+        let p = exact_rwr(&g, 0, 0.15).unwrap();
+        let total: f64 = p.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|&x| x >= -1e-12));
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for the graph substrate: the iterative walk must
+//! agree with the exact linear solution on random graphs, and stationary
+//! vectors must be probability distributions.
+
+use briq_graph::solve::exact_rwr;
+use briq_graph::{random_walk_with_restart, Graph, RwrConfig};
+use proptest::prelude::*;
+
+/// Strategy: a random connected-ish weighted graph.
+fn graph_strategy() -> impl Strategy<Value = Graph> {
+    (3usize..12).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n, 0.1f64..5.0), 2..30).prop_map(move |edges| {
+            let mut g = Graph::new(n);
+            // spanning chain for connectivity
+            for i in 1..n {
+                g.add_edge(i - 1, i, 1.0);
+            }
+            for (a, b, w) in edges {
+                g.add_edge(a, b, w);
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// π is a probability distribution over nodes.
+    #[test]
+    fn rwr_is_distribution(g in graph_strategy(), restart in 0.05f64..0.9) {
+        let cfg = RwrConfig { restart, ..Default::default() };
+        let p = random_walk_with_restart(&g, 0, &cfg);
+        let total: f64 = p.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-6, "sums to {total}");
+        prop_assert!(p.iter().all(|&x| (-1e-12..=1.0 + 1e-9).contains(&x)));
+    }
+
+    /// Iterative power iteration matches the exact dense solution.
+    #[test]
+    fn rwr_matches_exact_solver(g in graph_strategy(), start_frac in 0.0f64..1.0) {
+        let start = ((g.len() - 1) as f64 * start_frac) as usize;
+        let cfg = RwrConfig { restart: 0.2, tolerance: 1e-12, max_iterations: 500 };
+        let iterative = random_walk_with_restart(&g, start, &cfg);
+        let exact = exact_rwr(&g, start, 0.2).expect("solvable");
+        for (a, b) in iterative.iter().zip(&exact) {
+            prop_assert!((a - b).abs() < 1e-6, "iter {a} vs exact {b}");
+        }
+    }
+
+    /// The start node always keeps at least the restart mass.
+    #[test]
+    fn start_retains_restart_mass(g in graph_strategy(), restart in 0.1f64..0.9) {
+        let cfg = RwrConfig { restart, ..Default::default() };
+        let p = random_walk_with_restart(&g, 0, &cfg);
+        prop_assert!(p[0] >= restart - 1e-6, "p0 {} restart {restart}", p[0]);
+    }
+
+    /// Removing an edge never increases the edge count and keeps the walk
+    /// valid (Algorithm 1 deletes edges after every decision).
+    #[test]
+    fn edge_removal_keeps_walk_valid(g in graph_strategy()) {
+        let mut g = g;
+        let before = g.edge_count();
+        // remove the chain edge 0-1 (always present)
+        prop_assert!(g.remove_edge(0, 1));
+        prop_assert_eq!(g.edge_count(), before - 1);
+        let p = random_walk_with_restart(&g, 0, &RwrConfig::default());
+        let total: f64 = p.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    /// Edge weights accumulate commutatively.
+    #[test]
+    fn edge_accumulation_commutes(w1 in 0.1f64..5.0, w2 in 0.1f64..5.0) {
+        let mut a = Graph::new(2);
+        a.add_edge(0, 1, w1);
+        a.add_edge(0, 1, w2);
+        let mut b = Graph::new(2);
+        b.add_edge(1, 0, w2);
+        b.add_edge(0, 1, w1);
+        prop_assert_eq!(a.edge_weight(0, 1), b.edge_weight(1, 0));
+    }
+}

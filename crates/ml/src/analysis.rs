@@ -1,0 +1,176 @@
+//! Model-analysis utilities: permutation feature importance and
+//! probability calibration (reliability) curves.
+//!
+//! §IV-A leans on Random Forest probabilities being well calibrated; the
+//! reliability curve verifies that for our vote-fraction implementation.
+//! Permutation importance quantifies which of the 12 features (§IV-B)
+//! carry the signal — the quantitative counterpart of the paper's
+//! feature-group ablation (§VIII-B).
+
+use crate::dataset::Dataset;
+use crate::metrics::roc_auc;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Permutation importance of every feature: the drop in ROC-AUC when that
+/// feature's column is shuffled. `score` maps a feature row to a
+/// probability. Higher = more important; ~0 = unused.
+pub fn permutation_importance<F>(
+    data: &Dataset,
+    score: F,
+    repeats: usize,
+    seed: u64,
+) -> Vec<f64>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    let n = data.len();
+    let d = data.n_features();
+    if n == 0 || d == 0 {
+        return Vec::new();
+    }
+    let base_scores: Vec<f64> = data.features.iter().map(|r| score(r)).collect();
+    let base_auc = roc_auc(&base_scores, &data.labels);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut importance = vec![0.0; d];
+    for (f, imp) in importance.iter_mut().enumerate() {
+        let mut drop_sum = 0.0;
+        for _ in 0..repeats.max(1) {
+            let mut perm: Vec<usize> = (0..n).collect();
+            perm.shuffle(&mut rng);
+            let scores: Vec<f64> = data
+                .features
+                .iter()
+                .enumerate()
+                .map(|(i, row)| {
+                    let mut r = row.clone();
+                    r[f] = data.features[perm[i]][f];
+                    score(&r)
+                })
+                .collect();
+            drop_sum += base_auc - roc_auc(&scores, &data.labels);
+        }
+        *imp = drop_sum / repeats.max(1) as f64;
+    }
+    importance
+}
+
+/// One bin of a reliability curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationBin {
+    /// Mean predicted probability of the bin.
+    pub mean_predicted: f64,
+    /// Observed positive fraction of the bin.
+    pub observed: f64,
+    /// Number of examples in the bin.
+    pub count: usize,
+}
+
+/// Reliability curve with `n_bins` equal-width probability bins. Empty
+/// bins are omitted.
+pub fn calibration_curve(scores: &[f64], labels: &[bool], n_bins: usize) -> Vec<CalibrationBin> {
+    assert_eq!(scores.len(), labels.len());
+    let n_bins = n_bins.max(1);
+    let mut sums = vec![(0.0f64, 0usize, 0usize); n_bins]; // (Σp, positives, count)
+    for (&s, &l) in scores.iter().zip(labels) {
+        let b = ((s * n_bins as f64) as usize).min(n_bins - 1);
+        sums[b].0 += s;
+        if l {
+            sums[b].1 += 1;
+        }
+        sums[b].2 += 1;
+    }
+    sums.into_iter()
+        .filter(|&(_, _, c)| c > 0)
+        .map(|(sp, pos, c)| CalibrationBin {
+            mean_predicted: sp / c as f64,
+            observed: pos as f64 / c as f64,
+            count: c,
+        })
+        .collect()
+}
+
+/// Expected calibration error: count-weighted mean |predicted − observed|.
+pub fn expected_calibration_error(bins: &[CalibrationBin]) -> f64 {
+    let total: usize = bins.iter().map(|b| b.count).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    bins.iter()
+        .map(|b| (b.mean_predicted - b.observed).abs() * b.count as f64)
+        .sum::<f64>()
+        / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::{RandomForest, RandomForestConfig};
+
+    fn synth(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = Dataset::new();
+        for _ in 0..n {
+            let signal: f64 = rng.random_range(0.0..1.0);
+            let noise: f64 = rng.random_range(0.0..1.0);
+            d.push(vec![signal, noise], signal > 0.5);
+        }
+        d
+    }
+
+    #[test]
+    fn importance_finds_the_signal_feature() {
+        let data = synth(400, 1);
+        let rf = RandomForest::fit(&data, RandomForestConfig { n_trees: 32, ..Default::default() });
+        let imp = permutation_importance(&data, |r| rf.predict_proba(r), 3, 7);
+        assert_eq!(imp.len(), 2);
+        assert!(imp[0] > 0.1, "signal importance {imp:?}");
+        assert!(imp[0] > imp[1] * 3.0, "{imp:?}");
+    }
+
+    #[test]
+    fn importance_empty_dataset() {
+        assert!(permutation_importance(&Dataset::new(), |_| 0.5, 1, 0).is_empty());
+    }
+
+    #[test]
+    fn perfect_calibration_has_zero_ece() {
+        // predicted == empirical in two bins
+        let scores = [0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1,
+                      0.9, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9];
+        let labels: Vec<bool> = (0..20).map(|i| if i < 10 { i == 0 } else { i != 10 }).collect();
+        let bins = calibration_curve(&scores, &labels, 10);
+        let ece = expected_calibration_error(&bins);
+        assert!(ece < 0.05, "ece {ece}");
+    }
+
+    #[test]
+    fn miscalibration_detected() {
+        // always predicts 0.9 but only 10% positives
+        let scores = vec![0.9; 100];
+        let labels: Vec<bool> = (0..100).map(|i| i < 10).collect();
+        let bins = calibration_curve(&scores, &labels, 10);
+        let ece = expected_calibration_error(&bins);
+        assert!(ece > 0.7, "ece {ece}");
+    }
+
+    #[test]
+    fn forest_votes_are_roughly_calibrated() {
+        let train = synth(600, 2);
+        let test = synth(300, 3);
+        let rf = RandomForest::fit(&train, RandomForestConfig { n_trees: 64, ..Default::default() });
+        let scores: Vec<f64> = test.features.iter().map(|r| rf.predict_proba(r)).collect();
+        let bins = calibration_curve(&scores, &test.labels, 10);
+        let ece = expected_calibration_error(&bins);
+        assert!(ece < 0.15, "vote fractions should be near-calibrated, ece {ece}");
+    }
+
+    #[test]
+    fn bins_cover_all_points() {
+        let scores = [0.0, 0.2, 0.5, 0.99, 1.0];
+        let labels = [false, false, true, true, true];
+        let bins = calibration_curve(&scores, &labels, 4);
+        assert_eq!(bins.iter().map(|b| b.count).sum::<usize>(), 5);
+    }
+}

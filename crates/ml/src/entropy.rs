@@ -1,0 +1,79 @@
+//! Shannon entropy of score distributions.
+//!
+//! Used twice in BriQ: the adaptive filter widens/narrows top-k by the
+//! entropy of a mention's candidate-score distribution (§V-B), and global
+//! resolution processes text mentions in increasing entropy order (§VI-B).
+
+/// Shannon entropy (nats) of a non-negative weight vector. The vector is
+/// normalized internally; zero weights contribute nothing. Returns 0 for
+/// an empty or all-zero input.
+pub fn shannon_entropy(weights: &[f64]) -> f64 {
+    let total: f64 = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    weights
+        .iter()
+        .filter(|w| w.is_finite() && **w > 0.0)
+        .map(|&w| {
+            let p = w / total;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+/// Normalized entropy in `[0, 1]`: entropy divided by `ln(n)` where `n`
+/// is the number of positive entries. 1 means uniform, 0 means a single
+/// dominant candidate (or fewer than two candidates).
+pub fn normalized_entropy(weights: &[f64]) -> f64 {
+    let n = weights.iter().filter(|w| w.is_finite() && **w > 0.0).count();
+    if n < 2 {
+        return 0.0;
+    }
+    shannon_entropy(weights) / (n as f64).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_maximizes() {
+        let h4 = shannon_entropy(&[1.0, 1.0, 1.0, 1.0]);
+        assert!((h4 - (4.0f64).ln()).abs() < 1e-12);
+        assert!((normalized_entropy(&[1.0, 1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skew_lowers_entropy() {
+        let uniform = shannon_entropy(&[0.25, 0.25, 0.25, 0.25]);
+        let skewed = shannon_entropy(&[0.97, 0.01, 0.01, 0.01]);
+        assert!(skewed < uniform);
+    }
+
+    #[test]
+    fn single_candidate_is_zero() {
+        assert_eq!(shannon_entropy(&[5.0]), 0.0);
+        assert_eq!(normalized_entropy(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn empty_and_zero_inputs() {
+        assert_eq!(shannon_entropy(&[]), 0.0);
+        assert_eq!(shannon_entropy(&[0.0, 0.0]), 0.0);
+        assert_eq!(normalized_entropy(&[]), 0.0);
+    }
+
+    #[test]
+    fn scale_invariant() {
+        let a = shannon_entropy(&[1.0, 2.0, 3.0]);
+        let b = shannon_entropy(&[10.0, 20.0, 30.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ignores_nonfinite() {
+        let h = shannon_entropy(&[1.0, f64::NAN, 1.0, f64::INFINITY]);
+        assert!((h - (2.0f64).ln()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,87 @@
+//! Exhaustive grid search over hyper-parameter candidates.
+//!
+//! §VII-C: "We use grid search to choose the best values for the
+//! hyper-parameters, for the classifiers as well as for the graph-based
+//! algorithm." The searcher is generic: callers enumerate candidate
+//! parameter sets and provide an evaluation closure (higher is better).
+
+/// Evaluate every candidate and return `(best_index, best_score)`.
+/// Ties keep the earliest candidate (stable). Returns `None` when the
+/// candidate list is empty or every score is NaN.
+pub fn grid_search<P, F>(candidates: &[P], mut eval: F) -> Option<(usize, f64)>
+where
+    F: FnMut(&P) -> f64,
+{
+    let mut best: Option<(usize, f64)> = None;
+    for (i, cand) in candidates.iter().enumerate() {
+        let score = eval(cand);
+        if score.is_nan() {
+            continue;
+        }
+        if best.map_or(true, |(_, s)| score > s) {
+            best = Some((i, score));
+        }
+    }
+    best
+}
+
+/// Cartesian product of per-dimension value lists — the usual way to build
+/// a grid. `product(&[vec![1,2], vec![10,20]])` yields `[1,10], [1,20],
+/// [2,10], [2,20]`.
+pub fn product<T: Clone>(dims: &[Vec<T>]) -> Vec<Vec<T>> {
+    let mut out: Vec<Vec<T>> = vec![Vec::new()];
+    for dim in dims {
+        let mut next = Vec::with_capacity(out.len() * dim.len());
+        for prefix in &out {
+            for v in dim {
+                let mut row = prefix.clone();
+                row.push(v.clone());
+                next.push(row);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_maximum() {
+        let cands = vec![1.0, 5.0, 3.5];
+        let (i, s) = grid_search(&cands, |&x| -(x - 4.0f64).powi(2)).unwrap();
+        assert_eq!(i, 2); // 3.5 is closest to 4.0
+        assert_eq!(s, -0.25);
+    }
+
+    #[test]
+    fn ties_keep_first() {
+        let cands = vec![1, 2, 3];
+        let (i, _) = grid_search(&cands, |_| 7.0).unwrap();
+        assert_eq!(i, 0);
+    }
+
+    #[test]
+    fn empty_and_nan() {
+        assert_eq!(grid_search::<f64, _>(&[], |_| 0.0), None);
+        assert_eq!(grid_search(&[1.0], |_| f64::NAN), None);
+        let (i, _) = grid_search(&[1.0, 2.0], |&x| if x < 1.5 { f64::NAN } else { 1.0 }).unwrap();
+        assert_eq!(i, 1);
+    }
+
+    #[test]
+    fn cartesian_product() {
+        let grid = product(&[vec![1, 2], vec![10, 20], vec![100]]);
+        assert_eq!(grid.len(), 4);
+        assert_eq!(grid[0], vec![1, 10, 100]);
+        assert_eq!(grid[3], vec![2, 20, 100]);
+    }
+
+    #[test]
+    fn empty_dims_yield_single_empty_row() {
+        let grid: Vec<Vec<i32>> = product(&[]);
+        assert_eq!(grid, vec![Vec::<i32>::new()]);
+    }
+}

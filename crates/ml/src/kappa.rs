@@ -1,0 +1,99 @@
+//! Fleiss' kappa for inter-annotator agreement (§VII-A: κ = 0.6854 over 8
+//! annotators was "substantial"). Used to validate the simulated annotator
+//! panel in `briq-corpus`.
+
+/// Fleiss' kappa for `ratings[item][category]` = number of annotators who
+/// assigned `item` to `category`. Every item must have the same number of
+/// total ratings (annotators). Returns `None` for degenerate input (no
+/// items, fewer than 2 raters, or zero expected disagreement).
+pub fn fleiss_kappa(ratings: &[Vec<usize>]) -> Option<f64> {
+    let n_items = ratings.len();
+    if n_items == 0 {
+        return None;
+    }
+    let n_cats = ratings[0].len();
+    let n_raters: usize = ratings[0].iter().sum();
+    if n_raters < 2 {
+        return None;
+    }
+    if ratings.iter().any(|r| r.len() != n_cats || r.iter().sum::<usize>() != n_raters) {
+        return None;
+    }
+
+    // Per-item agreement P_i.
+    let n = n_raters as f64;
+    let p_bar: f64 = ratings
+        .iter()
+        .map(|r| {
+            let s: f64 = r.iter().map(|&c| (c * c) as f64).sum();
+            (s - n) / (n * (n - 1.0))
+        })
+        .sum::<f64>()
+        / n_items as f64;
+
+    // Category marginals p_j.
+    let mut totals = vec![0.0f64; n_cats];
+    for r in ratings {
+        for (t, &c) in totals.iter_mut().zip(r) {
+            *t += c as f64;
+        }
+    }
+    let grand = n_items as f64 * n;
+    let p_e: f64 = totals.iter().map(|&t| (t / grand).powi(2)).sum();
+
+    if (1.0 - p_e).abs() < 1e-12 {
+        return None;
+    }
+    Some((p_bar - p_e) / (1.0 - p_e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_agreement_is_one() {
+        // 3 raters, everyone picks category 0 for item 1, category 1 for 2.
+        let ratings = vec![vec![3, 0], vec![0, 3], vec![3, 0]];
+        let k = fleiss_kappa(&ratings).unwrap();
+        assert!((k - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn textbook_example() {
+        // The classic Fleiss (1971) worked example: 10 subjects, 14
+        // raters, 5 categories; κ ≈ 0.21.
+        let ratings = vec![
+            vec![0, 0, 0, 0, 14],
+            vec![0, 2, 6, 4, 2],
+            vec![0, 0, 3, 5, 6],
+            vec![0, 3, 9, 2, 0],
+            vec![2, 2, 8, 1, 1],
+            vec![7, 7, 0, 0, 0],
+            vec![3, 2, 6, 3, 0],
+            vec![2, 5, 3, 2, 2],
+            vec![6, 5, 2, 1, 0],
+            vec![0, 2, 2, 3, 7],
+        ];
+        let k = fleiss_kappa(&ratings).unwrap();
+        assert!((k - 0.20993).abs() < 1e-3, "{k}");
+    }
+
+    #[test]
+    fn uniform_random_is_near_zero() {
+        // Two raters split evenly on every item → P̄ = 0, Pe = 0.5 → κ = -1
+        let ratings = vec![vec![1, 1]; 8];
+        let k = fleiss_kappa(&ratings).unwrap();
+        assert!(k < 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(fleiss_kappa(&[]).is_none());
+        assert!(fleiss_kappa(&[vec![1, 0]]).is_none()); // single rater
+        // inconsistent rater counts
+        assert!(fleiss_kappa(&[vec![2, 0], vec![1, 0]]).is_none());
+        // all raters always same single category → Pe = 1
+        assert!(fleiss_kappa(&[vec![3, 0], vec![3, 0]]).is_none());
+    }
+}

@@ -1,0 +1,160 @@
+//! Abstract syntax tree for parsed regular expressions.
+
+/// Supported Unicode property classes for `\p{…}` / `\P{…}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnicodeProperty {
+    /// `\p{Currency_Symbol}` / `\p{Sc}` — currency symbols ($, €, ¥, …).
+    CurrencySymbol,
+    /// `\p{L}` / `\p{Letter}` — alphabetic characters.
+    Letter,
+    /// `\p{N}` / `\p{Number}` — numeric characters.
+    Number,
+    /// `\p{P}` / `\p{Punctuation}` — punctuation.
+    Punctuation,
+    /// `\p{Z}` / `\p{Separator}` — whitespace separators.
+    Separator,
+}
+
+impl UnicodeProperty {
+    /// Resolve a property name as written inside `\p{…}`.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "Currency_Symbol" | "Sc" => Some(Self::CurrencySymbol),
+            "L" | "Letter" => Some(Self::Letter),
+            "N" | "Number" => Some(Self::Number),
+            "P" | "Punctuation" => Some(Self::Punctuation),
+            "Z" | "Separator" => Some(Self::Separator),
+            _ => None,
+        }
+    }
+
+    /// Membership test for `c`.
+    pub fn contains(self, c: char) -> bool {
+        match self {
+            Self::CurrencySymbol => crate::unicode::is_currency_symbol(c),
+            Self::Letter => c.is_alphabetic(),
+            Self::Number => c.is_numeric(),
+            Self::Punctuation => c.is_ascii_punctuation() || crate::unicode::is_unicode_punct(c),
+            Self::Separator => c.is_whitespace(),
+        }
+    }
+}
+
+/// One item of a character class: a single char, an inclusive range, or a
+/// named/Unicode sub-class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClassItem {
+    /// A single character.
+    Char(char),
+    /// An inclusive character range `a-z`.
+    Range(char, char),
+    /// `\d` — ASCII digits.
+    Digit,
+    /// `\w` — word characters (`[0-9A-Za-z_]` plus Unicode alphanumerics).
+    Word,
+    /// `\s` — whitespace.
+    Space,
+    /// A Unicode property, possibly negated (for `\P{…}`).
+    Property(UnicodeProperty, bool),
+}
+
+impl ClassItem {
+    /// Membership test for `c`.
+    pub fn contains(self, c: char) -> bool {
+        match self {
+            Self::Char(x) => c == x,
+            Self::Range(lo, hi) => lo <= c && c <= hi,
+            Self::Digit => c.is_ascii_digit(),
+            Self::Word => c == '_' || c.is_alphanumeric(),
+            Self::Space => c.is_whitespace(),
+            Self::Property(p, negated) => p.contains(c) != negated,
+        }
+    }
+}
+
+/// A (possibly negated) set of [`ClassItem`]s — the semantics of `[...]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassSet {
+    /// Member items; a char matches the set if it matches any item.
+    pub items: Vec<ClassItem>,
+    /// If true, the set matches chars *not* covered by `items`.
+    pub negated: bool,
+}
+
+impl ClassSet {
+    /// A set containing exactly the given items.
+    pub fn new(items: Vec<ClassItem>) -> Self {
+        ClassSet { items, negated: false }
+    }
+
+    /// Membership test for `c`.
+    pub fn contains(&self, c: char) -> bool {
+        self.items.iter().any(|i| i.contains(c)) != self.negated
+    }
+}
+
+/// Parsed regular-expression syntax tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ast {
+    /// The empty regex (matches the empty string).
+    Empty,
+    /// A literal character.
+    Literal(char),
+    /// `.` — any character except `\n`.
+    AnyChar,
+    /// A character class.
+    Class(ClassSet),
+    /// `^` — start of haystack.
+    StartAnchor,
+    /// `$` — end of haystack.
+    EndAnchor,
+    /// `\b` — word boundary (between `\w` and non-`\w`).
+    WordBoundary,
+    /// Concatenation of sub-expressions.
+    Concat(Vec<Ast>),
+    /// Alternation `a|b|c`; earlier branches are preferred.
+    Alternate(Vec<Ast>),
+    /// Capturing group; `index` is the 1-based capture index.
+    Group(Box<Ast>, usize),
+    /// Repetition `e{min,max}` (`max == None` means unbounded). `greedy`
+    /// selects between greedy and lazy matching.
+    Repeat { node: Box<Ast>, min: u32, max: Option<u32>, greedy: bool },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn property_names_resolve() {
+        assert_eq!(UnicodeProperty::from_name("Sc"), Some(UnicodeProperty::CurrencySymbol));
+        assert_eq!(
+            UnicodeProperty::from_name("Currency_Symbol"),
+            Some(UnicodeProperty::CurrencySymbol)
+        );
+        assert_eq!(UnicodeProperty::from_name("L"), Some(UnicodeProperty::Letter));
+        assert_eq!(UnicodeProperty::from_name("nope"), None);
+    }
+
+    #[test]
+    fn class_items_match() {
+        assert!(ClassItem::Char('a').contains('a'));
+        assert!(!ClassItem::Char('a').contains('b'));
+        assert!(ClassItem::Range('0', '9').contains('5'));
+        assert!(ClassItem::Digit.contains('7'));
+        assert!(!ClassItem::Digit.contains('x'));
+        assert!(ClassItem::Word.contains('_'));
+        assert!(ClassItem::Space.contains('\t'));
+        assert!(ClassItem::Property(UnicodeProperty::CurrencySymbol, false).contains('€'));
+        assert!(ClassItem::Property(UnicodeProperty::CurrencySymbol, true).contains('x'));
+    }
+
+    #[test]
+    fn negated_set() {
+        let set =
+            ClassSet { items: vec![ClassItem::Range('a', 'z')], negated: true };
+        assert!(!set.contains('m'));
+        assert!(set.contains('M'));
+        assert!(set.contains('5'));
+    }
+}

@@ -1,0 +1,459 @@
+//! Recursive-descent parser from pattern strings to [`Ast`].
+
+use crate::ast::{Ast, ClassItem, ClassSet, UnicodeProperty};
+use std::fmt;
+
+/// Why a pattern failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Pattern ended in the middle of a construct.
+    UnexpectedEof,
+    /// A `)` without a matching `(`, or similar stray metacharacter.
+    UnexpectedChar(char, usize),
+    /// `(` without a matching `)`.
+    UnclosedGroup,
+    /// `[` without a matching `]`.
+    UnclosedClass,
+    /// A class range like `[z-a]` whose endpoints are out of order.
+    InvalidClassRange(char, char),
+    /// A counted repetition `{m,n}` with `m > n`.
+    InvalidRepeatRange(u32, u32),
+    /// A quantifier with nothing to repeat, e.g. a leading `*`.
+    NothingToRepeat(usize),
+    /// Unknown escape sequence.
+    UnknownEscape(char),
+    /// Unknown `\p{…}` property name.
+    UnknownProperty(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnexpectedEof => write!(f, "unexpected end of pattern"),
+            Self::UnexpectedChar(c, at) => write!(f, "unexpected `{c}` at byte {at}"),
+            Self::UnclosedGroup => write!(f, "unclosed group"),
+            Self::UnclosedClass => write!(f, "unclosed character class"),
+            Self::InvalidClassRange(a, b) => write!(f, "invalid class range `{a}-{b}`"),
+            Self::InvalidRepeatRange(m, n) => write!(f, "invalid repetition range {{{m},{n}}}"),
+            Self::NothingToRepeat(at) => write!(f, "quantifier at byte {at} has nothing to repeat"),
+            Self::UnknownEscape(c) => write!(f, "unknown escape `\\{c}`"),
+            Self::UnknownProperty(name) => write!(f, "unknown unicode property `{name}`"),
+        }
+    }
+}
+
+/// Parse `pattern` into an [`Ast`].
+pub fn parse(pattern: &str) -> Result<Ast, ParseError> {
+    let mut p = Parser { chars: pattern.char_indices().collect(), pos: 0, next_group: 1 };
+    let ast = p.alternation()?;
+    if p.pos < p.chars.len() {
+        let (at, c) = p.chars[p.pos];
+        return Err(ParseError::UnexpectedChar(c, at));
+    }
+    Ok(ast)
+}
+
+struct Parser {
+    chars: Vec<(usize, char)>,
+    pos: usize,
+    next_group: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).map(|&(_, c)| c)
+    }
+
+    fn peek_at(&self, off: usize) -> Option<char> {
+        self.chars.get(self.pos + off).map(|&(_, c)| c)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn eat(&mut self, want: char) -> bool {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn byte_pos(&self) -> usize {
+        self.chars.get(self.pos).map_or_else(
+            || self.chars.last().map_or(0, |&(i, c)| i + c.len_utf8()),
+            |&(i, _)| i,
+        )
+    }
+
+    fn alternation(&mut self) -> Result<Ast, ParseError> {
+        let mut branches = vec![self.concat()?];
+        while self.eat('|') {
+            branches.push(self.concat()?);
+        }
+        Ok(if branches.len() == 1 { branches.pop().unwrap() } else { Ast::Alternate(branches) })
+    }
+
+    fn concat(&mut self) -> Result<Ast, ParseError> {
+        let mut parts = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            parts.push(self.repeat()?);
+        }
+        Ok(match parts.len() {
+            0 => Ast::Empty,
+            1 => parts.pop().unwrap(),
+            _ => Ast::Concat(parts),
+        })
+    }
+
+    fn repeat(&mut self) -> Result<Ast, ParseError> {
+        let at = self.byte_pos();
+        let atom = self.atom()?;
+        let (min, max) = match self.peek() {
+            Some('*') => {
+                self.bump();
+                (0, None)
+            }
+            Some('+') => {
+                self.bump();
+                (1, None)
+            }
+            Some('?') => {
+                self.bump();
+                (0, Some(1))
+            }
+            Some('{') if self.looks_like_counted_repeat() => {
+                self.bump();
+                self.counted_repeat()?
+            }
+            _ => return Ok(atom),
+        };
+        if matches!(atom, Ast::Empty | Ast::StartAnchor | Ast::EndAnchor | Ast::WordBoundary) {
+            return Err(ParseError::NothingToRepeat(at));
+        }
+        if let (m, Some(n)) = (min, max) {
+            if m > n {
+                return Err(ParseError::InvalidRepeatRange(m, n));
+            }
+        }
+        let greedy = !self.eat('?');
+        Ok(Ast::Repeat { node: Box::new(atom), min, max, greedy })
+    }
+
+    /// Distinguish `a{2,3}` from a literal `{` (as in `f{x}` prose). We only
+    /// treat `{` as a quantifier when it is followed by digits and a valid
+    /// closing form, matching common regex-engine behaviour.
+    fn looks_like_counted_repeat(&self) -> bool {
+        let mut i = 1;
+        let mut saw_digit = false;
+        while let Some(c) = self.peek_at(i) {
+            match c {
+                '0'..='9' => {
+                    saw_digit = true;
+                    i += 1;
+                }
+                ',' => {
+                    i += 1;
+                    // optional second number
+                    while let Some(c2) = self.peek_at(i) {
+                        match c2 {
+                            '0'..='9' => i += 1,
+                            '}' => return saw_digit,
+                            _ => return false,
+                        }
+                    }
+                    return false;
+                }
+                '}' => return saw_digit,
+                _ => return false,
+            }
+        }
+        false
+    }
+
+    fn counted_repeat(&mut self) -> Result<(u32, Option<u32>), ParseError> {
+        let min = self.number()?;
+        if self.eat('}') {
+            return Ok((min, Some(min)));
+        }
+        if !self.eat(',') {
+            return Err(ParseError::UnexpectedChar(self.peek().unwrap_or('}'), self.byte_pos()));
+        }
+        if self.eat('}') {
+            return Ok((min, None));
+        }
+        let max = self.number()?;
+        if !self.eat('}') {
+            return Err(ParseError::UnexpectedEof);
+        }
+        Ok((min, Some(max)))
+    }
+
+    fn number(&mut self) -> Result<u32, ParseError> {
+        let mut n: u32 = 0;
+        let mut any = false;
+        while let Some(c) = self.peek() {
+            if let Some(d) = c.to_digit(10) {
+                n = n.saturating_mul(10).saturating_add(d);
+                any = true;
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if any {
+            Ok(n)
+        } else {
+            Err(ParseError::UnexpectedEof)
+        }
+    }
+
+    fn atom(&mut self) -> Result<Ast, ParseError> {
+        let at = self.byte_pos();
+        match self.bump().ok_or(ParseError::UnexpectedEof)? {
+            '.' => Ok(Ast::AnyChar),
+            '^' => Ok(Ast::StartAnchor),
+            '$' => Ok(Ast::EndAnchor),
+            '(' => {
+                let capturing = if self.peek() == Some('?') && self.peek_at(1) == Some(':') {
+                    self.bump();
+                    self.bump();
+                    false
+                } else {
+                    true
+                };
+                let idx = if capturing {
+                    let i = self.next_group;
+                    self.next_group += 1;
+                    i
+                } else {
+                    0
+                };
+                let inner = self.alternation()?;
+                if !self.eat(')') {
+                    return Err(ParseError::UnclosedGroup);
+                }
+                Ok(if capturing { Ast::Group(Box::new(inner), idx) } else { inner })
+            }
+            '[' => self.class(),
+            '\\' => self.escape(),
+            c @ ('*' | '+' | '?') => Err(ParseError::NothingToRepeat(at.saturating_sub(c.len_utf8() - 1))),
+            c => Ok(Ast::Literal(c)),
+        }
+    }
+
+    fn escape(&mut self) -> Result<Ast, ParseError> {
+        let c = self.bump().ok_or(ParseError::UnexpectedEof)?;
+        Ok(match c {
+            'd' => Ast::Class(ClassSet::new(vec![ClassItem::Digit])),
+            'D' => Ast::Class(ClassSet { items: vec![ClassItem::Digit], negated: true }),
+            'w' => Ast::Class(ClassSet::new(vec![ClassItem::Word])),
+            'W' => Ast::Class(ClassSet { items: vec![ClassItem::Word], negated: true }),
+            's' => Ast::Class(ClassSet::new(vec![ClassItem::Space])),
+            'S' => Ast::Class(ClassSet { items: vec![ClassItem::Space], negated: true }),
+            'b' => Ast::WordBoundary,
+            'n' => Ast::Literal('\n'),
+            't' => Ast::Literal('\t'),
+            'r' => Ast::Literal('\r'),
+            'p' => Ast::Class(ClassSet::new(vec![self.property(false)?])),
+            'P' => Ast::Class(ClassSet::new(vec![self.property(true)?])),
+            c if c.is_ascii_punctuation() || c == ' ' || c == '±' => Ast::Literal(c),
+            c => return Err(ParseError::UnknownEscape(c)),
+        })
+    }
+
+    fn property(&mut self, negated: bool) -> Result<ClassItem, ParseError> {
+        if !self.eat('{') {
+            // single-letter form: \pL
+            let c = self.bump().ok_or(ParseError::UnexpectedEof)?;
+            let prop = UnicodeProperty::from_name(&c.to_string())
+                .ok_or_else(|| ParseError::UnknownProperty(c.to_string()))?;
+            return Ok(ClassItem::Property(prop, negated));
+        }
+        let mut name = String::new();
+        loop {
+            match self.bump().ok_or(ParseError::UnexpectedEof)? {
+                '}' => break,
+                c => name.push(c),
+            }
+        }
+        let prop =
+            UnicodeProperty::from_name(&name).ok_or(ParseError::UnknownProperty(name))?;
+        Ok(ClassItem::Property(prop, negated))
+    }
+
+    fn class(&mut self) -> Result<Ast, ParseError> {
+        let negated = self.eat('^');
+        let mut items = Vec::new();
+        // A leading `]` is a literal.
+        if self.peek() == Some(']') {
+            self.bump();
+            items.push(ClassItem::Char(']'));
+        }
+        loop {
+            let c = self.peek().ok_or(ParseError::UnclosedClass)?;
+            if c == ']' {
+                self.bump();
+                break;
+            }
+            let item = self.class_atom()?;
+            // Possible range: `a-z` (but `a-]` is literal `-`).
+            if self.peek() == Some('-')
+                && self.peek_at(1).is_some()
+                && self.peek_at(1) != Some(']')
+            {
+                if let ClassItem::Char(lo) = item {
+                    self.bump(); // '-'
+                    let hi_item = self.class_atom()?;
+                    if let ClassItem::Char(hi) = hi_item {
+                        if lo > hi {
+                            return Err(ParseError::InvalidClassRange(lo, hi));
+                        }
+                        items.push(ClassItem::Range(lo, hi));
+                        continue;
+                    }
+                    // `a-\d` style: treat as literals.
+                    items.push(ClassItem::Char(lo));
+                    items.push(ClassItem::Char('-'));
+                    items.push(hi_item);
+                    continue;
+                }
+            }
+            items.push(item);
+        }
+        Ok(Ast::Class(ClassSet { items, negated }))
+    }
+
+    fn class_atom(&mut self) -> Result<ClassItem, ParseError> {
+        match self.bump().ok_or(ParseError::UnclosedClass)? {
+            '\\' => match self.bump().ok_or(ParseError::UnclosedClass)? {
+                'd' => Ok(ClassItem::Digit),
+                'w' => Ok(ClassItem::Word),
+                's' => Ok(ClassItem::Space),
+                'n' => Ok(ClassItem::Char('\n')),
+                't' => Ok(ClassItem::Char('\t')),
+                'r' => Ok(ClassItem::Char('\r')),
+                'p' => self.property(false),
+                'P' => self.property(true),
+                c if c.is_ascii_punctuation() => Ok(ClassItem::Char(c)),
+                c => Err(ParseError::UnknownEscape(c)),
+            },
+            c => Ok(ClassItem::Char(c)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_literals_into_concat() {
+        assert_eq!(
+            parse("ab").unwrap(),
+            Ast::Concat(vec![Ast::Literal('a'), Ast::Literal('b')])
+        );
+    }
+
+    #[test]
+    fn parses_alternation() {
+        match parse("a|b|c").unwrap() {
+            Ast::Alternate(v) => assert_eq!(v.len(), 3),
+            other => panic!("expected alternation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn group_indices_assigned_in_order() {
+        let ast = parse("(a)(b(c))").unwrap();
+        fn collect(ast: &Ast, out: &mut Vec<usize>) {
+            match ast {
+                Ast::Group(inner, i) => {
+                    out.push(*i);
+                    collect(inner, out);
+                }
+                Ast::Concat(v) | Ast::Alternate(v) => v.iter().for_each(|a| collect(a, out)),
+                Ast::Repeat { node, .. } => collect(node, out),
+                _ => {}
+            }
+        }
+        let mut idx = Vec::new();
+        collect(&ast, &mut idx);
+        assert_eq!(idx, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn non_capturing_group() {
+        let ast = parse("(?:ab)+").unwrap();
+        match ast {
+            Ast::Repeat { node, min: 1, max: None, greedy: true } => {
+                assert!(matches!(*node, Ast::Concat(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn literal_brace_is_allowed() {
+        // `{` not followed by a counted repeat is a literal.
+        assert!(parse("a{x}").is_ok());
+    }
+
+    #[test]
+    fn counted_repeat_forms() {
+        assert!(matches!(
+            parse("a{3}").unwrap(),
+            Ast::Repeat { min: 3, max: Some(3), .. }
+        ));
+        assert!(matches!(
+            parse("a{3,}").unwrap(),
+            Ast::Repeat { min: 3, max: None, .. }
+        ));
+        assert!(matches!(
+            parse("a{3,5}?").unwrap(),
+            Ast::Repeat { min: 3, max: Some(5), greedy: false, .. }
+        ));
+    }
+
+    #[test]
+    fn class_with_leading_bracket() {
+        let ast = parse("[]a]").unwrap();
+        match ast {
+            Ast::Class(set) => {
+                assert!(set.contains(']'));
+                assert!(set.contains('a'));
+                assert!(!set.contains('b'));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn class_trailing_dash_literal() {
+        let ast = parse("[a-]").unwrap();
+        match ast {
+            Ast::Class(set) => {
+                assert!(set.contains('a'));
+                assert!(set.contains('-'));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(parse("(a"), Err(ParseError::UnclosedGroup));
+        assert_eq!(parse("[ab"), Err(ParseError::UnclosedClass));
+        assert_eq!(parse("[z-a]"), Err(ParseError::InvalidClassRange('z', 'a')));
+        assert_eq!(parse("a{5,2}"), Err(ParseError::InvalidRepeatRange(5, 2)));
+        assert!(matches!(parse("+a"), Err(ParseError::NothingToRepeat(_))));
+        assert!(matches!(parse(r"\q"), Err(ParseError::UnknownEscape('q'))));
+    }
+}

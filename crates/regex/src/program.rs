@@ -1,0 +1,223 @@
+//! Compilation from [`Ast`] to a Thompson-style instruction program.
+
+use crate::ast::{Ast, ClassSet};
+
+/// One VM instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inst {
+    /// Match a single literal character.
+    Char(char),
+    /// Match any character except `\n`.
+    Any,
+    /// Match any character in the class.
+    Class(ClassSet),
+    /// Zero-width: assert start of haystack.
+    Start,
+    /// Zero-width: assert end of haystack.
+    End,
+    /// Zero-width: assert a word boundary.
+    WordBoundary,
+    /// Store the current position into capture slot `.0`.
+    Save(usize),
+    /// Try `.0` first, then `.1` (priority encodes greediness).
+    Split(usize, usize),
+    /// Unconditional jump.
+    Jmp(usize),
+    /// Accept.
+    Match,
+}
+
+/// A compiled instruction program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Instruction sequence; entry point is instruction 0.
+    pub insts: Vec<Inst>,
+    /// Number of capture slots (2 per group, including group 0).
+    pub num_slots: usize,
+}
+
+/// Compile `ast` into a [`Program`] wrapped in the implicit group 0.
+pub fn compile(ast: &Ast) -> Program {
+    let mut c = Compiler { insts: Vec::new(), max_group: 0 };
+    c.max_group = max_group_index(ast);
+    c.push(Inst::Save(0));
+    c.emit(ast);
+    c.push(Inst::Save(1));
+    c.push(Inst::Match);
+    Program { insts: c.insts, num_slots: 2 * (c.max_group + 1) }
+}
+
+fn max_group_index(ast: &Ast) -> usize {
+    match ast {
+        Ast::Group(inner, i) => (*i).max(max_group_index(inner)),
+        Ast::Concat(v) | Ast::Alternate(v) => {
+            v.iter().map(max_group_index).max().unwrap_or(0)
+        }
+        Ast::Repeat { node, .. } => max_group_index(node),
+        _ => 0,
+    }
+}
+
+struct Compiler {
+    insts: Vec<Inst>,
+    max_group: usize,
+}
+
+impl Compiler {
+    fn push(&mut self, inst: Inst) -> usize {
+        self.insts.push(inst);
+        self.insts.len() - 1
+    }
+
+    fn here(&self) -> usize {
+        self.insts.len()
+    }
+
+    fn emit(&mut self, ast: &Ast) {
+        match ast {
+            Ast::Empty => {}
+            Ast::Literal(c) => {
+                self.push(Inst::Char(*c));
+            }
+            Ast::AnyChar => {
+                self.push(Inst::Any);
+            }
+            Ast::Class(set) => {
+                self.push(Inst::Class(set.clone()));
+            }
+            Ast::StartAnchor => {
+                self.push(Inst::Start);
+            }
+            Ast::EndAnchor => {
+                self.push(Inst::End);
+            }
+            Ast::WordBoundary => {
+                self.push(Inst::WordBoundary);
+            }
+            Ast::Concat(parts) => {
+                for p in parts {
+                    self.emit(p);
+                }
+            }
+            Ast::Alternate(branches) => {
+                // Chain of splits, earlier branches preferred.
+                let mut jmp_ends = Vec::new();
+                for (i, b) in branches.iter().enumerate() {
+                    if i + 1 < branches.len() {
+                        let split = self.push(Inst::Split(0, 0));
+                        let body = self.here();
+                        self.emit(b);
+                        jmp_ends.push(self.push(Inst::Jmp(0)));
+                        let next = self.here();
+                        self.insts[split] = Inst::Split(body, next);
+                    } else {
+                        self.emit(b);
+                    }
+                }
+                let end = self.here();
+                for j in jmp_ends {
+                    self.insts[j] = Inst::Jmp(end);
+                }
+            }
+            Ast::Group(inner, idx) => {
+                self.push(Inst::Save(2 * idx));
+                self.emit(inner);
+                self.push(Inst::Save(2 * idx + 1));
+            }
+            Ast::Repeat { node, min, max, greedy } => {
+                self.emit_repeat(node, *min, *max, *greedy);
+            }
+        }
+    }
+
+    fn emit_repeat(&mut self, node: &Ast, min: u32, max: Option<u32>, greedy: bool) {
+        // Mandatory prefix: `min` copies.
+        for _ in 0..min {
+            self.emit(node);
+        }
+        match max {
+            None => {
+                // Star loop for the unbounded tail:
+                //   L1: Split(L2, L3) ; L2: node ; Jmp(L1) ; L3:
+                let l1 = self.push(Inst::Split(0, 0));
+                let l2 = self.here();
+                self.emit(node);
+                self.push(Inst::Jmp(l1));
+                let l3 = self.here();
+                self.insts[l1] =
+                    if greedy { Inst::Split(l2, l3) } else { Inst::Split(l3, l2) };
+            }
+            Some(max) => {
+                // (max - min) optional copies, each guarded by a split that
+                // can skip the entire remaining tail.
+                let mut splits = Vec::new();
+                for _ in min..max {
+                    let s = self.push(Inst::Split(0, 0));
+                    let body = self.here();
+                    self.emit(node);
+                    splits.push((s, body));
+                }
+                let end = self.here();
+                for (s, body) in splits {
+                    self.insts[s] =
+                        if greedy { Inst::Split(body, end) } else { Inst::Split(end, body) };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn prog(pat: &str) -> Program {
+        compile(&parse(pat).unwrap())
+    }
+
+    #[test]
+    fn literal_program_shape() {
+        let p = prog("ab");
+        assert_eq!(
+            p.insts,
+            vec![
+                Inst::Save(0),
+                Inst::Char('a'),
+                Inst::Char('b'),
+                Inst::Save(1),
+                Inst::Match
+            ]
+        );
+        assert_eq!(p.num_slots, 2);
+    }
+
+    #[test]
+    fn group_slots_counted() {
+        let p = prog("(a)(b)");
+        assert_eq!(p.num_slots, 6);
+    }
+
+    #[test]
+    fn star_compiles_to_loop() {
+        let p = prog("a*");
+        // Save(0), Split, Char(a), Jmp, Save(1), Match
+        assert_eq!(p.insts.len(), 6);
+        assert!(matches!(p.insts[1], Inst::Split(2, 4)));
+    }
+
+    #[test]
+    fn lazy_star_flips_split() {
+        let p = prog("a*?");
+        assert!(matches!(p.insts[1], Inst::Split(4, 2)));
+    }
+
+    #[test]
+    fn bounded_repeat_expands() {
+        let p = prog("a{2,4}");
+        let chars = p.insts.iter().filter(|i| matches!(i, Inst::Char('a'))).count();
+        assert_eq!(chars, 4);
+        let splits = p.insts.iter().filter(|i| matches!(i, Inst::Split(_, _))).count();
+        assert_eq!(splits, 2);
+    }
+}

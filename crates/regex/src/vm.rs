@@ -1,0 +1,228 @@
+//! Pike VM: breadth-first NFA simulation with capture slots and
+//! leftmost-first match semantics.
+
+use crate::program::{Inst, Program};
+
+type Slots = Vec<Option<usize>>;
+
+/// Run `prog` on `haystack`, considering match starts at byte offset
+/// `from` or later. Returns the capture slots of the leftmost-first match.
+pub fn run(prog: &Program, haystack: &str, from: usize) -> Option<Slots> {
+    if from > haystack.len() {
+        return None;
+    }
+    // Positions: byte offset of every char at or after `from`, plus the
+    // end-of-input sentinel.
+    let tail = &haystack[from..];
+    let chars: Vec<(usize, char)> =
+        tail.char_indices().map(|(i, c)| (from + i, c)).collect();
+
+    let mut clist = ThreadList::new(prog.insts.len());
+    let mut nlist = ThreadList::new(prog.insts.len());
+    let mut matched: Option<Slots> = None;
+
+    for step in 0..=chars.len() {
+        let at = if step < chars.len() { chars[step].0 } else { haystack.len() };
+        let cur: Option<char> = chars.get(step).map(|&(_, c)| c);
+        let prev: Option<char> = if step == 0 {
+            haystack[..from].chars().next_back()
+        } else {
+            Some(chars[step - 1].1)
+        };
+        let ctx = Ctx { at, cur, prev, hay_len: haystack.len() };
+
+        // New starting thread at this position (lowest priority), unless a
+        // match was already found at an earlier start.
+        if matched.is_none() {
+            let slots = vec![None; prog.num_slots];
+            add_thread(prog, &mut clist, 0, slots, ctx);
+        }
+        if clist.dense.is_empty() && matched.is_some() {
+            // No live threads and no new starts will be added: done.
+            break;
+        }
+
+        let mut i = 0;
+        while i < clist.dense.len() {
+            let (pc, slots) = {
+                let t = &clist.dense[i];
+                (t.pc, t.slots.clone())
+            };
+            match &prog.insts[pc] {
+                Inst::Match => {
+                    matched = Some(slots);
+                    // All later threads in clist have lower priority.
+                    break;
+                }
+                Inst::Char(c) => {
+                    if cur == Some(*c) {
+                        let next = next_ctx(&chars, step, haystack.len());
+                        add_thread(prog, &mut nlist, pc + 1, slots, next);
+                    }
+                }
+                Inst::Any => {
+                    if matches!(cur, Some(c) if c != '\n') {
+                        let next = next_ctx(&chars, step, haystack.len());
+                        add_thread(prog, &mut nlist, pc + 1, slots, next);
+                    }
+                }
+                Inst::Class(set) => {
+                    if matches!(cur, Some(c) if set.contains(c)) {
+                        let next = next_ctx(&chars, step, haystack.len());
+                        add_thread(prog, &mut nlist, pc + 1, slots, next);
+                    }
+                }
+                // Zero-width instructions are resolved inside add_thread.
+                _ => unreachable!("epsilon inst {pc} escaped add_thread"),
+            }
+            i += 1;
+        }
+
+        std::mem::swap(&mut clist, &mut nlist);
+        nlist.clear();
+        if cur.is_none() {
+            break;
+        }
+    }
+    matched
+}
+
+/// Position context used to evaluate zero-width assertions.
+#[derive(Clone, Copy)]
+struct Ctx {
+    at: usize,
+    cur: Option<char>,
+    prev: Option<char>,
+    hay_len: usize,
+}
+
+fn next_ctx(chars: &[(usize, char)], step: usize, hay_len: usize) -> Ctx {
+    let at = chars.get(step + 1).map_or(hay_len, |&(i, _)| i);
+    Ctx {
+        at,
+        cur: chars.get(step + 1).map(|&(_, c)| c),
+        prev: chars.get(step).map(|&(_, c)| c),
+        hay_len,
+    }
+}
+
+struct Thread {
+    pc: usize,
+    slots: Slots,
+}
+
+/// A priority-ordered list of threads with O(1) de-duplication by pc.
+struct ThreadList {
+    dense: Vec<Thread>,
+    seen: Vec<bool>,
+}
+
+impl ThreadList {
+    fn new(n: usize) -> Self {
+        ThreadList { dense: Vec::new(), seen: vec![false; n] }
+    }
+
+    fn clear(&mut self) {
+        self.dense.clear();
+        self.seen.iter_mut().for_each(|s| *s = false);
+    }
+}
+
+fn is_word(c: Option<char>) -> bool {
+    matches!(c, Some(c) if c == '_' || c.is_alphanumeric())
+}
+
+/// Add `pc` (following epsilon transitions) to `list` in priority order.
+fn add_thread(prog: &Program, list: &mut ThreadList, pc: usize, slots: Slots, ctx: Ctx) {
+    if list.seen[pc] {
+        return;
+    }
+    list.seen[pc] = true;
+    match &prog.insts[pc] {
+        Inst::Jmp(t) => add_thread(prog, list, *t, slots, ctx),
+        Inst::Split(a, b) => {
+            add_thread(prog, list, *a, slots.clone(), ctx);
+            add_thread(prog, list, *b, slots, ctx);
+        }
+        Inst::Save(i) => {
+            let mut slots = slots;
+            slots[*i] = Some(ctx.at);
+            add_thread(prog, list, pc + 1, slots, ctx);
+        }
+        Inst::Start => {
+            if ctx.at == 0 {
+                add_thread(prog, list, pc + 1, slots, ctx);
+            }
+        }
+        Inst::End => {
+            if ctx.at == ctx.hay_len {
+                add_thread(prog, list, pc + 1, slots, ctx);
+            }
+        }
+        Inst::WordBoundary => {
+            if is_word(ctx.prev) != is_word(ctx.cur) {
+                add_thread(prog, list, pc + 1, slots, ctx);
+            }
+        }
+        _ => list.dense.push(Thread { pc, slots }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Regex;
+
+    #[test]
+    fn leftmost_first_alternation() {
+        let re = Regex::new("ab|abc").unwrap();
+        assert_eq!(re.find("zabc").unwrap().as_str(), "ab");
+        let re = Regex::new("abc|ab").unwrap();
+        assert_eq!(re.find("zabc").unwrap().as_str(), "abc");
+    }
+
+    #[test]
+    fn find_at_respects_offset() {
+        let re = Regex::new(r"\d+").unwrap();
+        let h = "12 and 34";
+        assert_eq!(re.find_at(h, 2).unwrap().as_str(), "34");
+    }
+
+    #[test]
+    fn anchors_with_offset() {
+        let re = Regex::new(r"^\d").unwrap();
+        assert!(re.find_at("1x2", 2).is_none());
+    }
+
+    #[test]
+    fn word_boundary_with_offset_context() {
+        // Starting mid-word: `\b` must see the char before `from`.
+        let re = Regex::new(r"\bx").unwrap();
+        assert!(re.find_at("ax", 1).is_none());
+        assert!(re.find_at(" x", 1).is_some());
+    }
+
+    #[test]
+    fn repeated_group_captures_last_iteration() {
+        let re = Regex::new("(a|b)+").unwrap();
+        let c = re.captures("abab").unwrap();
+        assert_eq!(c.get(0).unwrap().as_str(), "abab");
+        assert_eq!(c.get(1).unwrap().as_str(), "b");
+    }
+
+    #[test]
+    fn no_catastrophic_backtracking() {
+        // (a+)+b on a long run of 'a's with no 'b' — linear for a Pike VM.
+        let re = Regex::new("(a+)+b").unwrap();
+        let hay = "a".repeat(2000);
+        assert!(re.find(&hay).is_none());
+    }
+
+    #[test]
+    fn multibyte_haystack_offsets() {
+        let re = Regex::new(r"\d+").unwrap();
+        let h = "€€ 42 €€";
+        let m = re.find(h).unwrap();
+        assert_eq!(m.as_str(), "42");
+        assert_eq!(&h[m.range()], "42");
+    }
+}

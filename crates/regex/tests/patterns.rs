@@ -1,0 +1,136 @@
+//! Pattern-level integration tests: the exact regex idioms the BriQ
+//! extraction layer relies on, plus engine corner cases.
+
+use briq_regex::Regex;
+
+#[test]
+fn paper_currency_pattern() {
+    // The literal pattern from §III of the paper.
+    let re = Regex::new(r"\d+\s*\p{Currency_Symbol}").unwrap();
+    for (hay, expect) in [
+        ("pay 37€ now", Some("37€")),
+        ("pay 37 € now", Some("37 €")),
+        ("pay € 37 now", None), // symbol first — not this pattern
+        ("around 1000   ¥", Some("1000   ¥")),
+        ("price: unknown", None),
+    ] {
+        assert_eq!(re.find(hay).map(|m| m.as_str()), expect, "{hay:?}");
+    }
+}
+
+#[test]
+fn money_with_scale_words() {
+    let re = Regex::new(r"\$\d+(\.\d+)?\s*(million|billion)?").unwrap();
+    assert_eq!(re.find("lost $3.26 billion overall").unwrap().as_str(), "$3.26 billion");
+    assert_eq!(re.find("a $70 million gain").unwrap().as_str(), "$70 million");
+    assert_eq!(re.find("about $45 total").unwrap().as_str(), "$45 ");
+}
+
+#[test]
+fn grouped_numbers() {
+    let re = Regex::new(r"\d{1,3}(,\d{3})+").unwrap();
+    assert_eq!(re.find("sold 1,144,716 units").unwrap().as_str(), "1,144,716");
+    assert!(re.find("sold 42 units").is_none());
+}
+
+#[test]
+fn nested_groups_capture() {
+    let re = Regex::new(r"((\d+)-(\d+))-(\d+)").unwrap();
+    let c = re.captures("code 12-34-56 end").unwrap();
+    assert_eq!(c.get(1).unwrap().as_str(), "12-34");
+    assert_eq!(c.get(2).unwrap().as_str(), "12");
+    assert_eq!(c.get(3).unwrap().as_str(), "34");
+    assert_eq!(c.get(4).unwrap().as_str(), "56");
+}
+
+#[test]
+fn alternation_inside_repetition() {
+    let re = Regex::new("(ab|cd)+").unwrap();
+    assert_eq!(re.find("xxabcdabxx").unwrap().as_str(), "abcdab");
+}
+
+#[test]
+fn anchored_full_match_validation() {
+    let numeral = Regex::new(r"^\d{1,3}(,\d{3})*(\.\d+)?$").unwrap();
+    for ok in ["1", "12", "123", "1,234", "12,345.67", "1,234,567"] {
+        assert!(numeral.is_match(ok), "{ok:?}");
+    }
+    for bad in ["1234", "1,23", ",123", "12.", "1,2345"] {
+        assert!(!numeral.is_match(bad), "{bad:?}");
+    }
+}
+
+#[test]
+fn lazy_vs_greedy_quantified_groups() {
+    let greedy = Regex::new(r"<.+>").unwrap();
+    assert_eq!(greedy.find("<a><b>").unwrap().as_str(), "<a><b>");
+    let lazy = Regex::new(r"<.+?>").unwrap();
+    assert_eq!(lazy.find("<a><b>").unwrap().as_str(), "<a>");
+}
+
+#[test]
+fn counted_repetition_of_groups() {
+    let re = Regex::new(r"(\d\d:){2}\d\d").unwrap();
+    assert_eq!(re.find("at 12:34:56 sharp").unwrap().as_str(), "12:34:56");
+}
+
+#[test]
+fn word_boundaries_in_identifiers() {
+    // the "Win10" exclusion logic (§II-A) relies on this distinction
+    let re = Regex::new(r"\b\d+\b").unwrap();
+    let hits: Vec<&str> = re.find_iter("Win10 has 8 cores at 3.5 GHz").map(|m| m.as_str()).collect();
+    assert_eq!(hits, vec!["8", "3", "5"]);
+}
+
+#[test]
+fn empty_pattern_and_haystack() {
+    let re = Regex::new("").unwrap();
+    let m = re.find("abc").unwrap();
+    assert!(m.is_empty());
+    assert_eq!(m.start(), 0);
+    let re = Regex::new("a").unwrap();
+    assert!(re.find("").is_none());
+}
+
+#[test]
+fn long_haystack_linear_behaviour() {
+    // worst-case quadratic engines choke here; the Pike VM must not
+    let hay = "a".repeat(20_000) + "b";
+    let re = Regex::new("a*b").unwrap();
+    let start = std::time::Instant::now();
+    assert!(re.is_match(&hay));
+    assert!(start.elapsed().as_secs_f64() < 2.0);
+}
+
+#[test]
+fn splits_preserve_empty_fields() {
+    let re = Regex::new(",").unwrap();
+    assert_eq!(re.split(",a,,b,"), vec!["", "a", "", "b", ""]);
+}
+
+#[test]
+fn replace_all_disjoint() {
+    let re = Regex::new(r"\d+").unwrap();
+    assert_eq!(re.replace_all("a1b22c333", "#"), "a#b#c#");
+}
+
+#[test]
+fn case_sensitive_by_design() {
+    let re = Regex::new("EUR").unwrap();
+    assert!(re.is_match("37 EUR"));
+    assert!(!re.is_match("37 eur"));
+}
+
+#[test]
+fn classes_with_escapes_inside() {
+    let re = Regex::new(r"[\d\.\-]+").unwrap();
+    assert_eq!(re.find("range 1.5-2.5 found").unwrap().as_str(), "1.5-2.5");
+}
+
+#[test]
+fn non_capturing_groups_do_not_shift_indices() {
+    let re = Regex::new(r"(?:\$|€)(\d+)").unwrap();
+    let c = re.captures("cost €42 total").unwrap();
+    assert_eq!(c.get(1).unwrap().as_str(), "42");
+    assert_eq!(re.captures_len(), 2);
+}

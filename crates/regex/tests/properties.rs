@@ -1,0 +1,101 @@
+//! Property-based tests for the regex engine.
+
+use briq_regex::Regex;
+use proptest::prelude::*;
+
+/// Escape a string so it becomes a literal pattern.
+fn escape_literal(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() * 2);
+    for c in s.chars() {
+        if c.is_ascii_punctuation() || c == ' ' {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out
+}
+
+proptest! {
+    /// Any string, escaped as a literal pattern, matches itself exactly.
+    #[test]
+    fn literal_pattern_matches_itself(s in "[ -~]{1,24}") {
+        let re = Regex::new(&escape_literal(&s)).unwrap();
+        let m = re.find(&s).expect("literal must match itself");
+        prop_assert_eq!(m.as_str(), s.as_str());
+        prop_assert_eq!(m.start(), 0);
+    }
+
+    /// find_iter yields non-overlapping matches in increasing order, and
+    /// every reported range round-trips through the haystack.
+    #[test]
+    fn find_iter_is_ordered_and_disjoint(hay in "[a-z0-9 .,%$]{0,64}") {
+        let re = Regex::new(r"\d+(\.\d+)?").unwrap();
+        let mut prev_end = 0usize;
+        for m in re.find_iter(&hay) {
+            prop_assert!(m.start() >= prev_end);
+            prop_assert!(m.end() > m.start());
+            prop_assert_eq!(&hay[m.range()], m.as_str());
+            prev_end = m.end();
+        }
+    }
+
+    /// Matches found by `\d+` consist only of digits and are maximal.
+    #[test]
+    fn digit_runs_are_maximal(hay in "[a-z0-9 ]{0,64}") {
+        let re = Regex::new(r"\d+").unwrap();
+        for m in re.find_iter(&hay) {
+            prop_assert!(m.as_str().chars().all(|c| c.is_ascii_digit()));
+            // maximality: chars adjacent to the match are not digits
+            if m.start() > 0 {
+                let before = hay[..m.start()].chars().next_back().unwrap();
+                prop_assert!(!before.is_ascii_digit());
+            }
+            if m.end() < hay.len() {
+                let after = hay[m.end()..].chars().next().unwrap();
+                prop_assert!(!after.is_ascii_digit());
+            }
+        }
+    }
+
+    /// replace_all with the empty string removes exactly the matched bytes.
+    #[test]
+    fn replace_all_removes_matches(hay in "[a-z0-9 ]{0,64}") {
+        let re = Regex::new(r"\d+").unwrap();
+        let matched: usize = re.find_iter(&hay).map(|m| m.len()).sum();
+        let replaced = re.replace_all(&hay, "");
+        prop_assert_eq!(replaced.len(), hay.len() - matched);
+        prop_assert!(!re.is_match(&replaced));
+    }
+
+    /// split + join with a non-matching separator preserves non-matched text.
+    #[test]
+    fn split_preserves_residue(hay in "[a-z0-9,]{0,64}") {
+        let re = Regex::new(",").unwrap();
+        let parts = re.split(&hay);
+        let rejoined = parts.join(",");
+        prop_assert_eq!(rejoined, hay);
+    }
+
+    /// The engine is total: arbitrary inputs never panic for a fixed
+    /// realistic pattern set.
+    #[test]
+    fn engine_is_total(hay in "\\PC{0,64}") {
+        for pat in [r"\d+\s*\p{Currency_Symbol}", r"[0-9][0-9,\.]*", r"\b\w+\b", r"(\d+)(\.\d+)?%?"] {
+            let re = Regex::new(pat).unwrap();
+            let _ = re.find(&hay);
+            let _ = re.find_iter(&hay).count();
+        }
+    }
+
+    /// Bounded repetition semantics: a{m,n} matches runs of length within
+    /// bounds (anchored).
+    #[test]
+    fn bounded_repeat_semantics(len in 0usize..10, m in 0u32..5, extra in 0u32..5) {
+        let n = m + extra;
+        let pat = format!("^a{{{m},{n}}}$");
+        let re = Regex::new(&pat).unwrap();
+        let hay = "a".repeat(len);
+        let expect = (len as u32) >= m && (len as u32) <= n;
+        prop_assert_eq!(re.is_match(&hay), expect);
+    }
+}

@@ -1,0 +1,86 @@
+//! Single-cell table-mention extraction.
+//!
+//! Produces one [`TableMention`] per data cell holding a parsed quantity —
+//! the "explicit single-cell mentions" of §II-A (at most `r · c` of them).
+
+use crate::model::{Table, TableMention, TableMentionKind};
+
+/// Extract single-cell mentions from `table` (index `table_idx` within its
+/// document).
+pub fn single_cell_mentions(table: &Table, table_idx: usize) -> Vec<TableMention> {
+    table
+        .quantities()
+        .map(|(&(r, c), q)| TableMention {
+            table: table_idx,
+            kind: TableMentionKind::SingleCell,
+            cells: vec![(r, c)],
+            value: q.value,
+            unnormalized: q.unnormalized,
+            raw: table.cells[r][c].clone(),
+            unit: q.unit,
+            precision: q.precision,
+            orientation: None,
+        })
+        .collect()
+}
+
+/// Extract single-cell mentions for every table in a document.
+pub fn document_single_cells(tables: &[Table]) -> Vec<TableMention> {
+    tables
+        .iter()
+        .enumerate()
+        .flat_map(|(i, t)| single_cell_mentions(t, i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use briq_text::units::{Currency, Unit};
+
+    fn table() -> Table {
+        let grid = vec![
+            vec!["item".to_string(), "price ($)".to_string()],
+            vec!["widget".to_string(), "35".to_string()],
+            vec!["gadget".to_string(), "38".to_string()],
+        ];
+        Table::from_grid("", grid)
+    }
+
+    #[test]
+    fn one_mention_per_numeric_cell() {
+        let ms = single_cell_mentions(&table(), 0);
+        assert_eq!(ms.len(), 2);
+        assert!(ms.iter().all(|m| m.kind == TableMentionKind::SingleCell));
+        assert!(ms.iter().all(|m| m.cells.len() == 1));
+        let values: Vec<f64> = ms.iter().map(|m| m.value).collect();
+        assert_eq!(values, vec![35.0, 38.0]);
+    }
+
+    #[test]
+    fn unit_inherited_from_header() {
+        let ms = single_cell_mentions(&table(), 0);
+        assert!(ms.iter().all(|m| m.unit == Unit::Currency(Currency::Usd)));
+    }
+
+    #[test]
+    fn surface_form_kept() {
+        let ms = single_cell_mentions(&table(), 0);
+        assert_eq!(ms[0].raw, "35");
+    }
+
+    #[test]
+    fn document_level_extraction_indexes_tables() {
+        let tables = vec![table(), table()];
+        let ms = document_single_cells(&tables);
+        assert_eq!(ms.len(), 4);
+        assert_eq!(ms[0].table, 0);
+        assert_eq!(ms[2].table, 1);
+    }
+
+    #[test]
+    fn empty_table_yields_nothing() {
+        let t = Table::from_grid("", vec![vec!["a".to_string(), "b".to_string()]]);
+        assert!(single_cell_mentions(&t, 0).is_empty());
+    }
+}

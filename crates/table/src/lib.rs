@@ -1,0 +1,33 @@
+//! # briq-table
+//!
+//! Web-table substrate for BriQ: parsing ad-hoc HTML tables, modelling
+//! their content, segmenting pages into coherent documents (a paragraph
+//! plus its related tables, §III), extracting single-cell quantity
+//! mentions, and generating *virtual cells* for aggregated quantities
+//! (§II-A).
+//!
+//! ```
+//! use briq_table::html::parse_page;
+//! use briq_table::model::Table;
+//!
+//! let page = parse_page(r#"
+//!   <p>A total of 123 patients reported side effects.</p>
+//!   <table><tr><th>effect</th><th>total</th></tr>
+//!          <tr><td>Rash</td><td>35</td></tr>
+//!          <tr><td>Depression</td><td>88</td></tr></table>
+//! "#);
+//! assert_eq!(page.paragraphs.len(), 1);
+//! let table = Table::from_raw(&page.tables[0]);
+//! assert_eq!(table.n_rows, 3);
+//! assert!(table.quantity(1, 1).is_some());
+//! ```
+
+pub mod extract;
+pub mod html;
+pub mod model;
+pub mod segment;
+pub mod stats;
+pub mod virtual_cells;
+
+pub use model::{CellRef, Document, Orientation, Table, TableMention, TableMentionKind};
+pub use segment::segment_page;

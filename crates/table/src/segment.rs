@@ -1,0 +1,170 @@
+//! Page segmentation into coherent documents (§III).
+//!
+//! A *document* is a paragraph together with all related tables from the
+//! same page. Relatedness is token-overlap similarity between the
+//! paragraph and the entire table content (headers and caption included),
+//! with a proximity bonus: the table immediately following a paragraph is
+//! related even with modest overlap. A paragraph may relate to several
+//! tables and a table to several paragraphs.
+
+use std::collections::BTreeSet;
+
+use crate::html::RawPage;
+use crate::model::{Document, Table};
+
+/// Configuration for page segmentation.
+#[derive(Debug, Clone)]
+pub struct SegmentConfig {
+    /// Minimum token-overlap similarity for a paragraph–table pair.
+    pub similarity_threshold: f64,
+    /// Similarity for the table directly adjacent to the paragraph
+    /// (positional prior — adjacent tables are usually discussed).
+    pub adjacent_threshold: f64,
+    /// Paragraphs shorter than this many tokens are skipped (boilerplate).
+    pub min_paragraph_tokens: usize,
+}
+
+impl Default for SegmentConfig {
+    fn default() -> Self {
+        SegmentConfig {
+            similarity_threshold: 0.10,
+            adjacent_threshold: 0.02,
+            min_paragraph_tokens: 5,
+        }
+    }
+}
+
+/// Lowercased, lightly stemmed word-token set of a text.
+fn token_set(text: &str) -> BTreeSet<String> {
+    briq_text::token::tokenize(text)
+        .into_iter()
+        .filter(|t| t.is_wordlike() || t.kind == briq_text::token::TokenKind::Number)
+        .map(|t| briq_text::token::light_stem(&t.text))
+        .collect()
+}
+
+/// Overlap coefficient |A ∩ B| / min(|A|, |B|).
+pub fn overlap_coefficient(a: &BTreeSet<String>, b: &BTreeSet<String>) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.intersection(b).count();
+    inter as f64 / a.len().min(b.len()) as f64
+}
+
+/// Segment a parsed page into documents.
+///
+/// Returns one document per paragraph that has at least one related table;
+/// document ids are assigned sequentially starting from `first_id`.
+pub fn segment_page(page: &RawPage, cfg: &SegmentConfig, first_id: usize) -> Vec<Document> {
+    let tables: Vec<Table> = page.tables.iter().map(Table::from_raw).collect();
+    let table_sets: Vec<BTreeSet<String>> =
+        tables.iter().map(|t| token_set(&t.full_text())).collect();
+
+    let mut docs = Vec::new();
+    let mut next_id = first_id;
+    for (pi, para) in page.paragraphs.iter().enumerate() {
+        let pset = token_set(para);
+        if pset.len() < cfg.min_paragraph_tokens {
+            continue;
+        }
+        let mut related = Vec::new();
+        for (ti, tset) in table_sets.iter().enumerate() {
+            let sim = overlap_coefficient(&pset, tset);
+            // Is this table adjacent to the paragraph? table_positions[ti]
+            // counts the paragraphs before the table.
+            let adjacent = page
+                .table_positions
+                .get(ti)
+                .map_or(false, |&pos| pos == pi + 1 || pos == pi);
+            let threshold =
+                if adjacent { cfg.adjacent_threshold } else { cfg.similarity_threshold };
+            if sim >= threshold {
+                related.push(tables[ti].clone());
+            }
+        }
+        if !related.is_empty() {
+            docs.push(Document::new(next_id, para.clone(), related));
+            next_id += 1;
+        }
+    }
+    docs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::html::parse_page;
+
+    fn page() -> RawPage {
+        parse_page(
+            "<p>A total of 123 patients reported side effects such as rash and depression.</p>\
+             <table><tr><th>side effects</th><th>total</th></tr>\
+             <tr><td>Rash</td><td>35</td></tr><tr><td>Depression</td><td>38</td></tr></table>\
+             <p>The weather tomorrow will be sunny with light winds from the north.</p>\
+             <p>Car prices and ratings differ between the tested models significantly this year.</p>\
+             <table><tr><th>model</th><th>price</th><th>rating</th></tr>\
+             <tr><td>Focus</td><td>34900</td><td>1.33</td></tr></table>",
+        )
+    }
+
+    #[test]
+    fn related_paragraphs_get_documents() {
+        let docs = segment_page(&page(), &SegmentConfig::default(), 0);
+        // Paragraph 1 relates to table 1 (overlap: side, effects, rash,
+        // depression); paragraph 3 relates to table 2 via adjacency.
+        assert_eq!(docs.len(), 2);
+        assert!(docs[0].text.contains("123 patients"));
+        assert_eq!(docs[0].tables.len(), 1);
+        assert!(docs[1].text.contains("Car prices"));
+    }
+
+    #[test]
+    fn unrelated_paragraph_skipped() {
+        let docs = segment_page(&page(), &SegmentConfig::default(), 0);
+        assert!(!docs.iter().any(|d| d.text.contains("weather")));
+    }
+
+    #[test]
+    fn ids_sequential_from_first() {
+        let docs = segment_page(&page(), &SegmentConfig::default(), 10);
+        let ids: Vec<usize> = docs.iter().map(|d| d.id).collect();
+        assert_eq!(ids, vec![10, 11]);
+    }
+
+    #[test]
+    fn short_paragraphs_skipped() {
+        let page = parse_page(
+            "<p>Too short.</p><table><tr><td>1</td><td>2</td></tr></table>",
+        );
+        let docs = segment_page(&page, &SegmentConfig::default(), 0);
+        assert!(docs.is_empty());
+    }
+
+    #[test]
+    fn paragraph_can_relate_to_multiple_tables() {
+        let page = parse_page(
+            "<p>Sales rose in transportation systems and automation control segments; \
+             segment profit and segment margin grew strongly across both business units.</p>\
+             <table><caption>Transportation Systems</caption>\
+             <tr><th>metric</th><th>value</th></tr><tr><td>Sales</td><td>900</td></tr>\
+             <tr><td>Segment Profit</td><td>114</td></tr></table>\
+             <table><caption>Automation Control</caption>\
+             <tr><th>metric</th><th>value</th></tr><tr><td>Sales</td><td>3962</td></tr>\
+             <tr><td>Segment Margin</td><td>13.3%</td></tr></table>",
+        );
+        let docs = segment_page(&page, &SegmentConfig::default(), 0);
+        assert_eq!(docs.len(), 1);
+        assert_eq!(docs[0].tables.len(), 2);
+    }
+
+    #[test]
+    fn overlap_coefficient_properties() {
+        let a = token_set("alpha beta gamma");
+        let b = token_set("beta gamma delta epsilon");
+        let c = overlap_coefficient(&a, &b);
+        assert!((c - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(overlap_coefficient(&a, &a), 1.0);
+        assert_eq!(overlap_coefficient(&a, &BTreeSet::new()), 0.0);
+    }
+}

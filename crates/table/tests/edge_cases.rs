@@ -1,0 +1,184 @@
+//! Edge-case tests for the table substrate: messy HTML, degenerate
+//! tables, header-detection corners, segmentation behaviour.
+
+use briq_table::html::parse_page;
+use briq_table::segment::{segment_page, SegmentConfig};
+use briq_table::virtual_cells::{all_table_mentions, virtual_cells, VirtualCellConfig};
+use briq_table::{Table, TableMentionKind};
+
+fn grid(rows: &[&[&str]]) -> Vec<Vec<String>> {
+    rows.iter().map(|r| r.iter().map(|s| s.to_string()).collect()).collect()
+}
+
+mod html {
+    use super::*;
+
+    #[test]
+    fn deeply_nested_inline_markup() {
+        let page = parse_page(
+            "<p>The <b><i>net <u>income</u></i></b> was <span class=\"x\">42</span>.</p>",
+        );
+        assert_eq!(page.paragraphs, vec!["The net income was 42."]);
+    }
+
+    #[test]
+    fn table_without_any_rows_dropped() {
+        let page = parse_page("<table><caption>empty</caption></table><p>some text here</p>");
+        assert!(page.tables.is_empty());
+    }
+
+    #[test]
+    fn nested_table_tags_tolerated() {
+        // malformed nesting: inner <table> inside a cell is flattened
+        let page = parse_page("<table><tr><td>1</td><td>2</td></tr></table>");
+        assert_eq!(page.tables.len(), 1);
+    }
+
+    #[test]
+    fn mixed_th_td_rows() {
+        let page = parse_page(
+            "<table><tr><th>h1</th><td>v1</td></tr><tr><td>a</td><td>1</td></tr></table>",
+        );
+        assert_eq!(page.tables[0].header_flags[0], vec![true, false]);
+    }
+
+    #[test]
+    fn crlf_and_tabs_collapse() {
+        let page = parse_page("<p>a\r\n\tb</p>");
+        assert_eq!(page.paragraphs, vec!["a b"]);
+    }
+
+    #[test]
+    fn numeric_entities_in_cells() {
+        let page = parse_page("<table><tr><td>37&#8364;</td></tr></table>");
+        assert_eq!(page.tables[0].rows[0][0], "37€");
+    }
+
+    #[test]
+    fn text_after_last_table() {
+        let page = parse_page("<table><tr><td>1</td></tr></table>trailing words here");
+        assert_eq!(page.paragraphs, vec!["trailing words here"]);
+    }
+}
+
+mod model {
+    use super::*;
+
+    #[test]
+    fn single_cell_table() {
+        let t = Table::from_grid("", grid(&[&["42"]]));
+        assert_eq!(t.n_rows, 1);
+        assert_eq!(t.n_cols, 1);
+        assert_eq!(t.header_rows, 0);
+        assert_eq!(t.quantity_count(), 1);
+        assert!(virtual_cells(&t, 0, &VirtualCellConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn single_row_table_has_row_aggregates_only() {
+        let t = Table::from_grid("", grid(&[&["1", "2", "3"]]));
+        let vc = virtual_cells(&t, 0, &VirtualCellConfig::default());
+        assert!(vc.iter().all(|m| matches!(m.orientation, Some(briq_table::Orientation::Row(0)))));
+        assert!(vc.iter().any(|m| m.kind == TableMentionKind::Aggregate(briq_text::AggregationKind::Sum) && m.value == 6.0));
+    }
+
+    #[test]
+    fn all_text_table_has_no_mentions() {
+        let t = Table::from_grid("", grid(&[&["a", "b"], &["c", "d"]]));
+        assert_eq!(t.quantity_count(), 0);
+        assert!(all_table_mentions(&[t], &VirtualCellConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn sparse_table_partial_parsing() {
+        let t = Table::from_grid(
+            "",
+            grid(&[&["metric", "a", "b"], &["x", "1", "--"], &["y", "", "4"]]),
+        );
+        assert_eq!(t.quantity_count(), 2);
+        assert!(t.quantity(1, 2).is_none());
+        assert!(t.quantity(2, 1).is_none());
+    }
+
+    #[test]
+    fn numeric_headers_not_misdetected() {
+        // first row all numeric → no header row
+        let t = Table::from_grid("", grid(&[&["1", "2"], &["3", "4"]]));
+        assert_eq!(t.header_rows, 0);
+        assert_eq!(t.header_cols, 0);
+    }
+
+    #[test]
+    fn percent_column_kept_out_of_sums() {
+        let t = Table::from_grid(
+            "",
+            grid(&[
+                &["metric", "value", "% Change"],
+                &["Sales", "900", "5%"],
+                &["Profit", "114", "11%"],
+            ]),
+        );
+        let vc = virtual_cells(&t, 0, &VirtualCellConfig::default());
+        // no row sums: value column and % column have incompatible units
+        let bad_sum = vc.iter().any(|m| {
+            m.kind == TableMentionKind::Aggregate(briq_text::AggregationKind::Sum)
+                && matches!(m.orientation, Some(briq_table::Orientation::Row(_)))
+        });
+        assert!(!bad_sum, "{vc:?}");
+    }
+
+    #[test]
+    fn row_and_col_text_with_empty_cells() {
+        let t = Table::from_grid("", grid(&[&["a", ""], &["", "4"]]));
+        assert_eq!(t.row_text(0), "a ");
+        assert_eq!(t.col_text(1), " 4");
+    }
+}
+
+mod segmentation {
+    use super::*;
+
+    #[test]
+    fn page_without_tables_yields_no_documents() {
+        let page = parse_page("<p>a long paragraph with many interesting words inside it</p>");
+        assert!(segment_page(&page, &SegmentConfig::default(), 0).is_empty());
+    }
+
+    #[test]
+    fn page_without_text_yields_no_documents() {
+        let page = parse_page("<table><tr><td>1</td><td>2</td></tr></table>");
+        assert!(segment_page(&page, &SegmentConfig::default(), 0).is_empty());
+    }
+
+    #[test]
+    fn table_shared_between_paragraphs() {
+        let html = "<p>The sales figures for widgets and gadgets rose sharply this year.</p>\
+             <table><tr><th>item</th><th>sales</th></tr>\
+             <tr><td>widgets</td><td>500</td></tr><tr><td>gadgets</td><td>700</td></tr></table>\
+             <p>Widgets outsold gadgets in every region according to the sales table.</p>";
+        let page = parse_page(html);
+        let docs = segment_page(&page, &SegmentConfig::default(), 0);
+        assert_eq!(docs.len(), 2, "both paragraphs relate to the table");
+        assert_eq!(docs[0].tables.len(), 1);
+        assert_eq!(docs[1].tables.len(), 1);
+    }
+
+    #[test]
+    fn threshold_controls_relatedness() {
+        let html = "<p>completely unrelated prose about gardening and weather patterns</p>\
+             <table><tr><th>item</th><th>sales</th></tr><tr><td>widgets</td><td>500</td></tr></table>";
+        let page = parse_page(html);
+        let strict = SegmentConfig {
+            similarity_threshold: 0.9,
+            adjacent_threshold: 0.9,
+            ..Default::default()
+        };
+        assert!(segment_page(&page, &strict, 0).is_empty());
+        let lax = SegmentConfig {
+            similarity_threshold: 0.0,
+            adjacent_threshold: 0.0,
+            ..Default::default()
+        };
+        assert_eq!(segment_page(&page, &lax, 0).len(), 1);
+    }
+}

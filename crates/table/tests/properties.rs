@@ -1,0 +1,144 @@
+//! Property-based tests for the table substrate.
+
+use briq_table::html::{decode_entities, parse_page};
+use briq_table::virtual_cells::{virtual_cells, VirtualCellConfig};
+use briq_table::Table;
+use proptest::prelude::*;
+
+/// Strategy: a small grid of numeric cell strings with a header row/col.
+fn grid_strategy() -> impl Strategy<Value = Vec<Vec<String>>> {
+    (2usize..6, 2usize..5).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(
+            proptest::collection::vec(1u32..100_000, cols - 1),
+            rows - 1,
+        )
+        .prop_map(move |data| {
+            let mut grid = Vec::with_capacity(rows);
+            let mut header = vec![String::new()];
+            header.extend((1..cols).map(|c| format!("metric{c}")));
+            grid.push(header);
+            for (r, row) in data.iter().enumerate() {
+                let mut cells = vec![format!("entity{r}")];
+                cells.extend(row.iter().map(|v| v.to_string()));
+                grid.push(cells);
+            }
+            grid
+        })
+    })
+}
+
+proptest! {
+    /// Every numeric data cell parses to its value; headers are detected.
+    #[test]
+    fn grid_parses_fully(grid in grid_strategy()) {
+        let rows = grid.len();
+        let cols = grid[0].len();
+        let t = Table::from_grid("", grid.clone());
+        prop_assert_eq!(t.header_rows, 1);
+        prop_assert_eq!(t.header_cols, 1);
+        prop_assert_eq!(t.quantity_count(), (rows - 1) * (cols - 1));
+        for r in 1..rows {
+            for c in 1..cols {
+                let q = t.quantity(r, c).expect("data cell parses");
+                let expect: f64 = grid[r][c].parse().unwrap();
+                prop_assert_eq!(q.value, expect);
+            }
+        }
+    }
+
+    /// Sum virtual cells equal the actual line sums; member cells are in
+    /// range and belong to the stated line.
+    #[test]
+    fn sums_are_correct(grid in grid_strategy()) {
+        let t = Table::from_grid("", grid);
+        let cfg = VirtualCellConfig {
+            differences: false,
+            percentages: false,
+            change_ratios: false,
+            ..Default::default()
+        };
+        for vc in virtual_cells(&t, 0, &cfg) {
+            let member_sum: f64 =
+                vc.cells.iter().map(|&(r, c)| t.quantity(r, c).unwrap().value).sum();
+            prop_assert!((vc.value - member_sum).abs() < 1e-9);
+            match vc.orientation.unwrap() {
+                briq_table::Orientation::Row(r) => {
+                    prop_assert!(vc.cells.iter().all(|&(rr, _)| rr == r));
+                }
+                briq_table::Orientation::Column(c) => {
+                    prop_assert!(vc.cells.iter().all(|&(_, cc)| cc == c));
+                }
+            }
+        }
+    }
+
+    /// Pair aggregates always reference exactly two distinct cells of one
+    /// line, and their values satisfy the defining formulas.
+    #[test]
+    fn pair_aggregates_satisfy_formulas(grid in grid_strategy()) {
+        use briq_text::cues::AggregationKind;
+        let t = Table::from_grid("", grid);
+        let cfg = VirtualCellConfig { sums: false, ..Default::default() };
+        for vc in virtual_cells(&t, 0, &cfg) {
+            prop_assert_eq!(vc.cells.len(), 2);
+            let a = t.quantity(vc.cells[0].0, vc.cells[0].1).unwrap().value;
+            let b = t.quantity(vc.cells[1].0, vc.cells[1].1).unwrap().value;
+            match vc.aggregation().unwrap() {
+                AggregationKind::Difference => {
+                    prop_assert!((vc.value - (a - b).abs()).abs() < 1e-9);
+                }
+                AggregationKind::Percentage => {
+                    let fwd = a / b * 100.0;
+                    let rev = b / a * 100.0;
+                    prop_assert!(
+                        (vc.value - fwd).abs() < 1e-9 || (vc.value - rev).abs() < 1e-9
+                    );
+                }
+                AggregationKind::ChangeRatio => {
+                    let fwd = ((a - b) / a * 100.0).abs();
+                    let rev = ((b - a) / b * 100.0).abs();
+                    prop_assert!(
+                        (vc.value - fwd).abs() < 1e-6 || (vc.value - rev).abs() < 1e-6
+                    );
+                }
+                other => prop_assert!(false, "unexpected kind {other:?}"),
+            }
+        }
+    }
+
+    /// HTML round trip: grid → html → parse → identical cells.
+    #[test]
+    fn html_roundtrip(grid in grid_strategy()) {
+        let t = Table::from_grid("caption", grid);
+        let mut html = String::from("<table><caption>caption</caption>");
+        for row in &t.cells {
+            html.push_str("<tr>");
+            for cell in row {
+                html.push_str("<td>");
+                html.push_str(cell);
+                html.push_str("</td>");
+            }
+            html.push_str("</tr>");
+        }
+        html.push_str("</table>");
+        let page = parse_page(&html);
+        prop_assert_eq!(page.tables.len(), 1);
+        let re = Table::from_raw(&page.tables[0]);
+        prop_assert_eq!(&re.cells, &t.cells);
+        prop_assert_eq!(re.quantity_count(), t.quantity_count());
+    }
+
+    /// Entity decoding is total and idempotent on entity-free strings.
+    #[test]
+    fn entity_decoding_total(s in "[a-zA-Z0-9 .,]*") {
+        let decoded = decode_entities(&s);
+        prop_assert_eq!(decoded.clone(), s);
+        prop_assert_eq!(decode_entities(&decoded.clone()), decoded);
+    }
+
+    /// parse_page never panics on arbitrary input.
+    #[test]
+    fn parser_is_total(s in "\\PC{0,300}") {
+        let _ = parse_page(&s);
+    }
+}

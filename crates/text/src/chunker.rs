@@ -1,0 +1,138 @@
+//! Noun-phrase chunker over POS-lite tags.
+//!
+//! Grammar: `(DT)? (JJ | VBG/VBN | NNP)* (NN | NNP)+` — a determiner,
+//! optional modifiers, then one or more noun heads. The extracted phrase
+//! (lowercased, determiner dropped) feeds the phrase-overlap features
+//! f4/f5 (§IV-B); e.g. the phrase "segment profit" in Fig. 3.
+
+use crate::pos::{sentence_initial_flags, tag_tokens, PosTag};
+use crate::sentence::split_sentences;
+use crate::token::{tokenize, Token};
+
+/// A noun phrase: token index range and normalized form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NounPhrase {
+    /// Index of the first token in the phrase (after any determiner).
+    pub first_token: usize,
+    /// Index one past the last token.
+    pub end_token: usize,
+    /// Lowercased, space-joined phrase text (determiner excluded).
+    pub text: String,
+}
+
+/// Extract noun phrases from already-tagged tokens.
+pub fn chunk_tagged(tokens: &[Token], tags: &[PosTag]) -> Vec<NounPhrase> {
+    let mut phrases = Vec::new();
+    let n = tokens.len();
+    let mut i = 0;
+    while i < n {
+        // optional determiner
+        let mut j = i;
+        if tags[j] == PosTag::Determiner {
+            j += 1;
+        }
+        // modifiers: adjectives, participles, proper nouns
+        let content_start = j;
+        let mut saw_modifier = false;
+        while j < n
+            && matches!(tags[j], PosTag::Adjective | PosTag::ProperNoun)
+        {
+            saw_modifier = true;
+            j += 1;
+        }
+        // heads: at least one noun (or keep proper nouns already consumed
+        // as a head if followed by nothing nominal)
+        let mut head_end = j;
+        while head_end < n && matches!(tags[head_end], PosTag::Noun | PosTag::ProperNoun) {
+            head_end += 1;
+        }
+        let has_noun_head = head_end > j;
+        let proper_only = saw_modifier
+            && !has_noun_head
+            && (content_start..j).all(|k| tags[k] == PosTag::ProperNoun);
+        if has_noun_head || proper_only {
+            let end = if has_noun_head { head_end } else { j };
+            let text = tokens[content_start..end]
+                .iter()
+                .map(|t| t.lower())
+                .collect::<Vec<_>>()
+                .join(" ");
+            phrases.push(NounPhrase { first_token: content_start, end_token: end, text });
+            i = end;
+        } else {
+            i = i.max(j).max(i + 1);
+        }
+    }
+    phrases
+}
+
+/// Tokenize, tag and chunk `text` in one step.
+pub fn noun_phrases(text: &str) -> Vec<NounPhrase> {
+    let tokens = tokenize(text);
+    let sentences = split_sentences(text);
+    let flags = sentence_initial_flags(&tokens, &sentences);
+    let tags = tag_tokens(&tokens, &flags);
+    chunk_tagged(&tokens, &tags)
+}
+
+/// Just the normalized phrase strings of `text`.
+pub fn noun_phrase_strings(text: &str) -> Vec<String> {
+    noun_phrases(text).into_iter().map(|p| p.text).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_np() {
+        let ps = noun_phrase_strings("Segment profit was up");
+        assert!(ps.contains(&"segment profit".to_string()), "{ps:?}");
+    }
+
+    #[test]
+    fn determiner_dropped() {
+        let ps = noun_phrase_strings("the total revenue grew");
+        assert!(ps.contains(&"total revenue".to_string()), "{ps:?}");
+    }
+
+    #[test]
+    fn adjective_modifiers_included() {
+        let ps = noun_phrase_strings("the most common side affect is depression");
+        assert!(ps.iter().any(|p| p.contains("side affect")), "{ps:?}");
+    }
+
+    #[test]
+    fn proper_noun_compounds() {
+        let ps = noun_phrase_strings("figures from Ford Focus Electric improved");
+        assert!(ps.iter().any(|p| p.contains("ford focus electric")), "{ps:?}");
+    }
+
+    #[test]
+    fn multiple_phrases() {
+        let ps = noun_phrase_strings("Sales of passenger vehicles beat commercial vehicles");
+        assert!(ps.len() >= 3, "{ps:?}");
+        assert!(ps.contains(&"passenger vehicles".to_string()));
+        assert!(ps.contains(&"commercial vehicles".to_string()));
+    }
+
+    #[test]
+    fn no_phrases_in_function_words() {
+        let ps = noun_phrase_strings("and of to with");
+        assert!(ps.is_empty());
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(noun_phrase_strings("").is_empty());
+    }
+
+    #[test]
+    fn token_ranges_valid() {
+        let text = "The net income of the previous year";
+        for p in noun_phrases(text) {
+            assert!(p.first_token < p.end_token);
+            assert!(!p.text.is_empty());
+        }
+    }
+}

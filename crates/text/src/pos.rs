@@ -1,0 +1,219 @@
+//! Rule/lexicon part-of-speech tagger ("POS-lite").
+//!
+//! The noun-phrase overlap features (f4/f5, §IV-B) need noun phrases, not
+//! full parses. This tagger combines closed-class word lists with suffix
+//! heuristics — deterministic, fast, and applied uniformly to text and
+//! table contexts so overlap comparisons stay meaningful (see DESIGN.md).
+
+use crate::token::{Token, TokenKind};
+
+/// Coarse part-of-speech tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PosTag {
+    /// Determiners: the, a, an, this, …
+    Determiner,
+    /// Adjectives (incl. comparative/superlative).
+    Adjective,
+    /// Common nouns.
+    Noun,
+    /// Proper nouns (capitalized, non-sentence-initial heuristic not
+    /// attempted — capitalization suffices for chunking).
+    ProperNoun,
+    /// Verbs (incl. auxiliaries).
+    Verb,
+    /// Adverbs.
+    Adverb,
+    /// Prepositions / subordinating conjunctions.
+    Preposition,
+    /// Pronouns.
+    Pronoun,
+    /// Coordinating conjunctions.
+    Conjunction,
+    /// Cardinal numbers.
+    Number,
+    /// Punctuation and symbols.
+    Other,
+}
+
+const DETERMINERS: &[&str] = &[
+    "the", "a", "an", "this", "that", "these", "those", "each", "every", "some",
+    "any", "no", "both", "all", "its", "their", "his", "her", "our", "your", "my",
+];
+
+const PREPOSITIONS: &[&str] = &[
+    "of", "in", "on", "at", "by", "for", "with", "from", "to", "into", "over",
+    "under", "about", "between", "among", "through", "during", "per", "than",
+    "as", "since", "until", "within", "across", "against", "via",
+];
+
+const PRONOUNS: &[&str] = &[
+    "i", "you", "he", "she", "it", "we", "they", "them", "him", "us", "me",
+    "which", "who", "whom", "whose", "what",
+];
+
+const CONJUNCTIONS: &[&str] = &["and", "or", "but", "nor", "so", "yet", "while", "whereas"];
+
+const AUX_VERBS: &[&str] = &[
+    "is", "are", "was", "were", "be", "been", "being", "am", "has", "have",
+    "had", "having", "do", "does", "did", "will", "would", "can", "could",
+    "shall", "should", "may", "might", "must",
+];
+
+const COMMON_VERBS: &[&str] = &[
+    "said", "say", "says", "reported", "report", "reports", "rose", "fell",
+    "grew", "increased", "decreased", "gained", "lost", "sold", "bought",
+    "earned", "made", "remained", "compared", "counted", "dominated", "achieved",
+    "undergo", "shows", "show", "showed", "see", "refer", "refers", "beat",
+    "exceeded", "exceeds", "outsold", "outperformed",
+];
+
+const COMMON_ADJECTIVES: &[&str] = &[
+    "new", "old", "high", "low", "higher", "lower", "highest", "lowest", "most",
+    "least", "common", "final", "total", "net", "gross", "average", "overall",
+    "last", "previous", "next", "same", "such", "other", "more", "fewer",
+    "affordable", "expensive", "cheap", "cheaper", "strong", "senior", "domestic",
+];
+
+const COMMON_ADVERBS: &[&str] =
+    &["very", "only", "also", "not", "n't", "too", "up", "down", "primarily", "mostly", "however"];
+
+/// Tag a single token given whether it starts a sentence.
+pub fn tag_token(token: &Token, sentence_initial: bool) -> PosTag {
+    match token.kind {
+        TokenKind::Number => return PosTag::Number,
+        TokenKind::Punct | TokenKind::Symbol => return PosTag::Other,
+        TokenKind::Alphanumeric => return PosTag::ProperNoun, // Win10, A3
+        TokenKind::Word => {}
+    }
+    let lower = token.lower();
+    let l = lower.as_str();
+    if DETERMINERS.contains(&l) {
+        return PosTag::Determiner;
+    }
+    if PREPOSITIONS.contains(&l) {
+        return PosTag::Preposition;
+    }
+    if PRONOUNS.contains(&l) {
+        return PosTag::Pronoun;
+    }
+    if CONJUNCTIONS.contains(&l) {
+        return PosTag::Conjunction;
+    }
+    if AUX_VERBS.contains(&l) || COMMON_VERBS.contains(&l) {
+        return PosTag::Verb;
+    }
+    if COMMON_ADJECTIVES.contains(&l) {
+        return PosTag::Adjective;
+    }
+    if COMMON_ADVERBS.contains(&l) {
+        return PosTag::Adverb;
+    }
+    // Capitalized mid-sentence → proper noun.
+    let first_upper = token.text.chars().next().map_or(false, |c| c.is_uppercase());
+    if first_upper && !sentence_initial {
+        return PosTag::ProperNoun;
+    }
+    // Suffix heuristics.
+    if l.ends_with("ly") && l.len() > 3 {
+        return PosTag::Adverb;
+    }
+    if (l.ends_with("ing") || l.ends_with("ed")) && l.len() > 4 {
+        // gerunds/participles act adjectivally before nouns often enough;
+        // we call them verbs and let the chunker treat `VBG NN` as `JJ NN`.
+        return PosTag::Verb;
+    }
+    if l.ends_with("ous") || l.ends_with("ful") || l.ends_with("ive") || l.ends_with("able")
+        || l.ends_with("ible") || l.ends_with("al") || l.ends_with("ic")
+    {
+        return PosTag::Adjective;
+    }
+    PosTag::Noun
+}
+
+/// Tag a token sequence. `sentence_starts` marks tokens that begin a
+/// sentence (index-based), used for the proper-noun heuristic.
+pub fn tag_tokens(tokens: &[Token], sentence_starts: &[bool]) -> Vec<PosTag> {
+    tokens
+        .iter()
+        .enumerate()
+        .map(|(i, t)| tag_token(t, sentence_starts.get(i).copied().unwrap_or(i == 0)))
+        .collect()
+}
+
+/// Compute per-token sentence-initial flags from sentence spans.
+pub fn sentence_initial_flags(tokens: &[Token], sentences: &[(usize, usize)]) -> Vec<bool> {
+    let mut flags = vec![false; tokens.len()];
+    for &(s, _) in sentences {
+        // first token whose start >= s
+        if let Some(i) = tokens.iter().position(|t| t.start >= s) {
+            if let Some(f) = flags.get_mut(i) {
+                *f = true;
+            }
+        }
+    }
+    flags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::tokenize;
+
+    fn tags(s: &str) -> Vec<PosTag> {
+        let toks = tokenize(s);
+        let flags: Vec<bool> = (0..toks.len()).map(|i| i == 0).collect();
+        tag_tokens(&toks, &flags)
+    }
+
+    #[test]
+    fn closed_classes() {
+        let t = tags("the profit of a segment");
+        assert_eq!(t[0], PosTag::Determiner);
+        assert_eq!(t[1], PosTag::Noun);
+        assert_eq!(t[2], PosTag::Preposition);
+        assert_eq!(t[3], PosTag::Determiner);
+        assert_eq!(t[4], PosTag::Noun);
+    }
+
+    #[test]
+    fn numbers_and_symbols() {
+        let t = tags("up 11% fast");
+        assert_eq!(t[1], PosTag::Number);
+        assert_eq!(t[2], PosTag::Other);
+    }
+
+    #[test]
+    fn capitalized_mid_sentence_is_proper() {
+        let t = tags("sales at Honeywell rose");
+        assert_eq!(t[2], PosTag::ProperNoun);
+    }
+
+    #[test]
+    fn sentence_initial_capital_not_proper() {
+        let t = tags("Sales rose");
+        assert_eq!(t[0], PosTag::Noun);
+    }
+
+    #[test]
+    fn suffix_heuristics() {
+        let t = tags("a quickly shrinking beautiful economic margin");
+        assert_eq!(t[1], PosTag::Adverb);
+        assert_eq!(t[2], PosTag::Verb);
+        assert_eq!(t[3], PosTag::Adjective);
+        assert_eq!(t[4], PosTag::Adjective);
+        assert_eq!(t[5], PosTag::Noun);
+    }
+
+    #[test]
+    fn initial_flags_from_sentences() {
+        let s = "One two. Three four.";
+        let toks = tokenize(s);
+        let sents = crate::sentence::split_sentences(s);
+        let flags = sentence_initial_flags(&toks, &sents);
+        assert!(flags[0]);
+        // "Three" is the 4th token (One, two, ., Three)
+        let three_idx = toks.iter().position(|t| t.text == "Three").unwrap();
+        assert!(flags[three_idx]);
+        assert!(!flags[1]);
+    }
+}

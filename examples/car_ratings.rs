@@ -1,0 +1,53 @@
+//! The Fig. 1b environment example: a rotated table (attributes in the
+//! first column) with approximate mentions — "37K EUR" must match the
+//! cell `36900`, "2K EUR" a difference, and ratings match exactly.
+//!
+//! Run with `cargo run --release --example car_ratings`.
+
+use briq::{Briq, BriqConfig, Document, Table};
+
+fn main() {
+    let table = Table::from_grid(
+        "Car ratings",
+        vec![
+            vec!["".into(), "Focus E".into(), "A3".into(), "VW Golf".into()],
+            vec!["German MSRP".into(), "34900".into(), "36900".into(), "33800".into()],
+            vec!["American MSRP".into(), "29120".into(), "38900".into(), "29915".into()],
+            vec!["Emission (g/km)".into(), "0".into(), "105".into(), "122".into()],
+            vec!["Fuel Economy".into(), "105".into(), "70.6".into(), "61.4".into()],
+            vec!["Final rating".into(), "1.33".into(), "2.67".into(), "2.67".into()],
+        ],
+    );
+    let doc = Document::new(
+        0,
+        "The final ratings are dominated by the PHEV from Audi (2.67) and the \
+         ICE from Volkswagen. The Audi A3 e-tron is the least affordable option \
+         with 37K EUR in Germany and 39K USD in the US. The Ford Focus Electric, \
+         lowest rating (1.33), is a 2K EUR cheaper alternative with 0 CO2 \
+         emission and 105 MPGe fuel consumption.",
+        vec![table],
+    );
+
+    let briq = Briq::untrained(BriqConfig::default());
+    println!("BriQ alignments for the Fig. 1b environment example:\n");
+    let alignments = briq.align(&doc);
+    for a in &alignments {
+        println!(
+            "  {:14}  ->  {:12}  cells {:?}  (value {}, score {:.3})",
+            format!("{:?}", a.mention_raw),
+            a.target.kind.name(),
+            a.target.cells,
+            a.target.value,
+            a.score,
+        );
+    }
+
+    // The paper's highlighted case: approximate "37K EUR" → cell 36900.
+    match alignments.iter().find(|a| a.mention_raw.starts_with("37K")) {
+        Some(a) if a.target.value == 36900.0 => {
+            println!("\n'37K EUR' correctly resolved to the 36900 cell (approximate match).")
+        }
+        Some(a) => println!("\n'37K EUR' aligned to value {}", a.target.value),
+        None => println!("\n'37K EUR' was left unaligned."),
+    }
+}

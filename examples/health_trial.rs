@@ -1,0 +1,55 @@
+//! The Fig. 1a health example: aggregate and single-cell alignments.
+//!
+//! "A total of 123 patients" must map to a *virtual cell* — the sum of
+//! the `total` column — because 123 appears in no cell. The per-effect
+//! counts map to single cells.
+//!
+//! Run with `cargo run --release --example health_trial`.
+
+use briq::{Briq, BriqConfig, Document, Table};
+
+fn main() {
+    let table = Table::from_grid(
+        "Reported side effects",
+        vec![
+            vec!["side effects".into(), "male".into(), "female".into(), "total".into()],
+            vec!["Rash".into(), "15".into(), "20".into(), "35".into()],
+            vec!["Depression".into(), "13".into(), "25".into(), "38".into()],
+            vec!["Hypertension".into(), "19".into(), "15".into(), "34".into()],
+            vec!["Nausea".into(), "5".into(), "6".into(), "11".into()],
+            vec!["Eye Disorders".into(), "2".into(), "3".into(), "5".into()],
+        ],
+    );
+    let doc = Document::new(
+        0,
+        "A total of 123 patients who undergo the drug trials reported side \
+         effects, of which there were 69 female patients and 54 male patients. \
+         The most common side affect is depression, reported by 38 patients; \
+         and the least common side affect is eye disorder, reported by 5 patients.",
+        vec![table],
+    );
+
+    let briq = Briq::untrained(BriqConfig::default());
+    println!("BriQ alignments for the Fig. 1a health example:\n");
+    for a in briq.align(&doc) {
+        println!(
+            "  {:18}  ->  {:12}  cells {:?}  (value {}, score {:.3})",
+            format!("{:?}", a.mention_raw),
+            a.target.kind.name(),
+            a.target.cells,
+            a.target.value,
+            a.score,
+        );
+    }
+
+    // The headline case: "total of 123" has no matching cell; the sum
+    // virtual cell over the `total` column carries exactly 123.
+    let aligned = briq.align(&doc);
+    match aligned.iter().find(|a| a.mention_raw.starts_with("123")) {
+        Some(a) if a.target.is_aggregate() && a.target.value == 123.0 => {
+            println!("\n'total of 123 patients' correctly resolved to sum({:?}).", a.target.cells)
+        }
+        Some(a) => println!("\n'123' aligned to {:?} (value {})", a.target.kind.name(), a.target.value),
+        None => println!("\n'123' was left unaligned."),
+    }
+}

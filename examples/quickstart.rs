@@ -1,0 +1,50 @@
+//! Quickstart: align the finance example of Fig. 1c.
+//!
+//! Run with `cargo run --release --example quickstart`.
+//!
+//! The text mentions `$3.26 billion CDN`, `up $70 million CDN or 2%`,
+//! `$0.9 billion CDN` and `increased by 1.5%`; the table reports income
+//! in millions. BriQ aligns the approximate scale-word mentions to single
+//! cells and the change rate to a virtual cell over the 2013/2012 income
+//! cells — none of these numbers appear verbatim in the table.
+
+use briq::{Briq, BriqConfig, Document, Table};
+
+fn main() {
+    // Fig. 1c: "Example about Finance".
+    let table = Table::from_grid(
+        "Income gains (in Mio)",
+        vec![
+            vec!["".into(), "2013".into(), "2012".into(), "2011".into()],
+            vec!["Total Revenue".into(), "3,263".into(), "3,193".into(), "2,911".into()],
+            vec!["Gross income".into(), "1,069".into(), "1,053".into(), "0,877".into()],
+            vec!["Income taxes".into(), "179".into(), "177".into(), "160".into()],
+            vec!["Income".into(), "890".into(), "876".into(), "849".into()],
+        ],
+    );
+    let doc = Document::new(
+        0,
+        "In 2013 revenue of $3.26 billion CDN was up $70 million CDN or 2% \
+         from the previous year. The net income of 2013 was $0.9 billion CDN. \
+         Compared to the revenue of 2012, it increased by 1.5%.",
+        vec![table],
+    );
+
+    let briq = Briq::untrained(BriqConfig::default());
+    let alignments = briq.align(&doc);
+
+    println!("BriQ alignments for the Fig. 1c finance example:\n");
+    for a in &alignments {
+        println!(
+            "  {:24}  ->  {:12}  cells {:?}  (value {:.4}, score {:.3})",
+            format!("{:?}", a.mention_raw),
+            a.target.kind.name(),
+            a.target.cells,
+            a.target.value,
+            a.score,
+        );
+    }
+    if alignments.is_empty() {
+        println!("  (no alignments — unexpected for this example)");
+    }
+}

@@ -1,0 +1,170 @@
+//! Cross-crate integration tests: HTML page → segmentation → extraction →
+//! classification → filtering → global resolution.
+
+use briq::html::parse_page;
+use briq::pipeline::{Briq, BriqConfig};
+use briq::segment::{segment_page, SegmentConfig};
+use briq::{Document, Table, TableMentionKind};
+
+fn briq() -> Briq {
+    Briq::untrained(BriqConfig::default())
+}
+
+#[test]
+fn html_page_to_alignments() {
+    let html = r#"
+        <html><body>
+        <p>A total of 123 patients reported side effects during the drug
+        trials; depression was the most common, reported by 38 patients.</p>
+        <table>
+          <tr><th>side effects</th><th>male</th><th>female</th><th>total</th></tr>
+          <tr><td>Rash</td><td>15</td><td>20</td><td>35</td></tr>
+          <tr><td>Depression</td><td>13</td><td>25</td><td>38</td></tr>
+          <tr><td>Hypertension</td><td>19</td><td>15</td><td>34</td></tr>
+          <tr><td>Nausea</td><td>5</td><td>6</td><td>11</td></tr>
+          <tr><td>Eye Disorders</td><td>2</td><td>3</td><td>5</td></tr>
+        </table>
+        </body></html>"#;
+    let page = parse_page(html);
+    assert_eq!(page.paragraphs.len(), 1);
+    assert_eq!(page.tables.len(), 1);
+
+    let docs = segment_page(&page, &SegmentConfig::default(), 0);
+    assert_eq!(docs.len(), 1, "paragraph must relate to its table");
+
+    let alignments = briq().align(&docs[0]);
+    // "38 patients" → the Depression/total cell.
+    let a38 = alignments
+        .iter()
+        .find(|a| a.mention_raw.starts_with("38"))
+        .expect("38 aligned");
+    assert_eq!(a38.target.kind, TableMentionKind::SingleCell);
+    assert_eq!(a38.target.cells, vec![(2, 3)]);
+    // "total of 123" → the column-sum virtual cell.
+    let a123 = alignments
+        .iter()
+        .find(|a| a.mention_raw.starts_with("123"))
+        .expect("123 aligned");
+    assert!(a123.target.is_aggregate());
+    assert_eq!(a123.target.value, 123.0);
+    assert_eq!(a123.target.cells.len(), 5);
+}
+
+#[test]
+fn rotated_table_with_scale_suffix() {
+    // Fig. 1b: "37K EUR" must reach the cell holding 36900.
+    let doc = Document::new(
+        0,
+        "The A3 e-tron is the least affordable option with 37K EUR in Germany.",
+        vec![Table::from_grid(
+            "",
+            vec![
+                vec!["".into(), "Focus E".into(), "A3".into(), "VW Golf".into()],
+                vec!["German MSRP".into(), "34900".into(), "36900".into(), "33800".into()],
+                vec!["American MSRP".into(), "29120".into(), "38900".into(), "29915".into()],
+            ],
+        )],
+    );
+    let alignments = briq().align(&doc);
+    let a = alignments
+        .iter()
+        .find(|a| a.mention_raw.contains("37K"))
+        .expect("37K aligned");
+    assert_eq!(a.target.value, 36900.0);
+    assert_eq!(a.target.cells, vec![(1, 2)]);
+}
+
+#[test]
+fn caption_scale_bridges_magnitudes() {
+    // "(in Mio)" caption: "$3.26 billion" ↔ cell "3,263".
+    let doc = Document::new(
+        0,
+        "Revenue of $3.26 billion was up strongly from the previous year.",
+        vec![Table::from_grid(
+            "Income gains (in Mio)",
+            vec![
+                vec!["".into(), "2013".into(), "2012".into()],
+                vec!["Total Revenue".into(), "3,263".into(), "3,193".into()],
+                vec!["Income".into(), "890".into(), "876".into()],
+            ],
+        )],
+    );
+    let alignments = briq().align(&doc);
+    let a = alignments
+        .iter()
+        .find(|a| a.mention_raw.contains("3.26"))
+        .expect("3.26 billion aligned");
+    assert_eq!(a.target.cells, vec![(1, 1)]);
+    assert_eq!(a.target.value, 3.263e9);
+}
+
+#[test]
+fn coupled_quantities_resolve_jointly() {
+    // Fig. 3: ambiguous "11%" pulled into table 0 by its companions.
+    let make = |caption: &str, sales_chg: &str, margin_new: &str, bps: &str| {
+        Table::from_grid(
+            caption,
+            vec![
+                vec!["($ Millions)".into(), "2Q A".into(), "2Q B".into(), "% Change".into()],
+                vec!["Sales".into(), "900".into(), "947".into(), sales_chg.into()],
+                vec!["Segment Profit".into(), "114".into(), "126".into(), "11%".into()],
+                vec!["Segment Margin".into(), "12.7%".into(), margin_new.into(), bps.into()],
+            ],
+        )
+    };
+    let doc = Document::new(
+        0,
+        "Sales were up 5% compared with the second quarter. Segment profit \
+         was up 11% and segment margins increased 60 bps to 13.3%.",
+        vec![
+            make("Transportation", "5%", "13.3%", "60 bps"),
+            make("Automation", "3%", "14.4%", "110 bps"),
+        ],
+    );
+    let alignments = briq().align(&doc);
+    let a11 = alignments
+        .iter()
+        .find(|a| a.mention_raw.starts_with("11"))
+        .expect("11% aligned");
+    assert_eq!(a11.target.table, 0, "joint inference must pick table 0: {alignments:?}");
+}
+
+#[test]
+fn unalignable_text_left_out() {
+    let doc = Document::new(
+        0,
+        "The briefing lasted 45 minutes and drew 350 visitors.",
+        vec![Table::from_grid(
+            "",
+            vec![
+                vec!["metric".into(), "value".into()],
+                vec!["Revenue".into(), "98,214".into()],
+                vec!["Costs".into(), "55,021".into()],
+            ],
+        )],
+    );
+    let alignments = briq().align(&doc);
+    // Values 45 and 350 are nowhere near the table values; the mapping is
+    // partial (§II-A) and nothing should be force-aligned.
+    assert!(alignments.is_empty(), "{alignments:?}");
+}
+
+#[test]
+fn alignment_is_deterministic() {
+    let doc = Document::new(
+        0,
+        "Depression was reported by 38 patients and rash by 35 patients.",
+        vec![Table::from_grid(
+            "",
+            vec![
+                vec!["effect".into(), "patients".into()],
+                vec!["Rash".into(), "35".into()],
+                vec!["Depression".into(), "38".into()],
+            ],
+        )],
+    );
+    let b = briq();
+    let a1 = b.align(&doc);
+    let a2 = b.align(&doc);
+    assert_eq!(a1, a2);
+}

@@ -1,0 +1,91 @@
+//! Integration test: the full train/evaluate loop on a synthetic corpus.
+//! Uses a reduced forest so the test stays fast in debug builds.
+
+use briq::evaluate::EvalReport;
+use briq::pipeline::{Briq, BriqConfig};
+use briq::substrates::corpus::annotate::{annotate, AnnotatorConfig};
+use briq::substrates::corpus::corpus::{generate_corpus, CorpusConfig};
+use briq::substrates::ml::split::random_split;
+use briq::substrates::ml::RandomForestConfig;
+
+fn small_config() -> BriqConfig {
+    BriqConfig {
+        forest: RandomForestConfig { n_trees: 24, ..Default::default() },
+        tagger_forest: RandomForestConfig { n_trees: 12, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn trained_briq_beats_chance_and_baselines_run() {
+    let corpus = generate_corpus(&CorpusConfig { n_documents: 90, seed: 4242, ..Default::default() });
+    let mut docs = corpus.documents;
+    let outcome = annotate(&mut docs, &AnnotatorConfig::default());
+    assert!(outcome.kappa > 0.4, "kappa {}", outcome.kappa);
+
+    let split = random_split(docs.len(), 0.1, 0.1, 1);
+    let train: Vec<_> = split.train.iter().map(|&i| docs[i].clone()).collect();
+    let val: Vec<_> = split.validation.iter().map(|&i| docs[i].clone()).collect();
+    let briq = Briq::train(small_config(), &train, &val);
+    assert!(briq.is_trained());
+
+    let mut report = EvalReport::default();
+    let mut rf_report = EvalReport::default();
+    for &i in &split.test {
+        let ld = &docs[i];
+        report.add_document(&briq.align(&ld.document), &ld.gold);
+        let sd = briq.score_document(&ld.document);
+        rf_report.add_document(&briq::baselines::rf_only_scored(&sd), &ld.gold);
+    }
+    let f1 = report.overall().f1;
+    assert!(f1 > 0.25, "trained BriQ F1 {f1} too low");
+    // BriQ's precision should not fall below the always-answering RF
+    // baseline's precision.
+    assert!(
+        report.overall().precision >= rf_report.overall().precision,
+        "BriQ precision {} < RF precision {}",
+        report.overall().precision,
+        rf_report.overall().precision
+    );
+}
+
+#[test]
+fn perturbed_variants_degrade_gracefully() {
+    use briq::substrates::corpus::{perturb_document, Perturbation};
+
+    let corpus = generate_corpus(&CorpusConfig { n_documents: 60, seed: 777, ..Default::default() });
+    let docs = corpus.documents;
+    let briq = Briq::untrained(small_config());
+
+    let f1_for = |p: Perturbation| {
+        let mut report = EvalReport::default();
+        for ld in docs.iter().take(20) {
+            let v = perturb_document(ld, p);
+            report.add_document(&briq.align(&v.document), &v.gold);
+        }
+        report.overall().f1
+    };
+    let original = f1_for(Perturbation::Original);
+    let truncated = f1_for(Perturbation::Truncated);
+    assert!(original > 0.0);
+    // Truncation must not *improve* quality.
+    assert!(truncated <= original + 0.05, "original {original} truncated {truncated}");
+}
+
+#[test]
+fn tables_in_generated_corpus_reparse() {
+    // Ground truth survives the HTML round trip.
+    use briq::substrates::corpus::page::{render_page, table_to_html};
+    let corpus = generate_corpus(&CorpusConfig { n_documents: 10, seed: 31, ..Default::default() });
+    for ld in &corpus.documents {
+        for t in &ld.document.tables {
+            let html = table_to_html(t);
+            let page = briq::html::parse_page(&html);
+            let re = briq::Table::from_raw(&page.tables[0]);
+            assert_eq!(re.quantity_count(), t.quantity_count());
+        }
+        let page_html = render_page(&[ld]);
+        let page = briq::html::parse_page(&page_html);
+        assert_eq!(page.paragraphs.len(), 1);
+    }
+}
