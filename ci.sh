@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Offline CI gate for the BriQ workspace.
+#
+# Runs the release build, the full test suite (including the chaos
+# fault-injection harness in tests/chaos.rs), and clippy with warnings
+# denied. The hardened crates (briq-regex, briq-text, briq-table,
+# briq-graph, briq-core) additionally deny `unwrap_used`/`expect_used`
+# in non-test code via crate-level attributes, so clippy enforces the
+# panic-free policy too.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --offline --release"
+cargo build --offline --release
+
+echo "==> cargo test --offline --workspace (includes chaos harness)"
+cargo test --offline --workspace -q
+
+echo "==> cargo clippy --offline --workspace -- -D warnings"
+cargo clippy --offline --workspace -q -- -D warnings
+
+echo "CI OK"

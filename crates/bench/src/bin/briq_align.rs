@@ -2,22 +2,39 @@
 //!
 //! ```text
 //! briq-align <page.html> [--model model.json] [--json]
+//!            [--diagnostics diag.jsonl]
 //! briq-align --train-demo model.json      # train on a synthetic corpus
 //! ```
 //!
 //! Without `--model`, the heuristic (untrained) prior is used. With
 //! `--train-demo`, a model is trained on the synthetic corpus and saved so
 //! subsequent runs can load it.
+//!
+//! Alignment runs through the budgeted, panic-free `align_checked` path.
+//! Every degraded item (skipped table, truncated candidate set,
+//! non-converged walk) becomes one JSON object; `--diagnostics` writes
+//! them as JSON Lines, otherwise they go to stderr. Exit codes:
+//!
+//! * `0` — all documents aligned cleanly;
+//! * `1` — usage or I/O error;
+//! * `2` — alignment completed, but at least one item degraded.
 
 use briq_core::pipeline::{Briq, BriqConfig};
+use briq_core::Diagnostics;
 use briq_table::html::parse_page;
 use briq_table::segment::{segment_page, SegmentConfig};
 use std::process::ExitCode;
 
+/// Exit status for a run that finished but had to degrade somewhere.
+const EXIT_DEGRADED: u8 = 2;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: briq-align <page.html> [--model model.json] [--json]");
+        eprintln!(
+            "usage: briq-align <page.html> [--model model.json] [--json] \
+             [--diagnostics diag.jsonl]"
+        );
         eprintln!("       briq-align --train-demo <model.json>");
         return ExitCode::FAILURE;
     }
@@ -35,6 +52,10 @@ fn main() -> ExitCode {
     let model_path = args
         .iter()
         .position(|a| a == "--model")
+        .and_then(|i| args.get(i + 1));
+    let diag_path = args
+        .iter()
+        .position(|a| a == "--diagnostics")
         .and_then(|i| args.get(i + 1));
 
     let html = match std::fs::read_to_string(page_path) {
@@ -65,13 +86,12 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    let mut all_diags = Diagnostics::default();
     for doc in &docs {
-        let alignments = briq.align(doc);
+        let (alignments, diags) = briq.align_checked(doc);
+        all_diags.items.extend(diags.items);
         if as_json {
-            match serde_json::to_string_pretty(&alignments) {
-                Ok(s) => println!("{s}"),
-                Err(e) => eprintln!("serialization error: {e}"),
-            }
+            println!("{}", briq_json::to_string_pretty(&alignments));
         } else {
             println!("document {}: {:.60}…", doc.id, doc.text);
             if alignments.is_empty() {
@@ -90,7 +110,22 @@ fn main() -> ExitCode {
             }
         }
     }
-    ExitCode::SUCCESS
+
+    let jsonl = all_diags.to_jsonl();
+    if let Some(path) = diag_path {
+        if let Err(e) = std::fs::write(path, &jsonl) {
+            eprintln!("cannot write diagnostics to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    } else if !all_diags.is_clean() {
+        eprint!("{jsonl}");
+    }
+    if all_diags.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{} item(s) degraded during alignment", all_diags.items.len());
+        ExitCode::from(EXIT_DEGRADED)
+    }
 }
 
 fn train_demo(path: &str) -> ExitCode {

@@ -467,7 +467,7 @@ fn table9(docs: usize, seed: u64) {
             format!("{:.0}", avg.virtual_cells),
         ]);
     }
-    let avg = average_stats(all_tables.into_iter(), &vc);
+    let avg = average_stats(all_tables, &vc);
     t.row(vec![
         "average".into(),
         format!("{:.0}", avg.rows),

@@ -1,4 +1,4 @@
-//! Document-throughput measurement (Table VIII) with a crossbeam-channel
+//! Document-throughput measurement (Table VIII) with a scoped-thread
 //! worker pool — the single-machine stand-in for the paper's 10-executor
 //! Spark cluster.
 //!
@@ -106,20 +106,19 @@ fn parallel_run(
     pages: &[String],
     workers: usize,
 ) -> (usize, usize) {
-    let (tx, rx) = crossbeam::channel::unbounded::<&String>();
-    for p in pages {
-        tx.send(p).expect("queue send");
-    }
-    drop(tx);
-
+    // Work-stealing by shared atomic cursor: each worker claims the next
+    // unprocessed page, which balances load like the old channel queue did.
+    let next = std::sync::atomic::AtomicUsize::new(0);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
-                let rx = rx.clone();
+                let next = &next;
                 scope.spawn(move || {
                     let mut d = 0usize;
                     let mut m = 0usize;
-                    while let Ok(p) = rx.recv() {
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(p) = pages.get(i) else { break };
                         let (pd, pm) = process_page(briq, system, p);
                         d += pd;
                         m += pm;

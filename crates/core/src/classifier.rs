@@ -2,12 +2,11 @@
 //! the 12-feature vectors, with an ablation mask.
 
 use briq_ml::{Dataset, RandomForest, RandomForestConfig};
-use serde::{Deserialize, Serialize};
 
 use crate::features::FeatureMask;
 
 /// A trained mention-pair classifier.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PairClassifier {
     forest: RandomForest,
     mask: FeatureMask,
@@ -108,3 +107,5 @@ mod tests {
         }
     }
 }
+
+briq_json::json_struct!(PairClassifier { forest, mask });

@@ -15,7 +15,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use crate::mention::TextMention;
 
 /// Context-window parameters (tuned on validation data in the paper).
-#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ContextConfig {
     /// Words before/after the mention forming the local window (feature
     /// f2's `n`).
@@ -416,3 +416,11 @@ mod tests {
         assert_eq!(weighted_overlap(&BTreeMap::new(), &b), 0.0);
     }
 }
+
+briq_json::json_struct!(ContextConfig {
+    local_window,
+    step_size,
+    step_weight,
+    aggregation_window,
+    immediate_window,
+});

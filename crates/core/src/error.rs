@@ -1,0 +1,319 @@
+//! Error taxonomy, processing budgets, and degraded-mode diagnostics.
+//!
+//! BriQ runs over scraped web pages, and scraped pages are hostile:
+//! unbalanced markup, thousand-column colspan bombs, `1e999` numerics,
+//! and tables whose virtual-cell space is quadratic in both dimensions.
+//! The pipeline must never panic or hang on such input — it degrades.
+//! This module defines the three pieces of that contract:
+//!
+//! * [`BriqError`] — every substrate failure (regex, text, table, graph)
+//!   rolled up into one document-level taxonomy;
+//! * [`Budget`] — hard caps on the super-linear stages (regex VM steps,
+//!   virtual cells per table, graph edges, RWR iterations);
+//! * [`Diagnostics`] — a structured record of every place the pipeline
+//!   degraded, one [`Diagnostic`] per skipped/truncated/fallback item,
+//!   serializable as JSONL for the `briq-align` CLI.
+
+use std::fmt;
+
+/// Unified error type of the BriQ pipeline: one variant per substrate
+/// crate plus pipeline-level failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BriqError {
+    /// Regex compilation or step-budget failure (`briq-regex`).
+    Regex(briq_regex::Error),
+    /// Numeral parsing failure (`briq-text`).
+    Text(briq_text::TextError),
+    /// Table modelling or virtual-cell budget failure (`briq-table`).
+    Table(briq_table::TableError),
+    /// Alignment-graph failure (`briq-graph`).
+    Graph(briq_graph::GraphError),
+    /// The graph's edge budget was reached during construction;
+    /// remaining edges were dropped.
+    EdgeBudgetExceeded {
+        /// The configured cap.
+        max_edges: usize,
+    },
+    /// A random walk stopped at the iteration cap without meeting its
+    /// convergence tolerance.
+    RwrNotConverged {
+        /// Text-mention index whose walk did not converge.
+        mention: usize,
+        /// Iterations actually performed.
+        iterations: usize,
+        /// Residual at the final iteration.
+        residual: f64,
+    },
+}
+
+impl fmt::Display for BriqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BriqError::Regex(e) => write!(f, "regex: {e}"),
+            BriqError::Text(e) => write!(f, "text: {e}"),
+            BriqError::Table(e) => write!(f, "table: {e}"),
+            BriqError::Graph(e) => write!(f, "graph: {e}"),
+            BriqError::EdgeBudgetExceeded { max_edges } => {
+                write!(f, "graph edge budget of {max_edges} exceeded, extra edges dropped")
+            }
+            BriqError::RwrNotConverged { mention, iterations, residual } => write!(
+                f,
+                "random walk for mention {mention} stopped after {iterations} \
+                 iterations with residual {residual:.3e}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BriqError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BriqError::Regex(e) => Some(e),
+            BriqError::Text(e) => Some(e),
+            BriqError::Table(e) => Some(e),
+            BriqError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<briq_regex::Error> for BriqError {
+    fn from(e: briq_regex::Error) -> Self {
+        BriqError::Regex(e)
+    }
+}
+impl From<briq_text::TextError> for BriqError {
+    fn from(e: briq_text::TextError) -> Self {
+        BriqError::Text(e)
+    }
+}
+impl From<briq_table::TableError> for BriqError {
+    fn from(e: briq_table::TableError) -> Self {
+        BriqError::Table(e)
+    }
+}
+impl From<briq_graph::GraphError> for BriqError {
+    fn from(e: briq_graph::GraphError) -> Self {
+        BriqError::Graph(e)
+    }
+}
+
+/// Hard caps on the pipeline stages whose cost is super-linear in the
+/// input. `usize::MAX` everywhere ([`Budget::unlimited`]) reproduces the
+/// legacy unbudgeted behaviour bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    /// Pike-VM step cap per regex invocation.
+    pub max_regex_steps: usize,
+    /// Virtual-cell candidates generated per table.
+    pub max_virtual_cells_per_table: usize,
+    /// Edges in the candidate alignment graph.
+    pub max_graph_edges: usize,
+    /// Power-iteration cap per random walk (tightens
+    /// `ResolutionConfig::max_iterations`, never loosens it).
+    pub max_rwr_iterations: usize,
+}
+
+impl Budget {
+    /// No caps: identical to the unbudgeted pipeline.
+    pub const fn unlimited() -> Budget {
+        Budget {
+            max_regex_steps: usize::MAX,
+            max_virtual_cells_per_table: usize::MAX,
+            max_graph_edges: usize::MAX,
+            max_rwr_iterations: usize::MAX,
+        }
+    }
+}
+
+impl Default for Budget {
+    /// Generous enough that no document of the paper's corpus scale ever
+    /// hits a cap, tight enough that adversarial pages stay sub-second.
+    fn default() -> Budget {
+        Budget {
+            max_regex_steps: 1_000_000,
+            max_virtual_cells_per_table: 20_000,
+            max_graph_edges: 500_000,
+            max_rwr_iterations: 200,
+        }
+    }
+}
+
+/// Pipeline stage where a degradation happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Mention extraction and numeral parsing.
+    Extraction,
+    /// Virtual-cell generation.
+    VirtualCells,
+    /// Candidate alignment-graph construction.
+    GraphConstruction,
+    /// Entropy-ordered random-walk resolution.
+    Resolution,
+}
+
+/// What the pipeline did instead of failing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradedAction {
+    /// The item was dropped entirely.
+    Skipped,
+    /// The item was processed with a truncated candidate/edge/iteration
+    /// set.
+    Truncated,
+    /// The item fell back to a cheaper strategy (prior-score ranking).
+    Fallback,
+}
+
+/// One degraded item: where, what, why, and what was done about it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stage that degraded.
+    pub stage: Stage,
+    /// Scope of the degradation, e.g. `table 3` or `mention 7`.
+    pub scope: String,
+    /// Human-readable error (the `Display` of the underlying
+    /// [`BriqError`]).
+    pub error: String,
+    /// The degraded-mode action taken.
+    pub action: DegradedAction,
+}
+
+/// Everything that degraded while aligning one document.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Diagnostics {
+    /// One entry per degraded item, in pipeline order.
+    pub items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// Did the document go through without any degradation?
+    pub fn is_clean(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Record a degradation.
+    pub fn record(&mut self, stage: Stage, scope: String, error: &BriqError, action: DegradedAction) {
+        self.items.push(Diagnostic { stage, scope, error: error.to_string(), action });
+    }
+
+    /// Serialize as JSON Lines: one compact object per diagnostic.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for d in &self.items {
+            out.push_str(&briq_json::to_string(d));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+briq_json::json_unit_enum!(Stage { Extraction, VirtualCells, GraphConstruction, Resolution });
+briq_json::json_unit_enum!(DegradedAction { Skipped, Truncated, Fallback });
+briq_json::json_struct!(Diagnostic { stage, scope, error, action });
+briq_json::json_struct!(Diagnostics { items });
+briq_json::json_struct!(Budget {
+    max_regex_steps,
+    max_virtual_cells_per_table,
+    max_graph_edges,
+    max_rwr_iterations,
+});
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_every_variant() {
+        let cases: Vec<(BriqError, &str)> = vec![
+            (
+                BriqError::Regex(briq_regex::Error::StepBudgetExceeded { max_steps: 7 }),
+                "regex: regex step budget of 7 exceeded",
+            ),
+            (
+                BriqError::Text(briq_text::TextError::NotANumeral),
+                "text: not a numeral",
+            ),
+            (
+                BriqError::Table(briq_table::TableError::DegenerateTable { table: 2 }),
+                "table: table 2: no data rows or columns",
+            ),
+            (
+                BriqError::Graph(briq_graph::GraphError::NodeOutOfRange { node: 9, len: 3 }),
+                "graph: node 9 out of range for graph of 3 nodes",
+            ),
+            (
+                BriqError::EdgeBudgetExceeded { max_edges: 10 },
+                "graph edge budget of 10 exceeded, extra edges dropped",
+            ),
+        ];
+        for (e, want) in cases {
+            assert_eq!(e.to_string(), want);
+        }
+        let rwr = BriqError::RwrNotConverged { mention: 4, iterations: 200, residual: 0.5 };
+        let s = rwr.to_string();
+        assert!(s.contains("mention 4") && s.contains("200"), "{s}");
+    }
+
+    #[test]
+    fn from_impls_wrap_substrate_errors() {
+        let e: BriqError = briq_text::TextError::WordNumberOverflow.into();
+        assert!(matches!(e, BriqError::Text(_)));
+        let e: BriqError = briq_graph::GraphError::EdgeBudgetExceeded { max_edges: 1 }.into();
+        assert!(matches!(e, BriqError::Graph(_)));
+        let e: BriqError =
+            briq_table::TableError::VirtualCellBudgetExceeded { table: 0, max_cells: 5 }.into();
+        assert!(matches!(e, BriqError::Table(_)));
+        let e: BriqError = briq_regex::Error::ProgramTooLarge { insts: 9, max: 5 }.into();
+        assert!(matches!(e, BriqError::Regex(_)));
+        use std::error::Error as _;
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn unlimited_budget_has_no_caps() {
+        let b = Budget::unlimited();
+        assert_eq!(b.max_graph_edges, usize::MAX);
+        assert_eq!(b.max_rwr_iterations, usize::MAX);
+        let d = Budget::default();
+        assert!(d.max_virtual_cells_per_table < usize::MAX);
+    }
+
+    #[test]
+    fn diagnostics_jsonl_is_one_object_per_line() {
+        let mut diags = Diagnostics::default();
+        assert!(diags.is_clean());
+        diags.record(
+            Stage::VirtualCells,
+            "table 0".into(),
+            &BriqError::Table(briq_table::TableError::VirtualCellBudgetExceeded {
+                table: 0,
+                max_cells: 8,
+            }),
+            DegradedAction::Truncated,
+        );
+        diags.record(
+            Stage::Resolution,
+            "mention 3".into(),
+            &BriqError::RwrNotConverged { mention: 3, iterations: 50, residual: 1e-2 },
+            DegradedAction::Fallback,
+        );
+        assert!(!diags.is_clean());
+        let jsonl = diags.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            let d: Diagnostic = briq_json::from_str(line).expect("round-trips");
+            assert!(!d.error.is_empty());
+        }
+        assert!(lines[0].contains("VirtualCells") && lines[0].contains("Truncated"));
+        assert!(lines[1].contains("Fallback"));
+    }
+
+    #[test]
+    fn budget_serializes() {
+        let b = Budget::default();
+        let s = briq_json::to_string(&b);
+        let back: Budget = briq_json::from_str(&s).expect("budget round-trips");
+        assert_eq!(b, back);
+    }
+}

@@ -3,7 +3,6 @@
 
 use briq_ml::metrics::Prf;
 use briq_table::{TableMention, TableMentionKind};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 use crate::filtering::Candidate;
@@ -11,7 +10,7 @@ use crate::mention::{Alignment, GoldAlignment, TextMention};
 use crate::training::matches_target;
 
 /// Confusion counts for one mention type.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counts {
     /// True positives.
     pub tp: usize,
@@ -29,7 +28,7 @@ impl Counts {
 }
 
 /// Evaluation report: overall and per-type counts.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EvalReport {
     /// Counts per mention-type name ("single-cell", "sum", …).
     pub by_type: BTreeMap<String, Counts>,
@@ -103,7 +102,7 @@ impl EvalReport {
 
 /// Post-filter recall (Table VI): the fraction of gold alignments whose
 /// target survived adaptive filtering, per type.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FilterRecall {
     /// `(surviving gold targets, total gold targets)` per type name.
     pub by_type: BTreeMap<String, (usize, usize)>,
@@ -304,3 +303,7 @@ mod tests {
         assert_eq!(fr.overall(), 0.5);
     }
 }
+
+briq_json::json_struct!(Counts { tp, fp, fn_ });
+briq_json::json_struct!(EvalReport { by_type });
+briq_json::json_struct!(FilterRecall { by_type });

@@ -149,7 +149,7 @@ pub fn feature_vector(x: &TextMention, t: &TableMention, ctx: &DocContext) -> Ve
 /// Ablation mask over the three feature groups of §VIII-B. Masked features
 /// are zeroed (constant features are never chosen as tree splits, so this
 /// is equivalent to removing them — while keeping vector shapes stable).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FeatureMask {
     /// Keep f1.
     pub surface: bool,
@@ -337,3 +337,5 @@ mod tests {
         }
     }
 }
+
+briq_json::json_struct!(FeatureMask { surface, context, quantity });

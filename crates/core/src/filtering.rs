@@ -15,7 +15,6 @@
 use briq_table::{TableMention, TableMentionKind};
 use briq_text::cues::{AggregationKind, ApproxIndicator};
 use briq_ml::entropy::normalized_entropy;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 use crate::mention::TextMention;
@@ -31,7 +30,7 @@ pub struct Candidate {
 }
 
 /// Filtering parameters (`v`, `p`, `k…` are tuned on validation data).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct FilterConfig {
     /// Value-difference threshold `v` (relative difference).
     pub value_diff_threshold: f64,
@@ -112,7 +111,7 @@ pub fn mention_type(
 }
 
 /// Per-kind selectivity statistics (Table VI).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FilterStats {
     /// Candidate pairs seen by the classifier, per target kind.
     pub total: BTreeMap<String, usize>,
@@ -434,3 +433,15 @@ mod tests {
         assert_eq!(s.kept["single-cell"], 2);
     }
 }
+
+briq_json::json_struct!(FilterConfig {
+    value_diff_threshold,
+    score_threshold,
+    k_exact,
+    k_approx,
+    k_small,
+    k_large,
+    entropy_threshold,
+    score_floor,
+});
+briq_json::json_struct!(FilterStats { total, kept });

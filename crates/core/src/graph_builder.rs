@@ -16,7 +16,6 @@
 
 use briq_graph::Graph;
 use briq_table::{TableMention, TableMentionKind};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 use crate::filtering::Candidate;
@@ -24,7 +23,7 @@ use crate::jaro::jaro_winkler;
 use crate::mention::TextMention;
 
 /// Graph-construction parameters.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct GraphConfig {
     /// Weight of textual proximity in text-text edges (λ1).
     pub lambda_proximity: f64,
@@ -83,6 +82,45 @@ pub fn build_graph(
     candidates: &[Vec<Candidate>],
     cfg: &GraphConfig,
 ) -> AlignmentGraph {
+    build_graph_budgeted(mentions, token_positions, doc_tokens, targets, candidates, cfg, usize::MAX)
+        .0
+}
+
+/// Tracks how many more edges construction may add. The text-text family
+/// is quadratic in the mention count, so a pathological page (thousands
+/// of numerals in one paragraph) would otherwise allocate millions of
+/// edges before the walk even starts.
+struct EdgeBudget {
+    left: usize,
+    truncated: bool,
+}
+
+impl EdgeBudget {
+    /// Charge one edge; `false` once the budget is exhausted.
+    fn take(&mut self) -> bool {
+        if self.left == 0 {
+            self.truncated = true;
+            return false;
+        }
+        self.left -= 1;
+        true
+    }
+}
+
+/// Budgeted variant of [`build_graph`]: stops adding edges once
+/// `max_edges` exist and reports whether it had to. Edge families are
+/// inserted in the same order as the unbudgeted builder (text-text,
+/// table-table, text-table), so an unlimited budget is bit-identical.
+pub fn build_graph_budgeted(
+    mentions: &[TextMention],
+    token_positions: &[usize],
+    doc_tokens: usize,
+    targets: &[TableMention],
+    candidates: &[Vec<Candidate>],
+    cfg: &GraphConfig,
+    max_edges: usize,
+) -> (AlignmentGraph, bool) {
+    let mut budget = EdgeBudget { left: max_edges, truncated: false };
     let m = mentions.len();
     let mut graph = Graph::new(m);
     let text_nodes: Vec<usize> = (0..m).collect();
@@ -111,7 +149,7 @@ pub fn build_graph(
 
     // text-text edges
     let len = doc_tokens.max(1) as f64;
-    for i in 0..m {
+    'text_text: for i in 0..m {
         for j in (i + 1)..m {
             let dist = token_positions[i].abs_diff(token_positions[j]);
             let sim = jaro_winkler(
@@ -121,6 +159,9 @@ pub fn build_graph(
             let near = dist <= cfg.proximity_window;
             let similar = sim >= cfg.similarity_threshold;
             if near || similar {
+                if !budget.take() {
+                    break 'text_text;
+                }
                 let f_prox = 1.0 - (dist as f64 / len).min(1.0);
                 let w = cfg.lambda_proximity * f_prox + cfg.lambda_similarity * sim;
                 graph.add_edge(i, j, w);
@@ -129,7 +170,7 @@ pub fn build_graph(
     }
 
     // table-table edges: same row or same column of the same table.
-    for (a_pos, &a) in include.iter().enumerate() {
+    'table_table: for (a_pos, &a) in include.iter().enumerate() {
         for &b in include.iter().skip(a_pos + 1) {
             let (ta, tb) = (&targets[a], &targets[b]);
             if ta.table != tb.table {
@@ -137,22 +178,28 @@ pub fn build_graph(
             }
             let related = share_line(ta, tb) || member_of(ta, tb) || member_of(tb, ta);
             if related {
+                if !budget.take() {
+                    break 'table_table;
+                }
                 graph.add_edge(table_nodes[&a], table_nodes[&b], cfg.table_edge_weight);
             }
         }
     }
 
     // text-table edges: classifier priors.
-    for (i, cands) in candidates.iter().enumerate() {
+    'text_table: for (i, cands) in candidates.iter().enumerate() {
         for c in cands {
             if let Some(&tn) = table_nodes.get(&c.target) {
+                if !budget.take() {
+                    break 'text_table;
+                }
                 // scores can be 0 for heuristic priors; keep a tiny floor
                 graph.add_edge(i, tn, c.score.max(1e-6));
             }
         }
     }
 
-    AlignmentGraph { graph, text_nodes, table_nodes }
+    (AlignmentGraph { graph, text_nodes, table_nodes }, budget.truncated)
 }
 
 /// Two single-cell mentions share a row or column.
@@ -303,6 +350,27 @@ mod tests {
     }
 
     #[test]
+    fn edge_budget_truncates_construction() {
+        let (mentions, targets, candidates) = setup();
+        let cfg = GraphConfig::default();
+        let (full, t_full) =
+            build_graph_budgeted(&mentions, &[0, 3], 20, &targets, &candidates, &cfg, usize::MAX);
+        assert!(!t_full);
+        let total = full.graph.edge_count();
+        assert!(total > 1, "setup should produce several edges, got {total}");
+        let (capped, truncated) =
+            build_graph_budgeted(&mentions, &[0, 3], 20, &targets, &candidates, &cfg, 1);
+        assert!(truncated);
+        assert_eq!(capped.graph.edge_count(), 1);
+        // Zero budget still yields a usable (edgeless) graph.
+        let (bare, truncated) =
+            build_graph_budgeted(&mentions, &[0, 3], 20, &targets, &candidates, &cfg, 0);
+        assert!(truncated);
+        assert_eq!(bare.graph.edge_count(), 0);
+        assert_eq!(bare.graph.len(), full.graph.len());
+    }
+
+    #[test]
     fn text_table_edges_use_scores() {
         let (mentions, targets, candidates) = setup();
         let g = build_graph(&mentions, &[0, 3], 20, &targets, &candidates, &GraphConfig::default());
@@ -310,3 +378,11 @@ mod tests {
         assert_eq!(g.graph.edge_weight(0, n0), Some(0.9));
     }
 }
+
+briq_json::json_struct!(GraphConfig {
+    lambda_proximity,
+    lambda_similarity,
+    proximity_window,
+    similarity_threshold,
+    table_edge_weight,
+});

@@ -48,8 +48,11 @@
 //! # }
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod baselines;
 pub mod classifier;
+pub mod error;
 pub mod context;
 pub mod evaluate;
 pub mod features;
@@ -63,6 +66,7 @@ pub mod resolution_ilp;
 pub mod tagger;
 pub mod training;
 
+pub use error::{Budget, BriqError, DegradedAction, Diagnostic, Diagnostics, Stage};
 pub use features::{FeatureMask, FEATURE_COUNT};
 pub use jaro::jaro_winkler;
 pub use mention::{Alignment, GoldAlignment};

@@ -3,7 +3,6 @@
 
 use briq_table::{Document, TableMention, TableMentionKind};
 use briq_text::quantity::{extract_quantities, QuantityMention};
-use serde::{Deserialize, Serialize};
 
 /// A text mention within a document (its quantity plus its index).
 #[derive(Debug, Clone, PartialEq)]
@@ -24,7 +23,7 @@ pub fn text_mentions(doc: &Document) -> Vec<TextMention> {
 }
 
 /// A predicted alignment: text mention → table mention, with its score.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Alignment {
     /// Byte span of the text mention in the document text.
     pub mention_start: usize,
@@ -40,7 +39,7 @@ pub struct Alignment {
 }
 
 /// A gold-standard alignment from annotation (or corpus synthesis).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GoldAlignment {
     /// Byte span of the gold text mention.
     pub mention_start: usize,
@@ -155,3 +154,18 @@ mod tests {
         assert!(gold.matches(&alignment(0, 3, vec![(2, 1), (1, 1)])));
     }
 }
+
+briq_json::json_struct!(Alignment {
+    mention_start,
+    mention_end,
+    mention_raw,
+    target,
+    score,
+});
+briq_json::json_struct!(GoldAlignment {
+    mention_start,
+    mention_end,
+    table,
+    kind,
+    cells,
+});

@@ -1,24 +1,25 @@
 //! The end-to-end BriQ pipeline (Fig. 2).
 
 use briq_ml::RandomForestConfig;
-use briq_table::virtual_cells::{all_table_mentions, VirtualCellConfig};
-use briq_table::{Document, TableMention};
+use briq_table::virtual_cells::{all_table_mentions_capped, VirtualCellConfig};
+use briq_table::{Document, TableError, TableMention};
 use briq_text::cues::AggregationKind;
 
 use crate::classifier::PairClassifier;
 use crate::context::{ContextConfig, DocContext};
+use crate::error::{Budget, BriqError, DegradedAction, Diagnostics, Stage};
 use crate::features::{feature_vector, FeatureMask};
 use crate::filtering::{filter_mention, Candidate, FilterConfig, FilterStats};
-use crate::graph_builder::{build_graph, GraphConfig};
+use crate::graph_builder::{build_graph_budgeted, GraphConfig};
+use crate::resolution::{resolve_budgeted, ResolutionConfig, ResolutionEvent};
 use crate::mention::{text_mentions, Alignment, TextMention};
-use crate::resolution::{resolve, ResolutionConfig};
 use crate::tagger::{tagger_features, MentionTagger, TaggerExample};
 use crate::training::{
     build_training_examples, examples_to_dataset, tagger_label, LabeledDocument,
 };
 
 /// Full pipeline configuration.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BriqConfig {
     /// Context-window parameters (§IV-B).
     pub context: ContextConfig,
@@ -70,10 +71,13 @@ pub struct ScoredDocument {
     /// Per mention, the tagger's predicted aggregation kinds (empty =
     /// single cell).
     pub tags: Vec<Vec<AggregationKind>>,
+    /// The budget this document was scored under (and that downstream
+    /// stages should keep honouring).
+    pub budget: Budget,
 }
 
 /// The BriQ system: trained classifier + tagger + configuration.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Briq {
     /// Configuration in force.
     pub cfg: BriqConfig,
@@ -209,13 +213,13 @@ impl Briq {
 
     /// Serialize the whole system (configuration, classifier forest,
     /// tagger forests) to JSON for later reuse.
-    pub fn to_json(&self) -> serde_json::Result<String> {
-        serde_json::to_string(self)
+    pub fn to_json(&self) -> briq_json::Result<String> {
+        Ok(briq_json::to_string(self))
     }
 
     /// Restore a system saved with [`Briq::to_json`].
-    pub fn from_json(s: &str) -> serde_json::Result<Briq> {
-        serde_json::from_str(s)
+    pub fn from_json(s: &str) -> briq_json::Result<Briq> {
+        briq_json::from_str(s)
     }
 
     /// Prior score of a feature vector (trained RF or heuristic).
@@ -232,9 +236,50 @@ impl Briq {
 
     /// Stage 1+2: extract mentions/targets and score every pair.
     pub fn score_document(&self, doc: &Document) -> ScoredDocument {
+        self.score_document_budgeted(doc, &Budget::unlimited()).0
+    }
+
+    /// Budgeted stage 1+2 with per-table fault isolation: degenerate
+    /// tables are skipped (with a diagnostic), and virtual-cell
+    /// generation for each table is truncated at the budget instead of
+    /// exploding quadratically. An unlimited budget is bit-identical to
+    /// [`Briq::score_document`].
+    pub fn score_document_budgeted(
+        &self,
+        doc: &Document,
+        budget: &Budget,
+    ) -> (ScoredDocument, Diagnostics) {
+        let mut diags = Diagnostics::default();
         let mentions = text_mentions(doc);
         let ctx = DocContext::build(doc, &mentions, &self.cfg.context);
-        let targets = all_table_mentions(&doc.tables, &self.cfg.virtual_cells);
+
+        for (i, t) in doc.tables.iter().enumerate() {
+            if t.data_rows().is_empty() || t.data_cols().is_empty() {
+                diags.record(
+                    Stage::Extraction,
+                    format!("table {i}"),
+                    &BriqError::Table(TableError::DegenerateTable { table: i }),
+                    DegradedAction::Skipped,
+                );
+            }
+        }
+
+        let (targets, truncated_tables) = all_table_mentions_capped(
+            &doc.tables,
+            &self.cfg.virtual_cells,
+            budget.max_virtual_cells_per_table,
+        );
+        for &t in &truncated_tables {
+            diags.record(
+                Stage::VirtualCells,
+                format!("table {t}"),
+                &BriqError::Table(TableError::VirtualCellBudgetExceeded {
+                    table: t,
+                    max_cells: budget.max_virtual_cells_per_table,
+                }),
+                DegradedAction::Truncated,
+            );
+        }
 
         let scored: Vec<Vec<(usize, f64)>> = mentions
             .iter()
@@ -261,7 +306,7 @@ impl Briq {
             })
             .collect();
 
-        ScoredDocument { mentions, ctx, targets, scored, tags }
+        (ScoredDocument { mentions, ctx, targets, scored, tags, budget: *budget }, diags)
     }
 
     /// Stage 3: adaptive filtering of a scored document.
@@ -287,18 +332,76 @@ impl Briq {
     /// Like [`Briq::align`], also returning filtering statistics and the
     /// candidates (for Table VI style analyses).
     pub fn align_detailed(&self, doc: &Document) -> (Vec<Alignment>, FilterStats, Vec<Vec<Candidate>>) {
-        let sd = self.score_document(doc);
+        let (alignments, stats, candidates, _) = self.align_budgeted(doc, &Budget::unlimited());
+        (alignments, stats, candidates)
+    }
+
+    /// Panic-free alignment under the default [`Budget`]: every degraded
+    /// table, mention, or stage is isolated and reported in the returned
+    /// [`Diagnostics`] instead of hanging or aborting the document. On
+    /// documents that stay within budget the alignments are bit-identical
+    /// to [`Briq::align`].
+    pub fn align_checked(&self, doc: &Document) -> (Vec<Alignment>, Diagnostics) {
+        self.align_checked_with(doc, &Budget::default())
+    }
+
+    /// [`Briq::align_checked`] under a caller-chosen budget.
+    pub fn align_checked_with(&self, doc: &Document, budget: &Budget) -> (Vec<Alignment>, Diagnostics) {
+        let (alignments, _, _, diags) = self.align_budgeted(doc, budget);
+        (alignments, diags)
+    }
+
+    /// The one shared alignment code path. `align`/`align_detailed` call
+    /// it with [`Budget::unlimited`] and discard the diagnostics;
+    /// `align_checked` calls it with a finite budget — so budgeted and
+    /// legacy alignment can never drift apart.
+    fn align_budgeted(
+        &self,
+        doc: &Document,
+        budget: &Budget,
+    ) -> (Vec<Alignment>, FilterStats, Vec<Vec<Candidate>>, Diagnostics) {
+        let (sd, mut diags) = self.score_document_budgeted(doc, budget);
         let (candidates, stats) = self.filter(&sd);
         let positions: Vec<usize> = sd.ctx.mentions.iter().map(|m| m.token_index).collect();
-        let ag = build_graph(
+        let (ag, edges_truncated) = build_graph_budgeted(
             &sd.mentions,
             &positions,
             sd.ctx.tokens.len(),
             &sd.targets,
             &candidates,
             &self.cfg.graph,
+            budget.max_graph_edges,
         );
-        let resolved = resolve(ag, &candidates, &self.cfg.resolution);
+        if edges_truncated {
+            diags.record(
+                Stage::GraphConstruction,
+                "document".into(),
+                &BriqError::EdgeBudgetExceeded { max_edges: budget.max_graph_edges },
+                DegradedAction::Truncated,
+            );
+        }
+        let (resolved, events) =
+            resolve_budgeted(ag, &candidates, &self.cfg.resolution, budget.max_rwr_iterations);
+        for ev in events {
+            match ev {
+                ResolutionEvent::NotConverged { mention, report } => diags.record(
+                    Stage::Resolution,
+                    format!("mention {mention}"),
+                    &BriqError::RwrNotConverged {
+                        mention,
+                        iterations: report.iterations,
+                        residual: report.residual,
+                    },
+                    DegradedAction::Truncated,
+                ),
+                ResolutionEvent::PriorFallback { mention, error } => diags.record(
+                    Stage::Resolution,
+                    format!("mention {mention}"),
+                    &BriqError::Graph(error),
+                    DegradedAction::Fallback,
+                ),
+            }
+        }
         let alignments = resolved
             .into_iter()
             .map(|r| {
@@ -312,7 +415,7 @@ impl Briq {
                 }
             })
             .collect();
-        (alignments, stats, candidates)
+        (alignments, stats, candidates, diags)
     }
 }
 
@@ -392,6 +495,57 @@ mod tests {
     }
 
     #[test]
+    fn align_checked_matches_align_on_clean_input() {
+        let briq = Briq::untrained(BriqConfig::default());
+        let doc = health_doc();
+        let plain = briq.align(&doc);
+        let (checked, diags) = briq.align_checked(&doc);
+        assert_eq!(plain, checked);
+        assert!(diags.is_clean(), "{diags:?}");
+    }
+
+    #[test]
+    fn tight_budgets_degrade_with_diagnostics_not_panics() {
+        let briq = Briq::untrained(BriqConfig::default());
+        let doc = health_doc();
+        let budget = crate::error::Budget {
+            max_regex_steps: 1,
+            max_virtual_cells_per_table: 3,
+            max_graph_edges: 2,
+            max_rwr_iterations: 1,
+        };
+        let (alignments, diags) = briq.align_checked_with(&doc, &budget);
+        assert!(!diags.is_clean());
+        let stages: Vec<Stage> = diags.items.iter().map(|d| d.stage).collect();
+        assert!(stages.contains(&Stage::VirtualCells), "{diags:?}");
+        assert!(stages.contains(&Stage::GraphConstruction), "{diags:?}");
+        // Budget enforcement: no more virtual-cell targets than allowed.
+        let (sd, _) = briq.score_document_budgeted(&doc, &budget);
+        let virtuals =
+            sd.targets.iter().filter(|t| t.kind != briq_table::TableMentionKind::SingleCell).count();
+        assert!(virtuals <= budget.max_virtual_cells_per_table);
+        // Degraded mode still returns (possibly empty) alignments.
+        let _ = alignments;
+    }
+
+    #[test]
+    fn degenerate_tables_are_skipped_with_diagnostics() {
+        let briq = Briq::untrained(BriqConfig::default());
+        let doc = Document::new(
+            0,
+            "There were 38 patients in total.",
+            vec![Table::from_grid("", Vec::new())],
+        );
+        let (_, diags) = briq.align_checked(&doc);
+        assert!(diags
+            .items
+            .iter()
+            .any(|d| d.stage == Stage::Extraction
+                && d.action == crate::error::DegradedAction::Skipped),
+            "{diags:?}");
+    }
+
+    #[test]
     fn heuristic_prior_ranges() {
         let perfect = vec![1.0, 1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
         let terrible = vec![0.0, 0.0, 0.0, 0.0, 0.0, 2.0, 2.0, 3.0, 6.0, 4.0, 0.0, 3.0];
@@ -441,3 +595,16 @@ mod tests {
         assert!(!alignments.is_empty());
     }
 }
+
+briq_json::json_struct!(BriqConfig {
+    context,
+    virtual_cells,
+    filter,
+    graph,
+    resolution,
+    forest,
+    tagger_forest,
+    tagger_threshold,
+    mask,
+});
+briq_json::json_struct!(Briq { cfg, classifier, tagger });

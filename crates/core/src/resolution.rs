@@ -7,15 +7,14 @@
 //! knowledge. A mention whose best `OverallScore` falls below `ε` is left
 //! unaligned (the mapping is partial, §II-A).
 
-use briq_graph::{random_walk_with_restart, RwrConfig};
+use briq_graph::{try_random_walk_with_restart, ConvergenceReport, GraphError, RwrConfig};
 use briq_ml::entropy::normalized_entropy;
-use serde::{Deserialize, Serialize};
 
 use crate::filtering::Candidate;
 use crate::graph_builder::AlignmentGraph;
 
 /// Resolution parameters (Eq. 1 and Algorithm 1).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ResolutionConfig {
     /// Weight α of the stationary probability π(t|x).
     pub alpha: f64,
@@ -62,14 +61,51 @@ pub struct Resolved {
     pub score: f64,
 }
 
+/// A degraded-mode event from [`resolve_budgeted`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResolutionEvent {
+    /// The mention's walk hit the iteration cap before meeting the
+    /// tolerance; its (approximate) stationary vector was still used.
+    NotConverged {
+        /// Text-mention index.
+        mention: usize,
+        /// The walk's convergence report.
+        report: ConvergenceReport,
+    },
+    /// The walk itself failed; the mention was decided by classifier
+    /// prior alone.
+    PriorFallback {
+        /// Text-mention index.
+        mention: usize,
+        /// The underlying graph error.
+        error: GraphError,
+    },
+}
+
 /// Run Algorithm 1. `candidates[i]` are the surviving candidates of text
 /// mention `i` (their `target` indexes the document's table mentions).
 /// The graph is consumed (edges are deleted as decisions are made).
 pub fn resolve(
-    mut ag: AlignmentGraph,
+    ag: AlignmentGraph,
     candidates: &[Vec<Candidate>],
     cfg: &ResolutionConfig,
 ) -> Vec<Resolved> {
+    resolve_budgeted(ag, candidates, cfg, usize::MAX).0
+}
+
+/// Budgeted Algorithm 1 with per-mention fault isolation. The walk's
+/// iteration cap is `cfg.max_iterations` tightened to
+/// `max_rwr_iterations`; a walk that fails outright demotes its mention
+/// to prior-score ranking instead of aborting the document. Returns the
+/// resolved alignments plus one [`ResolutionEvent`] per degraded
+/// mention. With an unlimited budget this is bit-identical to the
+/// classic [`resolve`].
+pub fn resolve_budgeted(
+    mut ag: AlignmentGraph,
+    candidates: &[Vec<Candidate>],
+    cfg: &ResolutionConfig,
+    max_rwr_iterations: usize,
+) -> (Vec<Resolved>, Vec<ResolutionEvent>) {
     let m = candidates.len();
 
     // Entropy of each mention's prior distribution; ascending order.
@@ -87,26 +123,50 @@ pub fn resolve(
     let rwr = RwrConfig {
         restart: cfg.restart,
         tolerance: cfg.tolerance,
-        max_iterations: cfg.max_iterations,
+        max_iterations: cfg.max_iterations.min(max_rwr_iterations),
     };
 
     let mut out = Vec::new();
+    let mut events = Vec::new();
     for &x in &order {
-        let pi = random_walk_with_restart(&ag.graph, ag.text_nodes[x], &rwr);
+        // Per-mention fault isolation: a failed walk demotes this mention
+        // to prior-only scoring; it never takes the document down.
+        let pi = match try_random_walk_with_restart(&ag.graph, ag.text_nodes[x], &rwr) {
+            Ok((pi, report)) => {
+                if !report.converged {
+                    events.push(ResolutionEvent::NotConverged { mention: x, report });
+                }
+                Some(pi)
+            }
+            Err(error) => {
+                events.push(ResolutionEvent::PriorFallback { mention: x, error });
+                None
+            }
+        };
         // Normalize π over the candidate set: its raw magnitude depends on
         // how many nodes the walk spreads over, while σ is always a
         // probability in [0, 1]. Without this, the α/β mix of Eq. 1 would
         // weigh the walk differently in small and large documents.
-        let pi_total: f64 = candidates[x]
-            .iter()
-            .filter_map(|c| ag.table_node(c.target).map(|tn| pi[tn]))
-            .sum();
+        let pi_total: f64 = match &pi {
+            Some(pi) => candidates[x]
+                .iter()
+                .filter_map(|c| ag.table_node(c.target).map(|tn| pi[tn]))
+                .sum(),
+            None => 0.0,
+        };
         let mut best: Option<(usize, f64, f64)> = None;
         for c in &candidates[x] {
             let Some(tn) = ag.table_node(c.target) else { continue };
-            let pi_hat = if pi_total > 0.0 { pi[tn] / pi_total } else { 0.0 };
-            let score = cfg.alpha * pi_hat + cfg.beta * c.score;
-            if best.map_or(true, |(_, s, _)| score > s) {
+            let score = match &pi {
+                Some(pi) => {
+                    let pi_hat = if pi_total > 0.0 { pi[tn] / pi_total } else { 0.0 };
+                    cfg.alpha * pi_hat + cfg.beta * c.score
+                }
+                // Prior-score fallback: rank by σ alone so the ε gate
+                // still compares against a [0, 1] probability.
+                None => c.score,
+            };
+            if best.is_none_or(|(_, s, _)| score > s) {
                 best = Some((c.target, score, c.score));
             }
         }
@@ -133,7 +193,7 @@ pub fn resolve(
         }
     }
     out.sort_by_key(|r| r.mention);
-    out
+    (out, events)
 }
 
 #[cfg(test)]
@@ -232,6 +292,45 @@ mod tests {
     }
 
     #[test]
+    fn unlimited_budget_matches_classic_resolve() {
+        let (mentions, pos, targets, candidates) = coupled();
+        let cfg = ResolutionConfig::default();
+        let gcfg = GraphConfig::default();
+        let ag1 = build_graph(&mentions, &pos, 10, &targets, &candidates, &gcfg);
+        let ag2 = build_graph(&mentions, &pos, 10, &targets, &candidates, &gcfg);
+        let classic = resolve(ag1, &candidates, &cfg);
+        let (budgeted, events) = resolve_budgeted(ag2, &candidates, &cfg, usize::MAX);
+        assert_eq!(classic, budgeted);
+        // Slow convergence may be reported, but nothing falls back: the
+        // unlimited-budget path takes exactly the classic decisions.
+        assert!(
+            events.iter().all(|e| matches!(e, ResolutionEvent::NotConverged { .. })),
+            "{events:?}"
+        );
+    }
+
+    #[test]
+    fn iteration_cap_reports_non_convergence_without_panicking() {
+        let (mentions, pos, targets, candidates) = coupled();
+        let ag =
+            build_graph(&mentions, &pos, 10, &targets, &candidates, &GraphConfig::default());
+        let cfg = ResolutionConfig { tolerance: 0.0, ..Default::default() };
+        let (_, events) = resolve_budgeted(ag, &candidates, &cfg, 1);
+        // With a zero tolerance and a single allowed iteration, every
+        // mention's walk stops early and says so.
+        assert!(!events.is_empty());
+        for ev in &events {
+            match ev {
+                ResolutionEvent::NotConverged { report, .. } => {
+                    assert_eq!(report.iterations, 1);
+                    assert!(!report.converged);
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn single_candidate_mention_aligns_directly() {
         let mentions = vec![mention(0, 42.0, 0)];
         let targets = vec![cell(0, 1, 1, 42.0)];
@@ -243,3 +342,13 @@ mod tests {
         assert!(out[0].score > 0.0);
     }
 }
+
+briq_json::json_struct!(ResolutionConfig {
+    alpha,
+    beta,
+    epsilon,
+    sigma_min,
+    restart,
+    tolerance,
+    max_iterations,
+});

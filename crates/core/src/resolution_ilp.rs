@@ -20,12 +20,11 @@
 //! scaling gap against the random-walk resolution.
 
 use briq_table::{TableMention, TableMentionKind};
-use serde::{Deserialize, Serialize};
 
 use crate::filtering::Candidate;
 
 /// ILP-resolution parameters.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct IlpConfig {
     /// Bonus for two assigned targets in the same table.
     pub table_coherence: f64,
@@ -173,7 +172,7 @@ impl<'a> Solver<'a> {
         }
         self.current.iter().enumerate().any(|(y, assigned)| {
             y != x
-                && assigned.map_or(false, |a| {
+                && assigned.is_some_and(|a| {
                     let u = &self.targets[a];
                     u.kind == TableMentionKind::SingleCell
                         && u.table == t.table
@@ -297,3 +296,10 @@ mod tests {
         assert_eq!(sol.objective, 0.0);
     }
 }
+
+briq_json::json_struct!(IlpConfig {
+    table_coherence,
+    line_coherence,
+    epsilon,
+    node_budget,
+});

@@ -15,7 +15,6 @@ use briq_ml::{Dataset, RandomForest, RandomForestConfig};
 use briq_table::Document;
 use briq_text::cues::{count_aggregation_cues, AggregationKind, ApproxIndicator};
 use briq_text::units::tagger_unit_category;
-use serde::{Deserialize, Serialize};
 
 use crate::context::DocContext;
 use crate::mention::TextMention;
@@ -24,7 +23,7 @@ use crate::mention::TextMention;
 pub const TAGGER_FEATURE_COUNT: usize = 1 + 3 * 4 + 4;
 
 /// A trained text-mention tagger.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MentionTagger {
     /// One binary forest per evaluated aggregation kind, in
     /// [`AggregationKind::EVALUATED`] order.
@@ -164,7 +163,7 @@ impl MentionTagger {
         let conf = self.confidences(features);
         let mut best: Option<(usize, f64)> = None;
         for (i, &c) in conf.iter().enumerate() {
-            if best.map_or(true, |(_, b)| c > b) {
+            if best.is_none_or(|(_, b)| c > b) {
                 best = Some((i, c));
             }
         }
@@ -284,3 +283,5 @@ mod tests {
         assert_eq!(strict.tag(&v), None); // lexical conf 0.75 < 0.99
     }
 }
+
+briq_json::json_struct!(MentionTagger { forests, threshold });

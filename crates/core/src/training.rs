@@ -10,7 +10,6 @@ use briq_ml::Dataset;
 use briq_table::virtual_cells::{all_table_mentions, VirtualCellConfig};
 use briq_table::{Document, TableMention, TableMentionKind};
 use briq_text::cues::AggregationKind;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 use crate::context::{ContextConfig, DocContext};
@@ -18,7 +17,7 @@ use crate::features::feature_vector;
 use crate::mention::{text_mentions, GoldAlignment, TextMention};
 
 /// One document together with its gold alignments.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LabeledDocument {
     /// The document (paragraph + tables).
     pub document: Document,
@@ -38,7 +37,7 @@ pub struct TrainingExample {
 }
 
 /// Counts of positive/negative examples per mention type (Table I).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TrainingBreakdown {
     /// `(positives, negatives)` per type name.
     pub by_type: BTreeMap<String, (usize, usize)>,
@@ -306,3 +305,6 @@ mod tests {
         assert_eq!(bd.totals(), (0, 0));
     }
 }
+
+briq_json::json_struct!(LabeledDocument { document, gold });
+briq_json::json_struct!(TrainingBreakdown { by_type });

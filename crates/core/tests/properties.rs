@@ -145,6 +145,46 @@ proptest! {
         prop_assert_eq!(f, once);
     }
 
+    /// `align_checked` never panics and never exceeds its budget on
+    /// arbitrary UTF-8 documents: whatever bytes end up in the text and
+    /// the table cells, the budgeted pipeline terminates, keeps every
+    /// score finite, stays within the virtual-cell cap, and reports any
+    /// degradation through diagnostics instead of aborting.
+    #[test]
+    fn align_checked_total_and_budgeted_on_arbitrary_utf8(
+        text in "\\PC{0,120}",
+        cells in proptest::collection::vec("\\PC{0,12}", 0..24),
+        n_cols in 1usize..5,
+    ) {
+        let grid: Vec<Vec<String>> =
+            cells.chunks(n_cols).map(|row| row.to_vec()).collect();
+        let doc = Document::new(0, text, vec![Table::from_grid("", grid)]);
+        let briq = Briq::untrained(BriqConfig::default());
+        let budget = briq_core::Budget {
+            max_regex_steps: 1_000,
+            max_virtual_cells_per_table: 16,
+            max_graph_edges: 64,
+            max_rwr_iterations: 8,
+        };
+        let (alignments, diags) = briq.align_checked_with(&doc, &budget);
+        for a in &alignments {
+            prop_assert!(a.score.is_finite());
+            prop_assert!(a.mention_end <= doc.text.len());
+        }
+        // Budget respected: the scored document never carries more
+        // virtual cells than allowed.
+        let (sd, _) = briq.score_document_budgeted(&doc, &budget);
+        let virtuals = sd
+            .targets
+            .iter()
+            .filter(|t| t.kind != TableMentionKind::SingleCell)
+            .count();
+        prop_assert!(virtuals <= budget.max_virtual_cells_per_table);
+        // Diagnostics always serialize, degraded or not.
+        let jsonl = diags.to_jsonl();
+        prop_assert_eq!(jsonl.lines().count(), diags.items.len());
+    }
+
     /// The full pipeline is total over random numeric documents, and every
     /// produced alignment points at a real target with in-bounds cells.
     #[test]

@@ -105,7 +105,7 @@ impl CorpusConfig {
 }
 
 /// A generated corpus: labeled documents plus their domains.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GeneratedCorpus {
     /// The labeled documents.
     pub documents: Vec<LabeledDocument>,
@@ -122,15 +122,14 @@ impl GeneratedCorpus {
     /// Persist the corpus (documents, gold, domains) as JSON, so an
     /// experiment's exact data can be archived and re-analyzed.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        let json = serde_json::to_string(self)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        let json = briq_json::to_string(self);
         std::fs::write(path, json)
     }
 
     /// Load a corpus saved with [`GeneratedCorpus::save`].
     pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<GeneratedCorpus> {
         let json = std::fs::read_to_string(path)?;
-        serde_json::from_str(&json)
+        briq_json::from_str(&json)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 }
@@ -420,3 +419,5 @@ mod tests {
         }
     }
 }
+
+briq_json::json_struct!(GeneratedCorpus { documents, domains });

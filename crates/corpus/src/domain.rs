@@ -7,10 +7,9 @@
 //! signal to work with.
 
 use briq_text::units::{Currency, Unit};
-use serde::{Deserialize, Serialize};
 
 /// Corpus domain.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Domain {
     /// Quarterly reports, revenues, margins.
     Finance,
@@ -207,7 +206,7 @@ impl Domain {
 }
 
 /// What kind of values a column holds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ColumnKind {
     /// Monetary amounts (hundreds to millions).
     Money,
@@ -272,3 +271,20 @@ mod tests {
         assert_eq!(ColumnKind::Count.unit(), Unit::None);
     }
 }
+
+briq_json::json_unit_enum!(Domain {
+    Finance,
+    Environment,
+    Health,
+    Politics,
+    Sports,
+    Others,
+});
+briq_json::json_unit_enum!(ColumnKind {
+    Money,
+    Percent,
+    Rating,
+    SmallCount,
+    Count,
+    BigCount,
+});

@@ -1,4 +1,7 @@
-//! Mention perturbation for the robustness experiments of Table II.
+//! Mention perturbation for the robustness experiments of Table II, plus
+//! the adversarial page generator behind the chaos harness.
+//!
+//! The paper's perturbations:
 //!
 //! * **Truncated** — "we removed the least significant digit of each
 //!   original text mention. For example, 6746, 2.74, 0.19 became 6740,
@@ -8,9 +11,21 @@
 //!
 //! Only the *text* is perturbed; tables stay intact. Gold spans are
 //! re-mapped through the edits.
+//!
+//! The adversarial generator ([`Adversary`], [`adversarial_page`])
+//! produces pages no honest corpus would: truncated and unbalanced
+//! markup, colspan bombs, zero-row tables, `1e999`/NaN-shaped numerics,
+//! mixed-locale digit groupings, dense tables with huge virtual-cell
+//! fanout, and regex-hostile strings. They exist to be fed through
+//! `Briq::align_checked`, which must degrade — never panic or hang.
 
 use briq_core::training::LabeledDocument;
+use briq_table::html::parse_page;
+use briq_table::segment::{segment_page, SegmentConfig};
+use briq_table::Document;
 use briq_text::extract_quantities;
+use rand::prelude::*;
+use rand::rngs::StdRng;
 
 /// Which variant of the text to produce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -161,6 +176,192 @@ pub fn perturb_document(ld: &LabeledDocument, p: Perturbation) -> LabeledDocumen
     LabeledDocument { document: doc, gold }
 }
 
+/// One family of adversarial page, each targeting a different pipeline
+/// weakness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Adversary {
+    /// The page ends mid-tag / mid-comment.
+    TruncatedHtml,
+    /// Open tags that never close, closes that never opened, tables
+    /// nested inside cells.
+    UnbalancedTags,
+    /// A row whose colspan attributes claim thousands of columns.
+    ColspanBomb,
+    /// Tables with no data rows, no columns, or headers only.
+    ZeroRowTable,
+    /// `1e999`, `-1e999`, `NaN`-shaped and overlong numerals that
+    /// overflow `f64` parsing.
+    NonFiniteNumerics,
+    /// European and US digit groupings mixed in one page
+    /// (`1.234.567,89` next to `1,234,567.89`).
+    MixedLocale,
+    /// A dense all-numeric table whose virtual-cell space is quadratic
+    /// in both dimensions.
+    VirtualCellFanout,
+    /// Pathological strings for the regex/tokenizer layer: nested
+    /// parens, long punctuation runs, currency soup.
+    RegexHostile,
+}
+
+impl Adversary {
+    /// Every family, for round-robin generation.
+    pub const ALL: [Adversary; 8] = [
+        Adversary::TruncatedHtml,
+        Adversary::UnbalancedTags,
+        Adversary::ColspanBomb,
+        Adversary::ZeroRowTable,
+        Adversary::NonFiniteNumerics,
+        Adversary::MixedLocale,
+        Adversary::VirtualCellFanout,
+        Adversary::RegexHostile,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Adversary::TruncatedHtml => "truncated-html",
+            Adversary::UnbalancedTags => "unbalanced-tags",
+            Adversary::ColspanBomb => "colspan-bomb",
+            Adversary::ZeroRowTable => "zero-row-table",
+            Adversary::NonFiniteNumerics => "non-finite-numerics",
+            Adversary::MixedLocale => "mixed-locale",
+            Adversary::VirtualCellFanout => "virtual-cell-fanout",
+            Adversary::RegexHostile => "regex-hostile",
+        }
+    }
+}
+
+/// A paragraph of quantity-bearing prose to anchor the page.
+fn adversarial_paragraph(rng: &mut StdRng) -> String {
+    let n1 = rng.random_range(2..9999);
+    let n2 = rng.random_range(2..9999);
+    format!(
+        "<p>A total of {n1} patients reported side effects; the most common \
+         was reported by {n2} patients, about 12.5 percent of the cohort.</p>"
+    )
+}
+
+/// A small well-formed numeric table.
+fn small_table(rng: &mut StdRng) -> String {
+    let a = rng.random_range(1..500);
+    let b = rng.random_range(1..500);
+    format!(
+        "<table><tr><th>effect</th><th>total</th></tr>\
+         <tr><td>Rash</td><td>{a}</td></tr>\
+         <tr><td>Depression</td><td>{b}</td></tr></table>"
+    )
+}
+
+/// Generate one adversarial HTML page of the given family. Fully
+/// deterministic in `seed`.
+pub fn adversarial_page(kind: Adversary, seed: u64) -> String {
+    let rng = &mut StdRng::seed_from_u64(seed ^ 0x5eed_ad5e);
+    let mut page = String::from("<html><body>");
+    page.push_str(&adversarial_paragraph(rng));
+    match kind {
+        Adversary::TruncatedHtml => {
+            page.push_str(&small_table(rng));
+            // Cut the page mid-structure: mid-tag, mid-comment, or
+            // mid-cell, at a char boundary.
+            let tail = match rng.random_range(0..3) {
+                0 => "<table><tr><td>17</td><td",
+                1 => "<table><tr><td>17</td></tr><!-- unterminated ",
+                _ => "<table><tr><th>x</th></tr><tr><td>4",
+            };
+            page.push_str(tail);
+            return page; // no closing tags at all
+        }
+        Adversary::UnbalancedTags => {
+            page.push_str("<table><tr><td>5<table><tr><td>6</td></table>");
+            page.push_str("</div></td></tr></p>");
+            page.push_str("<tr><td>7</td></tr></table></table></tr>");
+            page.push_str(&small_table(rng));
+        }
+        Adversary::ColspanBomb => {
+            let span = rng.random_range(1_000..60_000);
+            page.push_str(&format!(
+                "<table><tr><th colspan=\"{span}\">wide</th></tr>\
+                 <tr><td colspan=\"{span}\">9</td></tr>\
+                 <tr><td>1</td><td>2</td></tr></table>"
+            ));
+        }
+        Adversary::ZeroRowTable => {
+            page.push_str("<table></table>");
+            page.push_str("<table><tr></tr><tr></tr></table>");
+            page.push_str("<table><tr><th>only</th><th>headers</th></tr></table>");
+            page.push_str(&small_table(rng));
+        }
+        Adversary::NonFiniteNumerics => {
+            let long_digits = "9".repeat(rng.random_range(310..400));
+            page.push_str(&format!(
+                "<p>Costs rose to 1e999 dollars, then to -1e999, NaN, \
+                 Infinity, 0x1.fp3, and finally {long_digits}.</p>\
+                 <table><tr><th>k</th><th>v</th></tr>\
+                 <tr><td>a</td><td>1e999</td></tr>\
+                 <tr><td>b</td><td>{long_digits}</td></tr>\
+                 <tr><td>c</td><td>NaN</td></tr></table>"
+            ));
+        }
+        Adversary::MixedLocale => {
+            page.push_str(
+                "<p>Revenue was 1.234.567,89 euro against 1,234,567.89 dollars, \
+                 with 12.345 units sold and 1,23,45,678 rupees booked.</p>",
+            );
+            page.push_str(
+                "<table><tr><th>region</th><th>amount</th></tr>\
+                 <tr><td>EU</td><td>1.234.567,89</td></tr>\
+                 <tr><td>US</td><td>1,234,567.89</td></tr>\
+                 <tr><td>IN</td><td>1,23,45,678</td></tr></table>",
+            );
+        }
+        Adversary::VirtualCellFanout => {
+            let rows = rng.random_range(10..16);
+            let cols = rng.random_range(10..16);
+            // Cell (r, c) holds (r+1)*(c+7), so 70 = cell (9, 0) always
+            // exists; naming it (and two headers) keeps the paragraph
+            // related to the table under segmentation's overlap test.
+            page.push_str(
+                "<p>The c0 and c1 series both peaked near 70 across the \
+                 whole measurement campaign.</p>",
+            );
+            page.push_str("<table><tr>");
+            for c in 0..cols {
+                page.push_str(&format!("<th>c{c}</th>"));
+            }
+            page.push_str("</tr>");
+            for r in 0..rows {
+                page.push_str("<tr>");
+                for c in 0..cols {
+                    page.push_str(&format!("<td>{}</td>", (r + 1) * (c + 7)));
+                }
+                page.push_str("</tr>");
+            }
+            page.push_str("</table>");
+        }
+        Adversary::RegexHostile => {
+            let depth = rng.random_range(50..200);
+            let parens = "(".repeat(depth) + "42" + &")".repeat(depth);
+            let aaaa = "a".repeat(rng.random_range(200..500));
+            page.push_str(&format!(
+                "<p>{parens} +++$$$€€€%%% {aaaa}! 1,,2,,3 ..5.. -–−7 and \
+                 $ € ¥ £ 12$34€56 follow.</p>"
+            ));
+            page.push_str(&small_table(rng));
+        }
+    }
+    page.push_str("</body></html>");
+    page
+}
+
+/// Parse an adversarial page into documents, exactly as the CLI would.
+/// May legitimately be empty (e.g. a page truncated before any table
+/// survived).
+pub fn adversarial_documents(kind: Adversary, seed: u64) -> Vec<Document> {
+    let html = adversarial_page(kind, seed);
+    let page = parse_page(&html);
+    segment_page(&page, &SegmentConfig::default(), seed as usize)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,6 +433,39 @@ mod tests {
         let ld = &c.documents[0];
         let out = perturb_document(ld, Perturbation::Truncated);
         assert_eq!(out.document.tables, ld.document.tables);
+    }
+
+    #[test]
+    fn adversarial_pages_are_deterministic() {
+        for kind in Adversary::ALL {
+            assert_eq!(adversarial_page(kind, 7), adversarial_page(kind, 7), "{kind:?}");
+            // Different seeds should (for the randomized families) be
+            // able to differ; at minimum they must not panic.
+            let _ = adversarial_page(kind, 8);
+        }
+    }
+
+    #[test]
+    fn adversarial_pages_parse_without_panicking() {
+        for kind in Adversary::ALL {
+            for seed in 0..20 {
+                let docs = adversarial_documents(kind, seed);
+                for d in &docs {
+                    assert!(d.text.len() < 1 << 20, "{kind:?} text exploded");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fanout_family_generates_dense_tables() {
+        let docs = adversarial_documents(Adversary::VirtualCellFanout, 3);
+        let table = docs
+            .iter()
+            .flat_map(|d| d.tables.iter())
+            .max_by_key(|t| t.quantity_count())
+            .expect("fanout page has a table");
+        assert!(table.quantity_count() >= 100, "{}", table.quantity_count());
     }
 
     #[test]

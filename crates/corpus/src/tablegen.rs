@@ -133,6 +133,9 @@ pub fn generate_table(
     // same-value collisions within columns (Fig. 6a): each column may
     // duplicate one of its values into another row
     if n_rows >= 2 {
+        // `c` indexes two rng-chosen rows at once, so a range loop is the
+        // natural shape here.
+        #[allow(clippy::needless_range_loop)]
         for c in 0..n_cols {
             if rng.random_bool(cfg.collision_rate) {
                 let a = rng.random_range(0..n_rows);

@@ -33,11 +33,27 @@ impl Graph {
     }
 
     /// Add (or accumulate onto) the undirected edge `a – b` with weight
-    /// `w > 0`. Self-loops are ignored.
+    /// `w > 0`. Self-loops are ignored. Panics on out-of-range nodes;
+    /// [`Graph::try_add_edge`] is the fallible variant.
     pub fn add_edge(&mut self, a: usize, b: usize, w: f64) {
-        assert!(a < self.len() && b < self.len(), "node out of range");
-        if a == b || !(w > 0.0) || !w.is_finite() {
-            return;
+        match self.try_add_edge(a, b, w) {
+            Ok(()) => {}
+            Err(e) => panic!("add_edge: {e}"),
+        }
+    }
+
+    /// Fallible edge insertion: rejects out-of-range endpoints instead of
+    /// panicking. Self-loops and non-positive / non-finite weights are
+    /// silently ignored, as in [`Graph::add_edge`].
+    pub fn try_add_edge(&mut self, a: usize, b: usize, w: f64) -> Result<(), crate::error::GraphError> {
+        let len = self.len();
+        for node in [a, b] {
+            if node >= len {
+                return Err(crate::error::GraphError::NodeOutOfRange { node, len });
+            }
+        }
+        if a == b || w <= 0.0 || !w.is_finite() {
+            return Ok(());
         }
         match self.adj[a].iter_mut().find(|(n, _)| *n == b) {
             Some((_, ew)) => {
@@ -51,6 +67,7 @@ impl Graph {
                 self.adj[b].push((a, w));
             }
         }
+        Ok(())
     }
 
     /// Remove the edge `a – b` if present. Returns true when removed.

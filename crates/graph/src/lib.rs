@@ -6,9 +6,15 @@
 //! convergence bound. A dense linear solver provides an exact reference
 //! used by tests to validate the iterative walk.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod error;
 pub mod graph;
 pub mod rwr;
 pub mod solve;
 
+pub use error::GraphError;
 pub use graph::Graph;
-pub use rwr::{random_walk_with_restart, RwrConfig};
+pub use rwr::{
+    random_walk_with_restart, try_random_walk_with_restart, ConvergenceReport, RwrConfig,
+};

@@ -6,6 +6,7 @@
 //! estimated visiting probabilities of the candidate table mentions change
 //! by less than a specified convergence bound."
 
+use crate::error::GraphError;
 use crate::graph::Graph;
 
 /// RWR parameters.
@@ -25,12 +26,44 @@ impl Default for RwrConfig {
     }
 }
 
+/// How a power iteration ended: after how many iterations, at what
+/// residual, and whether the tolerance was reached. Hitting the iteration
+/// cap is not silent any more — callers can log or degrade on
+/// `converged == false`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvergenceReport {
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Final L∞ change between successive probability vectors.
+    pub residual: f64,
+    /// True when `residual < tolerance` within the iteration cap.
+    pub converged: bool,
+}
+
 /// Stationary visiting probabilities `π(·|start)` of a walk restarting at
 /// `start`. Walkers on nodes without outgoing edges (dangling) teleport
 /// back to the start. Returns a probability vector over all nodes.
+///
+/// Panics when `start` is out of range; [`try_random_walk_with_restart`]
+/// is the fallible variant used by the pipeline.
 pub fn random_walk_with_restart(graph: &Graph, start: usize, cfg: &RwrConfig) -> Vec<f64> {
+    match try_random_walk_with_restart(graph, start, cfg) {
+        Ok((p, _)) => p,
+        Err(e) => panic!("random_walk_with_restart: {e}"),
+    }
+}
+
+/// Fallible RWR: rejects an out-of-range start node instead of panicking,
+/// and reports how the iteration terminated.
+pub fn try_random_walk_with_restart(
+    graph: &Graph,
+    start: usize,
+    cfg: &RwrConfig,
+) -> Result<(Vec<f64>, ConvergenceReport), GraphError> {
     let n = graph.len();
-    assert!(start < n, "start node out of range");
+    if start >= n {
+        return Err(GraphError::NodeOutOfRange { node: start, len: n });
+    }
     let c = cfg.restart.clamp(1e-6, 1.0);
 
     // Precompute transitions once; the graph is static during one walk.
@@ -39,8 +72,10 @@ pub fn random_walk_with_restart(graph: &Graph, start: usize, cfg: &RwrConfig) ->
     let mut p = vec![0.0f64; n];
     p[start] = 1.0;
     let mut next = vec![0.0f64; n];
+    let mut report =
+        ConvergenceReport { iterations: 0, residual: f64::INFINITY, converged: false };
 
-    for _ in 0..cfg.max_iterations {
+    for it in 0..cfg.max_iterations {
         next.iter_mut().for_each(|x| *x = 0.0);
         let mut dangling = 0.0;
         for v in 0..n {
@@ -65,11 +100,14 @@ pub fn random_walk_with_restart(graph: &Graph, start: usize, cfg: &RwrConfig) ->
             .map(|(a, b)| (a - b).abs())
             .fold(0.0f64, f64::max);
         std::mem::swap(&mut p, &mut next);
+        report.iterations = it + 1;
+        report.residual = diff;
         if diff < cfg.tolerance {
+            report.converged = true;
             break;
         }
     }
-    p
+    Ok((p, report))
 }
 
 #[cfg(test)]

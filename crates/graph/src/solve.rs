@@ -19,6 +19,9 @@ pub fn exact_rwr(graph: &Graph, start: usize, restart: f64) -> Option<Vec<f64>> 
     for (u, row) in a.iter_mut().enumerate() {
         row[u] = 1.0;
     }
+    // Columns are scattered across rows, so indexed access is the
+    // natural shape here.
+    #[allow(clippy::needless_range_loop)]
     for v in 0..n {
         let trans = graph.transitions(v);
         if trans.is_empty() {
@@ -52,8 +55,11 @@ fn gaussian_solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
             if f == 0.0 {
                 continue;
             }
-            for k in col..n {
-                a[row][k] -= f * a[col][k];
+            // row > col, so splitting at `row` keeps the pivot row in
+            // the head while the target row is mutable in the tail.
+            let (head, tail) = a.split_at_mut(row);
+            for (dst, src) in tail[0][col..].iter_mut().zip(&head[col][col..]) {
+                *dst -= f * src;
             }
             b[row] -= f * b[col];
         }

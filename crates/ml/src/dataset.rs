@@ -1,13 +1,12 @@
 //! Feature-matrix dataset with binary labels and instance weights.
 
-use serde::{Deserialize, Serialize};
 
 /// A supervised binary-classification dataset.
 ///
 /// Features are dense `f64` rows; categorical features are encoded as
 /// small integers (trees split numerically, which subsumes one-vs-rest
 /// category splits for ordered encodings).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Dataset {
     /// Row-major feature matrix.
     pub features: Vec<Vec<f64>>,
@@ -140,3 +139,5 @@ mod tests {
         assert_eq!(s.features[0], s.features[1]);
     }
 }
+
+briq_json::json_struct!(Dataset { features, labels, weights });

@@ -12,10 +12,9 @@ use crate::dataset::Dataset;
 use crate::tree::{DecisionTree, TreeConfig};
 use rand::prelude::*;
 use rand::rngs::StdRng;
-use serde::{Deserialize, Serialize};
 
 /// Random Forest configuration.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct RandomForestConfig {
     /// Number of trees.
     pub n_trees: usize,
@@ -33,7 +32,7 @@ impl Default for RandomForestConfig {
 }
 
 /// A trained Random Forest binary classifier.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RandomForest {
     trees: Vec<DecisionTree>,
 }
@@ -176,3 +175,6 @@ mod tests {
         assert_eq!(batch[1], rf.predict_proba(&rows[1]));
     }
 }
+
+briq_json::json_struct!(RandomForestConfig { n_trees, tree, seed });
+briq_json::json_struct!(RandomForest { trees });

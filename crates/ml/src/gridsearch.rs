@@ -18,7 +18,7 @@ where
         if score.is_nan() {
             continue;
         }
-        if best.map_or(true, |(_, s)| score > s) {
+        if best.is_none_or(|(_, s)| score > s) {
             best = Some((i, score));
         }
     }

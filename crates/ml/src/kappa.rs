@@ -96,4 +96,20 @@ mod tests {
         // all raters always same single category → Pe = 1
         assert!(fleiss_kappa(&[vec![3, 0], vec![3, 0]]).is_none());
     }
+
+    #[test]
+    fn degenerate_confusion_matrices_return_none_not_nan() {
+        // Items with zero categories: no ratings at all.
+        assert!(fleiss_kappa(&[vec![]]).is_none());
+        assert!(fleiss_kappa(&[vec![], vec![]]).is_none());
+        // Zero raters per item (categories exist but nobody voted).
+        assert!(fleiss_kappa(&[vec![0, 0], vec![0, 0]]).is_none());
+        // Items disagreeing on category count.
+        assert!(fleiss_kappa(&[vec![2, 0], vec![1, 1, 0]]).is_none());
+        // Whatever does come back must be finite — κ is a ratio of
+        // probabilities and NaN would poison downstream comparisons.
+        let valid = vec![vec![2, 1], vec![1, 2], vec![3, 0]];
+        let k = fleiss_kappa(&valid);
+        assert!(k.is_some_and(f64::is_finite));
+    }
 }

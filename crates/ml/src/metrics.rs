@@ -4,10 +4,9 @@
 //! … are not informative in our setting with high imbalance … Therefore,
 //! we use precision, recall and F1 as major metrics."
 
-use serde::{Deserialize, Serialize};
 
 /// Precision / recall / F1 triple.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Prf {
     /// TP / (TP + FP); 0 when nothing was predicted positive.
     pub precision: f64,
@@ -159,3 +158,5 @@ mod tests {
         assert_eq!(roc_auc(&[0.3, 0.4], &[true, true]), 0.5);
     }
 }
+
+briq_json::json_struct!(Prf { precision, recall, f1 });

@@ -5,10 +5,9 @@
 
 use crate::dataset::Dataset;
 use rand::prelude::*;
-use serde::{Deserialize, Serialize};
 
 /// Tree-growing configuration.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct TreeConfig {
     /// Maximum depth (root = depth 0).
     pub max_depth: usize,
@@ -28,7 +27,7 @@ impl Default for TreeConfig {
     }
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 enum Node {
     Leaf {
         /// Weighted fraction of positive examples in the leaf.
@@ -44,7 +43,7 @@ enum Node {
 }
 
 /// A trained decision tree.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DecisionTree {
     nodes: Vec<Node>,
 }
@@ -200,7 +199,7 @@ impl<'d> Builder<'d> {
                     (lw / w_total) * gini(lp, lw) + (rw / w_total) * gini(rp, rw);
                 let gain = parent_gini - child;
                 let threshold = 0.5 * (v + v_next);
-                if best.map_or(true, |(_, _, g)| gain > g) {
+                if best.is_none_or(|(_, _, g)| gain > g) {
                     best = Some((f, threshold, gain));
                 }
             }
@@ -329,5 +328,54 @@ mod tests {
         assert_eq!(gini(0.0, 10.0), 0.0);
         assert_eq!(gini(10.0, 10.0), 0.0);
         assert!((gini(5.0, 10.0) - 0.5).abs() < 1e-12);
+    }
+}
+
+briq_json::json_struct!(TreeConfig { max_depth, min_leaf_weight, mtry, min_gain });
+briq_json::json_struct!(DecisionTree { nodes });
+
+// `Node` has struct variants, which the derive-style macros don't cover;
+// the encoding mirrors json_enum!'s externally-tagged form.
+impl briq_json::ToJson for Node {
+    fn to_json(&self) -> briq_json::Value {
+        use briq_json::Value;
+        match self {
+            Node::Leaf { prob } => Value::Object(vec![(
+                "Leaf".to_string(),
+                Value::Object(vec![("prob".to_string(), prob.to_json())]),
+            )]),
+            Node::Split { feature, threshold, left, right } => Value::Object(vec![(
+                "Split".to_string(),
+                Value::Object(vec![
+                    ("feature".to_string(), feature.to_json()),
+                    ("threshold".to_string(), threshold.to_json()),
+                    ("left".to_string(), left.to_json()),
+                    ("right".to_string(), right.to_json()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl briq_json::FromJson for Node {
+    fn from_json(v: &briq_json::Value) -> briq_json::Result<Self> {
+        if let Some(inner) = v.get_variant("Leaf") {
+            let obj = inner
+                .as_object()
+                .ok_or_else(|| briq_json::JsonError::new("expected Leaf object"))?;
+            Ok(Node::Leaf { prob: briq_json::field(obj, "prob")? })
+        } else if let Some(inner) = v.get_variant("Split") {
+            let obj = inner
+                .as_object()
+                .ok_or_else(|| briq_json::JsonError::new("expected Split object"))?;
+            Ok(Node::Split {
+                feature: briq_json::field(obj, "feature")?,
+                threshold: briq_json::field(obj, "threshold")?,
+                left: briq_json::field(obj, "left")?,
+                right: briq_json::field(obj, "right")?,
+            })
+        } else {
+            Err(briq_json::JsonError::new("unknown Node variant"))
+        }
     }
 }

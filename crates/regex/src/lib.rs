@@ -31,6 +31,8 @@
 //! assert_eq!(m.as_str(), "37 €");
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod ast;
 mod parser;
 mod program;
@@ -38,11 +40,16 @@ mod unicode;
 mod vm;
 
 pub use ast::{Ast, ClassItem, ClassSet, UnicodeProperty};
-pub use parser::ParseError;
+pub use parser::{ParseError, MAX_NESTING};
 pub use program::{Inst, Program};
 pub use unicode::is_currency_symbol;
 
 use std::fmt;
+
+/// Cap on compiled program size. Counted repeats expand at compile time,
+/// so `\d{100000}` (or nested repetition bombs) would otherwise allocate
+/// an instruction list proportional to the repeat product.
+pub const MAX_PROGRAM_INSTS: usize = 1 << 16;
 
 /// A compiled regular expression.
 ///
@@ -124,24 +131,56 @@ impl<'h> Captures<'h> {
     }
 }
 
-/// Error type for pattern compilation.
+/// Errors from pattern compilation and budgeted matching.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Error {
-    inner: ParseError,
+pub enum Error {
+    /// The pattern failed to parse.
+    Parse(ParseError),
+    /// The pattern would compile to more than [`MAX_PROGRAM_INSTS`]
+    /// instructions (counted-repeat expansion bomb).
+    ProgramTooLarge {
+        /// Instructions the pattern would expand to.
+        insts: usize,
+        /// The enforced cap.
+        max: usize,
+    },
+    /// A `try_*` matching call ran out of its step budget.
+    StepBudgetExceeded {
+        /// The budget that was exhausted.
+        max_steps: usize,
+    },
 }
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "regex parse error: {}", self.inner)
+        match self {
+            Error::Parse(inner) => write!(f, "regex parse error: {inner}"),
+            Error::ProgramTooLarge { insts, max } => {
+                write!(f, "pattern expands to {insts} instructions (cap {max})")
+            }
+            Error::StepBudgetExceeded { max_steps } => {
+                write!(f, "regex step budget of {max_steps} exceeded")
+            }
+        }
     }
 }
 
 impl std::error::Error for Error {}
 
+impl From<ParseError> for Error {
+    fn from(inner: ParseError) -> Self {
+        Error::Parse(inner)
+    }
+}
+
 impl Regex {
     /// Parse and compile `pattern`.
     pub fn new(pattern: &str) -> Result<Self, Error> {
-        let ast = parser::parse(pattern).map_err(|inner| Error { inner })?;
+        let ast = parser::parse(pattern)?;
+        let insts = program::cost(&ast);
+        if insts > MAX_PROGRAM_INSTS {
+            return Err(Error::ProgramTooLarge { insts, max: MAX_PROGRAM_INSTS });
+        }
         let program = program::compile(&ast);
         Ok(Regex { pattern: pattern.to_string(), program })
     }
@@ -170,8 +209,39 @@ impl Regex {
     ///
     /// `start` must lie on a char boundary of `haystack`.
     pub fn find_at<'h>(&self, haystack: &'h str, start: usize) -> Option<Match<'h>> {
-        let slots = vm::run(&self.program, haystack, start)?;
-        Some(Match { haystack, start: slots[0].unwrap(), end: slots[1].unwrap() })
+        // With an unlimited budget, the VM cannot fail.
+        self.try_find_at(haystack, start, usize::MAX).unwrap_or_default()
+    }
+
+    /// Does the regex match anywhere in `haystack`, using at most
+    /// `max_steps` units of VM work?
+    pub fn try_is_match(&self, haystack: &str, max_steps: usize) -> Result<bool, Error> {
+        Ok(self.try_find(haystack, max_steps)?.is_some())
+    }
+
+    /// Leftmost match with a step budget: `Err(StepBudgetExceeded)` when
+    /// the search would take more than `max_steps` units of VM work.
+    pub fn try_find<'h>(
+        &self,
+        haystack: &'h str,
+        max_steps: usize,
+    ) -> Result<Option<Match<'h>>, Error> {
+        self.try_find_at(haystack, 0, max_steps)
+    }
+
+    /// Like [`Regex::try_find`], considering matches at or after `start`.
+    pub fn try_find_at<'h>(
+        &self,
+        haystack: &'h str,
+        start: usize,
+        max_steps: usize,
+    ) -> Result<Option<Match<'h>>, Error> {
+        let slots = vm::run(&self.program, haystack, start, max_steps)
+            .map_err(|vm::StepLimitExceeded| Error::StepBudgetExceeded { max_steps })?;
+        Ok(slots.and_then(|slots| match (slots.first().copied(), slots.get(1).copied()) {
+            (Some(Some(start)), Some(Some(end))) => Some(Match { haystack, start, end }),
+            _ => None,
+        }))
     }
 
     /// Leftmost match with all capture groups.
@@ -181,8 +251,10 @@ impl Regex {
 
     /// Like [`Regex::captures`], starting at byte offset `start`.
     pub fn captures_at<'h>(&self, haystack: &'h str, start: usize) -> Option<Captures<'h>> {
-        let slots = vm::run(&self.program, haystack, start)?;
-        Some(Captures { haystack, slots })
+        match vm::run(&self.program, haystack, start, usize::MAX) {
+            Ok(slots) => slots.map(|slots| Captures { haystack, slots }),
+            Err(_) => None,
+        }
     }
 
     /// Iterator over all non-overlapping matches.
@@ -382,6 +454,42 @@ mod tests {
         assert!(Regex::new("[z-a]").is_err());
         assert!(Regex::new("*a").is_err());
         assert!(Regex::new(r"\p{Bogus}").is_err());
+    }
+
+    #[test]
+    fn repetition_bomb_rejected() {
+        match Regex::new("(a{1000}){1000}") {
+            Err(Error::ProgramTooLarge { insts, max }) => {
+                assert!(insts > max);
+                assert_eq!(max, MAX_PROGRAM_INSTS);
+            }
+            other => panic!("expected ProgramTooLarge, got {other:?}"),
+        }
+        // A large-but-reasonable repeat still compiles.
+        assert!(Regex::new(r"\d{1,500}").is_ok());
+    }
+
+    #[test]
+    fn nesting_bomb_rejected() {
+        let deep = format!("{}a{}", "(".repeat(500), ")".repeat(500));
+        match Regex::new(&deep) {
+            Err(Error::Parse(ParseError::NestingTooDeep(max))) => {
+                assert_eq!(max, MAX_NESTING);
+            }
+            other => panic!("expected NestingTooDeep, got {other:?}"),
+        }
+        let ok = format!("{}a{}", "(".repeat(50), ")".repeat(50));
+        assert!(Regex::new(&ok).is_ok());
+    }
+
+    #[test]
+    fn error_display_messages() {
+        let parse = Regex::new("(").unwrap_err();
+        assert_eq!(parse.to_string(), "regex parse error: unclosed group");
+        let too_large = Error::ProgramTooLarge { insts: 99, max: 10 };
+        assert_eq!(too_large.to_string(), "pattern expands to 99 instructions (cap 10)");
+        let budget = Error::StepBudgetExceeded { max_steps: 7 };
+        assert_eq!(budget.to_string(), "regex step budget of 7 exceeded");
     }
 
     #[test]

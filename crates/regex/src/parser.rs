@@ -24,6 +24,8 @@ pub enum ParseError {
     UnknownEscape(char),
     /// Unknown `\p{…}` property name.
     UnknownProperty(String),
+    /// Groups nested deeper than the parser's recursion cap.
+    NestingTooDeep(usize),
 }
 
 impl fmt::Display for ParseError {
@@ -38,13 +40,22 @@ impl fmt::Display for ParseError {
             Self::NothingToRepeat(at) => write!(f, "quantifier at byte {at} has nothing to repeat"),
             Self::UnknownEscape(c) => write!(f, "unknown escape `\\{c}`"),
             Self::UnknownProperty(name) => write!(f, "unknown unicode property `{name}`"),
+            Self::NestingTooDeep(max) => {
+                write!(f, "groups nested deeper than the {max}-level cap")
+            }
         }
     }
 }
 
+/// Maximum group-nesting depth. The parser (and the downstream AST walks
+/// in compilation) recurse once per nesting level; the cap keeps hostile
+/// patterns like `((((…))))` from overflowing the stack.
+pub const MAX_NESTING: usize = 100;
+
 /// Parse `pattern` into an [`Ast`].
 pub fn parse(pattern: &str) -> Result<Ast, ParseError> {
-    let mut p = Parser { chars: pattern.char_indices().collect(), pos: 0, next_group: 1 };
+    let mut p =
+        Parser { chars: pattern.char_indices().collect(), pos: 0, next_group: 1, depth: 0 };
     let ast = p.alternation()?;
     if p.pos < p.chars.len() {
         let (at, c) = p.chars[p.pos];
@@ -57,6 +68,7 @@ struct Parser {
     chars: Vec<(usize, char)>,
     pos: usize,
     next_group: usize,
+    depth: usize,
 }
 
 impl Parser {
@@ -95,7 +107,14 @@ impl Parser {
         while self.eat('|') {
             branches.push(self.concat()?);
         }
-        Ok(if branches.len() == 1 { branches.pop().unwrap() } else { Ast::Alternate(branches) })
+        Ok(match (branches.len(), branches.pop()) {
+            (1, Some(only)) => only,
+            (_, Some(last)) => {
+                branches.push(last);
+                Ast::Alternate(branches)
+            }
+            (_, None) => Ast::Empty,
+        })
     }
 
     fn concat(&mut self) -> Result<Ast, ParseError> {
@@ -106,10 +125,13 @@ impl Parser {
             }
             parts.push(self.repeat()?);
         }
-        Ok(match parts.len() {
-            0 => Ast::Empty,
-            1 => parts.pop().unwrap(),
-            _ => Ast::Concat(parts),
+        Ok(match (parts.len(), parts.pop()) {
+            (_, None) => Ast::Empty,
+            (1, Some(only)) => only,
+            (_, Some(last)) => {
+                parts.push(last);
+                Ast::Concat(parts)
+            }
         })
     }
 
@@ -236,7 +258,12 @@ impl Parser {
                 } else {
                     0
                 };
+                self.depth += 1;
+                if self.depth > MAX_NESTING {
+                    return Err(ParseError::NestingTooDeep(MAX_NESTING));
+                }
                 let inner = self.alternation()?;
+                self.depth -= 1;
                 if !self.eat(')') {
                     return Err(ParseError::UnclosedGroup);
                 }

@@ -47,6 +47,39 @@ pub fn compile(ast: &Ast) -> Program {
     Program { insts: c.insts, num_slots: 2 * (c.max_group + 1) }
 }
 
+/// Upper bound on the number of instructions `compile` would emit for
+/// `ast`, with saturating arithmetic. Counted repeats expand during
+/// compilation, so callers check this *before* compiling to reject
+/// repetition bombs like `(a{1000}){1000}` without allocating anything.
+pub fn cost(ast: &Ast) -> usize {
+    match ast {
+        Ast::Empty => 0,
+        Ast::Literal(_)
+        | Ast::AnyChar
+        | Ast::Class(_)
+        | Ast::StartAnchor
+        | Ast::EndAnchor
+        | Ast::WordBoundary => 1,
+        Ast::Concat(parts) => parts.iter().fold(0usize, |a, p| a.saturating_add(cost(p))),
+        Ast::Alternate(branches) => branches
+            .iter()
+            .fold(0usize, |a, b| a.saturating_add(cost(b)))
+            .saturating_add(2 * branches.len().saturating_sub(1)),
+        Ast::Group(inner, _) => cost(inner).saturating_add(2),
+        Ast::Repeat { node, min, max, .. } => {
+            let body = cost(node);
+            let mandatory = body.saturating_mul(*min as usize);
+            let tail = match max {
+                None => body.saturating_add(2),
+                Some(max) => body
+                    .saturating_add(1)
+                    .saturating_mul((max.saturating_sub(*min)) as usize),
+            };
+            mandatory.saturating_add(tail)
+        }
+    }
+}
+
 fn max_group_index(ast: &Ast) -> usize {
     match ast {
         Ast::Group(inner, i) => (*i).max(max_group_index(inner)),

@@ -1,15 +1,32 @@
 //! Pike VM: breadth-first NFA simulation with capture slots and
 //! leftmost-first match semantics.
+//!
+//! The epsilon closure is computed with an explicit work stack (no
+//! recursion, so deep split chains cannot overflow the call stack), and
+//! every unit of work charges a shared step counter so callers can bound
+//! worst-case latency on hostile inputs.
 
 use crate::program::{Inst, Program};
 
 type Slots = Vec<Option<usize>>;
 
+/// The step budget given to [`run`] was exhausted before the search
+/// finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepLimitExceeded;
+
 /// Run `prog` on `haystack`, considering match starts at byte offset
-/// `from` or later. Returns the capture slots of the leftmost-first match.
-pub fn run(prog: &Program, haystack: &str, from: usize) -> Option<Slots> {
+/// `from` or later. Returns the capture slots of the leftmost-first match,
+/// or `Err(StepLimitExceeded)` if the search would take more than
+/// `max_steps` units of VM work (one unit per instruction visited).
+pub fn run(
+    prog: &Program,
+    haystack: &str,
+    from: usize,
+    max_steps: usize,
+) -> Result<Option<Slots>, StepLimitExceeded> {
     if from > haystack.len() {
-        return None;
+        return Ok(None);
     }
     // Positions: byte offset of every char at or after `from`, plus the
     // end-of-input sentinel.
@@ -20,6 +37,7 @@ pub fn run(prog: &Program, haystack: &str, from: usize) -> Option<Slots> {
     let mut clist = ThreadList::new(prog.insts.len());
     let mut nlist = ThreadList::new(prog.insts.len());
     let mut matched: Option<Slots> = None;
+    let mut steps = Steps { used: 0, max: max_steps };
 
     for step in 0..=chars.len() {
         let at = if step < chars.len() { chars[step].0 } else { haystack.len() };
@@ -35,7 +53,7 @@ pub fn run(prog: &Program, haystack: &str, from: usize) -> Option<Slots> {
         // match was already found at an earlier start.
         if matched.is_none() {
             let slots = vec![None; prog.num_slots];
-            add_thread(prog, &mut clist, 0, slots, ctx);
+            add_thread(prog, &mut clist, 0, slots, ctx, &mut steps)?;
         }
         if clist.dense.is_empty() && matched.is_some() {
             // No live threads and no new starts will be added: done.
@@ -44,6 +62,7 @@ pub fn run(prog: &Program, haystack: &str, from: usize) -> Option<Slots> {
 
         let mut i = 0;
         while i < clist.dense.len() {
+            steps.charge()?;
             let (pc, slots) = {
                 let t = &clist.dense[i];
                 (t.pc, t.slots.clone())
@@ -57,19 +76,19 @@ pub fn run(prog: &Program, haystack: &str, from: usize) -> Option<Slots> {
                 Inst::Char(c) => {
                     if cur == Some(*c) {
                         let next = next_ctx(&chars, step, haystack.len());
-                        add_thread(prog, &mut nlist, pc + 1, slots, next);
+                        add_thread(prog, &mut nlist, pc + 1, slots, next, &mut steps)?;
                     }
                 }
                 Inst::Any => {
                     if matches!(cur, Some(c) if c != '\n') {
                         let next = next_ctx(&chars, step, haystack.len());
-                        add_thread(prog, &mut nlist, pc + 1, slots, next);
+                        add_thread(prog, &mut nlist, pc + 1, slots, next, &mut steps)?;
                     }
                 }
                 Inst::Class(set) => {
                     if matches!(cur, Some(c) if set.contains(c)) {
                         let next = next_ctx(&chars, step, haystack.len());
-                        add_thread(prog, &mut nlist, pc + 1, slots, next);
+                        add_thread(prog, &mut nlist, pc + 1, slots, next, &mut steps)?;
                     }
                 }
                 // Zero-width instructions are resolved inside add_thread.
@@ -84,7 +103,24 @@ pub fn run(prog: &Program, haystack: &str, from: usize) -> Option<Slots> {
             break;
         }
     }
-    matched
+    Ok(matched)
+}
+
+/// Shared work counter; `charge` fails once the budget is spent.
+struct Steps {
+    used: usize,
+    max: usize,
+}
+
+impl Steps {
+    fn charge(&mut self) -> Result<(), StepLimitExceeded> {
+        self.used += 1;
+        if self.used > self.max {
+            Err(StepLimitExceeded)
+        } else {
+            Ok(())
+        }
+    }
 }
 
 /// Position context used to evaluate zero-width assertions.
@@ -133,39 +169,56 @@ fn is_word(c: Option<char>) -> bool {
 }
 
 /// Add `pc` (following epsilon transitions) to `list` in priority order.
-fn add_thread(prog: &Program, list: &mut ThreadList, pc: usize, slots: Slots, ctx: Ctx) {
-    if list.seen[pc] {
-        return;
+///
+/// Iterative: pending program counters sit on an explicit LIFO stack, so a
+/// long chain of `Split`/`Jmp` instructions costs heap, not call stack.
+/// Pushing `b` before `a` for `Split(a, b)` preserves the priority order
+/// the recursive formulation had.
+fn add_thread(
+    prog: &Program,
+    list: &mut ThreadList,
+    pc: usize,
+    slots: Slots,
+    ctx: Ctx,
+    steps: &mut Steps,
+) -> Result<(), StepLimitExceeded> {
+    let mut stack: Vec<(usize, Slots)> = vec![(pc, slots)];
+    while let Some((pc, slots)) = stack.pop() {
+        if list.seen[pc] {
+            continue;
+        }
+        list.seen[pc] = true;
+        steps.charge()?;
+        match &prog.insts[pc] {
+            Inst::Jmp(t) => stack.push((*t, slots)),
+            Inst::Split(a, b) => {
+                stack.push((*b, slots.clone()));
+                stack.push((*a, slots));
+            }
+            Inst::Save(i) => {
+                let mut slots = slots;
+                slots[*i] = Some(ctx.at);
+                stack.push((pc + 1, slots));
+            }
+            Inst::Start => {
+                if ctx.at == 0 {
+                    stack.push((pc + 1, slots));
+                }
+            }
+            Inst::End => {
+                if ctx.at == ctx.hay_len {
+                    stack.push((pc + 1, slots));
+                }
+            }
+            Inst::WordBoundary => {
+                if is_word(ctx.prev) != is_word(ctx.cur) {
+                    stack.push((pc + 1, slots));
+                }
+            }
+            _ => list.dense.push(Thread { pc, slots }),
+        }
     }
-    list.seen[pc] = true;
-    match &prog.insts[pc] {
-        Inst::Jmp(t) => add_thread(prog, list, *t, slots, ctx),
-        Inst::Split(a, b) => {
-            add_thread(prog, list, *a, slots.clone(), ctx);
-            add_thread(prog, list, *b, slots, ctx);
-        }
-        Inst::Save(i) => {
-            let mut slots = slots;
-            slots[*i] = Some(ctx.at);
-            add_thread(prog, list, pc + 1, slots, ctx);
-        }
-        Inst::Start => {
-            if ctx.at == 0 {
-                add_thread(prog, list, pc + 1, slots, ctx);
-            }
-        }
-        Inst::End => {
-            if ctx.at == ctx.hay_len {
-                add_thread(prog, list, pc + 1, slots, ctx);
-            }
-        }
-        Inst::WordBoundary => {
-            if is_word(ctx.prev) != is_word(ctx.cur) {
-                add_thread(prog, list, pc + 1, slots, ctx);
-            }
-        }
-        _ => list.dense.push(Thread { pc, slots }),
-    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -224,5 +277,29 @@ mod tests {
         let m = re.find(h).unwrap();
         assert_eq!(m.as_str(), "42");
         assert_eq!(&h[m.range()], "42");
+    }
+
+    #[test]
+    fn deep_split_chain_does_not_overflow_stack() {
+        // A long alternation compiles to a deep chain of Split
+        // instructions; the iterative closure must handle it.
+        let branches: Vec<String> = (0..5_000).map(|i| format!("x{i}")).collect();
+        let re = Regex::new(&branches.join("|")).unwrap();
+        assert!(re.is_match("x4999"));
+        assert!(!re.is_match("y"));
+    }
+
+    #[test]
+    fn step_budget_enforced() {
+        use crate::Error;
+        let re = Regex::new(r"(a+)+b").unwrap();
+        let hay = "a".repeat(500);
+        // Generous budget: completes.
+        assert!(re.try_find(&hay, 10_000_000).unwrap().is_none());
+        // Tiny budget: fails fast instead of scanning.
+        match re.try_find(&hay, 100) {
+            Err(Error::StepBudgetExceeded { max_steps: 100 }) => {}
+            other => panic!("expected step budget error, got {other:?}"),
+        }
     }
 }

@@ -1,0 +1,54 @@
+//! Error taxonomy for the table substrate.
+
+use std::fmt;
+
+/// Errors and budget violations from table processing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// Virtual-cell generation for a table hit the per-table cap and the
+    /// candidate list was truncated.
+    VirtualCellBudgetExceeded {
+        /// Index of the table within its document.
+        table: usize,
+        /// The cap that was hit.
+        max_cells: usize,
+    },
+    /// A grid had no data rows or no data columns after header detection,
+    /// so statistics and aggregates over it are undefined.
+    DegenerateTable {
+        /// Index of the table within its document.
+        table: usize,
+    },
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::VirtualCellBudgetExceeded { table, max_cells } => {
+                write!(f, "table {table}: virtual-cell budget of {max_cells} exceeded, candidates truncated")
+            }
+            TableError::DegenerateTable { table } => {
+                write!(f, "table {table}: no data rows or columns")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            TableError::VirtualCellBudgetExceeded { table: 2, max_cells: 100 }.to_string(),
+            "table 2: virtual-cell budget of 100 exceeded, candidates truncated"
+        );
+        assert_eq!(
+            TableError::DegenerateTable { table: 0 }.to_string(),
+            "table 0: no data rows or columns"
+        );
+    }
+}

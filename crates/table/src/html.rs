@@ -106,41 +106,48 @@ enum Piece<'a> {
 
 impl<'a> Lexer<'a> {
     fn next_piece(&mut self) -> Option<Piece<'a>> {
-        if self.pos >= self.src.len() {
-            return None;
-        }
-        let rest = &self.src[self.pos..];
-        if let Some(stripped) = rest.strip_prefix('<') {
-            // comments
-            if let Some(after) = stripped.strip_prefix("!--") {
-                let end = after.find("-->").map(|i| i + 3).unwrap_or(after.len());
-                self.pos += 1 + 3 + end;
-                return self.next_piece();
+        // Iterative (comments `continue` the loop): a page made of millions
+        // of consecutive comments must not grow the call stack.
+        loop {
+            if self.pos >= self.src.len() {
+                return None;
             }
-            match rest.find('>') {
-                Some(end) => {
-                    let inner = &rest[1..end];
-                    self.pos += end + 1;
-                    let (is_close, name_part) = match inner.strip_prefix('/') {
-                        Some(p) => (true, p),
-                        None => (false, inner),
-                    };
-                    let name_end = name_part
-                        .find(|c: char| c.is_whitespace() || c == '/')
-                        .unwrap_or(name_part.len());
-                    let name = &name_part[..name_end];
-                    Some(Piece::Markup(if is_close { Tag::Close(name) } else { Tag::Open(name) }))
+            let rest = &self.src[self.pos..];
+            if let Some(stripped) = rest.strip_prefix('<') {
+                // comments
+                if let Some(after) = stripped.strip_prefix("!--") {
+                    let end = after.find("-->").map(|i| i + 3).unwrap_or(after.len());
+                    self.pos += 1 + 3 + end;
+                    continue;
                 }
-                None => {
-                    // stray '<': treat as text
-                    self.pos = self.src.len();
-                    Some(Piece::Text(rest))
-                }
+                return match rest.find('>') {
+                    Some(end) => {
+                        let inner = &rest[1..end];
+                        self.pos += end + 1;
+                        let (is_close, name_part) = match inner.strip_prefix('/') {
+                            Some(p) => (true, p),
+                            None => (false, inner),
+                        };
+                        let name_end = name_part
+                            .find(|c: char| c.is_whitespace() || c == '/')
+                            .unwrap_or(name_part.len());
+                        let name = &name_part[..name_end];
+                        Some(Piece::Markup(if is_close {
+                            Tag::Close(name)
+                        } else {
+                            Tag::Open(name)
+                        }))
+                    }
+                    None => {
+                        // stray '<': treat as text
+                        self.pos = self.src.len();
+                        Some(Piece::Text(rest))
+                    }
+                };
             }
-        } else {
             let end = rest.find('<').unwrap_or(rest.len());
             self.pos += end;
-            Some(Piece::Text(&rest[..end]))
+            return Some(Piece::Text(&rest[..end]));
         }
     }
 }
@@ -256,19 +263,19 @@ pub fn parse_page(html: &str) -> RawPage {
                     finish_cell(&mut cell_buf, cell_is_header, &mut cur_row, &mut cur_flags);
                     in_cell = false;
                 }
-                Tag::Open(name) if eq_tag(name, "p") || eq_tag(name, "br") || eq_tag(name, "div")
-                    || eq_tag(name, "h1") || eq_tag(name, "h2") || eq_tag(name, "h3") =>
+                Tag::Open(name)
+                    if !in_table
+                        && (eq_tag(name, "p") || eq_tag(name, "br") || eq_tag(name, "div")
+                            || eq_tag(name, "h1") || eq_tag(name, "h2") || eq_tag(name, "h3")) =>
                 {
-                    if !in_table {
-                        flush_para(&mut para_buf, &mut page);
-                    }
+                    flush_para(&mut para_buf, &mut page);
                 }
-                Tag::Close(name) if eq_tag(name, "p") || eq_tag(name, "div")
-                    || eq_tag(name, "h1") || eq_tag(name, "h2") || eq_tag(name, "h3") =>
+                Tag::Close(name)
+                    if !in_table
+                        && (eq_tag(name, "p") || eq_tag(name, "div") || eq_tag(name, "h1")
+                            || eq_tag(name, "h2") || eq_tag(name, "h3")) =>
                 {
-                    if !in_table {
-                        flush_para(&mut para_buf, &mut page);
-                    }
+                    flush_para(&mut para_buf, &mut page);
                 }
                 _ => {} // unknown inline tags: ignored (b, i, span, a, …)
             },
@@ -385,6 +392,21 @@ mod tests {
     fn comments_skipped() {
         let page = parse_page("<p>a<!-- hidden <table> -->b</p>");
         assert_eq!(page.paragraphs, vec!["ab"]);
+    }
+
+    #[test]
+    fn comment_flood_does_not_overflow_stack() {
+        let mut html = String::from("<p>a</p>");
+        html.push_str(&"<!--x-->".repeat(200_000));
+        html.push_str("<p>b</p>");
+        let page = parse_page(&html);
+        assert_eq!(page.paragraphs, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn unterminated_comment_swallows_tail() {
+        let page = parse_page("<p>a</p><!-- open comment <p>never</p>");
+        assert_eq!(page.paragraphs, vec!["a"]);
     }
 
     #[test]

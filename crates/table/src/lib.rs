@@ -22,6 +22,9 @@
 //! assert!(table.quantity(1, 1).is_some());
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod error;
 pub mod extract;
 pub mod html;
 pub mod model;
@@ -29,5 +32,6 @@ pub mod segment;
 pub mod stats;
 pub mod virtual_cells;
 
+pub use error::TableError;
 pub use model::{CellRef, Document, Orientation, Table, TableMention, TableMentionKind};
 pub use segment::segment_page;

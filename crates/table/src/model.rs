@@ -10,13 +10,12 @@
 use briq_text::cues::AggregationKind;
 use briq_text::quantity::{parse_cell_quantity, QuantityMention};
 use briq_text::units::{unit_from_header, Unit};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 use crate::html::RawTable;
 
 /// Reference to a cell by position within a document's table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CellRef {
     /// Table index within the document.
     pub table: usize,
@@ -27,7 +26,7 @@ pub struct CellRef {
 }
 
 /// Whether an aggregate spans a row or a column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Orientation {
     /// Cells taken from one row.
     Row(usize),
@@ -36,7 +35,7 @@ pub enum Orientation {
 }
 
 /// Kind of a table mention.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TableMentionKind {
     /// An explicit single-cell quantity.
     SingleCell,
@@ -56,7 +55,7 @@ impl TableMentionKind {
 }
 
 /// An alignment target in a table: a single cell or a virtual cell.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TableMention {
     /// Table index within the document.
     pub table: usize,
@@ -103,7 +102,7 @@ impl TableMention {
 }
 
 /// A parsed, normalized web table.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     /// Caption text (may be empty).
     pub caption: String,
@@ -119,7 +118,6 @@ pub struct Table {
     pub header_cols: usize,
     /// Parsed quantities of data cells, keyed by `(row, col)`. Serialized
     /// as an entry list because JSON map keys must be strings.
-    #[serde(with = "quantity_map_serde")]
     quantities: BTreeMap<(usize, usize), QuantityMention>,
     /// Per-column unit/scale hints from the column headers.
     pub col_hints: Vec<(Unit, Option<f64>)>,
@@ -155,7 +153,7 @@ impl Table {
         let th_row = raw
             .header_flags
             .first()
-            .map_or(false, |f| !f.is_empty() && f.iter().all(|&h| h));
+            .is_some_and(|f| !f.is_empty() && f.iter().all(|&h| h));
         let mostly_text_first_row = n_rows > 1
             && cells[0].iter().filter(|c| !c.is_empty()).count() > 0
             && cells[0].iter().filter(|c| numeric(c)).count() * 3
@@ -170,8 +168,10 @@ impl Table {
             .filter(|f| !f.is_empty())
             .all(|f| f[0])
             && raw.header_flags.iter().any(|f| !f.is_empty());
+        // `filter_map(first)`: a zero-column grid (all rows empty) must not
+        // index into its rows.
         let first_col: Vec<&String> =
-            cells.iter().skip(header_rows).map(|r| &r[0]).collect();
+            cells.iter().skip(header_rows).filter_map(|r| r.first()).collect();
         let mostly_text_first_col = n_cols > 1
             && !first_col.is_empty()
             && first_col.iter().filter(|c| numeric(c)).count() * 3
@@ -298,30 +298,37 @@ impl Table {
     }
 }
 
-/// Serde adapter: `(row, col)`-keyed map ↔ entry list (JSON-safe).
-mod quantity_map_serde {
-    use super::*;
-    use serde::{Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(
-        map: &BTreeMap<(usize, usize), QuantityMention>,
-        ser: S,
-    ) -> Result<S::Ok, S::Error> {
-        let entries: Vec<(&(usize, usize), &QuantityMention)> = map.iter().collect();
-        serde::Serialize::serialize(&entries, ser)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(
-        de: D,
-    ) -> Result<BTreeMap<(usize, usize), QuantityMention>, D::Error> {
-        let entries: Vec<((usize, usize), QuantityMention)> =
-            serde::Deserialize::deserialize(de)?;
-        Ok(entries.into_iter().collect())
-    }
-}
+briq_json::json_struct!(CellRef { table, row, col });
+briq_json::json_enum!(Orientation { Row(usize), Column(usize) });
+briq_json::json_enum!(TableMentionKind { SingleCell, Aggregate(AggregationKind) });
+briq_json::json_struct!(TableMention {
+    table,
+    kind,
+    cells,
+    value,
+    unnormalized,
+    raw,
+    unit,
+    precision,
+    orientation,
+});
+// The `(row, col)`-keyed quantity map relies on briq-json's BTreeMap
+// encoding (an entry list), since JSON map keys must be strings.
+briq_json::json_struct!(Table {
+    caption,
+    cells,
+    n_rows,
+    n_cols,
+    header_rows,
+    header_cols,
+    quantities,
+    col_hints,
+    row_hints,
+    caption_hint,
+});
 
 /// A coherent document: one paragraph plus its related tables (§III).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Document {
     /// Document id (unique within a page/corpus run).
     pub id: usize,
@@ -468,3 +475,5 @@ mod tests {
         );
     }
 }
+
+briq_json::json_struct!(Document { id, text, tables });

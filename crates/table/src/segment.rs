@@ -76,7 +76,7 @@ pub fn segment_page(page: &RawPage, cfg: &SegmentConfig, first_id: usize) -> Vec
             let adjacent = page
                 .table_positions
                 .get(ti)
-                .map_or(false, |&pos| pos == pi + 1 || pos == pi);
+                .is_some_and(|&pos| pos == pi + 1 || pos == pi);
             let threshold =
                 if adjacent { cfg.adjacent_threshold } else { cfg.similarity_threshold };
             if sim >= threshold {

@@ -3,10 +3,9 @@
 
 use crate::model::Table;
 use crate::virtual_cells::{virtual_cells, VirtualCellConfig};
-use serde::{Deserialize, Serialize};
 
 /// Statistics of one table (or averages over many).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct TableStats {
     /// Data rows.
     pub rows: f64,
@@ -94,4 +93,29 @@ mod tests {
         let avg = average_stats(std::iter::empty(), &VirtualCellConfig::default());
         assert_eq!(avg, TableStats::default());
     }
+
+    #[test]
+    fn zero_row_and_zero_col_tables_do_not_panic() {
+        // Completely empty grid.
+        let empty = Table::from_grid("", Vec::new());
+        let s = table_stats(&empty, &VirtualCellConfig::default());
+        assert_eq!(s, TableStats::default());
+        // Rows exist but have no columns.
+        let hollow = Table::from_grid("", vec![Vec::new(), Vec::new()]);
+        let s = table_stats(&hollow, &VirtualCellConfig::default());
+        assert_eq!(s.columns, 0.0);
+        assert_eq!(s.single_cells, 0.0);
+        // Header-only table: one row, no data rows.
+        let header_only = Table::from_grid(
+            "",
+            vec![vec!["a".to_string(), "b".to_string()]],
+        );
+        let s = table_stats(&header_only, &VirtualCellConfig::default());
+        assert_eq!(s.virtual_cells, 0.0);
+        // Averaging over degenerate tables stays finite.
+        let avg = average_stats([&empty, &hollow], &VirtualCellConfig::default());
+        assert!(avg.rows.is_finite() && avg.virtual_cells.is_finite());
+    }
 }
+
+briq_json::json_struct!(TableStats { rows, columns, single_cells, virtual_cells });

@@ -19,7 +19,7 @@ use briq_text::units::Unit;
 use crate::model::{Orientation, Table, TableMention, TableMentionKind};
 
 /// Configuration for virtual-cell generation.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct VirtualCellConfig {
     /// Generate sum virtual cells.
     pub sums: bool,
@@ -62,11 +62,28 @@ struct LineCell {
     unit: Unit,
 }
 
-/// Generate all virtual cells for `table` under `cfg`.
+/// Generate all virtual cells for `table` under `cfg`, without a cap.
 pub fn virtual_cells(table: &Table, table_idx: usize, cfg: &VirtualCellConfig) -> Vec<TableMention> {
-    let mut out = Vec::new();
+    virtual_cells_capped(table, table_idx, cfg, usize::MAX).0
+}
+
+/// Generate virtual cells for `table`, stopping once `max_cells`
+/// candidates exist. Returns the candidates and whether generation was
+/// truncated — a wide-and-tall adversarial table has a quadratic pair
+/// space per line times `rows + cols` lines, and the cap bounds both the
+/// work and the memory instead of letting one table starve the document.
+pub fn virtual_cells_capped(
+    table: &Table,
+    table_idx: usize,
+    cfg: &VirtualCellConfig,
+    max_cells: usize,
+) -> (Vec<TableMention>, bool) {
+    let mut sink = Sink { out: Vec::new(), max: max_cells, truncated: false };
     // Rows.
     for r in table.data_rows() {
+        if sink.full() {
+            break;
+        }
         let cells: Vec<LineCell> = table
             .data_cols()
             .filter_map(|c| {
@@ -74,10 +91,13 @@ pub fn virtual_cells(table: &Table, table_idx: usize, cfg: &VirtualCellConfig) -
             })
             .collect();
         let total = table.data_cols().len();
-        line_aggregates(&cells, total, Orientation::Row(r), table_idx, cfg, &mut out);
+        line_aggregates(&cells, total, Orientation::Row(r), table_idx, cfg, &mut sink);
     }
     // Columns.
     for c in table.data_cols() {
+        if sink.full() {
+            break;
+        }
         let cells: Vec<LineCell> = table
             .data_rows()
             .filter_map(|r| {
@@ -85,9 +105,33 @@ pub fn virtual_cells(table: &Table, table_idx: usize, cfg: &VirtualCellConfig) -
             })
             .collect();
         let total = table.data_rows().len();
-        line_aggregates(&cells, total, Orientation::Column(c), table_idx, cfg, &mut out);
+        line_aggregates(&cells, total, Orientation::Column(c), table_idx, cfg, &mut sink);
     }
-    out
+    (sink.out, sink.truncated)
+}
+
+/// Bounded candidate collector: refuses pushes past `max` and remembers
+/// that it did.
+struct Sink {
+    out: Vec<TableMention>,
+    max: usize,
+    truncated: bool,
+}
+
+impl Sink {
+    fn full(&mut self) -> bool {
+        if self.out.len() >= self.max {
+            self.truncated = true;
+            return true;
+        }
+        false
+    }
+
+    fn push(&mut self, m: TableMention) {
+        if !self.full() {
+            self.out.push(m);
+        }
+    }
 }
 
 fn is_percentish(u: Unit) -> bool {
@@ -129,7 +173,7 @@ fn line_aggregates(
     orientation: Orientation,
     table_idx: usize,
     cfg: &VirtualCellConfig,
-    out: &mut Vec<TableMention>,
+    out: &mut Sink,
 ) {
     if cells.len() < 2 {
         return;
@@ -165,6 +209,9 @@ fn line_aggregates(
 
     // Pair aggregates.
     for i in 0..cells.len() {
+        if out.full() {
+            return;
+        }
         for j in (i + 1)..cells.len() {
             let (a, b) = (cells[i], cells[j]);
             let pair_unit_ok = (a.unit == Unit::None || b.unit == Unit::None
@@ -205,7 +252,7 @@ fn line_aggregates(
 }
 
 fn push_line(
-    out: &mut Vec<TableMention>,
+    out: &mut Sink,
     table_idx: usize,
     kind: AggregationKind,
     positions: &[(usize, usize)],
@@ -231,7 +278,7 @@ fn push_line(
 
 #[allow(clippy::too_many_arguments)]
 fn push_pair(
-    out: &mut Vec<TableMention>,
+    out: &mut Sink,
     table_idx: usize,
     kind: AggregationKind,
     a: LineCell,
@@ -255,11 +302,28 @@ fn push_pair(
 
 /// All table mentions of a document: single cells plus virtual cells.
 pub fn all_table_mentions(tables: &[Table], cfg: &VirtualCellConfig) -> Vec<TableMention> {
+    all_table_mentions_capped(tables, cfg, usize::MAX).0
+}
+
+/// Budgeted variant of [`all_table_mentions`]: virtual-cell generation for
+/// each table stops at `max_cells_per_table`. Returns the mentions plus
+/// the indices of tables whose candidate lists were truncated, so callers
+/// can surface a diagnostic per degraded table.
+pub fn all_table_mentions_capped(
+    tables: &[Table],
+    cfg: &VirtualCellConfig,
+    max_cells_per_table: usize,
+) -> (Vec<TableMention>, Vec<usize>) {
     let mut out = crate::extract::document_single_cells(tables);
+    let mut truncated_tables = Vec::new();
     for (i, t) in tables.iter().enumerate() {
-        out.extend(virtual_cells(t, i, cfg));
+        let (vc, truncated) = virtual_cells_capped(t, i, cfg, max_cells_per_table);
+        if truncated {
+            truncated_tables.push(i);
+        }
+        out.extend(vc);
     }
-    out
+    (out, truncated_tables)
 }
 
 #[cfg(test)]
@@ -421,6 +485,29 @@ mod tests {
     }
 
     #[test]
+    fn per_table_budget_truncates_and_reports() {
+        let t = health_table();
+        let (all, truncated) =
+            virtual_cells_capped(&t, 0, &VirtualCellConfig::default(), usize::MAX);
+        assert!(!truncated);
+        let cap = all.len() / 2;
+        let (some, truncated) = virtual_cells_capped(&t, 0, &VirtualCellConfig::default(), cap);
+        assert!(truncated);
+        assert_eq!(some.len(), cap);
+        // The capped prefix is a prefix of the uncapped list — generation
+        // order is deterministic, so clean inputs below the cap are
+        // bit-identical with and without the budget.
+        assert_eq!(&all[..cap], &some[..]);
+        let (mentions, truncated_tables) = all_table_mentions_capped(
+            &[health_table()],
+            &VirtualCellConfig::default(),
+            cap,
+        );
+        assert_eq!(truncated_tables, vec![0]);
+        assert!(!mentions.is_empty());
+    }
+
+    #[test]
     fn all_table_mentions_combines() {
         let t = health_table();
         let singles = crate::extract::single_cell_mentions(&t, 0).len();
@@ -429,3 +516,13 @@ mod tests {
         assert!(all.iter().take(singles).all(|m| !m.is_aggregate()));
     }
 }
+
+briq_json::json_struct!(VirtualCellConfig {
+    sums,
+    differences,
+    percentages,
+    change_ratios,
+    extended,
+    max_line_cells,
+    min_numeric_fraction,
+});

@@ -1,14 +1,13 @@
 //! Cue-word dictionaries for aggregation functions and approximation
 //! modifiers (§IV-B features f11/f12, §V-A tagger features).
 
-use serde::{Deserialize, Serialize};
 
 /// The aggregation functions BriQ considers over table cells (§II-A).
 ///
 /// The evaluation restricts itself to the four kinds that occur in ≥5% of
 /// tables (sum, difference, percentage, change ratio); average, min and max
 /// are supported by the framework and exercised in the extension benches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AggregationKind {
     /// Row/column total.
     Sum,
@@ -57,7 +56,7 @@ impl AggregationKind {
 }
 
 /// Approximation indicator attached to a text mention (feature f11, §IV-B).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ApproxIndicator {
     /// An explicit exactness cue ("exactly", "precisely").
     Exact,
@@ -168,7 +167,7 @@ pub fn infer_aggregation(words: &[&str]) -> Option<AggregationKind> {
     let mut best: Option<(AggregationKind, usize)> = None;
     for kind in AggregationKind::EVALUATED {
         let c = count_aggregation_cues(kind, words);
-        if c > 0 && best.map_or(true, |(_, bc)| c > bc) {
+        if c > 0 && best.is_none_or(|(_, bc)| c > bc) {
             best = Some((kind, c));
         }
     }
@@ -230,3 +229,20 @@ mod tests {
         assert_eq!(AggregationKind::EVALUATED.len(), 4);
     }
 }
+
+briq_json::json_unit_enum!(AggregationKind {
+    Sum,
+    Difference,
+    Percentage,
+    ChangeRatio,
+    Average,
+    Max,
+    Min,
+});
+briq_json::json_unit_enum!(ApproxIndicator {
+    Exact,
+    Approximate,
+    UpperBound,
+    LowerBound,
+    None,
+});

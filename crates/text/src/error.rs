@@ -1,0 +1,79 @@
+//! Error taxonomy for text-side quantity extraction.
+
+use std::fmt;
+
+/// Why a string could not be interpreted as a quantity.
+///
+/// `NotANumeral` is the everyday case (the token simply is not a number);
+/// the other variants are adversarial-input defenses: surface forms that
+/// *look* numeric but would produce a non-finite or overflowed value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TextError {
+    /// The string is not a numeral at all.
+    NotANumeral,
+    /// The digits parse, but the value overflows `f64` to ±∞ (e.g. a
+    /// 400-digit run or a `1e999`-shaped literal).
+    NonFiniteNumber {
+        /// The offending surface form (truncated for display).
+        raw: String,
+    },
+    /// A spelled-out number overflows 64-bit arithmetic ("billion billion
+    /// billion …").
+    WordNumberOverflow,
+}
+
+impl fmt::Display for TextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TextError::NotANumeral => write!(f, "not a numeral"),
+            TextError::NonFiniteNumber { raw } => {
+                write!(f, "numeral `{raw}` overflows to a non-finite value")
+            }
+            TextError::WordNumberOverflow => {
+                write!(f, "spelled-out number overflows 64-bit arithmetic")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TextError {}
+
+/// Clip `s` for embedding in an error message.
+pub(crate) fn clip(s: &str) -> String {
+    const MAX: usize = 32;
+    if s.len() <= MAX {
+        return s.to_string();
+    }
+    let mut end = MAX;
+    while end > 0 && !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    format!("{}…", &s[..end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(TextError::NotANumeral.to_string(), "not a numeral");
+        assert_eq!(
+            TextError::NonFiniteNumber { raw: "9e999".into() }.to_string(),
+            "numeral `9e999` overflows to a non-finite value"
+        );
+        assert_eq!(
+            TextError::WordNumberOverflow.to_string(),
+            "spelled-out number overflows 64-bit arithmetic"
+        );
+    }
+
+    #[test]
+    fn clip_respects_char_boundaries() {
+        let long = "€".repeat(40);
+        let c = clip(&long);
+        assert!(c.ends_with('…'));
+        assert!(c.chars().count() < 40);
+        assert_eq!(clip("short"), "short");
+    }
+}

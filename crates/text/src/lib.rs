@@ -24,8 +24,11 @@
 //! rules applied uniformly to both sides of every comparison (see
 //! DESIGN.md, substitution table).
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod chunker;
 pub mod cues;
+pub mod error;
 pub mod numparse;
 pub mod pos;
 pub mod qkb;
@@ -35,6 +38,7 @@ pub mod token;
 pub mod units;
 
 pub use cues::{AggregationKind, ApproxIndicator};
+pub use error::TextError;
 pub use quantity::{extract_quantities, parse_cell_quantity, QuantityMention};
 pub use token::{tokenize, Token, TokenKind};
 pub use units::Unit;

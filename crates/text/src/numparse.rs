@@ -26,11 +26,22 @@ pub struct ParsedNumber {
 }
 
 /// Parse a numeral string (digits with optional grouping/decimal marks and
-/// sign) into a [`ParsedNumber`]. Returns `None` if `s` is not a numeral.
+/// sign) into a [`ParsedNumber`]. Returns `None` if `s` is not a numeral
+/// or would not produce a finite value; [`try_parse_numeral`] reports the
+/// distinction.
 pub fn parse_numeral(s: &str) -> Option<ParsedNumber> {
+    try_parse_numeral(s).ok()
+}
+
+/// Like [`parse_numeral`], but distinguishes "not a numeral" from
+/// adversarial numerals that overflow `f64` (a 400-digit run parses to
+/// `inf`, which would poison every downstream value comparison).
+pub fn try_parse_numeral(s: &str) -> Result<ParsedNumber, crate::error::TextError> {
+    use crate::error::TextError;
+    let raw = s;
     let s = s.trim();
     if s.is_empty() {
-        return None;
+        return Err(TextError::NotANumeral);
     }
     let (s, accounting_negative) = if s.starts_with('(') && s.ends_with(')') {
         (&s[1..s.len() - 1], true)
@@ -42,15 +53,19 @@ pub fn parse_numeral(s: &str) -> Option<ParsedNumber> {
         None => (s.strip_prefix('+').unwrap_or(s), false),
     };
     let s = s.trim();
-    if s.is_empty() || !s.chars().next().unwrap().is_ascii_digit() {
-        return None;
+    if !s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return Err(TextError::NotANumeral);
     }
     if !s.chars().all(|c| c.is_ascii_digit() || c == ',' || c == '.') {
-        return None;
+        return Err(TextError::NotANumeral);
     }
-    let (mantissa, precision, grouped) = interpret_marks(s)?;
+    let (mantissa, precision, grouped) =
+        interpret_marks(s).ok_or(TextError::NotANumeral)?;
+    if !mantissa.is_finite() {
+        return Err(TextError::NonFiniteNumber { raw: crate::error::clip(raw) });
+    }
     let sign = if neg || accounting_negative { -1.0 } else { 1.0 };
-    Some(ParsedNumber { value: sign * mantissa, precision, grouped, accounting_negative })
+    Ok(ParsedNumber { value: sign * mantissa, precision, grouped, accounting_negative })
 }
 
 /// Decide which of `,` / `.` are grouping marks vs. the decimal point and
@@ -60,9 +75,9 @@ fn interpret_marks(s: &str) -> Option<(f64, u8, bool)> {
     let dots: Vec<usize> = s.match_indices('.').map(|(i, _)| i).collect();
 
     // Both marks present: the right-most one is the decimal separator.
-    if !commas.is_empty() && !dots.is_empty() {
+    if let (Some(&last_comma), Some(&last_dot)) = (commas.last(), dots.last()) {
         let (dec_pos, group) =
-            if commas.last() > dots.last() { (*commas.last().unwrap(), '.') } else { (*dots.last().unwrap(), ',') };
+            if last_comma > last_dot { (last_comma, '.') } else { (last_dot, ',') };
         let int_part: String =
             s[..dec_pos].chars().filter(|c| c.is_ascii_digit()).collect();
         let frac_part = &s[dec_pos + 1..];
@@ -100,12 +115,9 @@ fn interpret_marks(s: &str) -> Option<(f64, u8, bool)> {
     }
 
     // Only commas.
-    if !commas.is_empty() {
-        let last = *commas.last().unwrap();
+    if let Some(&last) = commas.last() {
         let tail = &s[last + 1..];
-        let all_groups_of_three = commas.len() >= 1
-            && tail.len() == 3
-            && group_sizes_ok(s);
+        let all_groups_of_three = tail.len() == 3 && group_sizes_ok(s);
         if all_groups_of_three {
             let digits: String = s.chars().filter(|c| c.is_ascii_digit()).collect();
             return Some((digits.parse().ok()?, 0, true));
@@ -214,6 +226,18 @@ fn tens_value(w: &str) -> Option<u64> {
 /// "five"]`, `["two", "million"]`. Returns the value and how many words
 /// were consumed from the front.
 pub fn parse_word_number(words: &[&str]) -> Option<(f64, usize)> {
+    try_parse_word_number(words).ok()
+}
+
+/// Like [`parse_word_number`], but distinguishes "no number here" from a
+/// spelled-out number that overflows 64-bit arithmetic (a hostile page can
+/// repeat "trillion" until `u64` wraps; checked arithmetic turns that into
+/// an error instead of a debug-mode panic).
+pub fn try_parse_word_number(
+    words: &[&str],
+) -> Result<(f64, usize), crate::error::TextError> {
+    use crate::error::TextError;
+    let overflow = |_| TextError::WordNumberOverflow;
     let mut total: u64 = 0;
     let mut current: u64 = 0;
     let mut consumed = 0;
@@ -221,14 +245,14 @@ pub fn parse_word_number(words: &[&str]) -> Option<(f64, usize)> {
     while i < words.len() {
         let w = words[i];
         if let Some(v) = ones_value(w) {
-            current += v;
+            current = current.checked_add(v).ok_or(()).map_err(overflow)?;
         } else if let Some(v) = tens_value(w) {
-            current += v;
+            current = current.checked_add(v).ok_or(()).map_err(overflow)?;
             // allow "twenty five" / "twenty-five"
             if i + 1 < words.len() {
                 if let Some(o) = ones_value(words[i + 1]) {
                     if o < 10 {
-                        current += o;
+                        current = current.checked_add(o).ok_or(()).map_err(overflow)?;
                         i += 1;
                     }
                 }
@@ -237,13 +261,17 @@ pub fn parse_word_number(words: &[&str]) -> Option<(f64, usize)> {
             if current == 0 {
                 current = 1;
             }
-            current *= 100;
+            current = current.checked_mul(100).ok_or(()).map_err(overflow)?;
         } else if w == "thousand" || w == "million" || w == "billion" || w == "trillion" {
-            let mult = scale_multiplier(w)? as u64;
+            let mult = scale_multiplier(w).ok_or(TextError::NotANumeral)? as u64;
             if current == 0 {
                 current = 1;
             }
-            total += current * mult;
+            total = current
+                .checked_mul(mult)
+                .and_then(|scaled| total.checked_add(scaled))
+                .ok_or(())
+                .map_err(overflow)?;
             current = 0;
         } else if w == "and" && consumed > 0 {
             // connective inside "one hundred and five"
@@ -254,16 +282,17 @@ pub fn parse_word_number(words: &[&str]) -> Option<(f64, usize)> {
         consumed = i;
     }
     if consumed == 0 {
-        return None;
+        return Err(TextError::NotANumeral);
     }
     // trailing "and" should not be consumed
     if words[consumed - 1] == "and" {
         consumed -= 1;
         if consumed == 0 {
-            return None;
+            return Err(TextError::NotANumeral);
         }
     }
-    Some(((total + current) as f64, consumed))
+    let value = total.checked_add(current).ok_or(()).map_err(overflow)?;
+    Ok((value as f64, consumed))
 }
 
 /// Order of magnitude (floor of log10 of |v|); 0 for v == 0.
@@ -397,6 +426,32 @@ mod tests {
         let (v, n) = parse_word_number(&["two", "hundred", "and"]).unwrap();
         assert_eq!(v, 200.0);
         assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn huge_digit_runs_rejected_as_non_finite() {
+        use crate::error::TextError;
+        let huge = "9".repeat(400);
+        assert!(parse_numeral(&huge).is_none());
+        match try_parse_numeral(&huge) {
+            Err(TextError::NonFiniteNumber { raw }) => assert!(raw.ends_with('…')),
+            other => panic!("expected NonFiniteNumber, got {other:?}"),
+        }
+        assert_eq!(try_parse_numeral("abc"), Err(TextError::NotANumeral));
+        // A merely large but finite numeral still parses.
+        assert!(parse_numeral(&"9".repeat(300)).is_some());
+    }
+
+    #[test]
+    fn word_number_overflow_is_an_error_not_a_panic() {
+        use crate::error::TextError;
+        // "nineteen hundred hundred …" — each "hundred" multiplies, so a
+        // dozen of them overflow u64.
+        let words: Vec<&str> = std::iter::once("nineteen")
+            .chain(std::iter::repeat_n("hundred", 12))
+            .collect();
+        assert_eq!(try_parse_word_number(&words), Err(TextError::WordNumberOverflow));
+        assert!(parse_word_number(&words).is_none());
     }
 
     #[test]

@@ -109,7 +109,7 @@ pub fn tag_token(token: &Token, sentence_initial: bool) -> PosTag {
         return PosTag::Adverb;
     }
     // Capitalized mid-sentence → proper noun.
-    let first_upper = token.text.chars().next().map_or(false, |c| c.is_uppercase());
+    let first_upper = token.text.chars().next().is_some_and(|c| c.is_uppercase());
     if first_upper && !sentence_initial {
         return PosTag::ProperNoun;
     }

@@ -14,10 +14,9 @@
 
 use crate::quantity::QuantityMention;
 use crate::units::{Currency, Measure, Unit};
-use serde::{Deserialize, Serialize};
 
 /// Canonical dimensions the mini-QKB knows about.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Dimension {
     /// Monetary amounts; canonical unit: one unit of the stated currency.
     /// Currencies are *not* converted into each other (a QKB registers
@@ -33,7 +32,7 @@ pub enum Dimension {
 }
 
 /// A canonicalized quantity: value expressed in the dimension's base unit.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CanonicalQuantity {
     /// Value in canonical units.
     pub value: f64,
@@ -123,3 +122,6 @@ mod tests {
         assert!(!same_entry(&a, &c)); // currencies don't convert
     }
 }
+
+briq_json::json_enum!(Dimension { Money(Currency), Ratio, Distance, Mass });
+briq_json::json_struct!(CanonicalQuantity { value, dimension });

@@ -12,10 +12,9 @@ use crate::cues::{detect_approximation, ApproxIndicator};
 use crate::numparse::{self, parse_numeral, parse_suffixed, parse_word_number};
 use crate::token::{tokenize, Token, TokenKind};
 use crate::units::{currency_from_symbol, unit_from_word, Unit};
-use serde::{Deserialize, Serialize};
 
 /// A quantity mention extracted from text or from a table cell.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QuantityMention {
     /// Surface form as it appears in the source (including unit tokens).
     pub raw: String,
@@ -158,19 +157,19 @@ fn mark_dates_times(tokens: &[Token], excluded: &mut [bool]) {
         let prev = i.checked_sub(1).map(|j| tokens[j].lower());
         let prev2 = i.checked_sub(2).map(|j| tokens[j].lower());
         let next = tokens.get(i + 1).map(|t| t.lower());
-        let year_context = prev.as_deref().map_or(false, |w| {
+        let year_context = prev.as_deref().is_some_and(|w| {
             is_month(w)
                 || matches!(w, "in" | "of" | "since" | "until" | "during" | "year" | "fy" | "ytd")
-        }) || prev2.as_deref().map_or(false, |w| matches!(w, "fy" | "ytd"))
-            || next.as_deref().map_or(false, is_month)
+        }) || prev2.as_deref().is_some_and(|w| matches!(w, "fy" | "ytd"))
+            || next.as_deref().is_some_and(is_month)
             // sequences of years: "2013 2012 2011"
-            || tokens.get(i + 1).map_or(false, |t| {
+            || tokens.get(i + 1).is_some_and(|t| {
                 t.kind == TokenKind::Number
-                    && parse_numeral(&t.text).map_or(false, |p| is_year_value(p.value))
+                    && parse_numeral(&t.text).is_some_and(|p| is_year_value(p.value))
             })
-            || i.checked_sub(1).map_or(false, |j| {
+            || i.checked_sub(1).is_some_and(|j| {
                 tokens[j].kind == TokenKind::Number
-                    && parse_numeral(&tokens[j].text).map_or(false, |p| is_year_value(p.value))
+                    && parse_numeral(&tokens[j].text).is_some_and(|p| is_year_value(p.value))
             });
         if year_context {
             excluded[i] = true;
@@ -613,3 +612,14 @@ mod tests {
         assert!(ms[0].start < ms[1].start);
     }
 }
+
+briq_json::json_struct!(QuantityMention {
+    raw,
+    value,
+    unnormalized,
+    unit,
+    precision,
+    approx,
+    start,
+    end,
+});

@@ -96,9 +96,12 @@ fn is_decimal_context(chars: &[(usize, char)], i: usize) -> bool {
 /// The word before the period is an abbreviation or a single initial.
 fn is_abbreviation(text: &str, dot_at: usize) -> bool {
     let before = &text[..dot_at];
+    // `p + len_utf8`, not `p + 1`: the delimiter may be multi-byte.
     let word_start = before
-        .rfind(|c: char| !(c.is_alphanumeric() || c == '.'))
-        .map(|p| p + 1)
+        .char_indices()
+        .rev()
+        .find(|&(_, c)| !(c.is_alphanumeric() || c == '.'))
+        .map(|(p, c)| p + c.len_utf8())
         .unwrap_or(0);
     let word = before[word_start..].trim_end_matches('.').to_lowercase();
     word.len() == 1 || ABBREVIATIONS.contains(&word.as_str())
@@ -200,6 +203,19 @@ mod tests {
         let span = sentence_containing(&s, at).unwrap();
         assert_eq!(&t[span.0..span.1], "Two here.");
         assert_eq!(sentence_containing(&s, t.len() + 5), None);
+    }
+
+    #[test]
+    fn multibyte_delimiter_before_period_does_not_panic() {
+        // A multi-byte char directly before the candidate word used to
+        // push the word-start offset into the middle of that char.
+        let t = "]P.M$' 🗶j4r. Next sentence.";
+        let s = split_sentences(t);
+        assert!(!s.is_empty());
+        let t = "€x. Done.";
+        let _ = split_sentences(t);
+        let t = "日本語の文です。 Value 5. Next.";
+        let _ = split_sentences(t);
     }
 
     #[test]

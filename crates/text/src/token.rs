@@ -5,10 +5,9 @@
 //! context windows, proximity features) can always map back into the
 //! original document.
 
-use serde::{Deserialize, Serialize};
 
 /// Classification of a token.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TokenKind {
     /// Alphabetic word (may contain internal hyphens/apostrophes: `e-tron`).
     Word,
@@ -23,7 +22,7 @@ pub enum TokenKind {
 }
 
 /// A token with its byte span in the source text.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Token {
     /// The token text (owned slice of the source).
     pub text: String,
@@ -294,3 +293,6 @@ mod tests {
         );
     }
 }
+
+briq_json::json_unit_enum!(TokenKind { Word, Number, Alphanumeric, Punct, Symbol });
+briq_json::json_struct!(Token { text, start, end, kind });

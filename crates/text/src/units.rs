@@ -5,10 +5,9 @@
 //! from symbols (`$`, `€`), ISO-ish codes (`USD`, `CDN`), words
 //! (`dollars`), and table headers (`($ Millions)`, `Emission (g/km)`).
 
-use serde::{Deserialize, Serialize};
 
 /// Currency identification.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Currency {
     /// US dollar (also the generic `$`).
     Usd,
@@ -27,7 +26,7 @@ pub enum Currency {
 }
 
 /// Physical / domain measures seen in the paper's examples.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Measure {
     /// Miles-per-gallon-equivalent (Fig. 1b).
     Mpge,
@@ -44,7 +43,7 @@ pub enum Measure {
 }
 
 /// A quantity's unit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Unit {
     /// A currency amount.
     Currency(Currency),
@@ -235,3 +234,13 @@ mod tests {
         assert_eq!(tagger_unit_category(Unit::Measure(Measure::Km)), 4);
     }
 }
+
+briq_json::json_unit_enum!(Currency { Usd, Eur, Gbp, Cad, Inr, Jpy, Other });
+briq_json::json_unit_enum!(Measure { Mpge, GramsPerKm, KWh, Mg, Km, Count });
+briq_json::json_enum!(Unit {
+    Currency(Currency),
+    Percent,
+    BasisPoints,
+    Measure(Measure),
+    None,
+});

@@ -1,0 +1,695 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset the BriQ test suites use: the `proptest!` macro
+//! (with optional `#![proptest_config(...)]`), `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assert_ne!` / `prop_assume!`, range / tuple /
+//! string-pattern strategies, `proptest::collection::vec`, `Just`,
+//! `prop_map`, and `prop_flat_map`.
+//!
+//! Differences from real proptest: generation is deterministic (seeded per
+//! test name and case index, so failures reproduce without regression
+//! files) and there is no shrinking — a failing case reports its assertion
+//! message directly. String patterns support the regex subset the suites
+//! use: char classes with ranges, `\d` `\w` `\s` `\PC`, and the `{n,m}`
+//! `{n}` `*` `+` `?` quantifiers.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+// ---------------------------------------------------------------------------
+// RNG (xoshiro256++, seeded via SplitMix64 — self-contained on purpose)
+// ---------------------------------------------------------------------------
+
+/// Deterministic generator handed to strategies.
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        TestRng { s: [next(), next(), next(), next()] }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Derive a dependent strategy from each generated value.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Strategy that always yields a clone of the given value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $ty
+            }
+        }
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64;
+                let r = if span == u64::MAX { rng.next_u64() } else { rng.below(span + 1) };
+                (lo as i128 + r as i128) as $ty
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let v = self.start + rng.unit_f64() * (self.end - self.start);
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        lo + rng.unit_f64() * (hi - lo)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+// ---------------------------------------------------------------------------
+// String pattern strategies
+// ---------------------------------------------------------------------------
+
+enum CharSet {
+    /// Inclusive char ranges; sampled proportionally to size.
+    Ranges(Vec<(char, char)>),
+    /// Any non-control scalar value (`\PC`).
+    NotControl,
+}
+
+impl CharSet {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharSet::Ranges(ranges) => {
+                let total: u64 = ranges.iter().map(|&(a, b)| b as u64 - a as u64 + 1).sum();
+                let mut pick = rng.below(total.max(1));
+                for &(a, b) in ranges {
+                    let span = b as u64 - a as u64 + 1;
+                    if pick < span {
+                        // Skip the surrogate gap if the range straddles it.
+                        let code = a as u32 + pick as u32;
+                        return char::from_u32(code).unwrap_or('a');
+                    }
+                    pick -= span;
+                }
+                'a'
+            }
+            CharSet::NotControl => loop {
+                // Mostly ASCII printable, sometimes wider Unicode; never
+                // control characters.
+                let c = match rng.below(10) {
+                    0..=6 => char::from_u32(0x20 + rng.below(0x5f) as u32),
+                    7 => char::from_u32(0xA1 + rng.below(0xFF) as u32),
+                    8 => char::from_u32(0x0100 + rng.below(0xD700) as u32),
+                    _ => char::from_u32(0x1_F300 + rng.below(0x400) as u32),
+                };
+                if let Some(c) = c {
+                    if !c.is_control() {
+                        return c;
+                    }
+                }
+            },
+        }
+    }
+}
+
+struct PatternElement {
+    set: CharSet,
+    min: usize,
+    max: usize,
+}
+
+/// Parse the supported regex subset into concrete elements.
+///
+/// Panics on unsupported syntax — a pattern is test code, so a loud failure
+/// at test time is the right behaviour.
+fn parse_pattern(pattern: &str) -> Vec<PatternElement> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < chars.len() {
+        let set = match chars[i] {
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let a = if chars[i] == '\\' {
+                        i += 1;
+                        chars[i]
+                    } else {
+                        chars[i]
+                    };
+                    i += 1;
+                    if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+                        let b = chars[i + 1];
+                        ranges.push((a, b));
+                        i += 2;
+                    } else {
+                        ranges.push((a, a));
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in pattern {pattern:?}");
+                i += 1; // ']'
+                CharSet::Ranges(ranges)
+            }
+            '\\' => {
+                i += 1;
+                let c = chars.get(i).copied().unwrap_or_else(|| {
+                    panic!("dangling backslash in pattern {pattern:?}")
+                });
+                i += 1;
+                match c {
+                    'd' => CharSet::Ranges(vec![('0', '9')]),
+                    'w' => CharSet::Ranges(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                    's' => CharSet::Ranges(vec![(' ', ' '), ('\t', '\t'), ('\n', '\n')]),
+                    'P' => {
+                        // Only \PC (non-control) is supported.
+                        let class = chars.get(i).copied();
+                        assert_eq!(class, Some('C'), "unsupported \\P class in {pattern:?}");
+                        i += 1;
+                        CharSet::NotControl
+                    }
+                    other => CharSet::Ranges(vec![(other, other)]),
+                }
+            }
+            c => {
+                i += 1;
+                CharSet::Ranges(vec![(c, c)])
+            }
+        };
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unterminated repeat in {pattern:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("repeat lower bound"),
+                        hi.trim().parse().expect("repeat upper bound"),
+                    ),
+                    None => {
+                        let n: usize = body.trim().parse().expect("repeat count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                i += 1;
+                (0, 64)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 64)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "bad repeat bounds in {pattern:?}");
+        out.push(PatternElement { set, min, max });
+    }
+    out
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let elements = parse_pattern(self);
+        let mut out = String::new();
+        for el in &elements {
+            let n = el.min + rng.below((el.max - el.min + 1) as u64) as usize;
+            for _ in 0..n {
+                out.push(el.set.sample(rng));
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        self.as_str().generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+/// Size specification for [`collection::vec`].
+#[derive(Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range");
+        SizeRange { min: r.start, max: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange { min: *r.start(), max: *r.end() }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+
+    /// Strategy producing vectors of `element`-generated values.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min) as u64;
+            let n = self.size.min + if span == 0 { 0 } else { rng.below(span + 1) as usize };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// Outcome of one generated case.
+pub enum TestCaseError {
+    /// An assertion failed; the message explains how.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case is retried.
+    Reject,
+}
+
+impl fmt::Debug for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "Fail({m})"),
+            TestCaseError::Reject => write!(f, "Reject"),
+        }
+    }
+}
+
+/// Runner configuration; only `cases` is meaningful here.
+#[derive(Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+fn name_seed(name: &str) -> u64 {
+    // FNV-1a, so each property gets its own deterministic stream.
+    let mut h = 0xcbf29ce484222325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Drive one property: run `config.cases` cases, retrying rejected ones.
+pub fn run_property<F>(name: &str, config: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = name_seed(name);
+    let mut rejects = 0u32;
+    let max_rejects = config.cases.saturating_mul(16).max(1024);
+    let mut i = 0u64;
+    let mut done = 0u32;
+    while done < config.cases {
+        let mut rng = TestRng::seed_from_u64(base.wrapping_add(i));
+        i += 1;
+        match case(&mut rng) {
+            Ok(()) => done += 1,
+            Err(TestCaseError::Reject) => {
+                rejects += 1;
+                assert!(
+                    rejects < max_rejects,
+                    "property {name}: too many prop_assume! rejections ({rejects})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property {name} failed (case {done}, seed {i}): {msg}")
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Declare property tests. Supports an optional leading
+/// `#![proptest_config(...)]` and any number of `fn name(arg in strategy, ...)`
+/// items, each carrying its own attributes (`#[test]`, docs).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: expand each `fn` item inside `proptest!`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::run_property(stringify!($name), &config, |__rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Assert within a property; failure reports the case instead of panicking
+/// mid-generation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Equality assertion within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {} ({:?} vs {:?})",
+                stringify!($left), stringify!($right), l, r,
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {} ({:?} vs {:?}): {}",
+                stringify!($left), stringify!($right), l, r, format!($($fmt)+),
+            )));
+        }
+    }};
+}
+
+/// Inequality assertion within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} != {} (both {:?})",
+                stringify!($left), stringify!($right), l,
+            )));
+        }
+    }};
+}
+
+/// Discard the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// The commonly imported names.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn pattern_strategies_respect_shape() {
+        let mut rng = super::TestRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = super::Strategy::generate(&"[ -~]{1,24}", &mut rng);
+            assert!((1..=24).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+
+            let t = super::Strategy::generate(&"\\PC{0,64}", &mut rng);
+            assert!(t.chars().count() <= 64);
+            assert!(t.chars().all(|c| !c.is_control()));
+
+            let d = super::Strategy::generate(&"\\d{3}", &mut rng);
+            assert_eq!(d.len(), 3);
+            assert!(d.chars().all(|c| c.is_ascii_digit()));
+
+            let star = super::Strategy::generate(&"[a-z]*", &mut rng);
+            assert!(star.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn composite_strategies() {
+        let mut rng = super::TestRng::seed_from_u64(2);
+        let strat = (2usize..6, 2usize..5).prop_flat_map(|(rows, cols)| {
+            collection::vec(collection::vec(1u32..100, cols), rows)
+                .prop_map(move |grid| (rows, grid))
+        });
+        for _ in 0..100 {
+            let (rows, grid) = super::Strategy::generate(&strat, &mut rng);
+            assert_eq!(grid.len(), rows);
+            assert!(grid.iter().all(|row| row.iter().all(|&v| (1..100).contains(&v))));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro wires arguments, assertions, and assumptions together.
+        #[test]
+        fn macro_end_to_end(x in 1u64..1000, f in 0.0f64..1.0, s in "[a-c]{2,4}") {
+            prop_assume!(x != 999);
+            prop_assert!(x >= 1 && x < 1000);
+            prop_assert!((0.0..1.0).contains(&f), "f = {f}");
+            prop_assert_eq!(s.len(), s.chars().count());
+            prop_assert_ne!(s.len(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failing_property_panics() {
+        super::run_property("always_fails", &ProptestConfig::with_cases(4), |_rng| {
+            Err(super::TestCaseError::Fail("boom".into()))
+        });
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut out = Vec::new();
+            super::run_property("det", &ProptestConfig::with_cases(8), |rng| {
+                out.push(super::Strategy::generate(&(0u64..1_000_000), rng));
+                Ok(())
+            });
+            out
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,312 @@
+//! Offline stand-in for the `rand` crate (0.9 API subset).
+//!
+//! The BriQ workspace builds with `--offline`; the registry is not
+//! reachable, so this local crate provides exactly the surface the
+//! workspace uses: `StdRng::seed_from_u64`, `Rng::random_range` over
+//! integer and float ranges, `Rng::random_bool`, and slice `shuffle`.
+//!
+//! The generator is xoshiro256++ seeded via SplitMix64 — deterministic,
+//! high-quality, and stable across platforms. Streams differ from the real
+//! `rand` crate; everything in this workspace that depends on seeds is
+//! self-consistent, so only reproducibility within the workspace matters.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Construct from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Primitive types uniformly samplable from a range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `[lo, hi)`.
+    fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    /// Uniform sample from `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! int_sample_uniform {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo < hi, "empty range in random_range");
+                let span = (hi as i128 - lo as i128) as u64;
+                (lo as i128 + (rng.next_u64() % span) as i128) as $ty
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo <= hi, "empty range in random_range");
+                let span = (hi as i128 - lo as i128) as u64;
+                let r = if span == u64::MAX {
+                    rng.next_u64()
+                } else {
+                    rng.next_u64() % (span + 1)
+                };
+                (lo as i128 + r as i128) as $ty
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl SampleUniform for f64 {
+    fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+        assert!(lo < hi, "empty range in random_range");
+        let v = lo + unit_f64(rng) * (hi - lo);
+        // Guard against rounding up to the excluded end.
+        if v >= hi {
+            lo
+        } else {
+            v
+        }
+    }
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+        let unit = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+        lo + unit * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+        f64::sample_half_open(lo as f64, hi as f64, rng) as f32
+    }
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+        f64::sample_inclusive(lo as f64, hi as f64, rng) as f32
+    }
+}
+
+/// Range shapes accepted by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draw a uniform sample from `self`.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+/// High-level sampling methods, available on every [`RngCore`]
+/// (including `dyn RngCore`).
+pub trait Rng: RngCore {
+    /// Uniform sample from an integer or float range.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 1.0) };
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+
+    /// A uniformly random value; `f64` in `[0, 1)`, integers over their
+    /// whole domain, `bool` fair.
+    fn random<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types drawable by [`Rng::random`].
+pub trait Standard {
+    /// Draw a value.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng)
+    }
+}
+
+impl Standard for u64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — the workspace's standard generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Slice extension: Fisher–Yates shuffle.
+pub trait SliceRandom {
+    /// Shuffle in place.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            self.swap(i, j);
+        }
+    }
+}
+
+/// The commonly imported names.
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::{Rng, RngCore, SampleRange, SeedableRng, SliceRandom};
+}
+
+pub use prelude::*;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = rngs::StdRng::seed_from_u64(7);
+        let mut b = rngs::StdRng::seed_from_u64(7);
+        let mut c = rngs::StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = rngs::StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.random_range(3..17);
+            assert!((3..17).contains(&x));
+            let y = rng.random_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&y));
+            let z = rng.random_range(5..=5);
+            assert_eq!(z, 5);
+            let w: i64 = rng.random_range(-10..10);
+            assert!((-10..10).contains(&w));
+        }
+    }
+
+    #[test]
+    fn inference_through_arithmetic_context() {
+        // Mirrors call sites like `(n as i64 + rng.random_range(-1..=1))`.
+        let mut rng = rngs::StdRng::seed_from_u64(9);
+        let n: usize = 5;
+        let adjusted = (n as i64 + rng.random_range(-1..=1)).max(2) as usize;
+        assert!((4..=6).contains(&adjusted));
+    }
+
+    #[test]
+    fn works_through_dyn_rng_core() {
+        let mut rng = rngs::StdRng::seed_from_u64(10);
+        let f = |rng: &mut dyn RngCore| rng.random_range(0..100usize);
+        let v = f(&mut rng);
+        assert!(v < 100);
+    }
+
+    #[test]
+    fn bool_probability_roughly_respected() {
+        let mut rng = rngs::StdRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((20_000..30_000).contains(&hits), "{hits}");
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = rngs::StdRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uniformish_distribution() {
+        let mut rng = rngs::StdRng::seed_from_u64(4);
+        let mut buckets = [0usize; 10];
+        for _ in 0..100_000 {
+            buckets[rng.random_range(0..10usize)] += 1;
+        }
+        for &b in &buckets {
+            assert!((9_000..11_000).contains(&b), "{buckets:?}");
+        }
+    }
+}

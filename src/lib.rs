@@ -26,9 +26,10 @@
 //! ```
 
 pub use briq_core::{
-    baselines, classifier, context, evaluate, features, filtering, graph_builder,
+    baselines, classifier, context, error, evaluate, features, filtering, graph_builder,
     jaro_winkler, mention, pipeline, resolution, tagger, training, Alignment, Briq,
-    BriqConfig, FeatureMask, GoldAlignment,
+    BriqConfig, BriqError, Budget, DegradedAction, Diagnostic, Diagnostics, FeatureMask,
+    GoldAlignment, Stage,
 };
 pub use briq_table::{
     html, segment, stats, virtual_cells, CellRef, Document, Orientation, Table,

