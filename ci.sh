@@ -1,22 +1,172 @@
 #!/usr/bin/env bash
-# Offline CI gate for the BriQ workspace.
+# Staged offline CI gate for the BriQ workspace.
 #
-# Runs the release build, the full test suite (including the chaos
-# fault-injection harness in tests/chaos.rs), and clippy with warnings
-# denied. The hardened crates (briq-regex, briq-text, briq-table,
-# briq-graph, briq-core) additionally deny `unwrap_used`/`expect_used`
-# in non-test code via crate-level attributes, so clippy enforces the
-# panic-free policy too.
-set -euo pipefail
+#   ./ci.sh                 run every stage
+#   ./ci.sh <stage>...      run only the named stages, in the given order
+#   ./ci.sh help            list stages
+#
+# Stages:
+#   fmt          cargo fmt --all --check (formatting is part of the gate)
+#   clippy       cargo clippy -D warnings; the hardened crates (briq-regex,
+#                briq-text, briq-table, briq-graph, briq-core) additionally
+#                deny unwrap_used/expect_used in non-test code, so clippy
+#                enforces the panic-free policy too
+#   build        release build of the whole workspace
+#   test         full test suite, including the chaos fault-injection
+#                harness in tests/chaos.rs and the batch-engine unit tests
+#   bench-smoke  throughput smoke of the batch engine on a seeded corpus at
+#                --jobs 1 and --jobs $(nproc); writes BENCH_throughput.json
+#                (docs/min, speedup, per-stage timings) as the tracked
+#                perf-trajectory artifact. On hosts with >= 4 cores the
+#                stage fails if the --jobs speedup drops below
+#                $SPEEDUP_MIN (default 2.0); on smaller hosts the speedup
+#                is recorded but not gated, since the hardware cannot
+#                provide it.
+#   determinism  briq-align over the same seeded page corpus twice with
+#                different --jobs values; fails unless alignment stdout and
+#                the diagnostics JSONL (which carries no timings) are
+#                byte-for-byte identical.
+#
+# Every stage prints its wall-clock; a summary table is printed at the end.
+set -uo pipefail
 cd "$(dirname "$0")"
 
-echo "==> cargo build --offline --release"
-cargo build --offline --release
+NPROC="$(nproc 2>/dev/null || echo 1)"
+SPEEDUP_MIN="${SPEEDUP_MIN:-2.0}"
+BENCH_DOCS="${BENCH_DOCS:-60}"
+BENCH_SEED="${BENCH_SEED:-20190408}"
+ALL_STAGES=(fmt clippy build test bench-smoke determinism)
 
-echo "==> cargo test --offline --workspace (includes chaos harness)"
-cargo test --offline --workspace -q
+stage_fmt() {
+    cargo fmt --all --check
+}
 
-echo "==> cargo clippy --offline --workspace -- -D warnings"
-cargo clippy --offline --workspace -q -- -D warnings
+stage_clippy() {
+    cargo clippy --offline --workspace -q -- -D warnings
+}
 
+stage_build() {
+    cargo build --offline --release
+}
+
+stage_test() {
+    cargo test --offline --workspace -q
+}
+
+stage_bench_smoke() {
+    cargo build --offline --release -q -p briq-bench || return 1
+    ./target/release/briq-eval throughput \
+        --docs "$BENCH_DOCS" --seed "$BENCH_SEED" --jobs "$NPROC" \
+        --out BENCH_throughput.json || return 1
+    local speedup
+    speedup="$(awk -F': ' '/"speedup"/ {gsub(/[,"]/, "", $2); print $2}' BENCH_throughput.json)"
+    if [ -z "$speedup" ]; then
+        echo "bench-smoke: no speedup field in BENCH_throughput.json" >&2
+        return 1
+    fi
+    if [ "$NPROC" -ge 4 ]; then
+        awk -v s="$speedup" -v min="$SPEEDUP_MIN" 'BEGIN { exit !(s >= min) }' || {
+            echo "bench-smoke: speedup ${speedup}x at --jobs $NPROC is below ${SPEEDUP_MIN}x" >&2
+            return 1
+        }
+        echo "bench-smoke: speedup ${speedup}x at --jobs $NPROC (gate: >= ${SPEEDUP_MIN}x)"
+    else
+        echo "bench-smoke: speedup ${speedup}x at --jobs $NPROC (host has $NPROC core(s); gate needs >= 4)"
+    fi
+}
+
+stage_determinism() {
+    cargo build --offline --release -q -p briq-bench || return 1
+    local dir jobs_hi rc1 rc2
+    dir="$(mktemp -d)"
+    trap 'rm -rf "$dir"' RETURN
+    jobs_hi=$(( NPROC > 1 ? NPROC : 8 ))
+    ./target/release/briq-align --gen-corpus "$dir/corpus" \
+        --docs "$BENCH_DOCS" --seed "$BENCH_SEED" || return 1
+
+    ./target/release/briq-align --batch "$dir/corpus" --jobs 1 --json \
+        --diagnostics "$dir/diag_1.jsonl" > "$dir/out_1.json"
+    rc1=$?
+    ./target/release/briq-align --batch "$dir/corpus" --jobs "$jobs_hi" --json \
+        --diagnostics "$dir/diag_n.jsonl" > "$dir/out_n.json"
+    rc2=$?
+    # 0 (clean) and 2 (degraded-but-complete) are both valid outcomes, but
+    # they must agree across worker counts like everything else.
+    if [ "$rc1" -ne "$rc2" ] || { [ "$rc1" -ne 0 ] && [ "$rc1" -ne 2 ]; }; then
+        echo "determinism: exit codes diverged or failed (jobs 1: $rc1, jobs $jobs_hi: $rc2)" >&2
+        return 1
+    fi
+    cmp -s "$dir/out_1.json" "$dir/out_n.json" || {
+        echo "determinism: alignment output differs between --jobs 1 and --jobs $jobs_hi" >&2
+        diff "$dir/out_1.json" "$dir/out_n.json" | head -20 >&2
+        return 1
+    }
+    cmp -s "$dir/diag_1.jsonl" "$dir/diag_n.jsonl" || {
+        echo "determinism: diagnostics JSONL differs between --jobs 1 and --jobs $jobs_hi" >&2
+        diff "$dir/diag_1.jsonl" "$dir/diag_n.jsonl" | head -20 >&2
+        return 1
+    }
+    echo "determinism: --jobs 1 and --jobs $jobs_hi byte-identical ($(wc -c < "$dir/out_1.json") bytes of alignments)"
+}
+
+known_stage() {
+    local s
+    for s in "${ALL_STAGES[@]}"; do
+        [ "$s" = "$1" ] && return 0
+    done
+    return 1
+}
+
+if [ "${1:-}" = "help" ] || [ "${1:-}" = "--help" ]; then
+    echo "usage: ./ci.sh [stage...]"
+    echo "stages: ${ALL_STAGES[*]} (default: all)"
+    exit 0
+fi
+
+STAGES=("$@")
+if [ ${#STAGES[@]} -eq 0 ]; then
+    STAGES=("${ALL_STAGES[@]}")
+fi
+for s in "${STAGES[@]}"; do
+    if ! known_stage "$s"; then
+        echo "unknown stage: $s (stages: ${ALL_STAGES[*]})" >&2
+        exit 1
+    fi
+done
+
+SUMMARY_NAMES=()
+SUMMARY_TIMES=()
+SUMMARY_RESULTS=()
+FAILED=0
+
+for s in "${STAGES[@]}"; do
+    echo "==> $s"
+    start=$SECONDS
+    if "stage_${s//-/_}"; then
+        result=ok
+    else
+        result=FAIL
+        FAILED=1
+    fi
+    elapsed=$(( SECONDS - start ))
+    SUMMARY_NAMES+=("$s")
+    SUMMARY_TIMES+=("$elapsed")
+    SUMMARY_RESULTS+=("$result")
+    echo "<== $s: $result (${elapsed}s)"
+done
+
+echo
+printf '%-14s %8s  %s\n' "stage" "seconds" "result"
+printf '%-14s %8s  %s\n' "-----" "-------" "------"
+total=0
+for i in "${!SUMMARY_NAMES[@]}"; do
+    printf '%-14s %8s  %s\n' "${SUMMARY_NAMES[$i]}" "${SUMMARY_TIMES[$i]}" "${SUMMARY_RESULTS[$i]}"
+    total=$(( total + SUMMARY_TIMES[i] ))
+done
+printf '%-14s %8s\n' "total" "$total"
+
+if [ "$FAILED" -ne 0 ]; then
+    echo "CI FAILED"
+    exit 1
+fi
 echo "CI OK"

@@ -9,7 +9,11 @@ use briq_corpus::corpus::{generate_corpus, CorpusConfig};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn sample_doc() -> briq_table::Document {
-    let c = generate_corpus(&CorpusConfig { n_documents: 20, seed: 77, ..Default::default() });
+    let c = generate_corpus(&CorpusConfig {
+        n_documents: 20,
+        seed: 77,
+        ..Default::default()
+    });
     // pick the largest document (most targets) for a meaningful ablation
     c.documents
         .into_iter()
@@ -68,14 +72,22 @@ fn bench_walk_ablation(c: &mut Criterion) {
     group.sample_size(20);
 
     let walk = Briq::untrained(BriqConfig::default());
-    group.bench_function("with_walk", |b| b.iter(|| walk.align(black_box(&doc)).len()));
+    group.bench_function("with_walk", |b| {
+        b.iter(|| walk.align(black_box(&doc)).len())
+    });
 
     let mut cfg = BriqConfig::default();
     // β = 1: prior-only decisions (the walk still runs but cannot change
     // the argmax; measures the walk's compute share).
-    cfg.resolution = ResolutionConfig { alpha: 0.0, beta: 1.0, ..cfg.resolution };
+    cfg.resolution = ResolutionConfig {
+        alpha: 0.0,
+        beta: 1.0,
+        ..cfg.resolution
+    };
     let no_walk = Briq::untrained(cfg);
-    group.bench_function("prior_only", |b| b.iter(|| no_walk.align(black_box(&doc)).len()));
+    group.bench_function("prior_only", |b| {
+        b.iter(|| no_walk.align(black_box(&doc)).len())
+    });
 
     let mut tight = BriqConfig::default();
     tight.resolution.tolerance = 1e-4;
@@ -87,5 +99,10 @@ fn bench_walk_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_virtual_cell_ablation, bench_filter_ablation, bench_walk_ablation);
+criterion_group!(
+    benches,
+    bench_virtual_cell_ablation,
+    bench_filter_ablation,
+    bench_walk_ablation
+);
 criterion_main!(benches);

@@ -12,8 +12,15 @@ use briq_corpus::Domain;
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn corpus_docs() -> Vec<(Domain, briq_table::Document)> {
-    let c = generate_corpus(&CorpusConfig { n_documents: 60, seed: 12, ..Default::default() });
-    c.domains.into_iter().zip(c.documents.into_iter().map(|d| d.document)).collect()
+    let c = generate_corpus(&CorpusConfig {
+        n_documents: 60,
+        seed: 12,
+        ..Default::default()
+    });
+    c.domains
+        .into_iter()
+        .zip(c.documents.into_iter().map(|d| d.document))
+        .collect()
 }
 
 fn bench_features(c: &mut Criterion) {
@@ -98,5 +105,11 @@ fn bench_baselines(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_features, bench_stages, bench_align_by_domain, bench_baselines);
+criterion_group!(
+    benches,
+    bench_features,
+    bench_stages,
+    bench_align_by_domain,
+    bench_baselines
+);
 criterion_main!(benches);

@@ -19,7 +19,11 @@ const SAMPLE_TEXT: &str = "In 2013 revenue of $3.26 billion CDN was up $70 milli
     reported side effects, with about 37K EUR in costs and margins up 60 bps to 13.3%.";
 
 fn sample_table() -> Table {
-    let c = generate_corpus(&CorpusConfig { n_documents: 6, seed: 5, ..Default::default() });
+    let c = generate_corpus(&CorpusConfig {
+        n_documents: 6,
+        seed: 5,
+        ..Default::default()
+    });
     c.documents
         .iter()
         .flat_map(|d| d.document.tables.iter())
@@ -81,9 +85,23 @@ fn bench_forest(c: &mut Criterion) {
         let y = ((i * 13) % 100) as f64 / 100.0;
         data.push(vec![x, y, x * y, x - y, 1.0 - x], x + y > 1.0);
     }
-    let rf = RandomForest::fit(&data, RandomForestConfig { n_trees: 64, ..Default::default() });
+    let rf = RandomForest::fit(
+        &data,
+        RandomForestConfig {
+            n_trees: 64,
+            ..Default::default()
+        },
+    );
     c.bench_function("ml/forest_train_64", |b| {
-        b.iter(|| RandomForest::fit(black_box(&data), RandomForestConfig { n_trees: 16, ..Default::default() }))
+        b.iter(|| {
+            RandomForest::fit(
+                black_box(&data),
+                RandomForestConfig {
+                    n_trees: 16,
+                    ..Default::default()
+                },
+            )
+        })
     });
     c.bench_function("ml/forest_score", |b| {
         b.iter(|| rf.predict_proba(black_box(&[0.4, 0.7, 0.28, -0.3, 0.6])))

@@ -1,41 +1,60 @@
-//! `briq-align` — align quantities in an HTML page from the command line.
+//! `briq-align` — align quantities in HTML pages from the command line.
 //!
 //! ```text
-//! briq-align <page.html> [--model model.json] [--json]
-//!            [--diagnostics diag.jsonl]
-//! briq-align --train-demo model.json      # train on a synthetic corpus
+//! briq-align <page.html>... [--batch dir] [--jobs N] [--model model.json]
+//!            [--json] [--diagnostics diag.jsonl]
+//! briq-align --train-demo model.json       # train on a synthetic corpus
+//! briq-align --gen-corpus dir [--docs N] [--seed S] [--per-page K]
 //! ```
 //!
-//! Without `--model`, the heuristic (untrained) prior is used. With
-//! `--train-demo`, a model is trained on the synthetic corpus and saved so
-//! subsequent runs can load it.
+//! Pages come from positional arguments and/or `--batch <dir>` (every
+//! `*.html` in the directory, sorted by name). All segmented documents
+//! from all pages form one batch that runs through the parallel
+//! batch-alignment engine ([`briq_core::batch`]) with `--jobs N` workers
+//! (default 1, `0` = one per core). Output order and content are
+//! bit-identical for every `--jobs` value — CI's determinism stage relies
+//! on that. Without `--model`, the heuristic (untrained) prior is used;
+//! `--gen-corpus` writes a seeded page corpus for batch runs.
 //!
 //! Alignment runs through the budgeted, panic-free `align_checked` path.
 //! Every degraded item (skipped table, truncated candidate set,
-//! non-converged walk) becomes one JSON object; `--diagnostics` writes
-//! them as JSON Lines, otherwise they go to stderr. Exit codes:
+//! non-converged walk) becomes one JSON object with its scope prefixed by
+//! the document's batch index; `--diagnostics` writes them as JSON Lines,
+//! otherwise they go to stderr. Timings never appear in the JSONL, so it
+//! is byte-stable across worker counts. Exit codes:
 //!
 //! * `0` — all documents aligned cleanly;
 //! * `1` — usage or I/O error;
 //! * `2` — alignment completed, but at least one item degraded.
 
+use briq_core::batch::BatchConfig;
 use briq_core::pipeline::{Briq, BriqConfig};
-use briq_core::Diagnostics;
 use briq_table::html::parse_page;
 use briq_table::segment::{segment_page, SegmentConfig};
+use briq_table::Document;
 use std::process::ExitCode;
 
 /// Exit status for a run that finished but had to degrade somewhere.
 const EXIT_DEGRADED: u8 = 2;
 
+const USAGE: &str = "usage: briq-align <page.html>... [--batch dir] [--jobs N] \
+     [--model model.json] [--json] [--diagnostics diag.jsonl]\n       \
+     briq-align --train-demo <model.json>\n       \
+     briq-align --gen-corpus <dir> [--docs N] [--seed S] [--per-page K]";
+
+/// Everything parsed from the command line.
+struct Cli {
+    pages: Vec<String>,
+    jobs: usize,
+    as_json: bool,
+    model: Option<String>,
+    diagnostics: Option<String>,
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!(
-            "usage: briq-align <page.html> [--model model.json] [--json] \
-             [--diagnostics diag.jsonl]"
-        );
-        eprintln!("       briq-align --train-demo <model.json>");
+        eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     }
 
@@ -46,58 +65,66 @@ fn main() -> ExitCode {
         };
         return train_demo(path);
     }
+    if args[0] == "--gen-corpus" {
+        return gen_corpus(&args);
+    }
 
-    let page_path = &args[0];
-    let as_json = args.iter().any(|a| a == "--json");
-    let model_path = args
-        .iter()
-        .position(|a| a == "--model")
-        .and_then(|i| args.get(i + 1));
-    let diag_path = args
-        .iter()
-        .position(|a| a == "--diagnostics")
-        .and_then(|i| args.get(i + 1));
-
-    let html = match std::fs::read_to_string(page_path) {
-        Ok(s) => s,
+    let cli = match parse_cli(&args) {
+        Ok(c) => c,
         Err(e) => {
-            eprintln!("cannot read {page_path}: {e}");
+            eprintln!("{e}");
+            eprintln!("{USAGE}");
             return ExitCode::FAILURE;
         }
     };
 
-    let briq = match model_path {
-        Some(p) => match std::fs::read_to_string(p).map_err(|e| e.to_string()).and_then(
-            |s| Briq::from_json(&s).map_err(|e| e.to_string()),
-        ) {
-            Ok(b) => b,
-            Err(e) => {
-                eprintln!("cannot load model {p}: {e}");
-                return ExitCode::FAILURE;
+    let briq = match &cli.model {
+        Some(p) => {
+            match std::fs::read_to_string(p)
+                .map_err(|e| e.to_string())
+                .and_then(|s| Briq::from_json(&s).map_err(|e| e.to_string()))
+            {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("cannot load model {p}: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
-        },
+        }
         None => Briq::untrained(BriqConfig::default()),
     };
 
-    let page = parse_page(&html);
-    let docs = segment_page(&page, &SegmentConfig::default(), 0);
+    let mut docs: Vec<Document> = Vec::new();
+    for page_path in &cli.pages {
+        let html = match std::fs::read_to_string(page_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {page_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let page = parse_page(&html);
+        let mut segmented = segment_page(&page, &SegmentConfig::default(), docs.len());
+        if segmented.is_empty() {
+            eprintln!("warning: no paragraph/table documents found in {page_path}");
+        }
+        docs.append(&mut segmented);
+    }
     if docs.is_empty() {
-        eprintln!("no paragraph/table documents found in {page_path}");
+        eprintln!("no paragraph/table documents found in any input page");
         return ExitCode::FAILURE;
     }
 
-    let mut all_diags = Diagnostics::default();
-    for doc in &docs {
-        let (alignments, diags) = briq.align_checked(doc);
-        all_diags.items.extend(diags.items);
-        if as_json {
-            println!("{}", briq_json::to_string_pretty(&alignments));
+    let report = briq.align_batch(&docs, &BatchConfig::with_jobs(cli.jobs));
+    for (doc, dr) in docs.iter().zip(&report.documents) {
+        if cli.as_json {
+            println!("{}", briq_json::to_string_pretty(&dr.alignments));
         } else {
             println!("document {}: {:.60}…", doc.id, doc.text);
-            if alignments.is_empty() {
+            if dr.alignments.is_empty() {
                 println!("  (no alignments)");
             }
-            for a in alignments {
+            for a in &dr.alignments {
                 println!(
                     "  {:24} -> table {} {:12} cells {:?} (value {}, score {:.3})",
                     format!("{:?}", a.mention_raw),
@@ -111,8 +138,9 @@ fn main() -> ExitCode {
         }
     }
 
+    let all_diags = report.combined_diagnostics();
     let jsonl = all_diags.to_jsonl();
-    if let Some(path) = diag_path {
+    if let Some(path) = &cli.diagnostics {
         if let Err(e) = std::fs::write(path, &jsonl) {
             eprintln!("cannot write diagnostics to {path}: {e}");
             return ExitCode::FAILURE;
@@ -123,9 +151,120 @@ fn main() -> ExitCode {
     if all_diags.is_clean() {
         ExitCode::SUCCESS
     } else {
-        eprintln!("{} item(s) degraded during alignment", all_diags.items.len());
+        eprintln!(
+            "{} item(s) degraded during alignment",
+            all_diags.items.len()
+        );
         ExitCode::from(EXIT_DEGRADED)
     }
+}
+
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        pages: Vec::new(),
+        jobs: 1,
+        as_json: false,
+        model: None,
+        diagnostics: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let mut value = |name: &str| -> Result<String, String> {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--json" => cli.as_json = true,
+            "--jobs" => {
+                let v = value("--jobs")?;
+                cli.jobs = v
+                    .parse()
+                    .map_err(|_| format!("--jobs: invalid count {v:?}"))?;
+            }
+            "--model" => cli.model = Some(value("--model")?),
+            "--diagnostics" => cli.diagnostics = Some(value("--diagnostics")?),
+            "--batch" => {
+                let dir = value("--batch")?;
+                cli.pages.extend(html_files_in(&dir)?);
+            }
+            _ if arg.starts_with("--") => return Err(format!("unknown flag {arg}")),
+            _ => cli.pages.push(arg.clone()),
+        }
+        i += 1;
+    }
+    if cli.pages.is_empty() {
+        return Err("no input pages (positional paths or --batch dir)".into());
+    }
+    Ok(cli)
+}
+
+/// All `*.html` files in `dir`, sorted by file name so batch order (and
+/// therefore output order) is independent of directory enumeration order.
+fn html_files_in(dir: &str) -> Result<Vec<String>, String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("cannot read {dir}: {e}"))?;
+    let mut pages = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read {dir}: {e}"))?;
+        let path = entry.path();
+        if path.extension().is_some_and(|x| x == "html") {
+            pages.push(path.to_string_lossy().into_owned());
+        }
+    }
+    pages.sort();
+    if pages.is_empty() {
+        return Err(format!("no *.html pages in {dir}"));
+    }
+    Ok(pages)
+}
+
+/// Write a seeded HTML page corpus for batch alignment runs — the
+/// workload generator behind CI's determinism stage.
+fn gen_corpus(args: &[String]) -> ExitCode {
+    use briq_corpus::corpus::CorpusConfig;
+    use briq_corpus::page::corpus_pages;
+
+    let Some(dir) = args.get(1).filter(|a| !a.starts_with("--")) else {
+        eprintln!("--gen-corpus needs an output directory");
+        return ExitCode::FAILURE;
+    };
+    let docs = usize_flag(args, "--docs").unwrap_or(48);
+    let seed = usize_flag(args, "--seed").unwrap_or(20190408) as u64;
+    let per_page = usize_flag(args, "--per-page").unwrap_or(3);
+
+    let pages = corpus_pages(
+        &CorpusConfig {
+            n_documents: docs,
+            seed,
+            ..Default::default()
+        },
+        per_page,
+    );
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {dir}: {e}");
+        return ExitCode::FAILURE;
+    }
+    for (i, html) in pages.iter().enumerate() {
+        let path = format!("{dir}/page_{i:04}.html");
+        if let Err(e) = std::fs::write(&path, html) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!(
+        "wrote {} pages ({docs} documents, seed {seed}) to {dir}",
+        pages.len()
+    );
+    ExitCode::SUCCESS
+}
+
+fn usize_flag(args: &[String], flag: &str) -> Option<usize> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
 }
 
 fn train_demo(path: &str) -> ExitCode {
@@ -134,16 +273,22 @@ fn train_demo(path: &str) -> ExitCode {
     use briq_ml::split::random_split;
 
     eprintln!("training a demo model on a synthetic corpus…");
-    let corpus = generate_corpus(&CorpusConfig { n_documents: 200, seed: 1, ..Default::default() });
+    let corpus = generate_corpus(&CorpusConfig {
+        n_documents: 200,
+        seed: 1,
+        ..Default::default()
+    });
     let mut docs = corpus.documents;
     annotate(&mut docs, &AnnotatorConfig::default());
     let split = random_split(docs.len(), 0.1, 0.0, 1);
     let train: Vec<_> = split.train.iter().map(|&i| docs[i].clone()).collect();
     let val: Vec<_> = split.validation.iter().map(|&i| docs[i].clone()).collect();
     let briq = Briq::train(BriqConfig::default(), &train, &val);
-    match briq.to_json().map_err(|e| e.to_string()).and_then(|s| {
-        std::fs::write(path, s).map_err(|e| e.to_string())
-    }) {
+    match briq
+        .to_json()
+        .map_err(|e| e.to_string())
+        .and_then(|s| std::fs::write(path, s).map_err(|e| e.to_string()))
+    {
         Ok(()) => {
             eprintln!("model saved to {path}");
             ExitCode::SUCCESS

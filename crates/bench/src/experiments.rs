@@ -6,9 +6,7 @@ use briq_core::baselines::{rf_only_scored, rwr_only_scored};
 use briq_core::evaluate::{EvalReport, FilterRecall};
 use briq_core::filtering::FilterStats;
 use briq_core::pipeline::{Briq, BriqConfig};
-use briq_core::training::{
-    build_training_examples, LabeledDocument, TrainingBreakdown,
-};
+use briq_core::training::{build_training_examples, LabeledDocument, TrainingBreakdown};
 use briq_core::FeatureMask;
 use briq_corpus::annotate::{annotate, AnnotatorConfig};
 use briq_corpus::corpus::{generate_corpus, CorpusConfig};
@@ -69,13 +67,21 @@ pub struct SetupConfig {
 
 impl Default for SetupConfig {
     fn default() -> Self {
-        SetupConfig { n_documents: 400, seed: 20190408, mask: FeatureMask::all() }
+        SetupConfig {
+            n_documents: 400,
+            seed: 20190408,
+            mask: FeatureMask::all(),
+        }
     }
 }
 
 /// Generate, annotate, split, and train.
 pub fn prepare(cfg: &SetupConfig) -> ExperimentSetup {
-    let corpus_cfg = CorpusConfig { n_documents: cfg.n_documents, seed: cfg.seed, ..Default::default() };
+    let corpus_cfg = CorpusConfig {
+        n_documents: cfg.n_documents,
+        seed: cfg.seed,
+        ..Default::default()
+    };
     let corpus = generate_corpus(&corpus_cfg);
     let mut documents = corpus.documents;
     let domains = corpus.domains;
@@ -88,25 +94,35 @@ pub fn prepare(cfg: &SetupConfig) -> ExperimentSetup {
         split.train.iter().map(|&i| documents[i].clone()).collect();
     // The tagger trains on a withheld slice — we use the validation split
     // (disjoint from both training and test).
-    let mut tagger_docs: Vec<LabeledDocument> =
-        split.validation.iter().map(|&i| documents[i].clone()).collect();
+    let mut tagger_docs: Vec<LabeledDocument> = split
+        .validation
+        .iter()
+        .map(|&i| documents[i].clone())
+        .collect();
     // Training-side labels carry the annotation noise that survives
     // consensus (κ = 0.6854 is substantial, not perfect); the evaluation
     // measures against the synthesized truth.
     briq_corpus::annotate::corrupt_labels(&mut train_docs, &AnnotatorConfig::default());
     briq_corpus::annotate::corrupt_labels(&mut tagger_docs, &AnnotatorConfig::default());
 
-    let briq_cfg = BriqConfig { mask: cfg.mask, ..Default::default() };
-    let (_, breakdown) = build_training_examples(
-        &train_docs,
-        &briq_cfg.virtual_cells,
-        &briq_cfg.context,
-    );
+    let briq_cfg = BriqConfig {
+        mask: cfg.mask,
+        ..Default::default()
+    };
+    let (_, breakdown) =
+        build_training_examples(&train_docs, &briq_cfg.virtual_cells, &briq_cfg.context);
     // Hyper-parameters (α/β mix and ε of Eq. 1) are grid-searched on the
     // validation split, as in §VII-C.
     let (briq, _) = Briq::train_tuned(briq_cfg, &train_docs, &tagger_docs);
 
-    ExperimentSetup { documents, domains, split, briq, kappa: outcome.kappa, breakdown }
+    ExperimentSetup {
+        documents,
+        domains,
+        split,
+        briq,
+        kappa: outcome.kappa,
+        breakdown,
+    }
 }
 
 /// The test documents of a setup, under a perturbation.
@@ -120,11 +136,7 @@ pub fn test_documents(setup: &ExperimentSetup, p: Perturbation) -> Vec<LabeledDo
 }
 
 /// Evaluate one system over the given labeled documents.
-pub fn evaluate_system(
-    briq: &Briq,
-    system: SystemKind,
-    docs: &[LabeledDocument],
-) -> EvalReport {
+pub fn evaluate_system(briq: &Briq, system: SystemKind, docs: &[LabeledDocument]) -> EvalReport {
     let mut report = EvalReport::default();
     for ld in docs {
         let predictions = match system {
@@ -161,7 +173,11 @@ mod tests {
     use super::*;
 
     fn small_setup() -> ExperimentSetup {
-        prepare(&SetupConfig { n_documents: 60, seed: 42, mask: FeatureMask::all() })
+        prepare(&SetupConfig {
+            n_documents: 60,
+            seed: 42,
+            mask: FeatureMask::all(),
+        })
     }
 
     #[test]
@@ -211,6 +227,10 @@ mod tests {
         let docs = test_documents(&s, Perturbation::Original);
         let (stats, recall) = filtering_stats(&s.briq, &docs);
         assert!(stats.overall_selectivity() < 0.3);
-        assert!(recall.overall() > 0.5, "post-filter recall {}", recall.overall());
+        assert!(
+            recall.overall() > 0.5,
+            "post-filter recall {}",
+            recall.overall()
+        );
     }
 }

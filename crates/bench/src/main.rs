@@ -3,6 +3,11 @@
 //! Usage: `briq-eval <experiment> [--docs N] [--seed S]`
 //! where `<experiment>` is one of `table1` … `table9`, `ablation-extra`,
 //! or `all`.
+//!
+//! `briq-eval throughput [--docs N] [--seed S] [--jobs J] [--out FILE]`
+//! runs the batch-engine throughput smoke (sequential vs `J` workers on
+//! the same seeded page corpus) and, with `--out`, writes the comparison
+//! as the `BENCH_throughput.json` perf-trajectory artifact used by CI.
 
 use briq_bench::experiments::{
     evaluate_system, filtering_stats, prepare, test_documents, SetupConfig, SystemKind,
@@ -27,7 +32,11 @@ fn main() {
 
     let mut setup = None;
     let mut ensure_setup = || {
-        prepare(&SetupConfig { n_documents: docs, seed, mask: FeatureMask::all() })
+        prepare(&SetupConfig {
+            n_documents: docs,
+            seed,
+            mask: FeatureMask::all(),
+        })
     };
 
     if run("table1") {
@@ -73,6 +82,85 @@ fn main() {
     if run("extended") {
         extended_experiment(docs, seed);
     }
+    if experiment == "throughput" {
+        let jobs = flag_value(&args, "--jobs").unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        });
+        let out = string_flag(&args, "--out");
+        throughput_bench(docs, seed, jobs, out.as_deref());
+    }
+}
+
+/// Bench-smoke for the batch engine: the same seeded page corpus aligned
+/// at `--jobs 1` and `--jobs N`, reported as docs/min, speedup, and
+/// per-stage CPU-seconds. With `--out`, the comparison is written as a
+/// JSON artifact so CI can track the perf trajectory per PR.
+fn throughput_bench(docs: usize, seed: u64, jobs: usize, out: Option<&str>) {
+    use briq_bench::throughput::ThroughputBench;
+
+    // Untrained prior: the smoke measures engine throughput and scaling,
+    // not model quality, and must stay fast enough for a per-PR gate.
+    let briq = Briq::untrained(BriqConfig::default());
+    let pages = briq_corpus::page::corpus_pages(
+        &CorpusConfig {
+            n_documents: docs,
+            seed,
+            ..Default::default()
+        },
+        3,
+    );
+    let baseline = measure(&briq, ThroughputSystem::Briq, &pages, 1);
+    let parallel = measure(&briq, ThroughputSystem::Briq, &pages, jobs);
+    let bench = ThroughputBench::from_runs(seed as usize, (1, baseline), (jobs, parallel));
+
+    println!(
+        "== Batch-engine throughput smoke (seed {seed}, {} pages) ==",
+        bench.pages
+    );
+    let mut t = TextTable::new(&[
+        "jobs",
+        "docs/min",
+        "seconds",
+        "extract s",
+        "classify s",
+        "filter s",
+        "resolve s",
+        "util",
+    ]);
+    for p in [&bench.baseline, &bench.parallel] {
+        t.row(vec![
+            p.jobs.to_string(),
+            format!("{:.0}", p.docs_per_minute),
+            format!("{:.2}", p.seconds),
+            format!("{:.2}", p.stages.extract_s),
+            format!("{:.2}", p.stages.classify_s),
+            format!("{:.2}", p.stages.filter_s),
+            format!("{:.2}", p.stages.resolve_s),
+            format!("{:.2}", p.utilization),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("speedup at --jobs {}: {:.2}x", jobs, bench.speedup);
+
+    if let Some(path) = out {
+        let json = briq_json::to_string_pretty(&bench);
+        match std::fs::write(path, json + "\n") {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn string_flag(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 /// Extended aggregates (min/max ranking mentions): the framework
@@ -88,7 +176,11 @@ fn extended_experiment(docs: usize, seed: u64) {
     let corpus_cfg = CorpusConfig {
         n_documents: docs,
         seed,
-        weights: MentionWeights { single: 0.62, ranking: 0.06, ..Default::default() },
+        weights: MentionWeights {
+            single: 0.62,
+            ranking: 0.06,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let corpus = generate_corpus(&corpus_cfg);
@@ -96,10 +188,12 @@ fn extended_experiment(docs: usize, seed: u64) {
     annotate(&mut documents, &AnnotatorConfig::default());
 
     let split = random_split(documents.len(), 0.1, 0.1, seed ^ 0x5eed);
-    let train: Vec<LabeledDocument> =
-        split.train.iter().map(|&i| documents[i].clone()).collect();
-    let val: Vec<LabeledDocument> =
-        split.validation.iter().map(|&i| documents[i].clone()).collect();
+    let train: Vec<LabeledDocument> = split.train.iter().map(|&i| documents[i].clone()).collect();
+    let val: Vec<LabeledDocument> = split
+        .validation
+        .iter()
+        .map(|&i| documents[i].clone())
+        .collect();
 
     let mut cfg = BriqConfig::default();
     cfg.virtual_cells.extended = true;
@@ -113,10 +207,20 @@ fn extended_experiment(docs: usize, seed: u64) {
     let mut t = TextTable::new(&["type", "recall", "precision", "F1"]);
     for k in ["max", "min", "sum", "single-cell"] {
         let p = report.prf_for(k);
-        t.row(vec![k.to_string(), fmt(p.recall), fmt(p.precision), fmt(p.f1)]);
+        t.row(vec![
+            k.to_string(),
+            fmt(p.recall),
+            fmt(p.precision),
+            fmt(p.f1),
+        ]);
     }
     let o = report.overall();
-    t.row(vec!["overall".into(), fmt(o.recall), fmt(o.precision), fmt(o.f1)]);
+    t.row(vec![
+        "overall".into(),
+        fmt(o.recall),
+        fmt(o.precision),
+        fmt(o.f1),
+    ]);
     println!("{}", t.render());
 }
 
@@ -128,14 +232,27 @@ fn qkb_experiment(s: &Setup) {
     let mut qkb = briq_core::evaluate::EvalReport::default();
     let mut briq_rep = briq_core::evaluate::EvalReport::default();
     for ld in &docs {
-        qkb.add_document(&briq_core::baselines::qkb_only(&s.briq, &ld.document), &ld.gold);
+        qkb.add_document(
+            &briq_core::baselines::qkb_only(&s.briq, &ld.document),
+            &ld.gold,
+        );
         briq_rep.add_document(&s.briq.align(&ld.document), &ld.gold);
     }
     let mut t = TextTable::new(&["system", "recall", "precision", "F1"]);
     let q = qkb.overall();
     let b = briq_rep.overall();
-    t.row(vec!["QKB".into(), fmt(q.recall), fmt(q.precision), fmt(q.f1)]);
-    t.row(vec!["BriQ".into(), fmt(b.recall), fmt(b.precision), fmt(b.f1)]);
+    t.row(vec![
+        "QKB".into(),
+        fmt(q.recall),
+        fmt(q.precision),
+        fmt(q.f1),
+    ]);
+    t.row(vec![
+        "BriQ".into(),
+        fmt(b.recall),
+        fmt(b.precision),
+        fmt(b.f1),
+    ]);
     println!("{}", t.render());
     println!("(low QKB recall = limited unit coverage + exact matching only)\n");
 }
@@ -193,7 +310,10 @@ fn ilp_experiment(s: &Setup) {
     let mut raw_time = 0.0f64;
     let mut raw_nodes = 0usize;
     let mut raw_exhausted = 0usize;
-    let raw_budget = IlpConfig { node_budget: 300_000, ..Default::default() };
+    let raw_budget = IlpConfig {
+        node_budget: 300_000,
+        ..Default::default()
+    };
     for ld in docs.iter().take(10) {
         let sd = s.briq.score_document(&ld.document);
         let candidates: Vec<Vec<briq_core::filtering::Candidate>> = sd
@@ -205,7 +325,9 @@ fn ilp_experiment(s: &Setup) {
                     .map(|&(target, score)| briq_core::filtering::Candidate { target, score })
                     .collect();
                 cs.sort_by(|a, b| {
-                    b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal)
+                    b.score
+                        .partial_cmp(&a.score)
+                        .unwrap_or(std::cmp::Ordering::Equal)
                 });
                 cs
             })
@@ -222,7 +344,12 @@ fn ilp_experiment(s: &Setup) {
     let mut t = TextTable::new(&["resolver", "F1", "total seconds", "notes"]);
     let r = rwr_rep.overall();
     let i = ilp_rep.overall();
-    t.row(vec!["RWR (Algorithm 1)".into(), fmt(r.f1), format!("{rwr_time:.2}"), "-".into()]);
+    t.row(vec![
+        "RWR (Algorithm 1)".into(),
+        fmt(r.f1),
+        format!("{rwr_time:.2}"),
+        "-".into(),
+    ]);
     t.row(vec![
         "ILP on filtered pairs".into(),
         fmt(i.f1),
@@ -246,22 +373,37 @@ fn analysis_experiment(s: &Setup) {
     println!("== Classifier analysis: permutation importance & calibration ==");
     let docs = test_documents(s, Perturbation::Original);
     let briq_cfg = BriqConfig::default();
-    let (examples, _) =
-        build_training_examples(&docs, &briq_cfg.virtual_cells, &briq_cfg.context);
+    let (examples, _) = build_training_examples(&docs, &briq_cfg.virtual_cells, &briq_cfg.context);
     let data = examples_to_dataset(&examples);
 
     // permutation importance of the trained prior
     let imp = briq_ml::permutation_importance(&data, |r| s.briq.prior(r), 3, 11);
     let names = [
-        "f1 surface", "f2 local words", "f3 global words", "f4 local phrases",
-        "f5 global phrases", "f6 rel diff", "f7 raw rel diff", "f8 unit match",
-        "f9 scale diff", "f10 precision diff", "f11 approx", "f12 agg match",
+        "f1 surface",
+        "f2 local words",
+        "f3 global words",
+        "f4 local phrases",
+        "f5 global phrases",
+        "f6 rel diff",
+        "f7 raw rel diff",
+        "f8 unit match",
+        "f9 scale diff",
+        "f10 precision diff",
+        "f11 approx",
+        "f12 agg match",
     ];
     let mut t = TextTable::new(&["feature", "AUC drop"]);
     let mut order: Vec<usize> = (0..imp.len()).collect();
-    order.sort_by(|&a, &b| imp[b].partial_cmp(&imp[a]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        imp[b]
+            .partial_cmp(&imp[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     for i in order {
-        t.row(vec![names.get(i).unwrap_or(&"?").to_string(), format!("{:+.4}", imp[i])]);
+        t.row(vec![
+            names.get(i).unwrap_or(&"?").to_string(),
+            format!("{:+.4}", imp[i]),
+        ]);
     }
     println!("{}", t.render());
 
@@ -282,13 +424,19 @@ fn analysis_experiment(s: &Setup) {
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<usize> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
 }
 
 type Setup = briq_bench::experiments::ExperimentSetup;
 
 fn table1(s: &Setup) {
-    println!("== Table I: classifier training data (annotator kappa {:.4}) ==", s.kappa);
+    println!(
+        "== Table I: classifier training data (annotator kappa {:.4}) ==",
+        s.kappa
+    );
     let mut t = TextTable::new(&["type", "#pos", "#neg"]);
     for k in TYPE_ORDER {
         let (p, n) = s.breakdown.by_type.get(k).copied().unwrap_or((0, 0));
@@ -302,10 +450,13 @@ fn table1(s: &Setup) {
 fn table2(s: &Setup) {
     println!("== Table II: results for original, truncated and rounded mentions ==");
     let mut t = TextTable::new(&[
-        "", "RF", "RWR", "BriQ", "RF(tr)", "RWR(tr)", "BriQ(tr)", "RF(rd)", "RWR(rd)",
-        "BriQ(rd)",
+        "", "RF", "RWR", "BriQ", "RF(tr)", "RWR(tr)", "BriQ(tr)", "RF(rd)", "RWR(rd)", "BriQ(rd)",
     ]);
-    let mut rows = vec![vec!["recall".to_string()], vec!["prec.".to_string()], vec!["F1".to_string()]];
+    let mut rows = vec![
+        vec!["recall".to_string()],
+        vec!["prec.".to_string()],
+        vec!["F1".to_string()],
+    ];
     for p in Perturbation::ALL {
         let docs = test_documents(s, p);
         for sys in SystemKind::ALL {
@@ -324,9 +475,11 @@ fn table2(s: &Setup) {
 
 fn tables_3_to_5(s: &Setup, experiment: &str) {
     let docs = test_documents(s, Perturbation::Original);
-    for (sys, table) in
-        [(SystemKind::Rf, "table3"), (SystemKind::Rwr, "table4"), (SystemKind::Briq, "table5")]
-    {
+    for (sys, table) in [
+        (SystemKind::Rf, "table3"),
+        (SystemKind::Rwr, "table4"),
+        (SystemKind::Briq, "table5"),
+    ] {
         if experiment != "all" && experiment != table {
             continue;
         }
@@ -348,7 +501,13 @@ fn table6(s: &Setup) {
     for k in TYPE_ORDER {
         let sel = stats
             .selectivity(k)
-            .map(|v| if v < 0.005 { "< 0.01".to_string() } else { fmt(v) })
+            .map(|v| {
+                if v < 0.005 {
+                    "< 0.01".to_string()
+                } else {
+                    fmt(v)
+                }
+            })
             .unwrap_or_else(|| "-".into());
         let rec = recall.recall(k).map(fmt).unwrap_or_else(|| "-".into());
         t.row(vec![k.to_string(), sel, rec]);
@@ -365,15 +524,40 @@ fn table7(docs: usize, seed: u64) {
     println!("== Table VII: ablation study (recall / precision / F1) ==");
     let masks = [
         ("all features", FeatureMask::all()),
-        ("w/o surf. sim.", FeatureMask { surface: false, context: true, quantity: true }),
-        ("w/o context", FeatureMask { surface: true, context: false, quantity: true }),
-        ("w/o quantity", FeatureMask { surface: true, context: true, quantity: false }),
+        (
+            "w/o surf. sim.",
+            FeatureMask {
+                surface: false,
+                context: true,
+                quantity: true,
+            },
+        ),
+        (
+            "w/o context",
+            FeatureMask {
+                surface: true,
+                context: false,
+                quantity: true,
+            },
+        ),
+        (
+            "w/o quantity",
+            FeatureMask {
+                surface: true,
+                context: true,
+                quantity: false,
+            },
+        ),
     ];
     let mut t = TextTable::new(&[
         "", "RF-R", "RWR-R", "BriQ-R", "RF-P", "RWR-P", "BriQ-P", "RF-F1", "RWR-F1", "BriQ-F1",
     ]);
     for (label, mask) in masks {
-        let s = prepare(&SetupConfig { n_documents: docs, seed, mask });
+        let s = prepare(&SetupConfig {
+            n_documents: docs,
+            seed,
+            mask,
+        });
         let test = test_documents(&s, Perturbation::Original);
         let mut row = vec![label.to_string()];
         let reports: Vec<_> = SystemKind::ALL
@@ -396,10 +580,22 @@ fn table7(docs: usize, seed: u64) {
 
 fn table8(docs: usize, seed: u64) {
     println!("== Table VIII: throughput by domain (docs/min) ==");
-    let s = prepare(&SetupConfig { n_documents: docs, seed, mask: FeatureMask::all() });
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let mut t =
-        TextTable::new(&["domain", "pages", "documents", "mentions", "docs/min", "RWR docs/min"]);
+    let s = prepare(&SetupConfig {
+        n_documents: docs,
+        seed,
+        mask: FeatureMask::all(),
+    });
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut t = TextTable::new(&[
+        "domain",
+        "pages",
+        "documents",
+        "mentions",
+        "docs/min",
+        "RWR docs/min",
+    ]);
     let mut total = (0usize, 0usize, 0usize, 0.0f64, 0.0f64);
     for domain in Domain::ALL {
         let domain_docs: Vec<_> = s
@@ -442,7 +638,11 @@ fn table8(docs: usize, seed: u64) {
 
 fn table9(docs: usize, seed: u64) {
     println!("== Table IX: table statistics by domain ==");
-    let corpus = generate_corpus(&CorpusConfig { n_documents: docs, seed, ..Default::default() });
+    let corpus = generate_corpus(&CorpusConfig {
+        n_documents: docs,
+        seed,
+        ..Default::default()
+    });
     let vc = VirtualCellConfig::default();
     let mut t = TextTable::new(&["domain", "rows", "columns", "single cells", "virtual cells"]);
     let mut all_tables = Vec::new();
@@ -482,7 +682,11 @@ fn table9(docs: usize, seed: u64) {
 /// graph updates, adaptive top-k, α/β mixing.
 fn ablation_extra(docs: usize, seed: u64) {
     println!("== Extra ablations (BriQ F1, original mentions) ==");
-    let s = prepare(&SetupConfig { n_documents: docs, seed, mask: FeatureMask::all() });
+    let s = prepare(&SetupConfig {
+        n_documents: docs,
+        seed,
+        mask: FeatureMask::all(),
+    });
     let test = test_documents(&s, Perturbation::Original);
 
     let f1_with = |briq: &Briq| {
@@ -499,8 +703,15 @@ fn ablation_extra(docs: usize, seed: u64) {
     // α/β sweep of Eq. 1.
     for (alpha, beta) in [(1.0, 0.0), (0.0, 1.0), (0.5, 0.5)] {
         let mut briq = s.briq.clone();
-        briq.cfg.resolution = ResolutionConfig { alpha, beta, ..briq.cfg.resolution };
-        t.row(vec![format!("alpha={alpha} beta={beta}"), fmt(f1_with(&briq))]);
+        briq.cfg.resolution = ResolutionConfig {
+            alpha,
+            beta,
+            ..briq.cfg.resolution
+        };
+        t.row(vec![
+            format!("alpha={alpha} beta={beta}"),
+            fmt(f1_with(&briq)),
+        ]);
     }
 
     // Fixed small top-k instead of adaptive.

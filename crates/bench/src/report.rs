@@ -23,7 +23,10 @@ pub struct TextTable {
 impl TextTable {
     /// Start a table with the given column headers.
     pub fn new(header: &[&str]) -> Self {
-        TextTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (must match header length).
@@ -62,7 +65,10 @@ impl TextTable {
 pub fn per_type_table(report: &EvalReport) -> String {
     let mut t = TextTable::new(&["", "sum", "diff", "percent", "ratio", "single-cell"]);
     let metric = |f: fn(&Prf) -> f64| -> Vec<String> {
-        TYPE_ORDER.iter().map(|k| fmt(f(&report.prf_for(k)))).collect()
+        TYPE_ORDER
+            .iter()
+            .map(|k| fmt(f(&report.prf_for(k))))
+            .collect()
     };
     let mut row = vec!["recall".to_string()];
     row.extend(metric(|p| p.recall));

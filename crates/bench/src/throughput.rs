@@ -1,16 +1,19 @@
-//! Document-throughput measurement (Table VIII) with a scoped-thread
-//! worker pool — the single-machine stand-in for the paper's 10-executor
-//! Spark cluster.
+//! Document-throughput measurement (Table VIII) on top of the
+//! production batch-alignment engine in [`briq_core::batch`] — the
+//! single-machine stand-in for the paper's 10-executor Spark cluster.
 //!
 //! The timed path per page mirrors the production pipeline: HTML parsing,
-//! page segmentation, mention/target extraction, classification,
-//! filtering and global resolution.
+//! page segmentation, then [`briq_core::batch::align_batch`] over the
+//! segmented documents (mention/target extraction, classification,
+//! filtering and global resolution on a work-stealing worker pool).
 
+use briq_core::batch::{BatchConfig, StageTimings};
 use briq_core::pipeline::Briq;
 use briq_core::training::LabeledDocument;
 use briq_corpus::page::render_page;
 use briq_table::html::parse_page;
 use briq_table::segment::{segment_page, SegmentConfig};
+use briq_table::Document;
 use std::time::Instant;
 
 /// Throughput result for one batch of pages.
@@ -24,6 +27,12 @@ pub struct ThroughputResult {
     pub mentions: usize,
     /// Wall-clock seconds.
     pub seconds: f64,
+    /// Per-stage CPU-seconds summed over all documents (with more than
+    /// one worker this exceeds `seconds`). Zero for the RWR-only system,
+    /// which bypasses the staged pipeline.
+    pub stages: StageTimings,
+    /// Mean worker utilization of the batch pool (0 for RWR-only).
+    pub utilization: f64,
 }
 
 impl ThroughputResult {
@@ -39,7 +48,7 @@ impl ThroughputResult {
 /// How to process each document in the throughput run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ThroughputSystem {
-    /// The full BriQ pipeline.
+    /// The full BriQ pipeline, on the batch engine.
     Briq,
     /// The RWR-only baseline (no pruning — "fairly expensive", §VII-D).
     RwrOnly,
@@ -56,28 +65,22 @@ pub fn build_pages(docs: &[LabeledDocument], docs_per_page: usize) -> Vec<String
         .collect()
 }
 
-fn process_page(briq: &Briq, system: ThroughputSystem, html: &str) -> (usize, usize) {
-    let page = parse_page(html);
-    let docs = segment_page(&page, &SegmentConfig::default(), 0);
-    let mut mentions = 0;
-    for doc in &docs {
-        match system {
-            ThroughputSystem::Briq => {
-                mentions += briq.align(doc).len().max(
-                    briq_core::mention::text_mentions(doc).len(),
-                );
-            }
-            ThroughputSystem::RwrOnly => {
-                let sd = briq.score_document(doc);
-                mentions += sd.mentions.len();
-                let _ = briq_core::baselines::rwr_only_scored(briq, &sd);
-            }
-        }
+/// Parse and segment every page into documents with batch-unique ids.
+pub fn segment_pages(pages: &[String]) -> Vec<Document> {
+    let mut docs = Vec::new();
+    for html in pages {
+        let page = parse_page(html);
+        let mut segmented = segment_page(&page, &SegmentConfig::default(), docs.len());
+        docs.append(&mut segmented);
     }
-    (docs.len(), mentions)
+    docs
 }
 
 /// Run the throughput measurement over `pages` with `workers` threads.
+///
+/// The full-pipeline system runs on [`briq_core::batch::align_batch`], so
+/// its alignments are bit-identical for every worker count; the timed
+/// region covers parsing, segmentation, and the batch run.
 pub fn measure(
     briq: &Briq,
     system: ThroughputSystem,
@@ -85,54 +88,154 @@ pub fn measure(
     workers: usize,
 ) -> ThroughputResult {
     let start = Instant::now();
-    let (documents, mentions) = if workers <= 1 {
-        let mut d = 0;
-        let mut m = 0;
-        for p in pages {
-            let (pd, pm) = process_page(briq, system, p);
-            d += pd;
-            m += pm;
+    let docs = segment_pages(pages);
+    let (mentions, stages, utilization) = match system {
+        ThroughputSystem::Briq => {
+            let cfg = BatchConfig {
+                jobs: workers.max(1),
+                ..BatchConfig::default()
+            };
+            let report = briq.align_batch(&docs, &cfg);
+            let mut mentions = 0usize;
+            for (doc, dr) in docs.iter().zip(&report.documents) {
+                mentions += dr
+                    .alignments
+                    .len()
+                    .max(briq_core::mention::text_mentions(doc).len());
+            }
+            (mentions, report.stage_totals, report.mean_utilization())
         }
-        (d, m)
-    } else {
-        parallel_run(briq, system, pages, workers)
+        ThroughputSystem::RwrOnly => (
+            rwr_only_run(briq, &docs, workers),
+            StageTimings::default(),
+            0.0,
+        ),
     };
-    ThroughputResult { pages: pages.len(), documents, mentions, seconds: start.elapsed().as_secs_f64() }
+    ThroughputResult {
+        pages: pages.len(),
+        documents: docs.len(),
+        mentions,
+        seconds: start.elapsed().as_secs_f64(),
+        stages,
+        utilization,
+    }
 }
 
-fn parallel_run(
-    briq: &Briq,
-    system: ThroughputSystem,
-    pages: &[String],
-    workers: usize,
-) -> (usize, usize) {
-    // Work-stealing by shared atomic cursor: each worker claims the next
-    // unprocessed page, which balances load like the old channel queue did.
+/// The RWR-only baseline does not go through the staged `align_checked`
+/// path, so it keeps a minimal cursor pool of its own.
+fn rwr_only_run(briq: &Briq, docs: &[Document], workers: usize) -> usize {
+    let run_doc = |doc: &Document| {
+        let sd = briq.score_document(doc);
+        let mentions = sd.mentions.len();
+        let _ = briq_core::baselines::rwr_only_scored(briq, &sd);
+        mentions
+    };
+    if workers <= 1 {
+        return docs.iter().map(run_doc).sum();
+    }
     let next = std::sync::atomic::AtomicUsize::new(0);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 let next = &next;
                 scope.spawn(move || {
-                    let mut d = 0usize;
                     let mut m = 0usize;
                     loop {
                         let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        let Some(p) = pages.get(i) else { break };
-                        let (pd, pm) = process_page(briq, system, p);
-                        d += pd;
-                        m += pm;
+                        let Some(doc) = docs.get(i) else { break };
+                        m += run_doc(doc);
                     }
-                    (d, m)
+                    m
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .fold((0, 0), |(ad, am), (d, m)| (ad + d, am + m))
+        handles.into_iter().map(|h| h.join().unwrap_or(0)).sum()
     })
 }
+
+/// One `--jobs` point of the bench-smoke comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputPoint {
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Documents per minute at this worker count.
+    pub docs_per_minute: f64,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Per-stage CPU-seconds.
+    pub stages: StageTimings,
+    /// Mean worker utilization.
+    pub utilization: f64,
+}
+
+/// The perf-trajectory artifact written by CI's bench-smoke stage
+/// (`BENCH_throughput.json`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputBench {
+    /// Corpus seed (pages are byte-identical given the same seed).
+    pub seed: usize,
+    /// Pages in the workload.
+    pub pages: usize,
+    /// Documents after segmentation.
+    pub documents: usize,
+    /// Text mentions considered.
+    pub mentions: usize,
+    /// The sequential baseline (`--jobs 1`).
+    pub baseline: ThroughputPoint,
+    /// The parallel run (`--jobs N`).
+    pub parallel: ThroughputPoint,
+    /// `parallel.docs_per_minute / baseline.docs_per_minute`.
+    pub speedup: f64,
+}
+
+impl ThroughputBench {
+    /// Compare a sequential and a parallel run of the same workload.
+    pub fn from_runs(
+        seed: usize,
+        baseline: (usize, ThroughputResult),
+        parallel: (usize, ThroughputResult),
+    ) -> ThroughputBench {
+        let point = |(jobs, r): (usize, ThroughputResult)| ThroughputPoint {
+            jobs,
+            docs_per_minute: r.docs_per_minute(),
+            seconds: r.seconds,
+            stages: r.stages,
+            utilization: r.utilization,
+        };
+        let base = baseline.1;
+        let speedup = if base.docs_per_minute() > 0.0 {
+            parallel.1.docs_per_minute() / base.docs_per_minute()
+        } else {
+            0.0
+        };
+        ThroughputBench {
+            seed,
+            pages: base.pages,
+            documents: base.documents,
+            mentions: base.mentions,
+            baseline: point(baseline),
+            parallel: point(parallel),
+            speedup,
+        }
+    }
+}
+
+briq_json::json_struct!(ThroughputPoint {
+    jobs,
+    docs_per_minute,
+    seconds,
+    stages,
+    utilization
+});
+briq_json::json_struct!(ThroughputBench {
+    seed,
+    pages,
+    documents,
+    mentions,
+    baseline,
+    parallel,
+    speedup,
+});
 
 #[cfg(test)]
 mod tests {
@@ -154,6 +257,11 @@ mod tests {
         assert_eq!(r.pages, 4);
         assert!(r.documents >= 8, "segmented {} documents", r.documents);
         assert!(r.docs_per_minute() > 0.0);
+        assert!(
+            r.stages.total_s() > 0.0,
+            "stage timings missing: {:?}",
+            r.stages
+        );
     }
 
     #[test]
@@ -165,11 +273,59 @@ mod tests {
         let parallel = measure(&briq, ThroughputSystem::Briq, &pages, 4);
         assert_eq!(serial.documents, parallel.documents);
         assert_eq!(serial.mentions, parallel.mentions);
+        assert!(parallel.utilization > 0.0);
+    }
+
+    #[test]
+    fn segmented_documents_have_unique_ids() {
+        let docs = docs();
+        let pages = build_pages(&docs[..9], 3);
+        let segmented = segment_pages(&pages);
+        let mut ids: Vec<usize> = segmented.iter().map(|d| d.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(
+            ids.len(),
+            segmented.len(),
+            "duplicate document ids across pages"
+        );
+    }
+
+    #[test]
+    fn rwr_only_still_measures() {
+        let docs = docs();
+        let pages = build_pages(&docs[..4], 2);
+        let briq = Briq::untrained(BriqConfig::default());
+        let r = measure(&briq, ThroughputSystem::RwrOnly, &pages, 2);
+        assert!(r.documents > 0);
+        assert!(r.mentions > 0);
+        assert_eq!(r.stages, StageTimings::default());
+    }
+
+    #[test]
+    fn bench_report_round_trips_as_json() {
+        let docs = docs();
+        let pages = build_pages(&docs[..6], 3);
+        let briq = Briq::untrained(BriqConfig::default());
+        let base = measure(&briq, ThroughputSystem::Briq, &pages, 1);
+        let par = measure(&briq, ThroughputSystem::Briq, &pages, 2);
+        let bench = ThroughputBench::from_runs(31, (1, base), (2, par));
+        assert!(bench.speedup > 0.0);
+        let s = briq_json::to_string_pretty(&bench);
+        let back: ThroughputBench = briq_json::from_str(&s).expect("round-trips");
+        assert_eq!(bench, back);
     }
 
     #[test]
     fn zero_seconds_guard() {
-        let r = ThroughputResult { pages: 0, documents: 0, mentions: 0, seconds: 0.0 };
+        let r = ThroughputResult {
+            pages: 0,
+            documents: 0,
+            mentions: 0,
+            seconds: 0.0,
+            stages: StageTimings::default(),
+            utilization: 0.0,
+        };
         assert_eq!(r.docs_per_minute(), 0.0);
     }
 }

@@ -72,7 +72,10 @@ pub fn rwr_only_scored(briq: &Briq, sd: &ScoredDocument) -> Vec<Alignment> {
                     // transform keeps plausible matches from being washed
                     // out (the "normalized to graph-traversal
                     // probabilities" step of §VII-D).
-                    Candidate { target: ti, score: heuristic_prior(&f).powi(4) }
+                    Candidate {
+                        target: ti,
+                        score: heuristic_prior(&f).powi(4),
+                    }
                 })
                 .collect()
         })
@@ -124,7 +127,9 @@ pub fn qkb_only(briq: &Briq, doc: &Document) -> Vec<Alignment> {
     let sd = briq.score_document(doc);
     let mut out = Vec::new();
     for x in &sd.mentions {
-        let Some(cx) = canonicalize(&x.quantity) else { continue };
+        let Some(cx) = canonicalize(&x.quantity) else {
+            continue;
+        };
         // Exact-match candidates among explicit single cells.
         let matches: Vec<usize> = sd
             .targets
@@ -180,7 +185,10 @@ mod tests {
         let briq = Briq::untrained(BriqConfig::default());
         let out = rf_only(&briq, &doc());
         assert_eq!(out.len(), 2);
-        let a38 = out.iter().find(|a| a.mention_raw.starts_with("38")).unwrap();
+        let a38 = out
+            .iter()
+            .find(|a| a.mention_raw.starts_with("38"))
+            .unwrap();
         assert_eq!(a38.target.cells, vec![(2, 1)]);
     }
 
@@ -189,7 +197,10 @@ mod tests {
         let briq = Briq::untrained(BriqConfig::default());
         let out = rwr_only(&briq, &doc());
         let a35 = out.iter().find(|a| a.mention_raw.starts_with("35"));
-        assert!(a35.is_some_and(|a| a.target.cells == vec![(1, 1)]), "{out:?}");
+        assert!(
+            a35.is_some_and(|a| a.target.cells == vec![(1, 1)]),
+            "{out:?}"
+        );
     }
 
     #[test]

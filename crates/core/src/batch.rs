@@ -1,0 +1,568 @@
+//! Parallel batch-alignment engine: the production-path replacement for
+//! the bench-only thread shim, standing in for the paper's 10-executor
+//! Spark deployment (§VI, Table VIII) on a single machine.
+//!
+//! [`align_batch`] runs [`Briq::align_checked_with`] over a batch of
+//! documents on a chunked, work-stealing pool of scoped threads
+//! (std-only, no external runtime). The contract:
+//!
+//! * **Shared read-only system** — one [`Briq`] (classifier forests,
+//!   tagger, lexicons, unit tables) is borrowed immutably by every
+//!   worker; a compile-time assertion below keeps `Briq: Send + Sync`.
+//! * **Per-document budget and fault isolation** — each document runs
+//!   under its own [`Budget`] accounting, and a worker panic (should one
+//!   ever escape the panic-free pipeline) is caught per document: the
+//!   poisoned document degrades to an empty result with a
+//!   [`Stage::Batch`] diagnostic, the rest of the batch completes.
+//! * **Deterministic output** — results are reported in input order and
+//!   are bit-identical for every worker count, because documents never
+//!   share mutable state and the merge is index-addressed.
+//! * **Observability** — the [`BatchReport`] carries per-stage wall-clock
+//!   totals (extract / classify / filter / resolve), per-worker
+//!   utilization, and per-document [`Diagnostics`].
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use briq_table::Document;
+
+use crate::error::{BriqError, Budget, DegradedAction, Diagnostics, Stage};
+use crate::mention::Alignment;
+use crate::pipeline::Briq;
+
+/// `Briq` is shared by reference across the worker pool; if a future
+/// field (e.g. an interior-mutable cache) breaks that, this fails to
+/// compile instead of failing at the first parallel run.
+const fn assert_share_safe<T: Send + Sync>() {}
+const _: () = {
+    assert_share_safe::<Briq>();
+    assert_share_safe::<Budget>();
+    assert_share_safe::<Document>();
+};
+
+/// Wall-clock seconds spent in each pipeline stage (Fig. 2) while
+/// aligning one document (or, summed, a whole batch).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTimings {
+    /// Mention extraction, context building, and virtual-cell generation.
+    pub extract_s: f64,
+    /// Classifier scoring and aggregation tagging of every pair.
+    pub classify_s: f64,
+    /// Adaptive filtering (§V).
+    pub filter_s: f64,
+    /// Graph construction and entropy-ordered random-walk resolution (§VI).
+    pub resolve_s: f64,
+}
+
+impl StageTimings {
+    /// Total seconds across all four stages.
+    pub fn total_s(&self) -> f64 {
+        self.extract_s + self.classify_s + self.filter_s + self.resolve_s
+    }
+
+    /// Accumulate another measurement into this one.
+    pub fn merge(&mut self, other: &StageTimings) {
+        self.extract_s += other.extract_s;
+        self.classify_s += other.classify_s;
+        self.filter_s += other.filter_s;
+        self.resolve_s += other.resolve_s;
+    }
+}
+
+/// Configuration of one batch run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Worker threads; `0` means one per available core.
+    pub jobs: usize,
+    /// Documents claimed per steal. Larger chunks amortize the atomic
+    /// cursor, smaller chunks balance skewed documents better.
+    pub chunk: usize,
+    /// Budget applied to every document independently.
+    pub budget: Budget,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            jobs: 0,
+            chunk: 4,
+            budget: Budget::default(),
+        }
+    }
+}
+
+impl BatchConfig {
+    /// A config with an explicit worker count and default budget.
+    pub fn with_jobs(jobs: usize) -> BatchConfig {
+        BatchConfig {
+            jobs,
+            ..Default::default()
+        }
+    }
+
+    /// The worker count actually used for `n_docs` documents: explicit
+    /// `jobs`, else the core count; never more workers than documents,
+    /// never fewer than one.
+    pub fn effective_jobs(&self, n_docs: usize) -> usize {
+        let requested = if self.jobs == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.jobs
+        };
+        requested.min(n_docs.max(1)).max(1)
+    }
+}
+
+/// The outcome of aligning one document of the batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DocReport {
+    /// Position of the document in the input batch.
+    pub index: usize,
+    /// Alignments, bit-identical to a sequential `align_checked_with`
+    /// run under the same budget.
+    pub alignments: Vec<Alignment>,
+    /// Everything that degraded while aligning this document.
+    pub diagnostics: Diagnostics,
+    /// Per-stage wall-clock for this document.
+    pub timings: StageTimings,
+}
+
+/// Load and busy-time of one pool worker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkerStats {
+    /// Worker index in `0..jobs`.
+    pub worker: usize,
+    /// Documents this worker processed.
+    pub documents: usize,
+    /// Seconds spent aligning (excludes steal/idle time).
+    pub busy_s: f64,
+}
+
+impl WorkerStats {
+    /// Fraction of the batch wall-clock this worker spent aligning.
+    pub fn utilization(&self, wall_s: f64) -> f64 {
+        if wall_s <= 0.0 {
+            return 0.0;
+        }
+        (self.busy_s / wall_s).clamp(0.0, 1.0)
+    }
+}
+
+/// Everything [`align_batch`] observed: per-document results in input
+/// order plus pool-level accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReport {
+    /// Workers actually used.
+    pub jobs: usize,
+    /// Wall-clock seconds for the whole batch.
+    pub wall_s: f64,
+    /// One report per input document, in input order.
+    pub documents: Vec<DocReport>,
+    /// Stage timings summed over all documents (CPU-seconds, so with
+    /// `jobs > 1` this exceeds `wall_s`).
+    pub stage_totals: StageTimings,
+    /// Per-worker load, indexed by worker.
+    pub workers: Vec<WorkerStats>,
+}
+
+impl BatchReport {
+    /// Total alignments across the batch.
+    pub fn alignment_count(&self) -> usize {
+        self.documents.iter().map(|d| d.alignments.len()).sum()
+    }
+
+    /// Documents that degraded somewhere.
+    pub fn degraded_documents(&self) -> usize {
+        self.documents
+            .iter()
+            .filter(|d| !d.diagnostics.is_clean())
+            .count()
+    }
+
+    /// Did every document go through without degradation?
+    pub fn is_clean(&self) -> bool {
+        self.documents.iter().all(|d| d.diagnostics.is_clean())
+    }
+
+    /// Documents per minute of wall-clock — the unit of Table VIII.
+    pub fn docs_per_minute(&self) -> f64 {
+        if self.wall_s <= 0.0 {
+            return 0.0;
+        }
+        self.documents.len() as f64 * 60.0 / self.wall_s
+    }
+
+    /// Mean worker utilization over the batch wall-clock.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.workers.is_empty() {
+            return 0.0;
+        }
+        self.workers
+            .iter()
+            .map(|w| w.utilization(self.wall_s))
+            .sum::<f64>()
+            / self.workers.len() as f64
+    }
+
+    /// All diagnostics in input order, each scope prefixed with
+    /// `doc <index>:` so the batch-level JSONL stream stays attributable.
+    /// Contains no timings, so it is byte-identical across worker counts.
+    pub fn combined_diagnostics(&self) -> Diagnostics {
+        let mut out = Diagnostics::default();
+        for d in &self.documents {
+            for item in &d.diagnostics.items {
+                let mut item = item.clone();
+                item.scope = format!("doc {}: {}", d.index, item.scope);
+                out.items.push(item);
+            }
+        }
+        out
+    }
+}
+
+/// Align every document of `docs` with a shared `briq`, using
+/// `cfg.effective_jobs(docs.len())` worker threads. See the module docs
+/// for the determinism and isolation contract.
+pub fn align_batch(briq: &Briq, docs: &[Document], cfg: &BatchConfig) -> BatchReport {
+    let start = Instant::now();
+    let jobs = cfg.effective_jobs(docs.len());
+    if docs.is_empty() {
+        return BatchReport {
+            jobs,
+            wall_s: start.elapsed().as_secs_f64(),
+            documents: Vec::new(),
+            stage_totals: StageTimings::default(),
+            workers: Vec::new(),
+        };
+    }
+    let chunk = cfg.chunk.max(1);
+
+    let worker_outputs: Vec<(WorkerStats, Vec<DocReport>)> = if jobs <= 1 {
+        vec![run_worker(
+            0,
+            briq,
+            docs,
+            &AtomicUsize::new(0),
+            chunk,
+            &cfg.budget,
+        )]
+    } else {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..jobs)
+                .map(|w| {
+                    let next = &next;
+                    scope.spawn(move || run_worker(w, briq, docs, next, chunk, &cfg.budget))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(w, h)| {
+                    h.join().unwrap_or_else(|_| {
+                        // The worker body is panic-isolated per document;
+                        // reaching this means the pool loop itself died.
+                        // Surviving workers' results are still merged and
+                        // unclaimed documents are reported as panicked.
+                        (
+                            WorkerStats {
+                                worker: w,
+                                documents: 0,
+                                busy_s: 0.0,
+                            },
+                            Vec::new(),
+                        )
+                    })
+                })
+                .collect()
+        })
+    };
+
+    let mut slots: Vec<Option<DocReport>> = docs.iter().map(|_| None).collect();
+    let mut workers = Vec::with_capacity(worker_outputs.len());
+    for (stats, reports) in worker_outputs {
+        workers.push(stats);
+        for r in reports {
+            let i = r.index;
+            slots[i] = Some(r);
+        }
+    }
+    let documents: Vec<DocReport> = slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| slot.unwrap_or_else(|| panicked_report(i)))
+        .collect();
+
+    let mut stage_totals = StageTimings::default();
+    for d in &documents {
+        stage_totals.merge(&d.timings);
+    }
+    BatchReport {
+        jobs,
+        wall_s: start.elapsed().as_secs_f64(),
+        documents,
+        stage_totals,
+        workers,
+    }
+}
+
+fn run_worker(
+    worker: usize,
+    briq: &Briq,
+    docs: &[Document],
+    next: &AtomicUsize,
+    chunk: usize,
+    budget: &Budget,
+) -> (WorkerStats, Vec<DocReport>) {
+    let mut out = Vec::new();
+    let mut busy_s = 0.0f64;
+    loop {
+        let lo = next.fetch_add(chunk, Ordering::Relaxed);
+        if lo >= docs.len() {
+            break;
+        }
+        let hi = (lo + chunk).min(docs.len());
+        for (i, doc) in docs[lo..hi].iter().enumerate() {
+            let t0 = Instant::now();
+            out.push(align_one(briq, lo + i, doc, budget));
+            busy_s += t0.elapsed().as_secs_f64();
+        }
+    }
+    (
+        WorkerStats {
+            worker,
+            documents: out.len(),
+            busy_s,
+        },
+        out,
+    )
+}
+
+fn align_one(briq: &Briq, index: usize, doc: &Document, budget: &Budget) -> DocReport {
+    match catch_unwind(AssertUnwindSafe(|| briq.align_timed(doc, budget))) {
+        Ok((alignments, diagnostics, timings)) => DocReport {
+            index,
+            alignments,
+            diagnostics,
+            timings,
+        },
+        Err(_) => panicked_report(index),
+    }
+}
+
+/// The degraded stand-in for a document whose worker panicked: empty
+/// alignments plus one `Stage::Batch` diagnostic.
+fn panicked_report(index: usize) -> DocReport {
+    let mut diagnostics = Diagnostics::default();
+    diagnostics.record(
+        Stage::Batch,
+        format!("document {index}"),
+        &BriqError::WorkerPanicked { doc: index },
+        DegradedAction::Skipped,
+    );
+    DocReport {
+        index,
+        alignments: Vec::new(),
+        diagnostics,
+        timings: StageTimings::default(),
+    }
+}
+
+briq_json::json_struct!(StageTimings {
+    extract_s,
+    classify_s,
+    filter_s,
+    resolve_s
+});
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::BriqConfig;
+    use briq_table::Table;
+
+    fn doc(id: usize) -> Document {
+        Document::new(
+            id,
+            "A total of 123 patients reported side effects; depression was \
+             reported by 38 patients and eye disorders by 5 patients.",
+            vec![Table::from_grid(
+                "",
+                vec![
+                    vec![
+                        "effect".into(),
+                        "male".into(),
+                        "female".into(),
+                        "total".into(),
+                    ],
+                    vec!["Rash".into(), "15".into(), "20".into(), "35".into()],
+                    vec!["Depression".into(), "13".into(), "25".into(), "38".into()],
+                    vec!["Eye Disorders".into(), "2".into(), "3".into(), "5".into()],
+                ],
+            )],
+        )
+    }
+
+    /// A document whose virtual-cell fan-out exhausts a tight budget.
+    fn hostile_doc(id: usize) -> Document {
+        let mut grid = vec![(0..10).map(|c| format!("col {c}")).collect::<Vec<String>>()];
+        for r in 0..10 {
+            grid.push((0..10).map(|c| format!("{}", r * 10 + c)).collect());
+        }
+        Document::new(
+            id,
+            "values 7 and 23 and 55 appear in the table",
+            vec![Table::from_grid("", grid)],
+        )
+    }
+
+    #[test]
+    fn empty_batch_is_a_clean_noop() {
+        let briq = Briq::untrained(BriqConfig::default());
+        let r = align_batch(&briq, &[], &BatchConfig::with_jobs(4));
+        assert!(r.documents.is_empty());
+        assert!(r.workers.is_empty());
+        assert!(r.is_clean());
+        assert_eq!(r.alignment_count(), 0);
+        assert_eq!(r.docs_per_minute(), 0.0);
+    }
+
+    #[test]
+    fn batch_smaller_than_worker_count() {
+        let briq = Briq::untrained(BriqConfig::default());
+        let docs = vec![doc(0), doc(1)];
+        let r = align_batch(&briq, &docs, &BatchConfig::with_jobs(8));
+        // Never more workers than documents.
+        assert_eq!(r.jobs, 2);
+        assert_eq!(r.documents.len(), 2);
+        assert_eq!(r.workers.iter().map(|w| w.documents).sum::<usize>(), 2);
+        for d in &r.documents {
+            assert!(!d.alignments.is_empty());
+        }
+    }
+
+    #[test]
+    fn output_order_is_input_order_and_jobs_invariant() {
+        let briq = Briq::untrained(BriqConfig::default());
+        let docs: Vec<Document> = (0..13).map(doc).collect();
+        let serial = align_batch(&briq, &docs, &BatchConfig::with_jobs(1));
+        let parallel = align_batch(&briq, &docs, &BatchConfig::with_jobs(8));
+        for (i, d) in serial.documents.iter().enumerate() {
+            assert_eq!(d.index, i);
+        }
+        for (s, p) in serial.documents.iter().zip(&parallel.documents) {
+            assert_eq!(s.index, p.index);
+            assert_eq!(s.alignments, p.alignments);
+            assert_eq!(s.diagnostics, p.diagnostics);
+        }
+        assert_eq!(
+            serial.combined_diagnostics().to_jsonl(),
+            parallel.combined_diagnostics().to_jsonl()
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_is_isolated_per_document() {
+        let briq = Briq::untrained(BriqConfig::default());
+        let docs = vec![doc(0), hostile_doc(1), doc(2)];
+        let budget = Budget {
+            max_regex_steps: 1_000_000,
+            max_virtual_cells_per_table: 5,
+            max_graph_edges: 500_000,
+            max_rwr_iterations: 200,
+        };
+        let cfg = BatchConfig {
+            jobs: 3,
+            chunk: 1,
+            budget,
+        };
+        let r = align_batch(&briq, &docs, &cfg);
+        assert!(
+            !r.documents[1].diagnostics.is_clean(),
+            "{:?}",
+            r.documents[1].diagnostics
+        );
+        // The healthy neighbours are untouched: same result as aligning
+        // them alone under the same budget.
+        for i in [0usize, 2] {
+            let (solo, solo_diags) = briq.align_checked_with(&docs[i], &budget);
+            assert_eq!(r.documents[i].alignments, solo);
+            assert_eq!(r.documents[i].diagnostics, solo_diags);
+        }
+    }
+
+    #[test]
+    fn batch_matches_sequential_align_checked() {
+        let briq = Briq::untrained(BriqConfig::default());
+        let docs: Vec<Document> = (0..6).map(doc).collect();
+        let cfg = BatchConfig {
+            jobs: 4,
+            chunk: 2,
+            budget: Budget::default(),
+        };
+        let r = align_batch(&briq, &docs, &cfg);
+        for (i, d) in r.documents.iter().enumerate() {
+            let (solo, _) = briq.align_checked(&docs[i]);
+            assert_eq!(d.alignments, solo);
+        }
+    }
+
+    #[test]
+    fn report_accounting_is_consistent() {
+        let briq = Briq::untrained(BriqConfig::default());
+        let docs: Vec<Document> = (0..5).map(doc).collect();
+        let r = align_batch(&briq, &docs, &BatchConfig::with_jobs(2));
+        assert_eq!(r.jobs, 2);
+        assert_eq!(r.workers.len(), 2);
+        assert_eq!(
+            r.workers.iter().map(|w| w.documents).sum::<usize>(),
+            docs.len()
+        );
+        assert!(r.wall_s > 0.0);
+        assert!(r.stage_totals.total_s() > 0.0);
+        for d in &r.documents {
+            assert!(d.timings.total_s() >= 0.0);
+        }
+        for w in &r.workers {
+            let u = w.utilization(r.wall_s);
+            assert!((0.0..=1.0).contains(&u), "utilization {u}");
+        }
+        assert!(r.mean_utilization() > 0.0);
+        assert!(r.docs_per_minute() > 0.0);
+    }
+
+    #[test]
+    fn stage_timings_merge_and_serialize() {
+        let mut a = StageTimings {
+            extract_s: 1.0,
+            classify_s: 2.0,
+            filter_s: 3.0,
+            resolve_s: 4.0,
+        };
+        let b = StageTimings {
+            extract_s: 0.5,
+            classify_s: 0.5,
+            filter_s: 0.5,
+            resolve_s: 0.5,
+        };
+        a.merge(&b);
+        assert_eq!(a.total_s(), 12.0);
+        let s = briq_json::to_string(&a);
+        let back: StageTimings = briq_json::from_str(&s).expect("round-trips");
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn panicked_report_shape() {
+        let r = panicked_report(7);
+        assert_eq!(r.index, 7);
+        assert!(r.alignments.is_empty());
+        assert_eq!(r.diagnostics.items.len(), 1);
+        assert_eq!(r.diagnostics.items[0].stage, Stage::Batch);
+        assert_eq!(r.diagnostics.items[0].action, DegradedAction::Skipped);
+        assert!(r.diagnostics.items[0].error.contains("document 7"));
+    }
+}

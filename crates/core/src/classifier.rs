@@ -21,7 +21,10 @@ impl PairClassifier {
         for row in &mut masked.features {
             mask.apply(row);
         }
-        PairClassifier { forest: RandomForest::fit(&masked, rf), mask }
+        PairClassifier {
+            forest: RandomForest::fit(&masked, rf),
+            mask,
+        }
     }
 
     /// Confidence that the pair is related, in `[0, 1]`.
@@ -56,8 +59,16 @@ mod tests {
         for _ in 0..n {
             let related = rng.random_bool(0.3);
             let mut row = vec![0.0; FEATURE_COUNT];
-            row[0] = if related { rng.random_range(0.7..1.0) } else { rng.random_range(0.0..0.8) };
-            row[5] = if related { rng.random_range(0.0..0.1) } else { rng.random_range(0.05..1.0) };
+            row[0] = if related {
+                rng.random_range(0.7..1.0)
+            } else {
+                rng.random_range(0.0..0.8)
+            };
+            row[5] = if related {
+                rng.random_range(0.0..0.1)
+            } else {
+                rng.random_range(0.05..1.0)
+            };
             row[1] = rng.random_range(0.0..1.0);
             d.push(row, related);
         }
@@ -82,7 +93,11 @@ mod tests {
     #[test]
     fn mask_disables_features_at_scoring_time() {
         let train = synth(500, 2);
-        let mask = FeatureMask { surface: false, context: true, quantity: false };
+        let mask = FeatureMask {
+            surface: false,
+            context: true,
+            quantity: false,
+        };
         let clf = PairClassifier::train(&train, RandomForestConfig::default(), mask);
         // With surface and quantity masked, the two probe rows that only
         // differ in f1/f6 must score identically.

@@ -71,17 +71,38 @@ pub struct TableContext {
 
 impl TableContext {
     fn build(table: &briq_table::Table) -> TableContext {
-        let row_words: Vec<_> = (0..table.n_rows).map(|r| stem_set(&table.row_text(r))).collect();
-        let col_words: Vec<_> = (0..table.n_cols).map(|c| stem_set(&table.col_text(c))).collect();
+        let row_words: Vec<_> = (0..table.n_rows)
+            .map(|r| stem_set(&table.row_text(r)))
+            .collect();
+        let col_words: Vec<_> = (0..table.n_cols)
+            .map(|c| stem_set(&table.col_text(c)))
+            .collect();
         let table_words = stem_set(&table.full_text());
         let row_phrases: Vec<_> = (0..table.n_rows)
-            .map(|r| noun_phrase_strings(&table.row_text(r)).into_iter().collect())
+            .map(|r| {
+                noun_phrase_strings(&table.row_text(r))
+                    .into_iter()
+                    .collect()
+            })
             .collect();
         let col_phrases: Vec<_> = (0..table.n_cols)
-            .map(|c| noun_phrase_strings(&table.col_text(c)).into_iter().collect())
+            .map(|c| {
+                noun_phrase_strings(&table.col_text(c))
+                    .into_iter()
+                    .collect()
+            })
             .collect();
-        let table_phrases = noun_phrase_strings(&table.full_text()).into_iter().collect();
-        TableContext { row_words, col_words, table_words, row_phrases, col_phrases, table_phrases }
+        let table_phrases = noun_phrase_strings(&table.full_text())
+            .into_iter()
+            .collect();
+        TableContext {
+            row_words,
+            col_words,
+            table_words,
+            row_phrases,
+            col_phrases,
+            table_phrases,
+        }
     }
 
     /// Local context of a table mention: union of the rows and columns of
@@ -166,9 +187,7 @@ impl DocContext {
 
         let mention_ctx = mentions
             .iter()
-            .map(|m| {
-                Self::mention_context(&doc.text, &tokens, &sentences, m, cfg)
-            })
+            .map(|m| Self::mention_context(&doc.text, &tokens, &sentences, m, cfg))
             .collect();
 
         DocContext {
@@ -284,8 +303,11 @@ pub fn weighted_overlap(weights: &BTreeMap<String, f64>, table_words: &BTreeSet<
     if weights.is_empty() || table_words.is_empty() {
         return 0.0;
     }
-    let inter: f64 =
-        weights.iter().filter(|(w, _)| table_words.contains(*w)).map(|(_, &v)| v).sum();
+    let inter: f64 = weights
+        .iter()
+        .filter(|(w, _)| table_words.contains(*w))
+        .map(|(_, &v)| v)
+        .sum();
     let text_mass: f64 = weights.values().sum();
     let denom = text_mass.min(table_words.len() as f64);
     if denom <= 0.0 {
@@ -342,7 +364,10 @@ mod tests {
     #[test]
     fn sum_cue_inferred_for_total() {
         let (_, _, c) = ctx();
-        assert_eq!(c.mentions[0].inferred_aggregation, Some(AggregationKind::Sum));
+        assert_eq!(
+            c.mentions[0].inferred_aggregation,
+            Some(AggregationKind::Sum)
+        );
         assert_eq!(c.mentions[1].inferred_aggregation, None);
     }
 
@@ -361,14 +386,18 @@ mod tests {
     fn immediate_window_contains_cues() {
         let (_, _, c) = ctx();
         assert!(c.mentions[0].immediate_words.contains(&"total".to_string()));
-        assert!(c.mentions[1].immediate_words.contains(&"depression".to_string()));
+        assert!(c.mentions[1]
+            .immediate_words
+            .contains(&"depression".to_string()));
     }
 
     #[test]
     fn sentence_scoping() {
         let (_, _, c) = ctx();
         // Mention 2's sentence has "depression" but not "total".
-        assert!(c.mentions[1].sentence_words.contains(&"depression".to_string()));
+        assert!(c.mentions[1]
+            .sentence_words
+            .contains(&"depression".to_string()));
         assert!(!c.mentions[1].sentence_words.contains(&"total".to_string()));
     }
 
@@ -399,8 +428,8 @@ mod tests {
         assert!(words.contains("depression")); // row
         assert!(words.contains("patient")); // column header
         assert!(!words.contains("rash")); // different row, different col? no:
-        // "rash" is in column 0... cell (2,1)'s column is 1, so rash (row 1,
-        // col 0) is absent.
+                                          // "rash" is in column 0... cell (2,1)'s column is 1, so rash (row 1,
+                                          // col 0) is absent.
     }
 
     #[test]

@@ -44,6 +44,12 @@ pub enum BriqError {
         /// Residual at the final iteration.
         residual: f64,
     },
+    /// A batch worker panicked while aligning one document; the document
+    /// was dropped and the rest of the batch completed normally.
+    WorkerPanicked {
+        /// Batch index of the poisoned document.
+        doc: usize,
+    },
 }
 
 impl fmt::Display for BriqError {
@@ -54,13 +60,26 @@ impl fmt::Display for BriqError {
             BriqError::Table(e) => write!(f, "table: {e}"),
             BriqError::Graph(e) => write!(f, "graph: {e}"),
             BriqError::EdgeBudgetExceeded { max_edges } => {
-                write!(f, "graph edge budget of {max_edges} exceeded, extra edges dropped")
+                write!(
+                    f,
+                    "graph edge budget of {max_edges} exceeded, extra edges dropped"
+                )
             }
-            BriqError::RwrNotConverged { mention, iterations, residual } => write!(
+            BriqError::RwrNotConverged {
+                mention,
+                iterations,
+                residual,
+            } => write!(
                 f,
                 "random walk for mention {mention} stopped after {iterations} \
                  iterations with residual {residual:.3e}"
             ),
+            BriqError::WorkerPanicked { doc } => {
+                write!(
+                    f,
+                    "batch worker panicked on document {doc}; document skipped"
+                )
+            }
         }
     }
 }
@@ -150,6 +169,8 @@ pub enum Stage {
     GraphConstruction,
     /// Entropy-ordered random-walk resolution.
     Resolution,
+    /// Batch-level scheduling and worker fault isolation.
+    Batch,
 }
 
 /// What the pipeline did instead of failing.
@@ -192,8 +213,19 @@ impl Diagnostics {
     }
 
     /// Record a degradation.
-    pub fn record(&mut self, stage: Stage, scope: String, error: &BriqError, action: DegradedAction) {
-        self.items.push(Diagnostic { stage, scope, error: error.to_string(), action });
+    pub fn record(
+        &mut self,
+        stage: Stage,
+        scope: String,
+        error: &BriqError,
+        action: DegradedAction,
+    ) {
+        self.items.push(Diagnostic {
+            stage,
+            scope,
+            error: error.to_string(),
+            action,
+        });
     }
 
     /// Serialize as JSON Lines: one compact object per diagnostic.
@@ -207,9 +239,24 @@ impl Diagnostics {
     }
 }
 
-briq_json::json_unit_enum!(Stage { Extraction, VirtualCells, GraphConstruction, Resolution });
-briq_json::json_unit_enum!(DegradedAction { Skipped, Truncated, Fallback });
-briq_json::json_struct!(Diagnostic { stage, scope, error, action });
+briq_json::json_unit_enum!(Stage {
+    Extraction,
+    VirtualCells,
+    GraphConstruction,
+    Resolution,
+    Batch
+});
+briq_json::json_unit_enum!(DegradedAction {
+    Skipped,
+    Truncated,
+    Fallback
+});
+briq_json::json_struct!(Diagnostic {
+    stage,
+    scope,
+    error,
+    action
+});
 briq_json::json_struct!(Diagnostics { items });
 briq_json::json_struct!(Budget {
     max_regex_steps,
@@ -245,11 +292,19 @@ mod tests {
                 BriqError::EdgeBudgetExceeded { max_edges: 10 },
                 "graph edge budget of 10 exceeded, extra edges dropped",
             ),
+            (
+                BriqError::WorkerPanicked { doc: 12 },
+                "batch worker panicked on document 12; document skipped",
+            ),
         ];
         for (e, want) in cases {
             assert_eq!(e.to_string(), want);
         }
-        let rwr = BriqError::RwrNotConverged { mention: 4, iterations: 200, residual: 0.5 };
+        let rwr = BriqError::RwrNotConverged {
+            mention: 4,
+            iterations: 200,
+            residual: 0.5,
+        };
         let s = rwr.to_string();
         assert!(s.contains("mention 4") && s.contains("200"), "{s}");
     }
@@ -260,8 +315,11 @@ mod tests {
         assert!(matches!(e, BriqError::Text(_)));
         let e: BriqError = briq_graph::GraphError::EdgeBudgetExceeded { max_edges: 1 }.into();
         assert!(matches!(e, BriqError::Graph(_)));
-        let e: BriqError =
-            briq_table::TableError::VirtualCellBudgetExceeded { table: 0, max_cells: 5 }.into();
+        let e: BriqError = briq_table::TableError::VirtualCellBudgetExceeded {
+            table: 0,
+            max_cells: 5,
+        }
+        .into();
         assert!(matches!(e, BriqError::Table(_)));
         let e: BriqError = briq_regex::Error::ProgramTooLarge { insts: 9, max: 5 }.into();
         assert!(matches!(e, BriqError::Regex(_)));
@@ -294,7 +352,11 @@ mod tests {
         diags.record(
             Stage::Resolution,
             "mention 3".into(),
-            &BriqError::RwrNotConverged { mention: 3, iterations: 50, residual: 1e-2 },
+            &BriqError::RwrNotConverged {
+                mention: 3,
+                iterations: 50,
+                residual: 1e-2,
+            },
             DegradedAction::Fallback,
         );
         assert!(!diags.is_clean());

@@ -42,7 +42,11 @@ impl EvalReport {
     pub fn add_document(&mut self, predictions: &[Alignment], gold: &[GoldAlignment]) {
         let mut gold_used = vec![false; gold.len()];
         let mut preds: Vec<&Alignment> = predictions.iter().collect();
-        preds.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        preds.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
 
         for p in preds {
             let hit = gold
@@ -72,11 +76,13 @@ impl EvalReport {
 
     /// Counts summed over all types.
     pub fn overall_counts(&self) -> Counts {
-        self.by_type.values().fold(Counts::default(), |acc, c| Counts {
-            tp: acc.tp + c.tp,
-            fp: acc.fp + c.fp,
-            fn_: acc.fn_ + c.fn_,
-        })
+        self.by_type
+            .values()
+            .fold(Counts::default(), |acc, c| Counts {
+                tp: acc.tp + c.tp,
+                fp: acc.fp + c.fp,
+                fn_: acc.fn_ + c.fn_,
+            })
     }
 
     /// Overall precision/recall/F1.
@@ -123,8 +129,7 @@ impl FilterRecall {
             e.1 += 1;
             // Find the text mention covering the gold span.
             let found = mentions.iter().enumerate().any(|(i, x)| {
-                let overlap =
-                    x.quantity.start < g.mention_end && g.mention_start < x.quantity.end;
+                let overlap = x.quantity.start < g.mention_end && g.mention_start < x.quantity.end;
                 overlap
                     && candidates[i]
                         .iter()
@@ -188,7 +193,12 @@ mod tests {
         }
     }
 
-    fn pred(start: usize, kind: TableMentionKind, cells: Vec<(usize, usize)>, score: f64) -> Alignment {
+    fn pred(
+        start: usize,
+        kind: TableMentionKind,
+        cells: Vec<(usize, usize)>,
+        score: f64,
+    ) -> Alignment {
         Alignment {
             mention_start: start,
             mention_end: start + 2,
@@ -199,7 +209,13 @@ mod tests {
     }
 
     fn gold(start: usize, kind: TableMentionKind, cells: Vec<(usize, usize)>) -> GoldAlignment {
-        GoldAlignment { mention_start: start, mention_end: start + 2, table: 0, kind, cells }
+        GoldAlignment {
+            mention_start: start,
+            mention_end: start + 2,
+            table: 0,
+            kind,
+            cells,
+        }
     }
 
     #[test]
@@ -207,17 +223,30 @@ mod tests {
         let mut r = EvalReport::default();
         let sc = TableMentionKind::SingleCell;
         r.add_document(
-            &[pred(0, sc, vec![(1, 1)], 0.9), pred(10, sc, vec![(2, 2)], 0.8)],
+            &[
+                pred(0, sc, vec![(1, 1)], 0.9),
+                pred(10, sc, vec![(2, 2)], 0.8),
+            ],
             &[gold(0, sc, vec![(1, 1)]), gold(10, sc, vec![(2, 2)])],
         );
-        assert_eq!(r.overall(), Prf { precision: 1.0, recall: 1.0, f1: 1.0 });
+        assert_eq!(
+            r.overall(),
+            Prf {
+                precision: 1.0,
+                recall: 1.0,
+                f1: 1.0
+            }
+        );
     }
 
     #[test]
     fn wrong_cell_counts_fp_and_fn() {
         let mut r = EvalReport::default();
         let sc = TableMentionKind::SingleCell;
-        r.add_document(&[pred(0, sc, vec![(9, 9)], 0.9)], &[gold(0, sc, vec![(1, 1)])]);
+        r.add_document(
+            &[pred(0, sc, vec![(9, 9)], 0.9)],
+            &[gold(0, sc, vec![(1, 1)])],
+        );
         let c = r.overall_counts();
         assert_eq!((c.tp, c.fp, c.fn_), (0, 1, 1));
         let prf = r.overall();
@@ -230,8 +259,14 @@ mod tests {
         let sc = TableMentionKind::SingleCell;
         let sum = TableMentionKind::Aggregate(briq_text::AggregationKind::Sum);
         r.add_document(
-            &[pred(0, sc, vec![(1, 1)], 0.9), pred(10, sum.clone(), vec![(1, 1), (2, 1)], 0.8)],
-            &[gold(0, sc, vec![(1, 1)]), gold(10, sum, vec![(1, 1), (2, 1)])],
+            &[
+                pred(0, sc, vec![(1, 1)], 0.9),
+                pred(10, sum.clone(), vec![(1, 1), (2, 1)], 0.8),
+            ],
+            &[
+                gold(0, sc, vec![(1, 1)]),
+                gold(10, sum, vec![(1, 1), (2, 1)]),
+            ],
         );
         assert_eq!(r.prf_for("single-cell").f1, 1.0);
         assert_eq!(r.prf_for("sum").f1, 1.0);
@@ -244,7 +279,10 @@ mod tests {
         let sc = TableMentionKind::SingleCell;
         // Two predictions to the same gold: one tp, one fp.
         r.add_document(
-            &[pred(0, sc, vec![(1, 1)], 0.9), pred(0, sc, vec![(1, 1)], 0.5)],
+            &[
+                pred(0, sc, vec![(1, 1)], 0.9),
+                pred(0, sc, vec![(1, 1)], 0.5),
+            ],
             &[gold(0, sc, vec![(1, 1)])],
         );
         let c = r.overall_counts();
@@ -255,7 +293,10 @@ mod tests {
     fn merge_reports() {
         let sc = TableMentionKind::SingleCell;
         let mut a = EvalReport::default();
-        a.add_document(&[pred(0, sc, vec![(1, 1)], 0.9)], &[gold(0, sc, vec![(1, 1)])]);
+        a.add_document(
+            &[pred(0, sc, vec![(1, 1)], 0.9)],
+            &[gold(0, sc, vec![(1, 1)])],
+        );
         let mut b = EvalReport::default();
         b.add_document(&[], &[gold(0, sc, vec![(1, 1)])]);
         a.merge(&b);
@@ -288,14 +329,20 @@ mod tests {
         // survivor includes the gold target
         fr.add_document(
             &mentions,
-            &[vec![Candidate { target: 0, score: 0.5 }]],
+            &[vec![Candidate {
+                target: 0,
+                score: 0.5,
+            }]],
             &targets,
             &[gold(0, sc, vec![(1, 1)])],
         );
         // survivor misses the gold target
         fr.add_document(
             &mentions,
-            &[vec![Candidate { target: 1, score: 0.5 }]],
+            &[vec![Candidate {
+                target: 1,
+                score: 0.5,
+            }]],
             &targets,
             &[gold(0, sc, vec![(1, 1)])],
         );

@@ -161,7 +161,11 @@ pub struct FeatureMask {
 
 impl Default for FeatureMask {
     fn default() -> Self {
-        FeatureMask { surface: true, context: true, quantity: true }
+        FeatureMask {
+            surface: true,
+            context: true,
+            quantity: true,
+        }
     }
 }
 
@@ -313,13 +317,21 @@ mod tests {
     #[test]
     fn mask_zeroes_groups() {
         let mut v: Vec<f64> = (1..=12).map(|i| i as f64).collect();
-        let m = FeatureMask { surface: false, context: true, quantity: true };
+        let m = FeatureMask {
+            surface: false,
+            context: true,
+            quantity: true,
+        };
         m.apply(&mut v);
         assert_eq!(v[0], 0.0);
         assert_eq!(v[1], 2.0);
 
         let mut v: Vec<f64> = (1..=12).map(|i| i as f64).collect();
-        let m = FeatureMask { surface: true, context: false, quantity: true };
+        let m = FeatureMask {
+            surface: true,
+            context: false,
+            quantity: true,
+        };
         m.apply(&mut v);
         assert_eq!(v[0], 1.0);
         for i in [1, 2, 3, 4, 10, 11] {
@@ -330,7 +342,11 @@ mod tests {
         }
 
         let mut v: Vec<f64> = (1..=12).map(|i| i as f64).collect();
-        let m = FeatureMask { surface: true, context: true, quantity: false };
+        let m = FeatureMask {
+            surface: true,
+            context: true,
+            quantity: false,
+        };
         m.apply(&mut v);
         for i in [5, 6, 7, 8, 9] {
             assert_eq!(v[i], 0.0);
@@ -338,4 +354,8 @@ mod tests {
     }
 }
 
-briq_json::json_struct!(FeatureMask { surface, context, quantity });
+briq_json::json_struct!(FeatureMask {
+    surface,
+    context,
+    quantity
+});

@@ -12,9 +12,9 @@
 //!    need fewer candidates than approximate/truncated ones) and from the
 //!    entropy of the score distribution (§V-B).
 
+use briq_ml::entropy::normalized_entropy;
 use briq_table::{TableMention, TableMentionKind};
 use briq_text::cues::{AggregationKind, ApproxIndicator};
-use briq_ml::entropy::normalized_entropy;
 use std::collections::BTreeMap;
 
 use crate::mention::TextMention;
@@ -209,8 +209,9 @@ pub fn filter_mention(
         }
     }
 
-    let by_score =
-        |a: &(usize, f64), b: &(usize, f64)| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal);
+    let by_score = |a: &(usize, f64), b: &(usize, f64)| {
+        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
+    };
 
     // Cap the (quadratic) pair aggregates at a generous bound.
     aggregates.sort_by(by_score);
@@ -243,7 +244,11 @@ pub fn filter_mention(
         .chain(aggregates)
         .map(|(target, score)| Candidate { target, score })
         .collect();
-    out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    out.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     out
 }
 
@@ -294,8 +299,16 @@ mod tests {
         let x = mention(123.0, ApproxIndicator::None, Unit::None);
         let targets = vec![
             target(123.0, TableMentionKind::SingleCell, Unit::None),
-            target(123.0, TableMentionKind::Aggregate(AggregationKind::Sum), Unit::None),
-            target(123.0, TableMentionKind::Aggregate(AggregationKind::Difference), Unit::None),
+            target(
+                123.0,
+                TableMentionKind::Aggregate(AggregationKind::Sum),
+                Unit::None,
+            ),
+            target(
+                123.0,
+                TableMentionKind::Aggregate(AggregationKind::Difference),
+                Unit::None,
+            ),
         ];
         let scored: Vec<(usize, f64)> = (0..3).map(|i| (i, 0.8)).collect();
         let mut stats = FilterStats::default();
@@ -319,12 +332,22 @@ mod tests {
         let x = mention(50.0, ApproxIndicator::None, Unit::None);
         let targets = vec![
             target(50.0, TableMentionKind::SingleCell, Unit::None),
-            target(50.0, TableMentionKind::Aggregate(AggregationKind::Sum), Unit::None),
+            target(
+                50.0,
+                TableMentionKind::Aggregate(AggregationKind::Sum),
+                Unit::None,
+            ),
         ];
         let scored = vec![(0, 0.9), (1, 0.9)];
         let mut stats = FilterStats::default();
-        let kept =
-            filter_mention(&x, &scored, &targets, &[], &FilterConfig::default(), &mut stats);
+        let kept = filter_mention(
+            &x,
+            &scored,
+            &targets,
+            &[],
+            &FilterConfig::default(),
+            &mut stats,
+        );
         assert_eq!(kept.len(), 1);
         assert_eq!(kept[0].target, 0);
     }
@@ -348,8 +371,11 @@ mod tests {
     #[test]
     fn unit_disagreement_always_prunes() {
         let x = mention(100.0, ApproxIndicator::None, Unit::Currency(Currency::Usd));
-        let targets =
-            vec![target(100.0, TableMentionKind::SingleCell, Unit::Currency(Currency::Eur))];
+        let targets = vec![target(
+            100.0,
+            TableMentionKind::SingleCell,
+            Unit::Currency(Currency::Eur),
+        )];
         let mut stats = FilterStats::default();
         let kept = filter_mention(
             &x,
@@ -365,8 +391,15 @@ mod tests {
     #[test]
     fn top_k_limits_candidates() {
         let x = mention(10.0, ApproxIndicator::None, Unit::None);
-        let targets: Vec<TableMention> =
-            (0..20).map(|i| target(10.0 + i as f64 * 0.001, TableMentionKind::SingleCell, Unit::None)).collect();
+        let targets: Vec<TableMention> = (0..20)
+            .map(|i| {
+                target(
+                    10.0 + i as f64 * 0.001,
+                    TableMentionKind::SingleCell,
+                    Unit::None,
+                )
+            })
+            .collect();
         let scored: Vec<(usize, f64)> = (0..20).map(|i| (i, 0.9 - i as f64 * 0.001)).collect();
         let cfg = FilterConfig::default();
         let mut stats = FilterStats::default();
@@ -385,8 +418,9 @@ mod tests {
     fn exact_mention_gets_small_k() {
         let x = mention(10.0, ApproxIndicator::Exact, Unit::None);
         // Highly skewed scores → low entropy → k_small; exact → k_exact.
-        let targets: Vec<TableMention> =
-            (0..10).map(|_| target(10.0, TableMentionKind::SingleCell, Unit::None)).collect();
+        let targets: Vec<TableMention> = (0..10)
+            .map(|_| target(10.0, TableMentionKind::SingleCell, Unit::None))
+            .collect();
         let mut scored: Vec<(usize, f64)> = (0..10).map(|i| (i, 0.02)).collect();
         scored[0].1 = 0.98;
         let cfg = FilterConfig::default();
@@ -413,7 +447,10 @@ mod tests {
             MentionType::Approximate
         );
         let modified = mention(10.0, ApproxIndicator::Approximate, Unit::None);
-        assert_eq!(mention_type(&modified, &[(0, 0.9)], &targets), MentionType::Approximate);
+        assert_eq!(
+            mention_type(&modified, &[(0, 0.9)], &targets),
+            MentionType::Approximate
+        );
     }
 
     #[test]

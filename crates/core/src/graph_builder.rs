@@ -82,8 +82,16 @@ pub fn build_graph(
     candidates: &[Vec<Candidate>],
     cfg: &GraphConfig,
 ) -> AlignmentGraph {
-    build_graph_budgeted(mentions, token_positions, doc_tokens, targets, candidates, cfg, usize::MAX)
-        .0
+    build_graph_budgeted(
+        mentions,
+        token_positions,
+        doc_tokens,
+        targets,
+        candidates,
+        cfg,
+        usize::MAX,
+    )
+    .0
 }
 
 /// Tracks how many more edges construction may add. The text-text family
@@ -120,7 +128,10 @@ pub fn build_graph_budgeted(
     cfg: &GraphConfig,
     max_edges: usize,
 ) -> (AlignmentGraph, bool) {
-    let mut budget = EdgeBudget { left: max_edges, truncated: false };
+    let mut budget = EdgeBudget {
+        left: max_edges,
+        truncated: false,
+    };
     let m = mentions.len();
     let mut graph = Graph::new(m);
     let text_nodes: Vec<usize> = (0..m).collect();
@@ -199,7 +210,14 @@ pub fn build_graph_budgeted(
         }
     }
 
-    (AlignmentGraph { graph, text_nodes, table_nodes }, budget.truncated)
+    (
+        AlignmentGraph {
+            graph,
+            text_nodes,
+            table_nodes,
+        },
+        budget.truncated,
+    )
 }
 
 /// Two single-cell mentions share a row or column.
@@ -279,8 +297,14 @@ mod tests {
             agg(0, vec![(1, 1), (2, 1)], 11.0),
         ];
         let candidates = vec![
-            vec![Candidate { target: 0, score: 0.9 }],
-            vec![Candidate { target: 3, score: 0.7 }],
+            vec![Candidate {
+                target: 0,
+                score: 0.9,
+            }],
+            vec![Candidate {
+                target: 3,
+                score: 0.7,
+            }],
         ];
         (mentions, targets, candidates)
     }
@@ -288,7 +312,14 @@ mod tests {
     #[test]
     fn nodes_cover_text_singles_and_kept_virtuals() {
         let (mentions, targets, candidates) = setup();
-        let g = build_graph(&mentions, &[0, 3], 20, &targets, &candidates, &GraphConfig::default());
+        let g = build_graph(
+            &mentions,
+            &[0, 3],
+            20,
+            &targets,
+            &candidates,
+            &GraphConfig::default(),
+        );
         // 2 text + 3 single cells + 1 kept aggregate
         assert_eq!(g.graph.len(), 6);
         assert!(g.table_node(3).is_some());
@@ -298,7 +329,14 @@ mod tests {
     fn unkept_virtuals_not_nodes() {
         let (mentions, targets, mut candidates) = setup();
         candidates[1].clear();
-        let g = build_graph(&mentions, &[0, 3], 20, &targets, &candidates, &GraphConfig::default());
+        let g = build_graph(
+            &mentions,
+            &[0, 3],
+            20,
+            &targets,
+            &candidates,
+            &GraphConfig::default(),
+        );
         assert_eq!(g.graph.len(), 5);
         assert!(g.table_node(3).is_none());
     }
@@ -306,7 +344,14 @@ mod tests {
     #[test]
     fn text_text_edge_for_near_mentions() {
         let (mentions, targets, candidates) = setup();
-        let g = build_graph(&mentions, &[0, 3], 20, &targets, &candidates, &GraphConfig::default());
+        let g = build_graph(
+            &mentions,
+            &[0, 3],
+            20,
+            &targets,
+            &candidates,
+            &GraphConfig::default(),
+        );
         assert!(g.graph.edge_weight(0, 1).is_some());
     }
 
@@ -328,7 +373,14 @@ mod tests {
     #[test]
     fn table_table_edges_same_row_or_col() {
         let (mentions, targets, candidates) = setup();
-        let g = build_graph(&mentions, &[0, 3], 20, &targets, &candidates, &GraphConfig::default());
+        let g = build_graph(
+            &mentions,
+            &[0, 3],
+            20,
+            &targets,
+            &candidates,
+            &GraphConfig::default(),
+        );
         let n0 = g.table_node(0).unwrap(); // (1,1)
         let n1 = g.table_node(1).unwrap(); // (2,1) same column
         let n2 = g.table_node(2).unwrap(); // (1,2) same row as (1,1)
@@ -341,7 +393,14 @@ mod tests {
     #[test]
     fn aggregate_connects_to_members() {
         let (mentions, targets, candidates) = setup();
-        let g = build_graph(&mentions, &[0, 3], 20, &targets, &candidates, &GraphConfig::default());
+        let g = build_graph(
+            &mentions,
+            &[0, 3],
+            20,
+            &targets,
+            &candidates,
+            &GraphConfig::default(),
+        );
         let sum_node = g.table_node(3).unwrap();
         let member = g.table_node(0).unwrap();
         let nonmember = g.table_node(2).unwrap();
@@ -353,8 +412,15 @@ mod tests {
     fn edge_budget_truncates_construction() {
         let (mentions, targets, candidates) = setup();
         let cfg = GraphConfig::default();
-        let (full, t_full) =
-            build_graph_budgeted(&mentions, &[0, 3], 20, &targets, &candidates, &cfg, usize::MAX);
+        let (full, t_full) = build_graph_budgeted(
+            &mentions,
+            &[0, 3],
+            20,
+            &targets,
+            &candidates,
+            &cfg,
+            usize::MAX,
+        );
         assert!(!t_full);
         let total = full.graph.edge_count();
         assert!(total > 1, "setup should produce several edges, got {total}");
@@ -373,7 +439,14 @@ mod tests {
     #[test]
     fn text_table_edges_use_scores() {
         let (mentions, targets, candidates) = setup();
-        let g = build_graph(&mentions, &[0, 3], 20, &targets, &candidates, &GraphConfig::default());
+        let g = build_graph(
+            &mentions,
+            &[0, 3],
+            20,
+            &targets,
+            &candidates,
+            &GraphConfig::default(),
+        );
         let n0 = g.table_node(0).unwrap();
         assert_eq!(g.graph.edge_weight(0, n0), Some(0.9));
     }

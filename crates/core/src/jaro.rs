@@ -38,8 +38,7 @@ pub fn jaro(a: &str, b: &str) -> f64 {
     }
     // transpositions: compare matched chars of a against matched chars of
     // b in b-order
-    let mut b_matches: Vec<(usize, char)> =
-        match_idx_b.iter().map(|&j| (j, b[j])).collect();
+    let mut b_matches: Vec<(usize, char)> = match_idx_b.iter().map(|&j| (j, b[j])).collect();
     b_matches.sort_by_key(|&(j, _)| j);
     let t = matches_a
         .iter()

@@ -51,9 +51,10 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod baselines;
+pub mod batch;
 pub mod classifier;
-pub mod error;
 pub mod context;
+pub mod error;
 pub mod evaluate;
 pub mod features;
 pub mod filtering;
@@ -66,7 +67,8 @@ pub mod resolution_ilp;
 pub mod tagger;
 pub mod training;
 
-pub use error::{Budget, BriqError, DegradedAction, Diagnostic, Diagnostics, Stage};
+pub use batch::{align_batch, BatchConfig, BatchReport, DocReport, StageTimings, WorkerStats};
+pub use error::{BriqError, Budget, DegradedAction, Diagnostic, Diagnostics, Stage};
 pub use features::{FeatureMask, FEATURE_COUNT};
 pub use jaro::jaro_winkler;
 pub use mention::{Alignment, GoldAlignment};

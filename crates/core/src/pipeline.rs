@@ -5,18 +5,20 @@ use briq_table::virtual_cells::{all_table_mentions_capped, VirtualCellConfig};
 use briq_table::{Document, TableError, TableMention};
 use briq_text::cues::AggregationKind;
 
+use crate::batch::{align_batch, BatchConfig, BatchReport, StageTimings};
 use crate::classifier::PairClassifier;
 use crate::context::{ContextConfig, DocContext};
-use crate::error::{Budget, BriqError, DegradedAction, Diagnostics, Stage};
+use crate::error::{BriqError, Budget, DegradedAction, Diagnostics, Stage};
 use crate::features::{feature_vector, FeatureMask};
 use crate::filtering::{filter_mention, Candidate, FilterConfig, FilterStats};
 use crate::graph_builder::{build_graph_budgeted, GraphConfig};
-use crate::resolution::{resolve_budgeted, ResolutionConfig, ResolutionEvent};
 use crate::mention::{text_mentions, Alignment, TextMention};
+use crate::resolution::{resolve_budgeted, ResolutionConfig, ResolutionEvent};
 use crate::tagger::{tagger_features, MentionTagger, TaggerExample};
 use crate::training::{
     build_training_examples, examples_to_dataset, tagger_label, LabeledDocument,
 };
+use std::time::Instant;
 
 /// Full pipeline configuration.
 #[derive(Debug, Clone)]
@@ -50,7 +52,10 @@ impl Default for BriqConfig {
             graph: GraphConfig::default(),
             resolution: ResolutionConfig::default(),
             forest: RandomForestConfig::default(),
-            tagger_forest: RandomForestConfig { n_trees: 32, ..Default::default() },
+            tagger_forest: RandomForestConfig {
+                n_trees: 32,
+                ..Default::default()
+            },
             tagger_threshold: 0.6,
             mask: FeatureMask::all(),
         }
@@ -106,7 +111,11 @@ impl Briq {
     /// trained one. Useful for exploration and doc examples.
     pub fn untrained(cfg: BriqConfig) -> Briq {
         let tagger = MentionTagger::lexical(cfg.tagger_threshold);
-        Briq { cfg, classifier: None, tagger }
+        Briq {
+            cfg,
+            classifier: None,
+            tagger,
+        }
     }
 
     /// Train the classifier on `train_docs` and the tagger on
@@ -117,13 +126,16 @@ impl Briq {
         train_docs: &[LabeledDocument],
         tagger_docs: &[LabeledDocument],
     ) -> Briq {
-        let (examples, _) =
-            build_training_examples(train_docs, &cfg.virtual_cells, &cfg.context);
+        let (examples, _) = build_training_examples(train_docs, &cfg.virtual_cells, &cfg.context);
         let data = examples_to_dataset(&examples);
         let classifier = PairClassifier::train(&data, cfg.forest, cfg.mask);
 
         let tagger = Self::train_tagger(&cfg, tagger_docs);
-        Briq { cfg, classifier: Some(classifier), tagger }
+        Briq {
+            cfg,
+            classifier: Some(classifier),
+            tagger,
+        }
     }
 
     /// Train and then tune the resolution hyper-parameters (α/β mix and
@@ -189,9 +201,10 @@ impl Briq {
             }
             let ctx = DocContext::build(&ld.document, &mentions, &cfg.context);
             for x in &mentions {
-                let gold = ld.gold.iter().find(|g| {
-                    x.quantity.start < g.mention_end && g.mention_start < x.quantity.end
-                });
+                let gold = ld
+                    .gold
+                    .iter()
+                    .find(|g| x.quantity.start < g.mention_end && g.mention_start < x.quantity.end);
                 let Some(g) = gold else { continue };
                 examples.push(TaggerExample {
                     features: tagger_features(x, &ctx, &ld.document),
@@ -249,6 +262,48 @@ impl Briq {
         doc: &Document,
         budget: &Budget,
     ) -> (ScoredDocument, Diagnostics) {
+        let mut timings = StageTimings::default();
+        self.score_document_staged(doc, budget, &mut timings)
+    }
+
+    /// [`Briq::score_document_budgeted`] with per-stage wall-clock
+    /// accumulated into `timings` (extraction vs. classification) — the
+    /// instrumented entry used by the batch engine. Identical results.
+    pub(crate) fn score_document_staged(
+        &self,
+        doc: &Document,
+        budget: &Budget,
+        timings: &mut StageTimings,
+    ) -> (ScoredDocument, Diagnostics) {
+        let t0 = Instant::now();
+        let (mentions, ctx, targets, diags) = self.extract_stage(doc, budget);
+        timings.extract_s += t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let (scored, tags) = self.classify_stage(doc, &mentions, &ctx, &targets);
+        timings.classify_s += t1.elapsed().as_secs_f64();
+
+        (
+            ScoredDocument {
+                mentions,
+                ctx,
+                targets,
+                scored,
+                tags,
+                budget: *budget,
+            },
+            diags,
+        )
+    }
+
+    /// Stage 1: text mentions, document context, and (budget-capped)
+    /// table mentions, with per-table degradation diagnostics.
+    #[allow(clippy::type_complexity)]
+    fn extract_stage(
+        &self,
+        doc: &Document,
+        budget: &Budget,
+    ) -> (Vec<TextMention>, DocContext, Vec<TableMention>, Diagnostics) {
         let mut diags = Diagnostics::default();
         let mentions = text_mentions(doc);
         let ctx = DocContext::build(doc, &mentions, &self.cfg.context);
@@ -280,14 +335,26 @@ impl Briq {
                 DegradedAction::Truncated,
             );
         }
+        (mentions, ctx, targets, diags)
+    }
 
+    /// Stage 2: score every mention/target pair and tag each mention's
+    /// likely aggregation kinds.
+    #[allow(clippy::type_complexity)]
+    fn classify_stage(
+        &self,
+        doc: &Document,
+        mentions: &[TextMention],
+        ctx: &DocContext,
+        targets: &[TableMention],
+    ) -> (Vec<Vec<(usize, f64)>>, Vec<Vec<AggregationKind>>) {
         let scored: Vec<Vec<(usize, f64)>> = mentions
             .iter()
             .map(|x| {
                 targets
                     .iter()
                     .enumerate()
-                    .map(|(ti, t)| (ti, self.prior(&feature_vector(x, t, &ctx))))
+                    .map(|(ti, t)| (ti, self.prior(&feature_vector(x, t, ctx))))
                     .collect()
             })
             .collect();
@@ -296,7 +363,7 @@ impl Briq {
             .iter()
             .enumerate()
             .map(|(i, x)| {
-                let mut tags = self.tagger.tags(&tagger_features(x, &ctx, doc));
+                let mut tags = self.tagger.tags(&tagger_features(x, ctx, doc));
                 if self.cfg.virtual_cells.extended {
                     tags.extend(crate::tagger::extended_lexical_tags(
                         &ctx.mentions[i].immediate_words,
@@ -305,8 +372,7 @@ impl Briq {
                 tags
             })
             .collect();
-
-        (ScoredDocument { mentions, ctx, targets, scored, tags, budget: *budget }, diags)
+        (scored, tags)
     }
 
     /// Stage 3: adaptive filtering of a scored document.
@@ -331,7 +397,10 @@ impl Briq {
 
     /// Like [`Briq::align`], also returning filtering statistics and the
     /// candidates (for Table VI style analyses).
-    pub fn align_detailed(&self, doc: &Document) -> (Vec<Alignment>, FilterStats, Vec<Vec<Candidate>>) {
+    pub fn align_detailed(
+        &self,
+        doc: &Document,
+    ) -> (Vec<Alignment>, FilterStats, Vec<Vec<Candidate>>) {
         let (alignments, stats, candidates, _) = self.align_budgeted(doc, &Budget::unlimited());
         (alignments, stats, candidates)
     }
@@ -346,9 +415,33 @@ impl Briq {
     }
 
     /// [`Briq::align_checked`] under a caller-chosen budget.
-    pub fn align_checked_with(&self, doc: &Document, budget: &Budget) -> (Vec<Alignment>, Diagnostics) {
+    pub fn align_checked_with(
+        &self,
+        doc: &Document,
+        budget: &Budget,
+    ) -> (Vec<Alignment>, Diagnostics) {
         let (alignments, _, _, diags) = self.align_budgeted(doc, budget);
         (alignments, diags)
+    }
+
+    /// [`Briq::align_checked_with`] plus per-stage wall-clock: how long
+    /// this document spent in extraction, classification, filtering, and
+    /// resolution. Same code path, so alignments and diagnostics are
+    /// bit-identical; this is what the batch engine runs per document.
+    pub fn align_timed(
+        &self,
+        doc: &Document,
+        budget: &Budget,
+    ) -> (Vec<Alignment>, Diagnostics, StageTimings) {
+        let mut timings = StageTimings::default();
+        let (alignments, _, _, diags) = self.align_budgeted_timed(doc, budget, &mut timings);
+        (alignments, diags, timings)
+    }
+
+    /// Align a whole batch of documents on a work-stealing worker pool —
+    /// see [`crate::batch`] for the engine and its determinism contract.
+    pub fn align_batch(&self, docs: &[Document], cfg: &BatchConfig) -> BatchReport {
+        align_batch(self, docs, cfg)
     }
 
     /// The one shared alignment code path. `align`/`align_detailed` call
@@ -359,9 +452,33 @@ impl Briq {
         &self,
         doc: &Document,
         budget: &Budget,
-    ) -> (Vec<Alignment>, FilterStats, Vec<Vec<Candidate>>, Diagnostics) {
-        let (sd, mut diags) = self.score_document_budgeted(doc, budget);
+    ) -> (
+        Vec<Alignment>,
+        FilterStats,
+        Vec<Vec<Candidate>>,
+        Diagnostics,
+    ) {
+        let mut timings = StageTimings::default();
+        self.align_budgeted_timed(doc, budget, &mut timings)
+    }
+
+    /// [`Briq::align_budgeted`] with per-stage timing accumulation.
+    fn align_budgeted_timed(
+        &self,
+        doc: &Document,
+        budget: &Budget,
+        timings: &mut StageTimings,
+    ) -> (
+        Vec<Alignment>,
+        FilterStats,
+        Vec<Vec<Candidate>>,
+        Diagnostics,
+    ) {
+        let (sd, mut diags) = self.score_document_staged(doc, budget, timings);
+        let t0 = Instant::now();
         let (candidates, stats) = self.filter(&sd);
+        timings.filter_s += t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
         let positions: Vec<usize> = sd.ctx.mentions.iter().map(|m| m.token_index).collect();
         let (ag, edges_truncated) = build_graph_budgeted(
             &sd.mentions,
@@ -376,12 +493,18 @@ impl Briq {
             diags.record(
                 Stage::GraphConstruction,
                 "document".into(),
-                &BriqError::EdgeBudgetExceeded { max_edges: budget.max_graph_edges },
+                &BriqError::EdgeBudgetExceeded {
+                    max_edges: budget.max_graph_edges,
+                },
                 DegradedAction::Truncated,
             );
         }
-        let (resolved, events) =
-            resolve_budgeted(ag, &candidates, &self.cfg.resolution, budget.max_rwr_iterations);
+        let (resolved, events) = resolve_budgeted(
+            ag,
+            &candidates,
+            &self.cfg.resolution,
+            budget.max_rwr_iterations,
+        );
         for ev in events {
             match ev {
                 ResolutionEvent::NotConverged { mention, report } => diags.record(
@@ -415,6 +538,7 @@ impl Briq {
                 }
             })
             .collect();
+        timings.resolve_s += t1.elapsed().as_secs_f64();
         (alignments, stats, candidates, diags)
     }
 }
@@ -433,7 +557,12 @@ mod tests {
             vec![Table::from_grid(
                 "",
                 vec![
-                    vec!["side effects".into(), "male".into(), "female".into(), "total".into()],
+                    vec![
+                        "side effects".into(),
+                        "male".into(),
+                        "female".into(),
+                        "total".into(),
+                    ],
                     vec!["Rash".into(), "15".into(), "20".into(), "35".into()],
                     vec!["Depression".into(), "13".into(), "25".into(), "38".into()],
                     vec!["Hypertension".into(), "19".into(), "15".into(), "34".into()],
@@ -451,7 +580,10 @@ mod tests {
         let alignments = briq.align(&doc);
         assert!(!alignments.is_empty());
         // "38" should go to the Depression row's total cell (2,3).
-        let a38 = alignments.iter().find(|a| a.mention_raw.starts_with("38")).expect("38 aligned");
+        let a38 = alignments
+            .iter()
+            .find(|a| a.mention_raw.starts_with("38"))
+            .expect("38 aligned");
         assert_eq!(a38.target.cells, vec![(2, 3)]);
         // "total of 123" should map to the sum of the total column.
         let a123 = alignments.iter().find(|a| a.mention_raw.starts_with("123"));
@@ -521,8 +653,11 @@ mod tests {
         assert!(stages.contains(&Stage::GraphConstruction), "{diags:?}");
         // Budget enforcement: no more virtual-cell targets than allowed.
         let (sd, _) = briq.score_document_budgeted(&doc, &budget);
-        let virtuals =
-            sd.targets.iter().filter(|t| t.kind != briq_table::TableMentionKind::SingleCell).count();
+        let virtuals = sd
+            .targets
+            .iter()
+            .filter(|t| t.kind != briq_table::TableMentionKind::SingleCell)
+            .count();
         assert!(virtuals <= budget.max_virtual_cells_per_table);
         // Degraded mode still returns (possibly empty) alignments.
         let _ = alignments;
@@ -537,12 +672,11 @@ mod tests {
             vec![Table::from_grid("", Vec::new())],
         );
         let (_, diags) = briq.align_checked(&doc);
-        assert!(diags
-            .items
-            .iter()
-            .any(|d| d.stage == Stage::Extraction
+        assert!(
+            diags.items.iter().any(|d| d.stage == Stage::Extraction
                 && d.action == crate::error::DegradedAction::Skipped),
-            "{diags:?}");
+            "{diags:?}"
+        );
     }
 
     #[test]
@@ -566,7 +700,10 @@ mod tests {
             kind: briq_table::TableMentionKind::SingleCell,
             cells: vec![(2, 3)],
         }];
-        let ld = LabeledDocument { document: doc, gold };
+        let ld = LabeledDocument {
+            document: doc,
+            gold,
+        };
         let mut cfg = BriqConfig::default();
         cfg.forest.n_trees = 16;
         cfg.tagger_forest.n_trees = 8;
@@ -587,7 +724,10 @@ mod tests {
             kind: briq_table::TableMentionKind::SingleCell,
             cells: vec![(2, 3)],
         }];
-        let ld = LabeledDocument { document: doc.clone(), gold };
+        let ld = LabeledDocument {
+            document: doc.clone(),
+            gold,
+        };
         let briq = Briq::train(BriqConfig::default(), &[ld.clone()], &[ld]);
         assert!(briq.is_trained());
         let alignments = briq.align(&doc);
@@ -607,4 +747,8 @@ briq_json::json_struct!(BriqConfig {
     tagger_threshold,
     mask,
 });
-briq_json::json_struct!(Briq { cfg, classifier, tagger });
+briq_json::json_struct!(Briq {
+    cfg,
+    classifier,
+    tagger
+});

@@ -117,7 +117,9 @@ pub fn resolve_budgeted(
         })
         .collect();
     order.sort_by(|&a, &b| {
-        entropy[a].partial_cmp(&entropy[b]).unwrap_or(std::cmp::Ordering::Equal)
+        entropy[a]
+            .partial_cmp(&entropy[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
 
     let rwr = RwrConfig {
@@ -156,10 +158,16 @@ pub fn resolve_budgeted(
         };
         let mut best: Option<(usize, f64, f64)> = None;
         for c in &candidates[x] {
-            let Some(tn) = ag.table_node(c.target) else { continue };
+            let Some(tn) = ag.table_node(c.target) else {
+                continue;
+            };
             let score = match &pi {
                 Some(pi) => {
-                    let pi_hat = if pi_total > 0.0 { pi[tn] / pi_total } else { 0.0 };
+                    let pi_hat = if pi_total > 0.0 {
+                        pi[tn] / pi_total
+                    } else {
+                        0.0
+                    };
                     cfg.alpha * pi_hat + cfg.beta * c.score
                 }
                 // Prior-score fallback: rank by σ alone so the ε gate
@@ -180,7 +188,11 @@ pub fn resolve_budgeted(
                         }
                     }
                 }
-                out.push(Resolved { mention: x, target: t_star, score });
+                out.push(Resolved {
+                    mention: x,
+                    target: t_star,
+                    score,
+                });
             }
             _ => {
                 // No alignment: drop all text-table edges of x.
@@ -237,7 +249,12 @@ mod tests {
 
     /// The Fig. 3 situation: mention "11" matches cells in two tables;
     /// a second unambiguous mention "60" pulls the walk toward table 0.
-    fn coupled() -> (Vec<TextMention>, Vec<usize>, Vec<TableMention>, Vec<Vec<Candidate>>) {
+    fn coupled() -> (
+        Vec<TextMention>,
+        Vec<usize>,
+        Vec<TableMention>,
+        Vec<Vec<Candidate>>,
+    ) {
         let mentions = vec![mention(0, 11.0, 0), mention(1, 60.0, 8)];
         let targets = vec![
             cell(0, 1, 1, 11.0), // table 0 "11"
@@ -246,8 +263,20 @@ mod tests {
             cell(1, 2, 1, 110.0),
         ];
         let candidates = vec![
-            vec![Candidate { target: 0, score: 0.5 }, Candidate { target: 2, score: 0.5 }],
-            vec![Candidate { target: 1, score: 0.9 }],
+            vec![
+                Candidate {
+                    target: 0,
+                    score: 0.5,
+                },
+                Candidate {
+                    target: 2,
+                    score: 0.5,
+                },
+            ],
+            vec![Candidate {
+                target: 1,
+                score: 0.9,
+            }],
         ];
         (mentions, vec![0, 2], targets, candidates)
     }
@@ -255,19 +284,39 @@ mod tests {
     #[test]
     fn joint_inference_disambiguates_tied_priors() {
         let (mentions, pos, targets, candidates) = coupled();
-        let ag = build_graph(&mentions, &pos, 10, &targets, &candidates, &GraphConfig::default());
+        let ag = build_graph(
+            &mentions,
+            &pos,
+            10,
+            &targets,
+            &candidates,
+            &GraphConfig::default(),
+        );
         let out = resolve(ag, &candidates, &ResolutionConfig::default());
         // Mention 1 ("60") resolves first (zero entropy), strengthening
         // table 0; mention 0 must then choose table 0's "11".
-        let m0 = out.iter().find(|r| r.mention == 0).expect("mention 0 aligned");
+        let m0 = out
+            .iter()
+            .find(|r| r.mention == 0)
+            .expect("mention 0 aligned");
         assert_eq!(m0.target, 0, "{out:?}");
     }
 
     #[test]
     fn epsilon_leaves_weak_mentions_unaligned() {
         let (mentions, pos, targets, candidates) = coupled();
-        let ag = build_graph(&mentions, &pos, 10, &targets, &candidates, &GraphConfig::default());
-        let cfg = ResolutionConfig { epsilon: 10.0, ..Default::default() };
+        let ag = build_graph(
+            &mentions,
+            &pos,
+            10,
+            &targets,
+            &candidates,
+            &GraphConfig::default(),
+        );
+        let cfg = ResolutionConfig {
+            epsilon: 10.0,
+            ..Default::default()
+        };
         let out = resolve(ag, &candidates, &cfg);
         assert!(out.is_empty());
     }
@@ -276,7 +325,14 @@ mod tests {
     fn empty_candidates_skipped() {
         let (mentions, pos, targets, mut candidates) = coupled();
         candidates[0].clear();
-        let ag = build_graph(&mentions, &pos, 10, &targets, &candidates, &GraphConfig::default());
+        let ag = build_graph(
+            &mentions,
+            &pos,
+            10,
+            &targets,
+            &candidates,
+            &GraphConfig::default(),
+        );
         let out = resolve(ag, &candidates, &ResolutionConfig::default());
         assert!(out.iter().all(|r| r.mention == 1));
     }
@@ -284,7 +340,14 @@ mod tests {
     #[test]
     fn results_sorted_by_mention() {
         let (mentions, pos, targets, candidates) = coupled();
-        let ag = build_graph(&mentions, &pos, 10, &targets, &candidates, &GraphConfig::default());
+        let ag = build_graph(
+            &mentions,
+            &pos,
+            10,
+            &targets,
+            &candidates,
+            &GraphConfig::default(),
+        );
         let out = resolve(ag, &candidates, &ResolutionConfig::default());
         for w in out.windows(2) {
             assert!(w[0].mention < w[1].mention);
@@ -304,7 +367,9 @@ mod tests {
         // Slow convergence may be reported, but nothing falls back: the
         // unlimited-budget path takes exactly the classic decisions.
         assert!(
-            events.iter().all(|e| matches!(e, ResolutionEvent::NotConverged { .. })),
+            events
+                .iter()
+                .all(|e| matches!(e, ResolutionEvent::NotConverged { .. })),
             "{events:?}"
         );
     }
@@ -312,9 +377,18 @@ mod tests {
     #[test]
     fn iteration_cap_reports_non_convergence_without_panicking() {
         let (mentions, pos, targets, candidates) = coupled();
-        let ag =
-            build_graph(&mentions, &pos, 10, &targets, &candidates, &GraphConfig::default());
-        let cfg = ResolutionConfig { tolerance: 0.0, ..Default::default() };
+        let ag = build_graph(
+            &mentions,
+            &pos,
+            10,
+            &targets,
+            &candidates,
+            &GraphConfig::default(),
+        );
+        let cfg = ResolutionConfig {
+            tolerance: 0.0,
+            ..Default::default()
+        };
         let (_, events) = resolve_budgeted(ag, &candidates, &cfg, 1);
         // With a zero tolerance and a single allowed iteration, every
         // mention's walk stops early and says so.
@@ -334,8 +408,18 @@ mod tests {
     fn single_candidate_mention_aligns_directly() {
         let mentions = vec![mention(0, 42.0, 0)];
         let targets = vec![cell(0, 1, 1, 42.0)];
-        let candidates = vec![vec![Candidate { target: 0, score: 0.8 }]];
-        let ag = build_graph(&mentions, &[0], 5, &targets, &candidates, &GraphConfig::default());
+        let candidates = vec![vec![Candidate {
+            target: 0,
+            score: 0.8,
+        }]];
+        let ag = build_graph(
+            &mentions,
+            &[0],
+            5,
+            &targets,
+            &candidates,
+            &GraphConfig::default(),
+        );
         let out = resolve(ag, &candidates, &ResolutionConfig::default());
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].target, 0);

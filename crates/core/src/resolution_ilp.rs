@@ -194,9 +194,10 @@ impl<'a> Solver<'a> {
             let u = &self.targets[*a];
             if u.table == t.table {
                 gain += self.cfg.table_coherence;
-                let share_line = t.cells.iter().any(|&(r1, c1)| {
-                    u.cells.iter().any(|&(r2, c2)| r1 == r2 || c1 == c2)
-                });
+                let share_line = t
+                    .cells
+                    .iter()
+                    .any(|&(r1, c1)| u.cells.iter().any(|&(r2, c2)| r1 == r2 || c1 == c2));
                 if share_line {
                     gain += self.cfg.line_coherence;
                 }
@@ -229,8 +230,26 @@ mod tests {
     fn picks_best_priors_without_conflicts() {
         let targets = vec![cell(0, 1, 1, 5.0), cell(0, 2, 1, 7.0)];
         let candidates = vec![
-            vec![Candidate { target: 0, score: 0.9 }, Candidate { target: 1, score: 0.3 }],
-            vec![Candidate { target: 1, score: 0.8 }, Candidate { target: 0, score: 0.4 }],
+            vec![
+                Candidate {
+                    target: 0,
+                    score: 0.9,
+                },
+                Candidate {
+                    target: 1,
+                    score: 0.3,
+                },
+            ],
+            vec![
+                Candidate {
+                    target: 1,
+                    score: 0.8,
+                },
+                Candidate {
+                    target: 0,
+                    score: 0.4,
+                },
+            ],
         ];
         let sol = resolve_ilp(&candidates, &targets, &IlpConfig::default());
         assert_eq!(sol.assignment, vec![Some(0), Some(1)]);
@@ -243,12 +262,33 @@ mod tests {
         // when coherent.
         let targets = vec![cell(0, 1, 1, 5.0), cell(0, 2, 1, 5.0)];
         let candidates = vec![
-            vec![Candidate { target: 0, score: 0.9 }, Candidate { target: 1, score: 0.85 }],
-            vec![Candidate { target: 0, score: 0.9 }, Candidate { target: 1, score: 0.2 }],
+            vec![
+                Candidate {
+                    target: 0,
+                    score: 0.9,
+                },
+                Candidate {
+                    target: 1,
+                    score: 0.85,
+                },
+            ],
+            vec![
+                Candidate {
+                    target: 0,
+                    score: 0.9,
+                },
+                Candidate {
+                    target: 1,
+                    score: 0.2,
+                },
+            ],
         ];
         let sol = resolve_ilp(&candidates, &targets, &IlpConfig::default());
         let a = sol.assignment;
-        assert_ne!(a[0], a[1], "same single cell must not be claimed twice: {a:?}");
+        assert_ne!(
+            a[0], a[1],
+            "same single cell must not be claimed twice: {a:?}"
+        );
     }
 
     #[test]
@@ -256,8 +296,20 @@ mod tests {
         // Mention 0 is tied between tables; mention 1 is firmly in table 0.
         let targets = vec![cell(0, 1, 1, 5.0), cell(1, 1, 1, 5.0), cell(0, 2, 2, 9.0)];
         let candidates = vec![
-            vec![Candidate { target: 0, score: 0.5 }, Candidate { target: 1, score: 0.5 }],
-            vec![Candidate { target: 2, score: 0.9 }],
+            vec![
+                Candidate {
+                    target: 0,
+                    score: 0.5,
+                },
+                Candidate {
+                    target: 1,
+                    score: 0.5,
+                },
+            ],
+            vec![Candidate {
+                target: 2,
+                score: 0.9,
+            }],
         ];
         let sol = resolve_ilp(&candidates, &targets, &IlpConfig::default());
         assert_eq!(sol.assignment[0], Some(0), "{sol:?}");
@@ -266,7 +318,10 @@ mod tests {
     #[test]
     fn epsilon_leaves_weak_mentions_unaligned() {
         let targets = vec![cell(0, 1, 1, 5.0)];
-        let candidates = vec![vec![Candidate { target: 0, score: 0.05 }]];
+        let candidates = vec![vec![Candidate {
+            target: 0,
+            score: 0.05,
+        }]];
         let sol = resolve_ilp(&candidates, &targets, &IlpConfig::default());
         assert_eq!(sol.assignment, vec![None]);
     }
@@ -274,16 +329,21 @@ mod tests {
     #[test]
     fn node_budget_terminates_search() {
         // 8 mentions × 8 candidates each with conflicts → large tree.
-        let targets: Vec<TableMention> =
-            (0..8).map(|i| cell(0, 1, i, i as f64)).collect();
+        let targets: Vec<TableMention> = (0..8).map(|i| cell(0, 1, i, i as f64)).collect();
         let candidates: Vec<Vec<Candidate>> = (0..8)
             .map(|_| {
                 (0..8)
-                    .map(|t| Candidate { target: t, score: 0.5 + (t as f64) * 0.01 })
+                    .map(|t| Candidate {
+                        target: t,
+                        score: 0.5 + (t as f64) * 0.01,
+                    })
                     .collect()
             })
             .collect();
-        let cfg = IlpConfig { node_budget: 500, ..Default::default() };
+        let cfg = IlpConfig {
+            node_budget: 500,
+            ..Default::default()
+        };
         let sol = resolve_ilp(&candidates, &targets, &cfg);
         assert!(sol.budget_exhausted);
         assert!(sol.nodes <= 501);

@@ -81,10 +81,14 @@ pub fn tagger_features(x: &TextMention, ctx: &DocContext, doc: &Document) -> Vec
 pub fn extended_lexical_tags(immediate_words: &[String]) -> Vec<AggregationKind> {
     use briq_text::cues::count_aggregation_cues;
     let refs: Vec<&str> = immediate_words.iter().map(|s| s.as_str()).collect();
-    [AggregationKind::Average, AggregationKind::Max, AggregationKind::Min]
-        .into_iter()
-        .filter(|&k| count_aggregation_cues(k, &refs) > 0)
-        .collect()
+    [
+        AggregationKind::Average,
+        AggregationKind::Max,
+        AggregationKind::Min,
+    ]
+    .into_iter()
+    .filter(|&k| count_aggregation_cues(k, &refs) > 0)
+    .collect()
 }
 
 /// One tagger training instance.
@@ -116,7 +120,10 @@ impl MentionTagger {
     /// A purely lexical fallback tagger (used before training data is
     /// available): emits the cue-inferred aggregation.
     pub fn lexical(threshold: f64) -> Self {
-        MentionTagger { forests: Vec::new(), threshold }
+        MentionTagger {
+            forests: Vec::new(),
+            threshold,
+        }
     }
 
     /// Lexical per-kind confidences from the immediate-scope cue counts.
@@ -168,9 +175,7 @@ impl MentionTagger {
             }
         }
         match best {
-            Some((i, score)) if score >= self.threshold => {
-                Some(AggregationKind::EVALUATED[i])
-            }
+            Some((i, score)) if score >= self.threshold => Some(AggregationKind::EVALUATED[i]),
             _ => None,
         }
     }
@@ -264,7 +269,11 @@ mod tests {
             v[1] = if is_sum { 1.0 + (i % 2) as f64 } else { 0.0 };
             examples.push(TaggerExample {
                 features: v,
-                label: if is_sum { Some(AggregationKind::Sum) } else { None },
+                label: if is_sum {
+                    Some(AggregationKind::Sum)
+                } else {
+                    None
+                },
             });
         }
         let tagger = MentionTagger::train(&examples, RandomForestConfig::default(), 0.6);

@@ -45,7 +45,10 @@ pub struct TrainingBreakdown {
 
 impl TrainingBreakdown {
     fn add(&mut self, kind: TableMentionKind, label: bool) {
-        let e = self.by_type.entry(kind.name().to_string()).or_insert((0, 0));
+        let e = self
+            .by_type
+            .entry(kind.name().to_string())
+            .or_insert((0, 0));
         if label {
             e.0 += 1;
         } else {
@@ -55,7 +58,9 @@ impl TrainingBreakdown {
 
     /// Totals across all types.
     pub fn totals(&self) -> (usize, usize) {
-        self.by_type.values().fold((0, 0), |(p, n), &(a, b)| (p + a, n + b))
+        self.by_type
+            .values()
+            .fold((0, 0), |(p, n), &(a, b)| (p + a, n + b))
     }
 }
 
@@ -87,9 +92,7 @@ pub fn build_training_examples(
             let gold: Vec<&GoldAlignment> = ld
                 .gold
                 .iter()
-                .filter(|g| {
-                    x.quantity.start < g.mention_end && g.mention_start < x.quantity.end
-                })
+                .filter(|g| x.quantity.start < g.mention_end && g.mention_start < x.quantity.end)
                 .collect();
             if gold.is_empty() {
                 continue;
@@ -112,7 +115,11 @@ pub fn build_training_examples(
             for t in &positives {
                 let v = feature_vector(x, t, &ctx);
                 breakdown.add(t.kind, true);
-                examples.push(TrainingExample { features: v, label: true, kind: t.kind });
+                examples.push(TrainingExample {
+                    features: v,
+                    label: true,
+                    kind: t.kind,
+                });
             }
             // Mostly hard negatives (approximately the same values and
             // similar context, §VII-B), plus a deterministic spread of
@@ -135,7 +142,11 @@ pub fn build_training_examples(
                 let (t, _) = negatives[i];
                 let v = feature_vector(x, t, &ctx);
                 breakdown.add(t.kind, false);
-                examples.push(TrainingExample { features: v, label: false, kind: t.kind });
+                examples.push(TrainingExample {
+                    features: v,
+                    label: false,
+                    kind: t.kind,
+                });
             }
         }
     }
@@ -161,8 +172,10 @@ pub fn matches_target(g: &GoldAlignment, t: &TableMention) -> bool {
 /// context" (§VII-B).
 fn hardness(x: &TextMention, t: &TableMention) -> f64 {
     let vd = crate::features::relative_difference(x.quantity.value, t.value);
-    let surface =
-        crate::jaro::jaro_winkler(&x.quantity.raw.to_lowercase(), &crate::features::table_surface(t));
+    let surface = crate::jaro::jaro_winkler(
+        &x.quantity.raw.to_lowercase(),
+        &crate::features::table_surface(t),
+    );
     (1.0 - vd / 2.0) + surface
 }
 
@@ -192,8 +205,7 @@ pub fn examples_to_dataset(examples: &[TrainingExample]) -> Dataset {
         for (i, e) in examples.iter().enumerate() {
             if e.label {
                 let count = pos_counts[e.kind.name()].max(1);
-                let factor =
-                    (total_pos as f64 / (n_types as f64 * count as f64)).clamp(0.25, 4.0);
+                let factor = (total_pos as f64 / (n_types as f64 * count as f64)).clamp(0.25, 4.0);
                 d.weights[i] *= factor;
             }
         }
@@ -246,7 +258,10 @@ mod tests {
                 cells: vec![(2, 1)],
             },
         ];
-        LabeledDocument { document: doc, gold }
+        LabeledDocument {
+            document: doc,
+            gold,
+        }
     }
 
     #[test]
@@ -285,10 +300,20 @@ mod tests {
         );
         let d = examples_to_dataset(&ex);
         assert_eq!(d.len(), ex.len());
-        let pos_mass: f64 =
-            d.weights.iter().zip(&d.labels).filter(|(_, &l)| l).map(|(w, _)| w).sum();
-        let neg_mass: f64 =
-            d.weights.iter().zip(&d.labels).filter(|(_, &l)| !l).map(|(w, _)| w).sum();
+        let pos_mass: f64 = d
+            .weights
+            .iter()
+            .zip(&d.labels)
+            .filter(|(_, &l)| l)
+            .map(|(w, _)| w)
+            .sum();
+        let neg_mass: f64 = d
+            .weights
+            .iter()
+            .zip(&d.labels)
+            .filter(|(_, &l)| !l)
+            .map(|(w, _)| w)
+            .sum();
         assert!((pos_mass - neg_mass).abs() < 1e-9);
     }
 

@@ -17,8 +17,16 @@ use rand::rngs::StdRng;
 
 /// The 10 annotation categories of §VII-A.
 pub const CATEGORIES: [&str; 10] = [
-    "exact", "sum", "average", "percentage", "difference", "ratio", "minimum",
-    "maximum", "unrelated", "other",
+    "exact",
+    "sum",
+    "average",
+    "percentage",
+    "difference",
+    "ratio",
+    "minimum",
+    "maximum",
+    "unrelated",
+    "other",
 ];
 
 fn category_of(kind: TableMentionKind) -> usize {
@@ -120,7 +128,11 @@ pub fn annotate(docs: &mut [LabeledDocument], cfg: &AnnotatorConfig) -> Annotati
     }
 
     let kappa = fleiss_kappa(&ratings).unwrap_or(0.0);
-    AnnotationOutcome { kappa, kept, dropped }
+    AnnotationOutcome {
+        kappa,
+        kept,
+        dropped,
+    }
 }
 
 /// Inject the annotation mistakes that survive consensus: some
@@ -166,7 +178,10 @@ mod tests {
         let before: usize = c.iter().map(|d| d.gold.len()).sum();
         let out = annotate(
             &mut c,
-            &AnnotatorConfig { error_rate: 0.0, ..Default::default() },
+            &AnnotatorConfig {
+                error_rate: 0.0,
+                ..Default::default()
+            },
         );
         assert_eq!(out.kept, before);
         assert_eq!(out.dropped, 0);
@@ -185,7 +200,12 @@ mod tests {
             out.kappa
         );
         // consensus at ≥2 of 8 keeps almost everything at 7% error
-        assert!(out.dropped * 50 < out.kept, "dropped {} of {}", out.dropped, out.kept);
+        assert!(
+            out.dropped * 50 < out.kept,
+            "dropped {} of {}",
+            out.dropped,
+            out.kept
+        );
     }
 
     #[test]
@@ -194,7 +214,10 @@ mod tests {
         let before: usize = c.iter().map(|d| d.gold.len()).sum();
         let out = annotate(
             &mut c,
-            &AnnotatorConfig { error_rate: 0.9, ..Default::default() },
+            &AnnotatorConfig {
+                error_rate: 0.9,
+                ..Default::default()
+            },
         );
         assert!(out.dropped > 0);
         let after: usize = c.iter().map(|d| d.gold.len()).sum();

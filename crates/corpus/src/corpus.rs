@@ -95,12 +95,20 @@ impl CorpusConfig {
     /// generate documents directly; pages are only materialized for the
     /// throughput experiments.
     pub fn table_s(seed: u64) -> Self {
-        CorpusConfig { n_documents: 1598, seed, ..Default::default() }
+        CorpusConfig {
+            n_documents: 1598,
+            seed,
+            ..Default::default()
+        }
     }
 
     /// A smaller preset for unit/integration tests.
     pub fn small(seed: u64) -> Self {
-        CorpusConfig { n_documents: 60, seed, ..Default::default() }
+        CorpusConfig {
+            n_documents: 60,
+            seed,
+            ..Default::default()
+        }
     }
 }
 
@@ -163,16 +171,17 @@ pub fn generate_corpus(cfg: &CorpusConfig) -> GeneratedCorpus {
             vec![base]
         };
 
-        let n_mentions =
-            rng.random_range(cfg.mentions_per_doc.0..=cfg.mentions_per_doc.1);
+        let n_mentions = rng.random_range(cfg.mentions_per_doc.0..=cfg.mentions_per_doc.1);
         let plans: Vec<MentionPlan> = (0..n_mentions)
             .map(|_| sample_plan(&gen_tables, &cfg.weights, &mut rng))
             .collect();
 
-        let (text, gold) =
-            render_document(domain, &gen_tables, &plans, &cfg.textgen, &mut rng);
+        let (text, gold) = render_document(domain, &gen_tables, &plans, &cfg.textgen, &mut rng);
         let tables = gen_tables.into_iter().map(|g| g.table).collect();
-        documents.push(LabeledDocument { document: Document::new(id, text, tables), gold });
+        documents.push(LabeledDocument {
+            document: Document::new(id, text, tables),
+            gold,
+        });
         domains.push(domain);
     }
     GeneratedCorpus { documents, domains }
@@ -180,15 +189,10 @@ pub fn generate_corpus(cfg: &CorpusConfig) -> GeneratedCorpus {
 
 /// Sample one mention plan, falling back to single-cell (or distractor)
 /// when the table cannot support the rolled aggregate.
-fn sample_plan(
-    tables: &[GeneratedTable],
-    w: &MentionWeights,
-    rng: &mut impl Rng,
-) -> MentionPlan {
+fn sample_plan(tables: &[GeneratedTable], w: &MentionWeights, rng: &mut impl Rng) -> MentionPlan {
     let table = rng.random_range(0..tables.len());
     let g = &tables[table];
-    let total =
-        w.single + w.sum + w.diff + w.percent + w.ratio + w.distractor + w.ranking;
+    let total = w.single + w.sum + w.diff + w.percent + w.ratio + w.distractor + w.ranking;
     let mut roll = rng.random_range(0.0..total);
 
     let single = |g: &GeneratedTable, rng: &mut dyn RngCore| MentionPlan::Single {
@@ -217,7 +221,10 @@ fn sample_plan(
     // kind but carry different measures, so no pair virtual cell exists)
     let unit_of = |c: usize| {
         let (gr, gc) = g.grid_pos(0, c);
-        g.table.quantity(gr, gc).map(|q| q.unit).unwrap_or(briq_text::units::Unit::None)
+        g.table
+            .quantity(gr, gc)
+            .map(|q| q.unit)
+            .unwrap_or(briq_text::units::Unit::None)
     };
     let kind_pair = || -> Option<(usize, usize)> {
         for a in 0..g.n_cols() {
@@ -244,7 +251,12 @@ fn sample_plan(
         if let Some((a, b)) = kind_pair() {
             let row = rng.random_range(0..g.n_rows());
             if g.values[row][a] != g.values[row][b] {
-                return MentionPlan::Diff { table, row, col_a: a, col_b: b };
+                return MentionPlan::Diff {
+                    table,
+                    row,
+                    col_a: a,
+                    col_b: b,
+                };
             }
         }
         return single(g, rng);
@@ -260,7 +272,12 @@ fn sample_plan(
                 row_den = (row_den + 1) % g.n_rows();
             }
             if g.values[row_den][col] != 0.0 {
-                return MentionPlan::Percent { table, col, row_num, row_den };
+                return MentionPlan::Percent {
+                    table,
+                    col,
+                    row_num,
+                    row_den,
+                };
             }
         }
         return single(g, rng);
@@ -271,7 +288,12 @@ fn sample_plan(
         if let Some((a, b)) = kind_pair() {
             let row = rng.random_range(0..g.n_rows());
             if g.values[row][a] != 0.0 && g.values[row][a] != g.values[row][b] {
-                return MentionPlan::Ratio { table, row, col_new: a, col_old: b };
+                return MentionPlan::Ratio {
+                    table,
+                    row,
+                    col_new: a,
+                    col_old: b,
+                };
             }
         }
         return single(g, rng);
@@ -285,7 +307,11 @@ fn sample_plan(
     // ranking (extended aggregates)
     if !agg_cols.is_empty() && g.n_rows() >= 2 {
         let col = agg_cols[rng.random_range(0..agg_cols.len())];
-        return MentionPlan::Ranking { table, col, maximum: rng.random_bool(0.5) };
+        return MentionPlan::Ranking {
+            table,
+            col,
+            maximum: rng.random_bool(0.5),
+        };
     }
     single(g, rng)
 }
@@ -331,8 +357,7 @@ mod tests {
         let c = generate_corpus(&CorpusConfig::small(4));
         let mut checked = 0;
         for ld in &c.documents {
-            let targets =
-                all_table_mentions(&ld.document.tables, &VirtualCellConfig::default());
+            let targets = all_table_mentions(&ld.document.tables, &VirtualCellConfig::default());
             for g in &ld.gold {
                 let found = targets.iter().any(|t| matches_target(g, t));
                 assert!(

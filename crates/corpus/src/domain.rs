@@ -64,34 +64,84 @@ impl Domain {
     pub fn entities(self) -> &'static [&'static str] {
         match self {
             Domain::Finance => &[
-                "Total Revenue", "Gross Income", "Net Income", "Operating Costs",
-                "Income Taxes", "Segment Profit", "Segment Margin", "Cash Flow",
-                "Dividends", "Share Buybacks", "Interest Expense", "R&D Spending",
+                "Total Revenue",
+                "Gross Income",
+                "Net Income",
+                "Operating Costs",
+                "Income Taxes",
+                "Segment Profit",
+                "Segment Margin",
+                "Cash Flow",
+                "Dividends",
+                "Share Buybacks",
+                "Interest Expense",
+                "R&D Spending",
             ],
             Domain::Environment => &[
-                "Focus Electric", "A3 e-tron", "VW Golf", "Model 3", "Leaf",
-                "Prius Prime", "Ioniq", "Bolt", "Kona Electric", "Zoe",
-                "i3", "e-Golf",
+                "Focus Electric",
+                "A3 e-tron",
+                "VW Golf",
+                "Model 3",
+                "Leaf",
+                "Prius Prime",
+                "Ioniq",
+                "Bolt",
+                "Kona Electric",
+                "Zoe",
+                "i3",
+                "e-Golf",
             ],
             Domain::Health => &[
-                "Rash", "Depression", "Hypertension", "Nausea", "Eye Disorders",
-                "Headache", "Fatigue", "Insomnia", "Dizziness", "Anxiety",
+                "Rash",
+                "Depression",
+                "Hypertension",
+                "Nausea",
+                "Eye Disorders",
+                "Headache",
+                "Fatigue",
+                "Insomnia",
+                "Dizziness",
+                "Anxiety",
             ],
             Domain::Politics => &[
-                "Northern District", "Southern District", "Eastern District",
-                "Western District", "Central Ward", "Harbour Ward",
-                "Riverside Precinct", "Hillside Precinct", "Old Town",
-                "New Town", "Lakeside", "Greenfield",
+                "Northern District",
+                "Southern District",
+                "Eastern District",
+                "Western District",
+                "Central Ward",
+                "Harbour Ward",
+                "Riverside Precinct",
+                "Hillside Precinct",
+                "Old Town",
+                "New Town",
+                "Lakeside",
+                "Greenfield",
             ],
             Domain::Sports => &[
-                "United", "Rovers", "Athletic", "Wanderers", "City",
-                "Rangers", "Albion", "County", "Town", "Harriers",
-                "Dynamos", "Corinthians",
+                "United",
+                "Rovers",
+                "Athletic",
+                "Wanderers",
+                "City",
+                "Rangers",
+                "Albion",
+                "County",
+                "Town",
+                "Harriers",
+                "Dynamos",
+                "Corinthians",
             ],
             Domain::Others => &[
-                "Making Cost", "Materials Cost", "Shipping Cost", "Packaging Cost",
-                "Assembly Cost", "Creative Fee", "Wholesale Price", "Retail Price",
-                "Extra Parts", "Handling Fee",
+                "Making Cost",
+                "Materials Cost",
+                "Shipping Cost",
+                "Packaging Cost",
+                "Assembly Cost",
+                "Creative Fee",
+                "Wholesale Price",
+                "Retail Price",
+                "Extra Parts",
+                "Handling Fee",
             ],
         }
     }
@@ -243,7 +293,14 @@ mod tests {
         let names: Vec<&str> = Domain::ALL.iter().map(|d| d.name()).collect();
         assert_eq!(
             names,
-            vec!["environment", "finance", "health", "politics", "sports", "others"]
+            vec![
+                "environment",
+                "finance",
+                "health",
+                "politics",
+                "sports",
+                "others"
+            ]
         );
     }
 

@@ -126,14 +126,19 @@ pub fn render_mention(v: f64, style: MentionStyle, cell_surface: &str) -> (Strin
                 return render_mention(v, MentionStyle::Plain, cell_surface);
             };
             let rounded = (scaled * 100.0).round() / 100.0;
-            let approx = (rounded * match word {
-                "billion" => 1e9,
-                "million" => 1e6,
-                _ => 1e3,
-            } - v)
+            let approx = (rounded
+                * match word {
+                    "billion" => 1e9,
+                    "million" => 1e6,
+                    _ => 1e3,
+                }
+                - v)
                 .abs()
                 > 1e-9;
-            (format!("{} {word}", trim_decimal(&format!("{rounded:.2}"))), approx)
+            (
+                format!("{} {word}", trim_decimal(&format!("{rounded:.2}"))),
+                approx,
+            )
         }
         MentionStyle::SuffixK => {
             if v.abs() < 1e3 {
@@ -164,7 +169,11 @@ pub fn render_mention(v: f64, style: MentionStyle, cell_surface: &str) -> (Strin
                 let prec = plain.len() - plain.rfind('.').unwrap() - 1;
                 let factor = 10f64.powi(prec as i32 - 1);
                 let x = v * factor;
-                let x = if style == MentionStyle::TruncatedDigit { x.trunc() } else { x.round() };
+                let x = if style == MentionStyle::TruncatedDigit {
+                    x.trunc()
+                } else {
+                    x.round()
+                };
                 let x = x / factor;
                 if prec <= 1 {
                     format!("{}", x as i64)

@@ -32,7 +32,9 @@ pub fn table_to_html(table: &Table) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Render several labeled documents as one web page: paragraph, then its
@@ -49,6 +51,24 @@ pub fn render_page(docs: &[&LabeledDocument]) -> String {
     }
     out.push_str("</body></html>");
     out
+}
+
+/// Batch page generator: materialize a whole seeded corpus as HTML pages,
+/// `docs_per_page` labeled documents per page. This is the input side of
+/// the batch-alignment engine — CI's bench-smoke and determinism stages
+/// and `briq-align --gen-corpus` all generate their workloads through it,
+/// so the same `(seed, n_documents, docs_per_page)` triple always yields
+/// byte-identical pages.
+pub fn corpus_pages(cfg: &crate::corpus::CorpusConfig, docs_per_page: usize) -> Vec<String> {
+    let corpus = crate::corpus::generate_corpus(cfg);
+    corpus
+        .documents
+        .chunks(docs_per_page.max(1))
+        .map(|chunk| {
+            let refs: Vec<&LabeledDocument> = chunk.iter().collect();
+            render_page(&refs)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -68,7 +88,10 @@ mod tests {
         let reparsed = Table::from_raw(&page.tables[0]);
         assert_eq!(reparsed.cells, ld.document.tables[0].cells);
         assert_eq!(reparsed.caption, ld.document.tables[0].caption);
-        assert_eq!(reparsed.quantity_count(), ld.document.tables[0].quantity_count());
+        assert_eq!(
+            reparsed.quantity_count(),
+            ld.document.tables[0].quantity_count()
+        );
     }
 
     #[test]
@@ -78,10 +101,26 @@ mod tests {
         let html = render_page(&slice);
         let page = parse_page(&html);
         assert_eq!(page.paragraphs.len(), 3);
-        assert_eq!(page.tables.len(), slice.iter().map(|d| d.document.tables.len()).sum::<usize>());
+        assert_eq!(
+            page.tables.len(),
+            slice.iter().map(|d| d.document.tables.len()).sum::<usize>()
+        );
         let docs = segment_page(&page, &SegmentConfig::default(), 0);
         // every paragraph relates at least to its adjacent table
         assert!(docs.len() >= 2, "segmented {} documents", docs.len());
+    }
+
+    #[test]
+    fn corpus_pages_are_seed_deterministic() {
+        let cfg = CorpusConfig::small(33);
+        let a = corpus_pages(&cfg, 3);
+        let b = corpus_pages(&cfg, 3);
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "same seed must yield byte-identical pages");
+        let n_docs = generate_corpus(&cfg).documents.len();
+        assert_eq!(a.len(), n_docs.div_ceil(3));
+        // `docs_per_page == 0` is clamped, not a panic.
+        assert_eq!(corpus_pages(&cfg, 0).len(), n_docs);
     }
 
     #[test]

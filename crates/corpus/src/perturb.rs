@@ -40,8 +40,11 @@ pub enum Perturbation {
 
 impl Perturbation {
     /// All three variants in the paper's order.
-    pub const ALL: [Perturbation; 3] =
-        [Perturbation::Original, Perturbation::Truncated, Perturbation::Rounded];
+    pub const ALL: [Perturbation; 3] = [
+        Perturbation::Original,
+        Perturbation::Truncated,
+        Perturbation::Rounded,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -91,7 +94,11 @@ pub fn perturb_numeral(s: &str, p: Perturbation) -> Option<String> {
         Perturbation::Rounded => ((value as f64 / 10.0).round() as i64) * 10,
         Perturbation::Original => unreachable!(),
     };
-    Some(if grouped { crate::numbers::group_thousands(adjusted) } else { adjusted.to_string() })
+    Some(if grouped {
+        crate::numbers::group_thousands(adjusted)
+    } else {
+        adjusted.to_string()
+    })
 }
 
 /// Locate the numeral core inside a mention's span of `text`: the maximal
@@ -173,7 +180,10 @@ pub fn perturb_document(ld: &LabeledDocument, p: Perturbation) -> LabeledDocumen
 
     let mut doc = ld.document.clone();
     doc.text = out;
-    LabeledDocument { document: doc, gold }
+    LabeledDocument {
+        document: doc,
+        gold,
+    }
 }
 
 /// One family of adversarial page, each targeting a different pipeline
@@ -369,22 +379,46 @@ mod tests {
 
     #[test]
     fn paper_examples_truncated() {
-        assert_eq!(perturb_numeral("6746", Perturbation::Truncated).unwrap(), "6740");
-        assert_eq!(perturb_numeral("2.74", Perturbation::Truncated).unwrap(), "2.7");
-        assert_eq!(perturb_numeral("0.19", Perturbation::Truncated).unwrap(), "0.1");
+        assert_eq!(
+            perturb_numeral("6746", Perturbation::Truncated).unwrap(),
+            "6740"
+        );
+        assert_eq!(
+            perturb_numeral("2.74", Perturbation::Truncated).unwrap(),
+            "2.7"
+        );
+        assert_eq!(
+            perturb_numeral("0.19", Perturbation::Truncated).unwrap(),
+            "0.1"
+        );
     }
 
     #[test]
     fn paper_examples_rounded() {
-        assert_eq!(perturb_numeral("6746", Perturbation::Rounded).unwrap(), "6750");
-        assert_eq!(perturb_numeral("2.74", Perturbation::Rounded).unwrap(), "2.7");
-        assert_eq!(perturb_numeral("0.19", Perturbation::Rounded).unwrap(), "0.2");
+        assert_eq!(
+            perturb_numeral("6746", Perturbation::Rounded).unwrap(),
+            "6750"
+        );
+        assert_eq!(
+            perturb_numeral("2.74", Perturbation::Rounded).unwrap(),
+            "2.7"
+        );
+        assert_eq!(
+            perturb_numeral("0.19", Perturbation::Rounded).unwrap(),
+            "0.2"
+        );
     }
 
     #[test]
     fn grouping_preserved() {
-        assert_eq!(perturb_numeral("3,263", Perturbation::Truncated).unwrap(), "3,260");
-        assert_eq!(perturb_numeral("3,267", Perturbation::Rounded).unwrap(), "3,270");
+        assert_eq!(
+            perturb_numeral("3,263", Perturbation::Truncated).unwrap(),
+            "3,260"
+        );
+        assert_eq!(
+            perturb_numeral("3,267", Perturbation::Rounded).unwrap(),
+            "3,270"
+        );
     }
 
     #[test]
@@ -395,7 +429,10 @@ mod tests {
 
     #[test]
     fn decimal_collapse_to_integer() {
-        assert_eq!(perturb_numeral("1.5", Perturbation::Truncated).unwrap(), "1");
+        assert_eq!(
+            perturb_numeral("1.5", Perturbation::Truncated).unwrap(),
+            "1"
+        );
         assert_eq!(perturb_numeral("1.5", Perturbation::Rounded).unwrap(), "2");
     }
 
@@ -438,7 +475,11 @@ mod tests {
     #[test]
     fn adversarial_pages_are_deterministic() {
         for kind in Adversary::ALL {
-            assert_eq!(adversarial_page(kind, 7), adversarial_page(kind, 7), "{kind:?}");
+            assert_eq!(
+                adversarial_page(kind, 7),
+                adversarial_page(kind, 7),
+                "{kind:?}"
+            );
             // Different seeds should (for the randomized families) be
             // able to differ; at minimum they must not panic.
             let _ = adversarial_page(kind, 8);
@@ -480,6 +521,9 @@ mod tests {
                 changed += 1;
             }
         }
-        assert!(changed * 10 >= total * 7, "only {changed}/{total} documents changed");
+        assert!(
+            changed * 10 >= total * 7,
+            "only {changed}/{total} documents changed"
+        );
     }
 }

@@ -43,9 +43,7 @@ impl GeneratedTable {
     /// Data columns suitable as aggregate targets (counts and money).
     pub fn aggregatable_cols(&self) -> Vec<usize> {
         (0..self.n_cols())
-            .filter(|&c| {
-                !matches!(self.kinds[c], ColumnKind::Percent | ColumnKind::Rating)
-            })
+            .filter(|&c| !matches!(self.kinds[c], ColumnKind::Percent | ColumnKind::Rating))
             .collect()
     }
 }
@@ -67,16 +65,16 @@ pub struct TableGenConfig {
 
 impl Default for TableGenConfig {
     fn default() -> Self {
-        TableGenConfig { caption_scale_rate: 0.35, collision_rate: 0.3, twin_copy_rate: 0.6 }
+        TableGenConfig {
+            caption_scale_rate: 0.35,
+            collision_rate: 0.3,
+            twin_copy_rate: 0.6,
+        }
     }
 }
 
 /// Generate one table for `domain`.
-pub fn generate_table(
-    domain: Domain,
-    cfg: &TableGenConfig,
-    rng: &mut impl Rng,
-) -> GeneratedTable {
+pub fn generate_table(domain: Domain, cfg: &TableGenConfig, rng: &mut impl Rng) -> GeneratedTable {
     let (want_rows, want_cols) = domain.table_shape();
     // jitter the shape slightly (±1) but stay within vocabulary bounds
     let n_rows = (want_rows as i64 + rng.random_range(-1..=1)).max(2) as usize;
@@ -117,7 +115,8 @@ pub fn generate_table(
                     .iter()
                     .enumerate()
                     .filter(|&(i, &(n2, k2))| {
-                        i != c && !n2.eq_ignore_ascii_case("total")
+                        i != c
+                            && !n2.eq_ignore_ascii_case("total")
                             && matches!(k2, ColumnKind::Count | ColumnKind::SmallCount)
                     })
                     .map(|(i, _)| row[i])
@@ -149,8 +148,7 @@ pub fn generate_table(
     }
 
     let entities: Vec<String> = entities.iter().map(|s| s.to_string()).collect();
-    let attrs: Vec<(String, ColumnKind)> =
-        attrs.iter().map(|&(a, k)| (a.to_string(), k)).collect();
+    let attrs: Vec<(String, ColumnKind)> = attrs.iter().map(|&(a, k)| (a.to_string(), k)).collect();
     assemble(&caption, entities, attrs, raw, scale)
 }
 
@@ -158,7 +156,11 @@ pub fn generate_table(
 /// fresh values, with each cell copied from the base with probability
 /// `cfg.twin_copy_rate` — the cross-table same-value collisions that make
 /// purely local resolution fail.
-pub fn twin_table(base: &GeneratedTable, cfg: &TableGenConfig, rng: &mut impl Rng) -> GeneratedTable {
+pub fn twin_table(
+    base: &GeneratedTable,
+    cfg: &TableGenConfig,
+    rng: &mut impl Rng,
+) -> GeneratedTable {
     let n_rows = base.n_rows();
     let n_cols = base.n_cols();
     let mut raw: Vec<Vec<f64>> = (0..n_rows)
@@ -166,7 +168,12 @@ pub fn twin_table(base: &GeneratedTable, cfg: &TableGenConfig, rng: &mut impl Rn
             (0..n_cols)
                 .map(|c| {
                     if rng.random_bool(cfg.twin_copy_rate) {
-                        base.values[r][c] / if base.kinds[c] == ColumnKind::Money { base.scale } else { 1.0 }
+                        base.values[r][c]
+                            / if base.kinds[c] == ColumnKind::Money {
+                                base.scale
+                            } else {
+                                1.0
+                            }
                     } else {
                         sample_value(base.kinds[c], rng)
                     }
@@ -194,8 +201,12 @@ pub fn twin_table(base: &GeneratedTable, cfg: &TableGenConfig, rng: &mut impl Rn
         }
     }
     let caption = format!("{} — segment B", base.table.caption);
-    let attrs: Vec<(String, ColumnKind)> =
-        base.attrs.iter().cloned().zip(base.kinds.iter().copied()).collect();
+    let attrs: Vec<(String, ColumnKind)> = base
+        .attrs
+        .iter()
+        .cloned()
+        .zip(base.kinds.iter().copied())
+        .collect();
     assemble(&caption, base.entities.clone(), attrs, raw, base.scale)
 }
 
@@ -228,7 +239,13 @@ fn assemble(
         .map(|row| {
             row.iter()
                 .enumerate()
-                .map(|(c, &v)| if attrs[c].1 == ColumnKind::Money { v * scale } else { v })
+                .map(|(c, &v)| {
+                    if attrs[c].1 == ColumnKind::Money {
+                        v * scale
+                    } else {
+                        v
+                    }
+                })
                 .collect()
         })
         .collect();
@@ -263,9 +280,10 @@ mod tests {
                 for r in 0..g.n_rows() {
                     for c in 0..g.n_cols() {
                         let (gr, gc) = g.grid_pos(r, c);
-                        let q = g.table.quantity(gr, gc).unwrap_or_else(|| {
-                            panic!("{domain:?} cell ({gr},{gc}) must parse")
-                        });
+                        let q = g
+                            .table
+                            .quantity(gr, gc)
+                            .unwrap_or_else(|| panic!("{domain:?} cell ({gr},{gc}) must parse"));
                         assert!(
                             (q.value - g.values[r][c]).abs() < 1e-6 * g.values[r][c].abs().max(1.0),
                             "{domain:?} ({gr},{gc}): parsed {} vs truth {}",
@@ -290,7 +308,11 @@ mod tests {
     #[test]
     fn caption_scale_applied() {
         let mut rng = rng();
-        let cfg = TableGenConfig { caption_scale_rate: 1.0, collision_rate: 0.0, ..Default::default() };
+        let cfg = TableGenConfig {
+            caption_scale_rate: 1.0,
+            collision_rate: 0.0,
+            ..Default::default()
+        };
         // finance always has money columns
         let g = generate_table(Domain::Finance, &cfg, &mut rng);
         assert_eq!(g.scale, 1e6);
@@ -307,7 +329,11 @@ mod tests {
     #[test]
     fn collisions_duplicate_values() {
         let mut rng = rng();
-        let cfg = TableGenConfig { caption_scale_rate: 0.0, collision_rate: 1.0, ..Default::default() };
+        let cfg = TableGenConfig {
+            caption_scale_rate: 0.0,
+            collision_rate: 1.0,
+            ..Default::default()
+        };
         let mut found = false;
         for _ in 0..10 {
             let g = generate_table(Domain::Politics, &cfg, &mut rng);
@@ -330,7 +356,10 @@ mod tests {
         let mut rng = rng();
         let g = generate_table(Domain::Environment, &TableGenConfig::default(), &mut rng);
         for c in g.aggregatable_cols() {
-            assert!(!matches!(g.kinds[c], ColumnKind::Percent | ColumnKind::Rating));
+            assert!(!matches!(
+                g.kinds[c],
+                ColumnKind::Percent | ColumnKind::Rating
+            ));
         }
     }
 
@@ -340,7 +369,11 @@ mod tests {
         for _ in 0..20 {
             let g = generate_table(
                 Domain::Health,
-                &TableGenConfig { caption_scale_rate: 0.0, collision_rate: 0.0, ..Default::default() },
+                &TableGenConfig {
+                    caption_scale_rate: 0.0,
+                    collision_rate: 0.0,
+                    ..Default::default()
+                },
                 &mut rng,
             );
             if let Some(tc) = g.attrs.iter().position(|a| a == "total") {

@@ -42,15 +42,34 @@ impl Default for TextGenConfig {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum MentionPlan {
     /// One data cell `(table, data_row, data_col)`.
-    Single { table: usize, row: usize, col: usize },
+    Single {
+        table: usize,
+        row: usize,
+        col: usize,
+    },
     /// Sum over a data column.
     Sum { table: usize, col: usize },
     /// Difference of two cells in the same data row.
-    Diff { table: usize, row: usize, col_a: usize, col_b: usize },
+    Diff {
+        table: usize,
+        row: usize,
+        col_a: usize,
+        col_b: usize,
+    },
     /// Percentage of two cells in the same data column.
-    Percent { table: usize, col: usize, row_num: usize, row_den: usize },
+    Percent {
+        table: usize,
+        col: usize,
+        row_num: usize,
+        row_den: usize,
+    },
     /// Change ratio of two cells in the same data row.
-    Ratio { table: usize, row: usize, col_new: usize, col_old: usize },
+    Ratio {
+        table: usize,
+        row: usize,
+        col_new: usize,
+        col_old: usize,
+    },
     /// A number that refers to no table.
     Distractor,
     /// A ranking reference: the minimum or maximum of a data column
@@ -115,7 +134,10 @@ pub fn render_document(
     cfg: &TextGenConfig,
     rng: &mut impl Rng,
 ) -> (String, Vec<GoldAlignment>) {
-    let mut b = Builder { text: String::new(), gold: Vec::new() };
+    let mut b = Builder {
+        text: String::new(),
+        gold: Vec::new(),
+    };
 
     // Topical opener so segmentation has overlap to work with.
     let opener = domain.filler()[rng.random_range(0..domain.filler().len())];
@@ -181,12 +203,11 @@ fn render_plan(
                 let (gr, gc) = g.grid_pos(row, col);
                 g.table.cells[gr][gc].clone()
             };
-            let style =
-                if kind == ColumnKind::Percent || kind == ColumnKind::Rating {
-                    MentionStyle::Exact
-                } else {
-                    pick_style(value, rng)
-                };
+            let style = if kind == ColumnKind::Percent || kind == ColumnKind::Rating {
+                MentionStyle::Exact
+            } else {
+                pick_style(value, rng)
+            };
             let (surface, approx) = render_mention(value, style, &cell_surface);
 
             let entity_hint = rng.random_bool(cfg.entity_hint_rate);
@@ -230,11 +251,14 @@ fn render_plan(
         MentionPlan::Sum { table, col } => {
             let g = &tables[table];
             let total: f64 = (0..g.n_rows()).map(|r| g.values[r][col]).sum();
-            let cells: Vec<(usize, usize)> =
-                (0..g.n_rows()).map(|r| g.grid_pos(r, col)).collect();
+            let cells: Vec<(usize, usize)> = (0..g.n_rows()).map(|r| g.grid_pos(r, col)).collect();
             // Large totals are often written approximately; small counts
             // exactly ("a total of 123 patients").
-            let style = if total.abs() >= 1e4 { pick_style(total, rng) } else { MentionStyle::Plain };
+            let style = if total.abs() >= 1e4 {
+                pick_style(total, rng)
+            } else {
+                MentionStyle::Plain
+            };
             let (surface, approx) = render_mention(total, style, &format!("{total}"));
             let kind = g.kinds[col];
             let with_unit = rng.random_bool(cfg.unit_rate);
@@ -266,7 +290,12 @@ fn render_plan(
             }
             b.push(". ");
         }
-        MentionPlan::Diff { table, row, col_a, col_b } => {
+        MentionPlan::Diff {
+            table,
+            row,
+            col_a,
+            col_b,
+        } => {
             let g = &tables[table];
             let d = (g.values[row][col_a] - g.values[row][col_b]).abs();
             let style = pick_style(d, rng);
@@ -292,7 +321,12 @@ fn render_plan(
             b.push(&g.attrs[col_b]);
             b.push(". ");
         }
-        MentionPlan::Percent { table, col, row_num, row_den } => {
+        MentionPlan::Percent {
+            table,
+            col,
+            row_num,
+            row_den,
+        } => {
             let g = &tables[table];
             let pct = g.values[row_num][col] / g.values[row_den][col] * 100.0;
             let surface = fmt_pct(pct);
@@ -316,7 +350,12 @@ fn render_plan(
             }
             b.push(". ");
         }
-        MentionPlan::Ratio { table, row, col_new, col_old } => {
+        MentionPlan::Ratio {
+            table,
+            row,
+            col_new,
+            col_old,
+        } => {
             let g = &tables[table];
             let (vn, vo) = (g.values[row][col_new], g.values[row][col_old]);
             if vn == 0.0 {
@@ -340,7 +379,11 @@ fn render_plan(
             b.push(&g.attrs[col_old]);
             b.push(". ");
         }
-        MentionPlan::Ranking { table, col, maximum } => {
+        MentionPlan::Ranking {
+            table,
+            col,
+            maximum,
+        } => {
             let g = &tables[table];
             let values: Vec<f64> = (0..g.n_rows()).map(|r| g.values[r][col]).collect();
             let v = if maximum {
@@ -348,10 +391,13 @@ fn render_plan(
             } else {
                 values.iter().copied().fold(f64::INFINITY, f64::min)
             };
-            let cells: Vec<(usize, usize)> =
-                (0..g.n_rows()).map(|r| g.grid_pos(r, col)).collect();
+            let cells: Vec<(usize, usize)> = (0..g.n_rows()).map(|r| g.grid_pos(r, col)).collect();
             let (surface, _) = render_mention(v, MentionStyle::Plain, &format!("{v}"));
-            b.push(if maximum { "The highest figure" } else { "The lowest figure" });
+            b.push(if maximum {
+                "The highest figure"
+            } else {
+                "The lowest figure"
+            });
             if rng.random_bool(cfg.attr_hint_rate) {
                 b.push(" in ");
                 b.push(&g.attrs[col]);
@@ -410,7 +456,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let g = generate_table(
             Domain::Health,
-            &TableGenConfig { caption_scale_rate: 0.0, collision_rate: 0.0, ..Default::default() },
+            &TableGenConfig {
+                caption_scale_rate: 0.0,
+                collision_rate: 0.0,
+                ..Default::default()
+            },
             &mut rng,
         );
         (g, rng)
@@ -420,12 +470,21 @@ mod tests {
     fn gold_spans_cover_real_quantities() {
         let (g, mut rng) = setup(3);
         let plans = vec![
-            MentionPlan::Single { table: 0, row: 0, col: 0 },
+            MentionPlan::Single {
+                table: 0,
+                row: 0,
+                col: 0,
+            },
             MentionPlan::Sum { table: 0, col: 0 },
             MentionPlan::Distractor,
         ];
-        let (text, gold) =
-            render_document(Domain::Health, &[g], &plans, &TextGenConfig::default(), &mut rng);
+        let (text, gold) = render_document(
+            Domain::Health,
+            &[g],
+            &plans,
+            &TextGenConfig::default(),
+            &mut rng,
+        );
         assert_eq!(gold.len(), 2); // distractor records no gold
         let mentions = extract_quantities(&text);
         for ga in &gold {
@@ -441,40 +500,86 @@ mod tests {
         let (g, mut rng) = setup(4);
         let n = g.n_rows();
         let plans = vec![MentionPlan::Sum { table: 0, col: 1 }];
-        let (_, gold) =
-            render_document(Domain::Health, &[g], &plans, &TextGenConfig::default(), &mut rng);
+        let (_, gold) = render_document(
+            Domain::Health,
+            &[g],
+            &plans,
+            &TextGenConfig::default(),
+            &mut rng,
+        );
         assert_eq!(gold[0].cells.len(), n);
-        assert_eq!(gold[0].kind, TableMentionKind::Aggregate(AggregationKind::Sum));
+        assert_eq!(
+            gold[0].kind,
+            TableMentionKind::Aggregate(AggregationKind::Sum)
+        );
     }
 
     #[test]
     fn pair_aggregates_have_two_cells() {
         let (g, mut rng) = setup(5);
         let plans = vec![
-            MentionPlan::Diff { table: 0, row: 0, col_a: 0, col_b: 1 },
-            MentionPlan::Percent { table: 0, col: 0, row_num: 0, row_den: 1 },
-            MentionPlan::Ratio { table: 0, row: 0, col_new: 0, col_old: 1 },
+            MentionPlan::Diff {
+                table: 0,
+                row: 0,
+                col_a: 0,
+                col_b: 1,
+            },
+            MentionPlan::Percent {
+                table: 0,
+                col: 0,
+                row_num: 0,
+                row_den: 1,
+            },
+            MentionPlan::Ratio {
+                table: 0,
+                row: 0,
+                col_new: 0,
+                col_old: 1,
+            },
         ];
-        let (text, gold) =
-            render_document(Domain::Health, &[g], &plans, &TextGenConfig::default(), &mut rng);
+        let (text, gold) = render_document(
+            Domain::Health,
+            &[g],
+            &plans,
+            &TextGenConfig::default(),
+            &mut rng,
+        );
         assert_eq!(gold.len(), 3, "{text:?}");
         for ga in &gold {
             assert_eq!(ga.cells.len(), 2);
         }
-        assert_eq!(gold[0].kind, TableMentionKind::Aggregate(AggregationKind::Difference));
-        assert_eq!(gold[1].kind, TableMentionKind::Aggregate(AggregationKind::Percentage));
-        assert_eq!(gold[2].kind, TableMentionKind::Aggregate(AggregationKind::ChangeRatio));
+        assert_eq!(
+            gold[0].kind,
+            TableMentionKind::Aggregate(AggregationKind::Difference)
+        );
+        assert_eq!(
+            gold[1].kind,
+            TableMentionKind::Aggregate(AggregationKind::Percentage)
+        );
+        assert_eq!(
+            gold[2].kind,
+            TableMentionKind::Aggregate(AggregationKind::ChangeRatio)
+        );
     }
 
     #[test]
     fn spans_match_text_slices() {
         let (g, mut rng) = setup(6);
         let plans = vec![
-            MentionPlan::Single { table: 0, row: 1, col: 1 },
+            MentionPlan::Single {
+                table: 0,
+                row: 1,
+                col: 1,
+            },
             MentionPlan::Sum { table: 0, col: 1 },
         ];
-        let (text, gold) =
-            render_document(Domain::Health, &[g], &plans, &TextGenConfig::default(), &mut rng);
+        let (text, gold) = render_document(
+            Domain::Health,
+            &[g],
+            &plans,
+            &TextGenConfig::default(),
+            &mut rng,
+        );
         for ga in &gold {
             let slice = &text[ga.mention_start..ga.mention_end];
             assert!(
@@ -498,7 +603,12 @@ mod tests {
         let (text, _) = render_document(
             Domain::Health,
             &[g],
-            &[MentionPlan::Ratio { table: 0, row: 0, col_new: 0, col_old: 1 }],
+            &[MentionPlan::Ratio {
+                table: 0,
+                row: 0,
+                col_new: 0,
+                col_old: 1,
+            }],
             &TextGenConfig::default(),
             &mut rng,
         );
@@ -509,9 +619,25 @@ mod tests {
     fn deterministic_given_seed() {
         let (g1, mut r1) = setup(8);
         let (g2, mut r2) = setup(8);
-        let plans = vec![MentionPlan::Single { table: 0, row: 0, col: 0 }];
-        let a = render_document(Domain::Health, &[g1], &plans, &TextGenConfig::default(), &mut r1);
-        let b = render_document(Domain::Health, &[g2], &plans, &TextGenConfig::default(), &mut r2);
+        let plans = vec![MentionPlan::Single {
+            table: 0,
+            row: 0,
+            col: 0,
+        }];
+        let a = render_document(
+            Domain::Health,
+            &[g1],
+            &plans,
+            &TextGenConfig::default(),
+            &mut r1,
+        );
+        let b = render_document(
+            Domain::Health,
+            &[g2],
+            &plans,
+            &TextGenConfig::default(),
+            &mut r2,
+        );
         assert_eq!(a.0, b.0);
     }
 }

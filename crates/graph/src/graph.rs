@@ -13,7 +13,9 @@ pub struct Graph {
 impl Graph {
     /// Create a graph with `n` isolated nodes.
     pub fn new(n: usize) -> Self {
-        Graph { adj: vec![Vec::new(); n] }
+        Graph {
+            adj: vec![Vec::new(); n],
+        }
     }
 
     /// Number of nodes.
@@ -45,7 +47,12 @@ impl Graph {
     /// Fallible edge insertion: rejects out-of-range endpoints instead of
     /// panicking. Self-loops and non-positive / non-finite weights are
     /// silently ignored, as in [`Graph::add_edge`].
-    pub fn try_add_edge(&mut self, a: usize, b: usize, w: f64) -> Result<(), crate::error::GraphError> {
+    pub fn try_add_edge(
+        &mut self,
+        a: usize,
+        b: usize,
+        w: f64,
+    ) -> Result<(), crate::error::GraphError> {
         let len = self.len();
         for node in [a, b] {
             if node >= len {
@@ -86,7 +93,11 @@ impl Graph {
 
     /// Weight of edge `a – b`, if present.
     pub fn edge_weight(&self, a: usize, b: usize) -> Option<f64> {
-        self.adj.get(a)?.iter().find(|&&(n, _)| n == b).map(|&(_, w)| w)
+        self.adj
+            .get(a)?
+            .iter()
+            .find(|&&(n, _)| n == b)
+            .map(|&(_, w)| w)
     }
 
     /// Neighbors of `a` with raw edge weights.

@@ -22,7 +22,11 @@ pub struct RwrConfig {
 
 impl Default for RwrConfig {
     fn default() -> Self {
-        RwrConfig { restart: 0.15, tolerance: 1e-9, max_iterations: 200 }
+        RwrConfig {
+            restart: 0.15,
+            tolerance: 1e-9,
+            max_iterations: 200,
+        }
     }
 }
 
@@ -62,7 +66,10 @@ pub fn try_random_walk_with_restart(
 ) -> Result<(Vec<f64>, ConvergenceReport), GraphError> {
     let n = graph.len();
     if start >= n {
-        return Err(GraphError::NodeOutOfRange { node: start, len: n });
+        return Err(GraphError::NodeOutOfRange {
+            node: start,
+            len: n,
+        });
     }
     let c = cfg.restart.clamp(1e-6, 1.0);
 
@@ -72,8 +79,11 @@ pub fn try_random_walk_with_restart(
     let mut p = vec![0.0f64; n];
     p[start] = 1.0;
     let mut next = vec![0.0f64; n];
-    let mut report =
-        ConvergenceReport { iterations: 0, residual: f64::INFINITY, converged: false };
+    let mut report = ConvergenceReport {
+        iterations: 0,
+        residual: f64::INFINITY,
+        converged: false,
+    };
 
     for it in 0..cfg.max_iterations {
         next.iter_mut().for_each(|x| *x = 0.0);
@@ -138,8 +148,14 @@ mod tests {
         // a weak restart an endpoint start pushes all its mass to its only
         // neighbor, which can then outrank the start itself.)
         let g = line_graph();
-        let p =
-            random_walk_with_restart(&g, 0, &RwrConfig { restart: 0.5, ..Default::default() });
+        let p = random_walk_with_restart(
+            &g,
+            0,
+            &RwrConfig {
+                restart: 0.5,
+                ..Default::default()
+            },
+        );
         assert!(p[0] > p[1]);
         assert!(p[1] > p[2]);
         assert!(p[2] > p[3]);
@@ -148,8 +164,22 @@ mod tests {
     #[test]
     fn restart_probability_sharpens_locality() {
         let g = line_graph();
-        let soft = random_walk_with_restart(&g, 0, &RwrConfig { restart: 0.05, ..Default::default() });
-        let hard = random_walk_with_restart(&g, 0, &RwrConfig { restart: 0.8, ..Default::default() });
+        let soft = random_walk_with_restart(
+            &g,
+            0,
+            &RwrConfig {
+                restart: 0.05,
+                ..Default::default()
+            },
+        );
+        let hard = random_walk_with_restart(
+            &g,
+            0,
+            &RwrConfig {
+                restart: 0.8,
+                ..Default::default()
+            },
+        );
         // With a high restart probability more mass stays near the start.
         assert!(hard[0] > soft[0]);
         assert!(hard[3] < soft[3]);

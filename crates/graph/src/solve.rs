@@ -43,7 +43,10 @@ fn gaussian_solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
     for col in 0..n {
         // pivot
         let pivot = (col..n).max_by(|&i, &j| {
-            a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap_or(std::cmp::Ordering::Equal)
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
         })?;
         if a[pivot][col].abs() < 1e-12 {
             return None;
@@ -82,33 +85,21 @@ mod tests {
 
     #[test]
     fn solves_identity() {
-        let x = gaussian_solve(
-            vec![vec![1.0, 0.0], vec![0.0, 1.0]],
-            vec![3.0, 4.0],
-        )
-        .unwrap();
+        let x = gaussian_solve(vec![vec![1.0, 0.0], vec![0.0, 1.0]], vec![3.0, 4.0]).unwrap();
         assert_eq!(x, vec![3.0, 4.0]);
     }
 
     #[test]
     fn solves_general_system() {
         // 2x + y = 5 ; x - y = 1 → x = 2, y = 1
-        let x = gaussian_solve(
-            vec![vec![2.0, 1.0], vec![1.0, -1.0]],
-            vec![5.0, 1.0],
-        )
-        .unwrap();
+        let x = gaussian_solve(vec![vec![2.0, 1.0], vec![1.0, -1.0]], vec![5.0, 1.0]).unwrap();
         assert!((x[0] - 2.0).abs() < 1e-12);
         assert!((x[1] - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn singular_returns_none() {
-        assert!(gaussian_solve(
-            vec![vec![1.0, 1.0], vec![2.0, 2.0]],
-            vec![1.0, 2.0],
-        )
-        .is_none());
+        assert!(gaussian_solve(vec![vec![1.0, 1.0], vec![2.0, 2.0]], vec![1.0, 2.0],).is_none());
     }
 
     #[test]

@@ -78,7 +78,10 @@ impl Value {
 
     /// Object member lookup (first match).
     pub fn get(&self, key: &str) -> Option<&Value> {
-        self.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
     }
 
     /// For externally-tagged enums: if the value is a single-entry object
@@ -222,7 +225,10 @@ fn write_string(s: &str, out: &mut String) {
 /// Parse a JSON document into a [`Value`]. Panic-free on arbitrary input;
 /// nesting deeper than [`MAX_DEPTH`] is rejected.
 pub fn parse(input: &str) -> Result<Value> {
-    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.value(0)?;
     p.skip_ws();
@@ -429,8 +435,8 @@ impl<'a> Parser<'a> {
                     // Consume one UTF-8 char (input is a &str, so this is
                     // always on a boundary).
                     let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
-                        .map_err(|_| JsonError::new("invalid utf-8"))?;
+                    let s =
+                        std::str::from_utf8(rest).map_err(|_| JsonError::new("invalid utf-8"))?;
                     let c = s.chars().next().ok_or_else(|| JsonError::new("empty"))?;
                     out.push(c);
                     self.pos += c.len_utf8();
@@ -447,8 +453,7 @@ impl<'a> Parser<'a> {
             .ok_or_else(|| JsonError::new("truncated \\u escape"))?;
         let hex = std::str::from_utf8(&self.bytes[self.pos..end])
             .map_err(|_| JsonError::new("invalid \\u escape"))?;
-        let cp = u32::from_str_radix(hex, 16)
-            .map_err(|_| JsonError::new("invalid \\u escape"))?;
+        let cp = u32::from_str_radix(hex, 16).map_err(|_| JsonError::new("invalid \\u escape"))?;
         self.pos = end;
         Ok(cp)
     }
@@ -488,8 +493,7 @@ pub fn from_str<T: FromJson>(s: &str) -> Result<T> {
 /// Look up `key` in object entries and convert; missing keys error.
 pub fn field<T: FromJson>(obj: &[(String, Value)], key: &str) -> Result<T> {
     match obj.iter().find(|(k, _)| k == key) {
-        Some((_, v)) => T::from_json(v)
-            .map_err(|e| JsonError::new(format!("field {key:?}: {e}"))),
+        Some((_, v)) => T::from_json(v).map_err(|e| JsonError::new(format!("field {key:?}: {e}"))),
         None => Err(JsonError::new(format!("missing field {key:?}"))),
     }
 }
@@ -567,7 +571,9 @@ impl ToJson for String {
 
 impl FromJson for String {
     fn from_json(v: &Value) -> Result<Self> {
-        v.as_str().map(str::to_string).ok_or_else(|| JsonError::new("expected string"))
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| JsonError::new("expected string"))
     }
 }
 
@@ -661,7 +667,10 @@ impl<K: ToJson + Ord, V: ToJson> ToJson for BTreeMap<K, V> {
 impl<K: FromJson + Ord, V: FromJson> FromJson for BTreeMap<K, V> {
     fn from_json(v: &Value) -> Result<Self> {
         let mut map = BTreeMap::new();
-        for entry in v.as_array().ok_or_else(|| JsonError::new("expected entry list"))? {
+        for entry in v
+            .as_array()
+            .ok_or_else(|| JsonError::new("expected entry list"))?
+        {
             match entry.as_array() {
                 Some([k, val]) => {
                     map.insert(K::from_json(k)?, V::from_json(val)?);
@@ -801,7 +810,9 @@ mod tests {
 
     #[test]
     fn parse_errors_do_not_panic() {
-        for bad in ["", "{", "[1,", "{\"a\"}", "tru", "\"", "01x", "{\"a\":}", "[]]", "\u{0}"] {
+        for bad in [
+            "", "{", "[1,", "{\"a\"}", "tru", "\"", "01x", "{\"a\":}", "[]]", "\u{0}",
+        ] {
             assert!(parse(bad).is_err(), "{bad:?}");
         }
     }
@@ -815,10 +826,7 @@ mod tests {
     #[test]
     fn unicode_escapes() {
         assert_eq!(parse(r#""€""#).unwrap(), Value::Str("€".into()));
-        assert_eq!(
-            parse(r#""😀""#).unwrap(),
-            Value::Str("😀".into())
-        );
+        assert_eq!(parse(r#""😀""#).unwrap(), Value::Str("😀".into()));
         // lone surrogate → replacement char, not a panic
         assert_eq!(parse(r#""\ud800""#).unwrap(), Value::Str("\u{FFFD}".into()));
     }
@@ -847,7 +855,13 @@ mod tests {
         tags: Vec<String>,
         next: Option<f64>,
     }
-    json_struct!(Pt { x, y, label, tags, next });
+    json_struct!(Pt {
+        x,
+        y,
+        label,
+        tags,
+        next
+    });
 
     #[test]
     fn struct_macro_roundtrip() {

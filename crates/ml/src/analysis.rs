@@ -15,12 +15,7 @@ use rand::rngs::StdRng;
 /// Permutation importance of every feature: the drop in ROC-AUC when that
 /// feature's column is shuffled. `score` maps a feature row to a
 /// probability. Higher = more important; ~0 = unused.
-pub fn permutation_importance<F>(
-    data: &Dataset,
-    score: F,
-    repeats: usize,
-    seed: u64,
-) -> Vec<f64>
+pub fn permutation_importance<F>(data: &Dataset, score: F, repeats: usize, seed: u64) -> Vec<f64>
 where
     F: Fn(&[f64]) -> f64,
 {
@@ -122,7 +117,13 @@ mod tests {
     #[test]
     fn importance_finds_the_signal_feature() {
         let data = synth(400, 1);
-        let rf = RandomForest::fit(&data, RandomForestConfig { n_trees: 32, ..Default::default() });
+        let rf = RandomForest::fit(
+            &data,
+            RandomForestConfig {
+                n_trees: 32,
+                ..Default::default()
+            },
+        );
         let imp = permutation_importance(&data, |r| rf.predict_proba(r), 3, 7);
         assert_eq!(imp.len(), 2);
         assert!(imp[0] > 0.1, "signal importance {imp:?}");
@@ -137,9 +138,13 @@ mod tests {
     #[test]
     fn perfect_calibration_has_zero_ece() {
         // predicted == empirical in two bins
-        let scores = [0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1,
-                      0.9, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9];
-        let labels: Vec<bool> = (0..20).map(|i| if i < 10 { i == 0 } else { i != 10 }).collect();
+        let scores = [
+            0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9,
+            0.9, 0.9, 0.9,
+        ];
+        let labels: Vec<bool> = (0..20)
+            .map(|i| if i < 10 { i == 0 } else { i != 10 })
+            .collect();
         let bins = calibration_curve(&scores, &labels, 10);
         let ece = expected_calibration_error(&bins);
         assert!(ece < 0.05, "ece {ece}");
@@ -159,11 +164,20 @@ mod tests {
     fn forest_votes_are_roughly_calibrated() {
         let train = synth(600, 2);
         let test = synth(300, 3);
-        let rf = RandomForest::fit(&train, RandomForestConfig { n_trees: 64, ..Default::default() });
+        let rf = RandomForest::fit(
+            &train,
+            RandomForestConfig {
+                n_trees: 64,
+                ..Default::default()
+            },
+        );
         let scores: Vec<f64> = test.features.iter().map(|r| rf.predict_proba(r)).collect();
         let bins = calibration_curve(&scores, &test.labels, 10);
         let ece = expected_calibration_error(&bins);
-        assert!(ece < 0.15, "vote fractions should be near-calibrated, ece {ece}");
+        assert!(
+            ece < 0.15,
+            "vote fractions should be near-calibrated, ece {ece}"
+        );
     }
 
     #[test]

@@ -1,6 +1,5 @@
 //! Feature-matrix dataset with binary labels and instance weights.
 
-
 /// A supervised binary-classification dataset.
 ///
 /// Features are dense `f64` rows; categorical features are encoded as
@@ -111,10 +110,20 @@ mod tests {
     fn class_weights_balance_total_mass() {
         let mut d = toy();
         d.apply_class_weights();
-        let pos_mass: f64 =
-            d.weights.iter().zip(&d.labels).filter(|(_, &l)| l).map(|(w, _)| w).sum();
-        let neg_mass: f64 =
-            d.weights.iter().zip(&d.labels).filter(|(_, &l)| !l).map(|(w, _)| w).sum();
+        let pos_mass: f64 = d
+            .weights
+            .iter()
+            .zip(&d.labels)
+            .filter(|(_, &l)| l)
+            .map(|(w, _)| w)
+            .sum();
+        let neg_mass: f64 = d
+            .weights
+            .iter()
+            .zip(&d.labels)
+            .filter(|(_, &l)| !l)
+            .map(|(w, _)| w)
+            .sum();
         assert!((pos_mass - neg_mass).abs() < 1e-9);
         // total mass preserved
         let total: f64 = d.weights.iter().sum();
@@ -140,4 +149,8 @@ mod tests {
     }
 }
 
-briq_json::json_struct!(Dataset { features, labels, weights });
+briq_json::json_struct!(Dataset {
+    features,
+    labels,
+    weights
+});

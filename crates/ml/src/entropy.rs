@@ -26,7 +26,10 @@ pub fn shannon_entropy(weights: &[f64]) -> f64 {
 /// is the number of positive entries. 1 means uniform, 0 means a single
 /// dominant candidate (or fewer than two candidates).
 pub fn normalized_entropy(weights: &[f64]) -> f64 {
-    let n = weights.iter().filter(|w| w.is_finite() && **w > 0.0).count();
+    let n = weights
+        .iter()
+        .filter(|w| w.is_finite() && **w > 0.0)
+        .count();
     if n < 2 {
         return 0.0;
     }

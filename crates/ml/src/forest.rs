@@ -27,7 +27,11 @@ pub struct RandomForestConfig {
 
 impl Default for RandomForestConfig {
     fn default() -> Self {
-        RandomForestConfig { n_trees: 128, tree: TreeConfig::default(), seed: 42 }
+        RandomForestConfig {
+            n_trees: 128,
+            tree: TreeConfig::default(),
+            seed: 42,
+        }
     }
 }
 
@@ -49,8 +53,7 @@ impl RandomForest {
         }
         let trees = (0..cfg.n_trees)
             .map(|_| {
-                let sample: Vec<usize> =
-                    (0..n).map(|_| rng.random_range(0..n.max(1))).collect();
+                let sample: Vec<usize> = (0..n).map(|_| rng.random_range(0..n.max(1))).collect();
                 DecisionTree::fit_on(data, &sample, tree_cfg, &mut rng)
             })
             .collect();
@@ -102,7 +105,13 @@ mod tests {
     fn beats_chance_on_noisy_data() {
         let train = noisy_separable(400, 1);
         let test = noisy_separable(200, 2);
-        let rf = RandomForest::fit(&train, RandomForestConfig { n_trees: 32, ..Default::default() });
+        let rf = RandomForest::fit(
+            &train,
+            RandomForestConfig {
+                n_trees: 32,
+                ..Default::default()
+            },
+        );
         let correct = test
             .features
             .iter()
@@ -127,8 +136,20 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let train = noisy_separable(100, 4);
-        let a = RandomForest::fit(&train, RandomForestConfig { seed: 9, ..Default::default() });
-        let b = RandomForest::fit(&train, RandomForestConfig { seed: 9, ..Default::default() });
+        let a = RandomForest::fit(
+            &train,
+            RandomForestConfig {
+                seed: 9,
+                ..Default::default()
+            },
+        );
+        let b = RandomForest::fit(
+            &train,
+            RandomForestConfig {
+                seed: 9,
+                ..Default::default()
+            },
+        );
         for x in [[0.3, 0.2], [0.7, 0.9]] {
             assert_eq!(a.predict_proba(&x), b.predict_proba(&x));
         }
@@ -142,8 +163,11 @@ mod tests {
         let mut unweighted = Dataset::new();
         for _ in 0..400 {
             let pos = rng.random_range(0..20) == 0;
-            let x: f64 =
-                if pos { rng.random_range(0.45..0.75) } else { rng.random_range(0.0..1.0) };
+            let x: f64 = if pos {
+                rng.random_range(0.45..0.75)
+            } else {
+                rng.random_range(0.0..1.0)
+            };
             unweighted.push(vec![x], pos);
         }
         let mut weighted = unweighted.clone();
@@ -156,7 +180,12 @@ mod tests {
         let mean = |rf: &RandomForest| {
             probe.iter().map(|&x| rf.predict_proba(&[x])).sum::<f64>() / probe.len() as f64
         };
-        assert!(mean(&rf_w) > mean(&rf_u), "w={} u={}", mean(&rf_w), mean(&rf_u));
+        assert!(
+            mean(&rf_w) > mean(&rf_u),
+            "w={} u={}",
+            mean(&rf_w),
+            mean(&rf_u)
+        );
     }
 
     #[test]
@@ -176,5 +205,9 @@ mod tests {
     }
 }
 
-briq_json::json_struct!(RandomForestConfig { n_trees, tree, seed });
+briq_json::json_struct!(RandomForestConfig {
+    n_trees,
+    tree,
+    seed
+});
 briq_json::json_struct!(RandomForest { trees });

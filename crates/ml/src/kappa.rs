@@ -16,7 +16,10 @@ pub fn fleiss_kappa(ratings: &[Vec<usize>]) -> Option<f64> {
     if n_raters < 2 {
         return None;
     }
-    if ratings.iter().any(|r| r.len() != n_cats || r.iter().sum::<usize>() != n_raters) {
+    if ratings
+        .iter()
+        .any(|r| r.len() != n_cats || r.iter().sum::<usize>() != n_raters)
+    {
         return None;
     }
 
@@ -91,7 +94,7 @@ mod tests {
     fn degenerate_inputs() {
         assert!(fleiss_kappa(&[]).is_none());
         assert!(fleiss_kappa(&[vec![1, 0]]).is_none()); // single rater
-        // inconsistent rater counts
+                                                        // inconsistent rater counts
         assert!(fleiss_kappa(&[vec![2, 0], vec![1, 0]]).is_none());
         // all raters always same single category → Pe = 1
         assert!(fleiss_kappa(&[vec![3, 0], vec![3, 0]]).is_none());

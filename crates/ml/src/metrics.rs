@@ -4,7 +4,6 @@
 //! … are not informative in our setting with high imbalance … Therefore,
 //! we use precision, recall and F1 as major metrics."
 
-
 /// Precision / recall / F1 triple.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Prf {
@@ -19,9 +18,21 @@ pub struct Prf {
 impl Prf {
     /// Build from confusion counts.
     pub fn from_counts(tp: usize, fp: usize, fn_: usize) -> Prf {
-        let precision = if tp + fp > 0 { tp as f64 / (tp + fp) as f64 } else { 0.0 };
-        let recall = if tp + fn_ > 0 { tp as f64 / (tp + fn_) as f64 } else { 0.0 };
-        Prf { precision, recall, f1: f1_from(precision, recall) }
+        let precision = if tp + fp > 0 {
+            tp as f64 / (tp + fp) as f64
+        } else {
+            0.0
+        };
+        let recall = if tp + fn_ > 0 {
+            tp as f64 / (tp + fn_) as f64
+        } else {
+            0.0
+        };
+        Prf {
+            precision,
+            recall,
+            f1: f1_from(precision, recall),
+        }
     }
 }
 
@@ -67,7 +78,11 @@ pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
         return 0.5;
     }
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     // Average ranks over tied score groups.
     let mut rank_sum_pos = 0.0;
@@ -97,7 +112,14 @@ mod tests {
     fn perfect_predictions() {
         let labels = [true, false, true, false];
         let prf = precision_recall_f1(&labels, &labels);
-        assert_eq!(prf, Prf { precision: 1.0, recall: 1.0, f1: 1.0 });
+        assert_eq!(
+            prf,
+            Prf {
+                precision: 1.0,
+                recall: 1.0,
+                f1: 1.0
+            }
+        );
     }
 
     #[test]
@@ -159,4 +181,8 @@ mod tests {
     }
 }
 
-briq_json::json_struct!(Prf { precision, recall, f1 });
+briq_json::json_struct!(Prf {
+    precision,
+    recall,
+    f1
+});

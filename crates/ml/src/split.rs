@@ -28,7 +28,11 @@ pub fn random_split(n: usize, val_frac: f64, test_frac: f64, seed: u64) -> Split
     let validation = idx[..n_val].to_vec();
     let test = idx[n_val..n_val + n_test].to_vec();
     let train = idx[n_val + n_test..].to_vec();
-    Split { train, validation, test }
+    Split {
+        train,
+        validation,
+        test,
+    }
 }
 
 /// Stratified split: class proportions are preserved in each part.
@@ -39,7 +43,11 @@ pub fn stratified_split(labels: &[bool], val_frac: f64, test_frac: f64, seed: u6
     pos.shuffle(&mut rng);
     neg.shuffle(&mut rng);
 
-    let mut split = Split { train: Vec::new(), validation: Vec::new(), test: Vec::new() };
+    let mut split = Split {
+        train: Vec::new(),
+        validation: Vec::new(),
+        test: Vec::new(),
+    };
     for class in [pos, neg] {
         let n = class.len();
         let n_val = (n as f64 * val_frac).round() as usize;

@@ -23,7 +23,12 @@ pub struct TreeConfig {
 
 impl Default for TreeConfig {
     fn default() -> Self {
-        TreeConfig { max_depth: 12, min_leaf_weight: 2.0, mtry: 0, min_gain: 0.0 }
+        TreeConfig {
+            max_depth: 12,
+            min_leaf_weight: 2.0,
+            mtry: 0,
+            min_gain: 0.0,
+        }
     }
 }
 
@@ -68,7 +73,11 @@ impl DecisionTree {
         cfg: TreeConfig,
         rng: &mut impl Rng,
     ) -> DecisionTree {
-        let mut b = Builder { data, cfg, nodes: Vec::new() };
+        let mut b = Builder {
+            data,
+            cfg,
+            nodes: Vec::new(),
+        };
         let mut idx = indices.to_vec();
         b.grow(&mut idx, 0, rng);
         DecisionTree { nodes: b.nodes }
@@ -80,8 +89,17 @@ impl DecisionTree {
         loop {
             match &self.nodes[at] {
                 Node::Leaf { prob } => return *prob,
-                Node::Split { feature, threshold, left, right } => {
-                    at = if x[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    at = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -120,7 +138,12 @@ impl<'d> Builder<'d> {
                 let (l_idx, r_idx) = indices.split_at_mut(mid);
                 let left = self.grow(l_idx, depth + 1, rng);
                 let right = self.grow(r_idx, depth + 1, rng);
-                self.nodes[id] = Node::Split { feature, threshold, left, right };
+                self.nodes[id] = Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
                 id
             }
             _ => self.leaf(prob),
@@ -151,7 +174,11 @@ impl<'d> Builder<'d> {
     /// — the usual remedy for sparse feature spaces.
     fn best_split(&self, indices: &[usize], rng: &mut impl Rng) -> Option<(usize, f64, f64)> {
         let n_features = self.data.n_features();
-        let mtry = if self.cfg.mtry == 0 { n_features } else { self.cfg.mtry.min(n_features) };
+        let mtry = if self.cfg.mtry == 0 {
+            n_features
+        } else {
+            self.cfg.mtry.min(n_features)
+        };
         if mtry < n_features {
             let mut feats: Vec<usize> = (0..n_features).collect();
             feats.shuffle(rng);
@@ -165,7 +192,6 @@ impl<'d> Builder<'d> {
     }
 
     fn best_split_over(&self, indices: &[usize], feats: &[usize]) -> Option<(usize, f64, f64)> {
-
         let (w_total, w_pos) = self.mass(indices);
         let parent_gini = gini(w_pos, w_total);
         let mut best: Option<(usize, f64, f64)> = None;
@@ -195,8 +221,7 @@ impl<'d> Builder<'d> {
                 if lw < self.cfg.min_leaf_weight || rw < self.cfg.min_leaf_weight {
                     continue;
                 }
-                let child =
-                    (lw / w_total) * gini(lp, lw) + (rw / w_total) * gini(rp, rw);
+                let child = (lw / w_total) * gini(lp, lw) + (rw / w_total) * gini(rp, rw);
                 let gain = parent_gini - child;
                 let threshold = 0.5 * (v + v_next);
                 if best.is_none_or(|(_, _, g)| gain > g) {
@@ -277,7 +302,10 @@ mod tests {
     #[test]
     fn respects_max_depth() {
         let d = separable();
-        let cfg = TreeConfig { max_depth: 0, ..Default::default() };
+        let cfg = TreeConfig {
+            max_depth: 0,
+            ..Default::default()
+        };
         let t = DecisionTree::fit(&d, cfg, &mut rng());
         assert_eq!(t.n_nodes(), 1);
     }
@@ -300,7 +328,10 @@ mod tests {
                 d.push(vec![a, b], (a == 1.0) != (b == 1.0));
             }
         }
-        let cfg = TreeConfig { min_leaf_weight: 1.0, ..Default::default() };
+        let cfg = TreeConfig {
+            min_leaf_weight: 1.0,
+            ..Default::default()
+        };
         let t = DecisionTree::fit(&d, cfg, &mut rng());
         for (a, b) in [(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
             assert_eq!(t.predict(&[a, b]), (a == 1.0) != (b == 1.0));
@@ -331,7 +362,12 @@ mod tests {
     }
 }
 
-briq_json::json_struct!(TreeConfig { max_depth, min_leaf_weight, mtry, min_gain });
+briq_json::json_struct!(TreeConfig {
+    max_depth,
+    min_leaf_weight,
+    mtry,
+    min_gain
+});
 briq_json::json_struct!(DecisionTree { nodes });
 
 // `Node` has struct variants, which the derive-style macros don't cover;
@@ -344,7 +380,12 @@ impl briq_json::ToJson for Node {
                 "Leaf".to_string(),
                 Value::Object(vec![("prob".to_string(), prob.to_json())]),
             )]),
-            Node::Split { feature, threshold, left, right } => Value::Object(vec![(
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => Value::Object(vec![(
                 "Split".to_string(),
                 Value::Object(vec![
                     ("feature".to_string(), feature.to_json()),
@@ -363,7 +404,9 @@ impl briq_json::FromJson for Node {
             let obj = inner
                 .as_object()
                 .ok_or_else(|| briq_json::JsonError::new("expected Leaf object"))?;
-            Ok(Node::Leaf { prob: briq_json::field(obj, "prob")? })
+            Ok(Node::Leaf {
+                prob: briq_json::field(obj, "prob")?,
+            })
         } else if let Some(inner) = v.get_variant("Split") {
             let obj = inner
                 .as_object()

@@ -37,7 +37,13 @@ fn forest_handles_nan_free_extremes() {
     d.push(vec![f64::MIN], false);
     d.push(vec![0.0], false);
     d.push(vec![1e300], true);
-    let rf = RandomForest::fit(&d, RandomForestConfig { n_trees: 8, ..Default::default() });
+    let rf = RandomForest::fit(
+        &d,
+        RandomForestConfig {
+            n_trees: 8,
+            ..Default::default()
+        },
+    );
     let p = rf.predict_proba(&[f64::MAX]);
     assert!((0.0..=1.0).contains(&p));
 }
@@ -51,8 +57,20 @@ fn forest_more_trees_smoother_probabilities() {
         let x = (rng_v >> 33) as f64 / (u32::MAX as f64 / 2.0);
         d.push(vec![x], (i % 3) == 0 && x > 0.7);
     }
-    let small = RandomForest::fit(&d, RandomForestConfig { n_trees: 2, ..Default::default() });
-    let large = RandomForest::fit(&d, RandomForestConfig { n_trees: 128, ..Default::default() });
+    let small = RandomForest::fit(
+        &d,
+        RandomForestConfig {
+            n_trees: 2,
+            ..Default::default()
+        },
+    );
+    let large = RandomForest::fit(
+        &d,
+        RandomForestConfig {
+            n_trees: 128,
+            ..Default::default()
+        },
+    );
     // granularity: a 2-tree forest can only output {0, .5, 1}
     let p = small.predict_proba(&[0.8]);
     assert!(p == 0.0 || p == 0.5 || p == 1.0);
@@ -138,7 +156,10 @@ fn deep_tree_respects_leaf_weight() {
     for i in 0..64 {
         d.push(vec![i as f64], i % 2 == 0);
     }
-    let cfg = TreeConfig { min_leaf_weight: 16.0, ..Default::default() };
+    let cfg = TreeConfig {
+        min_leaf_weight: 16.0,
+        ..Default::default()
+    };
     let t = DecisionTree::fit(&d, cfg, &mut StdRng::seed_from_u64(1));
     // with a 16-example floor, at most 64/16·2−1 = 7 nodes
     assert!(t.n_nodes() <= 7, "{}", t.n_nodes());

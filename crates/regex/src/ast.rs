@@ -84,7 +84,10 @@ pub struct ClassSet {
 impl ClassSet {
     /// A set containing exactly the given items.
     pub fn new(items: Vec<ClassItem>) -> Self {
-        ClassSet { items, negated: false }
+        ClassSet {
+            items,
+            negated: false,
+        }
     }
 
     /// Membership test for `c`.
@@ -118,7 +121,12 @@ pub enum Ast {
     Group(Box<Ast>, usize),
     /// Repetition `e{min,max}` (`max == None` means unbounded). `greedy`
     /// selects between greedy and lazy matching.
-    Repeat { node: Box<Ast>, min: u32, max: Option<u32>, greedy: bool },
+    Repeat {
+        node: Box<Ast>,
+        min: u32,
+        max: Option<u32>,
+        greedy: bool,
+    },
 }
 
 #[cfg(test)]
@@ -127,12 +135,18 @@ mod tests {
 
     #[test]
     fn property_names_resolve() {
-        assert_eq!(UnicodeProperty::from_name("Sc"), Some(UnicodeProperty::CurrencySymbol));
+        assert_eq!(
+            UnicodeProperty::from_name("Sc"),
+            Some(UnicodeProperty::CurrencySymbol)
+        );
         assert_eq!(
             UnicodeProperty::from_name("Currency_Symbol"),
             Some(UnicodeProperty::CurrencySymbol)
         );
-        assert_eq!(UnicodeProperty::from_name("L"), Some(UnicodeProperty::Letter));
+        assert_eq!(
+            UnicodeProperty::from_name("L"),
+            Some(UnicodeProperty::Letter)
+        );
         assert_eq!(UnicodeProperty::from_name("nope"), None);
     }
 
@@ -151,8 +165,10 @@ mod tests {
 
     #[test]
     fn negated_set() {
-        let set =
-            ClassSet { items: vec![ClassItem::Range('a', 'z')], negated: true };
+        let set = ClassSet {
+            items: vec![ClassItem::Range('a', 'z')],
+            negated: true,
+        };
         assert!(!set.contains('m'));
         assert!(set.contains('M'));
         assert!(set.contains('5'));

@@ -114,7 +114,11 @@ impl<'h> Captures<'h> {
     pub fn get(&self, i: usize) -> Option<Match<'h>> {
         let (s, e) = (*self.slots.get(2 * i)?, *self.slots.get(2 * i + 1)?);
         match (s, e) {
-            (Some(s), Some(e)) => Some(Match { haystack: self.haystack, start: s, end: e }),
+            (Some(s), Some(e)) => Some(Match {
+                haystack: self.haystack,
+                start: s,
+                end: e,
+            }),
             _ => None,
         }
     }
@@ -179,10 +183,16 @@ impl Regex {
         let ast = parser::parse(pattern)?;
         let insts = program::cost(&ast);
         if insts > MAX_PROGRAM_INSTS {
-            return Err(Error::ProgramTooLarge { insts, max: MAX_PROGRAM_INSTS });
+            return Err(Error::ProgramTooLarge {
+                insts,
+                max: MAX_PROGRAM_INSTS,
+            });
         }
         let program = program::compile(&ast);
-        Ok(Regex { pattern: pattern.to_string(), program })
+        Ok(Regex {
+            pattern: pattern.to_string(),
+            program,
+        })
     }
 
     /// The original pattern string.
@@ -210,7 +220,8 @@ impl Regex {
     /// `start` must lie on a char boundary of `haystack`.
     pub fn find_at<'h>(&self, haystack: &'h str, start: usize) -> Option<Match<'h>> {
         // With an unlimited budget, the VM cannot fail.
-        self.try_find_at(haystack, start, usize::MAX).unwrap_or_default()
+        self.try_find_at(haystack, start, usize::MAX)
+            .unwrap_or_default()
     }
 
     /// Does the regex match anywhere in `haystack`, using at most
@@ -238,10 +249,16 @@ impl Regex {
     ) -> Result<Option<Match<'h>>, Error> {
         let slots = vm::run(&self.program, haystack, start, max_steps)
             .map_err(|vm::StepLimitExceeded| Error::StepBudgetExceeded { max_steps })?;
-        Ok(slots.and_then(|slots| match (slots.first().copied(), slots.get(1).copied()) {
-            (Some(Some(start)), Some(Some(end))) => Some(Match { haystack, start, end }),
-            _ => None,
-        }))
+        Ok(slots.and_then(
+            |slots| match (slots.first().copied(), slots.get(1).copied()) {
+                (Some(Some(start)), Some(Some(end))) => Some(Match {
+                    haystack,
+                    start,
+                    end,
+                }),
+                _ => None,
+            },
+        ))
     }
 
     /// Leftmost match with all capture groups.
@@ -259,7 +276,11 @@ impl Regex {
 
     /// Iterator over all non-overlapping matches.
     pub fn find_iter<'r, 'h>(&'r self, haystack: &'h str) -> FindIter<'r, 'h> {
-        FindIter { re: self, haystack, at: 0 }
+        FindIter {
+            re: self,
+            haystack,
+            at: 0,
+        }
     }
 
     /// Replace every match with `rep` (a literal string, no `$n` expansion).
@@ -487,7 +508,10 @@ mod tests {
         let parse = Regex::new("(").unwrap_err();
         assert_eq!(parse.to_string(), "regex parse error: unclosed group");
         let too_large = Error::ProgramTooLarge { insts: 99, max: 10 };
-        assert_eq!(too_large.to_string(), "pattern expands to 99 instructions (cap 10)");
+        assert_eq!(
+            too_large.to_string(),
+            "pattern expands to 99 instructions (cap 10)"
+        );
         let budget = Error::StepBudgetExceeded { max_steps: 7 };
         assert_eq!(budget.to_string(), "regex step budget of 7 exceeded");
     }

@@ -54,8 +54,12 @@ pub const MAX_NESTING: usize = 100;
 
 /// Parse `pattern` into an [`Ast`].
 pub fn parse(pattern: &str) -> Result<Ast, ParseError> {
-    let mut p =
-        Parser { chars: pattern.char_indices().collect(), pos: 0, next_group: 1, depth: 0 };
+    let mut p = Parser {
+        chars: pattern.char_indices().collect(),
+        pos: 0,
+        next_group: 1,
+        depth: 0,
+    };
     let ast = p.alternation()?;
     if p.pos < p.chars.len() {
         let (at, c) = p.chars[p.pos];
@@ -157,7 +161,10 @@ impl Parser {
             }
             _ => return Ok(atom),
         };
-        if matches!(atom, Ast::Empty | Ast::StartAnchor | Ast::EndAnchor | Ast::WordBoundary) {
+        if matches!(
+            atom,
+            Ast::Empty | Ast::StartAnchor | Ast::EndAnchor | Ast::WordBoundary
+        ) {
             return Err(ParseError::NothingToRepeat(at));
         }
         if let (m, Some(n)) = (min, max) {
@@ -166,7 +173,12 @@ impl Parser {
             }
         }
         let greedy = !self.eat('?');
-        Ok(Ast::Repeat { node: Box::new(atom), min, max, greedy })
+        Ok(Ast::Repeat {
+            node: Box::new(atom),
+            min,
+            max,
+            greedy,
+        })
     }
 
     /// Distinguish `a{2,3}` from a literal `{` (as in `f{x}` prose). We only
@@ -206,7 +218,10 @@ impl Parser {
             return Ok((min, Some(min)));
         }
         if !self.eat(',') {
-            return Err(ParseError::UnexpectedChar(self.peek().unwrap_or('}'), self.byte_pos()));
+            return Err(ParseError::UnexpectedChar(
+                self.peek().unwrap_or('}'),
+                self.byte_pos(),
+            ));
         }
         if self.eat('}') {
             return Ok((min, None));
@@ -267,11 +282,17 @@ impl Parser {
                 if !self.eat(')') {
                     return Err(ParseError::UnclosedGroup);
                 }
-                Ok(if capturing { Ast::Group(Box::new(inner), idx) } else { inner })
+                Ok(if capturing {
+                    Ast::Group(Box::new(inner), idx)
+                } else {
+                    inner
+                })
             }
             '[' => self.class(),
             '\\' => self.escape(),
-            c @ ('*' | '+' | '?') => Err(ParseError::NothingToRepeat(at.saturating_sub(c.len_utf8() - 1))),
+            c @ ('*' | '+' | '?') => Err(ParseError::NothingToRepeat(
+                at.saturating_sub(c.len_utf8() - 1),
+            )),
             c => Ok(Ast::Literal(c)),
         }
     }
@@ -280,11 +301,20 @@ impl Parser {
         let c = self.bump().ok_or(ParseError::UnexpectedEof)?;
         Ok(match c {
             'd' => Ast::Class(ClassSet::new(vec![ClassItem::Digit])),
-            'D' => Ast::Class(ClassSet { items: vec![ClassItem::Digit], negated: true }),
+            'D' => Ast::Class(ClassSet {
+                items: vec![ClassItem::Digit],
+                negated: true,
+            }),
             'w' => Ast::Class(ClassSet::new(vec![ClassItem::Word])),
-            'W' => Ast::Class(ClassSet { items: vec![ClassItem::Word], negated: true }),
+            'W' => Ast::Class(ClassSet {
+                items: vec![ClassItem::Word],
+                negated: true,
+            }),
             's' => Ast::Class(ClassSet::new(vec![ClassItem::Space])),
-            'S' => Ast::Class(ClassSet { items: vec![ClassItem::Space], negated: true }),
+            'S' => Ast::Class(ClassSet {
+                items: vec![ClassItem::Space],
+                negated: true,
+            }),
             'b' => Ast::WordBoundary,
             'n' => Ast::Literal('\n'),
             't' => Ast::Literal('\t'),
@@ -311,8 +341,7 @@ impl Parser {
                 c => name.push(c),
             }
         }
-        let prop =
-            UnicodeProperty::from_name(&name).ok_or(ParseError::UnknownProperty(name))?;
+        let prop = UnicodeProperty::from_name(&name).ok_or(ParseError::UnknownProperty(name))?;
         Ok(ClassItem::Property(prop, negated))
     }
 
@@ -332,9 +361,7 @@ impl Parser {
             }
             let item = self.class_atom()?;
             // Possible range: `a-z` (but `a-]` is literal `-`).
-            if self.peek() == Some('-')
-                && self.peek_at(1).is_some()
-                && self.peek_at(1) != Some(']')
+            if self.peek() == Some('-') && self.peek_at(1).is_some() && self.peek_at(1) != Some(']')
             {
                 if let ClassItem::Char(lo) = item {
                     self.bump(); // '-'
@@ -420,7 +447,12 @@ mod tests {
     fn non_capturing_group() {
         let ast = parse("(?:ab)+").unwrap();
         match ast {
-            Ast::Repeat { node, min: 1, max: None, greedy: true } => {
+            Ast::Repeat {
+                node,
+                min: 1,
+                max: None,
+                greedy: true,
+            } => {
                 assert!(matches!(*node, Ast::Concat(_)));
             }
             other => panic!("unexpected {other:?}"),
@@ -437,15 +469,28 @@ mod tests {
     fn counted_repeat_forms() {
         assert!(matches!(
             parse("a{3}").unwrap(),
-            Ast::Repeat { min: 3, max: Some(3), .. }
+            Ast::Repeat {
+                min: 3,
+                max: Some(3),
+                ..
+            }
         ));
         assert!(matches!(
             parse("a{3,}").unwrap(),
-            Ast::Repeat { min: 3, max: None, .. }
+            Ast::Repeat {
+                min: 3,
+                max: None,
+                ..
+            }
         ));
         assert!(matches!(
             parse("a{3,5}?").unwrap(),
-            Ast::Repeat { min: 3, max: Some(5), greedy: false, .. }
+            Ast::Repeat {
+                min: 3,
+                max: Some(5),
+                greedy: false,
+                ..
+            }
         ));
     }
 

@@ -38,13 +38,19 @@ pub struct Program {
 
 /// Compile `ast` into a [`Program`] wrapped in the implicit group 0.
 pub fn compile(ast: &Ast) -> Program {
-    let mut c = Compiler { insts: Vec::new(), max_group: 0 };
+    let mut c = Compiler {
+        insts: Vec::new(),
+        max_group: 0,
+    };
     c.max_group = max_group_index(ast);
     c.push(Inst::Save(0));
     c.emit(ast);
     c.push(Inst::Save(1));
     c.push(Inst::Match);
-    Program { insts: c.insts, num_slots: 2 * (c.max_group + 1) }
+    Program {
+        insts: c.insts,
+        num_slots: 2 * (c.max_group + 1),
+    }
 }
 
 /// Upper bound on the number of instructions `compile` would emit for
@@ -83,9 +89,7 @@ pub fn cost(ast: &Ast) -> usize {
 fn max_group_index(ast: &Ast) -> usize {
     match ast {
         Ast::Group(inner, i) => (*i).max(max_group_index(inner)),
-        Ast::Concat(v) | Ast::Alternate(v) => {
-            v.iter().map(max_group_index).max().unwrap_or(0)
-        }
+        Ast::Concat(v) | Ast::Alternate(v) => v.iter().map(max_group_index).max().unwrap_or(0),
         Ast::Repeat { node, .. } => max_group_index(node),
         _ => 0,
     }
@@ -157,7 +161,12 @@ impl Compiler {
                 self.emit(inner);
                 self.push(Inst::Save(2 * idx + 1));
             }
-            Ast::Repeat { node, min, max, greedy } => {
+            Ast::Repeat {
+                node,
+                min,
+                max,
+                greedy,
+            } => {
                 self.emit_repeat(node, *min, *max, *greedy);
             }
         }
@@ -177,8 +186,11 @@ impl Compiler {
                 self.emit(node);
                 self.push(Inst::Jmp(l1));
                 let l3 = self.here();
-                self.insts[l1] =
-                    if greedy { Inst::Split(l2, l3) } else { Inst::Split(l3, l2) };
+                self.insts[l1] = if greedy {
+                    Inst::Split(l2, l3)
+                } else {
+                    Inst::Split(l3, l2)
+                };
             }
             Some(max) => {
                 // (max - min) optional copies, each guarded by a split that
@@ -192,8 +204,11 @@ impl Compiler {
                 }
                 let end = self.here();
                 for (s, body) in splits {
-                    self.insts[s] =
-                        if greedy { Inst::Split(body, end) } else { Inst::Split(end, body) };
+                    self.insts[s] = if greedy {
+                        Inst::Split(body, end)
+                    } else {
+                        Inst::Split(end, body)
+                    };
                 }
             }
         }
@@ -248,9 +263,17 @@ mod tests {
     #[test]
     fn bounded_repeat_expands() {
         let p = prog("a{2,4}");
-        let chars = p.insts.iter().filter(|i| matches!(i, Inst::Char('a'))).count();
+        let chars = p
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Char('a')))
+            .count();
         assert_eq!(chars, 4);
-        let splits = p.insts.iter().filter(|i| matches!(i, Inst::Split(_, _))).count();
+        let splits = p
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Split(_, _)))
+            .count();
         assert_eq!(splits, 2);
     }
 }

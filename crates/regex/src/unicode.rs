@@ -6,20 +6,37 @@
 
 /// Is `c` in the Unicode `Currency_Symbol` (`Sc`) category?
 pub fn is_currency_symbol(c: char) -> bool {
-    matches!(c,
-        '$' | '¢' | '£' | '¤' | '¥'
-        | '֏' | '؋' | '৲' | '৳' | '৻' | '૱' | '௹' | '฿' | '៛'
-        | '\u{20A0}'..='\u{20BF}' // the Currency Symbols block: ₠..₿ (€ is U+20AC)
-        | '꠸' | '﷼' | '﹩' | '＄' | '￠' | '￡' | '￥' | '￦')
+    matches!(
+        c,
+        '$' | '¢'
+            | '£'
+            | '¤'
+            | '¥'
+            | '֏'
+            | '؋'
+            | '৲'
+            | '৳'
+            | '৻'
+            | '૱'
+            | '௹'
+            | '฿'
+            | '៛'
+            | '\u{20A0}'
+            ..='\u{20BF}' // the Currency Symbols block: ₠..₿ (€ is U+20AC)
+        | '꠸' | '﷼' | '﹩' | '＄' | '￠' | '￡' | '￥' | '￦'
+    )
 }
 
 /// Non-ASCII punctuation commonly seen in web text (a pragmatic subset of
 /// the Unicode `P` categories).
 pub fn is_unicode_punct(c: char) -> bool {
-    matches!(c,
-        '‐'..='‧' // hyphens, dashes, quotes, bullets, ellipsis
+    matches!(
+        c,
+        '‐'
+            ..='‧' // hyphens, dashes, quotes, bullets, ellipsis
         | '«' | '»' | '¡' | '¿' | '·'
-        | '、' | '。' | '〈' | '〉' | '《' | '》' | '「' | '」')
+        | '、' | '。' | '〈' | '〉' | '《' | '》' | '「' | '」'
+    )
 }
 
 #[cfg(test)]
@@ -36,7 +53,10 @@ mod tests {
     #[test]
     fn non_currency_chars() {
         for c in ['a', '1', '%', ' ', '#', '±'] {
-            assert!(!is_currency_symbol(c), "{c} should not be a currency symbol");
+            assert!(
+                !is_currency_symbol(c),
+                "{c} should not be a currency symbol"
+            );
         }
     }
 

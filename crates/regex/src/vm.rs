@@ -31,23 +31,34 @@ pub fn run(
     // Positions: byte offset of every char at or after `from`, plus the
     // end-of-input sentinel.
     let tail = &haystack[from..];
-    let chars: Vec<(usize, char)> =
-        tail.char_indices().map(|(i, c)| (from + i, c)).collect();
+    let chars: Vec<(usize, char)> = tail.char_indices().map(|(i, c)| (from + i, c)).collect();
 
     let mut clist = ThreadList::new(prog.insts.len());
     let mut nlist = ThreadList::new(prog.insts.len());
     let mut matched: Option<Slots> = None;
-    let mut steps = Steps { used: 0, max: max_steps };
+    let mut steps = Steps {
+        used: 0,
+        max: max_steps,
+    };
 
     for step in 0..=chars.len() {
-        let at = if step < chars.len() { chars[step].0 } else { haystack.len() };
+        let at = if step < chars.len() {
+            chars[step].0
+        } else {
+            haystack.len()
+        };
         let cur: Option<char> = chars.get(step).map(|&(_, c)| c);
         let prev: Option<char> = if step == 0 {
             haystack[..from].chars().next_back()
         } else {
             Some(chars[step - 1].1)
         };
-        let ctx = Ctx { at, cur, prev, hay_len: haystack.len() };
+        let ctx = Ctx {
+            at,
+            cur,
+            prev,
+            hay_len: haystack.len(),
+        };
 
         // New starting thread at this position (lowest priority), unless a
         // match was already found at an earlier start.
@@ -155,7 +166,10 @@ struct ThreadList {
 
 impl ThreadList {
     fn new(n: usize) -> Self {
-        ThreadList { dense: Vec::new(), seen: vec![false; n] }
+        ThreadList {
+            dense: Vec::new(),
+            seen: vec![false; n],
+        }
     }
 
     fn clear(&mut self) {

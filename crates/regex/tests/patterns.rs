@@ -21,15 +21,24 @@ fn paper_currency_pattern() {
 #[test]
 fn money_with_scale_words() {
     let re = Regex::new(r"\$\d+(\.\d+)?\s*(million|billion)?").unwrap();
-    assert_eq!(re.find("lost $3.26 billion overall").unwrap().as_str(), "$3.26 billion");
-    assert_eq!(re.find("a $70 million gain").unwrap().as_str(), "$70 million");
+    assert_eq!(
+        re.find("lost $3.26 billion overall").unwrap().as_str(),
+        "$3.26 billion"
+    );
+    assert_eq!(
+        re.find("a $70 million gain").unwrap().as_str(),
+        "$70 million"
+    );
     assert_eq!(re.find("about $45 total").unwrap().as_str(), "$45 ");
 }
 
 #[test]
 fn grouped_numbers() {
     let re = Regex::new(r"\d{1,3}(,\d{3})+").unwrap();
-    assert_eq!(re.find("sold 1,144,716 units").unwrap().as_str(), "1,144,716");
+    assert_eq!(
+        re.find("sold 1,144,716 units").unwrap().as_str(),
+        "1,144,716"
+    );
     assert!(re.find("sold 42 units").is_none());
 }
 
@@ -78,7 +87,10 @@ fn counted_repetition_of_groups() {
 fn word_boundaries_in_identifiers() {
     // the "Win10" exclusion logic (§II-A) relies on this distinction
     let re = Regex::new(r"\b\d+\b").unwrap();
-    let hits: Vec<&str> = re.find_iter("Win10 has 8 cores at 3.5 GHz").map(|m| m.as_str()).collect();
+    let hits: Vec<&str> = re
+        .find_iter("Win10 has 8 cores at 3.5 GHz")
+        .map(|m| m.as_str())
+        .collect();
     assert_eq!(hits, vec!["8", "3", "5"]);
 }
 

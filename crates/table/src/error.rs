@@ -43,7 +43,11 @@ mod tests {
     #[test]
     fn display_messages() {
         assert_eq!(
-            TableError::VirtualCellBudgetExceeded { table: 2, max_cells: 100 }.to_string(),
+            TableError::VirtualCellBudgetExceeded {
+                table: 2,
+                max_cells: 100
+            }
+            .to_string(),
             "table 2: virtual-cell budget of 100 exceeded, candidates truncated"
         );
         assert_eq!(

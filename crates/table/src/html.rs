@@ -265,15 +265,22 @@ pub fn parse_page(html: &str) -> RawPage {
                 }
                 Tag::Open(name)
                     if !in_table
-                        && (eq_tag(name, "p") || eq_tag(name, "br") || eq_tag(name, "div")
-                            || eq_tag(name, "h1") || eq_tag(name, "h2") || eq_tag(name, "h3")) =>
+                        && (eq_tag(name, "p")
+                            || eq_tag(name, "br")
+                            || eq_tag(name, "div")
+                            || eq_tag(name, "h1")
+                            || eq_tag(name, "h2")
+                            || eq_tag(name, "h3")) =>
                 {
                     flush_para(&mut para_buf, &mut page);
                 }
                 Tag::Close(name)
                     if !in_table
-                        && (eq_tag(name, "p") || eq_tag(name, "div") || eq_tag(name, "h1")
-                            || eq_tag(name, "h2") || eq_tag(name, "h3")) =>
+                        && (eq_tag(name, "p")
+                            || eq_tag(name, "div")
+                            || eq_tag(name, "h1")
+                            || eq_tag(name, "h2")
+                            || eq_tag(name, "h3")) =>
                 {
                     flush_para(&mut para_buf, &mut page);
                 }
@@ -323,7 +330,10 @@ mod tests {
              <table><tr><th>a</th><th>b</th></tr><tr><td>1</td><td>2</td></tr></table>\
              <p>After the table.</p>",
         );
-        assert_eq!(page.paragraphs, vec!["Some text about 42 things.", "After the table."]);
+        assert_eq!(
+            page.paragraphs,
+            vec!["Some text about 42 things.", "After the table."]
+        );
         assert_eq!(page.tables.len(), 1);
         assert_eq!(page.tables[0].rows, vec![vec!["a", "b"], vec!["1", "2"]]);
         assert_eq!(page.tables[0].header_flags[0], vec![true, true]);

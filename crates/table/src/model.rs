@@ -170,8 +170,11 @@ impl Table {
             && raw.header_flags.iter().any(|f| !f.is_empty());
         // `filter_map(first)`: a zero-column grid (all rows empty) must not
         // index into its rows.
-        let first_col: Vec<&String> =
-            cells.iter().skip(header_rows).filter_map(|r| r.first()).collect();
+        let first_col: Vec<&String> = cells
+            .iter()
+            .skip(header_rows)
+            .filter_map(|r| r.first())
+            .collect();
         let mostly_text_first_col = n_cols > 1
             && !first_col.is_empty()
             && first_col.iter().filter(|c| numeric(c)).count() * 3
@@ -183,12 +186,20 @@ impl Table {
         let caption_hint = unit_from_header(&raw.caption);
         let col_hints: Vec<(Unit, Option<f64>)> = (0..n_cols)
             .map(|c| {
-                if header_rows > 0 { unit_from_header(&cells[0][c]) } else { (Unit::None, None) }
+                if header_rows > 0 {
+                    unit_from_header(&cells[0][c])
+                } else {
+                    (Unit::None, None)
+                }
             })
             .collect();
         let row_hints: Vec<(Unit, Option<f64>)> = (0..n_rows)
             .map(|r| {
-                if header_cols > 0 { unit_from_header(&cells[r][0]) } else { (Unit::None, None) }
+                if header_cols > 0 {
+                    unit_from_header(&cells[r][0])
+                } else {
+                    (Unit::None, None)
+                }
             })
             .collect();
 
@@ -211,7 +222,11 @@ impl Table {
     /// Construct directly from a grid of strings (tests, corpus synthesis).
     pub fn from_grid(caption: &str, grid: Vec<Vec<String>>) -> Table {
         let header_flags = grid.iter().map(|r| vec![false; r.len()]).collect();
-        Table::from_raw(&RawTable { caption: caption.to_string(), rows: grid, header_flags })
+        Table::from_raw(&RawTable {
+            caption: caption.to_string(),
+            rows: grid,
+            header_flags,
+        })
     }
 
     fn parse_cells(&mut self) {
@@ -220,9 +235,7 @@ impl Table {
                 if let Some(mut q) = parse_cell_quantity(&self.cells[r][c]) {
                     // Fill unit from hints: column, then row, then caption.
                     if q.unit == Unit::None {
-                        for (u, _) in
-                            [self.col_hints[c], self.row_hints[r], self.caption_hint]
-                        {
+                        for (u, _) in [self.col_hints[c], self.row_hints[r], self.caption_hint] {
                             if u != Unit::None {
                                 q.unit = u;
                                 break;
@@ -273,7 +286,11 @@ impl Table {
 
     /// Concatenated text of column `c` (headers included).
     pub fn col_text(&self, c: usize) -> String {
-        self.cells.iter().map(|row| row[c].as_str()).collect::<Vec<_>>().join(" ")
+        self.cells
+            .iter()
+            .map(|row| row[c].as_str())
+            .collect::<Vec<_>>()
+            .join(" ")
     }
 
     /// Entire table content including caption — the table-mention global
@@ -341,7 +358,11 @@ pub struct Document {
 impl Document {
     /// Create a document from a paragraph and tables.
     pub fn new(id: usize, text: impl Into<String>, tables: Vec<Table>) -> Self {
-        Document { id, text: text.into(), tables }
+        Document {
+            id,
+            text: text.into(),
+            tables,
+        }
     }
 }
 
@@ -351,7 +372,9 @@ mod tests {
     use briq_text::units::Currency;
 
     fn grid(rows: &[&[&str]]) -> Vec<Vec<String>> {
-        rows.iter().map(|r| r.iter().map(|s| s.to_string()).collect()).collect()
+        rows.iter()
+            .map(|r| r.iter().map(|s| s.to_string()).collect())
+            .collect()
     }
 
     #[test]
@@ -390,10 +413,7 @@ mod tests {
     fn caption_scale_hint_applied() {
         let t = Table::from_grid(
             "Income gains (in Mio)",
-            grid(&[
-                &["", "2013", "2012"],
-                &["Total Revenue", "3,263", "3,193"],
-            ]),
+            grid(&[&["", "2013", "2012"], &["Total Revenue", "3,263", "3,193"]]),
         );
         let q = t.quantity(1, 1).unwrap();
         assert_eq!(q.value, 3.263e9);
@@ -404,10 +424,7 @@ mod tests {
     fn column_header_unit_and_scale() {
         let t = Table::from_grid(
             "",
-            grid(&[
-                &["Company", "($ Millions)"],
-                &["Acme", "232.8"],
-            ]),
+            grid(&[&["Company", "($ Millions)"], &["Acme", "232.8"]]),
         );
         let q = t.quantity(1, 1).unwrap();
         assert_eq!(q.unit, Unit::Currency(Currency::Usd));
@@ -432,10 +449,7 @@ mod tests {
     fn explicit_cell_scale_beats_hint() {
         let t = Table::from_grid(
             "Figures (in Mio)",
-            grid(&[
-                &["metric", "value"],
-                &["Net", "$0.9 billion"],
-            ]),
+            grid(&[&["metric", "value"], &["Net", "$0.9 billion"]]),
         );
         assert_eq!(t.quantity(1, 1).unwrap().value, 0.9e9);
     }
@@ -449,10 +463,7 @@ mod tests {
 
     #[test]
     fn row_col_text() {
-        let t = Table::from_grid(
-            "cap",
-            grid(&[&["h1", "h2"], &["x", "5"]]),
-        );
+        let t = Table::from_grid("cap", grid(&[&["h1", "h2"], &["x", "5"]]));
         assert_eq!(t.row_text(1), "x 5");
         assert_eq!(t.col_text(1), "h2 5");
         assert!(t.full_text().starts_with("cap"));

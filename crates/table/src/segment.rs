@@ -77,8 +77,11 @@ pub fn segment_page(page: &RawPage, cfg: &SegmentConfig, first_id: usize) -> Vec
                 .table_positions
                 .get(ti)
                 .is_some_and(|&pos| pos == pi + 1 || pos == pi);
-            let threshold =
-                if adjacent { cfg.adjacent_threshold } else { cfg.similarity_threshold };
+            let threshold = if adjacent {
+                cfg.adjacent_threshold
+            } else {
+                cfg.similarity_threshold
+            };
             if sim >= threshold {
                 related.push(tables[ti].clone());
             }
@@ -134,9 +137,7 @@ mod tests {
 
     #[test]
     fn short_paragraphs_skipped() {
-        let page = parse_page(
-            "<p>Too short.</p><table><tr><td>1</td><td>2</td></tr></table>",
-        );
+        let page = parse_page("<p>Too short.</p><table><tr><td>1</td><td>2</td></tr></table>");
         let docs = segment_page(&page, &SegmentConfig::default(), 0);
         assert!(docs.is_empty());
     }

@@ -60,17 +60,15 @@ mod tests {
     fn t(grid: &[&[&str]]) -> Table {
         Table::from_grid(
             "",
-            grid.iter().map(|r| r.iter().map(|s| s.to_string()).collect()).collect(),
+            grid.iter()
+                .map(|r| r.iter().map(|s| s.to_string()).collect())
+                .collect(),
         )
     }
 
     #[test]
     fn stats_of_small_table() {
-        let table = t(&[
-            &["h", "a", "b"],
-            &["x", "1", "2"],
-            &["y", "3", "4"],
-        ]);
+        let table = t(&[&["h", "a", "b"], &["x", "1", "2"], &["y", "3", "4"]]);
         let s = table_stats(&table, &VirtualCellConfig::default());
         assert_eq!(s.rows, 2.0);
         assert_eq!(s.columns, 2.0);
@@ -81,7 +79,11 @@ mod tests {
     #[test]
     fn averages() {
         let t1 = t(&[&["h", "a"], &["x", "1"], &["y", "2"]]);
-        let t2 = t(&[&["h", "a", "b", "c"], &["x", "1", "2", "3"], &["y", "4", "5", "6"]]);
+        let t2 = t(&[
+            &["h", "a", "b", "c"],
+            &["x", "1", "2", "3"],
+            &["y", "4", "5", "6"],
+        ]);
         let avg = average_stats([&t1, &t2], &VirtualCellConfig::default());
         assert_eq!(avg.rows, 2.0);
         assert_eq!(avg.columns, 2.0); // (1 + 3) / 2
@@ -106,10 +108,7 @@ mod tests {
         assert_eq!(s.columns, 0.0);
         assert_eq!(s.single_cells, 0.0);
         // Header-only table: one row, no data rows.
-        let header_only = Table::from_grid(
-            "",
-            vec![vec!["a".to_string(), "b".to_string()]],
-        );
+        let header_only = Table::from_grid("", vec![vec!["a".to_string(), "b".to_string()]]);
         let s = table_stats(&header_only, &VirtualCellConfig::default());
         assert_eq!(s.virtual_cells, 0.0);
         // Averaging over degenerate tables stays finite.
@@ -118,4 +117,9 @@ mod tests {
     }
 }
 
-briq_json::json_struct!(TableStats { rows, columns, single_cells, virtual_cells });
+briq_json::json_struct!(TableStats {
+    rows,
+    columns,
+    single_cells,
+    virtual_cells
+});

@@ -63,7 +63,11 @@ struct LineCell {
 }
 
 /// Generate all virtual cells for `table` under `cfg`, without a cap.
-pub fn virtual_cells(table: &Table, table_idx: usize, cfg: &VirtualCellConfig) -> Vec<TableMention> {
+pub fn virtual_cells(
+    table: &Table,
+    table_idx: usize,
+    cfg: &VirtualCellConfig,
+) -> Vec<TableMention> {
     virtual_cells_capped(table, table_idx, cfg, usize::MAX).0
 }
 
@@ -78,7 +82,11 @@ pub fn virtual_cells_capped(
     cfg: &VirtualCellConfig,
     max_cells: usize,
 ) -> (Vec<TableMention>, bool) {
-    let mut sink = Sink { out: Vec::new(), max: max_cells, truncated: false };
+    let mut sink = Sink {
+        out: Vec::new(),
+        max: max_cells,
+        truncated: false,
+    };
     // Rows.
     for r in table.data_rows() {
         if sink.full() {
@@ -87,11 +95,22 @@ pub fn virtual_cells_capped(
         let cells: Vec<LineCell> = table
             .data_cols()
             .filter_map(|c| {
-                table.quantity(r, c).map(|q| LineCell { pos: (r, c), value: q.value, unit: q.unit })
+                table.quantity(r, c).map(|q| LineCell {
+                    pos: (r, c),
+                    value: q.value,
+                    unit: q.unit,
+                })
             })
             .collect();
         let total = table.data_cols().len();
-        line_aggregates(&cells, total, Orientation::Row(r), table_idx, cfg, &mut sink);
+        line_aggregates(
+            &cells,
+            total,
+            Orientation::Row(r),
+            table_idx,
+            cfg,
+            &mut sink,
+        );
     }
     // Columns.
     for c in table.data_cols() {
@@ -101,11 +120,22 @@ pub fn virtual_cells_capped(
         let cells: Vec<LineCell> = table
             .data_rows()
             .filter_map(|r| {
-                table.quantity(r, c).map(|q| LineCell { pos: (r, c), value: q.value, unit: q.unit })
+                table.quantity(r, c).map(|q| LineCell {
+                    pos: (r, c),
+                    value: q.value,
+                    unit: q.unit,
+                })
             })
             .collect();
         let total = table.data_rows().len();
-        line_aggregates(&cells, total, Orientation::Column(c), table_idx, cfg, &mut sink);
+        line_aggregates(
+            &cells,
+            total,
+            Orientation::Column(c),
+            table_idx,
+            cfg,
+            &mut sink,
+        );
     }
     (sink.out, sink.truncated)
 }
@@ -164,7 +194,11 @@ fn units_compatible(cells: &[LineCell]) -> bool {
 }
 
 fn common_unit(cells: &[LineCell]) -> Unit {
-    cells.iter().map(|c| c.unit).find(|&u| u != Unit::None).unwrap_or(Unit::None)
+    cells
+        .iter()
+        .map(|c| c.unit)
+        .find(|&u| u != Unit::None)
+        .unwrap_or(Unit::None)
 }
 
 fn line_aggregates(
@@ -187,7 +221,15 @@ fn line_aggregates(
         let positions: Vec<(usize, usize)> = cells.iter().map(|c| c.pos).collect();
         let values: Vec<f64> = cells.iter().map(|c| c.value).collect();
         if cfg.sums {
-            push_line(out, table_idx, AggregationKind::Sum, &positions, values.iter().sum(), unit, orientation);
+            push_line(
+                out,
+                table_idx,
+                AggregationKind::Sum,
+                &positions,
+                values.iter().sum(),
+                unit,
+                orientation,
+            );
         }
         if cfg.extended {
             let n = values.len() as f64;
@@ -202,8 +244,24 @@ fn line_aggregates(
             );
             let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
             let min = values.iter().copied().fold(f64::INFINITY, f64::min);
-            push_line(out, table_idx, AggregationKind::Max, &positions, max, unit, orientation);
-            push_line(out, table_idx, AggregationKind::Min, &positions, min, unit, orientation);
+            push_line(
+                out,
+                table_idx,
+                AggregationKind::Max,
+                &positions,
+                max,
+                unit,
+                orientation,
+            );
+            push_line(
+                out,
+                table_idx,
+                AggregationKind::Min,
+                &positions,
+                min,
+                unit,
+                orientation,
+            );
         }
     }
 
@@ -214,15 +272,24 @@ fn line_aggregates(
         }
         for j in (i + 1)..cells.len() {
             let (a, b) = (cells[i], cells[j]);
-            let pair_unit_ok = (a.unit == Unit::None || b.unit == Unit::None
-                || a.unit.matches(b.unit))
-                && is_percentish(a.unit) == is_percentish(b.unit);
+            let pair_unit_ok =
+                (a.unit == Unit::None || b.unit == Unit::None || a.unit.matches(b.unit))
+                    && is_percentish(a.unit) == is_percentish(b.unit);
             if cfg.differences && pair_unit_ok {
                 // |a − b|: text rarely mentions signed differences; the
                 // larger-minus-smaller convention matches "up $70 million".
                 let v = (a.value - b.value).abs();
                 if v.is_finite() && v > 0.0 {
-                    push_pair(out, table_idx, AggregationKind::Difference, a, b, v, common_unit(&[a, b]), orientation);
+                    push_pair(
+                        out,
+                        table_idx,
+                        AggregationKind::Difference,
+                        a,
+                        b,
+                        v,
+                        common_unit(&[a, b]),
+                        orientation,
+                    );
                 }
             }
             if cfg.percentages {
@@ -231,7 +298,16 @@ fn line_aggregates(
                     if y.value != 0.0 {
                         let v = x.value / y.value * 100.0;
                         if v.is_finite() && v > 0.0 && v <= 10_000.0 {
-                            push_pair(out, table_idx, AggregationKind::Percentage, x, y, v, Unit::Percent, orientation);
+                            push_pair(
+                                out,
+                                table_idx,
+                                AggregationKind::Percentage,
+                                x,
+                                y,
+                                v,
+                                Unit::Percent,
+                                orientation,
+                            );
                         }
                     }
                 }
@@ -242,7 +318,16 @@ fn line_aggregates(
                     if x.value != 0.0 {
                         let v = (x.value - y.value) / x.value * 100.0;
                         if v.is_finite() && v.abs() > 1e-12 && v.abs() <= 10_000.0 {
-                            push_pair(out, table_idx, AggregationKind::ChangeRatio, x, y, v.abs(), Unit::Percent, orientation);
+                            push_pair(
+                                out,
+                                table_idx,
+                                AggregationKind::ChangeRatio,
+                                x,
+                                y,
+                                v.abs(),
+                                Unit::Percent,
+                                orientation,
+                            );
                         }
                     }
                 }
@@ -377,13 +462,10 @@ mod tests {
     #[test]
     fn change_ratio_fig1c() {
         // ratio('890','876') ≈ 1.57% — "increased by 1.5%".
-        let grid: Vec<Vec<String>> = vec![
-            vec!["", "2013", "2012"],
-            vec!["Income", "890", "876"],
-        ]
-        .into_iter()
-        .map(|r| r.into_iter().map(String::from).collect())
-        .collect();
+        let grid: Vec<Vec<String>> = vec![vec!["", "2013", "2012"], vec!["Income", "890", "876"]]
+            .into_iter()
+            .map(|r| r.into_iter().map(String::from).collect())
+            .collect();
         let t = Table::from_grid("", grid);
         let vc = virtual_cells(&t, 0, &VirtualCellConfig::default());
         let ratio = vc
@@ -397,7 +479,10 @@ mod tests {
     fn differences_are_positive() {
         let t = health_table();
         let vc = virtual_cells(&t, 0, &VirtualCellConfig::default());
-        for m in vc.iter().filter(|m| m.kind == TableMentionKind::Aggregate(AggregationKind::Difference)) {
+        for m in vc
+            .iter()
+            .filter(|m| m.kind == TableMentionKind::Aggregate(AggregationKind::Difference))
+        {
             assert!(m.value > 0.0);
             assert_eq!(m.cells.len(), 2);
         }
@@ -418,7 +503,10 @@ mod tests {
     #[test]
     fn extended_aggregates_on_demand() {
         let t = health_table();
-        let cfg = VirtualCellConfig { extended: true, ..Default::default() };
+        let cfg = VirtualCellConfig {
+            extended: true,
+            ..Default::default()
+        };
         let vc = virtual_cells(&t, 0, &cfg);
         let max_col3 = vc
             .iter()
@@ -450,10 +538,10 @@ mod tests {
         .collect();
         let t = Table::from_grid("", grid);
         let vc = virtual_cells(&t, 0, &VirtualCellConfig::default());
-        assert!(!vc
-            .iter()
-            .any(|m| m.kind == TableMentionKind::Aggregate(AggregationKind::Sum)
-                && m.orientation == Some(Orientation::Column(1))));
+        assert!(!vc.iter().any(
+            |m| m.kind == TableMentionKind::Aggregate(AggregationKind::Sum)
+                && m.orientation == Some(Orientation::Column(1))
+        ));
     }
 
     #[test]
@@ -461,7 +549,10 @@ mod tests {
         let mut grid: Vec<Vec<String>> = vec![(0..30).map(|i| format!("{i}")).collect()];
         grid.push((0..30).map(|i| format!("{}", i * 2)).collect());
         let t = Table::from_grid("", grid);
-        let cfg = VirtualCellConfig { max_line_cells: 5, ..Default::default() };
+        let cfg = VirtualCellConfig {
+            max_line_cells: 5,
+            ..Default::default()
+        };
         let vc = virtual_cells(&t, 0, &cfg);
         for m in &vc {
             assert!(m.cells.len() <= 5);
@@ -498,11 +589,8 @@ mod tests {
         // order is deterministic, so clean inputs below the cap are
         // bit-identical with and without the budget.
         assert_eq!(&all[..cap], &some[..]);
-        let (mentions, truncated_tables) = all_table_mentions_capped(
-            &[health_table()],
-            &VirtualCellConfig::default(),
-            cap,
-        );
+        let (mentions, truncated_tables) =
+            all_table_mentions_capped(&[health_table()], &VirtualCellConfig::default(), cap);
         assert_eq!(truncated_tables, vec![0]);
         assert!(!mentions.is_empty());
     }

@@ -7,7 +7,9 @@ use briq_table::virtual_cells::{all_table_mentions, virtual_cells, VirtualCellCo
 use briq_table::{Table, TableMentionKind};
 
 fn grid(rows: &[&[&str]]) -> Vec<Vec<String>> {
-    rows.iter().map(|r| r.iter().map(|s| s.to_string()).collect()).collect()
+    rows.iter()
+        .map(|r| r.iter().map(|s| s.to_string()).collect())
+        .collect()
 }
 
 mod html {
@@ -78,8 +80,12 @@ mod model {
     fn single_row_table_has_row_aggregates_only() {
         let t = Table::from_grid("", grid(&[&["1", "2", "3"]]));
         let vc = virtual_cells(&t, 0, &VirtualCellConfig::default());
-        assert!(vc.iter().all(|m| matches!(m.orientation, Some(briq_table::Orientation::Row(0)))));
-        assert!(vc.iter().any(|m| m.kind == TableMentionKind::Aggregate(briq_text::AggregationKind::Sum) && m.value == 6.0));
+        assert!(vc
+            .iter()
+            .all(|m| matches!(m.orientation, Some(briq_table::Orientation::Row(0)))));
+        assert!(vc.iter().any(|m| m.kind
+            == TableMentionKind::Aggregate(briq_text::AggregationKind::Sum)
+            && m.value == 6.0));
     }
 
     #[test]

@@ -8,22 +8,19 @@ use proptest::prelude::*;
 /// Strategy: a small grid of numeric cell strings with a header row/col.
 fn grid_strategy() -> impl Strategy<Value = Vec<Vec<String>>> {
     (2usize..6, 2usize..5).prop_flat_map(|(rows, cols)| {
-        proptest::collection::vec(
-            proptest::collection::vec(1u32..100_000, cols - 1),
-            rows - 1,
-        )
-        .prop_map(move |data| {
-            let mut grid = Vec::with_capacity(rows);
-            let mut header = vec![String::new()];
-            header.extend((1..cols).map(|c| format!("metric{c}")));
-            grid.push(header);
-            for (r, row) in data.iter().enumerate() {
-                let mut cells = vec![format!("entity{r}")];
-                cells.extend(row.iter().map(|v| v.to_string()));
-                grid.push(cells);
-            }
-            grid
-        })
+        proptest::collection::vec(proptest::collection::vec(1u32..100_000, cols - 1), rows - 1)
+            .prop_map(move |data| {
+                let mut grid = Vec::with_capacity(rows);
+                let mut header = vec![String::new()];
+                header.extend((1..cols).map(|c| format!("metric{c}")));
+                grid.push(header);
+                for (r, row) in data.iter().enumerate() {
+                    let mut cells = vec![format!("entity{r}")];
+                    cells.extend(row.iter().map(|v| v.to_string()));
+                    grid.push(cells);
+                }
+                grid
+            })
     })
 }
 

@@ -34,9 +34,7 @@ pub fn chunk_tagged(tokens: &[Token], tags: &[PosTag]) -> Vec<NounPhrase> {
         // modifiers: adjectives, participles, proper nouns
         let content_start = j;
         let mut saw_modifier = false;
-        while j < n
-            && matches!(tags[j], PosTag::Adjective | PosTag::ProperNoun)
-        {
+        while j < n && matches!(tags[j], PosTag::Adjective | PosTag::ProperNoun) {
             saw_modifier = true;
             j += 1;
         }
@@ -57,7 +55,11 @@ pub fn chunk_tagged(tokens: &[Token], tags: &[PosTag]) -> Vec<NounPhrase> {
                 .map(|t| t.lower())
                 .collect::<Vec<_>>()
                 .join(" ");
-            phrases.push(NounPhrase { first_token: content_start, end_token: end, text });
+            phrases.push(NounPhrase {
+                first_token: content_start,
+                end_token: end,
+                text,
+            });
             i = end;
         } else {
             i = i.max(j).max(i + 1);
@@ -105,7 +107,10 @@ mod tests {
     #[test]
     fn proper_noun_compounds() {
         let ps = noun_phrase_strings("figures from Ford Focus Electric improved");
-        assert!(ps.iter().any(|p| p.contains("ford focus electric")), "{ps:?}");
+        assert!(
+            ps.iter().any(|p| p.contains("ford focus electric")),
+            "{ps:?}"
+        );
     }
 
     #[test]

@@ -1,7 +1,6 @@
 //! Cue-word dictionaries for aggregation functions and approximation
 //! modifiers (§IV-B features f11/f12, §V-A tagger features).
 
-
 /// The aggregation functions BriQ considers over table cells (§II-A).
 ///
 /// The evaluation restricts itself to the four kinds that occur in ≥5% of
@@ -27,8 +26,12 @@ pub enum AggregationKind {
 
 impl AggregationKind {
     /// The four kinds used in the paper's experiments (§II-A).
-    pub const EVALUATED: [AggregationKind; 4] =
-        [Self::Sum, Self::Difference, Self::Percentage, Self::ChangeRatio];
+    pub const EVALUATED: [AggregationKind; 4] = [
+        Self::Sum,
+        Self::Difference,
+        Self::Percentage,
+        Self::ChangeRatio,
+    ];
 
     /// All supported kinds.
     pub const ALL: [AggregationKind; 7] = [
@@ -76,27 +79,78 @@ pub enum ApproxIndicator {
 pub fn aggregation_cues(kind: AggregationKind) -> &'static [&'static str] {
     match kind {
         AggregationKind::Sum => &[
-            "total", "totals", "totalled", "totaled", "sum", "summed", "overall",
-            "together", "combined", "altogether", "in-all",
+            "total",
+            "totals",
+            "totalled",
+            "totaled",
+            "sum",
+            "summed",
+            "overall",
+            "together",
+            "combined",
+            "altogether",
+            "in-all",
         ],
         AggregationKind::Difference => &[
-            "difference", "fell", "rose", "gained", "lost", "dropped", "up",
-            "down", "more", "fewer", "less", "cheaper", "higher", "lower",
-            "increase", "decrease", "increased", "decreased", "gap", "change",
+            "difference",
+            "fell",
+            "rose",
+            "gained",
+            "lost",
+            "dropped",
+            "up",
+            "down",
+            "more",
+            "fewer",
+            "less",
+            "cheaper",
+            "higher",
+            "lower",
+            "increase",
+            "decrease",
+            "increased",
+            "decreased",
+            "gap",
+            "change",
         ],
         AggregationKind::Percentage => &[
-            "percent", "percentage", "share", "proportion", "fraction",
-            "accounted", "accounting", "constitute", "constitutes", "represents",
+            "percent",
+            "percentage",
+            "share",
+            "proportion",
+            "fraction",
+            "accounted",
+            "accounting",
+            "constitute",
+            "constitutes",
+            "represents",
         ],
         AggregationKind::ChangeRatio => &[
-            "growth", "grew", "rate", "increased", "decreased", "jumped",
-            "surged", "climbed", "declined", "shrank", "compared", "year-on-year",
+            "growth",
+            "grew",
+            "rate",
+            "increased",
+            "decreased",
+            "jumped",
+            "surged",
+            "climbed",
+            "declined",
+            "shrank",
+            "compared",
+            "year-on-year",
             "change",
         ],
         AggregationKind::Average => &["average", "avg", "mean", "typically", "per"],
         AggregationKind::Max => &[
-            "maximum", "max", "highest", "largest", "most", "biggest", "top",
-            "least-affordable", "peak",
+            "maximum",
+            "max",
+            "highest",
+            "largest",
+            "most",
+            "biggest",
+            "top",
+            "least-affordable",
+            "peak",
         ],
         AggregationKind::Min => &[
             "minimum", "min", "lowest", "smallest", "least", "cheapest", "bottom",
@@ -105,8 +159,17 @@ pub fn aggregation_cues(kind: AggregationKind) -> &'static [&'static str] {
 }
 
 const APPROX_CUES: &[&str] = &[
-    "about", "around", "approximately", "ca", "circa", "nearly", "almost",
-    "roughly", "some", "approx", "estimated",
+    "about",
+    "around",
+    "approximately",
+    "ca",
+    "circa",
+    "nearly",
+    "almost",
+    "roughly",
+    "some",
+    "approx",
+    "estimated",
 ];
 const EXACT_CUES: &[&str] = &["exactly", "precisely", "exact"];
 const UPPER_CUES: &[(&str, &str)] = &[
@@ -158,7 +221,10 @@ pub fn detect_approximation(preceding: &[&str]) -> ApproxIndicator {
 /// Used by the tagger's immediate/local/global context features (§V-A).
 pub fn count_aggregation_cues(kind: AggregationKind, words: &[&str]) -> usize {
     let cues = aggregation_cues(kind);
-    words.iter().filter(|w| cues.contains(&w.trim_end_matches(['.', ',']))).count()
+    words
+        .iter()
+        .filter(|w| cues.contains(&w.trim_end_matches(['.', ','])))
+        .count()
 }
 
 /// Infer the single best-supported aggregation among the evaluated kinds
@@ -186,13 +252,31 @@ mod tests {
 
     #[test]
     fn approx_detection() {
-        assert_eq!(detect_approximation(&["about"]), ApproxIndicator::Approximate);
-        assert_eq!(detect_approximation(&["costs", "exactly"]), ApproxIndicator::Exact);
-        assert_eq!(detect_approximation(&["more", "than"]), ApproxIndicator::LowerBound);
-        assert_eq!(detect_approximation(&["less", "than"]), ApproxIndicator::UpperBound);
-        assert_eq!(detect_approximation(&["at", "least"]), ApproxIndicator::LowerBound);
+        assert_eq!(
+            detect_approximation(&["about"]),
+            ApproxIndicator::Approximate
+        );
+        assert_eq!(
+            detect_approximation(&["costs", "exactly"]),
+            ApproxIndicator::Exact
+        );
+        assert_eq!(
+            detect_approximation(&["more", "than"]),
+            ApproxIndicator::LowerBound
+        );
+        assert_eq!(
+            detect_approximation(&["less", "than"]),
+            ApproxIndicator::UpperBound
+        );
+        assert_eq!(
+            detect_approximation(&["at", "least"]),
+            ApproxIndicator::LowerBound
+        );
         assert_eq!(detect_approximation(&["ca."]), ApproxIndicator::Approximate);
-        assert_eq!(detect_approximation(&["the", "value"]), ApproxIndicator::None);
+        assert_eq!(
+            detect_approximation(&["the", "value"]),
+            ApproxIndicator::None
+        );
         assert_eq!(detect_approximation(&[]), ApproxIndicator::None);
     }
 
@@ -214,7 +298,10 @@ mod tests {
 
     #[test]
     fn aggregation_inference() {
-        assert_eq!(infer_aggregation(&["total", "of"]), Some(AggregationKind::Sum));
+        assert_eq!(
+            infer_aggregation(&["total", "of"]),
+            Some(AggregationKind::Sum)
+        );
         assert_eq!(
             infer_aggregation(&["growth", "rate", "compared"]),
             Some(AggregationKind::ChangeRatio)

@@ -59,7 +59,10 @@ mod tests {
     fn display_messages() {
         assert_eq!(TextError::NotANumeral.to_string(), "not a numeral");
         assert_eq!(
-            TextError::NonFiniteNumber { raw: "9e999".into() }.to_string(),
+            TextError::NonFiniteNumber {
+                raw: "9e999".into()
+            }
+            .to_string(),
             "numeral `9e999` overflows to a non-finite value"
         );
         assert_eq!(

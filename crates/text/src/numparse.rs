@@ -56,16 +56,29 @@ pub fn try_parse_numeral(s: &str) -> Result<ParsedNumber, crate::error::TextErro
     if !s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
         return Err(TextError::NotANumeral);
     }
-    if !s.chars().all(|c| c.is_ascii_digit() || c == ',' || c == '.') {
+    if !s
+        .chars()
+        .all(|c| c.is_ascii_digit() || c == ',' || c == '.')
+    {
         return Err(TextError::NotANumeral);
     }
-    let (mantissa, precision, grouped) =
-        interpret_marks(s).ok_or(TextError::NotANumeral)?;
+    let (mantissa, precision, grouped) = interpret_marks(s).ok_or(TextError::NotANumeral)?;
     if !mantissa.is_finite() {
-        return Err(TextError::NonFiniteNumber { raw: crate::error::clip(raw) });
+        return Err(TextError::NonFiniteNumber {
+            raw: crate::error::clip(raw),
+        });
     }
-    let sign = if neg || accounting_negative { -1.0 } else { 1.0 };
-    Ok(ParsedNumber { value: sign * mantissa, precision, grouped, accounting_negative })
+    let sign = if neg || accounting_negative {
+        -1.0
+    } else {
+        1.0
+    };
+    Ok(ParsedNumber {
+        value: sign * mantissa,
+        precision,
+        grouped,
+        accounting_negative,
+    })
 }
 
 /// Decide which of `,` / `.` are grouping marks vs. the decimal point and
@@ -76,10 +89,15 @@ fn interpret_marks(s: &str) -> Option<(f64, u8, bool)> {
 
     // Both marks present: the right-most one is the decimal separator.
     if let (Some(&last_comma), Some(&last_dot)) = (commas.last(), dots.last()) {
-        let (dec_pos, group) =
-            if last_comma > last_dot { (last_comma, '.') } else { (last_dot, ',') };
-        let int_part: String =
-            s[..dec_pos].chars().filter(|c| c.is_ascii_digit()).collect();
+        let (dec_pos, group) = if last_comma > last_dot {
+            (last_comma, '.')
+        } else {
+            (last_dot, ',')
+        };
+        let int_part: String = s[..dec_pos]
+            .chars()
+            .filter(|c| c.is_ascii_digit())
+            .collect();
         let frac_part = &s[dec_pos + 1..];
         if frac_part.contains(group) || frac_part.contains(if group == '.' { ',' } else { '.' }) {
             return None; // e.g. "1.2,3.4" nonsense
@@ -233,9 +251,7 @@ pub fn parse_word_number(words: &[&str]) -> Option<(f64, usize)> {
 /// spelled-out number that overflows 64-bit arithmetic (a hostile page can
 /// repeat "trillion" until `u64` wraps; checked arithmetic turns that into
 /// an error instead of a debug-mode panic).
-pub fn try_parse_word_number(
-    words: &[&str],
-) -> Result<(f64, usize), crate::error::TextError> {
+pub fn try_parse_word_number(words: &[&str]) -> Result<(f64, usize), crate::error::TextError> {
     use crate::error::TextError;
     let overflow = |_| TextError::WordNumberOverflow;
     let mut total: u64 = 0;
@@ -406,7 +422,10 @@ mod tests {
             parse_word_number(&["one", "hundred", "and", "five"]),
             Some((105.0, 4))
         );
-        assert_eq!(parse_word_number(&["two", "million"]), Some((2_000_000.0, 2)));
+        assert_eq!(
+            parse_word_number(&["two", "million"]),
+            Some((2_000_000.0, 2))
+        );
         assert_eq!(
             parse_word_number(&["three", "hundred", "thousand"]),
             Some((300_000.0, 3))
@@ -450,7 +469,10 @@ mod tests {
         let words: Vec<&str> = std::iter::once("nineteen")
             .chain(std::iter::repeat_n("hundred", 12))
             .collect();
-        assert_eq!(try_parse_word_number(&words), Err(TextError::WordNumberOverflow));
+        assert_eq!(
+            try_parse_word_number(&words),
+            Err(TextError::WordNumberOverflow)
+        );
         assert!(parse_word_number(&words).is_none());
     }
 

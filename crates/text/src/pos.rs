@@ -36,46 +36,113 @@ pub enum PosTag {
 }
 
 const DETERMINERS: &[&str] = &[
-    "the", "a", "an", "this", "that", "these", "those", "each", "every", "some",
-    "any", "no", "both", "all", "its", "their", "his", "her", "our", "your", "my",
+    "the", "a", "an", "this", "that", "these", "those", "each", "every", "some", "any", "no",
+    "both", "all", "its", "their", "his", "her", "our", "your", "my",
 ];
 
 const PREPOSITIONS: &[&str] = &[
-    "of", "in", "on", "at", "by", "for", "with", "from", "to", "into", "over",
-    "under", "about", "between", "among", "through", "during", "per", "than",
-    "as", "since", "until", "within", "across", "against", "via",
+    "of", "in", "on", "at", "by", "for", "with", "from", "to", "into", "over", "under", "about",
+    "between", "among", "through", "during", "per", "than", "as", "since", "until", "within",
+    "across", "against", "via",
 ];
 
 const PRONOUNS: &[&str] = &[
-    "i", "you", "he", "she", "it", "we", "they", "them", "him", "us", "me",
-    "which", "who", "whom", "whose", "what",
+    "i", "you", "he", "she", "it", "we", "they", "them", "him", "us", "me", "which", "who", "whom",
+    "whose", "what",
 ];
 
 const CONJUNCTIONS: &[&str] = &["and", "or", "but", "nor", "so", "yet", "while", "whereas"];
 
 const AUX_VERBS: &[&str] = &[
-    "is", "are", "was", "were", "be", "been", "being", "am", "has", "have",
-    "had", "having", "do", "does", "did", "will", "would", "can", "could",
-    "shall", "should", "may", "might", "must",
+    "is", "are", "was", "were", "be", "been", "being", "am", "has", "have", "had", "having", "do",
+    "does", "did", "will", "would", "can", "could", "shall", "should", "may", "might", "must",
 ];
 
 const COMMON_VERBS: &[&str] = &[
-    "said", "say", "says", "reported", "report", "reports", "rose", "fell",
-    "grew", "increased", "decreased", "gained", "lost", "sold", "bought",
-    "earned", "made", "remained", "compared", "counted", "dominated", "achieved",
-    "undergo", "shows", "show", "showed", "see", "refer", "refers", "beat",
-    "exceeded", "exceeds", "outsold", "outperformed",
+    "said",
+    "say",
+    "says",
+    "reported",
+    "report",
+    "reports",
+    "rose",
+    "fell",
+    "grew",
+    "increased",
+    "decreased",
+    "gained",
+    "lost",
+    "sold",
+    "bought",
+    "earned",
+    "made",
+    "remained",
+    "compared",
+    "counted",
+    "dominated",
+    "achieved",
+    "undergo",
+    "shows",
+    "show",
+    "showed",
+    "see",
+    "refer",
+    "refers",
+    "beat",
+    "exceeded",
+    "exceeds",
+    "outsold",
+    "outperformed",
 ];
 
 const COMMON_ADJECTIVES: &[&str] = &[
-    "new", "old", "high", "low", "higher", "lower", "highest", "lowest", "most",
-    "least", "common", "final", "total", "net", "gross", "average", "overall",
-    "last", "previous", "next", "same", "such", "other", "more", "fewer",
-    "affordable", "expensive", "cheap", "cheaper", "strong", "senior", "domestic",
+    "new",
+    "old",
+    "high",
+    "low",
+    "higher",
+    "lower",
+    "highest",
+    "lowest",
+    "most",
+    "least",
+    "common",
+    "final",
+    "total",
+    "net",
+    "gross",
+    "average",
+    "overall",
+    "last",
+    "previous",
+    "next",
+    "same",
+    "such",
+    "other",
+    "more",
+    "fewer",
+    "affordable",
+    "expensive",
+    "cheap",
+    "cheaper",
+    "strong",
+    "senior",
+    "domestic",
 ];
 
-const COMMON_ADVERBS: &[&str] =
-    &["very", "only", "also", "not", "n't", "too", "up", "down", "primarily", "mostly", "however"];
+const COMMON_ADVERBS: &[&str] = &[
+    "very",
+    "only",
+    "also",
+    "not",
+    "n't",
+    "too",
+    "up",
+    "down",
+    "primarily",
+    "mostly",
+    "however",
+];
 
 /// Tag a single token given whether it starts a sentence.
 pub fn tag_token(token: &Token, sentence_initial: bool) -> PosTag {
@@ -122,8 +189,13 @@ pub fn tag_token(token: &Token, sentence_initial: bool) -> PosTag {
         // we call them verbs and let the chunker treat `VBG NN` as `JJ NN`.
         return PosTag::Verb;
     }
-    if l.ends_with("ous") || l.ends_with("ful") || l.ends_with("ive") || l.ends_with("able")
-        || l.ends_with("ible") || l.ends_with("al") || l.ends_with("ic")
+    if l.ends_with("ous")
+        || l.ends_with("ful")
+        || l.ends_with("ive")
+        || l.ends_with("able")
+        || l.ends_with("ible")
+        || l.ends_with("al")
+        || l.ends_with("ic")
     {
         return PosTag::Adjective;
     }

@@ -43,13 +43,35 @@ impl QuantityMention {
 }
 
 const MONTHS: &[&str] = &[
-    "january", "february", "march", "april", "may", "june", "july", "august",
-    "september", "october", "november", "december", "jan", "feb", "mar", "apr",
-    "jun", "jul", "aug", "sep", "sept", "oct", "nov", "dec",
+    "january",
+    "february",
+    "march",
+    "april",
+    "may",
+    "june",
+    "july",
+    "august",
+    "september",
+    "october",
+    "november",
+    "december",
+    "jan",
+    "feb",
+    "mar",
+    "apr",
+    "jun",
+    "jul",
+    "aug",
+    "sep",
+    "sept",
+    "oct",
+    "nov",
+    "dec",
 ];
 
-const HEADING_WORDS: &[&str] =
-    &["section", "chapter", "figure", "table", "page", "item", "step", "fig", "eq", "equation"];
+const HEADING_WORDS: &[&str] = &[
+    "section", "chapter", "figure", "table", "page", "item", "step", "fig", "eq", "equation",
+];
 
 fn is_month(w: &str) -> bool {
     MONTHS.contains(&w.to_lowercase().as_str())
@@ -139,10 +161,7 @@ fn mark_dates_times(tokens: &[Token], excluded: &mut [bool]) {
             continue;
         }
         // times: N ':' N
-        if i + 2 < n
-            && tokens[i + 1].text == ":"
-            && tokens[i + 2].kind == TokenKind::Number
-        {
+        if i + 2 < n && tokens[i + 1].text == ":" && tokens[i + 2].kind == TokenKind::Number {
             excluded[i] = true;
             excluded[i + 1] = true;
             excluded[i + 2] = true;
@@ -190,11 +209,7 @@ fn mark_headings_refs_phones(tokens: &[Token], excluded: &mut [bool]) {
             excluded[i] = true;
         }
         // reference: [ N ]
-        if i > 0
-            && i + 1 < n
-            && tokens[i - 1].text == "["
-            && tokens[i + 1].text == "]"
-        {
+        if i > 0 && i + 1 < n && tokens[i - 1].text == "[" && tokens[i + 1].text == "]" {
             excluded[i] = true;
         }
         // phone-like: N - N - N chains
@@ -250,15 +265,28 @@ fn finish_mention(
 
     // Prefix currency symbol: `$3.26`.
     if i > 0 && tokens[i - 1].kind == TokenKind::Symbol {
-        if let Some(c) = tokens[i - 1].text.chars().next().and_then(currency_from_symbol) {
+        if let Some(c) = tokens[i - 1]
+            .text
+            .chars()
+            .next()
+            .and_then(currency_from_symbol)
+        {
             unit = Unit::Currency(c);
             span_start = tokens[i - 1].start;
         }
     }
     // Prefix currency symbol before an accounting '(': `$(9.49)`.
-    if unit == Unit::None && i > 1 && tokens[i - 1].text == "(" && tokens[i - 2].kind == TokenKind::Symbol
+    if unit == Unit::None
+        && i > 1
+        && tokens[i - 1].text == "("
+        && tokens[i - 2].kind == TokenKind::Symbol
     {
-        if let Some(c) = tokens[i - 2].text.chars().next().and_then(currency_from_symbol) {
+        if let Some(c) = tokens[i - 2]
+            .text
+            .chars()
+            .next()
+            .and_then(currency_from_symbol)
+        {
             unit = Unit::Currency(c);
             span_start = tokens[i - 2].start;
         }
@@ -339,11 +367,7 @@ fn finish_mention(
 
 /// Extract a spelled-out number ("twenty pounds") starting at word index
 /// `i`. Conservative: single small words ("one", "two") are not mentions.
-fn extract_word_number(
-    text: &str,
-    tokens: &[Token],
-    i: usize,
-) -> Option<(QuantityMention, usize)> {
+fn extract_word_number(text: &str, tokens: &[Token], i: usize) -> Option<(QuantityMention, usize)> {
     // Gather the run of word tokens.
     let mut words: Vec<String> = Vec::new();
     let mut idx = i;
@@ -373,7 +397,9 @@ fn extract_word_number(
 
     // Guard against prose "one", "two": require value ≥ 13, or more than
     // one word, or a recognizable unit word right after.
-    let next_unit = tokens.get(i + toks).and_then(|t| unit_from_word(&t.lower()));
+    let next_unit = tokens
+        .get(i + toks)
+        .and_then(|t| unit_from_word(&t.lower()));
     if value < 13.0 && toks == 1 && next_unit.is_none() {
         return None;
     }
@@ -608,7 +634,10 @@ mod tests {
     fn multiple_mentions_ordered() {
         let text = "of which there were 69 female patients and 54 male patients";
         let ms = extract(text);
-        assert_eq!(ms.iter().map(|m| m.value).collect::<Vec<_>>(), vec![69.0, 54.0]);
+        assert_eq!(
+            ms.iter().map(|m| m.value).collect::<Vec<_>>(),
+            vec![69.0, 54.0]
+        );
         assert!(ms[0].start < ms[1].start);
     }
 }

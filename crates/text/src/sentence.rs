@@ -6,10 +6,9 @@
 
 /// Common abbreviations that should not end a sentence.
 const ABBREVIATIONS: &[&str] = &[
-    "mr", "mrs", "ms", "dr", "prof", "vs", "etc", "inc", "ltd", "co", "corp",
-    "no", "vol", "fig", "eq", "ca", "approx", "jan", "feb", "mar", "apr",
-    "jun", "jul", "aug", "sep", "sept", "oct", "nov", "dec", "st", "e.g",
-    "i.e", "u.s", "u.k", "mio",
+    "mr", "mrs", "ms", "dr", "prof", "vs", "etc", "inc", "ltd", "co", "corp", "no", "vol", "fig",
+    "eq", "ca", "approx", "jan", "feb", "mar", "apr", "jun", "jul", "aug", "sep", "sept", "oct",
+    "nov", "dec", "st", "e.g", "i.e", "u.s", "u.k", "mio",
 ];
 
 /// Split `text` into paragraphs on blank lines. Returns `(start, end)` byte
@@ -123,7 +122,11 @@ fn followed_by_sentence_start(chars: &[(usize, char)], i: usize) -> bool {
     while j < chars.len() && chars[j].1.is_whitespace() {
         j += 1;
     }
-    j >= chars.len() || chars[j].1.is_uppercase() || chars[j].1.is_ascii_digit() || chars[j].1 == '$' || briq_regex::is_currency_symbol(chars[j].1)
+    j >= chars.len()
+        || chars[j].1.is_uppercase()
+        || chars[j].1.is_ascii_digit()
+        || chars[j].1 == '$'
+        || briq_regex::is_currency_symbol(chars[j].1)
 }
 
 /// Find the sentence span containing byte offset `at`.

@@ -5,7 +5,6 @@
 //! context windows, proximity features) can always map back into the
 //! original document.
 
-
 /// Classification of a token.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TokenKind {
@@ -96,7 +95,12 @@ pub fn tokenize(text: &str) -> Vec<Token> {
     let mut i = 0;
 
     let push = |tokens: &mut Vec<Token>, start: usize, end: usize, kind: TokenKind| {
-        tokens.push(Token { text: text[start..end].to_string(), start, end, kind });
+        tokens.push(Token {
+            text: text[start..end].to_string(),
+            start,
+            end,
+            kind,
+        });
     };
 
     while i < n {
@@ -294,5 +298,16 @@ mod tests {
     }
 }
 
-briq_json::json_unit_enum!(TokenKind { Word, Number, Alphanumeric, Punct, Symbol });
-briq_json::json_struct!(Token { text, start, end, kind });
+briq_json::json_unit_enum!(TokenKind {
+    Word,
+    Number,
+    Alphanumeric,
+    Punct,
+    Symbol
+});
+briq_json::json_struct!(Token {
+    text,
+    start,
+    end,
+    kind
+});

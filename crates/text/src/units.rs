@@ -5,7 +5,6 @@
 //! from symbols (`$`, `€`), ISO-ish codes (`USD`, `CDN`), words
 //! (`dollars`), and table headers (`($ Millions)`, `Emission (g/km)`).
 
-
 /// Currency identification.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Currency {
@@ -125,7 +124,9 @@ pub fn unit_from_header(text: &str) -> (Unit, Option<f64>) {
     let lower = text.to_lowercase();
     let mut unit = Unit::None;
     let mut scale = None;
-    for raw in lower.split(|c: char| !(c.is_alphanumeric() || c == '$' || c == '€' || c == '£' || c == '%' || c == '/')) {
+    for raw in lower.split(|c: char| {
+        !(c.is_alphanumeric() || c == '$' || c == '€' || c == '£' || c == '%' || c == '/')
+    }) {
         if raw.is_empty() {
             continue;
         }
@@ -235,8 +236,23 @@ mod tests {
     }
 }
 
-briq_json::json_unit_enum!(Currency { Usd, Eur, Gbp, Cad, Inr, Jpy, Other });
-briq_json::json_unit_enum!(Measure { Mpge, GramsPerKm, KWh, Mg, Km, Count });
+briq_json::json_unit_enum!(Currency {
+    Usd,
+    Eur,
+    Gbp,
+    Cad,
+    Inr,
+    Jpy,
+    Other
+});
+briq_json::json_unit_enum!(Measure {
+    Mpge,
+    GramsPerKm,
+    KWh,
+    Mg,
+    Km,
+    Count
+});
 briq_json::json_enum!(Unit {
     Currency(Currency),
     Percent,

@@ -19,7 +19,10 @@ mod numerals {
 
     #[test]
     fn huge_and_tiny() {
-        assert_eq!(parse_numeral("999,999,999,999").unwrap().value, 999_999_999_999.0);
+        assert_eq!(
+            parse_numeral("999,999,999,999").unwrap().value,
+            999_999_999_999.0
+        );
         assert_eq!(parse_numeral("0.0001").unwrap().value, 0.0001);
         assert_eq!(parse_numeral("0.0001").unwrap().precision, 4);
     }
@@ -157,7 +160,10 @@ mod cells {
     #[test]
     fn cells_with_units_inside() {
         assert_eq!(parse_cell_quantity("105 MPGe").unwrap().value, 105.0);
-        assert_eq!(parse_cell_quantity("60 bps").unwrap().unit, Unit::BasisPoints);
+        assert_eq!(
+            parse_cell_quantity("60 bps").unwrap().unit,
+            Unit::BasisPoints
+        );
         assert_eq!(
             parse_cell_quantity("$1.15").unwrap().unit,
             Unit::Currency(Currency::Usd)
@@ -213,9 +219,15 @@ mod units_and_cues {
     fn bound_cues_two_words_required() {
         // "more" alone (without "than") is not a bound cue
         assert_eq!(detect_approximation(&["more"]), ApproxIndicator::None);
-        assert_eq!(detect_approximation(&["more", "than"]), ApproxIndicator::LowerBound);
+        assert_eq!(
+            detect_approximation(&["more", "than"]),
+            ApproxIndicator::LowerBound
+        );
         // "up to" is an upper bound
-        assert_eq!(detect_approximation(&["up", "to"]), ApproxIndicator::UpperBound);
+        assert_eq!(
+            detect_approximation(&["up", "to"]),
+            ApproxIndicator::UpperBound
+        );
     }
 }
 

@@ -36,10 +36,22 @@ fn fig5_change_ratio() -> Document {
             "Vehicle sales by category",
             vec![
                 vec!["CATEGORY".into(), "OCTOBER A".into(), "OCTOBER B".into()],
-                vec!["Passenger Vehicles".into(), "184,611".into(), "246,725".into()],
-                vec!["Commercial Vehicles".into(), "62,013".into(), "66,722".into()],
+                vec![
+                    "Passenger Vehicles".into(),
+                    "184,611".into(),
+                    "246,725".into(),
+                ],
+                vec![
+                    "Commercial Vehicles".into(),
+                    "62,013".into(),
+                    "66,722".into(),
+                ],
                 vec!["Three-wheelers".into(), "49,069".into(), "55,241".into()],
-                vec!["Two-wheelers".into(), "1,144,716".into(), "1,285,015".into()],
+                vec![
+                    "Two-wheelers".into(),
+                    "1,144,716".into(),
+                    "1,285,015".into(),
+                ],
             ],
         )],
     )
@@ -96,12 +108,37 @@ fn fig6_same_value_collision() -> Document {
         vec![Table::from_grid(
             "Number of bedrooms",
             vec![
-                vec!["Number of bedrooms".into(), "Scenic Rim".into(), "%".into(), "Queensland avg".into()],
+                vec![
+                    "Number of bedrooms".into(),
+                    "Scenic Rim".into(),
+                    "%".into(),
+                    "Queensland avg".into(),
+                ],
                 vec!["1 bedroom".into(), "204".into(), "4.5".into(), "4.2".into()],
-                vec!["2 bedrooms".into(), "582".into(), "13.0".into(), "16.8".into()],
-                vec!["3 bedrooms".into(), "1,895".into(), "42.2".into(), "42.1".into()],
-                vec!["Average bedrooms per dwelling".into(), "3.2".into(), "".into(), "3.2".into()],
-                vec!["Average people per household".into(), "2.6".into(), "".into(), "2.6".into()],
+                vec![
+                    "2 bedrooms".into(),
+                    "582".into(),
+                    "13.0".into(),
+                    "16.8".into(),
+                ],
+                vec![
+                    "3 bedrooms".into(),
+                    "1,895".into(),
+                    "42.2".into(),
+                    "42.1".into(),
+                ],
+                vec![
+                    "Average bedrooms per dwelling".into(),
+                    "3.2".into(),
+                    "".into(),
+                    "3.2".into(),
+                ],
+                vec![
+                    "Average people per household".into(),
+                    "2.6".into(),
+                    "".into(),
+                    "2.6".into(),
+                ],
             ],
         )],
     )
@@ -135,12 +172,28 @@ fn main() {
 
     if errors {
         println!("Fig. 6: typical error cases (same-value collisions, ambiguity)\n");
-        align_and_print(&briq, "Fig. 6a — same-value collision ('3.2' twice in a row)", &fig6_same_value_collision());
-        align_and_print(&briq, "Fig. 6b — high ambiguity ('$50' wholesale vs retail)", &fig6_high_ambiguity());
+        align_and_print(
+            &briq,
+            "Fig. 6a — same-value collision ('3.2' twice in a row)",
+            &fig6_same_value_collision(),
+        );
+        align_and_print(
+            &briq,
+            "Fig. 6b — high ambiguity ('$50' wholesale vs retail)",
+            &fig6_high_ambiguity(),
+        );
     } else {
         println!("Fig. 5: anecdotal alignments discovered by BriQ\n");
-        align_and_print(&briq, "Fig. 5a — change ratio (car sales)", &fig5_change_ratio());
+        align_and_print(
+            &briq,
+            "Fig. 5a — change ratio (car sales)",
+            &fig5_change_ratio(),
+        );
         align_and_print(&briq, "Fig. 5b — percentage (census)", &fig5_percentage());
-        align_and_print(&briq, "Fig. 5c — difference (net income)", &fig5_difference());
+        align_and_print(
+            &briq,
+            "Fig. 5c — difference (net income)",
+            &fig5_difference(),
+        );
     }
 }

@@ -11,11 +11,36 @@ fn main() {
         "Car ratings",
         vec![
             vec!["".into(), "Focus E".into(), "A3".into(), "VW Golf".into()],
-            vec!["German MSRP".into(), "34900".into(), "36900".into(), "33800".into()],
-            vec!["American MSRP".into(), "29120".into(), "38900".into(), "29915".into()],
-            vec!["Emission (g/km)".into(), "0".into(), "105".into(), "122".into()],
-            vec!["Fuel Economy".into(), "105".into(), "70.6".into(), "61.4".into()],
-            vec!["Final rating".into(), "1.33".into(), "2.67".into(), "2.67".into()],
+            vec![
+                "German MSRP".into(),
+                "34900".into(),
+                "36900".into(),
+                "33800".into(),
+            ],
+            vec![
+                "American MSRP".into(),
+                "29120".into(),
+                "38900".into(),
+                "29915".into(),
+            ],
+            vec![
+                "Emission (g/km)".into(),
+                "0".into(),
+                "105".into(),
+                "122".into(),
+            ],
+            vec![
+                "Fuel Economy".into(),
+                "105".into(),
+                "70.6".into(),
+                "61.4".into(),
+            ],
+            vec![
+                "Final rating".into(),
+                "1.33".into(),
+                "2.67".into(),
+                "2.67".into(),
+            ],
         ],
     );
     let doc = Document::new(

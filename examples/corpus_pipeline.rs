@@ -11,7 +11,11 @@ use briq::substrates::ml::split::random_split;
 
 fn main() {
     // 1. Generate a small corpus with exact ground truth.
-    let cfg = CorpusConfig { n_documents: 120, seed: 99, ..Default::default() };
+    let cfg = CorpusConfig {
+        n_documents: 120,
+        seed: 99,
+        ..Default::default()
+    };
     let corpus = generate_corpus(&cfg);
     let mut documents = corpus.documents;
     println!(
@@ -30,8 +34,11 @@ fn main() {
     // 3. 80/10/10 split and training.
     let split = random_split(documents.len(), 0.1, 0.1, 7);
     let train: Vec<_> = split.train.iter().map(|&i| documents[i].clone()).collect();
-    let validation: Vec<_> =
-        split.validation.iter().map(|&i| documents[i].clone()).collect();
+    let validation: Vec<_> = split
+        .validation
+        .iter()
+        .map(|&i| documents[i].clone())
+        .collect();
     println!(
         "training on {} documents (tagger on {} withheld)...",
         train.len(),

@@ -14,18 +14,50 @@ fn segment_table(name: &str, sales: &str, profit_chg: &str, margin: &str, bps: &
     Table::from_grid(
         name,
         vec![
-            vec!["($ Millions)".into(), "2Q 2012".into(), "2Q 2013".into(), "% Change".into()],
-            vec!["Sales".into(), sales.split('|').next().unwrap().into(), sales.split('|').nth(1).unwrap().into(), sales.split('|').nth(2).unwrap().into()],
-            vec!["Segment Profit".into(), profit_chg.split('|').next().unwrap().into(), profit_chg.split('|').nth(1).unwrap().into(), profit_chg.split('|').nth(2).unwrap().into()],
-            vec!["Segment Margin".into(), margin.split('|').next().unwrap().into(), margin.split('|').nth(1).unwrap().into(), bps.into()],
+            vec![
+                "($ Millions)".into(),
+                "2Q 2012".into(),
+                "2Q 2013".into(),
+                "% Change".into(),
+            ],
+            vec![
+                "Sales".into(),
+                sales.split('|').next().unwrap().into(),
+                sales.split('|').nth(1).unwrap().into(),
+                sales.split('|').nth(2).unwrap().into(),
+            ],
+            vec![
+                "Segment Profit".into(),
+                profit_chg.split('|').next().unwrap().into(),
+                profit_chg.split('|').nth(1).unwrap().into(),
+                profit_chg.split('|').nth(2).unwrap().into(),
+            ],
+            vec![
+                "Segment Margin".into(),
+                margin.split('|').next().unwrap().into(),
+                margin.split('|').nth(1).unwrap().into(),
+                bps.into(),
+            ],
         ],
     )
 }
 
 fn main() {
     // Table 1: Transportation Systems; Table 2: Automation & Control.
-    let t1 = segment_table("Table 1: Transportation Systems", "900|947|5%", "114|126|11%", "12.7%|13.3%", "60 bps");
-    let t2 = segment_table("Table 2: Automation & Control", "3,962|4,065|3%", "525|585|11%", "13.3%|14.4%", "110 bps");
+    let t1 = segment_table(
+        "Table 1: Transportation Systems",
+        "900|947|5%",
+        "114|126|11%",
+        "12.7%|13.3%",
+        "60 bps",
+    );
+    let t2 = segment_table(
+        "Table 2: Automation & Control",
+        "3,962|4,065|3%",
+        "525|585|11%",
+        "13.3%|14.4%",
+        "110 bps",
+    );
     let doc = Document::new(
         0,
         "Sales were up 5% on both a reported and organic basis, compared with \
@@ -41,8 +73,19 @@ fn main() {
     let sd = briq.score_document(&doc);
     let (candidates, _) = briq.filter(&sd);
     let positions: Vec<usize> = sd.ctx.mentions.iter().map(|m| m.token_index).collect();
-    let ag = build_graph(&sd.mentions, &positions, sd.ctx.tokens.len(), &sd.targets, &candidates, &briq.cfg.graph);
-    println!("Candidate graph: {} nodes, {} edges", ag.graph.len(), ag.graph.edge_count());
+    let ag = build_graph(
+        &sd.mentions,
+        &positions,
+        sd.ctx.tokens.len(),
+        &sd.targets,
+        &candidates,
+        &briq.cfg.graph,
+    );
+    println!(
+        "Candidate graph: {} nodes, {} edges",
+        ag.graph.len(),
+        ag.graph.edge_count()
+    );
     for (i, x) in text_mentions(&doc).iter().enumerate() {
         let cands: Vec<String> = candidates[i]
             .iter()

@@ -12,7 +12,12 @@ fn main() {
     let table = Table::from_grid(
         "Reported side effects",
         vec![
-            vec!["side effects".into(), "male".into(), "female".into(), "total".into()],
+            vec![
+                "side effects".into(),
+                "male".into(),
+                "female".into(),
+                "total".into(),
+            ],
             vec!["Rash".into(), "15".into(), "20".into(), "35".into()],
             vec!["Depression".into(), "13".into(), "25".into(), "38".into()],
             vec!["Hypertension".into(), "19".into(), "15".into(), "34".into()],
@@ -47,9 +52,16 @@ fn main() {
     let aligned = briq.align(&doc);
     match aligned.iter().find(|a| a.mention_raw.starts_with("123")) {
         Some(a) if a.target.is_aggregate() && a.target.value == 123.0 => {
-            println!("\n'total of 123 patients' correctly resolved to sum({:?}).", a.target.cells)
+            println!(
+                "\n'total of 123 patients' correctly resolved to sum({:?}).",
+                a.target.cells
+            )
         }
-        Some(a) => println!("\n'123' aligned to {:?} (value {})", a.target.kind.name(), a.target.value),
+        Some(a) => println!(
+            "\n'123' aligned to {:?} (value {})",
+            a.target.kind.name(),
+            a.target.value
+        ),
         None => println!("\n'123' was left unaligned."),
     }
 }

@@ -16,9 +16,24 @@ fn main() {
         "Income gains (in Mio)",
         vec![
             vec!["".into(), "2013".into(), "2012".into(), "2011".into()],
-            vec!["Total Revenue".into(), "3,263".into(), "3,193".into(), "2,911".into()],
-            vec!["Gross income".into(), "1,069".into(), "1,053".into(), "0,877".into()],
-            vec!["Income taxes".into(), "179".into(), "177".into(), "160".into()],
+            vec![
+                "Total Revenue".into(),
+                "3,263".into(),
+                "3,193".into(),
+                "2,911".into(),
+            ],
+            vec![
+                "Gross income".into(),
+                "1,069".into(),
+                "1,053".into(),
+                "0,877".into(),
+            ],
+            vec![
+                "Income taxes".into(),
+                "179".into(),
+                "177".into(),
+                "160".into(),
+            ],
             vec!["Income".into(), "890".into(), "876".into(), "849".into()],
         ],
     );

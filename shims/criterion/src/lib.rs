@@ -24,12 +24,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Id rendered from the parameter alone.
     pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
-        BenchmarkId { name: parameter.to_string() }
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
     }
 
     /// Id with an explicit function name and parameter.
     pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> Self {
-        BenchmarkId { name: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 }
 
@@ -61,7 +65,10 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
     // then take `sample_size` samples and report the best (least noisy).
     let mut iters = 1u64;
     loop {
-        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         if b.elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
             break;
@@ -70,7 +77,10 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
     }
     let mut best = Duration::MAX;
     for _ in 0..sample_size.clamp(1, 20) {
-        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         if b.elapsed < best {
             best = b.elapsed;
@@ -100,7 +110,11 @@ impl Criterion {
 
     /// Open a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.to_string(), sample_size: self.sample_size, _parent: self }
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
     }
 }
 

@@ -35,7 +35,9 @@ impl TestRng {
             z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
             z ^ (z >> 31)
         };
-        TestRng { s: [next(), next(), next(), next()] }
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
     }
 
     fn next_u64(&mut self) -> u64 {
@@ -283,9 +285,10 @@ fn parse_pattern(pattern: &str) -> Vec<PatternElement> {
             }
             '\\' => {
                 i += 1;
-                let c = chars.get(i).copied().unwrap_or_else(|| {
-                    panic!("dangling backslash in pattern {pattern:?}")
-                });
+                let c = chars
+                    .get(i)
+                    .copied()
+                    .unwrap_or_else(|| panic!("dangling backslash in pattern {pattern:?}"));
                 i += 1;
                 match c {
                     'd' => CharSet::Ranges(vec![('0', '9')]),
@@ -388,13 +391,19 @@ impl From<usize> for SizeRange {
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> Self {
         assert!(r.start < r.end, "empty vec size range");
-        SizeRange { min: r.start, max: r.end - 1 }
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
     }
 }
 
 impl From<RangeInclusive<usize>> for SizeRange {
     fn from(r: RangeInclusive<usize>) -> Self {
-        SizeRange { min: *r.start(), max: *r.end() }
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
     }
 }
 
@@ -410,14 +419,22 @@ pub mod collection {
 
     /// `proptest::collection::vec(element, size)`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = (self.size.max - self.size.min) as u64;
-            let n = self.size.min + if span == 0 { 0 } else { rng.below(span + 1) as usize };
+            let n = self.size.min
+                + if span == 0 {
+                    0
+                } else {
+                    rng.below(span + 1) as usize
+                };
             (0..n).map(|_| self.element.generate(rng)).collect()
         }
     }
@@ -594,7 +611,9 @@ macro_rules! prop_assert_ne {
         if *l == *r {
             return Err($crate::TestCaseError::Fail(format!(
                 "assertion failed: {} != {} (both {:?})",
-                stringify!($left), stringify!($right), l,
+                stringify!($left),
+                stringify!($right),
+                l,
             )));
         }
     }};
@@ -654,7 +673,9 @@ mod tests {
         for _ in 0..100 {
             let (rows, grid) = super::Strategy::generate(&strat, &mut rng);
             assert_eq!(grid.len(), rows);
-            assert!(grid.iter().all(|row| row.iter().all(|&v| (1..100).contains(&v))));
+            assert!(grid
+                .iter()
+                .all(|row| row.iter().all(|&v| (1..100).contains(&v))));
         }
     }
 

@@ -26,14 +26,14 @@
 //! ```
 
 pub use briq_core::{
-    baselines, classifier, context, error, evaluate, features, filtering, graph_builder,
-    jaro_winkler, mention, pipeline, resolution, tagger, training, Alignment, Briq,
-    BriqConfig, BriqError, Budget, DegradedAction, Diagnostic, Diagnostics, FeatureMask,
-    GoldAlignment, Stage,
+    align_batch, baselines, batch, classifier, context, error, evaluate, features, filtering,
+    graph_builder, jaro_winkler, mention, pipeline, resolution, tagger, training, Alignment,
+    BatchConfig, BatchReport, Briq, BriqConfig, BriqError, Budget, DegradedAction, Diagnostic,
+    Diagnostics, DocReport, FeatureMask, GoldAlignment, Stage, StageTimings, WorkerStats,
 };
 pub use briq_table::{
-    html, segment, stats, virtual_cells, CellRef, Document, Orientation, Table,
-    TableMention, TableMentionKind,
+    html, segment, stats, virtual_cells, CellRef, Document, Orientation, Table, TableMention,
+    TableMentionKind,
 };
 pub use briq_text::{
     chunker, cues, numparse, pos, quantity, sentence, token, units, AggregationKind,

@@ -11,8 +11,8 @@
 use briq::substrates::corpus::corpus::{generate_corpus, CorpusConfig};
 use briq::substrates::corpus::perturb::{adversarial_documents, Adversary};
 use briq::{
-    Briq, BriqConfig, Budget, DegradedAction, Diagnostic, Document, Stage, Table,
-    TableMentionKind,
+    align_batch, BatchConfig, Briq, BriqConfig, Budget, DegradedAction, Diagnostic, Document,
+    Stage, Table, TableMentionKind,
 };
 
 /// Tight enough that the hostile families actually hit the caps.
@@ -40,7 +40,10 @@ fn thousand_adversarial_documents_never_panic_and_respect_budgets() {
             for doc in adversarial_documents(kind, seed) {
                 let (alignments, diags) = briq.align_checked_with(&doc, &budget);
                 for a in &alignments {
-                    assert!(a.score.is_finite(), "{kind:?} seed {seed}: non-finite score");
+                    assert!(
+                        a.score.is_finite(),
+                        "{kind:?} seed {seed}: non-finite score"
+                    );
                     assert!(a.mention_end <= doc.text.len());
                 }
                 if !diags.is_clean() {
@@ -72,9 +75,7 @@ fn thousand_adversarial_documents_never_panic_and_respect_budgets() {
                         let virtuals = sd
                             .targets
                             .iter()
-                            .filter(|t| {
-                                t.table == ti && t.kind != TableMentionKind::SingleCell
-                            })
+                            .filter(|t| t.table == ti && t.kind != TableMentionKind::SingleCell)
                             .count();
                         assert!(
                             virtuals <= budget.max_virtual_cells_per_table,
@@ -91,7 +92,88 @@ fn thousand_adversarial_documents_never_panic_and_respect_budgets() {
     assert!(processed >= 1000, "only {processed} documents");
     // The harness is only meaningful if the budgets actually bite.
     assert!(degraded_docs > 0, "no document ever degraded");
-    assert!(fanout_truncations > 0, "fanout family never hit the virtual-cell budget");
+    assert!(
+        fanout_truncations > 0,
+        "fanout family never hit the virtual-cell budget"
+    );
+}
+
+/// The batch engine under fire: every adversarial family, all in one
+/// parallel batch. The pool must (a) never panic, (b) keep each hostile
+/// document's degradation isolated to that document, and (c) return
+/// results bit-identical to running `align_checked_with` sequentially —
+/// for any worker count.
+#[test]
+fn adversarial_batch_is_deterministic_and_isolated() {
+    let briq = Briq::untrained(BriqConfig::default());
+    let budget = chaos_budget();
+
+    let mut docs: Vec<Document> = Vec::new();
+    for seed in 0..8 {
+        for kind in Adversary::ALL {
+            docs.extend(adversarial_documents(kind, seed));
+        }
+    }
+    assert!(
+        docs.len() >= 48,
+        "only {} adversarial documents",
+        docs.len()
+    );
+
+    let sequential: Vec<_> = docs
+        .iter()
+        .map(|d| briq.align_checked_with(d, &budget))
+        .collect();
+
+    for jobs in [1usize, 3, 8] {
+        let cfg = BatchConfig {
+            jobs,
+            chunk: 2,
+            budget,
+        };
+        let report = align_batch(&briq, &docs, &cfg);
+        assert_eq!(report.documents.len(), docs.len());
+        for (i, (dr, (alignments, diags))) in report.documents.iter().zip(&sequential).enumerate() {
+            assert_eq!(dr.index, i, "jobs {jobs}: out of order");
+            assert_eq!(
+                &dr.alignments, alignments,
+                "jobs {jobs} doc {i}: alignments diverged"
+            );
+            assert_eq!(
+                &dr.diagnostics, diags,
+                "jobs {jobs} doc {i}: diagnostics diverged"
+            );
+        }
+        // The batch must degrade exactly where the sequential path does —
+        // no more (cross-document contamination), no less (missed caps).
+        let degraded: Vec<usize> = report
+            .documents
+            .iter()
+            .filter(|d| !d.diagnostics.is_clean())
+            .map(|d| d.index)
+            .collect();
+        let expected: Vec<usize> = sequential
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, diags))| !diags.is_clean())
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(degraded, expected, "jobs {jobs}");
+        assert!(!degraded.is_empty(), "chaos batch never hit a budget");
+
+        // The combined JSONL stream parses line-by-line and carries the
+        // batch index prefix for attribution.
+        let combined = report.combined_diagnostics();
+        for line in combined.to_jsonl().lines() {
+            let d: Diagnostic =
+                briq_json::from_str(line).unwrap_or_else(|e| panic!("bad JSONL {line:?}: {e:?}"));
+            assert!(
+                d.scope.starts_with("doc "),
+                "unattributed scope {:?}",
+                d.scope
+            );
+        }
+    }
 }
 
 #[test]
@@ -127,7 +209,9 @@ fn degenerate_tables_are_isolated_per_table() {
     assert!(skipped.iter().any(|d| d.scope == "table 2"));
     // Fault isolation: the healthy table still aligns.
     assert!(
-        alignments.iter().any(|a| a.target.table == 1 && a.mention_raw.starts_with("38")),
+        alignments
+            .iter()
+            .any(|a| a.target.table == 1 && a.mention_raw.starts_with("38")),
         "{alignments:?}"
     );
 }
@@ -135,7 +219,11 @@ fn degenerate_tables_are_isolated_per_table() {
 #[test]
 fn clean_documents_align_bit_identically_under_checking() {
     let briq = Briq::untrained(BriqConfig::default());
-    let corpus = generate_corpus(&CorpusConfig { n_documents: 40, seed: 99, ..Default::default() });
+    let corpus = generate_corpus(&CorpusConfig {
+        n_documents: 40,
+        seed: 99,
+        ..Default::default()
+    });
     let mut compared = 0usize;
     for ld in &corpus.documents {
         let plain = briq.align(&ld.document);
@@ -143,8 +231,7 @@ fn clean_documents_align_bit_identically_under_checking() {
         let (checked, diags) = briq.align_checked(&ld.document);
         assert_eq!(plain, checked, "doc {} diverged: {diags:?}", ld.document.id);
         // Unlimited budget: the exact same code path as `align`.
-        let (unlimited, _) =
-            briq.align_checked_with(&ld.document, &Budget::unlimited());
+        let (unlimited, _) = briq.align_checked_with(&ld.document, &Budget::unlimited());
         assert_eq!(plain, unlimited, "doc {}", ld.document.id);
         compared += plain.len();
     }

@@ -60,8 +60,18 @@ fn rotated_table_with_scale_suffix() {
             "",
             vec![
                 vec!["".into(), "Focus E".into(), "A3".into(), "VW Golf".into()],
-                vec!["German MSRP".into(), "34900".into(), "36900".into(), "33800".into()],
-                vec!["American MSRP".into(), "29120".into(), "38900".into(), "29915".into()],
+                vec![
+                    "German MSRP".into(),
+                    "34900".into(),
+                    "36900".into(),
+                    "33800".into(),
+                ],
+                vec![
+                    "American MSRP".into(),
+                    "29120".into(),
+                    "38900".into(),
+                    "29915".into(),
+                ],
             ],
         )],
     );
@@ -105,10 +115,25 @@ fn coupled_quantities_resolve_jointly() {
         Table::from_grid(
             caption,
             vec![
-                vec!["($ Millions)".into(), "2Q A".into(), "2Q B".into(), "% Change".into()],
+                vec![
+                    "($ Millions)".into(),
+                    "2Q A".into(),
+                    "2Q B".into(),
+                    "% Change".into(),
+                ],
                 vec!["Sales".into(), "900".into(), "947".into(), sales_chg.into()],
-                vec!["Segment Profit".into(), "114".into(), "126".into(), "11%".into()],
-                vec!["Segment Margin".into(), "12.7%".into(), margin_new.into(), bps.into()],
+                vec![
+                    "Segment Profit".into(),
+                    "114".into(),
+                    "126".into(),
+                    "11%".into(),
+                ],
+                vec![
+                    "Segment Margin".into(),
+                    "12.7%".into(),
+                    margin_new.into(),
+                    bps.into(),
+                ],
             ],
         )
     };
@@ -126,7 +151,10 @@ fn coupled_quantities_resolve_jointly() {
         .iter()
         .find(|a| a.mention_raw.starts_with("11"))
         .expect("11% aligned");
-    assert_eq!(a11.target.table, 0, "joint inference must pick table 0: {alignments:?}");
+    assert_eq!(
+        a11.target.table, 0,
+        "joint inference must pick table 0: {alignments:?}"
+    );
 }
 
 #[test]

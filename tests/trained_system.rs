@@ -10,15 +10,25 @@ use briq::substrates::ml::RandomForestConfig;
 
 fn small_config() -> BriqConfig {
     BriqConfig {
-        forest: RandomForestConfig { n_trees: 24, ..Default::default() },
-        tagger_forest: RandomForestConfig { n_trees: 12, ..Default::default() },
+        forest: RandomForestConfig {
+            n_trees: 24,
+            ..Default::default()
+        },
+        tagger_forest: RandomForestConfig {
+            n_trees: 12,
+            ..Default::default()
+        },
         ..Default::default()
     }
 }
 
 #[test]
 fn trained_briq_beats_chance_and_baselines_run() {
-    let corpus = generate_corpus(&CorpusConfig { n_documents: 90, seed: 4243, ..Default::default() });
+    let corpus = generate_corpus(&CorpusConfig {
+        n_documents: 90,
+        seed: 4243,
+        ..Default::default()
+    });
     let mut docs = corpus.documents;
     let outcome = annotate(&mut docs, &AnnotatorConfig::default());
     assert!(outcome.kappa > 0.4, "kappa {}", outcome.kappa);
@@ -53,7 +63,11 @@ fn trained_briq_beats_chance_and_baselines_run() {
 fn perturbed_variants_degrade_gracefully() {
     use briq::substrates::corpus::{perturb_document, Perturbation};
 
-    let corpus = generate_corpus(&CorpusConfig { n_documents: 60, seed: 777, ..Default::default() });
+    let corpus = generate_corpus(&CorpusConfig {
+        n_documents: 60,
+        seed: 777,
+        ..Default::default()
+    });
     let docs = corpus.documents;
     let briq = Briq::untrained(small_config());
 
@@ -69,14 +83,21 @@ fn perturbed_variants_degrade_gracefully() {
     let truncated = f1_for(Perturbation::Truncated);
     assert!(original > 0.0);
     // Truncation must not *improve* quality.
-    assert!(truncated <= original + 0.05, "original {original} truncated {truncated}");
+    assert!(
+        truncated <= original + 0.05,
+        "original {original} truncated {truncated}"
+    );
 }
 
 #[test]
 fn tables_in_generated_corpus_reparse() {
     // Ground truth survives the HTML round trip.
     use briq::substrates::corpus::page::{render_page, table_to_html};
-    let corpus = generate_corpus(&CorpusConfig { n_documents: 10, seed: 31, ..Default::default() });
+    let corpus = generate_corpus(&CorpusConfig {
+        n_documents: 10,
+        seed: 31,
+        ..Default::default()
+    });
     for ld in &corpus.documents {
         for t in &ld.document.tables {
             let html = table_to_html(t);
