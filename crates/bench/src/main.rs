@@ -116,8 +116,8 @@ fn throughput_bench(docs: usize, seed: u64, jobs: usize, out: Option<&str>) {
     let bench = ThroughputBench::from_runs(seed as usize, (1, baseline), (jobs, parallel));
 
     println!(
-        "== Batch-engine throughput smoke (seed {seed}, {} pages) ==",
-        bench.pages
+        "== Batch-engine throughput smoke (seed {seed}, {} pages, {} host cores) ==",
+        bench.pages, bench.host_cores
     );
     let mut t = TextTable::new(&[
         "jobs",
@@ -127,6 +127,7 @@ fn throughput_bench(docs: usize, seed: u64, jobs: usize, out: Option<&str>) {
         "classify s",
         "filter s",
         "resolve s",
+        "pairs/s",
         "util",
     ]);
     for p in [&bench.baseline, &bench.parallel] {
@@ -138,11 +139,21 @@ fn throughput_bench(docs: usize, seed: u64, jobs: usize, out: Option<&str>) {
             format!("{:.2}", p.stages.classify_s),
             format!("{:.2}", p.stages.filter_s),
             format!("{:.2}", p.stages.resolve_s),
+            format!("{:.0}", p.stages.scored_pairs_per_sec()),
             format!("{:.2}", p.utilization),
         ]);
     }
     println!("{}", t.render());
-    println!("speedup at --jobs {}: {:.2}x", jobs, bench.speedup);
+    match bench.speedup {
+        Some(s) => println!(
+            "speedup at --jobs {} ({} effective): {s:.2}x",
+            bench.jobs_requested, bench.jobs_effective
+        ),
+        None => println!(
+            "speedup: n/a (--jobs {} on a {}-core host gives {} effective worker(s); need >= 2)",
+            bench.jobs_requested, bench.host_cores, bench.jobs_effective
+        ),
+    }
 
     if let Some(path) = out {
         let json = briq_json::to_string_pretty(&bench);

@@ -180,18 +180,33 @@ pub struct ThroughputBench {
     pub documents: usize,
     /// Text mentions considered.
     pub mentions: usize,
+    /// Cores available on the measuring host.
+    pub host_cores: usize,
+    /// Worker threads the parallel run asked for (`--jobs N`).
+    pub jobs_requested: usize,
+    /// Workers that could actually run concurrently:
+    /// `min(jobs_requested, host_cores)`.
+    pub jobs_effective: usize,
     /// The sequential baseline (`--jobs 1`).
     pub baseline: ThroughputPoint,
     /// The parallel run (`--jobs N`).
     pub parallel: ThroughputPoint,
-    /// `parallel.docs_per_minute / baseline.docs_per_minute`.
-    pub speedup: f64,
+    /// `parallel.docs_per_minute / baseline.docs_per_minute`, or `None`
+    /// when the host cannot run two workers concurrently — a "speedup"
+    /// measured on one core is pure scheduling overhead, not a scaling
+    /// signal, and reporting a number (e.g. 0.92×) would misread as a
+    /// parallelism regression.
+    pub speedup: Option<f64>,
 }
 
 impl ThroughputBench {
     /// Compare a sequential and a parallel run of the same workload.
-    pub fn from_runs(
+    /// `host_cores` comes from [`std::thread::available_parallelism`] via
+    /// [`ThroughputBench::from_runs`]; this variant takes it explicitly
+    /// so tests can pin it.
+    pub fn from_runs_on_host(
         seed: usize,
+        host_cores: usize,
         baseline: (usize, ThroughputResult),
         parallel: (usize, ThroughputResult),
     ) -> ThroughputBench {
@@ -202,21 +217,39 @@ impl ThroughputBench {
             stages: r.stages,
             utilization: r.utilization,
         };
+        let jobs_requested = parallel.0;
+        let jobs_effective = jobs_requested.min(host_cores.max(1));
         let base = baseline.1;
-        let speedup = if base.docs_per_minute() > 0.0 {
-            parallel.1.docs_per_minute() / base.docs_per_minute()
+        let speedup = if jobs_effective >= 2 && base.docs_per_minute() > 0.0 {
+            Some(parallel.1.docs_per_minute() / base.docs_per_minute())
         } else {
-            0.0
+            None
         };
         ThroughputBench {
             seed,
             pages: base.pages,
             documents: base.documents,
             mentions: base.mentions,
+            host_cores,
+            jobs_requested,
+            jobs_effective,
             baseline: point(baseline),
             parallel: point(parallel),
             speedup,
         }
+    }
+
+    /// [`ThroughputBench::from_runs_on_host`] with the measuring host's
+    /// own core count.
+    pub fn from_runs(
+        seed: usize,
+        baseline: (usize, ThroughputResult),
+        parallel: (usize, ThroughputResult),
+    ) -> ThroughputBench {
+        let host_cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::from_runs_on_host(seed, host_cores, baseline, parallel)
     }
 }
 
@@ -232,6 +265,9 @@ briq_json::json_struct!(ThroughputBench {
     pages,
     documents,
     mentions,
+    host_cores,
+    jobs_requested,
+    jobs_effective,
     baseline,
     parallel,
     speedup,
@@ -309,9 +345,32 @@ mod tests {
         let briq = Briq::untrained(BriqConfig::default());
         let base = measure(&briq, ThroughputSystem::Briq, &pages, 1);
         let par = measure(&briq, ThroughputSystem::Briq, &pages, 2);
-        let bench = ThroughputBench::from_runs(31, (1, base), (2, par));
-        assert!(bench.speedup > 0.0);
+        // Pinned to a 4-core host: the parallel point is genuine, so a
+        // speedup ratio is reported.
+        let bench = ThroughputBench::from_runs_on_host(31, 4, (1, base), (2, par));
+        assert_eq!(bench.host_cores, 4);
+        assert_eq!(bench.jobs_requested, 2);
+        assert_eq!(bench.jobs_effective, 2);
+        assert!(bench.speedup.expect("multi-core host reports a ratio") > 0.0);
         let s = briq_json::to_string_pretty(&bench);
+        let back: ThroughputBench = briq_json::from_str(&s).expect("round-trips");
+        assert_eq!(bench, back);
+    }
+
+    #[test]
+    fn single_core_host_withholds_speedup() {
+        let docs = docs();
+        let pages = build_pages(&docs[..6], 3);
+        let briq = Briq::untrained(BriqConfig::default());
+        let base = measure(&briq, ThroughputSystem::Briq, &pages, 1);
+        let par = measure(&briq, ThroughputSystem::Briq, &pages, 4);
+        let bench = ThroughputBench::from_runs_on_host(31, 1, (1, base), (4, par));
+        assert_eq!(bench.jobs_requested, 4);
+        assert_eq!(bench.jobs_effective, 1, "one core caps effective workers");
+        assert_eq!(bench.speedup, None, "no honest ratio exists on one core");
+        // `null` survives the JSON round trip.
+        let s = briq_json::to_string_pretty(&bench);
+        assert!(s.contains("\"speedup\": null"), "{s}");
         let back: ThroughputBench = briq_json::from_str(&s).expect("round-trips");
         assert_eq!(bench, back);
     }

@@ -12,7 +12,7 @@ use briq_table::Document;
 use crate::filtering::Candidate;
 use crate::graph_builder::build_graph;
 use crate::mention::Alignment;
-use crate::pipeline::{heuristic_prior, Briq, ScoredDocument};
+use crate::pipeline::{Briq, ScoredDocument};
 use crate::resolution::{resolve, ResolutionConfig};
 
 /// Classifier-only baseline: argmax classifier score per mention.
@@ -53,19 +53,20 @@ pub fn rwr_only(briq: &Briq, doc: &Document) -> Vec<Alignment> {
 /// The classifier scores in `sd` are ignored; edge weights come from the
 /// uniform feature combination, recomputed here.
 pub fn rwr_only_scored(briq: &Briq, sd: &ScoredDocument) -> Vec<Alignment> {
-    use crate::features::feature_vector;
+    use crate::features::{PairFeaturizer, FEATURE_COUNT};
+    use crate::pipeline::heuristic_prior_masked;
 
-    // All pairs are candidates (no pruning), scored uniformly.
-    let candidates: Vec<Vec<Candidate>> = sd
-        .mentions
-        .iter()
-        .map(|x| {
-            sd.targets
-                .iter()
+    // All pairs are candidates (no pruning), scored uniformly. Rows are
+    // filled through the precomputed featurizer and masked inside the
+    // prior, so no per-pair vector is built.
+    let mut featurizer = PairFeaturizer::new(&sd.mentions, &sd.targets, &sd.ctx);
+    let mut rows: Vec<f64> = Vec::new();
+    let candidates: Vec<Vec<Candidate>> = (0..sd.mentions.len())
+        .map(|mi| {
+            featurizer.fill_mention_rows(mi, &mut rows);
+            rows.chunks_exact(FEATURE_COUNT)
                 .enumerate()
-                .map(|(ti, t)| {
-                    let mut f = feature_vector(x, t, &sd.ctx);
-                    briq.cfg.mask.apply(&mut f);
+                .map(|(ti, row)| {
                     // Sharpen the uniform combination before normalizing
                     // to traversal probabilities: with no pruning the walk
                     // spreads over hundreds of candidates, and a convex
@@ -74,7 +75,7 @@ pub fn rwr_only_scored(briq: &Briq, sd: &ScoredDocument) -> Vec<Alignment> {
                     // probabilities" step of §VII-D).
                     Candidate {
                         target: ti,
-                        score: heuristic_prior(&f).powi(4),
+                        score: heuristic_prior_masked(row, &briq.cfg.mask).powi(4),
                     }
                 })
                 .collect()

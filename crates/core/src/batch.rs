@@ -53,6 +53,10 @@ pub struct StageTimings {
     pub filter_s: f64,
     /// Graph construction and entropy-ordered random-walk resolution (§VI).
     pub resolve_s: f64,
+    /// Mention/target pairs scored during the classify stage. Together
+    /// with `classify_s` this yields scored-pairs/sec, the classifier
+    /// hot-path throughput metric.
+    pub pairs_scored: u64,
 }
 
 impl StageTimings {
@@ -67,6 +71,16 @@ impl StageTimings {
         self.classify_s += other.classify_s;
         self.filter_s += other.filter_s;
         self.resolve_s += other.resolve_s;
+        self.pairs_scored += other.pairs_scored;
+    }
+
+    /// Classifier throughput in pairs per second of classify-stage time.
+    /// Zero when nothing was scored or no time was observed.
+    pub fn scored_pairs_per_sec(&self) -> f64 {
+        if self.classify_s <= 0.0 || self.pairs_scored == 0 {
+            return 0.0;
+        }
+        self.pairs_scored as f64 / self.classify_s
     }
 }
 
@@ -193,6 +207,12 @@ impl BatchReport {
             return 0.0;
         }
         self.documents.len() as f64 * 60.0 / self.wall_s
+    }
+
+    /// Classifier throughput over the whole batch: pairs scored per
+    /// CPU-second of classify-stage time.
+    pub fn scored_pairs_per_sec(&self) -> f64 {
+        self.stage_totals.scored_pairs_per_sec()
     }
 
     /// Mean worker utilization over the batch wall-clock.
@@ -375,7 +395,8 @@ briq_json::json_struct!(StageTimings {
     extract_s,
     classify_s,
     filter_s,
-    resolve_s
+    resolve_s,
+    pairs_scored
 });
 
 #[cfg(test)]
@@ -541,15 +562,19 @@ mod tests {
             classify_s: 2.0,
             filter_s: 3.0,
             resolve_s: 4.0,
+            pairs_scored: 10,
         };
         let b = StageTimings {
             extract_s: 0.5,
             classify_s: 0.5,
             filter_s: 0.5,
             resolve_s: 0.5,
+            pairs_scored: 5,
         };
         a.merge(&b);
         assert_eq!(a.total_s(), 12.0);
+        assert_eq!(a.pairs_scored, 15);
+        assert_eq!(a.scored_pairs_per_sec(), 6.0);
         let s = briq_json::to_string(&a);
         let back: StageTimings = briq_json::from_str(&s).expect("round-trips");
         assert_eq!(a, back);

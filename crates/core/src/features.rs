@@ -18,11 +18,12 @@
 //! The ablation grouping (surface / context / quantity) follows §VIII-B.
 
 use briq_table::TableMention;
-use briq_text::cues::ApproxIndicator;
+use briq_text::cues::{AggregationKind, ApproxIndicator};
 use briq_text::units::Unit;
+use std::collections::BTreeSet;
 
 use crate::context::{overlap, weighted_overlap, DocContext};
-use crate::jaro::jaro_winkler;
+use crate::jaro::{jaro_winkler, JaroScratch};
 use crate::mention::TextMention;
 
 /// Number of features per mention pair.
@@ -146,6 +147,181 @@ pub fn feature_vector(x: &TextMention, t: &TableMention, ctx: &DocContext) -> Ve
     vec![f1, f2, f3, f4, f5, f6, f7, f8, f9, f10, f11, f12]
 }
 
+/// Per-mention invariants of the pair features, computed once per mention
+/// instead of once per pair.
+#[derive(Debug, Clone)]
+struct MentionInvariants {
+    /// Lowercased surface form as chars (f1 operand).
+    raw_chars: Vec<char>,
+    value: f64,
+    unnormalized: f64,
+    unit: Unit,
+    scale: i32,
+    precision: u8,
+    /// Encoded approximation indicator (f11).
+    approx_code: f64,
+    aggregation: Option<AggregationKind>,
+}
+
+/// Per-target invariants, computed once per target instead of once per
+/// pair: the surface form and the row/column context unions dominate the
+/// naive per-pair cost.
+#[derive(Debug, Clone)]
+struct TargetInvariants {
+    /// Lowercased canonical surface as chars (f1 operand).
+    surface_chars: Vec<char>,
+    /// Union of member rows' and columns' stemmed words (f2).
+    local_words: BTreeSet<String>,
+    /// Union of member rows' and columns' noun phrases (f4).
+    local_phrases: BTreeSet<String>,
+    value: f64,
+    unnormalized: f64,
+    unit: Unit,
+    scale: i32,
+    precision: u8,
+    aggregation: Option<AggregationKind>,
+    /// Global word overlap — constant per (document, table) pair (f3).
+    f3: f64,
+    /// Global phrase overlap — constant per (document, table) pair (f5).
+    f5: f64,
+}
+
+/// Allocation-free pair featurizer: precomputes every per-mention and
+/// per-target invariant once, then fills caller-provided rows.
+///
+/// [`PairFeaturizer::fill`] is bit-identical to [`feature_vector`] — same
+/// expressions, same evaluation order — but performs no heap allocation
+/// per pair: strings are pre-lowercased into char buffers, the per-target
+/// row/column unions are materialized once, the per-table global overlaps
+/// (f3/f5) are folded to constants, and the Jaro-Winkler match buffers
+/// live in a reused [`JaroScratch`].
+pub struct PairFeaturizer<'c> {
+    ctx: &'c DocContext,
+    mentions: Vec<MentionInvariants>,
+    targets: Vec<TargetInvariants>,
+    jaro: JaroScratch,
+}
+
+impl<'c> PairFeaturizer<'c> {
+    /// Precompute invariants for every mention and target of a document.
+    pub fn new(
+        mentions: &[TextMention],
+        targets: &[TableMention],
+        ctx: &'c DocContext,
+    ) -> PairFeaturizer<'c> {
+        let mention_inv = mentions
+            .iter()
+            .map(|x| {
+                let q = &x.quantity;
+                MentionInvariants {
+                    raw_chars: q.raw.to_lowercase().chars().collect(),
+                    value: q.value,
+                    unnormalized: q.unnormalized,
+                    unit: q.unit,
+                    scale: q.scale(),
+                    precision: q.precision,
+                    approx_code: encode_approx(q.approx),
+                    aggregation: ctx.mentions[x.id].inferred_aggregation,
+                }
+            })
+            .collect();
+
+        // f3/f5 depend only on the table, not the target within it.
+        let per_table: Vec<(f64, f64)> = ctx
+            .tables
+            .iter()
+            .map(|tctx| {
+                (
+                    overlap(&ctx.paragraph_words, &tctx.table_words),
+                    overlap(&ctx.paragraph_phrases, &tctx.table_phrases),
+                )
+            })
+            .collect();
+
+        let target_inv = targets
+            .iter()
+            .map(|t| {
+                let tctx = &ctx.tables[t.table];
+                let (f3, f5) = per_table[t.table];
+                TargetInvariants {
+                    surface_chars: table_surface(t).to_lowercase().chars().collect(),
+                    local_words: tctx.local_words(t),
+                    local_phrases: tctx.local_phrases(t),
+                    value: t.value,
+                    unnormalized: t.unnormalized,
+                    unit: t.unit,
+                    scale: t.scale(),
+                    precision: t.precision,
+                    aggregation: t.aggregation(),
+                    f3,
+                    f5,
+                }
+            })
+            .collect();
+
+        PairFeaturizer {
+            ctx,
+            mentions: mention_inv,
+            targets: target_inv,
+            jaro: JaroScratch::new(),
+        }
+    }
+
+    /// Number of mentions the featurizer was built over.
+    pub fn n_mentions(&self) -> usize {
+        self.mentions.len()
+    }
+
+    /// Number of targets the featurizer was built over.
+    pub fn n_targets(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Fill `out` with the 12 features of pair `(mi, ti)` — bit-identical
+    /// to `feature_vector(&mentions[mi], &targets[ti], ctx)`, with zero
+    /// heap allocation once the scratch buffers are warm.
+    pub fn fill(&mut self, mi: usize, ti: usize, out: &mut [f64; FEATURE_COUNT]) {
+        self.fill_row(mi, ti, out);
+    }
+
+    /// Fill one flat row matrix with every target's features for mention
+    /// `mi` (`rows[ti * FEATURE_COUNT..][..FEATURE_COUNT]` is pair
+    /// `(mi, ti)`). The matrix is reused across mentions by the caller.
+    pub fn fill_mention_rows(&mut self, mi: usize, rows: &mut Vec<f64>) {
+        rows.clear();
+        rows.resize(self.targets.len() * FEATURE_COUNT, 0.0);
+        for (ti, row) in rows.chunks_exact_mut(FEATURE_COUNT).enumerate() {
+            self.fill_row(mi, ti, row);
+        }
+    }
+
+    fn fill_row(&mut self, mi: usize, ti: usize, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), FEATURE_COUNT);
+        let m = &self.mentions[mi];
+        let t = &self.targets[ti];
+        let mctx = &self.ctx.mentions[mi];
+
+        out[0] = self.jaro.jaro_winkler_chars(&m.raw_chars, &t.surface_chars);
+        out[1] = weighted_overlap(&mctx.local_weights, &t.local_words);
+        out[2] = t.f3;
+        out[3] = overlap(&mctx.sentence_phrases, &t.local_phrases);
+        out[4] = t.f5;
+        out[5] = relative_difference(m.value, t.value);
+        out[6] = relative_difference(m.unnormalized, t.unnormalized);
+        out[7] = unit_match(m.unit, t.unit).encode();
+        out[8] = (m.scale - t.scale).abs() as f64;
+        out[9] = (m.precision as i32 - t.precision as i32).abs() as f64;
+        out[10] = m.approx_code;
+        out[11] = match (m.aggregation, t.aggregation) {
+            (Some(a), Some(b)) if a == b => MatchDegree::StrongMatch,
+            (Some(_), Some(_)) => MatchDegree::StrongMismatch,
+            (None, None) => MatchDegree::WeakMatch,
+            _ => MatchDegree::WeakMismatch,
+        }
+        .encode();
+    }
+}
+
 /// Ablation mask over the three feature groups of §VIII-B. Masked features
 /// are zeroed (constant features are never chosen as tree splits, so this
 /// is equivalent to removing them — while keeping vector shapes stable).
@@ -175,8 +351,10 @@ impl FeatureMask {
         Self::default()
     }
 
-    /// Group membership of each feature index.
-    fn keeps(&self, idx: usize) -> bool {
+    /// Group membership of each feature index: is feature `idx` kept?
+    /// Used by mask-baked scoring paths so they can honour the mask
+    /// without copying the feature row.
+    pub fn keeps(&self, idx: usize) -> bool {
         match idx {
             0 => self.surface,
             1..=4 | 10 | 11 => self.context,
@@ -304,6 +482,42 @@ mod tests {
         let v_diff = feature_vector(&ms[0], &diff_target, &ctx);
         assert_eq!(v_sum[11], MatchDegree::StrongMatch.encode());
         assert_eq!(v_diff[11], MatchDegree::StrongMismatch.encode());
+    }
+
+    #[test]
+    fn featurizer_matches_feature_vector() {
+        let (_, ms, ctx) = setup();
+        let targets = vec![
+            single((2, 1), 38.0, "38"),
+            single((1, 1), 35.0, "35"),
+            TableMention {
+                kind: TableMentionKind::Aggregate(briq_text::AggregationKind::Sum),
+                cells: vec![(1, 1), (2, 1)],
+                value: 73.0,
+                unnormalized: 73.0,
+                raw: "sum".into(),
+                orientation: Some(briq_table::Orientation::Column(1)),
+                ..single((1, 1), 73.0, "73")
+            },
+        ];
+        let mut fz = PairFeaturizer::new(&ms, &targets, &ctx);
+        assert_eq!(fz.n_mentions(), ms.len());
+        assert_eq!(fz.n_targets(), targets.len());
+        let mut row = [0.0; FEATURE_COUNT];
+        let mut rows = Vec::new();
+        for (mi, x) in ms.iter().enumerate() {
+            fz.fill_mention_rows(mi, &mut rows);
+            for (ti, t) in targets.iter().enumerate() {
+                let naive = feature_vector(x, t, &ctx);
+                fz.fill(mi, ti, &mut row);
+                assert_eq!(&row[..], &naive[..], "pair ({mi}, {ti})");
+                assert_eq!(
+                    &rows[ti * FEATURE_COUNT..(ti + 1) * FEATURE_COUNT],
+                    &naive[..],
+                    "row ({mi}, {ti})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -90,8 +90,10 @@ pub fn mention_type(
         ApproxIndicator::None => {}
     }
     // Majority vote among the top-5 scored candidates: exact value match?
+    // Ranked under a total order (score descending, then target index) so
+    // ties and non-finite scores cannot perturb the vote.
     let mut ranked: Vec<&(usize, f64)> = candidates.iter().collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     let top = &ranked[..ranked.len().min(5)];
     if top.is_empty() {
         return MentionType::Approximate;
@@ -209,9 +211,12 @@ pub fn filter_mention(
         }
     }
 
-    let by_score = |a: &(usize, f64), b: &(usize, f64)| {
-        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
-    };
+    // Total order: score descending, ties broken by ascending target
+    // index. `total_cmp` gives NaN a defined rank, so a degenerate score
+    // can never make the comparator inconsistent, and the explicit
+    // tiebreak makes the truncation cut deterministic by construction
+    // rather than by stable-sort insertion order.
+    let by_score = |a: &(usize, f64), b: &(usize, f64)| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0));
 
     // Cap the (quadratic) pair aggregates at a generous bound.
     aggregates.sort_by(by_score);
@@ -244,11 +249,10 @@ pub fn filter_mention(
         .chain(aggregates)
         .map(|(target, score)| Candidate { target, score })
         .collect();
-    out.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    // Stable score-only sort: equal-score singles stay ahead of
+    // aggregates (their insertion order), which the resolution stage's
+    // edge ordering relies on.
+    out.sort_by(|a, b| b.score.total_cmp(&a.score));
     out
 }
 
@@ -428,6 +432,41 @@ mod tests {
         let kept = filter_mention(&x, &scored, &targets, &[], &cfg, &mut stats);
         assert!(kept.len() <= cfg.k_exact.max(cfg.k_small));
         assert_eq!(kept[0].target, 0);
+    }
+
+    #[test]
+    fn candidate_order_is_total_under_ties_and_nan() {
+        let x = mention(10.0, ApproxIndicator::None, Unit::None);
+        let targets: Vec<TableMention> = (0..8)
+            .map(|_| target(10.0, TableMentionKind::SingleCell, Unit::None))
+            .collect();
+        // All scores tied, one NaN: the comparator must stay consistent
+        // and the cut must fall on ascending target index.
+        let mut scored: Vec<(usize, f64)> = (0..8).map(|i| (i, 0.9)).collect();
+        scored[3].1 = f64::NAN;
+        let cfg = FilterConfig::default();
+        let mut stats = FilterStats::default();
+        let kept = filter_mention(&x, &scored, &targets, &[], &cfg, &mut stats);
+        assert!(!kept.is_empty());
+        // NaN ranks above every finite score under total_cmp but must not
+        // panic or scramble the rest; tied finite scores keep index order.
+        let finite: Vec<usize> = kept
+            .iter()
+            .filter(|c| c.score.is_finite())
+            .map(|c| c.target)
+            .collect();
+        let mut sorted = finite.clone();
+        sorted.sort_unstable();
+        assert_eq!(finite, sorted, "tied scores must rank by target index");
+        // Reversed input produces the same kept set: the order is total,
+        // not an artifact of insertion order.
+        let mut rev = scored.clone();
+        rev.reverse();
+        let mut stats2 = FilterStats::default();
+        let kept_rev = filter_mention(&x, &rev, &targets, &[], &cfg, &mut stats2);
+        let ids: Vec<usize> = kept.iter().map(|c| c.target).collect();
+        let ids_rev: Vec<usize> = kept_rev.iter().map(|c| c.target).collect();
+        assert_eq!(ids, ids_rev);
     }
 
     #[test]

@@ -64,6 +64,83 @@ pub fn jaro_winkler(a: &str, b: &str) -> f64 {
     j + prefix * 0.1 * (1.0 - j)
 }
 
+/// Reusable match buffers for scoring many string pairs without per-call
+/// allocation. The buffers grow to the longest operands seen and are then
+/// reused; [`JaroScratch::jaro_winkler_chars`] on pre-collected char
+/// slices is bit-identical to [`jaro_winkler`] on the source strings.
+#[derive(Debug, Clone, Default)]
+pub struct JaroScratch {
+    b_used: Vec<bool>,
+    matches_a: Vec<char>,
+    match_idx_b: Vec<usize>,
+}
+
+impl JaroScratch {
+    /// Fresh scratch with empty buffers.
+    pub fn new() -> JaroScratch {
+        JaroScratch::default()
+    }
+
+    /// Jaro similarity over char slices; same algorithm as [`jaro`] with
+    /// the collection and match bookkeeping done in reused buffers.
+    pub fn jaro_chars(&mut self, a: &[char], b: &[char]) -> f64 {
+        if a.is_empty() && b.is_empty() {
+            return 1.0;
+        }
+        if a.is_empty() || b.is_empty() {
+            return 0.0;
+        }
+        let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+        self.b_used.clear();
+        self.b_used.resize(b.len(), false);
+        self.matches_a.clear();
+        self.match_idx_b.clear();
+
+        for (i, &ca) in a.iter().enumerate() {
+            let lo = i.saturating_sub(window);
+            let hi = (i + window + 1).min(b.len());
+            for (j, &cb) in b.iter().enumerate().take(hi).skip(lo) {
+                if !self.b_used[j] && cb == ca {
+                    self.b_used[j] = true;
+                    self.matches_a.push(ca);
+                    self.match_idx_b.push(j);
+                    break;
+                }
+            }
+        }
+        let m = self.matches_a.len();
+        if m == 0 {
+            return 0.0;
+        }
+        // Transpositions: matched chars of `a` against matched chars of
+        // `b` in b-order. The matched indices are distinct, so an unstable
+        // (allocation-free) sort yields exactly the stable-sorted order.
+        self.match_idx_b.sort_unstable();
+        let t = self
+            .matches_a
+            .iter()
+            .zip(self.match_idx_b.iter())
+            .filter(|(ca, &j)| **ca != b[j])
+            .count() as f64
+            / 2.0;
+
+        let m = m as f64;
+        (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+    }
+
+    /// Jaro-Winkler over char slices, bit-identical to [`jaro_winkler`].
+    pub fn jaro_winkler_chars(&mut self, a: &[char], b: &[char]) -> f64 {
+        let j = self.jaro_chars(a, b);
+        let prefix = a
+            .iter()
+            .zip(b.iter())
+            .take(4)
+            .take_while(|(x, y)| x == y)
+            .count() as f64;
+        j + prefix * 0.1 * (1.0 - j)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,6 +194,35 @@ mod tests {
             assert!((0.0..=1.0).contains(&v));
         }
         assert_eq!(jaro("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn scratch_path_is_bit_identical() {
+        let mut scratch = JaroScratch::new();
+        let samples = [
+            ("MARTHA", "MARHTA"),
+            ("DIXON", "DICKSONX"),
+            ("26.7$", "26.65$"),
+            ("26.7$", "29.75$"),
+            ("37K", "36900"),
+            ("", "abc"),
+            ("abc", ""),
+            ("", ""),
+            ("37 €", "37 €"),
+            ("37€", "38€"),
+            ("aabbccdd", "ddccbbaa"),
+            ("123456789", "918273645"),
+        ];
+        for (a, b) in samples {
+            let ac: Vec<char> = a.chars().collect();
+            let bc: Vec<char> = b.chars().collect();
+            assert_eq!(scratch.jaro_chars(&ac, &bc), jaro(a, b), "{a:?} {b:?}");
+            assert_eq!(
+                scratch.jaro_winkler_chars(&ac, &bc),
+                jaro_winkler(a, b),
+                "{a:?} {b:?}"
+            );
+        }
     }
 
     #[test]

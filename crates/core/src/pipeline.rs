@@ -9,7 +9,7 @@ use crate::batch::{align_batch, BatchConfig, BatchReport, StageTimings};
 use crate::classifier::PairClassifier;
 use crate::context::{ContextConfig, DocContext};
 use crate::error::{BriqError, Budget, DegradedAction, Diagnostics, Stage};
-use crate::features::{feature_vector, FeatureMask};
+use crate::features::{FeatureMask, PairFeaturizer, FEATURE_COUNT};
 use crate::filtering::{filter_mention, Candidate, FilterConfig, FilterStats};
 use crate::graph_builder::{build_graph_budgeted, GraphConfig};
 use crate::mention::{text_mentions, Alignment, TextMention};
@@ -102,6 +102,22 @@ pub fn heuristic_prior(f: &[f64]) -> f64 {
     let scale = (1.0 - f[8] / 4.0).max(0.0);
     let precision = (1.0 - f[9] / 4.0).max(0.0);
     let agg = (3.0 - f[11]) / 3.0;
+    ((surface + ctx + value + value_raw + unit + scale + precision + agg) / 8.0).clamp(0.0, 1.0)
+}
+
+/// [`heuristic_prior`] under a feature mask, without copying the row:
+/// masked features read as 0.0, exactly as if `mask.apply` had zeroed a
+/// copy first — same expressions, same evaluation order, bit-identical.
+pub fn heuristic_prior_masked(f: &[f64], mask: &FeatureMask) -> f64 {
+    let g = |i: usize| if mask.keeps(i) { f[i] } else { 0.0 };
+    let surface = g(0);
+    let ctx = (g(1) + g(2) + g(3) + g(4)) / 4.0;
+    let value = 1.0 - g(5).min(1.0);
+    let value_raw = 1.0 - g(6).min(1.0);
+    let unit = (3.0 - g(7)) / 3.0;
+    let scale = (1.0 - g(8) / 4.0).max(0.0);
+    let precision = (1.0 - g(9) / 4.0).max(0.0);
+    let agg = (3.0 - g(11)) / 3.0;
     ((surface + ctx + value + value_raw + unit + scale + precision + agg) / 8.0).clamp(0.0, 1.0)
 }
 
@@ -235,15 +251,13 @@ impl Briq {
         briq_json::from_str(s)
     }
 
-    /// Prior score of a feature vector (trained RF or heuristic).
+    /// Prior score of a feature vector (trained RF or heuristic). Both
+    /// paths honour the ablation mask without copying the row, so scoring
+    /// a pair performs no heap allocation.
     pub fn prior(&self, features: &[f64]) -> f64 {
         match &self.classifier {
             Some(c) => c.score(features),
-            None => {
-                let mut f = features.to_vec();
-                self.cfg.mask.apply(&mut f);
-                heuristic_prior(&f)
-            }
+            None => heuristic_prior_masked(features, &self.cfg.mask),
         }
     }
 
@@ -282,6 +296,7 @@ impl Briq {
         let t1 = Instant::now();
         let (scored, tags) = self.classify_stage(doc, &mentions, &ctx, &targets);
         timings.classify_s += t1.elapsed().as_secs_f64();
+        timings.pairs_scored += (mentions.len() * targets.len()) as u64;
 
         (
             ScoredDocument {
@@ -340,6 +355,11 @@ impl Briq {
 
     /// Stage 2: score every mention/target pair and tag each mention's
     /// likely aggregation kinds.
+    ///
+    /// The hot loop: invariants are hoisted into a [`PairFeaturizer`]
+    /// built once per document, each mention's candidate rows are written
+    /// into one reused flat feature matrix, and [`Briq::prior`] scores
+    /// each row in place — no allocation per pair.
     #[allow(clippy::type_complexity)]
     fn classify_stage(
         &self,
@@ -348,13 +368,14 @@ impl Briq {
         ctx: &DocContext,
         targets: &[TableMention],
     ) -> (Vec<Vec<(usize, f64)>>, Vec<Vec<AggregationKind>>) {
-        let scored: Vec<Vec<(usize, f64)>> = mentions
-            .iter()
-            .map(|x| {
-                targets
-                    .iter()
+        let mut featurizer = PairFeaturizer::new(mentions, targets, ctx);
+        let mut rows: Vec<f64> = Vec::new();
+        let scored: Vec<Vec<(usize, f64)>> = (0..mentions.len())
+            .map(|mi| {
+                featurizer.fill_mention_rows(mi, &mut rows);
+                rows.chunks_exact(FEATURE_COUNT)
                     .enumerate()
-                    .map(|(ti, t)| (ti, self.prior(&feature_vector(x, t, ctx))))
+                    .map(|(ti, row)| (ti, self.prior(row)))
                     .collect()
             })
             .collect();

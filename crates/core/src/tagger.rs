@@ -11,7 +11,7 @@
 //! an aggregate would prune away its true candidates — §V-A accepts lower
 //! recall instead).
 
-use briq_ml::{Dataset, RandomForest, RandomForestConfig};
+use briq_ml::{Dataset, FlatForest, RandomForest, RandomForestConfig};
 use briq_table::Document;
 use briq_text::cues::{count_aggregation_cues, AggregationKind, ApproxIndicator};
 use briq_text::units::tagger_unit_category;
@@ -30,6 +30,9 @@ pub struct MentionTagger {
     forests: Vec<RandomForest>,
     /// Minimum confidence to emit an aggregation tag.
     pub threshold: f64,
+    /// Flattened copies of `forests` for allocation-free scoring
+    /// (derived state, rebuilt on deserialization).
+    flats: Vec<FlatForest>,
 }
 
 /// Compute the tagger feature vector for a text mention.
@@ -114,15 +117,22 @@ impl MentionTagger {
                 RandomForest::fit(&d, rf)
             })
             .collect();
-        MentionTagger { forests, threshold }
+        Self::from_parts(forests, threshold)
     }
 
     /// A purely lexical fallback tagger (used before training data is
     /// available): emits the cue-inferred aggregation.
     pub fn lexical(threshold: f64) -> Self {
+        Self::from_parts(Vec::new(), threshold)
+    }
+
+    /// Assemble a tagger, building the flattened scoring layout.
+    fn from_parts(forests: Vec<RandomForest>, threshold: f64) -> Self {
+        let flats = forests.iter().map(FlatForest::from_forest).collect();
         MentionTagger {
-            forests: Vec::new(),
+            forests,
             threshold,
+            flats,
         }
     }
 
@@ -151,13 +161,13 @@ impl MentionTagger {
     /// mention-pairs conservatively").
     pub fn confidences(&self, features: &[f64]) -> Vec<f64> {
         let lexical = Self::lexical_confidences(features);
-        if self.forests.is_empty() {
+        if self.flats.is_empty() {
             return lexical;
         }
-        self.forests
+        self.flats
             .iter()
             .zip(lexical)
-            .map(|(f, lex)| f.predict_proba(features).max(lex))
+            .map(|(f, lex)| f.predict_proba_slice(features).max(lex))
             .collect()
     }
 
@@ -293,4 +303,25 @@ mod tests {
     }
 }
 
-briq_json::json_struct!(MentionTagger { forests, threshold });
+// The serialized form stays `{forests, threshold}` exactly as
+// `json_struct!` produced before the flat layout existed — the flat
+// arrays are derived state, rebuilt on deserialization.
+impl briq_json::ToJson for MentionTagger {
+    fn to_json(&self) -> briq_json::Value {
+        briq_json::Value::Object(vec![
+            ("forests".to_string(), self.forests.to_json()),
+            ("threshold".to_string(), self.threshold.to_json()),
+        ])
+    }
+}
+
+impl briq_json::FromJson for MentionTagger {
+    fn from_json(v: &briq_json::Value) -> briq_json::Result<Self> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| briq_json::JsonError::new("expected MentionTagger object"))?;
+        let forests: Vec<RandomForest> = briq_json::field(obj, "forests")?;
+        let threshold: f64 = briq_json::field(obj, "threshold")?;
+        Ok(Self::from_parts(forests, threshold))
+    }
+}

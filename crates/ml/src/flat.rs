@@ -1,0 +1,256 @@
+//! Flattened structure-of-arrays forest layout for allocation-free scoring.
+//!
+//! [`crate::tree::DecisionTree`] stores an enum-per-node `Vec`, which is
+//! the right shape for growing but costs a discriminant branch and a
+//! scattered load per hop when scoring. [`FlatForest`] re-lays every tree
+//! of a [`RandomForest`] into four parallel arrays — feature index
+//! (`u16`, with [`LEAF`] as the sentinel), threshold (doubling as the
+//! leaf probability on leaf nodes), and left/right child offsets
+//! (`u32`) — so a traversal is a tight loop over index arithmetic with
+//! no enum matching and no per-call allocation.
+//!
+//! The flattening can also *bake in* a feature mask: a split on a dropped
+//! feature is resolved at build time by splicing in whichever child the
+//! zeroed feature value would select (`0.0 <= threshold` goes left). This
+//! is bit-identical to zeroing the masked columns of the input row before
+//! a recursive traversal, for any forest, which is exactly what
+//! `FeatureMask::apply` used to do per call on an owned copy.
+
+use crate::forest::RandomForest;
+use crate::tree::{DecisionTree, Node};
+
+/// Sentinel feature index marking a leaf node.
+pub const LEAF: u16 = u16::MAX;
+
+/// A [`RandomForest`] flattened into parallel arrays for scoring.
+///
+/// Invariants: `feature`, `threshold`, `left`, and `right` all have the
+/// same length; every entry of `roots` and every child offset of a
+/// non-leaf node is a valid index into them; leaf nodes carry their
+/// probability in `threshold`.
+#[derive(Debug, Clone, Default)]
+pub struct FlatForest {
+    feature: Vec<u16>,
+    threshold: Vec<f64>,
+    left: Vec<u32>,
+    right: Vec<u32>,
+    roots: Vec<u32>,
+}
+
+impl FlatForest {
+    /// Flatten `forest` keeping every feature.
+    pub fn from_forest(forest: &RandomForest) -> FlatForest {
+        Self::from_forest_masked(forest, |_| true)
+    }
+
+    /// Flatten `forest`, baking the feature mask `keep` into the layout:
+    /// splits on features with `keep(feature) == false` are replaced by
+    /// the subtree a zeroed feature value would reach.
+    pub fn from_forest_masked(forest: &RandomForest, keep: impl Fn(usize) -> bool) -> FlatForest {
+        let mut flat = FlatForest::default();
+        for tree in forest.trees() {
+            flat.push_tree(tree, &keep);
+        }
+        flat
+    }
+
+    /// Flatten a single tree (one root), keeping every feature.
+    pub fn from_tree(tree: &DecisionTree) -> FlatForest {
+        let mut flat = FlatForest::default();
+        flat.push_tree(tree, &|_| true);
+        flat
+    }
+
+    fn push_tree(&mut self, tree: &DecisionTree, keep: &impl Fn(usize) -> bool) {
+        let nodes = tree.nodes();
+        debug_assert!(!nodes.is_empty(), "a grown tree always has a root");
+        let root = self.emit(nodes, 0, keep);
+        self.roots.push(root);
+    }
+
+    /// Emit the subtree rooted at `id` into the flat arrays; returns its
+    /// flat offset. Recursion depth is bounded by the tree-growing
+    /// `max_depth`, which is small by construction.
+    fn emit(&mut self, nodes: &[Node], id: usize, keep: &impl Fn(usize) -> bool) -> u32 {
+        match &nodes[id] {
+            Node::Leaf { prob } => {
+                let at = self.push_node(LEAF, *prob);
+                self.left[at as usize] = at;
+                self.right[at as usize] = at;
+                at
+            }
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                if !keep(*feature) {
+                    // A masked feature reads as 0.0; resolve the branch now.
+                    let next = if 0.0 <= *threshold { *left } else { *right };
+                    return self.emit(nodes, next, keep);
+                }
+                assert!(
+                    *feature < LEAF as usize,
+                    "feature index {feature} exceeds the u16 layout"
+                );
+                let at = self.push_node(*feature as u16, *threshold);
+                let l = self.emit(nodes, *left, keep);
+                let r = self.emit(nodes, *right, keep);
+                self.left[at as usize] = l;
+                self.right[at as usize] = r;
+                at
+            }
+        }
+    }
+
+    fn push_node(&mut self, feature: u16, threshold: f64) -> u32 {
+        let at = self.feature.len();
+        assert!(at < u32::MAX as usize, "forest exceeds the u32 layout");
+        self.feature.push(feature);
+        self.threshold.push(threshold);
+        self.left.push(0);
+        self.right.push(0);
+        at as u32
+    }
+
+    /// Leaf probability tree `tree` assigns to `x`. No allocation.
+    pub fn tree_leaf(&self, tree: usize, x: &[f64]) -> f64 {
+        let mut at = self.roots[tree] as usize;
+        loop {
+            let f = self.feature[at];
+            if f == LEAF {
+                return self.threshold[at];
+            }
+            at = if x[f as usize] <= self.threshold[at] {
+                self.left[at] as usize
+            } else {
+                self.right[at] as usize
+            };
+        }
+    }
+
+    /// Fraction of trees voting "related" — identical arithmetic to
+    /// [`RandomForest::predict_proba`], with no copy and no allocation.
+    /// An empty forest returns the uninformative 0.5.
+    pub fn predict_proba_slice(&self, x: &[f64]) -> f64 {
+        if self.roots.is_empty() {
+            return 0.5;
+        }
+        let mut votes = 0usize;
+        for t in 0..self.roots.len() {
+            if self.tree_leaf(t, x) >= 0.5 {
+                votes += 1;
+            }
+        }
+        votes as f64 / self.roots.len() as f64
+    }
+
+    /// Hard prediction at threshold 0.5 (majority vote).
+    pub fn predict_slice(&self, x: &[f64]) -> bool {
+        self.predict_proba_slice(x) >= 0.5
+    }
+
+    /// Number of flattened trees.
+    pub fn n_trees(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Total node count across all trees (diagnostics).
+    pub fn n_nodes(&self) -> usize {
+        self.feature.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::forest::RandomForestConfig;
+    use crate::tree::TreeConfig;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn noisy(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = Dataset::new();
+        for _ in 0..n {
+            let x: f64 = rng.random_range(0.0..1.0);
+            let y: f64 = rng.random_range(0.0..1.0);
+            let z: f64 = rng.random_range(0.0..1.0);
+            d.push(vec![x, y, z], x + 0.3 * y > 0.6);
+        }
+        d
+    }
+
+    #[test]
+    fn flat_matches_recursive_on_random_probes() {
+        let data = noisy(300, 11);
+        let rf = RandomForest::fit(
+            &data,
+            RandomForestConfig {
+                n_trees: 24,
+                ..Default::default()
+            },
+        );
+        let flat = FlatForest::from_forest(&rf);
+        assert_eq!(flat.n_trees(), rf.n_trees());
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..500 {
+            let x = [
+                rng.random_range(-0.2..1.2),
+                rng.random_range(-0.2..1.2),
+                rng.random_range(-0.2..1.2),
+            ];
+            assert_eq!(flat.predict_proba_slice(&x), rf.predict_proba(&x));
+            assert_eq!(flat.predict_slice(&x), rf.predict(&x));
+        }
+    }
+
+    #[test]
+    fn mask_baking_equals_zeroing_features() {
+        let data = noisy(300, 13);
+        let rf = RandomForest::fit(
+            &data,
+            RandomForestConfig {
+                n_trees: 24,
+                ..Default::default()
+            },
+        );
+        // Drop feature 1: baked traversal must equal a recursive traversal
+        // over the row with that column zeroed.
+        let flat = FlatForest::from_forest_masked(&rf, |f| f != 1);
+        let mut rng = StdRng::seed_from_u64(14);
+        for _ in 0..500 {
+            let x = [
+                rng.random_range(-0.2..1.2),
+                rng.random_range(-0.2..1.2),
+                rng.random_range(-0.2..1.2),
+            ];
+            let zeroed = [x[0], 0.0, x[2]];
+            assert_eq!(flat.predict_proba_slice(&x), rf.predict_proba(&zeroed));
+        }
+    }
+
+    #[test]
+    fn single_tree_leaf_matches_recursive() {
+        let data = noisy(200, 15);
+        let mut rng = StdRng::seed_from_u64(16);
+        let tree = DecisionTree::fit(&data, TreeConfig::default(), &mut rng);
+        let flat = FlatForest::from_tree(&tree);
+        for _ in 0..200 {
+            let x = [
+                rng.random_range(-0.2..1.2),
+                rng.random_range(-0.2..1.2),
+                rng.random_range(-0.2..1.2),
+            ];
+            assert_eq!(flat.tree_leaf(0, &x), tree.predict_proba(&x));
+        }
+    }
+
+    #[test]
+    fn empty_forest_predicts_half() {
+        let flat = FlatForest::default();
+        assert_eq!(flat.predict_proba_slice(&[1.0]), 0.5);
+    }
+}

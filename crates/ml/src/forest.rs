@@ -45,6 +45,19 @@ impl RandomForest {
     /// Train on `data`. Instance weights in the dataset are respected by
     /// the per-tree Gini computations.
     pub fn fit(data: &Dataset, cfg: RandomForestConfig) -> RandomForest {
+        Self::fit_masked(data, cfg, |_| true)
+    }
+
+    /// [`RandomForest::fit`] with a feature filter: features where
+    /// `keep(f)` is false are never chosen as splits. Bit-identical to
+    /// fitting on a copy of `data` with the dropped columns zeroed — the
+    /// RNG stream, tree structure, and predictions all match — without
+    /// duplicating the feature matrix.
+    pub fn fit_masked(
+        data: &Dataset,
+        cfg: RandomForestConfig,
+        keep: impl Fn(usize) -> bool,
+    ) -> RandomForest {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let n = data.len();
         let mut tree_cfg = cfg.tree;
@@ -54,7 +67,7 @@ impl RandomForest {
         let trees = (0..cfg.n_trees)
             .map(|_| {
                 let sample: Vec<usize> = (0..n).map(|_| rng.random_range(0..n.max(1))).collect();
-                DecisionTree::fit_on(data, &sample, tree_cfg, &mut rng)
+                DecisionTree::fit_on_masked(data, &sample, tree_cfg, &mut rng, &keep)
             })
             .collect();
         RandomForest { trees }
@@ -82,6 +95,11 @@ impl RandomForest {
     /// Number of trees.
     pub fn n_trees(&self) -> usize {
         self.trees.len()
+    }
+
+    /// The grown trees, for the flattened layout in [`crate::flat`].
+    pub(crate) fn trees(&self) -> &[DecisionTree] {
+        &self.trees
     }
 }
 
@@ -192,6 +210,37 @@ mod tests {
     fn empty_forest_predicts_half() {
         let rf = RandomForest { trees: Vec::new() };
         assert_eq!(rf.predict_proba(&[1.0]), 0.5);
+    }
+
+    #[test]
+    fn fit_masked_equals_fit_on_zeroed_columns() {
+        let train = noisy_separable(300, 7);
+        let mut zeroed = train.clone();
+        for row in &mut zeroed.features {
+            row[1] = 0.0;
+        }
+        let cfg = RandomForestConfig {
+            n_trees: 16,
+            seed: 21,
+            ..Default::default()
+        };
+        let via_copy = RandomForest::fit(&zeroed, cfg);
+        let via_mask = RandomForest::fit_masked(&train, cfg, |f| f != 1);
+        let mut rng = StdRng::seed_from_u64(22);
+        for _ in 0..200 {
+            let x = [rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)];
+            let zeroed_x = [x[0], 0.0];
+            assert_eq!(
+                via_mask.predict_proba(&zeroed_x),
+                via_copy.predict_proba(&zeroed_x)
+            );
+            // The masked forest never split on the dropped feature, so its
+            // value cannot influence the prediction.
+            assert_eq!(
+                via_mask.predict_proba(&x),
+                via_mask.predict_proba(&zeroed_x)
+            );
+        }
     }
 
     #[test]

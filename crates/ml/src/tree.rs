@@ -33,7 +33,7 @@ impl Default for TreeConfig {
 }
 
 #[derive(Debug, Clone)]
-enum Node {
+pub(crate) enum Node {
     Leaf {
         /// Weighted fraction of positive examples in the leaf.
         prob: f64,
@@ -57,6 +57,10 @@ struct Builder<'d> {
     data: &'d Dataset,
     cfg: TreeConfig,
     nodes: Vec<Node>,
+    /// Feature filter: features with `keep(f) == false` are never chosen
+    /// as splits. Identical to zeroing those columns (a constant column
+    /// yields no valid split) without copying the matrix.
+    keep: &'d dyn Fn(usize) -> bool,
 }
 
 impl DecisionTree {
@@ -73,10 +77,25 @@ impl DecisionTree {
         cfg: TreeConfig,
         rng: &mut impl Rng,
     ) -> DecisionTree {
+        Self::fit_on_masked(data, indices, cfg, rng, &|_| true)
+    }
+
+    /// [`DecisionTree::fit_on`] with a feature filter: splits only consider
+    /// features where `keep(f)` holds. Bit-identical (structure and RNG
+    /// stream) to fitting on a copy of `data` with the dropped columns
+    /// zeroed, without materializing that copy.
+    pub fn fit_on_masked(
+        data: &Dataset,
+        indices: &[usize],
+        cfg: TreeConfig,
+        rng: &mut impl Rng,
+        keep: &dyn Fn(usize) -> bool,
+    ) -> DecisionTree {
         let mut b = Builder {
             data,
             cfg,
             nodes: Vec::new(),
+            keep,
         };
         let mut idx = indices.to_vec();
         b.grow(&mut idx, 0, rng);
@@ -113,6 +132,11 @@ impl DecisionTree {
     /// Number of nodes (diagnostics).
     pub fn n_nodes(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Raw node storage, for the flattened layout in [`crate::flat`].
+    pub(crate) fn nodes(&self) -> &[Node] {
+        &self.nodes
     }
 }
 
@@ -198,6 +222,11 @@ impl<'d> Builder<'d> {
 
         let mut order: Vec<usize> = indices.to_vec();
         for &f in feats {
+            if !(self.keep)(f) {
+                // A dropped feature behaves like a constant column: it can
+                // never produce a valid split, so skip the work outright.
+                continue;
+            }
             order.sort_by(|&a, &b| {
                 self.data.features[a][f]
                     .partial_cmp(&self.data.features[b][f])

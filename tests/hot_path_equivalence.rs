@@ -1,0 +1,191 @@
+//! Bit-for-bit equivalence of the classifier hot path: the precomputed
+//! [`PairFeaturizer`] + flat-forest scoring pipeline must reproduce the
+//! naive reference path (`feature_vector` per pair, copy + mask +
+//! recursive `predict_proba`) exactly — same f64 bits, not "close".
+//!
+//! Coverage: well-formed seeded corpus documents (>= 1000 pairs) and one
+//! document per adversarial chaos family under a tight budget.
+
+use briq_core::classifier::PairClassifier;
+use briq_core::features::{feature_vector, FeatureMask, PairFeaturizer, FEATURE_COUNT};
+use briq_core::pipeline::{
+    heuristic_prior, heuristic_prior_masked, Briq, BriqConfig, ScoredDocument,
+};
+use briq_core::Budget;
+use briq_corpus::corpus::{generate_corpus, CorpusConfig};
+use briq_corpus::perturb::{adversarial_documents, Adversary};
+use briq_ml::{Dataset, RandomForestConfig};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Every mask combination the ablation study can request.
+fn all_masks() -> Vec<FeatureMask> {
+    let mut out = Vec::new();
+    for surface in [false, true] {
+        for context in [false, true] {
+            for quantity in [false, true] {
+                out.push(FeatureMask {
+                    surface,
+                    context,
+                    quantity,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Compare the featurizer against the naive per-pair reference on every
+/// (mention, target) pair of `sd`, returning the number of pairs checked.
+fn assert_featurizer_matches(sd: &ScoredDocument, scope: &str) -> usize {
+    let mut fz = PairFeaturizer::new(&sd.mentions, &sd.targets, &sd.ctx);
+    let mut row = [0.0f64; FEATURE_COUNT];
+    let mut rows: Vec<f64> = Vec::new();
+    let mut pairs = 0usize;
+    for (mi, x) in sd.mentions.iter().enumerate() {
+        fz.fill_mention_rows(mi, &mut rows);
+        assert_eq!(rows.len(), sd.targets.len() * FEATURE_COUNT, "{scope}");
+        for (ti, t) in sd.targets.iter().enumerate() {
+            let naive = feature_vector(x, t, &sd.ctx);
+            fz.fill(mi, ti, &mut row);
+            let batch = &rows[ti * FEATURE_COUNT..(ti + 1) * FEATURE_COUNT];
+            for f in 0..FEATURE_COUNT {
+                assert_eq!(
+                    naive[f].to_bits(),
+                    row[f].to_bits(),
+                    "{scope}: fill() f{} mention {mi} target {ti}: {} vs {}",
+                    f + 1,
+                    naive[f],
+                    row[f]
+                );
+                assert_eq!(
+                    naive[f].to_bits(),
+                    batch[f].to_bits(),
+                    "{scope}: fill_mention_rows() f{} mention {mi} target {ti}",
+                    f + 1
+                );
+            }
+            pairs += 1;
+        }
+    }
+    pairs
+}
+
+#[test]
+fn featurizer_matches_naive_on_seeded_corpus() {
+    let briq = Briq::untrained(BriqConfig::default());
+    let corpus = generate_corpus(&CorpusConfig {
+        n_documents: 24,
+        seed: 20190408,
+        ..Default::default()
+    });
+    let mut pairs = 0usize;
+    for (i, ld) in corpus.documents.iter().enumerate() {
+        let sd = briq.score_document(&ld.document);
+        pairs += assert_featurizer_matches(&sd, &format!("corpus doc {i}"));
+        if pairs >= 1000 && i >= 8 {
+            break;
+        }
+    }
+    assert!(
+        pairs >= 1000,
+        "only {pairs} pairs checked — corpus too small"
+    );
+}
+
+#[test]
+fn featurizer_matches_naive_on_chaos_documents() {
+    let briq = Briq::untrained(BriqConfig::default());
+    let budget = Budget {
+        max_regex_steps: 10_000,
+        max_virtual_cells_per_table: 120,
+        max_graph_edges: 1_500,
+        max_rwr_iterations: 40,
+    };
+    for kind in Adversary::ALL {
+        for doc in adversarial_documents(kind, 20190408) {
+            let (sd, _diag) = briq.score_document_budgeted(&doc, &budget);
+            assert_featurizer_matches(&sd, kind.name());
+        }
+    }
+}
+
+#[test]
+fn heuristic_prior_masked_matches_copy_mask_score() {
+    let mut rng = StdRng::seed_from_u64(99);
+    for mask in all_masks() {
+        for _ in 0..200 {
+            let row: Vec<f64> = (0..FEATURE_COUNT)
+                .map(|_| rng.random_range(-1.0..2.0))
+                .collect();
+            let mut masked = row.clone();
+            mask.apply(&mut masked);
+            assert_eq!(
+                heuristic_prior_masked(&row, &mask).to_bits(),
+                heuristic_prior(&masked).to_bits(),
+                "mask {mask:?} row {row:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn flat_classifier_matches_recursive_forest_on_every_mask() {
+    let mut rng = StdRng::seed_from_u64(4242);
+    let mut data = Dataset::new();
+    for _ in 0..300 {
+        let related = rng.random_bool(0.4);
+        let mut row = vec![0.0; FEATURE_COUNT];
+        for v in row.iter_mut() {
+            *v = rng.random_range(0.0..1.0);
+        }
+        if related {
+            row[0] = rng.random_range(0.6..1.0);
+        }
+        data.push(row, related);
+    }
+    data.apply_class_weights();
+    let rf = RandomForestConfig {
+        n_trees: 24,
+        ..Default::default()
+    };
+    for mask in all_masks() {
+        let clf = PairClassifier::train(&data, rf, mask);
+        for _ in 0..150 {
+            let row: Vec<f64> = (0..FEATURE_COUNT)
+                .map(|_| rng.random_range(-0.5..1.5))
+                .collect();
+            let mut masked = row.clone();
+            mask.apply(&mut masked);
+            assert_eq!(
+                clf.score(&row).to_bits(),
+                clf.forest().predict_proba(&masked).to_bits(),
+                "mask {mask:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn end_to_end_scores_match_naive_recomputation() {
+    // The pipeline's own scored matrix (built through the featurizer)
+    // must equal scoring naive vectors through the masked prior.
+    let briq = Briq::untrained(BriqConfig::default());
+    let corpus = generate_corpus(&CorpusConfig {
+        n_documents: 6,
+        seed: 7,
+        ..Default::default()
+    });
+    for ld in &corpus.documents {
+        let sd = briq.score_document(&ld.document);
+        for (mi, x) in sd.mentions.iter().enumerate() {
+            for (ti, t) in sd.targets.iter().enumerate() {
+                let f = feature_vector(x, t, &sd.ctx);
+                let expect = heuristic_prior_masked(&f, &briq.cfg.mask);
+                let (target, got) = sd.scored[mi][ti];
+                assert_eq!(target, ti);
+                assert_eq!(got.to_bits(), expect.to_bits());
+            }
+        }
+    }
+}
