@@ -22,14 +22,20 @@
 #                cores the stage fails if the --jobs speedup drops below
 #                $SPEEDUP_MIN (default 2.0); on single-core hosts the
 #                speedup field is null and the gate is skipped, since no
-#                honest parallel ratio exists there. Also runs the
-#                classifier hot-path microbench (bench_classifier) and
-#                reports its scored-pairs/sec line (never gating — the
-#                absolute number is host-dependent).
-#   determinism  briq-align over the same seeded page corpus twice with
-#                different --jobs values; fails unless alignment stdout and
-#                the diagnostics JSONL (which carries no timings) are
-#                byte-for-byte identical.
+#                honest parallel ratio exists there (the per-point
+#                utilization fields go null the same way; the speedup awk
+#                only matches "speedup" lines, so they never confuse the
+#                gate). Also runs the classifier hot-path microbench
+#                (bench_classifier) and reports its scored-pairs/sec line
+#                plus the dedup+prune engine line
+#                (classifier-throughput-deduped) — never gating, the
+#                absolute numbers are host-dependent.
+#   determinism  briq-align over the same seeded page corpus three times:
+#                --jobs 1, --jobs $(nproc or 8), and --jobs 1 with
+#                BRIQ_NO_PRUNE=1 (bound-based pruning disabled); fails
+#                unless alignment stdout and the diagnostics JSONL (which
+#                carries no timings) are byte-for-byte identical across all
+#                three — worker count AND pruning must be unobservable.
 #
 # Every stage prints its wall-clock; a summary table is printed at the end.
 set -uo pipefail
@@ -79,22 +85,30 @@ stage_bench_smoke() {
     else
         echo "bench-smoke: speedup ${speedup}x at --jobs $NPROC (host has $NPROC core(s); gate needs >= 4)"
     fi
-    # Classifier hot-path microbench: report scored-pairs/sec, never gate —
-    # absolute throughput varies with the host.
-    local clf_line
-    clf_line="$(cargo bench --offline -q -p briq-bench --bench bench_classifier 2>/dev/null \
-        | grep '^classifier-throughput' | tail -1)"
+    # Classifier hot-path microbench: report scored-pairs/sec and the
+    # dedup+prune engine comparison, never gate — absolute throughput
+    # varies with the host.
+    local clf_out clf_line dedup_line
+    clf_out="$(cargo bench --offline -q -p briq-bench --bench bench_classifier 2>/dev/null)"
+    clf_line="$(printf '%s\n' "$clf_out" | grep '^classifier-throughput ' | tail -1)"
+    dedup_line="$(printf '%s\n' "$clf_out" | grep '^classifier-throughput-deduped ' | tail -1)"
     if [ -n "$clf_line" ]; then
         echo "bench-smoke: $clf_line"
     else
         echo "bench-smoke: classifier microbench produced no throughput line" >&2
         return 1
     fi
+    if [ -n "$dedup_line" ]; then
+        echo "bench-smoke: $dedup_line"
+    else
+        echo "bench-smoke: classifier microbench produced no deduped-engine line" >&2
+        return 1
+    fi
 }
 
 stage_determinism() {
     cargo build --offline --release -q -p briq-bench || return 1
-    local dir jobs_hi rc1 rc2
+    local dir jobs_hi rc1 rc2 rc_np
     dir="$(mktemp -d)"
     trap 'rm -rf "$dir"' RETURN
     jobs_hi=$(( NPROC > 1 ? NPROC : 8 ))
@@ -123,7 +137,26 @@ stage_determinism() {
         diff "$dir/diag_1.jsonl" "$dir/diag_n.jsonl" | head -20 >&2
         return 1
     }
-    echo "determinism: --jobs 1 and --jobs $jobs_hi byte-identical ($(wc -c < "$dir/out_1.json") bytes of alignments)"
+    # Third run with bound-based pruning disabled: the pruning engine must
+    # be unobservable in the output, not just across worker counts.
+    BRIQ_NO_PRUNE=1 ./target/release/briq-align --batch "$dir/corpus" --jobs 1 --json \
+        --diagnostics "$dir/diag_np.jsonl" > "$dir/out_np.json"
+    rc_np=$?
+    if [ "$rc_np" -ne "$rc1" ]; then
+        echo "determinism: exit code diverged with BRIQ_NO_PRUNE=1 ($rc_np vs $rc1)" >&2
+        return 1
+    fi
+    cmp -s "$dir/out_1.json" "$dir/out_np.json" || {
+        echo "determinism: alignment output differs with BRIQ_NO_PRUNE=1" >&2
+        diff "$dir/out_1.json" "$dir/out_np.json" | head -20 >&2
+        return 1
+    }
+    cmp -s "$dir/diag_1.jsonl" "$dir/diag_np.jsonl" || {
+        echo "determinism: diagnostics JSONL differs with BRIQ_NO_PRUNE=1" >&2
+        diff "$dir/diag_1.jsonl" "$dir/diag_np.jsonl" | head -20 >&2
+        return 1
+    }
+    echo "determinism: --jobs 1, --jobs $jobs_hi, and BRIQ_NO_PRUNE=1 byte-identical ($(wc -c < "$dir/out_1.json") bytes of alignments)"
 }
 
 known_stage() {

@@ -189,6 +189,55 @@ fn throughput_summary(_c: &mut Criterion) {
         pps(fast_s),
         if fast_s > 0.0 { naive_s / fast_s } else { 0.0 },
     );
+
+    // Trained-forest comparison: the dense block path (every row through
+    // the flat forest) against the batched engine (dedup cache + exact
+    // bound-based pruning). Scores agree where both compute; the engine
+    // just skips work filtering provably discards. Non-gating — the line
+    // exists so CI logs carry the dedup/prune yield per PR.
+    let clf = trained_classifier(FeatureMask::all());
+    let fcfg = briq_core::filtering::FilterConfig::default();
+    let dense_s = time(&mut || {
+        let mut fz = PairFeaturizer::new(&sd.mentions, &sd.targets, &sd.ctx);
+        let mut rows: Vec<f64> = Vec::new();
+        let mut out: Vec<f64> = Vec::new();
+        let mut acc = 0.0;
+        for mi in 0..sd.mentions.len() {
+            fz.fill_mention_rows(mi, &mut rows);
+            out.clear();
+            out.resize(sd.targets.len(), 0.0);
+            clf.flat().score_block(&rows, FEATURE_COUNT, &mut out);
+            acc += out.iter().sum::<f64>();
+        }
+        acc
+    });
+    let engine_s = time(&mut || {
+        let mut fz = PairFeaturizer::new(&sd.mentions, &sd.targets, &sd.ctx);
+        let mut engine = briq_core::scoring::ScoringEngine::new();
+        let mut acc = 0.0;
+        for (mi, x) in sd.mentions.iter().enumerate() {
+            engine.fill_rows(&mut fz, mi);
+            engine.score_trained(x, &sd.targets, &sd.tags[mi], &clf, &fcfg, true);
+            acc += engine.computed().iter().map(|&(_, s)| s).sum::<f64>();
+        }
+        acc
+    });
+    // One untimed pass to report the engine's work-avoidance counters.
+    let (deduped, pruned) = {
+        let mut fz = PairFeaturizer::new(&sd.mentions, &sd.targets, &sd.ctx);
+        let mut engine = briq_core::scoring::ScoringEngine::new();
+        for (mi, x) in sd.mentions.iter().enumerate() {
+            engine.fill_rows(&mut fz, mi);
+            engine.score_trained(x, &sd.targets, &sd.tags[mi], &clf, &fcfg, true);
+        }
+        (engine.rows_deduped(), engine.pairs_pruned())
+    };
+    println!(
+        "classifier-throughput-deduped pairs={pairs} rows_deduped={deduped} pairs_pruned={pruned} dense_pairs_per_sec={:.0} engine_pairs_per_sec={:.0} speedup={:.2}x",
+        pps(dense_s),
+        pps(engine_s),
+        if engine_s > 0.0 { dense_s / engine_s } else { 0.0 },
+    );
 }
 
 criterion_group!(

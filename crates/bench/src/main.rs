@@ -128,6 +128,7 @@ fn throughput_bench(docs: usize, seed: u64, jobs: usize, out: Option<&str>) {
         "filter s",
         "resolve s",
         "pairs/s",
+        "eff pairs/s",
         "util",
     ]);
     for p in [&bench.baseline, &bench.parallel] {
@@ -140,7 +141,11 @@ fn throughput_bench(docs: usize, seed: u64, jobs: usize, out: Option<&str>) {
             format!("{:.2}", p.stages.filter_s),
             format!("{:.2}", p.stages.resolve_s),
             format!("{:.0}", p.stages.scored_pairs_per_sec()),
-            format!("{:.2}", p.utilization),
+            format!("{:.0}", p.effective_pairs_per_sec),
+            match p.utilization {
+                Some(u) => format!("{u:.2}"),
+                None => "n/a".to_string(),
+            },
         ]);
     }
     println!("{}", t.render());

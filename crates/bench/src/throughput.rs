@@ -164,8 +164,15 @@ pub struct ThroughputPoint {
     pub seconds: f64,
     /// Per-stage CPU-seconds.
     pub stages: StageTimings,
-    /// Mean worker utilization.
-    pub utilization: f64,
+    /// Mean worker utilization, or `None` when the point effectively ran
+    /// on a single worker (`min(jobs, host_cores) == 1`) — utilization of
+    /// a one-worker pool is 1.0 by construction and reporting it would
+    /// read as a measurement (mirrors [`ThroughputBench::speedup`]).
+    pub utilization: Option<f64>,
+    /// Classifier invocations actually executed per classify-second:
+    /// `(pairs_scored - rows_deduped - pairs_pruned) / classify_s`
+    /// ([`StageTimings::effective_pairs_per_sec`]).
+    pub effective_pairs_per_sec: f64,
 }
 
 /// The perf-trajectory artifact written by CI's bench-smoke stage
@@ -215,7 +222,12 @@ impl ThroughputBench {
             docs_per_minute: r.docs_per_minute(),
             seconds: r.seconds,
             stages: r.stages,
-            utilization: r.utilization,
+            utilization: if jobs.min(host_cores.max(1)) >= 2 {
+                Some(r.utilization)
+            } else {
+                None
+            },
+            effective_pairs_per_sec: r.stages.effective_pairs_per_sec(),
         };
         let jobs_requested = parallel.0;
         let jobs_effective = jobs_requested.min(host_cores.max(1));
@@ -258,7 +270,8 @@ briq_json::json_struct!(ThroughputPoint {
     docs_per_minute,
     seconds,
     stages,
-    utilization
+    utilization,
+    effective_pairs_per_sec
 });
 briq_json::json_struct!(ThroughputBench {
     seed,
@@ -352,6 +365,10 @@ mod tests {
         assert_eq!(bench.jobs_requested, 2);
         assert_eq!(bench.jobs_effective, 2);
         assert!(bench.speedup.expect("multi-core host reports a ratio") > 0.0);
+        // The one-worker baseline has no honest utilization number; the
+        // genuine two-worker point does.
+        assert_eq!(bench.baseline.utilization, None);
+        assert!(bench.parallel.utilization.expect("real parallel point") > 0.0);
         let s = briq_json::to_string_pretty(&bench);
         let back: ThroughputBench = briq_json::from_str(&s).expect("round-trips");
         assert_eq!(bench, back);
@@ -368,9 +385,14 @@ mod tests {
         assert_eq!(bench.jobs_requested, 4);
         assert_eq!(bench.jobs_effective, 1, "one core caps effective workers");
         assert_eq!(bench.speedup, None, "no honest ratio exists on one core");
+        // Both points are effectively single-worker on one core, so
+        // utilization is withheld like the speedup ratio.
+        assert_eq!(bench.baseline.utilization, None);
+        assert_eq!(bench.parallel.utilization, None);
         // `null` survives the JSON round trip.
         let s = briq_json::to_string_pretty(&bench);
         assert!(s.contains("\"speedup\": null"), "{s}");
+        assert!(s.contains("\"utilization\": null"), "{s}");
         let back: ThroughputBench = briq_json::from_str(&s).expect("round-trips");
         assert_eq!(bench, back);
     }

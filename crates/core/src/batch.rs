@@ -57,6 +57,13 @@ pub struct StageTimings {
     /// with `classify_s` this yields scored-pairs/sec, the classifier
     /// hot-path throughput metric.
     pub pairs_scored: u64,
+    /// Pairs answered from the batched engine's unique-row dedup cache
+    /// instead of a fresh forest/heuristic evaluation.
+    pub rows_deduped: u64,
+    /// Pairs whose forest traversal was abandoned by an exact score
+    /// bound (see `crate::scoring`); their filtering outcome is decided
+    /// without a computed score.
+    pub pairs_pruned: u64,
 }
 
 impl StageTimings {
@@ -72,6 +79,8 @@ impl StageTimings {
         self.filter_s += other.filter_s;
         self.resolve_s += other.resolve_s;
         self.pairs_scored += other.pairs_scored;
+        self.rows_deduped += other.rows_deduped;
+        self.pairs_pruned += other.pairs_pruned;
     }
 
     /// Classifier throughput in pairs per second of classify-stage time.
@@ -81,6 +90,21 @@ impl StageTimings {
             return 0.0;
         }
         self.pairs_scored as f64 / self.classify_s
+    }
+
+    /// Pairs that actually cost a full evaluation — total minus dedup
+    /// hits and pruned traversals — per second of classify-stage time.
+    /// Comparing this with [`StageTimings::scored_pairs_per_sec`] shows
+    /// how much forest work the batched engine avoided.
+    pub fn effective_pairs_per_sec(&self) -> f64 {
+        let effective = self
+            .pairs_scored
+            .saturating_sub(self.rows_deduped)
+            .saturating_sub(self.pairs_pruned);
+        if self.classify_s <= 0.0 || effective == 0 {
+            return 0.0;
+        }
+        effective as f64 / self.classify_s
     }
 }
 
@@ -396,7 +420,9 @@ briq_json::json_struct!(StageTimings {
     classify_s,
     filter_s,
     resolve_s,
-    pairs_scored
+    pairs_scored,
+    rows_deduped,
+    pairs_pruned
 });
 
 #[cfg(test)]
@@ -563,6 +589,8 @@ mod tests {
             filter_s: 3.0,
             resolve_s: 4.0,
             pairs_scored: 10,
+            rows_deduped: 2,
+            pairs_pruned: 1,
         };
         let b = StageTimings {
             extract_s: 0.5,
@@ -570,11 +598,17 @@ mod tests {
             filter_s: 0.5,
             resolve_s: 0.5,
             pairs_scored: 5,
+            rows_deduped: 1,
+            pairs_pruned: 1,
         };
         a.merge(&b);
         assert_eq!(a.total_s(), 12.0);
         assert_eq!(a.pairs_scored, 15);
+        assert_eq!(a.rows_deduped, 3);
+        assert_eq!(a.pairs_pruned, 2);
         assert_eq!(a.scored_pairs_per_sec(), 6.0);
+        // 15 total - 3 deduped - 2 pruned = 10 effective over 2.5 s.
+        assert_eq!(a.effective_pairs_per_sec(), 4.0);
         let s = briq_json::to_string(&a);
         let back: StageTimings = briq_json::from_str(&s).expect("round-trips");
         assert_eq!(a, back);

@@ -47,6 +47,14 @@ impl PairClassifier {
         self.mask
     }
 
+    /// The mask-baked flat scoring layout — the batched entry point for
+    /// [`FlatForest::score_block`] and [`FlatForest::score_block_bounded`]
+    /// (see [`crate::scoring`]). Scoring through it is bit-identical to
+    /// [`PairClassifier::score`] row by row.
+    pub fn flat(&self) -> &FlatForest {
+        &self.flat
+    }
+
     /// The underlying recursive forest (reference scoring path for the
     /// equivalence suite, and diagnostics).
     pub fn forest(&self) -> &RandomForest {

@@ -20,9 +20,9 @@
 use briq_table::TableMention;
 use briq_text::cues::{AggregationKind, ApproxIndicator};
 use briq_text::units::Unit;
-use std::collections::BTreeSet;
+use std::collections::HashMap;
 
-use crate::context::{overlap, weighted_overlap, DocContext};
+use crate::context::{overlap, weighted_overlap, DocContext, TableContext};
 use crate::jaro::{jaro_winkler, JaroScratch};
 use crate::mention::TextMention;
 
@@ -153,6 +153,9 @@ pub fn feature_vector(x: &TextMention, t: &TableMention, ctx: &DocContext) -> Ve
 struct MentionInvariants {
     /// Lowercased surface form as chars (f1 operand).
     raw_chars: Vec<char>,
+    /// Sum of the local-window word weights, accumulated in the same
+    /// (sorted) order as `weighted_overlap`'s `weights.values().sum()`.
+    text_mass: f64,
     value: f64,
     unnormalized: f64,
     unit: Unit,
@@ -170,10 +173,17 @@ struct MentionInvariants {
 struct TargetInvariants {
     /// Lowercased canonical surface as chars (f1 operand).
     surface_chars: Vec<char>,
-    /// Union of member rows' and columns' stemmed words (f2).
-    local_words: BTreeSet<String>,
-    /// Union of member rows' and columns' noun phrases (f4).
-    local_phrases: BTreeSet<String>,
+    /// Index of the owning table (selects the [`TableIndex`]).
+    table: usize,
+    /// Offset of this target's member-row/member-col bitmasks in the
+    /// shared `member_bits` arena (`row_blocks` then `col_blocks` words).
+    bits_off: usize,
+    /// `min(|local word union|, cap)` where the cap is at least every
+    /// mention's `text_mass` — exactly enough for f2's denominator.
+    union_words: f64,
+    /// `min(|local phrase union|, cap)` where the cap is at least every
+    /// mention's sentence-phrase count — exactly enough for f4.
+    union_phrases: u32,
     value: f64,
     unnormalized: f64,
     unit: Unit,
@@ -186,19 +196,210 @@ struct TargetInvariants {
     f5: f64,
 }
 
+/// Interned per-table context: every stemmed word and noun phrase of the
+/// table's rows/columns gets a dense id plus bitmasks of the rows and
+/// columns containing it. Membership of a word in a target's row/column
+/// union then becomes two mask intersections instead of a `BTreeSet`
+/// lookup, and the unions themselves are never materialized.
+struct TableIndex<'c> {
+    n_rows: usize,
+    n_cols: usize,
+    /// `u64` words per row bitmask (`n_rows.div_ceil(64)`).
+    row_blocks: usize,
+    /// `u64` words per column bitmask.
+    col_blocks: usize,
+    word_ids: HashMap<&'c str, u32>,
+    /// Row bitmask per word id (`row_blocks` words each).
+    word_row_bits: Vec<u64>,
+    /// Column bitmask per word id.
+    word_col_bits: Vec<u64>,
+    /// Word ids per row (each row's set, any order, no duplicates).
+    row_word_ids: Vec<Vec<u32>>,
+    col_word_ids: Vec<Vec<u32>>,
+    phrase_ids: HashMap<&'c str, u32>,
+    phrase_row_bits: Vec<u64>,
+    phrase_col_bits: Vec<u64>,
+    row_phrase_ids: Vec<Vec<u32>>,
+    col_phrase_ids: Vec<Vec<u32>>,
+}
+
+impl<'c> TableIndex<'c> {
+    fn build(tctx: &'c TableContext) -> TableIndex<'c> {
+        let n_rows = tctx.row_words.len();
+        let n_cols = tctx.col_words.len();
+        let row_blocks = n_rows.div_ceil(64);
+        let col_blocks = n_cols.div_ceil(64);
+        let (word_ids, word_row_bits, word_col_bits, row_word_ids, col_word_ids) =
+            Self::index_sets(&tctx.row_words, &tctx.col_words, row_blocks, col_blocks);
+        let (phrase_ids, phrase_row_bits, phrase_col_bits, row_phrase_ids, col_phrase_ids) =
+            Self::index_sets(&tctx.row_phrases, &tctx.col_phrases, row_blocks, col_blocks);
+        TableIndex {
+            n_rows,
+            n_cols,
+            row_blocks,
+            col_blocks,
+            word_ids,
+            word_row_bits,
+            word_col_bits,
+            row_word_ids,
+            col_word_ids,
+            phrase_ids,
+            phrase_row_bits,
+            phrase_col_bits,
+            row_phrase_ids,
+            col_phrase_ids,
+        }
+    }
+
+    /// Intern the strings of per-row and per-column sets and record, for
+    /// each id, the bitmask of rows and columns containing it.
+    #[allow(clippy::type_complexity)]
+    fn index_sets(
+        rows: &'c [std::collections::BTreeSet<String>],
+        cols: &'c [std::collections::BTreeSet<String>],
+        row_blocks: usize,
+        col_blocks: usize,
+    ) -> (
+        HashMap<&'c str, u32>,
+        Vec<u64>,
+        Vec<u64>,
+        Vec<Vec<u32>>,
+        Vec<Vec<u32>>,
+    ) {
+        let mut ids: HashMap<&'c str, u32> = HashMap::new();
+        let mut row_bits: Vec<u64> = Vec::new();
+        let mut col_bits: Vec<u64> = Vec::new();
+        let mut next_id = 0u32;
+        let mut intern = |s: &'c str, row_bits: &mut Vec<u64>, col_bits: &mut Vec<u64>| -> u32 {
+            *ids.entry(s).or_insert_with(|| {
+                row_bits.resize(row_bits.len() + row_blocks, 0);
+                col_bits.resize(col_bits.len() + col_blocks, 0);
+                let id = next_id;
+                next_id += 1;
+                id
+            })
+        };
+        let mut per_row: Vec<Vec<u32>> = Vec::with_capacity(rows.len());
+        for (r, set) in rows.iter().enumerate() {
+            let mut ids_here = Vec::with_capacity(set.len());
+            for s in set {
+                let id = intern(s, &mut row_bits, &mut col_bits);
+                row_bits[id as usize * row_blocks + r / 64] |= 1 << (r % 64);
+                ids_here.push(id);
+            }
+            per_row.push(ids_here);
+        }
+        let mut per_col: Vec<Vec<u32>> = Vec::with_capacity(cols.len());
+        for (c, set) in cols.iter().enumerate() {
+            let mut ids_here = Vec::with_capacity(set.len());
+            for s in set {
+                let id = intern(s, &mut row_bits, &mut col_bits);
+                col_bits[id as usize * col_blocks + c / 64] |= 1 << (c % 64);
+                ids_here.push(id);
+            }
+            per_col.push(ids_here);
+        }
+        (ids, row_bits, col_bits, per_row, per_col)
+    }
+}
+
+/// Whether interned item `id` occurs in a member row or member column —
+/// exactly `union.contains(item)` without materializing the union.
+#[inline]
+fn mask_hit(
+    row_bits: &[u64],
+    col_bits: &[u64],
+    id: u32,
+    row_blocks: usize,
+    col_blocks: usize,
+    member_rows: &[u64],
+    member_cols: &[u64],
+) -> bool {
+    let r_off = id as usize * row_blocks;
+    let c_off = id as usize * col_blocks;
+    row_bits[r_off..r_off + row_blocks]
+        .iter()
+        .zip(member_rows)
+        .any(|(&a, &b)| a & b != 0)
+        || col_bits[c_off..c_off + col_blocks]
+            .iter()
+            .zip(member_cols)
+            .any(|(&a, &b)| a & b != 0)
+}
+
+/// Count the distinct items of the member rows'/columns' sets, stopping
+/// at `cap`. Returns `min(|union|, cap)`; `seen` entries equal to `epoch`
+/// mark already-counted ids (epoch-stamped so it is never cleared).
+fn count_union_capped(
+    member_rows: &[u64],
+    member_cols: &[u64],
+    per_row: &[Vec<u32>],
+    per_col: &[Vec<u32>],
+    seen: &mut [u32],
+    epoch: u32,
+    cap: usize,
+) -> usize {
+    let mut count = 0usize;
+    if count >= cap {
+        return count;
+    }
+    for (per_line, member) in [(per_row, member_rows), (per_col, member_cols)] {
+        for (b, &block) in member.iter().enumerate() {
+            let mut m = block;
+            while m != 0 {
+                let line = b * 64 + m.trailing_zeros() as usize;
+                m &= m - 1;
+                for &id in &per_line[line] {
+                    let s = &mut seen[id as usize];
+                    if *s != epoch {
+                        *s = epoch;
+                        count += 1;
+                        if count >= cap {
+                            return count;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Local-window words of one mention that occur anywhere in one table:
+/// `(weight, word id)` in the sorted order of the mention's weight map,
+/// so f2's intersection sum visits the same values in the same order as
+/// `weighted_overlap`. Words absent from the table can never be in a
+/// target's union and are dropped up front.
+struct MentionTableHits {
+    words: Vec<(f64, u32)>,
+    /// Sentence-phrase ids present in the table (f4 numerator operands).
+    phrases: Vec<u32>,
+}
+
 /// Allocation-free pair featurizer: precomputes every per-mention and
 /// per-target invariant once, then fills caller-provided rows.
 ///
 /// [`PairFeaturizer::fill`] is bit-identical to [`feature_vector`] — same
 /// expressions, same evaluation order — but performs no heap allocation
-/// per pair: strings are pre-lowercased into char buffers, the per-target
-/// row/column unions are materialized once, the per-table global overlaps
-/// (f3/f5) are folded to constants, and the Jaro-Winkler match buffers
-/// live in a reused [`JaroScratch`].
+/// per pair: strings are pre-lowercased into char buffers, the per-table
+/// global overlaps (f3/f5) are folded to constants, the Jaro-Winkler
+/// match buffers live in a reused [`JaroScratch`], and the per-target
+/// row/column unions of f2/f4 are replaced by interned-id bitmask
+/// intersections ([`TableIndex`]) — the unions are never materialized at
+/// all. The f2/f4 denominators only ever need a union size up to the
+/// largest mention-side mass, so union cardinalities are counted with a
+/// cap (see [`TargetInvariants::union_words`]), which keeps per-target
+/// setup O(cap) instead of O(union).
 pub struct PairFeaturizer<'c> {
     ctx: &'c DocContext,
     mentions: Vec<MentionInvariants>,
     targets: Vec<TargetInvariants>,
+    tables: Vec<TableIndex<'c>>,
+    /// `mention_tables[mi * tables.len() + table]`.
+    mention_tables: Vec<MentionTableHits>,
+    /// Member-row/member-col bitmask arena, indexed by
+    /// [`TargetInvariants::bits_off`].
+    member_bits: Vec<u64>,
     jaro: JaroScratch,
 }
 
@@ -209,12 +410,14 @@ impl<'c> PairFeaturizer<'c> {
         targets: &[TableMention],
         ctx: &'c DocContext,
     ) -> PairFeaturizer<'c> {
-        let mention_inv = mentions
+        let mention_inv: Vec<MentionInvariants> = mentions
             .iter()
-            .map(|x| {
+            .enumerate()
+            .map(|(mi, x)| {
                 let q = &x.quantity;
                 MentionInvariants {
                     raw_chars: q.raw.to_lowercase().chars().collect(),
+                    text_mass: ctx.mentions[mi].local_weights.values().sum(),
                     value: q.value,
                     unnormalized: q.unnormalized,
                     unit: q.unit,
@@ -238,15 +441,88 @@ impl<'c> PairFeaturizer<'c> {
             })
             .collect();
 
+        let tables: Vec<TableIndex<'c>> = ctx.tables.iter().map(TableIndex::build).collect();
+
+        // Union-size caps: f2 needs `min(text_mass, |union|)` and f4 needs
+        // `min(|sentence phrases|, |union|)`, so counting a union past the
+        // largest mention-side operand can never change a feature value.
+        let cap_words = mention_inv
+            .iter()
+            .map(|m| m.text_mass.ceil() as usize)
+            .max()
+            .unwrap_or(0);
+        let cap_phrases = (0..mentions.len())
+            .map(|mi| ctx.mentions[mi].sentence_phrases.len())
+            .max()
+            .unwrap_or(0);
+
+        let mut mention_tables = Vec::with_capacity(mentions.len() * tables.len());
+        for mi in 0..mentions.len() {
+            let mctx = &ctx.mentions[mi];
+            for idx in &tables {
+                let words = mctx
+                    .local_weights
+                    .iter()
+                    .filter_map(|(w, &weight)| idx.word_ids.get(w.as_str()).map(|&id| (weight, id)))
+                    .collect();
+                let phrases = mctx
+                    .sentence_phrases
+                    .iter()
+                    .filter_map(|p| idx.phrase_ids.get(p.as_str()).copied())
+                    .collect();
+                mention_tables.push(MentionTableHits { words, phrases });
+            }
+        }
+
+        let mut member_bits: Vec<u64> = Vec::new();
+        let mut seen_words: Vec<Vec<u32>> =
+            tables.iter().map(|i| vec![0; i.word_ids.len()]).collect();
+        let mut seen_phrases: Vec<Vec<u32>> =
+            tables.iter().map(|i| vec![0; i.phrase_ids.len()]).collect();
+        let mut epochs = vec![0u32; tables.len()];
         let target_inv = targets
             .iter()
             .map(|t| {
-                let tctx = &ctx.tables[t.table];
+                let idx = &tables[t.table];
                 let (f3, f5) = per_table[t.table];
+                let bits_off = member_bits.len();
+                member_bits.resize(bits_off + idx.row_blocks + idx.col_blocks, 0);
+                for &(r, c) in &t.cells {
+                    // Same bounds-check-skip semantics as the
+                    // `row_words.get(r)` lookups in `local_words`.
+                    if r < idx.n_rows {
+                        member_bits[bits_off + r / 64] |= 1 << (r % 64);
+                    }
+                    if c < idx.n_cols {
+                        member_bits[bits_off + idx.row_blocks + c / 64] |= 1 << (c % 64);
+                    }
+                }
+                epochs[t.table] += 1;
+                let (mrows, mcols) = member_bits[bits_off..].split_at(idx.row_blocks);
+                let union_words = count_union_capped(
+                    mrows,
+                    mcols,
+                    &idx.row_word_ids,
+                    &idx.col_word_ids,
+                    &mut seen_words[t.table],
+                    epochs[t.table],
+                    cap_words,
+                );
+                let union_phrases = count_union_capped(
+                    mrows,
+                    mcols,
+                    &idx.row_phrase_ids,
+                    &idx.col_phrase_ids,
+                    &mut seen_phrases[t.table],
+                    epochs[t.table],
+                    cap_phrases,
+                );
                 TargetInvariants {
                     surface_chars: table_surface(t).to_lowercase().chars().collect(),
-                    local_words: tctx.local_words(t),
-                    local_phrases: tctx.local_phrases(t),
+                    table: t.table,
+                    bits_off,
+                    union_words: union_words as f64,
+                    union_phrases: union_phrases as u32,
                     value: t.value,
                     unnormalized: t.unnormalized,
                     unit: t.unit,
@@ -263,6 +539,9 @@ impl<'c> PairFeaturizer<'c> {
             ctx,
             mentions: mention_inv,
             targets: target_inv,
+            tables,
+            mention_tables,
+            member_bits,
             jaro: JaroScratch::new(),
         }
     }
@@ -300,11 +579,67 @@ impl<'c> PairFeaturizer<'c> {
         let m = &self.mentions[mi];
         let t = &self.targets[ti];
         let mctx = &self.ctx.mentions[mi];
+        let idx = &self.tables[t.table];
+        let hits = &self.mention_tables[mi * self.tables.len() + t.table];
+        let member = &self.member_bits[t.bits_off..t.bits_off + idx.row_blocks + idx.col_blocks];
+        let (mrows, mcols) = member.split_at(idx.row_blocks);
 
         out[0] = self.jaro.jaro_winkler_chars(&m.raw_chars, &t.surface_chars);
-        out[1] = weighted_overlap(&mctx.local_weights, &t.local_words);
+        out[1] = {
+            // `weighted_overlap` against the (never materialized) member
+            // union: the intersection sum visits the same weights in the
+            // same sorted order through the same `Sum` impl (whose empty
+            // identity is -0.0), and the capped union size is exact
+            // wherever it can win the `min` (see `TargetInvariants`).
+            let inter: f64 = hits
+                .words
+                .iter()
+                .filter(|&&(_, id)| {
+                    mask_hit(
+                        &idx.word_row_bits,
+                        &idx.word_col_bits,
+                        id,
+                        idx.row_blocks,
+                        idx.col_blocks,
+                        mrows,
+                        mcols,
+                    )
+                })
+                .map(|&(weight, _)| weight)
+                .sum();
+            let denom = m.text_mass.min(t.union_words);
+            if denom <= 0.0 {
+                0.0
+            } else {
+                (inter / denom).min(1.0)
+            }
+        };
         out[2] = t.f3;
-        out[3] = overlap(&mctx.sentence_phrases, &t.local_phrases);
+        out[3] = {
+            // `overlap` between sentence phrases and the member union.
+            let a_len = mctx.sentence_phrases.len();
+            let b_len = t.union_phrases as usize;
+            if a_len == 0 || b_len == 0 {
+                0.0
+            } else {
+                let inter = hits
+                    .phrases
+                    .iter()
+                    .filter(|&&id| {
+                        mask_hit(
+                            &idx.phrase_row_bits,
+                            &idx.phrase_col_bits,
+                            id,
+                            idx.row_blocks,
+                            idx.col_blocks,
+                            mrows,
+                            mcols,
+                        )
+                    })
+                    .count();
+                inter as f64 / a_len.min(b_len) as f64
+            }
+        };
         out[4] = t.f5;
         out[5] = relative_difference(m.value, t.value);
         out[6] = relative_difference(m.unnormalized, t.unnormalized);

@@ -178,6 +178,37 @@ pub fn filter_mention(
     cfg: &FilterConfig,
     stats: &mut FilterStats,
 ) -> Vec<Candidate> {
+    filter_mention_pruned(x, scored, &[], targets, tags, cfg, stats)
+}
+
+/// [`filter_mention`] over a partially scored candidate set: `computed`
+/// holds the exactly scored `(target index, score)` pairs and `pruned`
+/// the target indices whose scoring was abandoned by the bound-based
+/// pruning engine.
+///
+/// Exactness contract (upheld by the caller, `scoring`): a pruned pair's
+/// true score is strictly below both (a) the smallest score at which the
+/// pair could pass value/unit/tag pruning and the score floor, so its
+/// keep decision is `false` without computing it, and (b) the fifth-
+/// highest computed score when the mention-type vote looks at scores at
+/// all, so it can never appear in [`mention_type`]'s top-5 (at least five
+/// computed pairs outrank it under the total order). Kept candidates are
+/// therefore always exactly scored, the entropy input (kept singles) is
+/// unchanged, and the result is identical to [`filter_mention`] over the
+/// fully scored set. With `pruned` empty this *is* [`filter_mention`].
+pub fn filter_mention_pruned(
+    x: &TextMention,
+    computed: &[(usize, f64)],
+    pruned: &[usize],
+    targets: &[TableMention],
+    tags: &[AggregationKind],
+    cfg: &FilterConfig,
+    stats: &mut FilterStats,
+) -> Vec<Candidate> {
+    let scored = computed;
+    for &ti in pruned {
+        stats.record(targets[ti].kind, false);
+    }
     let mut singles: Vec<(usize, f64)> = Vec::new();
     let mut aggregates: Vec<(usize, f64)> = Vec::new();
 

@@ -7,9 +7,11 @@
 //!
 //! 1. **Table-text extraction** (`briq-table` + [`mention`]) — documents,
 //!    text mentions, single-cell and virtual-cell table mentions.
-//! 2. **Mention-pair classification** ([`features`], [`classifier`]) — a
-//!    class-weighted Random Forest over the 12 judiciously designed
-//!    features of §IV-B scores every candidate pair.
+//! 2. **Mention-pair classification** ([`features`], [`classifier`],
+//!    [`scoring`]) — a class-weighted Random Forest over the 12
+//!    judiciously designed features of §IV-B scores every candidate pair,
+//!    batched through the dedup + bound-based-pruning engine on the
+//!    alignment hot path.
 //! 3. **Adaptive filtering** ([`tagger`], [`filtering`]) — tag-based
 //!    pruning of aggregate candidates, value/unit pruning, and mention-type
 //!    and entropy-adaptive top-k selection (§V).
@@ -64,6 +66,7 @@ pub mod mention;
 pub mod pipeline;
 pub mod resolution;
 pub mod resolution_ilp;
+pub mod scoring;
 pub mod tagger;
 pub mod training;
 

@@ -10,10 +10,13 @@ use crate::classifier::PairClassifier;
 use crate::context::{ContextConfig, DocContext};
 use crate::error::{BriqError, Budget, DegradedAction, Diagnostics, Stage};
 use crate::features::{FeatureMask, PairFeaturizer, FEATURE_COUNT};
-use crate::filtering::{filter_mention, Candidate, FilterConfig, FilterStats};
+use crate::filtering::{
+    filter_mention, filter_mention_pruned, Candidate, FilterConfig, FilterStats,
+};
 use crate::graph_builder::{build_graph_budgeted, GraphConfig};
 use crate::mention::{text_mentions, Alignment, TextMention};
 use crate::resolution::{resolve_budgeted, ResolutionConfig, ResolutionEvent};
+use crate::scoring::ScoringEngine;
 use crate::tagger::{tagger_features, MentionTagger, TaggerExample};
 use crate::training::{
     build_training_examples, examples_to_dataset, tagger_label, LabeledDocument,
@@ -370,13 +373,25 @@ impl Briq {
     ) -> (Vec<Vec<(usize, f64)>>, Vec<Vec<AggregationKind>>) {
         let mut featurizer = PairFeaturizer::new(mentions, targets, ctx);
         let mut rows: Vec<f64> = Vec::new();
+        let mut block_out: Vec<f64> = Vec::new();
         let scored: Vec<Vec<(usize, f64)>> = (0..mentions.len())
             .map(|mi| {
                 featurizer.fill_mention_rows(mi, &mut rows);
-                rows.chunks_exact(FEATURE_COUNT)
-                    .enumerate()
-                    .map(|(ti, row)| (ti, self.prior(row)))
-                    .collect()
+                match &self.classifier {
+                    // Trained: block-wise traversal (trees outer, rows
+                    // inner) — bit-identical to `self.prior` per row.
+                    Some(clf) => {
+                        block_out.clear();
+                        block_out.resize(targets.len(), 0.0);
+                        clf.flat().score_block(&rows, FEATURE_COUNT, &mut block_out);
+                        block_out.iter().copied().enumerate().collect()
+                    }
+                    None => rows
+                        .chunks_exact(FEATURE_COUNT)
+                        .enumerate()
+                        .map(|(ti, row)| (ti, heuristic_prior_masked(row, &self.cfg.mask)))
+                        .collect(),
+                }
             })
             .collect();
 
@@ -394,6 +409,65 @@ impl Briq {
             })
             .collect();
         (scored, tags)
+    }
+
+    /// Fused stages 2+3 for the alignment path: per mention, fill the
+    /// feature rows, score them through the batched [`ScoringEngine`]
+    /// (unique-row dedup + block-wise flat-forest traversal + exact
+    /// bound-based pruning, DESIGN.md §10), and filter the partially
+    /// scored candidate set. Byte-identical to exhaustive
+    /// [`Briq::classify_stage`] + [`Briq::filter`] by the engine's
+    /// exactness contract; setting `BRIQ_NO_PRUNE=1` force-disables the
+    /// pruning layer (dedup stays — it is exact by construction), which
+    /// CI uses to cross-check that contract on real output.
+    ///
+    /// [`Briq::score_document`] deliberately does NOT use this path: its
+    /// consumers (baselines, training, evaluation) read the full score
+    /// matrix, which pruning by design does not materialize.
+    fn classify_filter_stage(
+        &self,
+        doc: &Document,
+        mentions: &[TextMention],
+        ctx: &DocContext,
+        targets: &[TableMention],
+        timings: &mut StageTimings,
+    ) -> (Vec<Vec<Candidate>>, FilterStats) {
+        let no_prune = std::env::var_os("BRIQ_NO_PRUNE").is_some_and(|v| v == "1");
+        let mut featurizer = PairFeaturizer::new(mentions, targets, ctx);
+        let mut engine = ScoringEngine::new();
+        let mut stats = FilterStats::default();
+        let mut candidates = Vec::with_capacity(mentions.len());
+        for (mi, x) in mentions.iter().enumerate() {
+            let t0 = Instant::now();
+            let mut tags = self.tagger.tags(&tagger_features(x, ctx, doc));
+            if self.cfg.virtual_cells.extended {
+                tags.extend(crate::tagger::extended_lexical_tags(
+                    &ctx.mentions[mi].immediate_words,
+                ));
+            }
+            engine.fill_rows(&mut featurizer, mi);
+            match &self.classifier {
+                Some(clf) => {
+                    engine.score_trained(x, targets, &tags, clf, &self.cfg.filter, !no_prune)
+                }
+                None => engine.score_heuristic(&self.cfg.mask),
+            }
+            timings.classify_s += t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            candidates.push(filter_mention_pruned(
+                x,
+                engine.computed(),
+                engine.pruned_targets(),
+                targets,
+                &tags,
+                &self.cfg.filter,
+                &mut stats,
+            ));
+            timings.filter_s += t1.elapsed().as_secs_f64();
+        }
+        timings.rows_deduped += engine.rows_deduped();
+        timings.pairs_pruned += engine.pairs_pruned();
+        (candidates, stats)
     }
 
     /// Stage 3: adaptive filtering of a scored document.
@@ -495,17 +569,21 @@ impl Briq {
         Vec<Vec<Candidate>>,
         Diagnostics,
     ) {
-        let (sd, mut diags) = self.score_document_staged(doc, budget, timings);
-        let t0 = Instant::now();
-        let (candidates, stats) = self.filter(&sd);
-        timings.filter_s += t0.elapsed().as_secs_f64();
+        let t_extract = Instant::now();
+        let (mentions, ctx, targets, mut diags) = self.extract_stage(doc, budget);
+        timings.extract_s += t_extract.elapsed().as_secs_f64();
+
+        let (candidates, stats) =
+            self.classify_filter_stage(doc, &mentions, &ctx, &targets, timings);
+        timings.pairs_scored += (mentions.len() * targets.len()) as u64;
+
         let t1 = Instant::now();
-        let positions: Vec<usize> = sd.ctx.mentions.iter().map(|m| m.token_index).collect();
+        let positions: Vec<usize> = ctx.mentions.iter().map(|m| m.token_index).collect();
         let (ag, edges_truncated) = build_graph_budgeted(
-            &sd.mentions,
+            &mentions,
             &positions,
-            sd.ctx.tokens.len(),
-            &sd.targets,
+            ctx.tokens.len(),
+            &targets,
             &candidates,
             &self.cfg.graph,
             budget.max_graph_edges,
@@ -549,12 +627,12 @@ impl Briq {
         let alignments = resolved
             .into_iter()
             .map(|r| {
-                let x = &sd.mentions[r.mention];
+                let x = &mentions[r.mention];
                 Alignment {
                     mention_start: x.quantity.start,
                     mention_end: x.quantity.end,
                     mention_raw: x.quantity.raw.clone(),
-                    target: sd.targets[r.target].clone(),
+                    target: targets[r.target].clone(),
                     score: r.score,
                 }
             })

@@ -1,0 +1,420 @@
+//! Batched candidate-scoring engine: unique-row deduplication, block-wise
+//! flat-forest traversal, and exact bound-based pruning (DESIGN.md §10).
+//!
+//! [`ScoringEngine`] replaces the row-at-a-time `classifier.score(row)`
+//! loop on the alignment hot path. Per document it keeps a score cache
+//! keyed on the raw f64 bits of each 12-feature row (scores are pure
+//! functions of the row, so a cache hit is bit-identical by construction)
+//! and scores the remaining distinct rows through
+//! [`briq_ml::FlatForest::score_block`] / [`briq_ml::FlatForest::score_block_bounded`] —
+//! trees in the outer loop, rows in the inner loop.
+//!
+//! Pruning is *exact*, never approximate: a row's scoring is abandoned
+//! only when the forest's remaining-vote upper bound proves its score is
+//! strictly below the smallest value at which downstream filtering
+//! ([`crate::filtering::filter_mention_pruned`]) could keep the pair or
+//! let it influence the mention-type vote. Alignments, candidates, and
+//! filter statistics are therefore byte-identical with pruning on or off.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use briq_table::{TableMention, TableMentionKind};
+use briq_text::cues::{AggregationKind, ApproxIndicator};
+
+use crate::classifier::PairClassifier;
+use crate::features::{FeatureMask, PairFeaturizer, FEATURE_COUNT};
+use crate::filtering::FilterConfig;
+use crate::mention::TextMention;
+use crate::pipeline::heuristic_prior_masked;
+
+/// FxHash-style mixer for row-bit keys: the standard SipHash is pure
+/// overhead for short fixed-width keys that are already high-entropy f64
+/// bit patterns.
+#[derive(Default)]
+pub struct RowHasher(u64);
+
+impl Hasher for RowHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0.rotate_left(5) ^ n).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+}
+
+/// A feature row keyed by its exact bit pattern. Distinct bit patterns of
+/// equal values (`-0.0` vs `0.0`) hash apart, which only costs a cache
+/// miss — never correctness.
+type RowKey = [u64; FEATURE_COUNT];
+
+fn row_key(row: &[f64]) -> RowKey {
+    let mut key = [0u64; FEATURE_COUNT];
+    for (k, v) in key.iter_mut().zip(row) {
+        *k = v.to_bits();
+    }
+    key
+}
+
+/// The smallest classifier score at which filtering could still keep the
+/// pair `(mention, target)` — derived from the already-filled feature row
+/// and the exact keep conditions of `filter_mention_pruned`:
+///
+/// * `row[5]` is `relative_difference(x.value, t.value)`, the quantity
+///   the value/unit pruning step compares against `value_diff_threshold`;
+/// * `row[7] == 3.0` (both units specified and different) is exactly the
+///   condition under which `unit_ok` fails.
+///
+/// A score strictly below the returned cut makes the keep decision
+/// `false` without computing the score. `+∞` means the pair can never be
+/// kept; `-∞` means it is kept at any score and must be computed.
+fn static_cut(
+    row: &[f64],
+    target: &TableMention,
+    tags: &[AggregationKind],
+    cfg: &FilterConfig,
+) -> f64 {
+    let unit_ok = row[7] != 3.0;
+    let value_far = row[5] > cfg.value_diff_threshold;
+    match target.kind {
+        TableMentionKind::SingleCell => {
+            if !unit_ok {
+                f64::INFINITY
+            } else if value_far {
+                cfg.score_floor.max(cfg.score_threshold)
+            } else {
+                cfg.score_floor
+            }
+        }
+        TableMentionKind::Aggregate(k) => {
+            if !tags.contains(&k) || !unit_ok {
+                f64::INFINITY
+            } else if value_far {
+                cfg.score_threshold
+            } else {
+                f64::NEG_INFINITY
+            }
+        }
+    }
+}
+
+/// The fifth-highest value of `scores`, or `-∞` when there are fewer than
+/// five — the strict threshold below which a pair can never enter the
+/// top-5 majority vote of [`crate::filtering::mention_type`].
+fn fifth_highest(scores: impl Iterator<Item = f64>) -> f64 {
+    let mut top = [f64::NEG_INFINITY; 5];
+    let mut n = 0usize;
+    for s in scores {
+        n += 1;
+        let mut lo = 0;
+        for (i, v) in top.iter().enumerate().skip(1) {
+            if v.total_cmp(&top[lo]).is_lt() {
+                lo = i;
+            }
+        }
+        if s.total_cmp(&top[lo]).is_gt() {
+            top[lo] = s;
+        }
+    }
+    if n < 5 {
+        return f64::NEG_INFINITY;
+    }
+    let mut min = top[0];
+    for &v in &top[1..] {
+        if v.total_cmp(&min).is_lt() {
+            min = v;
+        }
+    }
+    min
+}
+
+/// Per-document batched scorer. Construct once per document, then for
+/// each mention: [`ScoringEngine::fill_rows`], then one of the scoring
+/// entry points, then read [`ScoringEngine::computed`] /
+/// [`ScoringEngine::pruned_targets`] and hand both to
+/// [`crate::filtering::filter_mention_pruned`].
+///
+/// All buffers (including the dedup cache) live for the whole document,
+/// so repeated mentions reuse capacity and identical rows across mentions
+/// score once.
+pub struct ScoringEngine {
+    /// Bit-exact row → score cache; pruned rows are never inserted
+    /// (their score was not computed).
+    cache: HashMap<RowKey, f64, BuildHasherDefault<RowHasher>>,
+    /// The current mention's row matrix (`targets × FEATURE_COUNT`).
+    rows: Vec<f64>,
+    /// Gathered distinct rows pending one block-scoring call.
+    block: Vec<f64>,
+    /// Target index of each gathered block row.
+    block_tis: Vec<usize>,
+    /// Per-row pruning cuts for the bounded kernel.
+    cuts: Vec<f64>,
+    /// Block-scoring output buffer.
+    out: Vec<f64>,
+    /// Per-row pruned flags from the bounded kernel.
+    pruned_flags: Vec<bool>,
+    /// Exactly scored `(target index, score)` pairs of the current
+    /// mention, in no particular order (filtering sorts under a total
+    /// order, so ordering cannot leak into results).
+    computed: Vec<(usize, f64)>,
+    /// Target indices whose scoring was provably cut short.
+    pruned: Vec<usize>,
+    /// Target indices deferred to the bounded phase.
+    deferred: Vec<usize>,
+    rows_deduped: u64,
+    pairs_pruned: u64,
+}
+
+impl Default for ScoringEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScoringEngine {
+    /// An empty engine; buffers grow to the document's shape on first use.
+    pub fn new() -> ScoringEngine {
+        ScoringEngine {
+            cache: HashMap::default(),
+            rows: Vec::new(),
+            block: Vec::new(),
+            block_tis: Vec::new(),
+            cuts: Vec::new(),
+            out: Vec::new(),
+            pruned_flags: Vec::new(),
+            computed: Vec::new(),
+            pruned: Vec::new(),
+            deferred: Vec::new(),
+            rows_deduped: 0,
+            pairs_pruned: 0,
+        }
+    }
+
+    /// Fill the engine's row matrix with every target's features for
+    /// mention `mi`.
+    pub fn fill_rows(&mut self, fz: &mut PairFeaturizer, mi: usize) {
+        fz.fill_mention_rows(mi, &mut self.rows);
+    }
+
+    /// Exactly scored `(target index, score)` pairs of the last-scored
+    /// mention.
+    pub fn computed(&self) -> &[(usize, f64)] {
+        &self.computed
+    }
+
+    /// Target indices of the last-scored mention whose scoring was
+    /// abandoned by an exact bound.
+    pub fn pruned_targets(&self) -> &[usize] {
+        &self.pruned
+    }
+
+    /// Rows answered from the dedup cache so far (whole document).
+    pub fn rows_deduped(&self) -> u64 {
+        self.rows_deduped
+    }
+
+    /// Rows whose forest traversal was cut short so far (whole document).
+    pub fn pairs_pruned(&self) -> u64 {
+        self.pairs_pruned
+    }
+
+    /// Score the untrained heuristic prior over the filled rows, with
+    /// dedup only — the heuristic costs about as much as evaluating the
+    /// bound, so pruning cannot pay for itself there.
+    pub fn score_heuristic(&mut self, mask: &FeatureMask) {
+        self.computed.clear();
+        self.pruned.clear();
+        for (ti, row) in self.rows.chunks_exact(FEATURE_COUNT).enumerate() {
+            let key = row_key(row);
+            let s = match self.cache.get(&key) {
+                Some(&s) => {
+                    self.rows_deduped += 1;
+                    s
+                }
+                None => {
+                    let s = heuristic_prior_masked(row, mask);
+                    self.cache.insert(key, s);
+                    s
+                }
+            };
+            self.computed.push((ti, s));
+        }
+    }
+
+    /// Score the filled rows through the trained forest in two phases.
+    ///
+    /// Phase A scores every row that filtering might keep at any score at
+    /// or below the floor (must-compute aggregates and floor-cut singles)
+    /// exactly, through the dedup cache and [`briq_ml::FlatForest::score_block`].
+    /// The fifth-highest phase-A score then bounds the mention-type vote:
+    /// any pair scoring strictly below it can never enter the top-5 (at
+    /// least five computed pairs outrank it under the vote's total
+    /// order), so phase B may abandon a row once the forest's
+    /// remaining-vote bound falls below
+    /// `min(static keep cut, fifth-highest)` — or below the static cut
+    /// alone when the mention's approximation modifier decides the vote
+    /// without looking at scores. With `prune` false everything goes
+    /// through phase A, which keeps the dedup win and stays exhaustive.
+    pub fn score_trained(
+        &mut self,
+        x: &TextMention,
+        targets: &[TableMention],
+        tags: &[AggregationKind],
+        clf: &PairClassifier,
+        cfg: &FilterConfig,
+        prune: bool,
+    ) {
+        let flat = clf.flat();
+        self.computed.clear();
+        self.pruned.clear();
+        self.deferred.clear();
+        self.block.clear();
+        self.block_tis.clear();
+
+        // Partition: cache hits resolve immediately; rows whose static
+        // cut is at or below the floor must be computed exactly (phase
+        // A); the rest wait for the bound-based phase B.
+        for (ti, row) in self.rows.chunks_exact(FEATURE_COUNT).enumerate() {
+            if let Some(&s) = self.cache.get(&row_key(row)) {
+                self.rows_deduped += 1;
+                self.computed.push((ti, s));
+                continue;
+            }
+            let must_compute =
+                !prune || static_cut(row, &targets[ti], tags, cfg) <= cfg.score_floor;
+            if must_compute {
+                self.block.extend_from_slice(row);
+                self.block_tis.push(ti);
+            } else {
+                self.deferred.push(ti);
+            }
+        }
+
+        // Phase A: exhaustive block scoring of the must-compute rows.
+        let n = self.block_tis.len();
+        self.out.clear();
+        self.out.resize(n, 0.0);
+        flat.score_block(&self.block, FEATURE_COUNT, &mut self.out);
+        for (i, &ti) in self.block_tis.iter().enumerate() {
+            let s = self.out[i];
+            self.cache.insert(
+                row_key(&self.block[i * FEATURE_COUNT..(i + 1) * FEATURE_COUNT]),
+                s,
+            );
+            self.computed.push((ti, s));
+        }
+
+        if self.deferred.is_empty() {
+            return;
+        }
+
+        // The mention-type vote inspects candidate scores only for
+        // unmodified mentions; otherwise the modifier decides and the
+        // static cut alone is exact.
+        let fifth = if x.quantity.approx == ApproxIndicator::None {
+            fifth_highest(self.computed.iter().map(|&(_, s)| s))
+        } else {
+            f64::INFINITY
+        };
+
+        // Phase B: bounded block scoring of the deferred rows. Rows that
+        // gained a cache entry during phase A resolve as dedup hits.
+        self.block.clear();
+        self.block_tis.clear();
+        self.cuts.clear();
+        for i in 0..self.deferred.len() {
+            let ti = self.deferred[i];
+            let row = &self.rows[ti * FEATURE_COUNT..(ti + 1) * FEATURE_COUNT];
+            if let Some(&s) = self.cache.get(&row_key(row)) {
+                self.rows_deduped += 1;
+                self.computed.push((ti, s));
+                continue;
+            }
+            self.block.extend_from_slice(row);
+            self.block_tis.push(ti);
+            self.cuts
+                .push(static_cut(row, &targets[ti], tags, cfg).min(fifth));
+        }
+        let n = self.block_tis.len();
+        self.out.clear();
+        self.out.resize(n, 0.0);
+        self.pruned_flags.clear();
+        self.pruned_flags.resize(n, false);
+        flat.score_block_bounded(
+            &self.block,
+            FEATURE_COUNT,
+            &self.cuts,
+            &mut self.out,
+            &mut self.pruned_flags,
+        );
+        for (i, &ti) in self.block_tis.iter().enumerate() {
+            if self.pruned_flags[i] {
+                self.pairs_pruned += 1;
+                self.pruned.push(ti);
+            } else {
+                let s = self.out[i];
+                self.cache.insert(
+                    row_key(&self.block[i * FEATURE_COUNT..(i + 1) * FEATURE_COUNT]),
+                    s,
+                );
+                self.computed.push((ti, s));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn fifth_highest_thresholds() {
+        assert_eq!(fifth_highest([].into_iter()), f64::NEG_INFINITY);
+        assert_eq!(
+            fifth_highest([0.9, 0.8, 0.7, 0.6].into_iter()),
+            f64::NEG_INFINITY,
+            "fewer than five scores must not enable vote pruning"
+        );
+        assert_eq!(fifth_highest([0.9, 0.8, 0.7, 0.6, 0.5].into_iter()), 0.5);
+        assert_eq!(
+            fifth_highest([0.1, 0.9, 0.8, 0.2, 0.7, 0.6, 0.5].into_iter()),
+            0.5
+        );
+        // Duplicates: the fifth-highest of the multiset.
+        assert_eq!(
+            fifth_highest([0.9, 0.9, 0.9, 0.9, 0.9, 0.1].into_iter()),
+            0.9
+        );
+    }
+
+    #[test]
+    fn row_keys_are_bit_exact() {
+        let a = [0.0f64; FEATURE_COUNT];
+        let mut b = [0.0f64; FEATURE_COUNT];
+        b[3] = -0.0;
+        assert_ne!(row_key(&a), row_key(&b), "-0.0 and 0.0 must key apart");
+        assert_eq!(row_key(&a), row_key(&a.to_vec()));
+    }
+
+    #[test]
+    fn row_hasher_spreads_keys() {
+        let build = BuildHasherDefault::<RowHasher>::default();
+        let mut row = [0.5f64; FEATURE_COUNT];
+        let h1 = build.hash_one(row_key(&row));
+        row[0] = 0.5000001;
+        let h2 = build.hash_one(row_key(&row));
+        assert_ne!(h1, h2);
+    }
+}

@@ -35,6 +35,14 @@ pub struct FlatForest {
     left: Vec<u32>,
     right: Vec<u32>,
     roots: Vec<u32>,
+    /// Per node: the maximum leaf probability reachable in its subtree,
+    /// computed at flatten time. A subtree with `max_leaf < 0.5` can never
+    /// produce a "related" vote, so traversal may stop at its root.
+    max_leaf: Vec<f64>,
+    /// `suffix_possible[t]` = number of trees in `t..n_trees` whose root
+    /// `max_leaf >= 0.5`, i.e. an upper bound on the votes the remaining
+    /// trees can still contribute. Length `n_trees + 1` (last entry 0).
+    suffix_possible: Vec<u32>,
 }
 
 impl FlatForest {
@@ -66,6 +74,17 @@ impl FlatForest {
         debug_assert!(!nodes.is_empty(), "a grown tree always has a root");
         let root = self.emit(nodes, 0, keep);
         self.roots.push(root);
+        self.rebuild_suffix_bounds();
+    }
+
+    /// Recompute `suffix_possible` from the per-root `max_leaf` bounds.
+    fn rebuild_suffix_bounds(&mut self) {
+        self.suffix_possible.clear();
+        self.suffix_possible.resize(self.roots.len() + 1, 0);
+        for t in (0..self.roots.len()).rev() {
+            let possible = (self.max_leaf[self.roots[t] as usize] >= 0.5) as u32;
+            self.suffix_possible[t] = self.suffix_possible[t + 1] + possible;
+        }
     }
 
     /// Emit the subtree rooted at `id` into the flat arrays; returns its
@@ -99,6 +118,8 @@ impl FlatForest {
                 let r = self.emit(nodes, *right, keep);
                 self.left[at as usize] = l;
                 self.right[at as usize] = r;
+                self.max_leaf[at as usize] =
+                    self.max_leaf[l as usize].max(self.max_leaf[r as usize]);
                 at
             }
         }
@@ -111,6 +132,10 @@ impl FlatForest {
         self.threshold.push(threshold);
         self.left.push(0);
         self.right.push(0);
+        // Leaves carry their probability; splits are patched after both
+        // children have been emitted.
+        self.max_leaf
+            .push(if feature == LEAF { threshold } else { 0.0 });
         at as u32
     }
 
@@ -149,6 +174,106 @@ impl FlatForest {
     /// Hard prediction at threshold 0.5 (majority vote).
     pub fn predict_slice(&self, x: &[f64]) -> bool {
         self.predict_proba_slice(x) >= 0.5
+    }
+
+    /// Whether `tree` (rooted at flat offset `at`) votes "related" for
+    /// `x`. Equivalent to `tree_leaf(..) >= 0.5`, but abandons any
+    /// subtree whose `max_leaf` bound already rules the vote out.
+    #[inline]
+    fn vote_from(&self, mut at: usize, x: &[f64]) -> bool {
+        loop {
+            if self.max_leaf[at] < 0.5 {
+                return false;
+            }
+            let f = self.feature[at];
+            if f == LEAF {
+                return self.threshold[at] >= 0.5;
+            }
+            at = if x[f as usize] <= self.threshold[at] {
+                self.left[at] as usize
+            } else {
+                self.right[at] as usize
+            };
+        }
+    }
+
+    /// Score a block of rows laid out row-major with the given `stride`
+    /// (`rows.len() == out.len() * stride`). Trees form the outer loop so
+    /// each tree's nodes stay hot across the whole block; per-row results
+    /// are bit-identical to [`FlatForest::predict_proba_slice`] (votes
+    /// accumulate as exact small integers in f64, divided once at the
+    /// end). An empty forest scores every row 0.5.
+    pub fn score_block(&self, rows: &[f64], stride: usize, out: &mut [f64]) {
+        assert!(stride > 0, "stride must be positive");
+        assert_eq!(rows.len(), out.len() * stride, "rows/out shape mismatch");
+        if self.roots.is_empty() {
+            out.fill(0.5);
+            return;
+        }
+        out.fill(0.0);
+        for &root in &self.roots {
+            for (o, row) in out.iter_mut().zip(rows.chunks_exact(stride)) {
+                if self.vote_from(root as usize, row) {
+                    *o += 1.0;
+                }
+            }
+        }
+        let n_trees = self.roots.len() as f64;
+        for o in out.iter_mut() {
+            *o /= n_trees;
+        }
+    }
+
+    /// Score a block of rows with per-row pruning cuts: row `i` is
+    /// abandoned (`pruned[i] = true`, `out[i]` unspecified) as soon as
+    /// `(votes_so_far + suffix_possible) / n_trees` falls strictly below
+    /// `cuts[i]`, which proves the exact score would also be `< cuts[i]`.
+    /// Rows that survive receive their exact score, bit-identical to
+    /// [`FlatForest::predict_proba_slice`]. Returns the number of rows
+    /// pruned. A cut of `f64::NEG_INFINITY` disables pruning for a row;
+    /// `f64::INFINITY` prunes it before any tree is evaluated.
+    pub fn score_block_bounded(
+        &self,
+        rows: &[f64],
+        stride: usize,
+        cuts: &[f64],
+        out: &mut [f64],
+        pruned: &mut [bool],
+    ) -> usize {
+        assert!(stride > 0, "stride must be positive");
+        assert_eq!(rows.len(), out.len() * stride, "rows/out shape mismatch");
+        assert_eq!(cuts.len(), out.len(), "cuts/out shape mismatch");
+        assert_eq!(pruned.len(), out.len(), "pruned/out shape mismatch");
+        if self.roots.is_empty() {
+            out.fill(0.5);
+            pruned.fill(false);
+            return 0;
+        }
+        let n_trees = self.roots.len() as f64;
+        let mut n_pruned = 0usize;
+        let rows_iter = rows.chunks_exact(stride).zip(cuts.iter());
+        for ((row, &cut), (o, p)) in rows_iter.zip(out.iter_mut().zip(pruned.iter_mut())) {
+            let mut votes = 0u32;
+            let mut cut_hit = false;
+            for (&root, &possible) in self.roots.iter().zip(self.suffix_possible.iter()) {
+                // Upper bound on the final score before evaluating this
+                // tree: every not-yet-scored tree that *can* vote does.
+                if ((votes + possible) as f64) / n_trees < cut {
+                    cut_hit = true;
+                    break;
+                }
+                if self.vote_from(root as usize, row) {
+                    votes += 1;
+                }
+            }
+            *p = cut_hit;
+            if cut_hit {
+                n_pruned += 1;
+            } else {
+                *o = votes as f64 / n_trees;
+            }
+        }
+        n_pruned
     }
 
     /// Number of flattened trees.
@@ -252,5 +377,94 @@ mod tests {
     fn empty_forest_predicts_half() {
         let flat = FlatForest::default();
         assert_eq!(flat.predict_proba_slice(&[1.0]), 0.5);
+    }
+
+    fn random_block(n_rows: usize, stride: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n_rows * stride)
+            .map(|_| rng.random_range(-0.2..1.2))
+            .collect()
+    }
+
+    #[test]
+    fn score_block_matches_per_row_scoring() {
+        let data = noisy(300, 21);
+        let rf = RandomForest::fit(
+            &data,
+            RandomForestConfig {
+                n_trees: 24,
+                ..Default::default()
+            },
+        );
+        let flat = FlatForest::from_forest(&rf);
+        for n_rows in [0usize, 1, 7, 64, 200] {
+            let rows = random_block(n_rows, 3, 22 + n_rows as u64);
+            let mut out = vec![f64::NAN; n_rows];
+            flat.score_block(&rows, 3, &mut out);
+            for (o, row) in out.iter().zip(rows.chunks_exact(3)) {
+                assert_eq!(o.to_bits(), flat.predict_proba_slice(row).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_scoring_is_exact_or_provably_below_cut() {
+        let data = noisy(300, 23);
+        let rf = RandomForest::fit(
+            &data,
+            RandomForestConfig {
+                n_trees: 17,
+                ..Default::default()
+            },
+        );
+        let flat = FlatForest::from_forest(&rf);
+        let n_rows = 150;
+        let rows = random_block(n_rows, 3, 24);
+        let mut rng = StdRng::seed_from_u64(25);
+        let cuts: Vec<f64> = (0..n_rows)
+            .map(|i| match i % 4 {
+                0 => f64::NEG_INFINITY,
+                1 => f64::INFINITY,
+                _ => rng.random_range(0.0..1.0),
+            })
+            .collect();
+        let mut out = vec![f64::NAN; n_rows];
+        let mut pruned = vec![false; n_rows];
+        let n_pruned = flat.score_block_bounded(&rows, 3, &cuts, &mut out, &mut pruned);
+        assert_eq!(n_pruned, pruned.iter().filter(|&&p| p).count());
+        assert!(n_pruned > 0, "infinite cuts must prune");
+        let mut saw_survivor_above_cut = false;
+        for i in 0..n_rows {
+            let exact = flat.predict_proba_slice(&rows[i * 3..(i + 1) * 3]);
+            if pruned[i] {
+                assert!(exact < cuts[i], "pruned row {i} had score {exact} >= cut");
+            } else {
+                assert_eq!(out[i].to_bits(), exact.to_bits(), "row {i}");
+                if exact >= cuts[i] {
+                    saw_survivor_above_cut = true;
+                }
+            }
+            if cuts[i] == f64::NEG_INFINITY {
+                assert!(!pruned[i], "NEG_INFINITY cut must never prune");
+            }
+            if cuts[i] == f64::INFINITY {
+                assert!(pruned[i], "INFINITY cut must always prune");
+            }
+        }
+        assert!(saw_survivor_above_cut);
+    }
+
+    #[test]
+    fn empty_forest_block_paths() {
+        let flat = FlatForest::default();
+        let rows = [0.0, 1.0];
+        let mut out = [f64::NAN; 2];
+        flat.score_block(&rows, 1, &mut out);
+        assert_eq!(out, [0.5, 0.5]);
+        let mut pruned = [true; 2];
+        let n = flat.score_block_bounded(&rows, 1, &[0.9, 0.1], &mut out, &mut pruned);
+        assert_eq!(n, 0);
+        assert_eq!(out, [0.5, 0.5]);
+        assert_eq!(pruned, [false, false]);
     }
 }

@@ -74,6 +74,71 @@ proptest! {
         }
     }
 
+    /// Block-wise scoring (trees outer, rows inner) is bit-identical to
+    /// per-row scoring for arbitrary forests and block sizes.
+    #[test]
+    fn score_block_equals_per_row_score(
+        seed in 0u64..400,
+        n in 12usize..80,
+        nf in 1usize..6,
+        n_trees in 1usize..12,
+        n_rows in 0usize..64,
+    ) {
+        let data = random_dataset(n, nf, seed);
+        let rf = RandomForest::fit(
+            &data,
+            RandomForestConfig { n_trees, seed, ..Default::default() },
+        );
+        let flat = FlatForest::from_forest(&rf);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xB10C);
+        let rows: Vec<f64> = (0..n_rows * nf).map(|_| rng.random_range(-2.0..2.0)).collect();
+        let mut out = vec![f64::NAN; n_rows];
+        flat.score_block(&rows, nf, &mut out);
+        for (o, row) in out.iter().zip(rows.chunks_exact(nf)) {
+            prop_assert_eq!(o.to_bits(), flat.predict_proba_slice(row).to_bits());
+        }
+    }
+
+    /// Bounded block scoring either returns the exact per-row score or
+    /// prunes a row whose exact score is provably below its cut.
+    #[test]
+    fn bounded_block_prunes_only_below_cut(
+        seed in 0u64..400,
+        n in 12usize..80,
+        nf in 1usize..6,
+        n_trees in 1usize..12,
+        n_rows in 1usize..48,
+        cut_seed in 0u64..100,
+    ) {
+        let data = random_dataset(n, nf, seed);
+        let rf = RandomForest::fit(
+            &data,
+            RandomForestConfig { n_trees, seed, ..Default::default() },
+        );
+        let flat = FlatForest::from_forest(&rf);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC07);
+        let rows: Vec<f64> = (0..n_rows * nf).map(|_| rng.random_range(-2.0..2.0)).collect();
+        let mut cut_rng = StdRng::seed_from_u64(cut_seed);
+        let cuts: Vec<f64> = (0..n_rows)
+            .map(|i| match i % 3 {
+                0 => f64::NEG_INFINITY,
+                _ => cut_rng.random_range(-0.1..1.1),
+            })
+            .collect();
+        let mut out = vec![f64::NAN; n_rows];
+        let mut pruned = vec![false; n_rows];
+        let n_pruned = flat.score_block_bounded(&rows, nf, &cuts, &mut out, &mut pruned);
+        prop_assert_eq!(n_pruned, pruned.iter().filter(|&&p| p).count());
+        for i in 0..n_rows {
+            let exact = flat.predict_proba_slice(&rows[i * nf..(i + 1) * nf]);
+            if pruned[i] {
+                prop_assert!(exact < cuts[i], "row {} score {} >= cut {}", i, exact, cuts[i]);
+            } else {
+                prop_assert_eq!(out[i].to_bits(), exact.to_bits());
+            }
+        }
+    }
+
     /// Baking a feature mask into the flat layout equals zeroing the
     /// masked features of every probe before recursive traversal.
     #[test]

@@ -4,7 +4,11 @@
 //! recursive `predict_proba`) exactly — same f64 bits, not "close".
 //!
 //! Coverage: well-formed seeded corpus documents (>= 1000 pairs) and one
-//! document per adversarial chaos family under a tight budget.
+//! document per adversarial chaos family under a tight budget. The
+//! batched engine (dedup cache + exact bound-based pruning, see
+//! `briq_core::scoring`) is additionally held to the same standard
+//! against the exhaustive score-everything reference and against itself
+//! with pruning disabled (`BRIQ_NO_PRUNE=1`).
 
 use briq_core::classifier::PairClassifier;
 use briq_core::features::{feature_vector, FeatureMask, PairFeaturizer, FEATURE_COUNT};
@@ -162,6 +166,135 @@ fn flat_classifier_matches_recursive_forest_on_every_mask() {
                 clf.forest().predict_proba(&masked).to_bits(),
                 "mask {mask:?}"
             );
+        }
+    }
+}
+
+/// Compare two per-mention candidate lists for bit-exact equality.
+fn assert_candidates_bit_equal(
+    a: &[Vec<briq_core::filtering::Candidate>],
+    b: &[Vec<briq_core::filtering::Candidate>],
+    scope: &str,
+) {
+    assert_eq!(a.len(), b.len(), "{scope}: mention count");
+    for (mi, (ca, cb)) in a.iter().zip(b).enumerate() {
+        assert_eq!(ca.len(), cb.len(), "{scope}: mention {mi} candidate count");
+        for (x, y) in ca.iter().zip(cb) {
+            assert_eq!(x.target, y.target, "{scope}: mention {mi}");
+            assert_eq!(
+                x.score.to_bits(),
+                y.score.to_bits(),
+                "{scope}: mention {mi} target {} score {} vs {}",
+                x.target,
+                x.score,
+                y.score
+            );
+        }
+    }
+}
+
+/// Compare two alignment lists for bit-exact equality (PartialEq on
+/// `Alignment` compares scores by value; pin the bits too).
+fn assert_alignments_bit_equal(
+    a: &[briq_core::mention::Alignment],
+    b: &[briq_core::mention::Alignment],
+    scope: &str,
+) {
+    assert_eq!(a, b, "{scope}: alignments differ");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(
+            x.score.to_bits(),
+            y.score.to_bits(),
+            "{scope}: score bits differ for {:?}",
+            x.mention_raw
+        );
+    }
+}
+
+#[test]
+fn pruned_path_matches_exhaustive_filtering() {
+    // The dedup + bound-based-pruning engine on the alignment hot path
+    // must be unobservable: identical filtering survivors (same targets,
+    // same f64 bits), identical stats, identical final alignments —
+    // against both the exhaustive `score_document` + `filter` reference
+    // and the engine with pruning switched off via BRIQ_NO_PRUNE=1.
+    // A trained classifier so bound-based pruning actually engages (the
+    // untrained heuristic path only dedups).
+    let corpus = generate_corpus(&CorpusConfig {
+        n_documents: 40,
+        seed: 20190408,
+        ..Default::default()
+    });
+    let mut docs = corpus.documents;
+    briq_corpus::annotate::annotate(
+        &mut docs,
+        &briq_corpus::annotate::AnnotatorConfig::default(),
+    );
+    let split = briq_ml::split::random_split(docs.len(), 0.15, 0.25, 1);
+    let train: Vec<_> = split.train.iter().map(|&i| docs[i].clone()).collect();
+    let val: Vec<_> = split.validation.iter().map(|&i| docs[i].clone()).collect();
+    let cfg = BriqConfig {
+        forest: RandomForestConfig {
+            n_trees: 24,
+            ..Default::default()
+        },
+        tagger_forest: RandomForestConfig {
+            n_trees: 12,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let briq = Briq::train(cfg, &train, &val);
+    assert!(briq.is_trained());
+
+    let mut pairs = 0usize;
+    let mut saved = 0u64;
+    for (i, ld) in docs.iter().enumerate() {
+        let scope = format!("corpus doc {i}");
+        let doc = &ld.document;
+
+        // Exhaustive reference: full score matrix, then the filter.
+        let sd = briq.score_document(doc);
+        pairs += sd.mentions.len() * sd.targets.len();
+        let (cand_ref, stats_ref) = briq.filter(&sd);
+
+        // Hot path with pruning on (default), then off.
+        let (al_on, stats_on, cand_on) = briq.align_detailed(doc);
+        std::env::set_var("BRIQ_NO_PRUNE", "1");
+        let (al_off, stats_off, cand_off) = briq.align_detailed(doc);
+        std::env::remove_var("BRIQ_NO_PRUNE");
+
+        assert_candidates_bit_equal(&cand_on, &cand_ref, &format!("{scope} on-vs-ref"));
+        assert_candidates_bit_equal(&cand_on, &cand_off, &format!("{scope} on-vs-off"));
+        assert_eq!(stats_on, stats_ref, "{scope}: stats on-vs-ref");
+        assert_eq!(stats_on, stats_off, "{scope}: stats on-vs-off");
+        assert_alignments_bit_equal(&al_on, &al_off, &scope);
+
+        // The engine must actually be saving work somewhere in the run.
+        let (_, _, timings) = briq.align_timed(doc, &Budget::unlimited());
+        saved += timings.rows_deduped + timings.pairs_pruned;
+    }
+    assert!(pairs >= 1000, "only {pairs} pairs exercised");
+    assert!(
+        saved > 0,
+        "dedup + pruning never engaged over {pairs} pairs"
+    );
+
+    // Every adversarial chaos family, under the tight budget: pruning
+    // on/off must stay byte-identical even on degraded documents.
+    let budget = Budget {
+        max_regex_steps: 10_000,
+        max_virtual_cells_per_table: 120,
+        max_graph_edges: 1_500,
+        max_rwr_iterations: 40,
+    };
+    for kind in Adversary::ALL {
+        for doc in adversarial_documents(kind, 20190408) {
+            let (al_on, _) = briq.align_checked_with(&doc, &budget);
+            std::env::set_var("BRIQ_NO_PRUNE", "1");
+            let (al_off, _) = briq.align_checked_with(&doc, &budget);
+            std::env::remove_var("BRIQ_NO_PRUNE");
+            assert_alignments_bit_equal(&al_on, &al_off, kind.name());
         }
     }
 }
