@@ -30,12 +30,19 @@
 #                plus the dedup+prune engine line
 #                (classifier-throughput-deduped) — never gating, the
 #                absolute numbers are host-dependent.
-#   determinism  briq-align over the same seeded page corpus three times:
-#                --jobs 1, --jobs $(nproc or 8), and --jobs 1 with
-#                BRIQ_NO_PRUNE=1 (bound-based pruning disabled); fails
-#                unless alignment stdout and the diagnostics JSONL (which
-#                carries no timings) are byte-for-byte identical across all
-#                three — worker count AND pruning must be unobservable.
+#   determinism  briq-align over the same seeded page corpus four times:
+#                --jobs 1, --jobs $(nproc or 8), --jobs 1 with
+#                BRIQ_NO_PRUNE=1 (bound-based pruning disabled), and
+#                --jobs 1 with --trace/--metrics (observability recording
+#                on); fails unless alignment stdout and the diagnostics
+#                JSONL (which carries no timings) are byte-for-byte
+#                identical across all four — worker count, pruning, AND
+#                tracing must be unobservable in the output. The traced
+#                run's trace file must also be non-empty valid-ish JSON.
+#   docs         cargo doc --workspace --no-deps with RUSTDOCFLAGS set to
+#                -D warnings: every rustdoc warning (broken intra-doc
+#                link, missing docs where #![warn(missing_docs)] is on)
+#                fails the gate.
 #
 # Every stage prints its wall-clock; a summary table is printed at the end.
 set -uo pipefail
@@ -45,7 +52,7 @@ NPROC="$(nproc 2>/dev/null || echo 1)"
 SPEEDUP_MIN="${SPEEDUP_MIN:-2.0}"
 BENCH_DOCS="${BENCH_DOCS:-60}"
 BENCH_SEED="${BENCH_SEED:-20190408}"
-ALL_STAGES=(fmt clippy build test bench-smoke determinism)
+ALL_STAGES=(fmt clippy build test docs bench-smoke determinism)
 
 stage_fmt() {
     cargo fmt --all --check
@@ -61,6 +68,10 @@ stage_build() {
 
 stage_test() {
     cargo test --offline --workspace -q
+}
+
+stage_docs() {
+    RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps -q
 }
 
 stage_bench_smoke() {
@@ -156,7 +167,38 @@ stage_determinism() {
         diff "$dir/diag_1.jsonl" "$dir/diag_np.jsonl" | head -20 >&2
         return 1
     }
-    echo "determinism: --jobs 1, --jobs $jobs_hi, and BRIQ_NO_PRUNE=1 byte-identical ($(wc -c < "$dir/out_1.json") bytes of alignments)"
+    # Fourth run with observability recording on: spans/metrics are
+    # observation-only, so the traced run must match byte for byte too,
+    # and must actually produce the trace and metrics artifacts.
+    local rc_tr
+    ./target/release/briq-align --batch "$dir/corpus" --jobs 1 --json \
+        --diagnostics "$dir/diag_tr.jsonl" \
+        --trace "$dir/trace.json" --metrics "$dir/metrics.jsonl" \
+        > "$dir/out_tr.json" 2> /dev/null
+    rc_tr=$?
+    if [ "$rc_tr" -ne "$rc1" ]; then
+        echo "determinism: exit code diverged with --trace/--metrics ($rc_tr vs $rc1)" >&2
+        return 1
+    fi
+    cmp -s "$dir/out_1.json" "$dir/out_tr.json" || {
+        echo "determinism: alignment output differs with --trace/--metrics on" >&2
+        diff "$dir/out_1.json" "$dir/out_tr.json" | head -20 >&2
+        return 1
+    }
+    cmp -s "$dir/diag_1.jsonl" "$dir/diag_tr.jsonl" || {
+        echo "determinism: diagnostics JSONL differs with --trace/--metrics on" >&2
+        diff "$dir/diag_1.jsonl" "$dir/diag_tr.jsonl" | head -20 >&2
+        return 1
+    }
+    grep -q '"traceEvents"' "$dir/trace.json" || {
+        echo "determinism: trace file missing traceEvents" >&2
+        return 1
+    }
+    grep -q '"pairs_scored"' "$dir/metrics.jsonl" || {
+        echo "determinism: metrics JSONL missing pairs_scored" >&2
+        return 1
+    }
+    echo "determinism: --jobs 1, --jobs $jobs_hi, BRIQ_NO_PRUNE=1, and --trace/--metrics byte-identical ($(wc -c < "$dir/out_1.json") bytes of alignments)"
 }
 
 known_stage() {

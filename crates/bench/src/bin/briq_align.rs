@@ -3,6 +3,7 @@
 //! ```text
 //! briq-align <page.html>... [--batch dir] [--jobs N] [--model model.json]
 //!            [--json] [--diagnostics diag.jsonl]
+//!            [--trace trace.json] [--metrics metrics.jsonl]
 //! briq-align --train-demo model.json       # train on a synthetic corpus
 //! briq-align --gen-corpus dir [--docs N] [--seed S] [--per-page K]
 //! ```
@@ -21,7 +22,16 @@
 //! non-converged walk) becomes one JSON object with its scope prefixed by
 //! the document's batch index; `--diagnostics` writes them as JSON Lines,
 //! otherwise they go to stderr. Timings never appear in the JSONL, so it
-//! is byte-stable across worker counts. Exit codes:
+//! is byte-stable across worker counts.
+//!
+//! `--trace <file>` writes a Chrome `trace_event` JSON file (open it in
+//! `chrome://tracing` or <https://ui.perfetto.dev>) with one track per
+//! document; `--metrics <file>` writes the merged metrics registry as
+//! JSON Lines and prints a summary table to stderr. Both only *observe*:
+//! alignment stdout and the diagnostics JSONL are byte-identical with and
+//! without them (CI's determinism stage enforces this). See
+//! OPERATIONS.md for a walkthrough and DESIGN.md §11 for every metric
+//! name. Exit codes:
 //!
 //! * `0` — all documents aligned cleanly;
 //! * `1` — usage or I/O error;
@@ -38,7 +48,8 @@ use std::process::ExitCode;
 const EXIT_DEGRADED: u8 = 2;
 
 const USAGE: &str = "usage: briq-align <page.html>... [--batch dir] [--jobs N] \
-     [--model model.json] [--json] [--diagnostics diag.jsonl]\n       \
+     [--model model.json] [--json] [--diagnostics diag.jsonl] \
+     [--trace trace.json] [--metrics metrics.jsonl]\n       \
      briq-align --train-demo <model.json>\n       \
      briq-align --gen-corpus <dir> [--docs N] [--seed S] [--per-page K]";
 
@@ -49,6 +60,8 @@ struct Cli {
     as_json: bool,
     model: Option<String>,
     diagnostics: Option<String>,
+    trace: Option<String>,
+    metrics: Option<String>,
 }
 
 fn main() -> ExitCode {
@@ -115,7 +128,13 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let report = briq.align_batch(&docs, &BatchConfig::with_jobs(cli.jobs));
+    // Per-document tracing is needed for either export; it never changes
+    // alignment output (CI byte-compares a traced run to enforce that).
+    let cfg = BatchConfig {
+        trace: cli.trace.is_some() || cli.metrics.is_some(),
+        ..BatchConfig::with_jobs(cli.jobs)
+    };
+    let report = briq.align_batch(&docs, &cfg);
     for (doc, dr) in docs.iter().zip(&report.documents) {
         if cli.as_json {
             println!("{}", briq_json::to_string_pretty(&dr.alignments));
@@ -136,6 +155,23 @@ fn main() -> ExitCode {
                 );
             }
         }
+    }
+
+    if let Some(path) = &cli.trace {
+        if let Err(e) = std::fs::write(path, report.chrome_trace()) {
+            eprintln!("cannot write trace to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("trace written to {path} (open in chrome://tracing or ui.perfetto.dev)");
+    }
+    if let Some(path) = &cli.metrics {
+        let metrics = report.merged_metrics();
+        if let Err(e) = std::fs::write(path, metrics.to_jsonl()) {
+            eprintln!("cannot write metrics to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprint!("{}", metrics.summary_table());
+        eprintln!("metrics written to {path}");
     }
 
     let all_diags = report.combined_diagnostics();
@@ -166,6 +202,8 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         as_json: false,
         model: None,
         diagnostics: None,
+        trace: None,
+        metrics: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -186,6 +224,8 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             }
             "--model" => cli.model = Some(value("--model")?),
             "--diagnostics" => cli.diagnostics = Some(value("--diagnostics")?),
+            "--trace" => cli.trace = Some(value("--trace")?),
+            "--metrics" => cli.metrics = Some(value("--metrics")?),
             "--batch" => {
                 let dir = value("--batch")?;
                 cli.pages.extend(html_files_in(&dir)?);

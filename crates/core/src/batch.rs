@@ -29,7 +29,9 @@ use briq_table::Document;
 
 use crate::error::{BriqError, Budget, DegradedAction, Diagnostics, Stage};
 use crate::mention::Alignment;
+use crate::obs::{chrome_trace_json, names, DocTrace, MetricsRegistry, Recorder};
 use crate::pipeline::Briq;
+use crate::span;
 
 /// `Briq` is shared by reference across the worker pool; if a future
 /// field (e.g. an interior-mutable cache) breaks that, this fails to
@@ -118,6 +120,10 @@ pub struct BatchConfig {
     pub chunk: usize,
     /// Budget applied to every document independently.
     pub budget: Budget,
+    /// Record a per-document span trace and metrics (see [`crate::obs`]).
+    /// Recording is worker-local and observation-only: alignments and
+    /// diagnostics are byte-identical with tracing on or off.
+    pub trace: bool,
 }
 
 impl Default for BatchConfig {
@@ -126,6 +132,7 @@ impl Default for BatchConfig {
             jobs: 0,
             chunk: 4,
             budget: Budget::default(),
+            trace: false,
         }
     }
 }
@@ -166,6 +173,10 @@ pub struct DocReport {
     pub diagnostics: Diagnostics,
     /// Per-stage wall-clock for this document.
     pub timings: StageTimings,
+    /// Span trace and metrics recorded for this document — present only
+    /// when [`BatchConfig::trace`] was set (and the document's worker
+    /// did not panic).
+    pub trace: Option<DocTrace>,
 }
 
 /// Load and busy-time of one pool worker.
@@ -265,6 +276,40 @@ impl BatchReport {
         }
         out
     }
+
+    /// Per-document traces merged into one [`MetricsRegistry`], strictly
+    /// in input order, plus the batch-level `documents` /
+    /// `degraded_documents` counters. Counter values and histogram bucket
+    /// counts are identical for every worker count (merging is
+    /// commutative and the iteration order is the input order); only
+    /// wall-clock-derived histogram *values* vary run to run. Documents
+    /// without a trace (tracing off, or a panicked worker) contribute
+    /// their coarse [`StageTimings`] instead, so the registry is useful
+    /// even on an untraced run.
+    pub fn merged_metrics(&self) -> MetricsRegistry {
+        let mut out = MetricsRegistry::new();
+        for d in &self.documents {
+            match &d.trace {
+                Some(t) => out.merge(&t.metrics),
+                None => out.absorb_timings(&d.timings),
+            }
+        }
+        out.count(names::DOCUMENTS, self.documents.len() as u64);
+        out.count(names::DEGRADED_DOCUMENTS, self.degraded_documents() as u64);
+        out
+    }
+
+    /// The batch's traces as one Chrome `trace_event` JSON file (see
+    /// [`chrome_trace_json`]): one track per document, on the shared
+    /// batch timeline. Empty-but-valid when nothing was traced.
+    pub fn chrome_trace(&self) -> String {
+        let traced: Vec<(usize, &DocTrace)> = self
+            .documents
+            .iter()
+            .filter_map(|d| d.trace.as_ref().map(|t| (d.index, t)))
+            .collect();
+        chrome_trace_json(&traced)
+    }
 }
 
 /// Align every document of `docs` with a shared `briq`, using
@@ -291,7 +336,8 @@ pub fn align_batch(briq: &Briq, docs: &[Document], cfg: &BatchConfig) -> BatchRe
             docs,
             &AtomicUsize::new(0),
             chunk,
-            &cfg.budget,
+            cfg,
+            start,
         )]
     } else {
         let next = AtomicUsize::new(0);
@@ -299,7 +345,7 @@ pub fn align_batch(briq: &Briq, docs: &[Document], cfg: &BatchConfig) -> BatchRe
             let handles: Vec<_> = (0..jobs)
                 .map(|w| {
                     let next = &next;
-                    scope.spawn(move || run_worker(w, briq, docs, next, chunk, &cfg.budget))
+                    scope.spawn(move || run_worker(w, briq, docs, next, chunk, cfg, start))
                 })
                 .collect();
             handles
@@ -353,13 +399,15 @@ pub fn align_batch(briq: &Briq, docs: &[Document], cfg: &BatchConfig) -> BatchRe
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_worker(
     worker: usize,
     briq: &Briq,
     docs: &[Document],
     next: &AtomicUsize,
     chunk: usize,
-    budget: &Budget,
+    cfg: &BatchConfig,
+    epoch: Instant,
 ) -> (WorkerStats, Vec<DocReport>) {
     let mut out = Vec::new();
     let mut busy_s = 0.0f64;
@@ -371,7 +419,7 @@ fn run_worker(
         let hi = (lo + chunk).min(docs.len());
         for (i, doc) in docs[lo..hi].iter().enumerate() {
             let t0 = Instant::now();
-            out.push(align_one(briq, lo + i, doc, budget));
+            out.push(align_one(briq, lo + i, doc, cfg, epoch));
             busy_s += t0.elapsed().as_secs_f64();
         }
     }
@@ -385,13 +433,35 @@ fn run_worker(
     )
 }
 
-fn align_one(briq: &Briq, index: usize, doc: &Document, budget: &Budget) -> DocReport {
-    match catch_unwind(AssertUnwindSafe(|| briq.align_timed(doc, budget))) {
-        Ok((alignments, diagnostics, timings)) => DocReport {
+fn align_one(
+    briq: &Briq,
+    index: usize,
+    doc: &Document,
+    cfg: &BatchConfig,
+    epoch: Instant,
+) -> DocReport {
+    // The recorder is worker-local (one per document, never shared), so
+    // recording needs no locks; `epoch` is the batch start, putting every
+    // document's spans on one shared trace timeline.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let rec = if cfg.trace {
+            Recorder::enabled_at(epoch)
+        } else {
+            Recorder::disabled()
+        };
+        let (alignments, diagnostics, timings) = {
+            let _g = span!(rec, names::SPAN_ALIGN, doc = index);
+            briq.align_observed(doc, &cfg.budget, &rec)
+        };
+        (alignments, diagnostics, timings, rec.finish())
+    }));
+    match result {
+        Ok((alignments, diagnostics, timings, trace)) => DocReport {
             index,
             alignments,
             diagnostics,
             timings,
+            trace,
         },
         Err(_) => panicked_report(index),
     }
@@ -412,6 +482,7 @@ fn panicked_report(index: usize) -> DocReport {
         alignments: Vec::new(),
         diagnostics,
         timings: StageTimings::default(),
+        trace: None,
     }
 }
 
@@ -525,6 +596,7 @@ mod tests {
             jobs: 3,
             chunk: 1,
             budget,
+            trace: false,
         };
         let r = align_batch(&briq, &docs, &cfg);
         assert!(
@@ -549,6 +621,7 @@ mod tests {
             jobs: 4,
             chunk: 2,
             budget: Budget::default(),
+            trace: false,
         };
         let r = align_batch(&briq, &docs, &cfg);
         for (i, d) in r.documents.iter().enumerate() {
@@ -612,6 +685,100 @@ mod tests {
         let s = briq_json::to_string(&a);
         let back: StageTimings = briq_json::from_str(&s).expect("round-trips");
         assert_eq!(a, back);
+    }
+
+    #[test]
+    fn traced_batch_output_is_identical_and_trace_merge_is_input_order_deterministic() {
+        let briq = Briq::untrained(BriqConfig::default());
+        let docs: Vec<Document> = (0..9).map(doc).collect();
+        let untraced = align_batch(&briq, &docs, &BatchConfig::with_jobs(2));
+
+        let mut runs = Vec::new();
+        for jobs in [1usize, 3, 8] {
+            let cfg = BatchConfig {
+                jobs,
+                chunk: 1,
+                budget: Budget::default(),
+                trace: true,
+            };
+            let r = align_batch(&briq, &docs, &cfg);
+            // Tracing only observes: alignments and diagnostics match the
+            // untraced run bit for bit.
+            for (t, u) in r.documents.iter().zip(&untraced.documents) {
+                assert_eq!(t.alignments, u.alignments);
+                assert_eq!(t.diagnostics, u.diagnostics);
+            }
+            runs.push(r);
+        }
+
+        // The merged trace is input-order deterministic: per-document span
+        // structure, all counters, and histogram observation counts agree
+        // across jobs 1/3/8 (only wall-clock values may differ).
+        let baseline = &runs[0];
+        for r in &runs[1..] {
+            assert_eq!(r.documents.len(), baseline.documents.len());
+            for (a, b) in r.documents.iter().zip(&baseline.documents) {
+                let (ta, tb) = match (&a.trace, &b.trace) {
+                    (Some(ta), Some(tb)) => (ta, tb),
+                    other => panic!("missing trace: {other:?}"),
+                };
+                assert_eq!(ta.structure(), tb.structure(), "doc {}", a.index);
+                let counters_a: Vec<_> = ta.metrics.counters().collect();
+                let counters_b: Vec<_> = tb.metrics.counters().collect();
+                assert_eq!(counters_a, counters_b, "doc {}", a.index);
+            }
+            let ma = r.merged_metrics();
+            let mb = baseline.merged_metrics();
+            assert_eq!(
+                ma.counters().collect::<Vec<_>>(),
+                mb.counters().collect::<Vec<_>>()
+            );
+            for ((na, ha), (nb, hb)) in ma.histograms().zip(mb.histograms()) {
+                assert_eq!(na, nb);
+                assert_eq!(ha.count(), hb.count(), "histogram {na}");
+            }
+        }
+
+        // The trace covers the pipeline stages and hot-path counters the
+        // acceptance criteria name.
+        let m = baseline.merged_metrics();
+        for name in [names::PAIRS_SCORED, names::ROWS_DEDUPED, names::MENTIONS] {
+            assert!(m.counter(name) > 0, "counter {name} empty");
+        }
+        for span in [
+            names::SPAN_ALIGN,
+            names::SPAN_EXTRACT,
+            names::SPAN_CLASSIFY,
+            names::SPAN_FILTER,
+            names::SPAN_RESOLVE,
+        ] {
+            assert!(
+                m.histogram(&names::span_histogram(span)).is_some(),
+                "span {span} missing from metrics"
+            );
+        }
+        let trace_json = baseline.chrome_trace();
+        let v = briq_json::parse(&trace_json).expect("chrome trace parses");
+        let events = v
+            .get("traceEvents")
+            .and_then(briq_json::Value::as_array)
+            .expect("traceEvents");
+        assert!(events.len() > docs.len(), "{} events", events.len());
+    }
+
+    #[test]
+    fn untraced_reports_still_yield_metrics_from_timings() {
+        let briq = Briq::untrained(BriqConfig::default());
+        let docs = vec![doc(0), doc(1)];
+        let r = align_batch(&briq, &docs, &BatchConfig::with_jobs(1));
+        assert!(r.documents.iter().all(|d| d.trace.is_none()));
+        let m = r.merged_metrics();
+        assert_eq!(m.counter(names::DOCUMENTS), 2);
+        assert!(m.counter(names::PAIRS_SCORED) > 0);
+        // Coarse per-stage latencies come from StageTimings absorption.
+        assert!(m
+            .histogram(&names::span_histogram(names::SPAN_CLASSIFY))
+            .is_some());
     }
 
     #[test]

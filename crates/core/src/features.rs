@@ -385,11 +385,11 @@ struct MentionTableHits {
 /// global overlaps (f3/f5) are folded to constants, the Jaro-Winkler
 /// match buffers live in a reused [`JaroScratch`], and the per-target
 /// row/column unions of f2/f4 are replaced by interned-id bitmask
-/// intersections ([`TableIndex`]) — the unions are never materialized at
-/// all. The f2/f4 denominators only ever need a union size up to the
-/// largest mention-side mass, so union cardinalities are counted with a
-/// cap (see [`TargetInvariants::union_words`]), which keeps per-target
-/// setup O(cap) instead of O(union).
+/// intersections (the private `TableIndex`) — the unions are never
+/// materialized at all. The f2/f4 denominators only ever need a union
+/// size up to the largest mention-side mass, so union cardinalities are
+/// counted with a cap (the private `TargetInvariants::union_words`),
+/// which keeps per-target setup O(cap) instead of O(union).
 pub struct PairFeaturizer<'c> {
     ctx: &'c DocContext,
     mentions: Vec<MentionInvariants>,

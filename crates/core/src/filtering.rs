@@ -156,6 +156,26 @@ impl FilterStats {
         }
         self.kept.values().sum::<usize>() as f64 / t as f64
     }
+
+    /// Emit the per-kind totals into an observability recorder (a no-op
+    /// on a disabled recorder): `filter_total.<kind>` /
+    /// `filter_kept.<kind>` counters plus the overall `candidates_kept`.
+    pub fn record_into(&self, rec: &crate::obs::Recorder) {
+        use crate::obs::names;
+        if !rec.is_enabled() {
+            return;
+        }
+        for (kind, &n) in &self.total {
+            rec.count(&format!("{}{kind}", names::FILTER_TOTAL_PREFIX), n as u64);
+        }
+        for (kind, &n) in &self.kept {
+            rec.count(&format!("{}{kind}", names::FILTER_KEPT_PREFIX), n as u64);
+        }
+        rec.count(
+            names::CANDIDATES_KEPT,
+            self.kept.values().sum::<usize>() as u64,
+        );
+    }
 }
 
 /// Apply adaptive filtering for one text mention.

@@ -50,6 +50,7 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod baselines;
@@ -63,6 +64,7 @@ pub mod filtering;
 pub mod graph_builder;
 pub mod jaro;
 pub mod mention;
+pub mod obs;
 pub mod pipeline;
 pub mod resolution;
 pub mod resolution_ilp;
@@ -75,4 +77,5 @@ pub use error::{BriqError, Budget, DegradedAction, Diagnostic, Diagnostics, Stag
 pub use features::{FeatureMask, FEATURE_COUNT};
 pub use jaro::jaro_winkler;
 pub use mention::{Alignment, GoldAlignment};
+pub use obs::{DocTrace, MetricsRegistry, Recorder};
 pub use pipeline::{Briq, BriqConfig};

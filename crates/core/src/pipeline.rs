@@ -15,8 +15,10 @@ use crate::filtering::{
 };
 use crate::graph_builder::{build_graph_budgeted, GraphConfig};
 use crate::mention::{text_mentions, Alignment, TextMention};
-use crate::resolution::{resolve_budgeted, ResolutionConfig, ResolutionEvent};
+use crate::obs::{names, Recorder};
+use crate::resolution::{resolve_observed, ResolutionConfig, ResolutionEvent};
 use crate::scoring::ScoringEngine;
+use crate::span;
 use crate::tagger::{tagger_features, MentionTagger, TaggerExample};
 use crate::training::{
     build_training_examples, examples_to_dataset, tagger_label, LabeledDocument,
@@ -431,6 +433,7 @@ impl Briq {
         ctx: &DocContext,
         targets: &[TableMention],
         timings: &mut StageTimings,
+        rec: &Recorder,
     ) -> (Vec<Vec<Candidate>>, FilterStats) {
         let no_prune = std::env::var_os("BRIQ_NO_PRUNE").is_some_and(|v| v == "1");
         let mut featurizer = PairFeaturizer::new(mentions, targets, ctx);
@@ -439,34 +442,43 @@ impl Briq {
         let mut candidates = Vec::with_capacity(mentions.len());
         for (mi, x) in mentions.iter().enumerate() {
             let t0 = Instant::now();
-            let mut tags = self.tagger.tags(&tagger_features(x, ctx, doc));
-            if self.cfg.virtual_cells.extended {
-                tags.extend(crate::tagger::extended_lexical_tags(
-                    &ctx.mentions[mi].immediate_words,
-                ));
-            }
-            engine.fill_rows(&mut featurizer, mi);
-            match &self.classifier {
-                Some(clf) => {
-                    engine.score_trained(x, targets, &tags, clf, &self.cfg.filter, !no_prune)
+            let tags = {
+                let _g = span!(rec, names::SPAN_CLASSIFY, mention = mi);
+                let mut tags = self.tagger.tags(&tagger_features(x, ctx, doc));
+                if self.cfg.virtual_cells.extended {
+                    tags.extend(crate::tagger::extended_lexical_tags(
+                        &ctx.mentions[mi].immediate_words,
+                    ));
                 }
-                None => engine.score_heuristic(&self.cfg.mask),
-            }
+                engine.fill_rows(&mut featurizer, mi);
+                match &self.classifier {
+                    Some(clf) => {
+                        engine.score_trained(x, targets, &tags, clf, &self.cfg.filter, !no_prune)
+                    }
+                    None => engine.score_heuristic(&self.cfg.mask),
+                }
+                tags
+            };
             timings.classify_s += t0.elapsed().as_secs_f64();
             let t1 = Instant::now();
-            candidates.push(filter_mention_pruned(
-                x,
-                engine.computed(),
-                engine.pruned_targets(),
-                targets,
-                &tags,
-                &self.cfg.filter,
-                &mut stats,
-            ));
+            {
+                let _g = span!(rec, names::SPAN_FILTER, mention = mi);
+                candidates.push(filter_mention_pruned(
+                    x,
+                    engine.computed(),
+                    engine.pruned_targets(),
+                    targets,
+                    &tags,
+                    &self.cfg.filter,
+                    &mut stats,
+                ));
+            }
             timings.filter_s += t1.elapsed().as_secs_f64();
         }
         timings.rows_deduped += engine.rows_deduped();
         timings.pairs_pruned += engine.pairs_pruned();
+        engine.record_into(rec);
+        stats.record_into(rec);
         (candidates, stats)
     }
 
@@ -528,8 +540,25 @@ impl Briq {
         doc: &Document,
         budget: &Budget,
     ) -> (Vec<Alignment>, Diagnostics, StageTimings) {
+        self.align_observed(doc, budget, &Recorder::disabled())
+    }
+
+    /// [`Briq::align_timed`] with full observability: spans for every
+    /// pipeline stage plus the DESIGN.md §11 counters and histograms are
+    /// recorded into `rec`. The recorder only *observes* — alignments,
+    /// diagnostics, and timings are bit-identical whether it is enabled,
+    /// disabled, or absent (CI byte-compares a traced run to hold this).
+    /// Pass [`Recorder::disabled`] to make this exactly
+    /// [`Briq::align_timed`]: one branch per instrumentation point, no
+    /// allocation.
+    pub fn align_observed(
+        &self,
+        doc: &Document,
+        budget: &Budget,
+        rec: &Recorder,
+    ) -> (Vec<Alignment>, Diagnostics, StageTimings) {
         let mut timings = StageTimings::default();
-        let (alignments, _, _, diags) = self.align_budgeted_timed(doc, budget, &mut timings);
+        let (alignments, _, _, diags) = self.align_budgeted_timed(doc, budget, &mut timings, rec);
         (alignments, diags, timings)
     }
 
@@ -554,15 +583,17 @@ impl Briq {
         Diagnostics,
     ) {
         let mut timings = StageTimings::default();
-        self.align_budgeted_timed(doc, budget, &mut timings)
+        self.align_budgeted_timed(doc, budget, &mut timings, &Recorder::disabled())
     }
 
-    /// [`Briq::align_budgeted`] with per-stage timing accumulation.
+    /// [`Briq::align_budgeted`] with per-stage timing accumulation and
+    /// observability recording.
     fn align_budgeted_timed(
         &self,
         doc: &Document,
         budget: &Budget,
         timings: &mut StageTimings,
+        rec: &Recorder,
     ) -> (
         Vec<Alignment>,
         FilterStats,
@@ -570,24 +601,33 @@ impl Briq {
         Diagnostics,
     ) {
         let t_extract = Instant::now();
-        let (mentions, ctx, targets, mut diags) = self.extract_stage(doc, budget);
+        let (mentions, ctx, targets, mut diags) = {
+            let _g = span!(rec, names::SPAN_EXTRACT);
+            self.extract_stage(doc, budget)
+        };
         timings.extract_s += t_extract.elapsed().as_secs_f64();
+        rec.count(names::MENTIONS, mentions.len() as u64);
+        rec.count(names::TARGETS, targets.len() as u64);
 
         let (candidates, stats) =
-            self.classify_filter_stage(doc, &mentions, &ctx, &targets, timings);
+            self.classify_filter_stage(doc, &mentions, &ctx, &targets, timings, rec);
         timings.pairs_scored += (mentions.len() * targets.len()) as u64;
+        rec.count(names::PAIRS_SCORED, (mentions.len() * targets.len()) as u64);
 
         let t1 = Instant::now();
         let positions: Vec<usize> = ctx.mentions.iter().map(|m| m.token_index).collect();
-        let (ag, edges_truncated) = build_graph_budgeted(
-            &mentions,
-            &positions,
-            ctx.tokens.len(),
-            &targets,
-            &candidates,
-            &self.cfg.graph,
-            budget.max_graph_edges,
-        );
+        let (ag, edges_truncated) = {
+            let _g = span!(rec, names::SPAN_GRAPH);
+            build_graph_budgeted(
+                &mentions,
+                &positions,
+                ctx.tokens.len(),
+                &targets,
+                &candidates,
+                &self.cfg.graph,
+                budget.max_graph_edges,
+            )
+        };
         if edges_truncated {
             diags.record(
                 Stage::GraphConstruction,
@@ -598,12 +638,16 @@ impl Briq {
                 DegradedAction::Truncated,
             );
         }
-        let (resolved, events) = resolve_budgeted(
-            ag,
-            &candidates,
-            &self.cfg.resolution,
-            budget.max_rwr_iterations,
-        );
+        let (resolved, events) = {
+            let _g = span!(rec, names::SPAN_RESOLVE);
+            resolve_observed(
+                ag,
+                &candidates,
+                &self.cfg.resolution,
+                budget.max_rwr_iterations,
+                rec,
+            )
+        };
         for ev in events {
             match ev {
                 ResolutionEvent::NotConverged { mention, report } => diags.record(
@@ -624,7 +668,7 @@ impl Briq {
                 ),
             }
         }
-        let alignments = resolved
+        let alignments: Vec<Alignment> = resolved
             .into_iter()
             .map(|r| {
                 let x = &mentions[r.mention];
@@ -638,6 +682,15 @@ impl Briq {
             })
             .collect();
         timings.resolve_s += t1.elapsed().as_secs_f64();
+        rec.count(names::ALIGNMENTS, alignments.len() as u64);
+        rec.count(
+            names::BUDGET_EXHAUSTIONS,
+            diags
+                .items
+                .iter()
+                .filter(|d| d.action == DegradedAction::Truncated)
+                .count() as u64,
+        );
         (alignments, stats, candidates, diags)
     }
 }

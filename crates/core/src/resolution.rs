@@ -101,11 +101,34 @@ pub fn resolve(
 /// mention. With an unlimited budget this is bit-identical to the
 /// classic [`resolve`].
 pub fn resolve_budgeted(
-    mut ag: AlignmentGraph,
+    ag: AlignmentGraph,
     candidates: &[Vec<Candidate>],
     cfg: &ResolutionConfig,
     max_rwr_iterations: usize,
 ) -> (Vec<Resolved>, Vec<ResolutionEvent>) {
+    resolve_observed(
+        ag,
+        candidates,
+        cfg,
+        max_rwr_iterations,
+        &crate::obs::Recorder::disabled(),
+    )
+}
+
+/// [`resolve_budgeted`] with per-walk observability: every random walk
+/// counts into `rwr_walks`, its power-iteration count feeds the
+/// `rwr_iterations` histogram, and capped/failed walks increment
+/// `rwr_not_converged` / `rwr_fallbacks`. The recorder only observes —
+/// with it disabled (the default everywhere) this *is*
+/// [`resolve_budgeted`], bit for bit.
+pub fn resolve_observed(
+    mut ag: AlignmentGraph,
+    candidates: &[Vec<Candidate>],
+    cfg: &ResolutionConfig,
+    max_rwr_iterations: usize,
+    rec: &crate::obs::Recorder,
+) -> (Vec<Resolved>, Vec<ResolutionEvent>) {
+    use crate::obs::names;
     let m = candidates.len();
 
     // Entropy of each mention's prior distribution; ascending order.
@@ -133,14 +156,18 @@ pub fn resolve_budgeted(
     for &x in &order {
         // Per-mention fault isolation: a failed walk demotes this mention
         // to prior-only scoring; it never takes the document down.
+        rec.count(names::RWR_WALKS, 1);
         let pi = match try_random_walk_with_restart(&ag.graph, ag.text_nodes[x], &rwr) {
             Ok((pi, report)) => {
+                rec.observe(names::RWR_ITERATIONS, report.iterations as f64);
                 if !report.converged {
+                    rec.count(names::RWR_NOT_CONVERGED, 1);
                     events.push(ResolutionEvent::NotConverged { mention: x, report });
                 }
                 Some(pi)
             }
             Err(error) => {
+                rec.count(names::RWR_FALLBACKS, 1);
                 events.push(ResolutionEvent::PriorFallback { mention: x, error });
                 None
             }

@@ -174,6 +174,8 @@ pub struct ScoringEngine {
     deferred: Vec<usize>,
     rows_deduped: u64,
     pairs_pruned: u64,
+    rows_scored_exhaustive: u64,
+    rows_scored_bounded: u64,
 }
 
 impl Default for ScoringEngine {
@@ -198,6 +200,8 @@ impl ScoringEngine {
             deferred: Vec::new(),
             rows_deduped: 0,
             pairs_pruned: 0,
+            rows_scored_exhaustive: 0,
+            rows_scored_bounded: 0,
         }
     }
 
@@ -229,6 +233,18 @@ impl ScoringEngine {
         self.pairs_pruned
     }
 
+    /// Emit the engine's whole-document counters into an observability
+    /// recorder (a no-op on a disabled recorder): dedup hits, pruned
+    /// traversals, and how many rows each scoring phase fully evaluated
+    /// (exhaustive phase A vs. the bounded phase-B kernel).
+    pub fn record_into(&self, rec: &crate::obs::Recorder) {
+        use crate::obs::names;
+        rec.count(names::ROWS_DEDUPED, self.rows_deduped);
+        rec.count(names::PAIRS_PRUNED, self.pairs_pruned);
+        rec.count(names::ROWS_SCORED_EXHAUSTIVE, self.rows_scored_exhaustive);
+        rec.count(names::ROWS_SCORED_BOUNDED, self.rows_scored_bounded);
+    }
+
     /// Score the untrained heuristic prior over the filled rows, with
     /// dedup only — the heuristic costs about as much as evaluating the
     /// bound, so pruning cannot pay for itself there.
@@ -245,6 +261,7 @@ impl ScoringEngine {
                 None => {
                     let s = heuristic_prior_masked(row, mask);
                     self.cache.insert(key, s);
+                    self.rows_scored_exhaustive += 1;
                     s
                 }
             };
@@ -306,6 +323,7 @@ impl ScoringEngine {
         self.out.clear();
         self.out.resize(n, 0.0);
         flat.score_block(&self.block, FEATURE_COUNT, &mut self.out);
+        self.rows_scored_exhaustive += n as u64;
         for (i, &ti) in self.block_tis.iter().enumerate() {
             let s = self.out[i];
             self.cache.insert(
@@ -363,6 +381,7 @@ impl ScoringEngine {
                 self.pairs_pruned += 1;
                 self.pruned.push(ti);
             } else {
+                self.rows_scored_bounded += 1;
                 let s = self.out[i];
                 self.cache.insert(
                     row_key(&self.block[i * FEATURE_COUNT..(i + 1) * FEATURE_COUNT]),

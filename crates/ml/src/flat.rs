@@ -15,6 +15,26 @@
 //! is bit-identical to zeroing the masked columns of the input row before
 //! a recursive traversal, for any forest, which is exactly what
 //! `FeatureMask::apply` used to do per call on an owned copy.
+//!
+//! Three scoring entry points share the layout:
+//!
+//! * [`FlatForest::predict_proba_slice`] — one row, trees in index
+//!   order;
+//! * [`FlatForest::score_block`] — a whole row block with the **tree
+//!   loop outermost**, so each tree's arrays stay hot across the block;
+//!   summation order per row matches `predict_proba_slice` exactly, so
+//!   block scores are bit-identical to row-at-a-time scores;
+//! * [`FlatForest::score_block_bounded`] — `score_block` plus exact
+//!   early abandonment: per-subtree `max_leaf` bounds and per-tree
+//!   `suffix_possible` vote bounds let a row stop as soon as its final
+//!   score *provably* falls below a caller-supplied cut. Rows at or
+//!   above the cut come out bit-identical; rows below it are reported
+//!   as pruned, never mis-scored.
+//!
+//! `briq_core`'s scoring engine drives the block kernels on the
+//! alignment hot path and reports their effect through the
+//! observability counters `rows_deduped` / `pairs_pruned` /
+//! `rows_scored_exhaustive` / `rows_scored_bounded` (DESIGN.md §11).
 
 use crate::forest::RandomForest;
 use crate::tree::{DecisionTree, Node};

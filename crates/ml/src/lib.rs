@@ -17,6 +17,8 @@
 //! * [`split`] — seeded stratified train/validation/test splitting,
 //! * [`gridsearch`] — exhaustive hyper-parameter grid search (§VII-C).
 
+#![warn(missing_docs)]
+
 pub mod analysis;
 pub mod dataset;
 pub mod entropy;

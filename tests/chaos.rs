@@ -126,10 +126,14 @@ fn adversarial_batch_is_deterministic_and_isolated() {
         .collect();
 
     for jobs in [1usize, 3, 8] {
+        // Tracing on: recording is observation-only, so even the
+        // adversarial batch must stay bit-identical to the untraced
+        // sequential path below.
         let cfg = BatchConfig {
             jobs,
             chunk: 2,
             budget,
+            trace: true,
         };
         let report = align_batch(&briq, &docs, &cfg);
         assert_eq!(report.documents.len(), docs.len());
