@@ -39,6 +39,16 @@
 #                identical across all four — worker count, pruning, AND
 #                tracing must be unobservable in the output. The traced
 #                run's trace file must also be non-empty valid-ish JSON.
+#   serve        boots the persistent alignment server (briq-serve) on a
+#                loopback port, byte-compares the drive client's output
+#                against briq-align --json over the same seeded corpus
+#                (the wire path must not drift from the batch path), runs
+#                the fault-injecting chaos client against it, then floods
+#                a deliberately tiny server (--workers 1 --queue-depth 1)
+#                with chaos --expect-shed to prove admission control
+#                sheds deterministically under overload. Both servers
+#                must drain cleanly (exit 0 and a "drained:" line) on
+#                stop. See OPERATIONS.md §9.
 #   docs         cargo doc --workspace --no-deps with RUSTDOCFLAGS set to
 #                -D warnings: every rustdoc warning (broken intra-doc
 #                link, missing docs where #![warn(missing_docs)] is on)
@@ -52,7 +62,7 @@ NPROC="$(nproc 2>/dev/null || echo 1)"
 SPEEDUP_MIN="${SPEEDUP_MIN:-2.0}"
 BENCH_DOCS="${BENCH_DOCS:-60}"
 BENCH_SEED="${BENCH_SEED:-20190408}"
-ALL_STAGES=(fmt clippy build test docs bench-smoke determinism)
+ALL_STAGES=(fmt clippy build test docs bench-smoke determinism serve)
 
 stage_fmt() {
     cargo fmt --all --check
@@ -199,6 +209,110 @@ stage_determinism() {
         return 1
     }
     echo "determinism: --jobs 1, --jobs $jobs_hi, BRIQ_NO_PRUNE=1, and --trace/--metrics byte-identical ($(wc -c < "$dir/out_1.json") bytes of alignments)"
+}
+
+# Boot a briq-serve child, leaving its loopback address in SERVE_ADDR
+# and its pid in SERVE_PID; logs go to $1 / $1.err. Must run in the
+# current shell (not a subshell) so the globals survive. Fails if the
+# listen line never appears.
+boot_server() {
+    local log="$1"
+    shift
+    ./target/release/briq-serve serve --addr 127.0.0.1:0 "$@" \
+        > "$log" 2> "${log}.err" &
+    SERVE_PID=$!
+    SERVE_ADDR=""
+    local tries=0
+    while [ "$tries" -lt 200 ]; do
+        SERVE_ADDR="$(sed -n 's/^listening on //p' "$log" | head -1)"
+        [ -n "$SERVE_ADDR" ] && return 0
+        kill -0 "$SERVE_PID" 2>/dev/null || break
+        sleep 0.05
+        tries=$(( tries + 1 ))
+    done
+    echo "serve: server never printed its listen address" >&2
+    return 1
+}
+
+# Stop the server at $1 (pid $2, stderr log $3) and require a clean
+# drain: exit 0 plus the final drained-report line.
+stop_server() {
+    local addr="$1" pid="$2" errlog="$3" rc
+    ./target/release/briq-serve stop --addr "$addr" || {
+        echo "serve: stop request to $addr failed" >&2
+        return 1
+    }
+    wait "$pid"
+    rc=$?
+    if [ "$rc" -ne 0 ]; then
+        echo "serve: server at $addr exited $rc instead of draining cleanly" >&2
+        tail -5 "$errlog" >&2
+        return 1
+    fi
+    grep -q '^drained: ' "$errlog" || {
+        echo "serve: server at $addr printed no drained report" >&2
+        return 1
+    }
+    grep -q ' 0 panic(s)$' "$errlog" || {
+        echo "serve: server at $addr reported panics:" >&2
+        grep '^drained: ' "$errlog" >&2
+        return 1
+    }
+}
+
+stage_serve() {
+    cargo build --offline --release -q -p briq-bench || return 1
+    local dir rc_drive rc_batch
+    dir="$(mktemp -d)"
+    trap 'rm -rf "$dir"; [ -n "${SERVE_PID:-}" ] && kill "$SERVE_PID" 2>/dev/null' RETURN
+    ./target/release/briq-align --gen-corpus "$dir/corpus" \
+        --docs 12 --seed "$BENCH_SEED" || return 1
+
+    # 1. Byte-identity: the wire path against the batch path over the
+    # same pages (sorted, like briq-align's own --batch ordering).
+    boot_server "$dir/serve.log" || return 1
+    ./target/release/briq-serve drive --addr "$SERVE_ADDR" "$dir/corpus"/*.html \
+        > "$dir/out_serve.json" 2> "$dir/drive.err"
+    rc_drive=$?
+    ./target/release/briq-align --json "$dir/corpus"/*.html \
+        --diagnostics "$dir/diag_batch.jsonl" > "$dir/out_batch.json" 2> /dev/null
+    rc_batch=$?
+    if [ "$rc_drive" -ne "$rc_batch" ] || { [ "$rc_drive" -ne 0 ] && [ "$rc_drive" -ne 2 ]; }; then
+        echo "serve: exit codes diverged or failed (drive: $rc_drive, batch: $rc_batch)" >&2
+        return 1
+    fi
+    cmp -s "$dir/out_serve.json" "$dir/out_batch.json" || {
+        echo "serve: wire output differs from briq-align --json" >&2
+        diff "$dir/out_serve.json" "$dir/out_batch.json" | head -20 >&2
+        return 1
+    }
+
+    # 2. Chaos against the healthy server: malformed JSONL, oversized
+    # payloads, half-closed connections, slow writers, request floods.
+    ./target/release/briq-serve chaos --addr "$SERVE_ADDR" \
+        --connections 8 --requests 4 > /dev/null 2> "$dir/chaos.err" || {
+        echo "serve: chaos invariants failed against the healthy server" >&2
+        tail -10 "$dir/chaos.err" >&2
+        return 1
+    }
+    stop_server "$SERVE_ADDR" "$SERVE_PID" "$dir/serve.log.err" || return 1
+    SERVE_PID=""
+
+    # 3. Overload: a 1-worker/1-deep server must shed deterministically
+    # under the flood (chaos asserts zero panics, bounded queue depth,
+    # and byte-identical shed lines; --expect-shed makes sheds required).
+    boot_server "$dir/tiny.log" --workers 1 --queue-depth 1 || return 1
+    ./target/release/briq-serve chaos --addr "$SERVE_ADDR" \
+        --connections 12 --requests 6 --expect-shed \
+        > /dev/null 2> "$dir/chaos_tiny.err" || {
+        echo "serve: overload chaos failed against the constrained server" >&2
+        tail -10 "$dir/chaos_tiny.err" >&2
+        return 1
+    }
+    stop_server "$SERVE_ADDR" "$SERVE_PID" "$dir/tiny.log.err" || return 1
+    SERVE_PID=""
+
+    echo "serve: wire output byte-identical to batch ($(wc -c < "$dir/out_serve.json") bytes); chaos + overload clean, both servers drained"
 }
 
 known_stage() {

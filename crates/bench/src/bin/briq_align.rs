@@ -34,11 +34,17 @@
 //! name. Exit codes:
 //!
 //! * `0` — all documents aligned cleanly;
-//! * `1` — usage or I/O error;
+//! * `1` — usage error, nothing alignable, or at least one input page
+//!   was unreadable (unreadable pages degrade to a `Stage::Batch`
+//!   diagnostic and are skipped; the readable pages still align and
+//!   print normally — a partially-broken batch directory no longer
+//!   aborts the run). Pages with invalid UTF-8 are decoded lossily
+//!   rather than rejected;
 //! * `2` — alignment completed, but at least one item degraded.
 
 use briq_core::batch::BatchConfig;
 use briq_core::pipeline::{Briq, BriqConfig};
+use briq_core::{DegradedAction, Diagnostic, Diagnostics, Stage};
 use briq_table::html::parse_page;
 use briq_table::segment::{segment_page, SegmentConfig};
 use briq_table::Document;
@@ -107,13 +113,24 @@ fn main() -> ExitCode {
         None => Briq::untrained(BriqConfig::default()),
     };
 
+    // An unreadable or non-UTF-8 page degrades to one diagnostic and is
+    // skipped; the rest of the batch still aligns. Lossy decoding keeps
+    // pages with a few bad bytes (the HTML parser is byte-agnostic);
+    // only pages that cannot be opened at all are dropped.
     let mut docs: Vec<Document> = Vec::new();
+    let mut io_diags = Diagnostics::default();
     for page_path in &cli.pages {
-        let html = match std::fs::read_to_string(page_path) {
-            Ok(s) => s,
+        let html = match std::fs::read(page_path) {
+            Ok(bytes) => String::from_utf8_lossy(&bytes).into_owned(),
             Err(e) => {
-                eprintln!("cannot read {page_path}: {e}");
-                return ExitCode::FAILURE;
+                io_diags.items.push(Diagnostic {
+                    stage: Stage::Batch,
+                    scope: format!("page {page_path}"),
+                    error: format!("cannot read page: {e}"),
+                    action: DegradedAction::Skipped,
+                });
+                eprintln!("cannot read {page_path}: {e} (page skipped)");
+                continue;
             }
         };
         let page = parse_page(&html);
@@ -124,7 +141,7 @@ fn main() -> ExitCode {
         docs.append(&mut segmented);
     }
     if docs.is_empty() {
-        eprintln!("no paragraph/table documents found in any input page");
+        eprintln!("no paragraph/table documents found in any readable input page");
         return ExitCode::FAILURE;
     }
 
@@ -174,7 +191,11 @@ fn main() -> ExitCode {
         eprintln!("metrics written to {path}");
     }
 
-    let all_diags = report.combined_diagnostics();
+    // Page-level I/O diagnostics lead the stream (they have no batch
+    // index), followed by the per-document diagnostics in input order.
+    let had_io_errors = !io_diags.is_clean();
+    let mut all_diags = io_diags;
+    all_diags.items.extend(report.combined_diagnostics().items);
     let jsonl = all_diags.to_jsonl();
     if let Some(path) = &cli.diagnostics {
         if let Err(e) = std::fs::write(path, &jsonl) {
@@ -184,7 +205,13 @@ fn main() -> ExitCode {
     } else if !all_diags.is_clean() {
         eprint!("{jsonl}");
     }
-    if all_diags.is_clean() {
+    if had_io_errors {
+        eprintln!(
+            "{} item(s) degraded during alignment (including unreadable pages)",
+            all_diags.items.len()
+        );
+        ExitCode::FAILURE
+    } else if all_diags.is_clean() {
         ExitCode::SUCCESS
     } else {
         eprintln!(

@@ -1,8 +1,11 @@
 //! `briq-eval` — regenerate the paper's evaluation tables.
 //!
-//! Usage: `briq-eval <experiment> [--docs N] [--seed S]`
+//! Usage: `briq-eval <experiment> [--docs N] [--seed S] [--metrics FILE]`
 //! where `<experiment>` is one of `table1` … `table9`, `ablation-extra`,
-//! or `all`.
+//! or `all`. With `--metrics FILE`, corpus-generation, training, and
+//! evaluation spans/counters are recorded and the merged registry is
+//! written to `FILE` as JSON Lines (a summary table goes to stderr);
+//! stdout is byte-identical with or without it.
 //!
 //! `briq-eval throughput [--docs N] [--seed S] [--jobs J] [--out FILE]`
 //! runs the batch-engine throughput smoke (sequential vs `J` workers on
@@ -10,10 +13,12 @@
 //! as the `BENCH_throughput.json` perf-trajectory artifact used by CI.
 
 use briq_bench::experiments::{
-    evaluate_system, filtering_stats, prepare, test_documents, SetupConfig, SystemKind,
+    evaluate_system, evaluate_system_observed, filtering_stats, prepare, prepare_observed,
+    test_documents, SetupConfig, SystemKind,
 };
 use briq_bench::report::{fmt, per_type_table, TextTable, TYPE_ORDER};
 use briq_bench::throughput::{build_pages, measure, ThroughputSystem};
+use briq_core::obs::Recorder;
 use briq_core::pipeline::{Briq, BriqConfig};
 use briq_core::resolution::ResolutionConfig;
 use briq_core::FeatureMask;
@@ -30,13 +35,26 @@ fn main() {
 
     let run = |name: &str| experiment == "all" || experiment == name;
 
+    // `--metrics FILE` records corpus-generation, training, and
+    // evaluation spans/counters and writes the registry as JSONL; table
+    // output on stdout is byte-identical with or without it.
+    let metrics_out = string_flag(&args, "--metrics");
+    let rec = if metrics_out.is_some() {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
+
     let mut setup = None;
     let mut ensure_setup = || {
-        prepare(&SetupConfig {
-            n_documents: docs,
-            seed,
-            mask: FeatureMask::all(),
-        })
+        prepare_observed(
+            &SetupConfig {
+                n_documents: docs,
+                seed,
+                mask: FeatureMask::all(),
+            },
+            &rec,
+        )
     };
 
     if run("table1") {
@@ -45,7 +63,7 @@ fn main() {
     }
     if run("table2") {
         let s = setup.get_or_insert_with(&mut ensure_setup);
-        table2(s);
+        table2(s, &rec);
     }
     if run("table3") || run("table4") || run("table5") {
         let s = setup.get_or_insert_with(&mut ensure_setup);
@@ -90,6 +108,22 @@ fn main() {
         });
         let out = string_flag(&args, "--out");
         throughput_bench(docs, seed, jobs, out.as_deref());
+    }
+
+    if let Some(path) = metrics_out {
+        drop(setup);
+        match rec.finish() {
+            Some(trace) => {
+                let m = &trace.metrics;
+                if let Err(e) = std::fs::write(&path, m.to_jsonl()) {
+                    eprintln!("cannot write metrics to {path}: {e}");
+                    std::process::exit(1);
+                }
+                eprint!("{}", m.summary_table());
+                eprintln!("metrics written to {path}");
+            }
+            None => eprintln!("no metrics recorded (nothing ran?)"),
+        }
     }
 }
 
@@ -463,7 +497,7 @@ fn table1(s: &Setup) {
     println!("{}", t.render());
 }
 
-fn table2(s: &Setup) {
+fn table2(s: &Setup, rec: &Recorder) {
     println!("== Table II: results for original, truncated and rounded mentions ==");
     let mut t = TextTable::new(&[
         "", "RF", "RWR", "BriQ", "RF(tr)", "RWR(tr)", "BriQ(tr)", "RF(rd)", "RWR(rd)", "BriQ(rd)",
@@ -476,7 +510,7 @@ fn table2(s: &Setup) {
     for p in Perturbation::ALL {
         let docs = test_documents(s, p);
         for sys in SystemKind::ALL {
-            let r = evaluate_system(&s.briq, sys, &docs);
+            let r = evaluate_system_observed(&s.briq, sys, &docs, rec);
             let o = r.overall();
             rows[0].push(fmt(o.recall));
             rows[1].push(fmt(o.precision));

@@ -1,0 +1,227 @@
+//! Binary-level tests for `briq-serve` and the hardened `briq-align`:
+//! boot the real server binary, drive it over a real socket, and
+//! byte-compare clean responses against the batch CLI — the wire-level
+//! slice of the oracle discipline. Also the regression tests for
+//! `briq-align --batch` surviving unreadable and non-UTF-8 pages.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+const PAGE: &str = "<html><body>\
+    <p>A total of 123 patients reported side effects; depression was \
+    the most common, reported by 38 patients, and eye disorders the \
+    least common, reported by 5 patients.</p>\
+    <table><tr><th>side effects</th><th>male</th><th>female</th>\
+    <th>total</th></tr>\
+    <tr><td>Rash</td><td>15</td><td>20</td><td>35</td></tr>\
+    <tr><td>Depression</td><td>13</td><td>25</td><td>38</td></tr>\
+    <tr><td>Hypertension</td><td>19</td><td>15</td><td>34</td></tr>\
+    <tr><td>Nausea</td><td>5</td><td>6</td><td>11</td></tr>\
+    <tr><td>Eye Disorders</td><td>2</td><td>3</td><td>5</td></tr>\
+    </table></body></html>";
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("briq_serve_cli_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A running `briq-serve serve` child whose port has been parsed from
+/// its stdout; killed on drop so a failing test can't leak the process.
+struct ServerGuard {
+    child: Child,
+    addr: String,
+}
+
+impl ServerGuard {
+    fn spawn(extra: &[&str]) -> ServerGuard {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_briq-serve"))
+            .arg("serve")
+            .args(["--addr", "127.0.0.1:0"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn briq-serve");
+        let stdout = child.stdout.take().expect("child stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let first = lines
+            .next()
+            .expect("server printed nothing")
+            .expect("readable stdout");
+        let addr = first
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected first line {first:?}"))
+            .to_string();
+        ServerGuard { child, addr }
+    }
+
+    fn stop_and_wait(mut self) {
+        let status = Command::new(env!("CARGO_BIN_EXE_briq-serve"))
+            .args(["stop", "--addr", &self.addr])
+            .status()
+            .expect("run briq-serve stop");
+        assert!(status.success(), "stop failed");
+        let exit = self.child.wait().expect("server wait");
+        assert!(exit.success(), "server exited with {exit:?}");
+        // Drop must not kill — already reaped.
+        self.child = Command::new("true").spawn().expect("spawn true");
+    }
+}
+
+impl Drop for ServerGuard {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[test]
+fn drive_output_is_byte_identical_to_briq_align_json() {
+    let dir = tmp_dir("byteeq");
+    let mut pages = Vec::new();
+    for i in 0..3 {
+        let path = dir.join(format!("page_{i}.html"));
+        std::fs::write(&path, PAGE).unwrap();
+        pages.push(path);
+    }
+
+    let server = ServerGuard::spawn(&[]);
+    let drive = Command::new(env!("CARGO_BIN_EXE_briq-serve"))
+        .args(["drive", "--addr", &server.addr])
+        .args(pages.iter().map(|p| p.as_os_str()))
+        .output()
+        .expect("run drive");
+    assert!(drive.status.success(), "drive failed: {drive:?}");
+
+    let align = Command::new(env!("CARGO_BIN_EXE_briq-align"))
+        .arg("--json")
+        .args(pages.iter().map(|p| p.as_os_str()))
+        .output()
+        .expect("run briq-align");
+    assert!(align.status.success(), "briq-align failed: {align:?}");
+
+    assert_eq!(
+        String::from_utf8_lossy(&drive.stdout),
+        String::from_utf8_lossy(&align.stdout),
+        "serve and batch outputs drifted"
+    );
+    assert!(!drive.stdout.is_empty());
+
+    server.stop_and_wait();
+}
+
+#[test]
+fn server_sheds_deterministically_and_survives_raw_socket_abuse() {
+    let server = ServerGuard::spawn(&["--workers", "1", "--queue-depth", "1"]);
+
+    // Raw abuse first: garbage line, then a clean health check on the
+    // same connection.
+    let mut s = TcpStream::connect(&server.addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    s.write_all(b"utter garbage\n{\"op\":\"health\"}\n")
+        .unwrap();
+    let mut r = BufReader::new(s.try_clone().unwrap());
+    let mut line = String::new();
+    r.read_line(&mut line).unwrap();
+    assert!(line.contains("\"status\":\"error\""), "{line:?}");
+    line.clear();
+    r.read_line(&mut line).unwrap();
+    assert!(line.contains("\"ready\":true"), "{line:?}");
+
+    // The built-in chaos client is the full harness; --expect-shed
+    // asserts the 1-deep queue actually shed under the flood.
+    let chaos = Command::new(env!("CARGO_BIN_EXE_briq-serve"))
+        .args(["chaos", "--addr", &server.addr])
+        .args(["--connections", "12", "--requests", "6", "--expect-shed"])
+        .output()
+        .expect("run chaos");
+    assert!(
+        chaos.status.success(),
+        "chaos invariants failed:\n{}",
+        String::from_utf8_lossy(&chaos.stderr)
+    );
+
+    server.stop_and_wait();
+}
+
+#[test]
+fn briq_align_batch_survives_unreadable_and_non_utf8_pages() {
+    let dir = tmp_dir("badpages");
+    std::fs::write(dir.join("a_good.html"), PAGE).unwrap();
+    // Invalid UTF-8 bytes inside an otherwise plausible page.
+    let mut bad = Vec::new();
+    bad.extend_from_slice(b"<html><body><p>A total of 123 patients \xff\xfe reported");
+    bad.extend_from_slice(b" side effects.</p></body></html>");
+    std::fs::write(dir.join("b_nonutf8.html"), &bad).unwrap();
+
+    let missing = dir.join("c_missing.html");
+    let diag_path = dir.join("diag.jsonl");
+    let out = Command::new(env!("CARGO_BIN_EXE_briq-align"))
+        .arg("--json")
+        .arg(dir.join("a_good.html"))
+        .arg(dir.join("b_nonutf8.html"))
+        .arg(&missing)
+        .arg("--diagnostics")
+        .arg(&diag_path)
+        .output()
+        .expect("run briq-align");
+
+    // Exit 1 (unreadable page), but the readable pages still aligned:
+    // stdout carries their alignment arrays.
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("\"mention_raw\""),
+        "good page was not aligned: {stdout}"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("c_missing.html"), "{stderr}");
+
+    // The unreadable page produced a structured, parseable diagnostic.
+    let diags = std::fs::read_to_string(&diag_path).unwrap();
+    let page_diag = diags
+        .lines()
+        .find(|l| l.contains("c_missing.html"))
+        .unwrap_or_else(|| panic!("no diagnostic for the missing page in {diags:?}"));
+    assert!(page_diag.contains("\"Batch\""), "{page_diag}");
+    assert!(page_diag.contains("\"Skipped\""), "{page_diag}");
+
+    // A batch of only unreadable pages still fails cleanly (exit 1, no
+    // panic, helpful message).
+    let out2 = Command::new(env!("CARGO_BIN_EXE_briq-align"))
+        .arg(&missing)
+        .output()
+        .expect("run briq-align");
+    assert_eq!(out2.status.code(), Some(1));
+}
+
+#[test]
+fn per_request_deadline_of_zero_ms_is_reported_not_hung() {
+    let server = ServerGuard::spawn(&[]);
+    let mut s = TcpStream::connect(&server.addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    // deadline_ms 1 with queueing makes the token fire essentially
+    // immediately; the response must be a structured cancelled result.
+    let req = format!(
+        "{{\"op\":\"align\",\"id\":5,\"html\":{},\"deadline_ms\":1}}\n",
+        briq_json::Value::Str(PAGE.into()).to_string_compact()
+    );
+    s.write_all(req.as_bytes()).unwrap();
+    let mut r = BufReader::new(s);
+    let mut line = String::new();
+    r.read_line(&mut line).unwrap();
+    let v = briq_json::parse(&line).unwrap();
+    assert_eq!(
+        v.get("status").and_then(briq_json::Value::as_str),
+        Some("ok"),
+        "{line}"
+    );
+    // Either the request beat the 1ms deadline (tiny page, fast box) or
+    // it was cancelled — both are structured; a hang would time out the
+    // read instead.
+    server.stop_and_wait();
+}

@@ -15,6 +15,9 @@
 //!   serializable as JSONL for the `briq-align` CLI.
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Unified error type of the BriQ pipeline: one variant per substrate
 /// crate plus pipeline-level failures.
@@ -50,6 +53,15 @@ pub enum BriqError {
         /// Batch index of the poisoned document.
         doc: usize,
     },
+    /// The request was cancelled cooperatively — its wall-clock deadline
+    /// passed or a shutdown drain asked in-flight work to stop. All
+    /// partial work is discarded; the document reports zero alignments.
+    Cancelled {
+        /// Stage at which the cancellation check fired.
+        stage: Stage,
+        /// Why the request was cancelled.
+        cause: CancelCause,
+    },
 }
 
 impl fmt::Display for BriqError {
@@ -78,6 +90,14 @@ impl fmt::Display for BriqError {
                 write!(
                     f,
                     "batch worker panicked on document {doc}; document skipped"
+                )
+            }
+            BriqError::Cancelled { stage, cause } => {
+                write!(
+                    f,
+                    "request cancelled ({}) during {}; partial work discarded",
+                    cause.reason(),
+                    stage.name()
                 )
             }
         }
@@ -165,12 +185,31 @@ pub enum Stage {
     Extraction,
     /// Virtual-cell generation.
     VirtualCells,
+    /// Pair classification and adaptive filtering.
+    Classification,
     /// Candidate alignment-graph construction.
     GraphConstruction,
     /// Entropy-ordered random-walk resolution.
     Resolution,
     /// Batch-level scheduling and worker fault isolation.
     Batch,
+    /// Service-level admission control (queueing, shedding, request I/O).
+    Admission,
+}
+
+impl Stage {
+    /// Stable lower-case stage name, for error messages and wire shapes.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Stage::Extraction => "extraction",
+            Stage::VirtualCells => "virtual-cells",
+            Stage::Classification => "classification",
+            Stage::GraphConstruction => "graph-construction",
+            Stage::Resolution => "resolution",
+            Stage::Batch => "batch",
+            Stage::Admission => "admission",
+        }
+    }
 }
 
 /// What the pipeline did instead of failing.
@@ -183,6 +222,117 @@ pub enum DegradedAction {
     Truncated,
     /// The item fell back to a cheaper strategy (prior-score ranking).
     Fallback,
+    /// The whole request was cancelled (deadline or shutdown drain) and
+    /// its partial work discarded.
+    Cancelled,
+}
+
+/// Why a [`CancelToken`] fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelCause {
+    /// The request's wall-clock deadline passed.
+    Deadline,
+    /// An external cancel flag was raised (shutdown drain, client gone).
+    Shutdown,
+}
+
+impl CancelCause {
+    /// Stable lower-case reason, for error messages and wire shapes.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            CancelCause::Deadline => "deadline exceeded",
+            CancelCause::Shutdown => "shutdown drain",
+        }
+    }
+}
+
+/// Cooperative cancellation for one in-flight request: an optional
+/// wall-clock deadline plus an optional shared flag an external party
+/// (the serve drain, a disconnecting client) can raise at any time.
+///
+/// The pipeline polls [`CancelToken::cause`] at stage boundaries and at
+/// per-mention granularity inside the classify/filter and resolution
+/// loops; when it fires, all partial work for the document is discarded
+/// and a single `Cancelled` diagnostic is reported instead. A token built
+/// with [`CancelToken::none`] (the default on every legacy entry point)
+/// never fires, so budgeted and cancellable alignment cannot drift apart.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    deadline: Option<Instant>,
+    flag: Option<Arc<AtomicBool>>,
+}
+
+impl CancelToken {
+    /// A token that never cancels — the default on every classic entry
+    /// point; with it, the cancellable pipeline is bit-identical to the
+    /// uncancellable one.
+    pub const fn none() -> CancelToken {
+        CancelToken {
+            deadline: None,
+            flag: None,
+        }
+    }
+
+    /// Cancel once the wall clock reaches `deadline`.
+    pub fn with_deadline(deadline: Instant) -> CancelToken {
+        CancelToken {
+            deadline: Some(deadline),
+            flag: None,
+        }
+    }
+
+    /// Cancel after `budget` of wall-clock time from now.
+    pub fn deadline_in(budget: Duration) -> CancelToken {
+        CancelToken::with_deadline(Instant::now() + budget)
+    }
+
+    /// Cancel when `flag` becomes true (e.g. a serve drain raising one
+    /// shared flag for every in-flight request).
+    pub fn with_flag(flag: Arc<AtomicBool>) -> CancelToken {
+        CancelToken {
+            deadline: None,
+            flag: Some(flag),
+        }
+    }
+
+    /// This token, additionally cancelled when `flag` becomes true.
+    pub fn and_flag(mut self, flag: Arc<AtomicBool>) -> CancelToken {
+        self.flag = Some(flag);
+        self
+    }
+
+    /// This token, additionally cancelled at `deadline`.
+    pub fn and_deadline(mut self, deadline: Instant) -> CancelToken {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The configured deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Why the request should stop, if it should. The external flag wins
+    /// over the deadline when both hold, so a drain is reported as a
+    /// drain even on requests that were about to time out anyway.
+    pub fn cause(&self) -> Option<CancelCause> {
+        if let Some(flag) = &self.flag {
+            if flag.load(Ordering::Relaxed) {
+                return Some(CancelCause::Shutdown);
+            }
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return Some(CancelCause::Deadline);
+            }
+        }
+        None
+    }
+
+    /// Has the token fired?
+    pub fn is_cancelled(&self) -> bool {
+        self.cause().is_some()
+    }
 }
 
 /// One degraded item: where, what, why, and what was done about it.
@@ -242,14 +392,17 @@ impl Diagnostics {
 briq_json::json_unit_enum!(Stage {
     Extraction,
     VirtualCells,
+    Classification,
     GraphConstruction,
     Resolution,
-    Batch
+    Batch,
+    Admission
 });
 briq_json::json_unit_enum!(DegradedAction {
     Skipped,
     Truncated,
-    Fallback
+    Fallback,
+    Cancelled
 });
 briq_json::json_struct!(Diagnostic {
     stage,
@@ -369,6 +522,70 @@ mod tests {
         }
         assert!(lines[0].contains("VirtualCells") && lines[0].contains("Truncated"));
         assert!(lines[1].contains("Fallback"));
+    }
+
+    #[test]
+    fn cancel_token_none_never_fires() {
+        let t = CancelToken::none();
+        assert!(!t.is_cancelled());
+        assert!(t.cause().is_none());
+        assert!(t.deadline().is_none());
+    }
+
+    #[test]
+    fn cancel_token_deadline_fires_exactly_at_the_instant() {
+        let future = CancelToken::deadline_in(Duration::from_secs(3600));
+        assert!(!future.is_cancelled());
+        let past = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(past.cause(), Some(CancelCause::Deadline));
+    }
+
+    #[test]
+    fn cancel_token_flag_fires_and_wins_over_deadline() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let t = CancelToken::with_flag(flag.clone())
+            .and_deadline(Instant::now() - Duration::from_millis(1));
+        // Deadline already passed, flag not raised: deadline cause.
+        assert_eq!(t.cause(), Some(CancelCause::Deadline));
+        flag.store(true, Ordering::SeqCst);
+        // Both hold: the external flag wins.
+        assert_eq!(t.cause(), Some(CancelCause::Shutdown));
+    }
+
+    #[test]
+    fn cancelled_error_display_names_stage_and_cause() {
+        let e = BriqError::Cancelled {
+            stage: Stage::Resolution,
+            cause: CancelCause::Deadline,
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("deadline exceeded") && s.contains("resolution"),
+            "{s}"
+        );
+        let e = BriqError::Cancelled {
+            stage: Stage::Admission,
+            cause: CancelCause::Shutdown,
+        };
+        assert!(e.to_string().contains("shutdown drain"));
+    }
+
+    #[test]
+    fn cancelled_diagnostic_round_trips_as_jsonl() {
+        let mut diags = Diagnostics::default();
+        diags.record(
+            Stage::Admission,
+            "document".into(),
+            &BriqError::Cancelled {
+                stage: Stage::Admission,
+                cause: CancelCause::Deadline,
+            },
+            DegradedAction::Cancelled,
+        );
+        let jsonl = diags.to_jsonl();
+        let d: Diagnostic = briq_json::from_str(jsonl.trim()).expect("round-trips");
+        assert_eq!(d.action, DegradedAction::Cancelled);
+        assert_eq!(d.stage, Stage::Admission);
     }
 
     #[test]

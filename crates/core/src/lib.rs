@@ -69,11 +69,14 @@ pub mod pipeline;
 pub mod resolution;
 pub mod resolution_ilp;
 pub mod scoring;
+pub mod serve;
 pub mod tagger;
 pub mod training;
 
 pub use batch::{align_batch, BatchConfig, BatchReport, DocReport, StageTimings, WorkerStats};
-pub use error::{BriqError, Budget, DegradedAction, Diagnostic, Diagnostics, Stage};
+pub use error::{
+    BriqError, Budget, CancelCause, CancelToken, DegradedAction, Diagnostic, Diagnostics, Stage,
+};
 pub use features::{FeatureMask, FEATURE_COUNT};
 pub use jaro::jaro_winkler;
 pub use mention::{Alignment, GoldAlignment};

@@ -90,6 +90,55 @@ pub mod names {
     pub const DOCUMENTS: &str = "documents";
     /// Counter: documents that degraded somewhere (batch level).
     pub const DEGRADED_DOCUMENTS: &str = "degraded_documents";
+    /// Counter: requests/documents cancelled cooperatively (deadline or
+    /// shutdown drain) with all partial work discarded.
+    pub const CANCELLATIONS: &str = "cancellations";
+
+    /// Counter: align requests admitted by `briq-serve` (sheds excluded).
+    pub const SERVE_REQUESTS: &str = "serve_requests";
+    /// Counter: align requests shed by admission control (queue full or
+    /// draining) with a structured `shed` response.
+    pub const SERVE_SHED: &str = "serve_shed";
+    /// Counter: requests whose wall-clock deadline passed before or
+    /// during alignment; answered with a `deadline` response.
+    pub const SERVE_DEADLINE_MISSES: &str = "serve_deadline_misses";
+    /// Counter: request lines that were not valid JSON objects.
+    pub const SERVE_MALFORMED: &str = "serve_malformed";
+    /// Counter: request lines larger than the configured byte cap; the
+    /// connection is closed after a structured error response.
+    pub const SERVE_OVERSIZED: &str = "serve_oversized";
+    /// Counter: requests whose worker panicked; isolated to an `error`
+    /// response, the worker pool survives.
+    pub const SERVE_PANICS: &str = "serve_panics";
+    /// Counter: connections accepted.
+    pub const SERVE_CONNECTIONS: &str = "serve_connections";
+    /// Counter: connections refused at the connection cap.
+    pub const SERVE_CONNECTIONS_REFUSED: &str = "serve_connections_refused";
+    /// Counter: response writes that failed (client gone / write timeout).
+    pub const SERVE_WRITE_ERRORS: &str = "serve_write_errors";
+    /// Counter: admitted requests that completed with degradation
+    /// diagnostics (the exit-code-2 analogue on the wire).
+    pub const SERVE_DEGRADED: &str = "serve_degraded";
+    /// Histogram: admission-queue depth observed at each enqueue.
+    pub const SERVE_QUEUE_DEPTH: &str = "serve_queue_depth";
+    /// Histogram: seconds a request waited in the admission queue.
+    pub const SERVE_QUEUE_WAIT_S: &str = "serve_queue_wait_s";
+    /// Histogram: end-to-end seconds per admitted request (dequeue to
+    /// response written).
+    pub const SERVE_REQUEST_S: &str = "serve_request_s";
+
+    /// Counter: labeled training examples built (positives + negatives).
+    pub const TRAIN_EXAMPLES_BUILT: &str = "train_examples_built";
+    /// Counter: positive training examples built.
+    pub const TRAIN_POSITIVES: &str = "train_positives";
+    /// Counter: synthetic corpus documents generated.
+    pub const CORPUS_DOCUMENTS: &str = "corpus_documents";
+    /// Counter: tables across the generated corpus.
+    pub const CORPUS_TABLES: &str = "corpus_tables";
+    /// Counter: gold alignments across the generated corpus.
+    pub const CORPUS_GOLD: &str = "corpus_gold_alignments";
+    /// Counter: documents evaluated by `briq-eval`.
+    pub const EVAL_DOCUMENTS: &str = "eval_documents";
 
     /// Span: one whole document through the alignment pipeline.
     pub const SPAN_ALIGN: &str = "align";
@@ -103,6 +152,18 @@ pub mod names {
     pub const SPAN_GRAPH: &str = "graph";
     /// Span: entropy-ordered random-walk resolution.
     pub const SPAN_RESOLVE: &str = "resolve";
+    /// Span: whole training run (examples + forest + tagger).
+    pub const SPAN_TRAIN: &str = "train";
+    /// Span: training-example construction (§VII-B sampling).
+    pub const SPAN_TRAIN_EXAMPLES: &str = "train_examples";
+    /// Span: pair-classifier forest training.
+    pub const SPAN_TRAIN_FOREST: &str = "train_forest";
+    /// Span: mention-tagger training.
+    pub const SPAN_TRAIN_TAGGER: &str = "train_tagger";
+    /// Span: synthetic corpus generation.
+    pub const SPAN_GEN_CORPUS: &str = "gen_corpus";
+    /// Span: one evaluation pass over a document set.
+    pub const SPAN_EVAL: &str = "evaluate";
 
     /// The latency histogram fed automatically when a span named `name`
     /// closes: `span_<name>_s` (unit: seconds).

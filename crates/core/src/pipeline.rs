@@ -8,7 +8,9 @@ use briq_text::cues::AggregationKind;
 use crate::batch::{align_batch, BatchConfig, BatchReport, StageTimings};
 use crate::classifier::PairClassifier;
 use crate::context::{ContextConfig, DocContext};
-use crate::error::{BriqError, Budget, DegradedAction, Diagnostics, Stage};
+use crate::error::{
+    BriqError, Budget, CancelCause, CancelToken, DegradedAction, Diagnostics, Stage,
+};
 use crate::features::{FeatureMask, PairFeaturizer, FEATURE_COUNT};
 use crate::filtering::{
     filter_mention, filter_mention_pruned, Candidate, FilterConfig, FilterStats,
@@ -147,11 +149,40 @@ impl Briq {
         train_docs: &[LabeledDocument],
         tagger_docs: &[LabeledDocument],
     ) -> Briq {
-        let (examples, _) = build_training_examples(train_docs, &cfg.virtual_cells, &cfg.context);
-        let data = examples_to_dataset(&examples);
-        let classifier = PairClassifier::train(&data, cfg.forest, cfg.mask);
+        Self::train_observed(cfg, train_docs, tagger_docs, &Recorder::disabled())
+    }
 
-        let tagger = Self::train_tagger(&cfg, tagger_docs);
+    /// [`Briq::train`] with observability: spans for example building,
+    /// forest training, and tagger training, plus the `train_*` counters,
+    /// are recorded into `rec`. The recorder only observes — the trained
+    /// model is bit-identical with it enabled or disabled.
+    pub fn train_observed(
+        cfg: BriqConfig,
+        train_docs: &[LabeledDocument],
+        tagger_docs: &[LabeledDocument],
+        rec: &Recorder,
+    ) -> Briq {
+        let _train_guard = span!(rec, names::SPAN_TRAIN);
+        let (examples, data) = {
+            let _g = span!(rec, names::SPAN_TRAIN_EXAMPLES);
+            let (examples, _) =
+                build_training_examples(train_docs, &cfg.virtual_cells, &cfg.context);
+            let data = examples_to_dataset(&examples);
+            (examples, data)
+        };
+        rec.count(names::TRAIN_EXAMPLES_BUILT, examples.len() as u64);
+        rec.count(
+            names::TRAIN_POSITIVES,
+            examples.iter().filter(|e| e.label).count() as u64,
+        );
+        let classifier = {
+            let _g = span!(rec, names::SPAN_TRAIN_FOREST);
+            PairClassifier::train(&data, cfg.forest, cfg.mask)
+        };
+        let tagger = {
+            let _g = span!(rec, names::SPAN_TRAIN_TAGGER);
+            Self::train_tagger(&cfg, tagger_docs)
+        };
         Briq {
             cfg,
             classifier: Some(classifier),
@@ -170,7 +201,21 @@ impl Briq {
         train_docs: &[LabeledDocument],
         validation_docs: &[LabeledDocument],
     ) -> (Briq, f64) {
-        let mut briq = Self::train(cfg, train_docs, validation_docs);
+        Self::train_tuned_observed(cfg, train_docs, validation_docs, &Recorder::disabled())
+    }
+
+    /// [`Briq::train_tuned`] with the training spans and counters of
+    /// [`Briq::train_observed`] recorded into `rec`. The validation grid
+    /// search runs after the `train` span closes and is deliberately not
+    /// traced per point — it aligns every validation document dozens of
+    /// times and would dwarf the registry.
+    pub fn train_tuned_observed(
+        cfg: BriqConfig,
+        train_docs: &[LabeledDocument],
+        validation_docs: &[LabeledDocument],
+        rec: &Recorder,
+    ) -> (Briq, f64) {
+        let mut briq = Self::train_observed(cfg, train_docs, validation_docs, rec);
 
         let alphas = [0.3, 0.5, 0.7];
         let epsilons = [0.05, 0.12, 0.2];
@@ -426,6 +471,7 @@ impl Briq {
     /// [`Briq::score_document`] deliberately does NOT use this path: its
     /// consumers (baselines, training, evaluation) read the full score
     /// matrix, which pruning by design does not materialize.
+    #[allow(clippy::too_many_arguments)]
     fn classify_filter_stage(
         &self,
         doc: &Document,
@@ -434,13 +480,17 @@ impl Briq {
         targets: &[TableMention],
         timings: &mut StageTimings,
         rec: &Recorder,
-    ) -> (Vec<Vec<Candidate>>, FilterStats) {
+        cancel: &CancelToken,
+    ) -> Result<(Vec<Vec<Candidate>>, FilterStats), CancelCause> {
         let no_prune = std::env::var_os("BRIQ_NO_PRUNE").is_some_and(|v| v == "1");
         let mut featurizer = PairFeaturizer::new(mentions, targets, ctx);
         let mut engine = ScoringEngine::new();
         let mut stats = FilterStats::default();
         let mut candidates = Vec::with_capacity(mentions.len());
         for (mi, x) in mentions.iter().enumerate() {
+            if let Some(cause) = cancel.cause() {
+                return Err(cause);
+            }
             let t0 = Instant::now();
             let tags = {
                 let _g = span!(rec, names::SPAN_CLASSIFY, mention = mi);
@@ -479,7 +529,7 @@ impl Briq {
         timings.pairs_pruned += engine.pairs_pruned();
         engine.record_into(rec);
         stats.record_into(rec);
-        (candidates, stats)
+        Ok((candidates, stats))
     }
 
     /// Stage 3: adaptive filtering of a scored document.
@@ -557,8 +607,28 @@ impl Briq {
         budget: &Budget,
         rec: &Recorder,
     ) -> (Vec<Alignment>, Diagnostics, StageTimings) {
+        self.align_cancellable(doc, budget, rec, &CancelToken::none())
+    }
+
+    /// [`Briq::align_observed`] under a cooperative [`CancelToken`]. The
+    /// token is polled at every stage boundary and once per mention inside
+    /// the classification and resolution loops; when it fires the request
+    /// returns **no partial state** — an empty alignment set plus exactly
+    /// one [`DegradedAction::Cancelled`] diagnostic naming the stage that
+    /// observed the cancellation (degradation diagnostics recorded before
+    /// the cut are kept: they describe work that really happened). With
+    /// [`CancelToken::none`] this is bit-identical to
+    /// [`Briq::align_observed`] — same code path, the checks never fire.
+    pub fn align_cancellable(
+        &self,
+        doc: &Document,
+        budget: &Budget,
+        rec: &Recorder,
+        cancel: &CancelToken,
+    ) -> (Vec<Alignment>, Diagnostics, StageTimings) {
         let mut timings = StageTimings::default();
-        let (alignments, _, _, diags) = self.align_budgeted_timed(doc, budget, &mut timings, rec);
+        let (alignments, _, _, diags) =
+            self.align_budgeted_cancellable(doc, budget, &mut timings, rec, cancel);
         (alignments, diags, timings)
     }
 
@@ -583,23 +653,33 @@ impl Briq {
         Diagnostics,
     ) {
         let mut timings = StageTimings::default();
-        self.align_budgeted_timed(doc, budget, &mut timings, &Recorder::disabled())
+        self.align_budgeted_cancellable(
+            doc,
+            budget,
+            &mut timings,
+            &Recorder::disabled(),
+            &CancelToken::none(),
+        )
     }
 
-    /// [`Briq::align_budgeted`] with per-stage timing accumulation and
-    /// observability recording.
-    fn align_budgeted_timed(
+    /// [`Briq::align_budgeted`] with per-stage timing accumulation,
+    /// observability recording, and cooperative cancellation.
+    fn align_budgeted_cancellable(
         &self,
         doc: &Document,
         budget: &Budget,
         timings: &mut StageTimings,
         rec: &Recorder,
+        cancel: &CancelToken,
     ) -> (
         Vec<Alignment>,
         FilterStats,
         Vec<Vec<Candidate>>,
         Diagnostics,
     ) {
+        if let Some(cause) = cancel.cause() {
+            return cancelled_result(Stage::Extraction, cause, Diagnostics::default(), rec);
+        }
         let t_extract = Instant::now();
         let (mentions, ctx, targets, mut diags) = {
             let _g = span!(rec, names::SPAN_EXTRACT);
@@ -609,11 +689,18 @@ impl Briq {
         rec.count(names::MENTIONS, mentions.len() as u64);
         rec.count(names::TARGETS, targets.len() as u64);
 
-        let (candidates, stats) =
-            self.classify_filter_stage(doc, &mentions, &ctx, &targets, timings, rec);
+        let (candidates, stats) = match self
+            .classify_filter_stage(doc, &mentions, &ctx, &targets, timings, rec, cancel)
+        {
+            Ok(out) => out,
+            Err(cause) => return cancelled_result(Stage::Classification, cause, diags, rec),
+        };
         timings.pairs_scored += (mentions.len() * targets.len()) as u64;
         rec.count(names::PAIRS_SCORED, (mentions.len() * targets.len()) as u64);
 
+        if let Some(cause) = cancel.cause() {
+            return cancelled_result(Stage::GraphConstruction, cause, diags, rec);
+        }
         let t1 = Instant::now();
         let positions: Vec<usize> = ctx.mentions.iter().map(|m| m.token_index).collect();
         let (ag, edges_truncated) = {
@@ -646,10 +733,17 @@ impl Briq {
                 &self.cfg.resolution,
                 budget.max_rwr_iterations,
                 rec,
+                cancel,
             )
         };
+        if let Some(&ResolutionEvent::Cancelled { cause }) = events.first() {
+            return cancelled_result(Stage::Resolution, cause, diags, rec);
+        }
         for ev in events {
             match ev {
+                // Handled above: a cancelled resolution emits exactly one
+                // event and no resolutions.
+                ResolutionEvent::Cancelled { .. } => {}
                 ResolutionEvent::NotConverged { mention, report } => diags.record(
                     Stage::Resolution,
                     format!("mention {mention}"),
@@ -693,6 +787,33 @@ impl Briq {
         );
         (alignments, stats, candidates, diags)
     }
+}
+
+/// Shared early-return shape for a cancelled request: no alignments, no
+/// candidates, previously recorded diagnostics kept, plus exactly one
+/// [`DegradedAction::Cancelled`] entry naming the stage that observed the
+/// token. Discarding the stage outputs wholesale is what "no partial
+/// state" means — a cancelled response can never leak a half-resolved
+/// alignment set.
+fn cancelled_result(
+    stage: Stage,
+    cause: CancelCause,
+    mut diags: Diagnostics,
+    rec: &Recorder,
+) -> (
+    Vec<Alignment>,
+    FilterStats,
+    Vec<Vec<Candidate>>,
+    Diagnostics,
+) {
+    diags.record(
+        stage,
+        "document".into(),
+        &BriqError::Cancelled { stage, cause },
+        DegradedAction::Cancelled,
+    );
+    rec.count(names::CANCELLATIONS, 1);
+    (Vec::new(), FilterStats::default(), Vec::new(), diags)
 }
 
 #[cfg(test)]

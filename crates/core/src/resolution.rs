@@ -80,6 +80,14 @@ pub enum ResolutionEvent {
         /// The underlying graph error.
         error: GraphError,
     },
+    /// The request's [`CancelToken`](crate::error::CancelToken) fired
+    /// mid-resolution: every resolved alignment so far was discarded and
+    /// resolution stopped. This is always the final (and only surviving)
+    /// event of a cancelled run.
+    Cancelled {
+        /// Why the token fired.
+        cause: crate::error::CancelCause,
+    },
 }
 
 /// Run Algorithm 1. `candidates[i]` are the surviving candidates of text
@@ -112,21 +120,27 @@ pub fn resolve_budgeted(
         cfg,
         max_rwr_iterations,
         &crate::obs::Recorder::disabled(),
+        &crate::error::CancelToken::none(),
     )
 }
 
-/// [`resolve_budgeted`] with per-walk observability: every random walk
-/// counts into `rwr_walks`, its power-iteration count feeds the
-/// `rwr_iterations` histogram, and capped/failed walks increment
-/// `rwr_not_converged` / `rwr_fallbacks`. The recorder only observes —
-/// with it disabled (the default everywhere) this *is*
-/// [`resolve_budgeted`], bit for bit.
+/// [`resolve_budgeted`] with per-walk observability and cooperative
+/// cancellation: every random walk counts into `rwr_walks`, its
+/// power-iteration count feeds the `rwr_iterations` histogram, and
+/// capped/failed walks increment `rwr_not_converged` / `rwr_fallbacks`.
+/// The `cancel` token is polled before every walk; when it fires, all
+/// partial resolutions are discarded and a single
+/// [`ResolutionEvent::Cancelled`] is returned. The recorder only
+/// observes, and a [`CancelToken::none`](crate::error::CancelToken::none)
+/// never fires — with both defaulted this *is* [`resolve_budgeted`],
+/// bit for bit.
 pub fn resolve_observed(
     mut ag: AlignmentGraph,
     candidates: &[Vec<Candidate>],
     cfg: &ResolutionConfig,
     max_rwr_iterations: usize,
     rec: &crate::obs::Recorder,
+    cancel: &crate::error::CancelToken,
 ) -> (Vec<Resolved>, Vec<ResolutionEvent>) {
     use crate::obs::names;
     let m = candidates.len();
@@ -154,6 +168,12 @@ pub fn resolve_observed(
     let mut out = Vec::new();
     let mut events = Vec::new();
     for &x in &order {
+        // Cooperative cancellation at per-mention granularity: a fired
+        // token discards everything resolved so far (no partial state
+        // escapes a cancelled request) and stops immediately.
+        if let Some(cause) = cancel.cause() {
+            return (Vec::new(), vec![ResolutionEvent::Cancelled { cause }]);
+        }
         // Per-mention fault isolation: a failed walk demotes this mention
         // to prior-only scoring; it never takes the document down.
         rec.count(names::RWR_WALKS, 1);

@@ -1,0 +1,1096 @@
+//! Persistent alignment service: admission control, deadlines, and
+//! graceful degradation over a TCP/JSONL wire.
+//!
+//! `briq-serve` (the binary in `briq-bench`) warm-loads one immutable
+//! [`Briq`] and keeps it resident; this module is the server behind it.
+//! The design goal is *robustness under load*, not throughput tricks —
+//! every overload path has an explicit, structured answer:
+//!
+//! * **Bounded admission queue.** Align requests pass through an
+//!   admission queue with a hard depth cap. A full queue sheds the
+//!   request immediately with a `{"status":"shed","retry_after_ms":N}`
+//!   response instead of buffering without bound — memory stays bounded
+//!   by construction and the client learns to back off.
+//! * **Deadlines.** Every request carries a wall-clock deadline (the
+//!   server default, or a per-request `deadline_ms` override) enforced
+//!   by a cooperative [`CancelToken`] polled inside the align stages. A
+//!   request that exceeds its deadline — including time spent queued —
+//!   returns a structured `Cancelled` diagnostic, never a hung socket.
+//! * **Fault isolation.** Each document aligns under `catch_unwind`
+//!   exactly like the batch engine: a panicking document degrades to the
+//!   same `WorkerPanicked` diagnostic the batch path emits and the
+//!   worker pool keeps serving.
+//! * **Graceful drain.** Raising the shutdown flag (SIGTERM in the
+//!   binary, or the `shutdown` op) stops the accept loop, sheds new
+//!   work, lets queued and in-flight requests finish within a grace
+//!   window, then force-cancels stragglers through the same token; every
+//!   admitted request still gets a response.
+//! * **Observability.** Counters and histograms (queue depth, shed
+//!   count, deadline misses, per-stage latency) accumulate in a shared
+//!   [`MetricsRegistry`], exposed live via the `metrics` op and returned
+//!   in the final [`ServeReport`].
+//!
+//! ## Wire protocol
+//!
+//! One JSON object per line in both directions (JSONL). Requests:
+//!
+//! ```text
+//! {"op":"align","html":"<page html>"}            // + optional "id", "deadline_ms"
+//! {"op":"health"}
+//! {"op":"metrics"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! An `align` response carries one entry per segmented document of the
+//! page, in order, with the document's alignments serialized by the same
+//! `ToJson` impl the `briq-align` CLI uses — for clean inputs the
+//! alignment payload is **byte-identical** to the batch path (CI's
+//! `serve` stage re-serializes and byte-compares to enforce it), and the
+//! diagnostics use the same `doc <i>: <scope>` prefix as
+//! [`BatchReport::combined_diagnostics`](crate::batch::BatchReport::combined_diagnostics).
+//! Malformed lines get `{"status":"error",...}` and the connection
+//! stays usable; oversized lines get an error and a close. See
+//! OPERATIONS.md §9 for the operator walkthrough and DESIGN.md §12 for
+//! the admission-control rationale.
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use briq_json::{ToJson, Value};
+use briq_table::html::parse_page;
+use briq_table::segment::{segment_page, SegmentConfig};
+
+use crate::batch::StageTimings;
+use crate::error::{
+    BriqError, Budget, CancelCause, CancelToken, DegradedAction, Diagnostics, Stage,
+};
+use crate::obs::{names, MetricsRegistry, Recorder};
+use crate::pipeline::Briq;
+
+/// Lock a mutex, tolerating poisoning: a panicked holder (impossible on
+/// these lock scopes, which contain no user code — but cheap to survive)
+/// must not wedge the whole server.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Tuning knobs for one server instance. The defaults are sized for the
+/// synthetic-corpus workload CI drives; OPERATIONS.md §9 discusses how
+/// to retune them for real traffic.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:4870`; port `0` picks a free port
+    /// (the bound address is available from [`Server::local_addr`]).
+    pub addr: String,
+    /// Alignment worker threads (≥ 1).
+    pub workers: usize,
+    /// Admission-queue depth cap (≥ 1); request N+1 is shed.
+    pub queue_depth: usize,
+    /// Concurrent connection cap; excess connections get one shed line
+    /// and are closed without ever reaching the queue.
+    pub max_connections: usize,
+    /// Hard cap on one request line's length in bytes; longer lines get
+    /// an error response and the connection is closed.
+    pub max_request_bytes: usize,
+    /// Default wall-clock deadline per align request, in ms (`0` = no
+    /// deadline). A request's `deadline_ms` field overrides it.
+    pub default_deadline_ms: u64,
+    /// `retry_after_ms` value in shed responses — the back-off hint.
+    pub retry_after_ms: u64,
+    /// How long a drain waits for queued + in-flight work before
+    /// force-cancelling it.
+    pub drain_grace_ms: u64,
+    /// Poll interval for the accept loop, socket reads, and worker
+    /// queue waits — the latency floor for noticing a drain.
+    pub poll_interval_ms: u64,
+    /// Per-request resource budget (identical role to the batch path).
+    pub budget: Budget,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_depth: 32,
+            max_connections: 64,
+            max_request_bytes: 1 << 20,
+            default_deadline_ms: 10_000,
+            retry_after_ms: 50,
+            drain_grace_ms: 2_000,
+            poll_interval_ms: 10,
+            budget: Budget::default(),
+        }
+    }
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Align the segmented documents of one HTML page.
+    Align {
+        /// Opaque client correlation id, echoed back verbatim.
+        id: Option<Value>,
+        /// The page HTML (same input `briq-align` takes from a file).
+        html: String,
+        /// Per-request deadline override in ms (`0` = no deadline).
+        deadline_ms: Option<u64>,
+    },
+    /// Liveness/readiness probe.
+    Health,
+    /// Live metrics snapshot.
+    Metrics,
+    /// Begin a graceful drain, then exit.
+    Shutdown,
+}
+
+/// Parse one JSONL request line. Errors are client-facing strings —
+/// they go straight into an `error` response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = briq_json::parse(line).map_err(|e| format!("malformed JSON: {e}"))?;
+    let op = v
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or("missing string field \"op\"")?;
+    match op {
+        "align" => {
+            let html = v
+                .get("html")
+                .and_then(Value::as_str)
+                .ok_or("align needs a string field \"html\"")?
+                .to_string();
+            let deadline_ms = match v.get("deadline_ms") {
+                None => None,
+                Some(d) => Some(
+                    d.as_f64()
+                        .filter(|x| *x >= 0.0 && x.fract() == 0.0)
+                        .ok_or("\"deadline_ms\" must be a non-negative integer")?
+                        as u64,
+                ),
+            };
+            Ok(Request::Align {
+                id: v.get("id").cloned(),
+                html,
+                deadline_ms,
+            })
+        }
+        "health" => Ok(Request::Health),
+        "metrics" => Ok(Request::Metrics),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn push_id(fields: &mut Vec<(&str, Value)>, id: Option<&Value>) {
+    if let Some(id) = id {
+        fields.push(("id", id.clone()));
+    }
+}
+
+/// The load-shedding response: the queue (or connection table) is full.
+/// Deterministic for a given config — CI asserts the exact bytes.
+pub fn shed_response(id: Option<&Value>, retry_after_ms: u64) -> Value {
+    let mut fields = vec![("status", Value::Str("shed".into()))];
+    push_id(&mut fields, id);
+    fields.push(("retry_after_ms", Value::Num(retry_after_ms as f64)));
+    obj(fields)
+}
+
+/// A request-level error response (malformed line, oversized line,
+/// unknown op). The connection survives unless the transport itself is
+/// compromised.
+pub fn error_response(id: Option<&Value>, error: &str) -> Value {
+    let mut fields = vec![("status", Value::Str("error".into()))];
+    push_id(&mut fields, id);
+    fields.push(("error", Value::Str(error.into())));
+    obj(fields)
+}
+
+/// Everything the worker learned while serving one align request —
+/// feeds the metrics registry.
+#[derive(Debug, Default, Clone)]
+pub struct AlignOutcome {
+    /// Number of segmented documents served.
+    pub documents: usize,
+    /// Any diagnostic anywhere in the request?
+    pub degraded: bool,
+    /// Documents whose alignment panicked (isolated, not fatal).
+    pub panics: u64,
+    /// Documents cancelled by a deadline.
+    pub deadline_cancelled: u64,
+    /// Documents cancelled by a shutdown drain.
+    pub shutdown_cancelled: u64,
+    /// Summed per-stage wall clock across the request's documents.
+    pub timings: StageTimings,
+}
+
+/// Serve one align request: parse + segment the page, align every
+/// document under `budget` and `cancel`, and build the response value.
+///
+/// Pure with respect to the server — callable from unit tests without a
+/// socket. The per-document treatment mirrors [`crate::batch`] exactly
+/// (same `align_cancellable` path, same `catch_unwind` isolation, same
+/// panicked-document diagnostic, same `doc <i>: <scope>` prefixes), so
+/// clean responses are byte-compatible with `briq-align` output.
+pub fn serve_align(
+    briq: &Briq,
+    id: Option<&Value>,
+    html: &str,
+    budget: &Budget,
+    cancel: &CancelToken,
+) -> (Value, AlignOutcome) {
+    let page = parse_page(html);
+    let docs = segment_page(&page, &SegmentConfig::default(), 0);
+    let mut outcome = AlignOutcome {
+        documents: docs.len(),
+        ..AlignOutcome::default()
+    };
+    let mut doc_values = Vec::with_capacity(docs.len());
+    for (i, doc) in docs.iter().enumerate() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            briq.align_cancellable(doc, budget, &Recorder::disabled(), cancel)
+        }));
+        let (alignments, diagnostics) = match result {
+            Ok((alignments, diagnostics, timings)) => {
+                outcome.timings.merge(&timings);
+                (alignments, diagnostics)
+            }
+            Err(_) => {
+                outcome.panics += 1;
+                let mut diagnostics = Diagnostics::default();
+                diagnostics.record(
+                    Stage::Batch,
+                    format!("document {i}"),
+                    &BriqError::WorkerPanicked { doc: i },
+                    DegradedAction::Skipped,
+                );
+                (Vec::new(), diagnostics)
+            }
+        };
+        for d in &diagnostics.items {
+            if d.action == DegradedAction::Cancelled {
+                match cancel.cause() {
+                    Some(CancelCause::Shutdown) => outcome.shutdown_cancelled += 1,
+                    _ => outcome.deadline_cancelled += 1,
+                }
+            }
+        }
+        outcome.degraded |= !diagnostics.is_clean();
+        let diag_values: Vec<Value> = diagnostics
+            .items
+            .iter()
+            .map(|item| {
+                let mut item = item.clone();
+                item.scope = format!("doc {i}: {}", item.scope);
+                item.to_json()
+            })
+            .collect();
+        doc_values.push(obj(vec![
+            ("doc", Value::Num(i as f64)),
+            ("alignments", alignments.to_json()),
+            ("diagnostics", Value::Array(diag_values)),
+        ]));
+    }
+    let mut fields = vec![("status", Value::Str("ok".into()))];
+    push_id(&mut fields, id);
+    fields.push(("degraded", Value::Bool(outcome.degraded)));
+    fields.push(("documents", Value::Array(doc_values)));
+    (obj(fields), outcome)
+}
+
+/// A point-in-time JSON rendering of the registry: every counter, plus
+/// count/mean/quantiles for every histogram.
+pub fn metrics_snapshot(reg: &MetricsRegistry) -> Value {
+    let counters: Vec<(String, Value)> = reg
+        .counters()
+        .map(|(k, v)| (k.to_string(), Value::Num(v as f64)))
+        .collect();
+    let histograms: Vec<(String, Value)> = reg
+        .histograms()
+        .map(|(k, h)| {
+            (
+                k.to_string(),
+                obj(vec![
+                    ("count", Value::Num(h.count() as f64)),
+                    ("mean", Value::Num(h.mean())),
+                    ("p50", Value::Num(h.quantile(0.5))),
+                    ("p99", Value::Num(h.quantile(0.99))),
+                    ("max", Value::Num(h.max())),
+                ]),
+            )
+        })
+        .collect();
+    obj(vec![
+        ("counters", Value::Object(counters)),
+        ("histograms", Value::Object(histograms)),
+    ])
+}
+
+/// One queued align request.
+struct Job {
+    id: Option<Value>,
+    html: String,
+    cancel: CancelToken,
+    enqueued: Instant,
+    slot: Arc<ResultSlot>,
+}
+
+/// Hand-off cell between the worker that computes a response and the
+/// connection thread that writes it.
+struct ResultSlot {
+    value: Mutex<Option<Value>>,
+    cond: Condvar,
+}
+
+impl ResultSlot {
+    fn new() -> Arc<ResultSlot> {
+        Arc::new(ResultSlot {
+            value: Mutex::new(None),
+            cond: Condvar::new(),
+        })
+    }
+
+    fn put(&self, v: Value) {
+        *lock(&self.value) = Some(v);
+        self.cond.notify_all();
+    }
+
+    /// Block until the worker fills the slot. Workers always fill every
+    /// admitted job's slot — even cancelled or panicked ones — so this
+    /// terminates; the poll interval only bounds wakeup latency.
+    fn take(&self, poll: Duration) -> Value {
+        let mut guard = lock(&self.value);
+        loop {
+            if let Some(v) = guard.take() {
+                return v;
+            }
+            guard = match self.cond.wait_timeout(guard, poll) {
+                Ok((g, _)) => g,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
+        }
+    }
+}
+
+/// The bounded admission queue: `try_push` never blocks and never grows
+/// the queue past `cap` — a full queue is the *caller's* problem (shed),
+/// which is what keeps server memory bounded under floods.
+pub(crate) struct AdmissionQueue {
+    cap: usize,
+    inner: Mutex<VecDeque<Job>>,
+    cond: Condvar,
+}
+
+impl AdmissionQueue {
+    fn new(cap: usize) -> AdmissionQueue {
+        AdmissionQueue {
+            cap: cap.max(1),
+            inner: Mutex::new(VecDeque::new()),
+            cond: Condvar::new(),
+        }
+    }
+
+    fn depth(&self) -> usize {
+        lock(&self.inner).len()
+    }
+
+    /// Admit `job`, returning the depth after the push; `Err(job)` means
+    /// the queue is at capacity and the job must be shed.
+    fn try_push(&self, job: Job) -> Result<usize, Job> {
+        let mut q = lock(&self.inner);
+        if q.len() >= self.cap {
+            return Err(job);
+        }
+        q.push_back(job);
+        let depth = q.len();
+        drop(q);
+        self.cond.notify_one();
+        Ok(depth)
+    }
+
+    fn pop(&self, timeout: Duration) -> Option<Job> {
+        let mut q = lock(&self.inner);
+        if let Some(job) = q.pop_front() {
+            return Some(job);
+        }
+        let (mut q, _) = match self.cond.wait_timeout(q, timeout) {
+            Ok(r) => r,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        q.pop_front()
+    }
+}
+
+/// Shared state of one running server.
+struct Shared<'a> {
+    briq: &'a Briq,
+    cfg: &'a ServeConfig,
+    queue: AdmissionQueue,
+    metrics: Mutex<MetricsRegistry>,
+    /// Drain requested (SIGTERM watcher, `shutdown` op, or test hook).
+    shutdown: Arc<AtomicBool>,
+    /// Raised after the drain grace expires; it is the flag inside every
+    /// admitted request's [`CancelToken`], so raising it cancels all
+    /// in-flight and still-queued work cooperatively.
+    force_cancel: Arc<AtomicBool>,
+    inflight: AtomicUsize,
+    connections: AtomicUsize,
+}
+
+impl Shared<'_> {
+    fn poll(&self) -> Duration {
+        Duration::from_millis(self.cfg.poll_interval_ms.max(1))
+    }
+
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn count(&self, name: &str, n: u64) {
+        if n > 0 {
+            lock(&self.metrics).count(name, n);
+        }
+    }
+}
+
+/// Final tallies of one server lifetime, for logs and tests.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Align requests admitted or shed (not health/metrics probes).
+    pub requests: u64,
+    /// Requests shed by the admission queue or connection cap.
+    pub shed: u64,
+    /// Documents cancelled because their deadline passed.
+    pub deadline_misses: u64,
+    /// Documents whose alignment panicked (isolated).
+    pub panics: u64,
+    /// The full metrics registry at shutdown.
+    pub metrics: MetricsRegistry,
+}
+
+/// A bound-but-not-yet-running server. Binding is separate from running
+/// so callers can learn the (possibly OS-assigned) port and keep a
+/// handle on the shutdown flag before the blocking accept loop starts.
+pub struct Server {
+    listener: TcpListener,
+    cfg: ServeConfig,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Bind `cfg.addr`. The listener is nonblocking — the accept loop
+    /// polls it so it can notice a drain between connections.
+    pub fn bind(cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            listener,
+            cfg,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The actually-bound address (resolves port `0`).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The drain flag: store `true` (from a signal watcher or another
+    /// thread) and the server sheds new work, finishes what it admitted,
+    /// and [`Server::run`] returns.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Serve until drained. Blocks; spawns `cfg.workers` alignment
+    /// workers plus one thread per live connection on a scoped pool.
+    pub fn run(self, briq: &Briq) -> ServeReport {
+        let sh = Shared {
+            briq,
+            cfg: &self.cfg,
+            queue: AdmissionQueue::new(self.cfg.queue_depth),
+            metrics: Mutex::new(MetricsRegistry::new()),
+            shutdown: Arc::clone(&self.shutdown),
+            force_cancel: Arc::new(AtomicBool::new(false)),
+            inflight: AtomicUsize::new(0),
+            connections: AtomicUsize::new(0),
+        };
+        std::thread::scope(|s| {
+            for _ in 0..self.cfg.workers.max(1) {
+                s.spawn(|| run_worker(&sh));
+            }
+            while !sh.draining() {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        if sh.connections.load(Ordering::SeqCst) >= self.cfg.max_connections {
+                            sh.count(names::SERVE_CONNECTIONS_REFUSED, 1);
+                            refuse_connection(&sh, stream);
+                            continue;
+                        }
+                        sh.connections.fetch_add(1, Ordering::SeqCst);
+                        sh.count(names::SERVE_CONNECTIONS, 1);
+                        let shr = &sh;
+                        s.spawn(move || {
+                            run_connection(shr, stream);
+                            shr.connections.fetch_sub(1, Ordering::SeqCst);
+                        });
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        std::thread::sleep(sh.poll());
+                    }
+                    Err(_) => std::thread::sleep(sh.poll()),
+                }
+            }
+            // Drain: give queued + in-flight work the grace window, then
+            // force-cancel the rest through the shared token flag. The
+            // workers keep popping until the queue is empty, so every
+            // admitted job's slot gets filled either way.
+            let t0 = Instant::now();
+            let grace = Duration::from_millis(self.cfg.drain_grace_ms);
+            while (sh.queue.depth() > 0 || sh.inflight.load(Ordering::SeqCst) > 0)
+                && t0.elapsed() < grace
+            {
+                std::thread::sleep(sh.poll());
+            }
+            sh.force_cancel.store(true, Ordering::SeqCst);
+        });
+        let metrics = lock(&sh.metrics).clone();
+        ServeReport {
+            requests: metrics.counter(names::SERVE_REQUESTS),
+            shed: metrics.counter(names::SERVE_SHED),
+            deadline_misses: metrics.counter(names::SERVE_DEADLINE_MISSES),
+            panics: metrics.counter(names::SERVE_PANICS),
+            metrics,
+        }
+    }
+}
+
+/// Alignment worker: pop, align, fill the slot, repeat. Exits when a
+/// drain has been requested *and* the queue is empty — queued jobs are
+/// always served (their tokens may cancel them instantly, but their
+/// clients still get a structured response).
+fn run_worker(sh: &Shared<'_>) {
+    loop {
+        match sh.queue.pop(sh.poll()) {
+            Some(job) => {
+                sh.inflight.fetch_add(1, Ordering::SeqCst);
+                let wait_s = job.enqueued.elapsed().as_secs_f64();
+                let t0 = Instant::now();
+                let (resp, outcome) = serve_align(
+                    sh.briq,
+                    job.id.as_ref(),
+                    &job.html,
+                    &sh.cfg.budget,
+                    &job.cancel,
+                );
+                {
+                    let mut m = lock(&sh.metrics);
+                    m.observe(names::SERVE_QUEUE_WAIT_S, wait_s);
+                    m.observe(names::SERVE_REQUEST_S, t0.elapsed().as_secs_f64());
+                    m.absorb_timings(&outcome.timings);
+                    if outcome.degraded {
+                        m.count(names::SERVE_DEGRADED, 1);
+                    }
+                    m.count(names::SERVE_PANICS, outcome.panics);
+                    m.count(names::SERVE_DEADLINE_MISSES, outcome.deadline_cancelled);
+                    m.count(
+                        names::CANCELLATIONS,
+                        outcome.deadline_cancelled + outcome.shutdown_cancelled,
+                    );
+                }
+                job.slot.put(resp);
+                sh.inflight.fetch_sub(1, Ordering::SeqCst);
+            }
+            None => {
+                if sh.draining() && sh.queue.depth() == 0 {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Write one JSONL response line. Returns false on transport failure
+/// (half-closed peer, write timeout) — the caller drops the connection.
+fn write_line(sh: &Shared<'_>, stream: &mut TcpStream, v: &Value) -> bool {
+    let mut line = v.to_string_compact();
+    line.push('\n');
+    match stream
+        .write_all(line.as_bytes())
+        .and_then(|()| stream.flush())
+    {
+        Ok(()) => true,
+        Err(_) => {
+            sh.count(names::SERVE_WRITE_ERRORS, 1);
+            false
+        }
+    }
+}
+
+/// Over the connection cap: one shed line, then close.
+fn refuse_connection(sh: &Shared<'_>, mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    write_line(sh, &mut stream, &shed_response(None, sh.cfg.retry_after_ms));
+}
+
+/// What a handled request line asks the connection loop to do next.
+enum After {
+    Continue,
+    Close,
+}
+
+/// One connection: read JSONL lines, answer each. Requests on a single
+/// connection are served strictly in order; concurrency comes from
+/// multiple connections feeding the shared queue.
+fn run_connection(sh: &Shared<'_>, mut stream: TcpStream) {
+    // Accepted sockets may inherit the listener's nonblocking mode on
+    // some platforms; force blocking + a read timeout so the loop can
+    // poll the drain flag while idle.
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    let _ = stream.set_read_timeout(Some(sh.poll()));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(2_000)));
+    let _ = stream.set_nodelay(true);
+
+    let mut pending: Vec<u8> = Vec::new();
+    let mut buf = [0u8; 8192];
+    loop {
+        while let Some(nl) = pending.iter().position(|&b| b == b'\n') {
+            let line_bytes: Vec<u8> = pending.drain(..=nl).collect();
+            let line = String::from_utf8_lossy(&line_bytes[..nl]).into_owned();
+            if line.trim().is_empty() {
+                continue;
+            }
+            match handle_line(sh, &mut stream, &line) {
+                After::Continue => {}
+                After::Close => return,
+            }
+        }
+        if sh.draining() {
+            return;
+        }
+        if pending.len() > sh.cfg.max_request_bytes {
+            sh.count(names::SERVE_OVERSIZED, 1);
+            write_line(
+                sh,
+                &mut stream,
+                &error_response(
+                    None,
+                    &format!(
+                        "request line exceeds {} bytes; closing connection",
+                        sh.cfg.max_request_bytes
+                    ),
+                ),
+            );
+            return;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return, // EOF / half-closed peer
+            Ok(n) => pending.extend_from_slice(&buf[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Dispatch one request line and write its response.
+fn handle_line(sh: &Shared<'_>, stream: &mut TcpStream, line: &str) -> After {
+    let req = match parse_request(line) {
+        Ok(r) => r,
+        Err(e) => {
+            sh.count(names::SERVE_MALFORMED, 1);
+            return if write_line(sh, stream, &error_response(None, &e)) {
+                After::Continue
+            } else {
+                After::Close
+            };
+        }
+    };
+    match req {
+        Request::Health => {
+            let resp = obj(vec![
+                ("status", Value::Str("ok".into())),
+                ("op", Value::Str("health".into())),
+                ("ready", Value::Bool(!sh.draining())),
+                ("draining", Value::Bool(sh.draining())),
+                ("queue_depth", Value::Num(sh.queue.depth() as f64)),
+                (
+                    "inflight",
+                    Value::Num(sh.inflight.load(Ordering::SeqCst) as f64),
+                ),
+                (
+                    "connections",
+                    Value::Num(sh.connections.load(Ordering::SeqCst) as f64),
+                ),
+                ("workers", Value::Num(sh.cfg.workers as f64)),
+            ]);
+            ok_or_close(write_line(sh, stream, &resp))
+        }
+        Request::Metrics => {
+            let snapshot = metrics_snapshot(&lock(&sh.metrics));
+            let resp = obj(vec![
+                ("status", Value::Str("ok".into())),
+                ("op", Value::Str("metrics".into())),
+                ("queue_depth", Value::Num(sh.queue.depth() as f64)),
+                ("metrics", snapshot),
+            ]);
+            ok_or_close(write_line(sh, stream, &resp))
+        }
+        Request::Shutdown => {
+            sh.shutdown.store(true, Ordering::SeqCst);
+            let resp = obj(vec![
+                ("status", Value::Str("ok".into())),
+                ("op", Value::Str("shutdown".into())),
+                ("draining", Value::Bool(true)),
+            ]);
+            write_line(sh, stream, &resp);
+            After::Close
+        }
+        Request::Align {
+            id,
+            html,
+            deadline_ms,
+        } => {
+            sh.count(names::SERVE_REQUESTS, 1);
+            if sh.draining() {
+                sh.count(names::SERVE_SHED, 1);
+                write_line(
+                    sh,
+                    stream,
+                    &shed_response(id.as_ref(), sh.cfg.retry_after_ms),
+                );
+                return After::Close;
+            }
+            // Deadline runs from admission, so time spent queued counts
+            // against the request — a deadline is a promise about total
+            // latency, not just compute.
+            let deadline_ms = deadline_ms.unwrap_or(sh.cfg.default_deadline_ms);
+            let mut cancel = CancelToken::with_flag(Arc::clone(&sh.force_cancel));
+            if deadline_ms > 0 {
+                cancel = cancel.and_deadline(Instant::now() + Duration::from_millis(deadline_ms));
+            }
+            let slot = ResultSlot::new();
+            let job = Job {
+                id: id.clone(),
+                html,
+                cancel,
+                enqueued: Instant::now(),
+                slot: Arc::clone(&slot),
+            };
+            match sh.queue.try_push(job) {
+                Err(_) => {
+                    sh.count(names::SERVE_SHED, 1);
+                    ok_or_close(write_line(
+                        sh,
+                        stream,
+                        &shed_response(id.as_ref(), sh.cfg.retry_after_ms),
+                    ))
+                }
+                Ok(depth) => {
+                    lock(&sh.metrics).observe(names::SERVE_QUEUE_DEPTH, depth as f64);
+                    let resp = slot.take(sh.poll());
+                    ok_or_close(write_line(sh, stream, &resp))
+                }
+            }
+        }
+    }
+}
+
+fn ok_or_close(wrote: bool) -> After {
+    if wrote {
+        After::Continue
+    } else {
+        After::Close
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::BatchConfig;
+    use crate::pipeline::{Briq, BriqConfig};
+
+    fn test_page() -> String {
+        "<html><body>\
+         <p>A total of 123 patients reported side effects; depression was \
+         the most common, reported by 38 patients, and eye disorders the \
+         least common, reported by 5 patients.</p>\
+         <table><tr><th>side effects</th><th>male</th><th>female</th>\
+         <th>total</th></tr>\
+         <tr><td>Rash</td><td>15</td><td>20</td><td>35</td></tr>\
+         <tr><td>Depression</td><td>13</td><td>25</td><td>38</td></tr>\
+         <tr><td>Hypertension</td><td>19</td><td>15</td><td>34</td></tr>\
+         <tr><td>Nausea</td><td>5</td><td>6</td><td>11</td></tr>\
+         <tr><td>Eye Disorders</td><td>2</td><td>3</td><td>5</td></tr>\
+         </table></body></html>"
+            .to_string()
+    }
+
+    fn briq() -> Briq {
+        Briq::untrained(BriqConfig::default())
+    }
+
+    #[test]
+    fn parse_request_align_with_id_and_deadline() {
+        let r = parse_request(r#"{"op":"align","id":7,"html":"<p>x</p>","deadline_ms":250}"#);
+        assert_eq!(
+            r,
+            Ok(Request::Align {
+                id: Some(Value::Num(7.0)),
+                html: "<p>x</p>".into(),
+                deadline_ms: Some(250),
+            })
+        );
+    }
+
+    #[test]
+    fn parse_request_rejects_malformed_inputs() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request("{}").is_err());
+        assert!(parse_request(r#"{"op":"align"}"#).is_err());
+        assert!(parse_request(r#"{"op":"align","html":"x","deadline_ms":-1}"#).is_err());
+        assert!(parse_request(r#"{"op":"frobnicate"}"#).is_err());
+        assert_eq!(parse_request(r#"{"op":"health"}"#), Ok(Request::Health));
+        assert_eq!(parse_request(r#"{"op":"metrics"}"#), Ok(Request::Metrics));
+        assert_eq!(parse_request(r#"{"op":"shutdown"}"#), Ok(Request::Shutdown));
+    }
+
+    #[test]
+    fn shed_and_error_responses_are_deterministic_bytes() {
+        assert_eq!(
+            shed_response(Some(&Value::Num(3.0)), 50).to_string_compact(),
+            r#"{"status":"shed","id":3,"retry_after_ms":50}"#
+        );
+        assert_eq!(
+            error_response(None, "bad").to_string_compact(),
+            r#"{"status":"error","error":"bad"}"#
+        );
+    }
+
+    #[test]
+    fn serve_align_matches_batch_path_bit_for_bit() {
+        let briq = briq();
+        let html = test_page();
+        let (resp, outcome) =
+            serve_align(&briq, None, &html, &Budget::default(), &CancelToken::none());
+        assert!(!outcome.degraded);
+        assert_eq!(outcome.panics, 0);
+
+        let page = parse_page(&html);
+        let docs = segment_page(&page, &SegmentConfig::default(), 0);
+        assert_eq!(outcome.documents, docs.len());
+        let report = briq.align_batch(&docs, &BatchConfig::with_jobs(1));
+
+        let served = resp.get("documents").and_then(Value::as_array).unwrap();
+        assert_eq!(served.len(), report.documents.len());
+        for (sv, dr) in served.iter().zip(&report.documents) {
+            // The wire alignments round-trip to the exact bytes the CLI
+            // prints for the same page.
+            let wire: Vec<crate::mention::Alignment> =
+                briq_json::FromJson::from_json(sv.get("alignments").unwrap()).unwrap();
+            assert_eq!(
+                briq_json::to_string_pretty(&wire),
+                briq_json::to_string_pretty(&dr.alignments)
+            );
+        }
+    }
+
+    #[test]
+    fn serve_align_with_fired_token_returns_cancelled_not_partial() {
+        let briq = briq();
+        let flag = Arc::new(AtomicBool::new(true));
+        let (resp, outcome) = serve_align(
+            &briq,
+            None,
+            &test_page(),
+            &Budget::default(),
+            &CancelToken::with_flag(flag),
+        );
+        assert!(outcome.degraded);
+        assert!(outcome.shutdown_cancelled > 0);
+        let served = resp.get("documents").and_then(Value::as_array).unwrap();
+        for sv in served {
+            assert_eq!(
+                sv.get("alignments")
+                    .and_then(Value::as_array)
+                    .unwrap()
+                    .len(),
+                0
+            );
+            let diags = sv.get("diagnostics").and_then(Value::as_array).unwrap();
+            assert_eq!(diags.len(), 1);
+        }
+    }
+
+    #[test]
+    fn admission_queue_sheds_exactly_past_capacity() {
+        let q = AdmissionQueue::new(2);
+        let mk = || Job {
+            id: None,
+            html: String::new(),
+            cancel: CancelToken::none(),
+            enqueued: Instant::now(),
+            slot: ResultSlot::new(),
+        };
+        assert_eq!(q.try_push(mk()).ok(), Some(1));
+        assert_eq!(q.try_push(mk()).ok(), Some(2));
+        assert!(q.try_push(mk()).is_err());
+        assert!(q.pop(Duration::from_millis(1)).is_some());
+        assert_eq!(q.try_push(mk()).ok(), Some(2));
+    }
+
+    #[test]
+    fn metrics_snapshot_lists_counters_and_histograms() {
+        let mut reg = MetricsRegistry::new();
+        reg.count(names::SERVE_SHED, 3);
+        reg.observe(names::SERVE_REQUEST_S, 0.25);
+        let snap = metrics_snapshot(&reg);
+        assert_eq!(
+            snap.get("counters")
+                .and_then(|c| c.get(names::SERVE_SHED))
+                .and_then(Value::as_f64),
+            Some(3.0)
+        );
+        let h = snap
+            .get("histograms")
+            .and_then(|h| h.get(names::SERVE_REQUEST_S))
+            .unwrap();
+        assert_eq!(h.get("count").and_then(Value::as_f64), Some(1.0));
+    }
+
+    /// Helper: a loopback client for the end-to-end tests.
+    struct Client {
+        stream: TcpStream,
+        buf: Vec<u8>,
+    }
+
+    impl Client {
+        fn connect(addr: SocketAddr) -> Client {
+            let stream = TcpStream::connect(addr).unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(30)))
+                .unwrap();
+            Client {
+                stream,
+                buf: Vec::new(),
+            }
+        }
+
+        fn send(&mut self, line: &str) {
+            self.stream.write_all(line.as_bytes()).unwrap();
+            self.stream.write_all(b"\n").unwrap();
+        }
+
+        fn recv(&mut self) -> Value {
+            let mut chunk = [0u8; 4096];
+            loop {
+                if let Some(nl) = self.buf.iter().position(|&b| b == b'\n') {
+                    let line: Vec<u8> = self.buf.drain(..=nl).collect();
+                    let s = String::from_utf8(line[..nl].to_vec()).unwrap();
+                    return briq_json::parse(&s).unwrap();
+                }
+                let n = self.stream.read(&mut chunk).unwrap();
+                assert!(n > 0, "server closed before a full response line");
+                self.buf.extend_from_slice(&chunk[..n]);
+            }
+        }
+    }
+
+    #[test]
+    fn end_to_end_align_health_metrics_shutdown() {
+        let briq = briq();
+        let server = Server::bind(ServeConfig::default()).unwrap();
+        let addr = server.local_addr().unwrap();
+        std::thread::scope(|s| {
+            let handle = s.spawn(|| server.run(&briq));
+
+            let mut c = Client::connect(addr);
+            let req = obj(vec![
+                ("op", Value::Str("align".into())),
+                ("id", Value::Num(1.0)),
+                ("html", Value::Str(test_page())),
+            ]);
+            c.send(&req.to_string_compact());
+            let resp = c.recv();
+            assert_eq!(resp.get("status").and_then(Value::as_str), Some("ok"));
+            assert_eq!(resp.get("id").and_then(Value::as_f64), Some(1.0));
+            assert_eq!(resp.get("degraded").and_then(Value::as_bool), Some(false));
+            assert!(!resp
+                .get("documents")
+                .and_then(Value::as_array)
+                .unwrap()
+                .is_empty());
+
+            c.send(r#"{"op":"health"}"#);
+            let health = c.recv();
+            assert_eq!(health.get("ready").and_then(Value::as_bool), Some(true));
+
+            c.send("this is not json");
+            let err = c.recv();
+            assert_eq!(err.get("status").and_then(Value::as_str), Some("error"));
+
+            // The connection survives a malformed line.
+            c.send(r#"{"op":"metrics"}"#);
+            let metrics = c.recv();
+            assert_eq!(metrics.get("op").and_then(Value::as_str), Some("metrics"));
+
+            c.send(r#"{"op":"shutdown"}"#);
+            let bye = c.recv();
+            assert_eq!(bye.get("op").and_then(Value::as_str), Some("shutdown"));
+
+            let report = handle.join().unwrap();
+            assert_eq!(report.requests, 1);
+            assert_eq!(report.panics, 0);
+            assert_eq!(report.metrics.counter(names::SERVE_MALFORMED), 1);
+        });
+    }
+
+    #[test]
+    fn drain_cancels_stuck_requests_and_still_answers_them() {
+        let briq = briq();
+        let server = Server::bind(ServeConfig {
+            workers: 1,
+            drain_grace_ms: 50,
+            default_deadline_ms: 0,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let flag = server.shutdown_flag();
+        std::thread::scope(|s| {
+            let handle = s.spawn(|| server.run(&briq));
+            let mut c = Client::connect(addr);
+            let req = obj(vec![
+                ("op", Value::Str("align".into())),
+                ("html", Value::Str(test_page())),
+            ]);
+            c.send(&req.to_string_compact());
+            let resp = c.recv();
+            assert_eq!(resp.get("status").and_then(Value::as_str), Some("ok"));
+
+            // Now drain externally (as the SIGTERM watcher would).
+            flag.store(true, Ordering::SeqCst);
+            let report = handle.join().unwrap();
+            assert_eq!(report.requests, 1);
+        });
+    }
+}

@@ -1,0 +1,259 @@
+//! Property suite for the cooperative-cancellation contract
+//! (DESIGN.md §12): a cancelled request leaves **no partial state** —
+//! empty alignments plus exactly one [`DegradedAction::Cancelled`]
+//! diagnostic — an un-cancelled token changes nothing bit-for-bit, and
+//! the same `Briq` (and a real worker pool) stays fully serviceable
+//! after absorbing cancelled requests.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use briq_core::obs::Recorder;
+use briq_core::pipeline::{Briq, BriqConfig};
+use briq_core::{Budget, CancelToken, DegradedAction, Diagnostics};
+use briq_table::{Document, Table};
+use proptest::prelude::*;
+
+/// A numeric document with `vals` in a table and `text_val` in prose —
+/// the same generator shape the pipeline property suite uses.
+fn numeric_doc(vals: &[u32], text_val: u32) -> Document {
+    let mut grid = vec![vec!["metric".to_string(), "value".to_string()]];
+    for (i, v) in vals.iter().enumerate() {
+        grid.push(vec![format!("row{i}"), v.to_string()]);
+    }
+    Document::new(
+        0,
+        format!("The report mentions {text_val} units in its overview section."),
+        vec![Table::from_grid("stats", grid)],
+    )
+}
+
+fn fired_flag() -> Arc<AtomicBool> {
+    let flag = Arc::new(AtomicBool::new(false));
+    flag.store(true, Ordering::SeqCst);
+    flag
+}
+
+/// The no-partial-state assertion: empty alignments, exactly one
+/// diagnostic, and that diagnostic is a `Cancelled` naming the cause.
+fn assert_cancelled_clean(
+    alignments: &[briq_core::Alignment],
+    diags: &Diagnostics,
+    want_reason: &str,
+) -> Result<(), TestCaseError> {
+    prop_assert!(
+        alignments.is_empty(),
+        "cancelled request leaked {} alignments",
+        alignments.len()
+    );
+    let cancelled: Vec<_> = diags
+        .items
+        .iter()
+        .filter(|d| d.action == DegradedAction::Cancelled)
+        .collect();
+    prop_assert_eq!(
+        cancelled.len(),
+        1,
+        "expected exactly one Cancelled diagnostic, got {:?}",
+        diags.items
+    );
+    prop_assert!(
+        cancelled[0].error.contains(want_reason),
+        "diagnostic {:?} does not name the cause {:?}",
+        cancelled[0],
+        want_reason
+    );
+    Ok(())
+}
+
+proptest! {
+    /// A pre-fired shutdown flag cancels any document without partial
+    /// state, and the very same `Briq` instance then serves a clean
+    /// request bit-identically to one that never saw a cancellation.
+    #[test]
+    fn cancelled_request_leaves_no_partial_state_and_briq_stays_serviceable(
+        vals in proptest::collection::vec(1u32..99_999, 2..6),
+        text_val in 1u32..99_999,
+    ) {
+        let doc = numeric_doc(&vals, text_val);
+        let briq = Briq::untrained(BriqConfig::default());
+        let budget = Budget::default();
+
+        let baseline = briq.align_checked_with(&doc, &budget);
+
+        let token = CancelToken::with_flag(fired_flag());
+        let (alignments, diags, _) =
+            briq.align_cancellable(&doc, &budget, &Recorder::disabled(), &token);
+        assert_cancelled_clean(&alignments, &diags, "shutdown drain")?;
+
+        // Serviceable afterward: the cancelled call left nothing behind
+        // in the (shared, immutable) Briq — the next clean call is
+        // bit-identical to the pre-cancellation baseline.
+        let after = briq.align_checked_with(&doc, &budget);
+        prop_assert_eq!(&after.0, &baseline.0, "alignments drifted after a cancellation");
+        prop_assert_eq!(
+            after.1.to_jsonl(),
+            baseline.1.to_jsonl(),
+            "diagnostics drifted after a cancellation"
+        );
+    }
+
+    /// An already-elapsed deadline behaves exactly like the flag — no
+    /// partial state — but reports `deadline exceeded` as the cause.
+    #[test]
+    fn elapsed_deadline_reports_deadline_cause_without_partial_state(
+        vals in proptest::collection::vec(1u32..99_999, 2..6),
+        text_val in 1u32..99_999,
+    ) {
+        let doc = numeric_doc(&vals, text_val);
+        let briq = Briq::untrained(BriqConfig::default());
+        let token = CancelToken::deadline_in(std::time::Duration::ZERO);
+        let (alignments, diags, _) = briq.align_cancellable(
+            &doc,
+            &Budget::default(),
+            &Recorder::disabled(),
+            &token,
+        );
+        assert_cancelled_clean(&alignments, &diags, "deadline exceeded")?;
+    }
+
+    /// `CancelToken::none` is the oracle guard: the cancellable path
+    /// with a token that can never fire is bit-identical to the legacy
+    /// checked path AND to plain `align` under an unlimited budget.
+    #[test]
+    fn none_token_is_bit_identical_to_the_legacy_paths(
+        vals in proptest::collection::vec(1u32..99_999, 2..6),
+        text_val in 1u32..99_999,
+    ) {
+        let doc = numeric_doc(&vals, text_val);
+        let briq = Briq::untrained(BriqConfig::default());
+        let budget = Budget::default();
+
+        let (a_cancellable, d_cancellable, _) = briq.align_cancellable(
+            &doc,
+            &budget,
+            &Recorder::disabled(),
+            &CancelToken::none(),
+        );
+        let (a_checked, d_checked) = briq.align_checked_with(&doc, &budget);
+        prop_assert_eq!(&a_cancellable, &a_checked);
+        prop_assert_eq!(d_cancellable.to_jsonl(), d_checked.to_jsonl());
+
+        let unlimited = Budget::unlimited();
+        let (a_unlimited, d_unlimited, _) = briq.align_cancellable(
+            &doc,
+            &unlimited,
+            &Recorder::disabled(),
+            &CancelToken::none(),
+        );
+        prop_assert_eq!(&a_unlimited, &briq.align(&doc));
+        // Benign degradations (e.g. RWR residual truncation) may appear,
+        // but a token that never fires must never record a cancellation.
+        prop_assert!(
+            d_unlimited
+                .items
+                .iter()
+                .all(|d| d.action != DegradedAction::Cancelled),
+            "{:?}",
+            d_unlimited.items
+        );
+    }
+}
+
+/// When both a raised flag and an expired deadline are visible, the
+/// flag (shutdown) wins — drain must not be misreported as a timeout.
+#[test]
+fn shutdown_flag_wins_over_expired_deadline() {
+    let doc = numeric_doc(&[10, 20, 30], 10);
+    let briq = Briq::untrained(BriqConfig::default());
+    let token = CancelToken::with_flag(fired_flag())
+        .and_deadline(std::time::Instant::now() - std::time::Duration::from_secs(1));
+    let (alignments, diags, _) =
+        briq.align_cancellable(&doc, &Budget::default(), &Recorder::disabled(), &token);
+    assert!(alignments.is_empty());
+    let cancelled: Vec<_> = diags
+        .items
+        .iter()
+        .filter(|d| d.action == DegradedAction::Cancelled)
+        .collect();
+    assert_eq!(cancelled.len(), 1, "{:?}", diags.items);
+    assert!(
+        cancelled[0].error.contains("shutdown drain"),
+        "{:?}",
+        cancelled[0]
+    );
+}
+
+/// The worker *pool* stays serviceable after cancellations: a real
+/// in-process server absorbs a burst of already-expired-deadline
+/// requests and then answers a clean request normally on the same
+/// workers.
+#[test]
+fn worker_pool_stays_serviceable_after_cancelled_requests() {
+    use briq_core::serve::{ServeConfig, Server};
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    let briq = Briq::untrained(BriqConfig::default());
+    let cfg = ServeConfig {
+        workers: 2,
+        ..Default::default()
+    };
+    let server = Server::bind(cfg).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || server.run(&briq));
+
+    let html = briq_json::Value::Str(
+        "<html><body><p>The report mentions 42 units.</p>\
+         <table><tr><th>metric</th><th>value</th></tr>\
+         <tr><td>row0</td><td>42</td></tr></table></body></html>"
+            .into(),
+    )
+    .to_string_compact();
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut stream = stream;
+
+    // A burst of requests whose deadlines are effectively pre-expired.
+    for i in 0..6 {
+        let req = format!("{{\"op\":\"align\",\"id\":{i},\"html\":{html},\"deadline_ms\":0}}\n");
+        stream.write_all(req.as_bytes()).expect("write");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read");
+        let v = briq_json::parse(&line).expect("parseable response");
+        // Shed or ok-with-cancellation are both acceptable; a hang,
+        // panic, or malformed line is not.
+        let status = v.get("status").and_then(briq_json::Value::as_str);
+        assert!(status == Some("ok") || status == Some("shed"), "{line}");
+    }
+
+    // The pool must still answer a clean, deadline-free request.
+    let req = format!("{{\"op\":\"align\",\"id\":99,\"html\":{html}}}\n");
+    stream.write_all(req.as_bytes()).expect("write clean");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read clean");
+    let v = briq_json::parse(&line).expect("parseable clean response");
+    assert_eq!(
+        v.get("status").and_then(briq_json::Value::as_str),
+        Some("ok"),
+        "{line}"
+    );
+    // The untrained pipeline may report benign degradations (RWR
+    // residual truncation), but the clean request must produce real
+    // alignments and no cancellation residue from the earlier burst.
+    assert!(
+        line.contains("\"alignments\":[{"),
+        "clean request produced no alignments: {line}"
+    );
+    assert!(
+        !line.contains("Cancelled"),
+        "cancellation leaked into a clean request: {line}"
+    );
+
+    stream
+        .write_all(b"{\"op\":\"shutdown\"}\n")
+        .expect("write shutdown");
+    let report = handle.join().expect("server thread");
+    assert_eq!(report.panics, 0, "worker panicked during the run");
+}
