@@ -4,6 +4,10 @@
 #   ./ci.sh                 run every stage
 #   ./ci.sh <stage>...      run only the named stages, in the given order
 #   ./ci.sh help            list stages
+#   ./ci.sh --list          print one stage name per line (for tooling)
+#
+# Unknown stage names are rejected before ANY stage runs, even when mixed
+# with valid ones.
 #
 # Stages:
 #   fmt          cargo fmt --all --check (formatting is part of the gate)
@@ -29,16 +33,27 @@
 #                (bench_classifier) and reports its scored-pairs/sec line
 #                plus the dedup+prune engine line
 #                (classifier-throughput-deduped) — never gating, the
-#                absolute numbers are host-dependent.
-#   determinism  briq-align over the same seeded page corpus four times:
+#                absolute numbers are host-dependent. Gates on the
+#                retrieval index: the artifact's retrieval_recall must be
+#                exactly 1.0 vs the exhaustive oracle and
+#                candidates_per_mention strictly below cells_per_mention.
+#   perf-trend   tools/bench_trend.sh: diff the fresh BENCH_throughput.json
+#                against the committed one (git show HEAD:...) and fail on
+#                a classify-stage regression beyond $TREND_TOL percent
+#                (default 25). Refuses to compare runs whose
+#                index_enabled states differ; skips loudly when HEAD has
+#                no artifact or one predating the index_enabled schema.
+#   determinism  briq-align over the same seeded page corpus five times:
 #                --jobs 1, --jobs $(nproc or 8), --jobs 1 with
-#                BRIQ_NO_PRUNE=1 (bound-based pruning disabled), and
-#                --jobs 1 with --trace/--metrics (observability recording
-#                on); fails unless alignment stdout and the diagnostics
-#                JSONL (which carries no timings) are byte-for-byte
-#                identical across all four — worker count, pruning, AND
-#                tracing must be unobservable in the output. The traced
-#                run's trace file must also be non-empty valid-ish JSON.
+#                BRIQ_NO_PRUNE=1 (bound-based pruning disabled), --jobs 1
+#                with --trace/--metrics (observability recording on), and
+#                --jobs 1 with BRIQ_NO_INDEX=1 (exhaustive candidate
+#                pairing, no retrieval index); fails unless alignment
+#                stdout and the diagnostics JSONL (which carries no
+#                timings) are byte-for-byte identical across all five —
+#                worker count, pruning, tracing, AND the retrieval index
+#                must be unobservable in the output. The traced run's
+#                trace file must also be non-empty valid-ish JSON.
 #   serve        boots the persistent alignment server (briq-serve) on a
 #                loopback port, byte-compares the drive client's output
 #                against briq-align --json over the same seeded corpus
@@ -62,7 +77,12 @@ NPROC="$(nproc 2>/dev/null || echo 1)"
 SPEEDUP_MIN="${SPEEDUP_MIN:-2.0}"
 BENCH_DOCS="${BENCH_DOCS:-60}"
 BENCH_SEED="${BENCH_SEED:-20190408}"
-ALL_STAGES=(fmt clippy build test docs bench-smoke determinism serve)
+ALL_STAGES=(fmt clippy build test docs bench-smoke perf-trend determinism serve)
+
+# Set once bench-smoke has written a fresh BENCH_throughput.json, so a
+# later perf-trend stage in the same invocation reuses it instead of
+# re-measuring.
+BENCH_FRESH=0
 
 stage_fmt() {
     cargo fmt --all --check
@@ -89,6 +109,29 @@ stage_bench_smoke() {
     ./target/release/briq-eval throughput \
         --docs "$BENCH_DOCS" --seed "$BENCH_SEED" --jobs "$NPROC" \
         --out BENCH_throughput.json || return 1
+    BENCH_FRESH=1
+    # Retrieval-index gates: the smoke must measure the indexed path,
+    # its recall vs the exhaustive oracle must be exactly 1.0, and the
+    # retrieved candidate sets must be strictly smaller than exhaustive
+    # pairing on this corpus.
+    local idx_on recall cpm cells
+    idx_on="$(awk -F': ' '/"index_enabled"/ {gsub(/,/, "", $2); print $2; exit}' BENCH_throughput.json)"
+    recall="$(awk -F': ' '/"retrieval_recall"/ {gsub(/,/, "", $2); print $2; exit}' BENCH_throughput.json)"
+    cpm="$(awk -F': ' '/"candidates_per_mention"/ {gsub(/,/, "", $2); print $2; exit}' BENCH_throughput.json)"
+    cells="$(awk -F': ' '/"cells_per_mention"/ {gsub(/,/, "", $2); print $2; exit}' BENCH_throughput.json)"
+    if [ "$idx_on" != "true" ]; then
+        echo "bench-smoke: retrieval index is off (BRIQ_NO_INDEX set?); the smoke must measure the indexed path" >&2
+        return 1
+    fi
+    awk -v r="$recall" 'BEGIN { exit !(r == 1) }' || {
+        echo "bench-smoke: retrieval recall ${recall:-missing} is not exactly 1.0 vs the exhaustive oracle" >&2
+        return 1
+    }
+    awk -v c="$cpm" -v n="$cells" 'BEGIN { exit !(c > 0 && c < n) }' || {
+        echo "bench-smoke: candidates/mention ${cpm:-missing} not strictly below cells/mention ${cells:-missing}" >&2
+        return 1
+    }
+    echo "bench-smoke: retrieval recall $recall; $cpm candidates/mention vs $cells cells/mention exhaustive"
     local speedup
     speedup="$(awk -F': ' '/"speedup"/ {gsub(/[,"]/, "", $2); print $2}' BENCH_throughput.json)"
     if [ -z "$speedup" ]; then
@@ -124,6 +167,18 @@ stage_bench_smoke() {
     else
         echo "bench-smoke: classifier microbench produced no deduped-engine line" >&2
         return 1
+    fi
+}
+
+stage_perf_trend() {
+    # With a fresh artifact from an earlier bench-smoke stage in this
+    # invocation, compare it directly; otherwise bench_trend.sh measures
+    # its own fresh point into a temp file (the committed artifact is
+    # never overwritten by this stage).
+    if [ "$BENCH_FRESH" = "1" ]; then
+        ./tools/bench_trend.sh BENCH_throughput.json
+    else
+        ./tools/bench_trend.sh
     fi
 }
 
@@ -208,7 +263,29 @@ stage_determinism() {
         echo "determinism: metrics JSONL missing pairs_scored" >&2
         return 1
     }
-    echo "determinism: --jobs 1, --jobs $jobs_hi, BRIQ_NO_PRUNE=1, and --trace/--metrics byte-identical ($(wc -c < "$dir/out_1.json") bytes of alignments)"
+    # Fifth run with the retrieval index disabled: the exhaustive oracle
+    # must produce byte-identical alignments and diagnostics, so the
+    # index is provably unobservable in output (same discipline as the
+    # BRIQ_NO_PRUNE cross-check).
+    local rc_ni
+    BRIQ_NO_INDEX=1 ./target/release/briq-align --batch "$dir/corpus" --jobs 1 --json \
+        --diagnostics "$dir/diag_ni.jsonl" > "$dir/out_ni.json"
+    rc_ni=$?
+    if [ "$rc_ni" -ne "$rc1" ]; then
+        echo "determinism: exit code diverged with BRIQ_NO_INDEX=1 ($rc_ni vs $rc1)" >&2
+        return 1
+    fi
+    cmp -s "$dir/out_1.json" "$dir/out_ni.json" || {
+        echo "determinism: alignment output differs with BRIQ_NO_INDEX=1" >&2
+        diff "$dir/out_1.json" "$dir/out_ni.json" | head -20 >&2
+        return 1
+    }
+    cmp -s "$dir/diag_1.jsonl" "$dir/diag_ni.jsonl" || {
+        echo "determinism: diagnostics JSONL differs with BRIQ_NO_INDEX=1" >&2
+        diff "$dir/diag_1.jsonl" "$dir/diag_ni.jsonl" | head -20 >&2
+        return 1
+    }
+    echo "determinism: --jobs 1, --jobs $jobs_hi, BRIQ_NO_PRUNE=1, --trace/--metrics, and BRIQ_NO_INDEX=1 byte-identical ($(wc -c < "$dir/out_1.json") bytes of alignments)"
 }
 
 # Boot a briq-serve child, leaving its loopback address in SERVE_ADDR
@@ -326,6 +403,12 @@ known_stage() {
 if [ "${1:-}" = "help" ] || [ "${1:-}" = "--help" ]; then
     echo "usage: ./ci.sh [stage...]"
     echo "stages: ${ALL_STAGES[*]} (default: all)"
+    exit 0
+fi
+# Machine-readable stage list: one name per line, nothing else, so
+# tooling and pre-commit hooks can enumerate stages without parsing help.
+if [ "${1:-}" = "--list" ]; then
+    printf '%s\n' "${ALL_STAGES[@]}"
     exit 0
 fi
 

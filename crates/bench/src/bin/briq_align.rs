@@ -54,7 +54,7 @@ use std::process::ExitCode;
 const EXIT_DEGRADED: u8 = 2;
 
 const USAGE: &str = "usage: briq-align <page.html>... [--batch dir] [--jobs N] \
-     [--model model.json] [--json] [--diagnostics diag.jsonl] \
+     [--model model.json] [--json] [--no-index] [--diagnostics diag.jsonl] \
      [--trace trace.json] [--metrics metrics.jsonl]\n       \
      briq-align --train-demo <model.json>\n       \
      briq-align --gen-corpus <dir> [--docs N] [--seed S] [--per-page K]";
@@ -65,6 +65,7 @@ struct Cli {
     jobs: usize,
     as_json: bool,
     model: Option<String>,
+    no_index: bool,
     diagnostics: Option<String>,
     trace: Option<String>,
     metrics: Option<String>,
@@ -97,7 +98,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let briq = match &cli.model {
+    let mut briq = match &cli.model {
         Some(p) => {
             match std::fs::read_to_string(p)
                 .map_err(|e| e.to_string())
@@ -112,6 +113,9 @@ fn main() -> ExitCode {
         }
         None => Briq::untrained(BriqConfig::default()),
     };
+    if cli.no_index {
+        briq.cfg.use_index = false;
+    }
 
     // An unreadable or non-UTF-8 page degrades to one diagnostic and is
     // skipped; the rest of the batch still aligns. Lossy decoding keeps
@@ -228,6 +232,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         jobs: 1,
         as_json: false,
         model: None,
+        no_index: false,
         diagnostics: None,
         trace: None,
         metrics: None,
@@ -250,6 +255,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                     .map_err(|_| format!("--jobs: invalid count {v:?}"))?;
             }
             "--model" => cli.model = Some(value("--model")?),
+            "--no-index" => cli.no_index = true,
             "--diagnostics" => cli.diagnostics = Some(value("--diagnostics")?),
             "--trace" => cli.trace = Some(value("--trace")?),
             "--metrics" => cli.metrics = Some(value("--metrics")?),

@@ -40,7 +40,7 @@ use std::time::Duration;
 
 const USAGE: &str = "usage: briq-serve serve [--addr H:P] [--model model.json] [--workers N] \
      [--queue-depth N] [--deadline-ms N] [--drain-grace-ms N] [--retry-after-ms N] \
-     [--max-request-bytes N]\n       \
+     [--max-request-bytes N] [--no-index]\n       \
      briq-serve drive --addr H:P <page.html>... [--deadline-ms N]\n       \
      briq-serve chaos --addr H:P [--connections N] [--requests N] [--expect-shed]\n       \
      briq-serve stop --addr H:P";
@@ -137,7 +137,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let briq = match flag_value(args, "--model") {
+    let mut briq = match flag_value(args, "--model") {
         Some(p) => {
             match std::fs::read_to_string(p)
                 .map_err(|e| e.to_string())
@@ -152,6 +152,9 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         }
         None => Briq::untrained(BriqConfig::default()),
     };
+    if args.iter().any(|a| a == "--no-index") {
+        briq.cfg.use_index = false;
+    }
 
     let server = match Server::bind(cfg) {
         Ok(s) => s,

@@ -147,7 +147,42 @@ fn throughput_bench(docs: usize, seed: u64, jobs: usize, out: Option<&str>) {
     );
     let baseline = measure(&briq, ThroughputSystem::Briq, &pages, 1);
     let parallel = measure(&briq, ThroughputSystem::Briq, &pages, jobs);
-    let bench = ThroughputBench::from_runs(seed as usize, (1, baseline), (jobs, parallel));
+
+    // Effective index state: the config knob AND the BRIQ_NO_INDEX
+    // escape hatch. It is stamped into the artifact so trajectory
+    // comparisons can never silently mix indexed and exhaustive numbers.
+    let index_enabled =
+        briq.cfg.use_index && std::env::var_os("BRIQ_NO_INDEX").is_none_or(|v| v != "1");
+    // Retrieval recall vs the exhaustive oracle: every candidate pair
+    // surviving the oracle's filter must also survive the indexed path.
+    // The recall contract makes this exactly 1.0; CI gates on it.
+    let recall = index_enabled.then(|| {
+        let mut oracle = Briq::untrained(BriqConfig::default());
+        oracle.cfg.use_index = false;
+        let docs = briq_bench::throughput::segment_pages(&pages);
+        let (mut surviving, mut recalled) = (0usize, 0usize);
+        for doc in &docs {
+            let (_, _, indexed) = briq.align_detailed(doc);
+            let (_, _, exhaustive) = oracle.align_detailed(doc);
+            for (ci, co) in indexed.iter().zip(&exhaustive) {
+                let kept: std::collections::BTreeSet<usize> = ci.iter().map(|c| c.target).collect();
+                for c in co {
+                    surviving += 1;
+                    if kept.contains(&c.target) {
+                        recalled += 1;
+                    }
+                }
+            }
+        }
+        if surviving == 0 {
+            1.0
+        } else {
+            recalled as f64 / surviving as f64
+        }
+    });
+
+    let bench = ThroughputBench::from_runs(seed as usize, (1, baseline), (jobs, parallel))
+        .with_retrieval(index_enabled, recall);
 
     println!(
         "== Batch-engine throughput smoke (seed {seed}, {} pages, {} host cores) ==",
@@ -183,6 +218,20 @@ fn throughput_bench(docs: usize, seed: u64, jobs: usize, out: Option<&str>) {
         ]);
     }
     println!("{}", t.render());
+    match (bench.index_enabled, bench.candidates_per_mention) {
+        (true, Some(cpm)) => println!(
+            "retrieval index: on — {cpm:.1} candidates/mention vs {:.1} cells/mention, recall {}",
+            bench.cells_per_mention,
+            match bench.retrieval_recall {
+                Some(r) => format!("{r:.4}"),
+                None => "n/a".to_string(),
+            }
+        ),
+        _ => println!(
+            "retrieval index: off — exhaustive pairing at {:.1} cells/mention",
+            bench.cells_per_mention
+        ),
+    }
     match bench.speedup {
         Some(s) => println!(
             "speedup at --jobs {} ({} effective): {s:.2}x",

@@ -204,6 +204,24 @@ pub struct ThroughputBench {
     /// signal, and reporting a number (e.g. 0.92×) would misread as a
     /// parallelism regression.
     pub speedup: Option<f64>,
+    /// Effective retrieval-index state of the measured runs (config knob
+    /// AND the `BRIQ_NO_INDEX` escape hatch). Trajectory comparisons must
+    /// never mix indexed and exhaustive numbers; `tools/bench_trend.sh`
+    /// refuses to compare across a flip of this bit.
+    pub index_enabled: bool,
+    /// Mean retrieved candidates per mention on the sequential run;
+    /// `None` on exhaustive runs. Strictly below
+    /// [`ThroughputBench::cells_per_mention`] whenever the index drops
+    /// anything.
+    pub candidates_per_mention: Option<f64>,
+    /// Mean mention/target pairs per mention under exhaustive pairing —
+    /// the cell count the index retrieves against.
+    pub cells_per_mention: f64,
+    /// Fraction of the exhaustive oracle's surviving candidates the
+    /// indexed path also produced. The recall contract makes this
+    /// exactly `1.0`; CI gates on it. `None` when not measured
+    /// (exhaustive runs).
+    pub retrieval_recall: Option<f64>,
 }
 
 impl ThroughputBench {
@@ -237,6 +255,20 @@ impl ThroughputBench {
         } else {
             None
         };
+        // Effective index state is read off the measured counters: an
+        // exhaustive run retrieves nothing. `with_retrieval` lets the
+        // caller state it explicitly (and attach a measured recall).
+        let index_enabled = base.stages.candidates_retrieved > 0;
+        let candidates_per_mention = if index_enabled && base.mentions > 0 {
+            Some(base.stages.candidates_retrieved as f64 / base.mentions as f64)
+        } else {
+            None
+        };
+        let cells_per_mention = if base.mentions > 0 {
+            base.stages.pairs_scored as f64 / base.mentions as f64
+        } else {
+            0.0
+        };
         ThroughputBench {
             seed,
             pages: base.pages,
@@ -248,7 +280,23 @@ impl ThroughputBench {
             baseline: point(baseline),
             parallel: point(parallel),
             speedup,
+            index_enabled,
+            candidates_per_mention,
+            cells_per_mention,
+            retrieval_recall: None,
         }
+    }
+
+    /// Pin the effective index state explicitly (config AND environment,
+    /// which the measuring binary knows and the counters can only infer)
+    /// and attach the measured retrieval recall.
+    pub fn with_retrieval(mut self, index_enabled: bool, recall: Option<f64>) -> ThroughputBench {
+        self.index_enabled = index_enabled;
+        if !index_enabled {
+            self.candidates_per_mention = None;
+        }
+        self.retrieval_recall = recall;
+        self
     }
 
     /// [`ThroughputBench::from_runs_on_host`] with the measuring host's
@@ -284,6 +332,10 @@ briq_json::json_struct!(ThroughputBench {
     baseline,
     parallel,
     speedup,
+    index_enabled,
+    candidates_per_mention,
+    cells_per_mention,
+    retrieval_recall,
 });
 
 #[cfg(test)]
@@ -369,9 +421,25 @@ mod tests {
         // genuine two-worker point does.
         assert_eq!(bench.baseline.utilization, None);
         assert!(bench.parallel.utilization.expect("real parallel point") > 0.0);
+        // Default config runs indexed: candidate sets are reported and
+        // strictly smaller than the exhaustive pairing.
+        assert!(bench.index_enabled, "default config runs indexed");
+        let cpm = bench
+            .candidates_per_mention
+            .expect("indexed run reports candidates per mention");
+        assert!(
+            cpm < bench.cells_per_mention,
+            "candidates/mention {cpm} not below cells/mention {}",
+            bench.cells_per_mention
+        );
+        let bench = bench.with_retrieval(true, Some(1.0));
+        assert_eq!(bench.retrieval_recall, Some(1.0));
         let s = briq_json::to_string_pretty(&bench);
         let back: ThroughputBench = briq_json::from_str(&s).expect("round-trips");
         assert_eq!(bench, back);
+        let exhaustive = back.with_retrieval(false, None);
+        assert_eq!(exhaustive.candidates_per_mention, None);
+        assert_eq!(exhaustive.retrieval_recall, None);
     }
 
     #[test]

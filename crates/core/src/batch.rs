@@ -66,6 +66,12 @@ pub struct StageTimings {
     /// bound (see `crate::scoring`); their filtering outcome is decided
     /// without a computed score.
     pub pairs_pruned: u64,
+    /// Candidate pairs surfaced by the retrieval index
+    /// (`crate::retrieval`); zero on exhaustive (`BRIQ_NO_INDEX=1`) runs.
+    pub candidates_retrieved: u64,
+    /// Pairs the retrieval index proved non-viable and never
+    /// featurized or scored; zero on exhaustive runs.
+    pub pairs_skipped_retrieval: u64,
 }
 
 impl StageTimings {
@@ -83,6 +89,8 @@ impl StageTimings {
         self.pairs_scored += other.pairs_scored;
         self.rows_deduped += other.rows_deduped;
         self.pairs_pruned += other.pairs_pruned;
+        self.candidates_retrieved += other.candidates_retrieved;
+        self.pairs_skipped_retrieval += other.pairs_skipped_retrieval;
     }
 
     /// Classifier throughput in pairs per second of classify-stage time.
@@ -94,13 +102,15 @@ impl StageTimings {
         self.pairs_scored as f64 / self.classify_s
     }
 
-    /// Pairs that actually cost a full evaluation — total minus dedup
-    /// hits and pruned traversals — per second of classify-stage time.
-    /// Comparing this with [`StageTimings::scored_pairs_per_sec`] shows
-    /// how much forest work the batched engine avoided.
+    /// Pairs that actually cost a full evaluation — total minus
+    /// retrieval skips, dedup hits, and pruned traversals — per second
+    /// of classify-stage time. Comparing this with
+    /// [`StageTimings::scored_pairs_per_sec`] shows how much work the
+    /// retrieval index and batched engine avoided.
     pub fn effective_pairs_per_sec(&self) -> f64 {
         let effective = self
             .pairs_scored
+            .saturating_sub(self.pairs_skipped_retrieval)
             .saturating_sub(self.rows_deduped)
             .saturating_sub(self.pairs_pruned);
         if self.classify_s <= 0.0 || effective == 0 {
@@ -493,7 +503,9 @@ briq_json::json_struct!(StageTimings {
     resolve_s,
     pairs_scored,
     rows_deduped,
-    pairs_pruned
+    pairs_pruned,
+    candidates_retrieved,
+    pairs_skipped_retrieval
 });
 
 #[cfg(test)]
@@ -664,6 +676,8 @@ mod tests {
             pairs_scored: 10,
             rows_deduped: 2,
             pairs_pruned: 1,
+            candidates_retrieved: 8,
+            pairs_skipped_retrieval: 2,
         };
         let b = StageTimings {
             extract_s: 0.5,
@@ -673,15 +687,19 @@ mod tests {
             pairs_scored: 5,
             rows_deduped: 1,
             pairs_pruned: 1,
+            candidates_retrieved: 2,
+            pairs_skipped_retrieval: 3,
         };
         a.merge(&b);
         assert_eq!(a.total_s(), 12.0);
         assert_eq!(a.pairs_scored, 15);
         assert_eq!(a.rows_deduped, 3);
         assert_eq!(a.pairs_pruned, 2);
+        assert_eq!(a.candidates_retrieved, 10);
+        assert_eq!(a.pairs_skipped_retrieval, 5);
         assert_eq!(a.scored_pairs_per_sec(), 6.0);
-        // 15 total - 3 deduped - 2 pruned = 10 effective over 2.5 s.
-        assert_eq!(a.effective_pairs_per_sec(), 4.0);
+        // 15 total - 5 skipped - 3 deduped - 2 pruned = 5 effective over 2.5 s.
+        assert_eq!(a.effective_pairs_per_sec(), 2.0);
         let s = briq_json::to_string(&a);
         let back: StageTimings = briq_json::from_str(&s).expect("round-trips");
         assert_eq!(a, back);
@@ -742,7 +760,11 @@ mod tests {
         // The trace covers the pipeline stages and hot-path counters the
         // acceptance criteria name.
         let m = baseline.merged_metrics();
-        for name in [names::PAIRS_SCORED, names::ROWS_DEDUPED, names::MENTIONS] {
+        for name in [
+            names::PAIRS_SCORED,
+            names::RETRIEVAL_CANDIDATES,
+            names::MENTIONS,
+        ] {
             assert!(m.counter(name) > 0, "counter {name} empty");
         }
         for span in [

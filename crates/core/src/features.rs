@@ -574,6 +574,20 @@ impl<'c> PairFeaturizer<'c> {
         }
     }
 
+    /// Fill one flat row matrix with the features of mention `mi`
+    /// against the *selected* targets `tis` only
+    /// (`rows[k * FEATURE_COUNT..][..FEATURE_COUNT]` is pair
+    /// `(mi, tis[k])`) — the retrieval-index counterpart of
+    /// [`PairFeaturizer::fill_mention_rows`]. Each filled row is
+    /// bit-identical to the same pair's row in the exhaustive matrix.
+    pub fn fill_rows_for(&mut self, mi: usize, tis: &[usize], rows: &mut Vec<f64>) {
+        rows.clear();
+        rows.resize(tis.len() * FEATURE_COUNT, 0.0);
+        for (&ti, row) in tis.iter().zip(rows.chunks_exact_mut(FEATURE_COUNT)) {
+            self.fill_row(mi, ti, row);
+        }
+    }
+
     fn fill_row(&mut self, mi: usize, ti: usize, out: &mut [f64]) {
         debug_assert_eq!(out.len(), FEATURE_COUNT);
         let m = &self.mentions[mi];

@@ -129,6 +129,15 @@ impl FilterStats {
         }
     }
 
+    /// Bulk-account `n` candidate pairs of kind `kind_name` that the
+    /// retrieval index proved non-viable and never handed to the
+    /// classifier: they enter `total` (the classifier *would* have seen
+    /// them on the exhaustive path) but never `kept`, so selectivity
+    /// figures stay comparable with `BRIQ_NO_INDEX=1` runs.
+    pub fn record_dropped(&mut self, kind_name: &str, n: usize) {
+        *self.total.entry(kind_name.to_string()).or_insert(0) += n;
+    }
+
     /// Merge another stats object into this one.
     pub fn merge(&mut self, other: &FilterStats) {
         for (k, v) in &other.total {
@@ -206,12 +215,15 @@ pub fn filter_mention(
 /// the target indices whose scoring was abandoned by the bound-based
 /// pruning engine.
 ///
-/// Exactness contract (upheld by the caller, `scoring`): a pruned pair's
-/// true score is strictly below both (a) the smallest score at which the
-/// pair could pass value/unit/tag pruning and the score floor, so its
-/// keep decision is `false` without computing it, and (b) the fifth-
-/// highest computed score when the mention-type vote looks at scores at
-/// all, so it can never appear in [`mention_type`]'s top-5 (at least five
+/// Exactness contract (upheld by the caller, `scoring`): a non-viable
+/// pruned pair (unit strong-mismatch, or untagged aggregate) has keep
+/// decision `false` at any score and is excluded from the vote, so it may
+/// be abandoned unconditionally; a viable pruned pair's true score is
+/// strictly below both (a) the smallest score at which it could pass
+/// value/unit pruning and the score floor, so its keep decision is
+/// `false` without computing it, and (b) the fifth-highest *viable*
+/// computed score when the mention-type vote looks at scores at all, so
+/// it can never appear in [`mention_type`]'s top-5 (at least five viable
 /// computed pairs outrank it under the total order). Kept candidates are
 /// therefore always exactly scored, the entropy input (kept singles) is
 /// unchanged, and the result is identical to [`filter_mention`] over the
@@ -277,9 +289,25 @@ pub fn filter_mention_pruned(
     }
     aggregates.truncate(agg_cap);
 
-    // Adaptive top-k over single cells.
+    // Adaptive top-k over single cells. The mention-type vote polls only
+    // *viable* pairs — those the value/unit/tag predicates could keep at
+    // some score — so provably dead pairs (unit strong-mismatches,
+    // untagged aggregates) can neither sway the exact-vs-approximate
+    // majority nor need scoring on the retrieval path.
     singles.sort_by(by_score);
-    let k_type = match mention_type(x, scored, targets) {
+    let viable: Vec<(usize, f64)> = scored
+        .iter()
+        .copied()
+        .filter(|&(ti, _)| {
+            let t = &targets[ti];
+            unit_ok(t)
+                && match t.kind {
+                    TableMentionKind::SingleCell => true,
+                    TableMentionKind::Aggregate(k) => tags.contains(&k),
+                }
+        })
+        .collect();
+    let k_type = match mention_type(x, &viable, targets) {
         MentionType::Exact => cfg.k_exact,
         MentionType::Approximate => cfg.k_approx,
     };

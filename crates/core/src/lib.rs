@@ -68,6 +68,7 @@ pub mod obs;
 pub mod pipeline;
 pub mod resolution;
 pub mod resolution_ilp;
+pub mod retrieval;
 pub mod scoring;
 pub mod serve;
 pub mod tagger;

@@ -55,6 +55,16 @@ pub mod names {
     /// Counter: pairs whose forest traversal an exact score bound cut
     /// short (their filtering outcome needed no computed score).
     pub const PAIRS_PRUNED: &str = "pairs_pruned";
+    /// Counter: candidate pairs surfaced by the retrieval index
+    /// (`crate::retrieval`); absent on exhaustive (`BRIQ_NO_INDEX=1`)
+    /// runs.
+    pub const RETRIEVAL_CANDIDATES: &str = "retrieval_candidates";
+    /// Counter: pairs the retrieval index proved non-viable and never
+    /// featurized or scored.
+    pub const RETRIEVAL_PAIRS_DROPPED: &str = "retrieval_pairs_dropped";
+    /// Histogram: retrieved candidate-set size per mention (unit:
+    /// pairs).
+    pub const RETRIEVAL_CANDIDATES_PER_MENTION: &str = "retrieval_candidates_per_mention";
     /// Counter: rows fully scored in the engine's exhaustive phase A.
     pub const ROWS_SCORED_EXHAUSTIVE: &str = "rows_scored_exhaustive";
     /// Counter: deferred rows fully scored by the bounded phase-B kernel
@@ -418,6 +428,8 @@ impl MetricsRegistry {
         self.count(names::PAIRS_SCORED, t.pairs_scored);
         self.count(names::ROWS_DEDUPED, t.rows_deduped);
         self.count(names::PAIRS_PRUNED, t.pairs_pruned);
+        self.count(names::RETRIEVAL_CANDIDATES, t.candidates_retrieved);
+        self.count(names::RETRIEVAL_PAIRS_DROPPED, t.pairs_skipped_retrieval);
         self.observe(&names::span_histogram(names::SPAN_EXTRACT), t.extract_s);
         self.observe(&names::span_histogram(names::SPAN_CLASSIFY), t.classify_s);
         self.observe(&names::span_histogram(names::SPAN_FILTER), t.filter_s);
@@ -1004,12 +1016,16 @@ mod tests {
             pairs_scored: 100,
             rows_deduped: 10,
             pairs_pruned: 5,
+            candidates_retrieved: 60,
+            pairs_skipped_retrieval: 40,
         };
         let mut r = MetricsRegistry::new();
         r.absorb_timings(&t);
         assert_eq!(r.counter(names::PAIRS_SCORED), 100);
         assert_eq!(r.counter(names::ROWS_DEDUPED), 10);
         assert_eq!(r.counter(names::PAIRS_PRUNED), 5);
+        assert_eq!(r.counter(names::RETRIEVAL_CANDIDATES), 60);
+        assert_eq!(r.counter(names::RETRIEVAL_PAIRS_DROPPED), 40);
         let h = r
             .histogram(&names::span_histogram(names::SPAN_CLASSIFY))
             .expect("classify histogram");

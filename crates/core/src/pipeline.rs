@@ -19,6 +19,7 @@ use crate::graph_builder::{build_graph_budgeted, GraphConfig};
 use crate::mention::{text_mentions, Alignment, TextMention};
 use crate::obs::{names, Recorder};
 use crate::resolution::{resolve_observed, ResolutionConfig, ResolutionEvent};
+use crate::retrieval::{CandidateIndex, RetrievalScratch};
 use crate::scoring::ScoringEngine;
 use crate::span;
 use crate::tagger::{tagger_features, MentionTagger, TaggerExample};
@@ -48,6 +49,11 @@ pub struct BriqConfig {
     pub tagger_threshold: f64,
     /// Feature-ablation mask (§VIII-B).
     pub mask: FeatureMask,
+    /// Retrieve candidates through the per-document
+    /// [`crate::retrieval::CandidateIndex`] instead of pairing every
+    /// mention with every target (DESIGN.md §13). Output is bit-identical
+    /// either way; `BRIQ_NO_INDEX=1` force-disables it at run time.
+    pub use_index: bool,
 }
 
 impl Default for BriqConfig {
@@ -65,6 +71,7 @@ impl Default for BriqConfig {
             },
             tagger_threshold: 0.6,
             mask: FeatureMask::all(),
+            use_index: true,
         }
     }
 }
@@ -458,15 +465,19 @@ impl Briq {
         (scored, tags)
     }
 
-    /// Fused stages 2+3 for the alignment path: per mention, fill the
-    /// feature rows, score them through the batched [`ScoringEngine`]
-    /// (unique-row dedup + block-wise flat-forest traversal + exact
-    /// bound-based pruning, DESIGN.md §10), and filter the partially
-    /// scored candidate set. Byte-identical to exhaustive
+    /// Fused stages 2+3 for the alignment path: per mention, retrieve
+    /// the viable candidate set through the per-document
+    /// [`CandidateIndex`] (DESIGN.md §13), fill only those feature rows,
+    /// score them through the batched [`ScoringEngine`] (unique-row
+    /// dedup + block-wise flat-forest traversal + exact bound-based
+    /// pruning, DESIGN.md §10), and filter the partially scored
+    /// candidate set. Byte-identical to exhaustive
     /// [`Briq::classify_stage`] + [`Briq::filter`] by the engine's
-    /// exactness contract; setting `BRIQ_NO_PRUNE=1` force-disables the
-    /// pruning layer (dedup stays — it is exact by construction), which
-    /// CI uses to cross-check that contract on real output.
+    /// exactness contract and the index's recall contract; setting
+    /// `BRIQ_NO_PRUNE=1` force-disables the pruning layer (dedup stays —
+    /// it is exact by construction) and `BRIQ_NO_INDEX=1` (or
+    /// `use_index: false`) the retrieval index, which CI uses to
+    /// cross-check both contracts on real output.
     ///
     /// [`Briq::score_document`] deliberately does NOT use this path: its
     /// consumers (baselines, training, evaluation) read the full score
@@ -483,10 +494,24 @@ impl Briq {
         cancel: &CancelToken,
     ) -> Result<(Vec<Vec<Candidate>>, FilterStats), CancelCause> {
         let no_prune = std::env::var_os("BRIQ_NO_PRUNE").is_some_and(|v| v == "1");
+        let no_index =
+            !self.cfg.use_index || std::env::var_os("BRIQ_NO_INDEX").is_some_and(|v| v == "1");
         let mut featurizer = PairFeaturizer::new(mentions, targets, ctx);
         let mut engine = ScoringEngine::new();
         let mut stats = FilterStats::default();
         let mut candidates = Vec::with_capacity(mentions.len());
+        // Built once per document (tokenless: `retrieve` never consults
+        // postings, so the hot path must not pay for them); retrieval
+        // per mention is then allocation-free and bounded by the viable
+        // candidate set. The build is charged to the classify stage so
+        // throughput artifacts and the perf-trend gate see its cost.
+        let t_build = Instant::now();
+        let index = (!no_index)
+            .then(|| CandidateIndex::build(targets, self.cfg.filter.value_diff_threshold));
+        if index.is_some() {
+            timings.classify_s += t_build.elapsed().as_secs_f64();
+        }
+        let mut scratch = RetrievalScratch::default();
         for (mi, x) in mentions.iter().enumerate() {
             if let Some(cause) = cancel.cause() {
                 return Err(cause);
@@ -500,12 +525,45 @@ impl Briq {
                         &ctx.mentions[mi].immediate_words,
                     ));
                 }
-                engine.fill_rows(&mut featurizer, mi);
-                match &self.classifier {
-                    Some(clf) => {
-                        engine.score_trained(x, targets, &tags, clf, &self.cfg.filter, !no_prune)
+                match &index {
+                    Some(idx) => {
+                        idx.retrieve(x.quantity.value, x.quantity.unit, &tags, &mut scratch);
+                        engine.fill_rows_selected(&mut featurizer, mi, &scratch.near, &scratch.far);
+                        match &self.classifier {
+                            Some(clf) => engine.score_trained_selected(
+                                x,
+                                targets,
+                                &tags,
+                                clf,
+                                &self.cfg.filter,
+                                !no_prune,
+                            ),
+                            None => engine.score_heuristic_selected(&self.cfg.mask),
+                        }
+                        // Keep Table-VI totals identical to the oracle's.
+                        idx.record_dropped(&scratch, &mut stats);
+                        let retrieved = scratch.retrieved() as u64;
+                        let skipped = targets.len() as u64 - retrieved;
+                        timings.candidates_retrieved += retrieved;
+                        timings.pairs_skipped_retrieval += skipped;
+                        rec.count(names::RETRIEVAL_CANDIDATES, retrieved);
+                        rec.count(names::RETRIEVAL_PAIRS_DROPPED, skipped);
+                        rec.observe(names::RETRIEVAL_CANDIDATES_PER_MENTION, retrieved as f64);
                     }
-                    None => engine.score_heuristic(&self.cfg.mask),
+                    None => {
+                        engine.fill_rows(&mut featurizer, mi);
+                        match &self.classifier {
+                            Some(clf) => engine.score_trained(
+                                x,
+                                targets,
+                                &tags,
+                                clf,
+                                &self.cfg.filter,
+                                !no_prune,
+                            ),
+                            None => engine.score_heuristic(&self.cfg.mask),
+                        }
+                    }
                 }
                 tags
             };
@@ -1009,17 +1067,46 @@ mod tests {
     }
 }
 
-briq_json::json_struct!(BriqConfig {
-    context,
-    virtual_cells,
-    filter,
-    graph,
-    resolution,
-    forest,
-    tagger_forest,
-    tagger_threshold,
-    mask,
-});
+// Hand-written (not `json_struct!`) so `use_index` can default to `true`
+// on model files serialized before the field existed.
+impl briq_json::ToJson for BriqConfig {
+    fn to_json(&self) -> briq_json::Value {
+        briq_json::Value::Object(vec![
+            ("context".to_string(), self.context.to_json()),
+            ("virtual_cells".to_string(), self.virtual_cells.to_json()),
+            ("filter".to_string(), self.filter.to_json()),
+            ("graph".to_string(), self.graph.to_json()),
+            ("resolution".to_string(), self.resolution.to_json()),
+            ("forest".to_string(), self.forest.to_json()),
+            ("tagger_forest".to_string(), self.tagger_forest.to_json()),
+            (
+                "tagger_threshold".to_string(),
+                self.tagger_threshold.to_json(),
+            ),
+            ("mask".to_string(), self.mask.to_json()),
+            ("use_index".to_string(), self.use_index.to_json()),
+        ])
+    }
+}
+impl briq_json::FromJson for BriqConfig {
+    fn from_json(v: &briq_json::Value) -> briq_json::Result<Self> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| briq_json::JsonError::new("expected BriqConfig object"))?;
+        Ok(BriqConfig {
+            context: briq_json::field(obj, "context")?,
+            virtual_cells: briq_json::field(obj, "virtual_cells")?,
+            filter: briq_json::field(obj, "filter")?,
+            graph: briq_json::field(obj, "graph")?,
+            resolution: briq_json::field(obj, "resolution")?,
+            forest: briq_json::field(obj, "forest")?,
+            tagger_forest: briq_json::field(obj, "tagger_forest")?,
+            tagger_threshold: briq_json::field(obj, "tagger_threshold")?,
+            mask: briq_json::field(obj, "mask")?,
+            use_index: briq_json::field_or(obj, "use_index", true)?,
+        })
+    }
+}
 briq_json::json_struct!(Briq {
     cfg,
     classifier,

@@ -1,0 +1,673 @@
+//! Sublinear candidate retrieval: a per-document inverted index that
+//! hands the [`crate::scoring::ScoringEngine`] a bounded candidate set
+//! per mention instead of the full mention × cell cross product
+//! (DESIGN.md §13).
+//!
+//! [`CandidateIndex`] is built once per document over three keys:
+//!
+//! * **aggregation-kind slots** — single cells plus one slot per
+//!   [`AggregationKind`], so a mention's tagger prediction selects whole
+//!   kind classes without scanning their members;
+//! * **unit classes** — within a slot, targets group by their exact
+//!   [`Unit`], so unit-incompatible pairs (feature `f8 == 3.0`,
+//!   the `StrongMismatch` that filtering can never keep) are skipped
+//!   wholesale;
+//! * **log-scale value-magnitude buckets** — within a unit group,
+//!   targets sort by their value's biased f64 exponent, so the near/far
+//!   split against `value_diff_threshold` needs an exact
+//!   [`relative_difference`] evaluation only for targets within a proven
+//!   exponent window; everything outside the window is *provably* far.
+//!
+//! The index can also carry **surface/header token postings**
+//! ([`CandidateIndex::token_candidates`]): target ids keyed by the
+//! tokens of their surface form and their row/column header words. The
+//! exact in-document path cannot use them to drop pairs (token evidence
+//! alone never proves a pair unkeepable — every unit-compatible pair
+//! clears the score floor under the untrained prior, and a trained
+//! forest's scores are not token-separable), so they are not consulted
+//! by [`CandidateIndex::retrieve`] and not built by
+//! [`CandidateIndex::build`] — the alignment hot path must not pay
+//! their `String` allocations. [`CandidateIndex::build_with_tokens`] /
+//! [`CandidateIndex::build_with_context`] opt in; they exist for the
+//! corpus-scale retrieval direction in ROADMAP.md (cross-document
+//! quantity search), where recall is a ranking concern rather than an
+//! exactness contract.
+//!
+//! # Recall contract
+//!
+//! [`CandidateIndex::retrieve`] returns **exactly** the mention's
+//! *viable* pairs — the pairs adaptive filtering
+//! ([`crate::filtering::filter_mention_pruned`]) could keep at any
+//! score, and exactly the pairs its mention-type vote polls:
+//!
+//! * single-cell targets whose unit does not strongly mismatch;
+//! * aggregate targets whose kind is tagged and whose unit does not
+//!   strongly mismatch.
+//!
+//! Every returned pair is additionally classified *near* or *far* with
+//! bit-exact agreement to the filter's `row[5] > value_diff_threshold`
+//! test (same [`relative_difference`] function, same f64 inputs). Recall
+//! against the exhaustive oracle is therefore exactly 1.0 by
+//! construction, and alignments are byte-identical with the index on or
+//! off — CI's determinism stage and the equivalence suites enforce both.
+
+use briq_table::{TableMention, TableMentionKind};
+use briq_text::cues::AggregationKind;
+use briq_text::units::Unit;
+use std::collections::BTreeMap;
+
+use crate::context::DocContext;
+use crate::features::{relative_difference, table_surface};
+use crate::filtering::FilterStats;
+
+/// Kind slots: single cells plus one per aggregation kind.
+pub const KIND_SLOTS: usize = 8;
+
+/// The aggregate kind behind each slot `1..KIND_SLOTS` (slot 0 is
+/// single-cell).
+const SLOT_KINDS: [AggregationKind; KIND_SLOTS - 1] = [
+    AggregationKind::Sum,
+    AggregationKind::Difference,
+    AggregationKind::Percentage,
+    AggregationKind::ChangeRatio,
+    AggregationKind::Average,
+    AggregationKind::Max,
+    AggregationKind::Min,
+];
+
+/// Slot index of a target kind (the hardened-crate panic-free policy
+/// rules out a positional lookup that would need `expect`).
+fn kind_slot(kind: TableMentionKind) -> usize {
+    match kind {
+        TableMentionKind::SingleCell => 0,
+        TableMentionKind::Aggregate(AggregationKind::Sum) => 1,
+        TableMentionKind::Aggregate(AggregationKind::Difference) => 2,
+        TableMentionKind::Aggregate(AggregationKind::Percentage) => 3,
+        TableMentionKind::Aggregate(AggregationKind::ChangeRatio) => 4,
+        TableMentionKind::Aggregate(AggregationKind::Average) => 5,
+        TableMentionKind::Aggregate(AggregationKind::Max) => 6,
+        TableMentionKind::Aggregate(AggregationKind::Min) => 7,
+    }
+}
+
+/// Stable kind name of a slot (matches [`TableMentionKind::name`]).
+fn slot_name(slot: usize) -> &'static str {
+    if slot == 0 {
+        "single-cell"
+    } else {
+        SLOT_KINDS[slot - 1].name()
+    }
+}
+
+/// Sign-aware magnitude-bucket key: the biased f64 exponent, negated for
+/// negative values so opposite signs can never share a bucket window.
+/// `None` marks the oddballs — zeros, subnormals, infinities, NaN — that
+/// skip the bucket proof and always get the exact near/far check.
+fn bucket_key(v: f64) -> Option<i32> {
+    let bits = v.to_bits();
+    let exp = ((bits >> 52) & 0x7ff) as i32;
+    if exp == 0 || exp == 0x7ff {
+        return None;
+    }
+    Some(if bits >> 63 == 1 { -exp } else { exp })
+}
+
+/// Largest exponent distance that still *requires* an exact
+/// [`relative_difference`] check against threshold `theta`: two normal
+/// same-sign values whose biased exponents differ by **more** than the
+/// returned delta satisfy `relative_difference > theta` provably (for
+/// exponent gap Δ the ratio of magnitudes is `< 2^(1-Δ)`, so the
+/// relative difference exceeds `1 - 2^(1-Δ)`; the `+1` adds one bucket
+/// of margin, and over-checking is always sound — in-window targets get
+/// the exact test). `None` when no finite window proves anything
+/// (`theta >= 1` or NaN): every member is exact-checked.
+fn exponent_delta(theta: f64) -> Option<i32> {
+    // NaN θ must land here too, so the comparison is deliberately on the
+    // "proves nothing" side: only θ strictly below 1 yields a window.
+    if theta >= 1.0 || theta.is_nan() {
+        return None;
+    }
+    let d = (1.0 - (1.0 - theta).log2()).floor() as i32 + 1;
+    Some(d.max(1))
+}
+
+/// One unit class within a kind slot: members sorted by
+/// `(bucket key, target index)` for the windowed scan, oddballs kept
+/// aside for the always-exact check.
+struct UnitGroup {
+    unit: Unit,
+    /// Bucket key per member, ascending (ties by target index).
+    keys: Vec<i32>,
+    /// Target index per member, parallel to `keys`.
+    tis: Vec<usize>,
+    /// Target value per member, parallel to `keys`.
+    vals: Vec<f64>,
+    /// Zero/subnormal/non-finite members: `(target index, value)`.
+    oddballs: Vec<(usize, f64)>,
+}
+
+/// Pair-level unit viability — identical to filtering's `unit_ok` and to
+/// the feature row's `f8 != 3.0` (`StrongMismatch`): only two
+/// *specified, non-matching* units kill a pair.
+fn unit_compatible(m: Unit, g: Unit) -> bool {
+    !(m.is_specified() && g.is_specified() && !m.matches(g))
+}
+
+/// Caller-owned retrieval buffers, reused across mentions so a warm
+/// retrieve allocates nothing.
+#[derive(Debug, Default)]
+pub struct RetrievalScratch {
+    /// Retrieved targets whose value is near the mention's
+    /// (`relative_difference <= value_diff_threshold`).
+    pub near: Vec<usize>,
+    /// Retrieved targets with a far value (still viable: filtering keeps
+    /// them at a high enough score, and they vote).
+    pub far: Vec<usize>,
+    /// Retrieved-per-slot counts of the last retrieve.
+    pub per_slot: [usize; KIND_SLOTS],
+}
+
+impl RetrievalScratch {
+    /// Total candidates retrieved for the last mention.
+    pub fn retrieved(&self) -> usize {
+        self.near.len() + self.far.len()
+    }
+}
+
+/// Per-document inverted candidate index. Build once per document
+/// ([`CandidateIndex::build`] or, with header-token postings,
+/// [`CandidateIndex::build_with_context`]), then call
+/// [`CandidateIndex::retrieve`] once per mention.
+pub struct CandidateIndex {
+    slots: [Vec<UnitGroup>; KIND_SLOTS],
+    kind_counts: [usize; KIND_SLOTS],
+    n_targets: usize,
+    theta: f64,
+    delta: Option<i32>,
+    tokens: BTreeMap<String, Vec<usize>>,
+}
+
+impl CandidateIndex {
+    /// Index `targets` for retrieval against value-difference threshold
+    /// `theta` (the filter's `value_diff_threshold`). No token postings
+    /// are built: [`CandidateIndex::retrieve`] never consults them, so
+    /// the alignment hot path must not pay their `String` allocations —
+    /// on corpus-scale documents the posting build costs more than
+    /// retrieval saves. Use [`CandidateIndex::build_with_tokens`] /
+    /// [`CandidateIndex::build_with_context`] when the postings are the
+    /// point.
+    pub fn build(targets: &[TableMention], theta: f64) -> CandidateIndex {
+        Self::build_inner(targets, theta, false, None)
+    }
+
+    /// [`CandidateIndex::build`] plus surface-form token postings
+    /// ([`CandidateIndex::token_candidates`]).
+    pub fn build_with_tokens(targets: &[TableMention], theta: f64) -> CandidateIndex {
+        Self::build_inner(targets, theta, true, None)
+    }
+
+    /// [`CandidateIndex::build_with_tokens`] plus header-word token
+    /// postings from the document context (each target's row/column
+    /// header words, as computed by
+    /// [`crate::context::TableContext::local_words`]).
+    pub fn build_with_context(
+        targets: &[TableMention],
+        theta: f64,
+        ctx: &DocContext,
+    ) -> CandidateIndex {
+        Self::build_inner(targets, theta, true, Some(ctx))
+    }
+
+    fn build_inner(
+        targets: &[TableMention],
+        theta: f64,
+        with_tokens: bool,
+        ctx: Option<&DocContext>,
+    ) -> CandidateIndex {
+        let mut slots: [Vec<UnitGroup>; KIND_SLOTS] = Default::default();
+        let mut kind_counts = [0usize; KIND_SLOTS];
+        let mut tokens: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+
+        for (ti, t) in targets.iter().enumerate() {
+            let slot = kind_slot(t.kind);
+            kind_counts[slot] += 1;
+            let groups = &mut slots[slot];
+            let gi = match groups.iter().position(|g| g.unit == t.unit) {
+                Some(gi) => gi,
+                None => {
+                    groups.push(UnitGroup {
+                        unit: t.unit,
+                        keys: Vec::new(),
+                        tis: Vec::new(),
+                        vals: Vec::new(),
+                        oddballs: Vec::new(),
+                    });
+                    groups.len() - 1
+                }
+            };
+            match bucket_key(t.value) {
+                Some(key) => {
+                    groups[gi].keys.push(key);
+                    groups[gi].tis.push(ti);
+                    groups[gi].vals.push(t.value);
+                }
+                None => groups[gi].oddballs.push((ti, t.value)),
+            }
+
+            if with_tokens {
+                for tok in table_surface(t)
+                    .to_lowercase()
+                    .split(|c: char| !c.is_alphanumeric())
+                {
+                    if !tok.is_empty() {
+                        tokens.entry(tok.to_string()).or_default().push(ti);
+                    }
+                }
+                if let Some(ctx) = ctx {
+                    if let Some(tc) = ctx.tables.get(t.table) {
+                        for w in tc.local_words(t) {
+                            tokens.entry(w).or_default().push(ti);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Sort each group's members by (bucket key, target index) so the
+        // window scan is two binary searches, and keep posting lists
+        // sorted and deduplicated.
+        for groups in &mut slots {
+            for g in groups {
+                let mut order: Vec<usize> = (0..g.keys.len()).collect();
+                order.sort_by_key(|&i| (g.keys[i], g.tis[i]));
+                g.keys = order.iter().map(|&i| g.keys[i]).collect();
+                let tis = std::mem::take(&mut g.tis);
+                let vals = std::mem::take(&mut g.vals);
+                g.tis = order.iter().map(|&i| tis[i]).collect();
+                g.vals = order.iter().map(|&i| vals[i]).collect();
+                g.oddballs.sort_unstable_by_key(|&(ti, _)| ti);
+            }
+        }
+        for list in tokens.values_mut() {
+            list.sort_unstable();
+            list.dedup();
+        }
+
+        CandidateIndex {
+            slots,
+            kind_counts,
+            n_targets: targets.len(),
+            theta,
+            delta: exponent_delta(theta),
+            tokens,
+        }
+    }
+
+    /// Number of indexed targets.
+    pub fn n_targets(&self) -> usize {
+        self.n_targets
+    }
+
+    /// Indexed targets of one kind slot (0 = single-cell).
+    pub fn kind_count(&self, slot: usize) -> usize {
+        self.kind_counts[slot]
+    }
+
+    /// Retrieve the viable candidate set for one mention into `out`:
+    /// every tag- and unit-compatible target, split into `near` and
+    /// `far` by the exact `value_diff_threshold` test (see the
+    /// module-level recall contract). Allocation-free once `out` is
+    /// warm.
+    pub fn retrieve(
+        &self,
+        value: f64,
+        unit: Unit,
+        tags: &[AggregationKind],
+        out: &mut RetrievalScratch,
+    ) {
+        out.near.clear();
+        out.far.clear();
+        out.per_slot = [0; KIND_SLOTS];
+        let mkey = bucket_key(value);
+        for (slot, groups) in self.slots.iter().enumerate() {
+            if slot != 0 && !tags.contains(&SLOT_KINDS[slot - 1]) {
+                continue;
+            }
+            let before = out.retrieved();
+            for g in groups {
+                if !unit_compatible(unit, g.unit) {
+                    continue;
+                }
+                match (self.delta, mkey) {
+                    (Some(d), Some(mk)) => {
+                        // Members outside the exponent window (or of the
+                        // opposite sign, which the sign-aware key pushes
+                        // out of any window) are provably far; only the
+                        // window gets the exact check.
+                        let lo = g.keys.partition_point(|&k| k < mk - d);
+                        let hi = g.keys.partition_point(|&k| k <= mk + d);
+                        out.far.extend_from_slice(&g.tis[..lo]);
+                        for i in lo..hi {
+                            self.push_exact(value, g.tis[i], g.vals[i], out);
+                        }
+                        out.far.extend_from_slice(&g.tis[hi..]);
+                    }
+                    // No provable window (θ ≥ 1, NaN θ, or an oddball
+                    // mention value): exact-check every member.
+                    _ => {
+                        for i in 0..g.tis.len() {
+                            self.push_exact(value, g.tis[i], g.vals[i], out);
+                        }
+                    }
+                }
+                for &(ti, v) in &g.oddballs {
+                    self.push_exact(value, ti, v, out);
+                }
+            }
+            out.per_slot[slot] = out.retrieved() - before;
+        }
+    }
+
+    #[inline]
+    fn push_exact(&self, value: f64, ti: usize, tv: f64, out: &mut RetrievalScratch) {
+        if relative_difference(value, tv) > self.theta {
+            out.far.push(ti);
+        } else {
+            out.near.push(ti);
+        }
+    }
+
+    /// Record the pairs retrieval never surfaced into the filter
+    /// statistics, so per-kind totals stay identical to the exhaustive
+    /// oracle's (which records every pair): per slot, the indexed
+    /// targets minus the retrieved ones, all counted as seen-and-dropped.
+    pub fn record_dropped(&self, out: &RetrievalScratch, stats: &mut FilterStats) {
+        for slot in 0..KIND_SLOTS {
+            let dropped = self.kind_counts[slot] - out.per_slot[slot];
+            if dropped > 0 {
+                stats.record_dropped(slot_name(slot), dropped);
+            }
+        }
+    }
+
+    /// Posting list of a surface/header token: the indexed targets whose
+    /// surface form or header words contain `token` (lowercase), in
+    /// ascending target order. Empty unless the index was built with
+    /// [`CandidateIndex::build_with_tokens`] /
+    /// [`CandidateIndex::build_with_context`]: postings are not
+    /// consulted by the exact in-document path — see the module docs
+    /// for why — but are the substrate for corpus-scale retrieval.
+    pub fn token_candidates(&self, token: &str) -> &[usize] {
+        self.tokens.get(token).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Number of distinct tokens with postings.
+    pub fn n_tokens(&self) -> usize {
+        self.tokens.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use briq_text::units::Currency;
+
+    fn target(value: f64, kind: TableMentionKind, unit: Unit) -> TableMention {
+        TableMention {
+            table: 0,
+            kind,
+            cells: vec![(1, 1)],
+            value,
+            unnormalized: value,
+            raw: crate::features::format_value(value),
+            unit,
+            precision: 0,
+            orientation: None,
+        }
+    }
+
+    /// Brute-force viable set + near/far split, straight from the
+    /// filter's own predicates.
+    fn oracle(
+        targets: &[TableMention],
+        value: f64,
+        unit: Unit,
+        tags: &[AggregationKind],
+        theta: f64,
+    ) -> (Vec<usize>, Vec<usize>) {
+        let mut near = Vec::new();
+        let mut far = Vec::new();
+        for (ti, t) in targets.iter().enumerate() {
+            let viable = unit_compatible(unit, t.unit)
+                && match t.kind {
+                    TableMentionKind::SingleCell => true,
+                    TableMentionKind::Aggregate(k) => tags.contains(&k),
+                };
+            if viable {
+                if relative_difference(value, t.value) > theta {
+                    far.push(ti);
+                } else {
+                    near.push(ti);
+                }
+            }
+        }
+        (near, far)
+    }
+
+    fn check_exact(
+        targets: &[TableMention],
+        value: f64,
+        unit: Unit,
+        tags: &[AggregationKind],
+        theta: f64,
+    ) {
+        let idx = CandidateIndex::build(targets, theta);
+        let mut out = RetrievalScratch::default();
+        idx.retrieve(value, unit, tags, &mut out);
+        let (mut near, mut far) = (out.near.clone(), out.far.clone());
+        near.sort_unstable();
+        far.sort_unstable();
+        let (onear, ofar) = oracle(targets, value, unit, tags, theta);
+        assert_eq!(near, onear, "near mismatch for value {value:e} θ {theta}");
+        assert_eq!(far, ofar, "far mismatch for value {value:e} θ {theta}");
+    }
+
+    /// Value grid covering every bucket-math edge: signs, zeros,
+    /// subnormals, infinities, NaN, boundary ratios around θ.
+    fn adversarial_values() -> Vec<f64> {
+        vec![
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            0.35,
+            0.65,
+            1.0 - 0.35,
+            1.0 + 0.35,
+            123.0,
+            123.4,
+            1e-300,
+            -1e-300,
+            1e300,
+            -1e300,
+            f64::MIN_POSITIVE,
+            f64::MIN_POSITIVE / 2.0, // subnormal
+            f64::MAX,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            2.0,
+            4.0,
+            8.0,
+            1.999_999_999,
+            2.000_000_001,
+            1e9,
+            1e9 + 1.0,
+            -1e9,
+        ]
+    }
+
+    #[test]
+    fn bucket_key_edges() {
+        assert_eq!(bucket_key(0.0), None);
+        assert_eq!(bucket_key(-0.0), None);
+        assert_eq!(bucket_key(f64::NAN), None);
+        assert_eq!(bucket_key(f64::INFINITY), None);
+        assert_eq!(bucket_key(f64::MIN_POSITIVE / 2.0), None, "subnormal");
+        let k1 = bucket_key(1.5).unwrap();
+        let k2 = bucket_key(3.0).unwrap();
+        assert_eq!(k2 - k1, 1, "doubling advances one bucket");
+        assert_eq!(bucket_key(-1.5).unwrap(), -k1, "sign-aware key");
+    }
+
+    #[test]
+    fn exponent_delta_bounds() {
+        assert_eq!(exponent_delta(1.0), None);
+        assert_eq!(exponent_delta(f64::NAN), None);
+        assert_eq!(exponent_delta(2.0), None);
+        // θ = 0.35 (the default): values more than Δ buckets apart must
+        // really be far.
+        let d = exponent_delta(0.35).unwrap();
+        assert!(d >= 2);
+        for gap in (d + 1)..(d + 6) {
+            let far = (2.0f64).powi(gap);
+            assert!(relative_difference(1.5, 1.5 * far) > 0.35);
+        }
+    }
+
+    #[test]
+    fn retrieval_matches_oracle_over_adversarial_values() {
+        let vals = adversarial_values();
+        let mut targets = Vec::new();
+        for (i, &v) in vals.iter().enumerate() {
+            let kind = match i % 3 {
+                0 => TableMentionKind::SingleCell,
+                1 => TableMentionKind::Aggregate(AggregationKind::Sum),
+                _ => TableMentionKind::Aggregate(AggregationKind::Average),
+            };
+            let unit = match i % 4 {
+                0 => Unit::None,
+                1 => Unit::Currency(Currency::Usd),
+                2 => Unit::Percent,
+                _ => Unit::Currency(Currency::Other),
+            };
+            targets.push(target(v, kind, unit));
+        }
+        let tag_sets: [&[AggregationKind]; 3] = [
+            &[],
+            &[AggregationKind::Sum],
+            &[AggregationKind::Sum, AggregationKind::Average],
+        ];
+        for &value in &vals {
+            for unit in [Unit::None, Unit::Currency(Currency::Eur), Unit::Percent] {
+                for tags in tag_sets {
+                    for theta in [0.0, 0.35, 0.95, 1.0, f64::NAN, -0.5] {
+                        check_exact(&targets, value, unit, tags, theta);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_clean() {
+        let targets = vec![
+            target(10.0, TableMentionKind::SingleCell, Unit::None),
+            target(1e9, TableMentionKind::SingleCell, Unit::None),
+        ];
+        let idx = CandidateIndex::build(&targets, 0.35);
+        let mut out = RetrievalScratch::default();
+        idx.retrieve(10.0, Unit::None, &[], &mut out);
+        assert_eq!(out.near, vec![0]);
+        assert_eq!(out.far, vec![1]);
+        assert_eq!(out.per_slot[0], 2);
+        idx.retrieve(f64::NAN, Unit::None, &[], &mut out);
+        assert_eq!(
+            out.near.len() + out.far.len(),
+            2,
+            "NaN mention still viable"
+        );
+        idx.retrieve(10.0, Unit::Percent, &[], &mut out);
+        assert_eq!(
+            out.retrieved(),
+            2,
+            "unspecified target unit stays compatible"
+        );
+    }
+
+    #[test]
+    fn unit_groups_prune_strong_mismatch_only() {
+        let targets = vec![
+            target(
+                5.0,
+                TableMentionKind::SingleCell,
+                Unit::Currency(Currency::Usd),
+            ),
+            target(
+                5.0,
+                TableMentionKind::SingleCell,
+                Unit::Currency(Currency::Eur),
+            ),
+            target(5.0, TableMentionKind::SingleCell, Unit::None),
+            target(
+                5.0,
+                TableMentionKind::SingleCell,
+                Unit::Currency(Currency::Other),
+            ),
+        ];
+        let idx = CandidateIndex::build(&targets, 0.35);
+        let mut out = RetrievalScratch::default();
+        idx.retrieve(5.0, Unit::Currency(Currency::Usd), &[], &mut out);
+        let mut got = out.near.clone();
+        got.sort_unstable();
+        // EUR strongly mismatches; unspecified and Other-currency stay.
+        assert_eq!(got, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn record_dropped_restores_oracle_totals() {
+        let targets = vec![
+            target(5.0, TableMentionKind::SingleCell, Unit::None),
+            target(
+                5.0,
+                TableMentionKind::Aggregate(AggregationKind::Sum),
+                Unit::None,
+            ),
+            target(
+                5.0,
+                TableMentionKind::Aggregate(AggregationKind::Difference),
+                Unit::None,
+            ),
+        ];
+        let idx = CandidateIndex::build(&targets, 0.35);
+        let mut out = RetrievalScratch::default();
+        idx.retrieve(5.0, Unit::None, &[AggregationKind::Sum], &mut out);
+        assert_eq!(out.retrieved(), 2);
+        let mut stats = FilterStats::default();
+        idx.record_dropped(&out, &mut stats);
+        assert_eq!(stats.total.get("diff"), Some(&1));
+        assert_eq!(
+            stats.total.get("single-cell"),
+            None,
+            "nothing dropped there"
+        );
+    }
+
+    #[test]
+    fn token_postings_cover_surface_and_lookup_is_sorted() {
+        let mut t0 = target(38.0, TableMentionKind::SingleCell, Unit::None);
+        t0.raw = "38 patients".to_string();
+        let t1 = target(38.5, TableMentionKind::SingleCell, Unit::None);
+        let idx = CandidateIndex::build_with_tokens(&[t0.clone(), t1.clone()], 0.35);
+        assert_eq!(idx.token_candidates("patients"), &[0]);
+        // "38.5" splits on the dot: both targets carry a "38" token.
+        assert_eq!(idx.token_candidates("38"), &[0, 1]);
+        assert_eq!(idx.token_candidates("5"), &[1]);
+        assert_eq!(idx.token_candidates("absent"), &[0usize; 0]);
+        assert!(idx.n_tokens() >= 2);
+        // The hot-path build skips postings entirely.
+        let bare = CandidateIndex::build(&[t0, t1], 0.35);
+        assert_eq!(bare.n_tokens(), 0);
+        assert_eq!(bare.token_candidates("38"), &[0usize; 0]);
+    }
+}

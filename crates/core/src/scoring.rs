@@ -109,6 +109,20 @@ fn static_cut(
     }
 }
 
+/// Whether filtering could keep the pair at *any* score — and, equally,
+/// whether the pair participates in [`crate::filtering::mention_type`]'s
+/// majority vote: unit-compatible (`row[7] != 3.0`, the `StrongMismatch`
+/// encode), and for aggregates a matching tagger prediction. This is the
+/// exact set [`crate::retrieval::CandidateIndex::retrieve`] returns, so
+/// the indexed and exhaustive paths agree by construction.
+fn is_viable(row: &[f64], target: &TableMention, tags: &[AggregationKind]) -> bool {
+    row[7] != 3.0
+        && match target.kind {
+            TableMentionKind::SingleCell => true,
+            TableMentionKind::Aggregate(k) => tags.contains(&k),
+        }
+}
+
 /// The fifth-highest value of `scores`, or `-∞` when there are fewer than
 /// five — the strict threshold below which a pair can never enter the
 /// top-5 majority vote of [`crate::filtering::mention_type`].
@@ -168,10 +182,19 @@ pub struct ScoringEngine {
     /// mention, in no particular order (filtering sorts under a total
     /// order, so ordering cannot leak into results).
     computed: Vec<(usize, f64)>,
+    /// Viability flag per `computed` entry (see [`is_viable`]): only
+    /// viable scores feed the fifth-highest vote bound.
+    viable_flags: Vec<bool>,
     /// Target indices whose scoring was provably cut short.
     pruned: Vec<usize>,
-    /// Target indices deferred to the bounded phase.
+    /// Row positions (exhaustive path: target indices) deferred to the
+    /// bounded phase.
     deferred: Vec<usize>,
+    /// Selected-target map of the retrieval path: row `k` of the filled
+    /// matrix is pair `(mention, sel[k])`. Empty on the exhaustive path.
+    sel: Vec<usize>,
+    /// How many leading entries of `sel` retrieval classified as near.
+    n_near: usize,
     rows_deduped: u64,
     pairs_pruned: u64,
     rows_scored_exhaustive: u64,
@@ -196,8 +219,11 @@ impl ScoringEngine {
             out: Vec::new(),
             pruned_flags: Vec::new(),
             computed: Vec::new(),
+            viable_flags: Vec::new(),
             pruned: Vec::new(),
             deferred: Vec::new(),
+            sel: Vec::new(),
+            n_near: 0,
             rows_deduped: 0,
             pairs_pruned: 0,
             rows_scored_exhaustive: 0,
@@ -208,7 +234,27 @@ impl ScoringEngine {
     /// Fill the engine's row matrix with every target's features for
     /// mention `mi`.
     pub fn fill_rows(&mut self, fz: &mut PairFeaturizer, mi: usize) {
+        self.sel.clear();
+        self.n_near = 0;
         fz.fill_mention_rows(mi, &mut self.rows);
+    }
+
+    /// Fill the row matrix with only the retrieved targets for mention
+    /// `mi`: `near` then `far`, as returned by
+    /// [`crate::retrieval::CandidateIndex::retrieve`]. Pair with the
+    /// `*_selected` scoring entry points.
+    pub fn fill_rows_selected(
+        &mut self,
+        fz: &mut PairFeaturizer,
+        mi: usize,
+        near: &[usize],
+        far: &[usize],
+    ) {
+        self.sel.clear();
+        self.sel.extend_from_slice(near);
+        self.sel.extend_from_slice(far);
+        self.n_near = near.len();
+        fz.fill_rows_for(mi, &self.sel, &mut self.rows);
     }
 
     /// Exactly scored `(target index, score)` pairs of the last-scored
@@ -250,8 +296,35 @@ impl ScoringEngine {
     /// bound, so pruning cannot pay for itself there.
     pub fn score_heuristic(&mut self, mask: &FeatureMask) {
         self.computed.clear();
+        self.viable_flags.clear();
         self.pruned.clear();
         for (ti, row) in self.rows.chunks_exact(FEATURE_COUNT).enumerate() {
+            let key = row_key(row);
+            let s = match self.cache.get(&key) {
+                Some(&s) => {
+                    self.rows_deduped += 1;
+                    s
+                }
+                None => {
+                    let s = heuristic_prior_masked(row, mask);
+                    self.cache.insert(key, s);
+                    self.rows_scored_exhaustive += 1;
+                    s
+                }
+            };
+            self.computed.push((ti, s));
+        }
+    }
+
+    /// [`ScoringEngine::score_heuristic`] over the retrieved candidate
+    /// rows filled by [`ScoringEngine::fill_rows_selected`]: row position
+    /// `i` belongs to target `sel[i]`, not target `i`.
+    pub fn score_heuristic_selected(&mut self, mask: &FeatureMask) {
+        self.computed.clear();
+        self.viable_flags.clear();
+        self.pruned.clear();
+        for (pos, row) in self.rows.chunks_exact(FEATURE_COUNT).enumerate() {
+            let ti = self.sel[pos];
             let key = row_key(row);
             let s = match self.cache.get(&key) {
                 Some(&s) => {
@@ -274,10 +347,14 @@ impl ScoringEngine {
     /// Phase A scores every row that filtering might keep at any score at
     /// or below the floor (must-compute aggregates and floor-cut singles)
     /// exactly, through the dedup cache and [`briq_ml::FlatForest::score_block`].
-    /// The fifth-highest phase-A score then bounds the mention-type vote:
-    /// any pair scoring strictly below it can never enter the top-5 (at
-    /// least five computed pairs outrank it under the vote's total
-    /// order), so phase B may abandon a row once the forest's
+    /// The fifth-highest *viable* phase-A score then bounds the
+    /// mention-type vote (the vote polls only viable pairs — unit-compatible
+    /// single cells and tagged, unit-compatible aggregates): any viable
+    /// pair scoring strictly below it can never enter the top-5 (at
+    /// least five viable computed pairs outrank it under the vote's total
+    /// order), and a non-viable pair is invisible to both the keep
+    /// decision and the vote, so its cut is `+∞`. Phase B may therefore
+    /// abandon a row once the forest's
     /// remaining-vote bound falls below
     /// `min(static keep cut, fifth-highest)` — or below the static cut
     /// alone when the mention's approximation modifier decides the vote
@@ -294,6 +371,7 @@ impl ScoringEngine {
     ) {
         let flat = clf.flat();
         self.computed.clear();
+        self.viable_flags.clear();
         self.pruned.clear();
         self.deferred.clear();
         self.block.clear();
@@ -306,6 +384,7 @@ impl ScoringEngine {
             if let Some(&s) = self.cache.get(&row_key(row)) {
                 self.rows_deduped += 1;
                 self.computed.push((ti, s));
+                self.viable_flags.push(is_viable(row, &targets[ti], tags));
                 continue;
             }
             let must_compute =
@@ -326,11 +405,10 @@ impl ScoringEngine {
         self.rows_scored_exhaustive += n as u64;
         for (i, &ti) in self.block_tis.iter().enumerate() {
             let s = self.out[i];
-            self.cache.insert(
-                row_key(&self.block[i * FEATURE_COUNT..(i + 1) * FEATURE_COUNT]),
-                s,
-            );
+            let row = &self.block[i * FEATURE_COUNT..(i + 1) * FEATURE_COUNT];
+            self.cache.insert(row_key(row), s);
             self.computed.push((ti, s));
+            self.viable_flags.push(is_viable(row, &targets[ti], tags));
         }
 
         if self.deferred.is_empty() {
@@ -338,16 +416,19 @@ impl ScoringEngine {
         }
 
         // The mention-type vote inspects candidate scores only for
-        // unmodified mentions; otherwise the modifier decides and the
-        // static cut alone is exact.
+        // unmodified mentions (and polls only viable pairs); otherwise
+        // the modifier decides and the static cut alone is exact.
         let fifth = if x.quantity.approx == ApproxIndicator::None {
-            fifth_highest(self.computed.iter().map(|&(_, s)| s))
+            fifth_highest(self.viable_scores())
         } else {
             f64::INFINITY
         };
 
         // Phase B: bounded block scoring of the deferred rows. Rows that
         // gained a cache entry during phase A resolve as dedup hits.
+        // Non-viable rows (which filtering can never keep and the vote
+        // never polls) carry an infinite cut: the bounded kernel prunes
+        // them at the first opportunity.
         self.block.clear();
         self.block_tis.clear();
         self.cuts.clear();
@@ -357,13 +438,135 @@ impl ScoringEngine {
             if let Some(&s) = self.cache.get(&row_key(row)) {
                 self.rows_deduped += 1;
                 self.computed.push((ti, s));
+                self.viable_flags.push(is_viable(row, &targets[ti], tags));
                 continue;
             }
+            let cut = if is_viable(row, &targets[ti], tags) {
+                static_cut(row, &targets[ti], tags, cfg).min(fifth)
+            } else {
+                f64::INFINITY
+            };
             self.block.extend_from_slice(row);
             self.block_tis.push(ti);
-            self.cuts
-                .push(static_cut(row, &targets[ti], tags, cfg).min(fifth));
+            self.cuts.push(cut);
         }
+        self.score_deferred_block(targets, tags, flat);
+    }
+
+    /// Score the retrieved candidate rows (filled by
+    /// [`ScoringEngine::fill_rows_selected`]) through the trained forest.
+    /// Same two-phase structure as [`ScoringEngine::score_trained`], but
+    /// every row is viable by the retrieval recall contract, near rows
+    /// are phase-A must-computes by construction, and far rows' static
+    /// cuts follow from their kind alone — asserted against the
+    /// exhaustive path's `static_cut` over the actual feature row in
+    /// debug builds.
+    pub fn score_trained_selected(
+        &mut self,
+        x: &TextMention,
+        targets: &[TableMention],
+        tags: &[AggregationKind],
+        clf: &PairClassifier,
+        cfg: &FilterConfig,
+        prune: bool,
+    ) {
+        let flat = clf.flat();
+        self.computed.clear();
+        self.viable_flags.clear();
+        self.pruned.clear();
+        self.deferred.clear();
+        self.block.clear();
+        self.block_tis.clear();
+
+        for (pos, row) in self.rows.chunks_exact(FEATURE_COUNT).enumerate() {
+            let ti = self.sel[pos];
+            debug_assert!(is_viable(row, &targets[ti], tags));
+            if let Some(&s) = self.cache.get(&row_key(row)) {
+                self.rows_deduped += 1;
+                self.computed.push((ti, s));
+                self.viable_flags.push(true);
+                continue;
+            }
+            let near = pos < self.n_near;
+            debug_assert!(
+                near == (static_cut(row, &targets[ti], tags, cfg) <= cfg.score_floor)
+                    || cfg.score_threshold <= cfg.score_floor,
+                "retrieval near/far split must match the static cut"
+            );
+            if !prune || near {
+                self.block.extend_from_slice(row);
+                self.block_tis.push(ti);
+            } else {
+                self.deferred.push(pos);
+            }
+        }
+
+        let n = self.block_tis.len();
+        self.out.clear();
+        self.out.resize(n, 0.0);
+        flat.score_block(&self.block, FEATURE_COUNT, &mut self.out);
+        self.rows_scored_exhaustive += n as u64;
+        for (i, &ti) in self.block_tis.iter().enumerate() {
+            let s = self.out[i];
+            self.cache.insert(
+                row_key(&self.block[i * FEATURE_COUNT..(i + 1) * FEATURE_COUNT]),
+                s,
+            );
+            self.computed.push((ti, s));
+            self.viable_flags.push(true);
+        }
+
+        if self.deferred.is_empty() {
+            return;
+        }
+
+        let fifth = if x.quantity.approx == ApproxIndicator::None {
+            fifth_highest(self.viable_scores())
+        } else {
+            f64::INFINITY
+        };
+
+        self.block.clear();
+        self.block_tis.clear();
+        self.cuts.clear();
+        for i in 0..self.deferred.len() {
+            let pos = self.deferred[i];
+            let ti = self.sel[pos];
+            let row = &self.rows[pos * FEATURE_COUNT..(pos + 1) * FEATURE_COUNT];
+            if let Some(&s) = self.cache.get(&row_key(row)) {
+                self.rows_deduped += 1;
+                self.computed.push((ti, s));
+                self.viable_flags.push(true);
+                continue;
+            }
+            // A far single cell survives only at/above the score
+            // threshold (and never below the floor); a far tagged
+            // aggregate only at/above the threshold.
+            let cut = match targets[ti].kind {
+                TableMentionKind::SingleCell => cfg.score_floor.max(cfg.score_threshold),
+                TableMentionKind::Aggregate(_) => cfg.score_threshold,
+            };
+            debug_assert_eq!(
+                cut,
+                static_cut(row, &targets[ti], tags, cfg),
+                "kind-derived far cut must match the row's static cut"
+            );
+            self.block.extend_from_slice(row);
+            self.block_tis.push(ti);
+            self.cuts.push(cut.min(fifth));
+        }
+        self.score_deferred_block(targets, tags, flat);
+    }
+
+    /// Shared phase-B tail: run the bounded kernel over the gathered
+    /// block and fold survivors into `computed` (with their viability)
+    /// and pruned rows into `pruned`.
+    fn score_deferred_block(
+        &mut self,
+        targets: &[TableMention],
+        tags: &[AggregationKind],
+        flat: &briq_ml::FlatForest,
+    ) {
         let n = self.block_tis.len();
         self.out.clear();
         self.out.resize(n, 0.0);
@@ -383,13 +586,22 @@ impl ScoringEngine {
             } else {
                 self.rows_scored_bounded += 1;
                 let s = self.out[i];
-                self.cache.insert(
-                    row_key(&self.block[i * FEATURE_COUNT..(i + 1) * FEATURE_COUNT]),
-                    s,
-                );
+                let row = &self.block[i * FEATURE_COUNT..(i + 1) * FEATURE_COUNT];
+                self.cache.insert(row_key(row), s);
                 self.computed.push((ti, s));
+                self.viable_flags.push(is_viable(row, &targets[ti], tags));
             }
         }
+    }
+
+    /// Scores of the viable computed pairs — the exact multiset the
+    /// mention-type vote ranks.
+    fn viable_scores(&self) -> impl Iterator<Item = f64> + '_ {
+        self.computed
+            .iter()
+            .zip(&self.viable_flags)
+            .filter(|&(_, &v)| v)
+            .map(|(&(_, s), _)| s)
     }
 }
 

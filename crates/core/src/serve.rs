@@ -742,6 +742,15 @@ fn handle_line(sh: &Shared<'_>, stream: &mut TcpStream, line: &str) -> After {
                     Value::Num(sh.connections.load(Ordering::SeqCst) as f64),
                 ),
                 ("workers", Value::Num(sh.cfg.workers as f64)),
+                // Effective retrieval-index state for this process:
+                // config knob AND the BRIQ_NO_INDEX escape hatch.
+                (
+                    "index_enabled",
+                    Value::Bool(
+                        sh.briq.cfg.use_index
+                            && std::env::var_os("BRIQ_NO_INDEX").is_none_or(|v| v != "1"),
+                    ),
+                ),
             ]);
             ok_or_close(write_line(sh, stream, &resp))
         }

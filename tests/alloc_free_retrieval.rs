@@ -1,0 +1,100 @@
+//! Proof that per-mention candidate retrieval performs zero heap
+//! allocations once the index is built and the scratch is warmed: a
+//! counting global allocator wraps the system allocator, and after one
+//! warm-up sweep (which sizes the reusable near/far vectors) a full
+//! retrieval sweep over every mention must allocate nothing. Building
+//! the index allocates, querying it must not — that is what makes the
+//! per-mention cost bounded by the candidate set, not the index.
+//!
+//! One `#[test]` only: the counter is process-global, and a second
+//! concurrently-running test would pollute it.
+
+use briq_core::pipeline::{Briq, BriqConfig};
+use briq_core::retrieval::{CandidateIndex, RetrievalScratch};
+use briq_corpus::corpus::{generate_corpus, CorpusConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> usize {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn retrieval_sweep_is_allocation_free_after_build() {
+    let briq = Briq::untrained(BriqConfig::default());
+    let corpus = generate_corpus(&CorpusConfig {
+        n_documents: 4,
+        seed: 23,
+        ..Default::default()
+    });
+    let sd = corpus
+        .documents
+        .iter()
+        .map(|ld| briq.score_document(&ld.document))
+        .max_by_key(|sd| sd.mentions.len() * sd.targets.len())
+        .expect("non-empty corpus");
+    assert!(
+        sd.mentions.len() >= 3 && sd.targets.len() >= 20,
+        "need a real workload, got {} mentions x {} targets",
+        sd.mentions.len(),
+        sd.targets.len()
+    );
+
+    // Build allocates (postings, bucket arrays); that's the once-per-
+    // document cost and is not under test.
+    let index = CandidateIndex::build(&sd.targets, briq.cfg.filter.value_diff_threshold);
+    let mut scratch = RetrievalScratch::default();
+
+    // Warm-up sweep: grows near/far to their high-water marks.
+    let sweep = |scratch: &mut RetrievalScratch| {
+        let mut total = 0usize;
+        for (mi, mention) in sd.mentions.iter().enumerate() {
+            index.retrieve(
+                mention.quantity.value,
+                mention.quantity.unit,
+                &sd.tags[mi],
+                scratch,
+            );
+            total += scratch.retrieved();
+        }
+        total
+    };
+    let warm = sweep(&mut scratch);
+    assert!(warm > 0, "index retrieved nothing across the sweep");
+
+    let before = allocations();
+    let hot = sweep(&mut scratch);
+    let after = allocations();
+
+    assert_eq!(
+        after - before,
+        0,
+        "hot retrieval sweep allocated {} times over {} mentions",
+        after - before,
+        sd.mentions.len()
+    );
+    assert_eq!(warm, hot, "sweeps must be deterministic");
+}

@@ -1,0 +1,79 @@
+//! `BRIQ_NO_INDEX=1` must behave exactly like `cfg.use_index = false`:
+//! same alignments, same statistics, and zero retrieval activity in the
+//! stage timings. Kept as a single-test binary because it mutates the
+//! process environment — sharing a binary with other tests would race
+//! the env var across threads.
+
+use briq_core::pipeline::{Briq, BriqConfig};
+use briq_core::Budget;
+use briq_corpus::corpus::{generate_corpus, CorpusConfig};
+
+#[test]
+fn env_hatch_matches_config_knob() {
+    let briq = Briq::untrained(BriqConfig::default());
+    let mut oracle = briq.clone();
+    oracle.cfg.use_index = false;
+
+    let docs = generate_corpus(&CorpusConfig {
+        n_documents: 8,
+        seed: 97,
+        ..Default::default()
+    })
+    .documents;
+
+    let budget = Budget::unlimited();
+    let mut indexed_retrieved = 0u64;
+    for ld in &docs {
+        let doc = &ld.document;
+
+        // Index on (the default): the stage must actually retrieve.
+        let (al_on, _, t_on) = briq.align_timed(doc, &budget);
+        indexed_retrieved += t_on.candidates_retrieved;
+
+        // Env hatch on the same (indexed) config.
+        std::env::set_var("BRIQ_NO_INDEX", "1");
+        let (al_env, stats_env, cand_env) = briq.align_detailed(doc);
+        let (_, _, t_env) = briq.align_timed(doc, &budget);
+        std::env::remove_var("BRIQ_NO_INDEX");
+
+        // Config knob off.
+        let (al_cfg, stats_cfg, cand_cfg) = oracle.align_detailed(doc);
+
+        assert_eq!(
+            t_env.candidates_retrieved, 0,
+            "doc {}: env hatch left the index engaged",
+            doc.id
+        );
+        assert_eq!(
+            t_env.pairs_skipped_retrieval, 0,
+            "doc {}: env hatch recorded retrieval skips",
+            doc.id
+        );
+        assert_eq!(
+            format!("{al_env:?}"),
+            format!("{al_cfg:?}"),
+            "doc {}: env hatch and config knob disagree on alignments",
+            doc.id
+        );
+        assert_eq!(stats_env, stats_cfg, "doc {}: stats disagree", doc.id);
+        assert_eq!(
+            format!("{cand_env:?}"),
+            format!("{cand_cfg:?}"),
+            "doc {}: candidates disagree",
+            doc.id
+        );
+        // And both escape hatches must match the indexed output too —
+        // the recall contract, exercised through the env path.
+        assert_eq!(
+            format!("{al_on:?}"),
+            format!("{al_env:?}"),
+            "doc {}: indexed and exhaustive alignments diverge",
+            doc.id
+        );
+    }
+    assert!(
+        indexed_retrieved > 0,
+        "index never retrieved a candidate across {} docs",
+        docs.len()
+    );
+}

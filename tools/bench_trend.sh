@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Perf-trajectory check: compare a fresh throughput measurement against
+# the committed BENCH_throughput.json (git show HEAD:...) and fail on a
+# classify-stage regression beyond $TREND_TOL percent (default 25).
+#
+#   tools/bench_trend.sh [fresh.json]
+#
+# With an argument, that file is taken as the fresh measurement (CI's
+# bench-smoke stage passes its just-written artifact); without one, a
+# fresh point is measured into a temp file so the stage is standalone.
+#
+# The compared number is the sequential (--jobs 1) point's classify-stage
+# CPU-seconds — the hot path the retrieval index and scoring engine own.
+# Wall-clock comparisons are only meaningful within one host, which is
+# exactly the CI situation this guards (same machine, PR over PR).
+#
+# Hard rule: the two artifacts' index_enabled states must match.
+# Indexed and exhaustive numbers live on different complexity curves, so
+# a silent mix would make the trajectory meaningless; a mismatch FAILS
+# rather than skips. Missing baselines skip loudly (exit 0): the first
+# commit of an artifact records the baseline, it cannot regress against
+# itself.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+TREND_TOL="${TREND_TOL:-25}"
+NPROC="$(nproc 2>/dev/null || echo 1)"
+BENCH_DOCS="${BENCH_DOCS:-60}"
+BENCH_SEED="${BENCH_SEED:-20190408}"
+
+# First occurrence wins: field order puts the sequential baseline point
+# (and the top-level scalars) ahead of the parallel point.
+json_field() { # file field
+    awk -F': ' -v key="\"$2\"" '$1 ~ key {gsub(/,/, "", $2); print $2; exit}' "$1"
+}
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+committed="$tmpdir/committed.json"
+if ! git show HEAD:BENCH_throughput.json > "$committed" 2>/dev/null; then
+    echo "perf-trend: no BENCH_throughput.json at HEAD; skipping (first artifact commit records the baseline)"
+    exit 0
+fi
+
+fresh="${1:-}"
+if [ -z "$fresh" ]; then
+    fresh="$tmpdir/fresh.json"
+    cargo build --offline --release -q -p briq-bench || exit 1
+    ./target/release/briq-eval throughput \
+        --docs "$BENCH_DOCS" --seed "$BENCH_SEED" --jobs "$NPROC" \
+        --out "$fresh" > /dev/null || exit 1
+fi
+if [ ! -s "$fresh" ]; then
+    echo "perf-trend: fresh measurement $fresh missing or empty" >&2
+    exit 1
+fi
+
+old_idx="$(json_field "$committed" index_enabled)"
+new_idx="$(json_field "$fresh" index_enabled)"
+if [ -z "$old_idx" ]; then
+    echo "perf-trend: committed artifact predates the index_enabled schema; skipping (next commit records a comparable baseline)"
+    exit 0
+fi
+if [ -z "$new_idx" ]; then
+    echo "perf-trend: fresh artifact carries no index_enabled field" >&2
+    exit 1
+fi
+if [ "$old_idx" != "$new_idx" ]; then
+    echo "perf-trend: refusing to compare index_enabled=$new_idx against committed index_enabled=$old_idx — indexed and exhaustive numbers must never mix" >&2
+    exit 1
+fi
+
+old_s="$(json_field "$committed" classify_s)"
+new_s="$(json_field "$fresh" classify_s)"
+if [ -z "$old_s" ] || [ -z "$new_s" ]; then
+    echo "perf-trend: classify_s missing (committed: '${old_s:-}', fresh: '${new_s:-}')" >&2
+    exit 1
+fi
+
+awk -v old="$old_s" -v new="$new_s" -v tol="$TREND_TOL" -v idx="$new_idx" '
+BEGIN {
+    if (old <= 0) {
+        printf "perf-trend: committed classify_s %s not positive; skipping\n", old
+        exit 0
+    }
+    pct = (new - old) / old * 100
+    printf "perf-trend: classify-stage %ss -> %ss (%+.1f%%, tolerance %s%%, index_enabled=%s)\n", old, new, pct, tol, idx
+    exit !(pct <= tol)
+}' || {
+    echo "perf-trend: classify-stage regression beyond ${TREND_TOL}% (set TREND_TOL to adjust)" >&2
+    exit 1
+}
