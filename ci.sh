@@ -17,7 +17,11 @@
 #                enforces the panic-free policy too
 #   build        release build of the whole workspace
 #   test         full test suite, including the chaos fault-injection
-#                harness in tests/chaos.rs and the batch-engine unit tests
+#                harness in tests/chaos.rs, the batch-engine unit tests,
+#                and the kernel-equivalence suites (CSR-vs-dense RWR
+#                proptests in crates/graph/tests/csr_equivalence.rs,
+#                lane-vs-block forest proptests in briq-ml, and the
+#                arena steady-state allocation test)
 #   bench-smoke  throughput smoke of the batch engine on a seeded corpus at
 #                --jobs 1 and --jobs $(nproc); writes BENCH_throughput.json
 #                (docs/min, per-stage timings incl. classify seconds and
@@ -39,10 +43,11 @@
 #                candidates_per_mention strictly below cells_per_mention.
 #   perf-trend   tools/bench_trend.sh: diff the fresh BENCH_throughput.json
 #                against the committed one (git show HEAD:...) and fail on
-#                a classify-stage regression beyond $TREND_TOL percent
-#                (default 25). Refuses to compare runs whose
-#                index_enabled states differ; skips loudly when HEAD has
-#                no artifact or one predating the index_enabled schema.
+#                a classify-stage OR resolve-stage regression beyond
+#                $TREND_TOL percent (default 25, same tolerance for both
+#                gates). Refuses to compare runs whose index_enabled
+#                states differ; skips loudly when HEAD has no artifact or
+#                one predating the compared schema fields.
 #   determinism  briq-align over the same seeded page corpus five times:
 #                --jobs 1, --jobs $(nproc or 8), --jobs 1 with
 #                BRIQ_NO_PRUNE=1 (bound-based pruning disabled), --jobs 1
@@ -54,6 +59,13 @@
 #                worker count, pruning, tracing, AND the retrieval index
 #                must be unobservable in the output. The traced run's
 #                trace file must also be non-empty valid-ish JSON.
+#   kernels      briq-align --json over the same seeded corpus three
+#                times: default (CSR walk + lane traversal), BRIQ_NO_CSR=1
+#                (dense adjacency RWR oracle), and BRIQ_NO_LANES=1
+#                (row-at-a-time forest oracle); alignment stdout and the
+#                diagnostics JSONL must be byte-for-byte identical, so
+#                both fast-path kernels are provably unobservable in real
+#                output, not just in unit proptests
 #   serve        boots the persistent alignment server (briq-serve) on a
 #                loopback port, byte-compares the drive client's output
 #                against briq-align --json over the same seeded corpus
@@ -77,7 +89,7 @@ NPROC="$(nproc 2>/dev/null || echo 1)"
 SPEEDUP_MIN="${SPEEDUP_MIN:-2.0}"
 BENCH_DOCS="${BENCH_DOCS:-60}"
 BENCH_SEED="${BENCH_SEED:-20190408}"
-ALL_STAGES=(fmt clippy build test docs bench-smoke perf-trend determinism serve)
+ALL_STAGES=(fmt clippy build test docs bench-smoke perf-trend determinism kernels serve)
 
 # Set once bench-smoke has written a fresh BENCH_throughput.json, so a
 # later perf-trend stage in the same invocation reuses it instead of
@@ -286,6 +298,60 @@ stage_determinism() {
         return 1
     }
     echo "determinism: --jobs 1, --jobs $jobs_hi, BRIQ_NO_PRUNE=1, --trace/--metrics, and BRIQ_NO_INDEX=1 byte-identical ($(wc -c < "$dir/out_1.json") bytes of alignments)"
+}
+
+stage_kernels() {
+    cargo build --offline --release -q -p briq-bench || return 1
+    local dir rc_def rc_nc rc_nl
+    dir="$(mktemp -d)"
+    trap 'rm -rf "$dir"' RETURN
+    ./target/release/briq-align --gen-corpus "$dir/corpus" \
+        --docs "$BENCH_DOCS" --seed "$BENCH_SEED" || return 1
+
+    ./target/release/briq-align --batch "$dir/corpus" --jobs 1 --json \
+        --diagnostics "$dir/diag_def.jsonl" > "$dir/out_def.json"
+    rc_def=$?
+    if [ "$rc_def" -ne 0 ] && [ "$rc_def" -ne 2 ]; then
+        echo "kernels: default run failed (exit $rc_def)" >&2
+        return 1
+    fi
+    # CSR oracle: the dense adjacency random walk must be byte-identical.
+    BRIQ_NO_CSR=1 ./target/release/briq-align --batch "$dir/corpus" --jobs 1 --json \
+        --diagnostics "$dir/diag_nc.jsonl" > "$dir/out_nc.json"
+    rc_nc=$?
+    if [ "$rc_nc" -ne "$rc_def" ]; then
+        echo "kernels: exit code diverged with BRIQ_NO_CSR=1 ($rc_nc vs $rc_def)" >&2
+        return 1
+    fi
+    cmp -s "$dir/out_def.json" "$dir/out_nc.json" || {
+        echo "kernels: alignment output differs with BRIQ_NO_CSR=1" >&2
+        diff "$dir/out_def.json" "$dir/out_nc.json" | head -20 >&2
+        return 1
+    }
+    cmp -s "$dir/diag_def.jsonl" "$dir/diag_nc.jsonl" || {
+        echo "kernels: diagnostics JSONL differs with BRIQ_NO_CSR=1" >&2
+        diff "$dir/diag_def.jsonl" "$dir/diag_nc.jsonl" | head -20 >&2
+        return 1
+    }
+    # Lane oracle: row-at-a-time forest traversal must be byte-identical.
+    BRIQ_NO_LANES=1 ./target/release/briq-align --batch "$dir/corpus" --jobs 1 --json \
+        --diagnostics "$dir/diag_nl.jsonl" > "$dir/out_nl.json"
+    rc_nl=$?
+    if [ "$rc_nl" -ne "$rc_def" ]; then
+        echo "kernels: exit code diverged with BRIQ_NO_LANES=1 ($rc_nl vs $rc_def)" >&2
+        return 1
+    fi
+    cmp -s "$dir/out_def.json" "$dir/out_nl.json" || {
+        echo "kernels: alignment output differs with BRIQ_NO_LANES=1" >&2
+        diff "$dir/out_def.json" "$dir/out_nl.json" | head -20 >&2
+        return 1
+    }
+    cmp -s "$dir/diag_def.jsonl" "$dir/diag_nl.jsonl" || {
+        echo "kernels: diagnostics JSONL differs with BRIQ_NO_LANES=1" >&2
+        diff "$dir/diag_def.jsonl" "$dir/diag_nl.jsonl" | head -20 >&2
+        return 1
+    }
+    echo "kernels: default, BRIQ_NO_CSR=1, and BRIQ_NO_LANES=1 byte-identical ($(wc -c < "$dir/out_def.json") bytes of alignments)"
 }
 
 # Boot a briq-serve child, leaving its loopback address in SERVE_ADDR

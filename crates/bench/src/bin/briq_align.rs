@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! briq-align <page.html>... [--batch dir] [--jobs N] [--model model.json]
-//!            [--json] [--diagnostics diag.jsonl]
+//!            [--json] [--no-index] [--no-csr] [--diagnostics diag.jsonl]
 //!            [--trace trace.json] [--metrics metrics.jsonl]
 //! briq-align --train-demo model.json       # train on a synthetic corpus
 //! briq-align --gen-corpus dir [--docs N] [--seed S] [--per-page K]
@@ -54,7 +54,8 @@ use std::process::ExitCode;
 const EXIT_DEGRADED: u8 = 2;
 
 const USAGE: &str = "usage: briq-align <page.html>... [--batch dir] [--jobs N] \
-     [--model model.json] [--json] [--no-index] [--diagnostics diag.jsonl] \
+     [--model model.json] [--json] [--no-index] [--no-csr] \
+     [--diagnostics diag.jsonl] \
      [--trace trace.json] [--metrics metrics.jsonl]\n       \
      briq-align --train-demo <model.json>\n       \
      briq-align --gen-corpus <dir> [--docs N] [--seed S] [--per-page K]";
@@ -66,6 +67,7 @@ struct Cli {
     as_json: bool,
     model: Option<String>,
     no_index: bool,
+    no_csr: bool,
     diagnostics: Option<String>,
     trace: Option<String>,
     metrics: Option<String>,
@@ -115,6 +117,9 @@ fn main() -> ExitCode {
     };
     if cli.no_index {
         briq.cfg.use_index = false;
+    }
+    if cli.no_csr {
+        briq.cfg.resolution.use_csr = false;
     }
 
     // An unreadable or non-UTF-8 page degrades to one diagnostic and is
@@ -233,6 +238,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         as_json: false,
         model: None,
         no_index: false,
+        no_csr: false,
         diagnostics: None,
         trace: None,
         metrics: None,
@@ -256,6 +262,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             }
             "--model" => cli.model = Some(value("--model")?),
             "--no-index" => cli.no_index = true,
+            "--no-csr" => cli.no_csr = true,
             "--diagnostics" => cli.diagnostics = Some(value("--diagnostics")?),
             "--trace" => cli.trace = Some(value("--trace")?),
             "--metrics" => cli.metrics = Some(value("--metrics")?),

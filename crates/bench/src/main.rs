@@ -242,6 +242,9 @@ fn throughput_bench(docs: usize, seed: u64, jobs: usize, out: Option<&str>) {
             bench.jobs_requested, bench.host_cores, bench.jobs_effective
         ),
     }
+    for w in &bench.warnings {
+        println!("warning: {w}");
+    }
 
     if let Some(path) = out {
         let json = briq_json::to_string_pretty(&bench);

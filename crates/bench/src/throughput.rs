@@ -222,6 +222,12 @@ pub struct ThroughputBench {
     /// exactly `1.0`; CI gates on it. `None` when not measured
     /// (exhaustive runs).
     pub retrieval_recall: Option<f64>,
+    /// Structured measurement caveats, each `key: detail`. Today the only
+    /// producer is `jobs_clamped` (the host could not run the requested
+    /// workers concurrently, so `speedup`/`utilization` are withheld);
+    /// empty when the measurement is clean. Readers that previously had
+    /// to infer the situation from a `null` speedup can key off this.
+    pub warnings: Vec<String>,
 }
 
 impl ThroughputBench {
@@ -258,6 +264,14 @@ impl ThroughputBench {
         // Effective index state is read off the measured counters: an
         // exhaustive run retrieves nothing. `with_retrieval` lets the
         // caller state it explicitly (and attach a measured recall).
+        let mut warnings = Vec::new();
+        if jobs_effective < jobs_requested {
+            warnings.push(format!(
+                "jobs_clamped: requested {jobs_requested} workers but the \
+                 {host_cores}-core host runs {jobs_effective} concurrently; \
+                 speedup and utilization are withheld"
+            ));
+        }
         let index_enabled = base.stages.candidates_retrieved > 0;
         let candidates_per_mention = if index_enabled && base.mentions > 0 {
             Some(base.stages.candidates_retrieved as f64 / base.mentions as f64)
@@ -284,6 +298,7 @@ impl ThroughputBench {
             candidates_per_mention,
             cells_per_mention,
             retrieval_recall: None,
+            warnings,
         }
     }
 
@@ -336,6 +351,7 @@ briq_json::json_struct!(ThroughputBench {
     candidates_per_mention,
     cells_per_mention,
     retrieval_recall,
+    warnings,
 });
 
 #[cfg(test)]
@@ -417,6 +433,11 @@ mod tests {
         assert_eq!(bench.jobs_requested, 2);
         assert_eq!(bench.jobs_effective, 2);
         assert!(bench.speedup.expect("multi-core host reports a ratio") > 0.0);
+        assert!(
+            bench.warnings.is_empty(),
+            "clean run warns: {:?}",
+            bench.warnings
+        );
         // The one-worker baseline has no honest utilization number; the
         // genuine two-worker point does.
         assert_eq!(bench.baseline.utilization, None);
@@ -453,6 +474,14 @@ mod tests {
         assert_eq!(bench.jobs_requested, 4);
         assert_eq!(bench.jobs_effective, 1, "one core caps effective workers");
         assert_eq!(bench.speedup, None, "no honest ratio exists on one core");
+        // The clamp is reported as a structured warning, not inferred
+        // from the null.
+        assert_eq!(bench.warnings.len(), 1, "warnings: {:?}", bench.warnings);
+        assert!(
+            bench.warnings[0].starts_with("jobs_clamped: "),
+            "{:?}",
+            bench.warnings
+        );
         // Both points are effectively single-worker on one core, so
         // utilization is withheld like the speedup ratio.
         assert_eq!(bench.baseline.utilization, None);
@@ -461,6 +490,7 @@ mod tests {
         let s = briq_json::to_string_pretty(&bench);
         assert!(s.contains("\"speedup\": null"), "{s}");
         assert!(s.contains("\"utilization\": null"), "{s}");
+        assert!(s.contains("jobs_clamped"), "{s}");
         let back: ThroughputBench = briq_json::from_str(&s).expect("round-trips");
         assert_eq!(bench, back);
     }

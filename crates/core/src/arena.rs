@@ -1,0 +1,170 @@
+//! Per-worker document arena: pooled scratch state reused across
+//! documents (DESIGN.md §14).
+//!
+//! The alignment hot path used to construct a fresh [`ScoringEngine`],
+//! [`RetrievalScratch`], and per-walk RWR buffers for every document —
+//! dozens of heap allocations per document that immediately grow to the
+//! same steady-state shapes. The arena keeps one instance of each per
+//! worker thread: the pipeline *takes* a pooled value at stage entry
+//! (reset, capacity intact) and *puts* it back at stage exit, so in
+//! steady state a document allocates only for state that genuinely
+//! outgrows every previous document.
+//!
+//! Thread-locality is what makes this safe and deterministic:
+//!
+//! * the batch engine's workers never share scratch, so there is no
+//!   locking and no cross-thread traffic;
+//! * every pooled value is **fully reset** before reuse (caches cleared,
+//!   counters zeroed) so per-document outputs and counters are
+//!   bit-identical to the cold-construction path — document→worker
+//!   assignment (which varies run to run under work stealing) can never
+//!   leak into results;
+//! * a take without a matching put (an early cancellation return) just
+//!   drops the value; the next take falls back to a cold construction.
+//!
+//! The arena reports its retained footprint through the
+//! `arena_bytes_peak` histogram (one observation per document, see
+//! [`crate::obs::names::ARENA_BYTES_PEAK`]).
+
+use std::cell::RefCell;
+
+use briq_graph::CsrScratch;
+
+use crate::retrieval::RetrievalScratch;
+use crate::scoring::ScoringEngine;
+
+/// The pooled per-thread scratch set. Public only through the
+/// take/put free functions.
+#[derive(Default)]
+struct DocArena {
+    engine: Option<ScoringEngine>,
+    retrieval: Option<RetrievalScratch>,
+    csr: Option<CsrScratch>,
+    /// Largest approximate byte footprint ever put back, this thread.
+    bytes_peak: usize,
+}
+
+thread_local! {
+    static ARENA: RefCell<DocArena> = RefCell::new(DocArena::default());
+}
+
+/// Take the pooled [`ScoringEngine`] (reset, capacity retained), or a
+/// fresh one when the pool is empty.
+pub fn take_engine() -> ScoringEngine {
+    let mut engine = ARENA
+        .with(|a| a.borrow_mut().engine.take())
+        .unwrap_or_default();
+    engine.reset();
+    engine
+}
+
+/// Return a [`ScoringEngine`] to the pool for the next document on this
+/// thread, recording its footprint into the thread's peak.
+pub fn put_engine(engine: ScoringEngine) {
+    ARENA.with(|a| {
+        let mut arena = a.borrow_mut();
+        let bytes = current_bytes(&arena, Some(&engine), None, None);
+        arena.bytes_peak = arena.bytes_peak.max(bytes);
+        arena.engine = Some(engine);
+    });
+}
+
+/// Take the pooled [`RetrievalScratch`], or a fresh one.
+pub fn take_retrieval_scratch() -> RetrievalScratch {
+    ARENA
+        .with(|a| a.borrow_mut().retrieval.take())
+        .unwrap_or_default()
+}
+
+/// Return a [`RetrievalScratch`] to the pool.
+pub fn put_retrieval_scratch(scratch: RetrievalScratch) {
+    ARENA.with(|a| {
+        let mut arena = a.borrow_mut();
+        let bytes = current_bytes(&arena, None, Some(&scratch), None);
+        arena.bytes_peak = arena.bytes_peak.max(bytes);
+        arena.retrieval = Some(scratch);
+    });
+}
+
+/// Take the pooled RWR [`CsrScratch`], or a fresh one.
+pub fn take_csr_scratch() -> CsrScratch {
+    ARENA
+        .with(|a| a.borrow_mut().csr.take())
+        .unwrap_or_default()
+}
+
+/// Return a [`CsrScratch`] to the pool.
+pub fn put_csr_scratch(scratch: CsrScratch) {
+    ARENA.with(|a| {
+        let mut arena = a.borrow_mut();
+        let bytes = current_bytes(&arena, None, None, Some(&scratch));
+        arena.bytes_peak = arena.bytes_peak.max(bytes);
+        arena.csr = Some(scratch);
+    });
+}
+
+/// Largest approximate byte footprint the arena has held on this thread
+/// (pooled values only; 0 before anything was put back).
+pub fn bytes_peak() -> usize {
+    ARENA.with(|a| a.borrow().bytes_peak)
+}
+
+/// Footprint of the arena with an incoming value substituted for its
+/// pooled slot (the slot is empty while the value is out on loan).
+fn current_bytes(
+    arena: &DocArena,
+    engine: Option<&ScoringEngine>,
+    retrieval: Option<&RetrievalScratch>,
+    csr: Option<&CsrScratch>,
+) -> usize {
+    let engine_bytes = engine
+        .or(arena.engine.as_ref())
+        .map_or(0, ScoringEngine::approx_bytes);
+    let retrieval_bytes = retrieval
+        .or(arena.retrieval.as_ref())
+        .map_or(0, retrieval_scratch_bytes);
+    let csr_bytes = csr
+        .or(arena.csr.as_ref())
+        .map_or(0, CsrScratch::approx_bytes);
+    engine_bytes + retrieval_bytes + csr_bytes
+}
+
+/// Approximate heap bytes retained by a [`RetrievalScratch`].
+fn retrieval_scratch_bytes(s: &RetrievalScratch) -> usize {
+    (s.near.capacity() + s.far.capacity()) * std::mem::size_of::<usize>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_put_round_trips_capacity() {
+        let mut e = take_engine();
+        // Force some capacity, return it, take again: capacity survives.
+        e.fill_capacity_probe();
+        put_engine(e);
+        let e2 = take_engine();
+        assert!(e2.approx_bytes() > 0, "pooled capacity must survive reset");
+        put_engine(e2);
+        assert!(bytes_peak() > 0);
+    }
+
+    #[test]
+    fn csr_scratch_pools() {
+        let s = take_csr_scratch();
+        put_csr_scratch(s);
+        let s2 = take_csr_scratch();
+        put_csr_scratch(s2);
+    }
+
+    #[test]
+    fn retrieval_scratch_pools() {
+        let mut s = take_retrieval_scratch();
+        s.near.reserve(64);
+        put_retrieval_scratch(s);
+        let s2 = take_retrieval_scratch();
+        assert!(s2.near.capacity() >= 64);
+        put_retrieval_scratch(s2);
+    }
+}

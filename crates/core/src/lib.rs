@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod arena;
 pub mod baselines;
 pub mod batch;
 pub mod classifier;

@@ -91,6 +91,20 @@ pub mod names {
     pub const RWR_NOT_CONVERGED: &str = "rwr_not_converged";
     /// Histogram: power iterations per random walk (unit: iterations).
     pub const RWR_ITERATIONS: &str = "rwr_iterations";
+    /// Counter: total power-iteration matvec passes executed by the
+    /// resolution walk kernel (each iteration is one sparse or dense
+    /// matvec over the whole graph). Comparable across the CSR fast
+    /// path and the `BRIQ_NO_CSR=1` dense oracle — the kernels iterate
+    /// in lockstep by the bit-equality contract (DESIGN.md §14).
+    pub const RWR_MATVEC_ITERATIONS: &str = "rwr_matvec_iterations";
+    /// Counter: structural non-zero slots of the CSR graph frozen for
+    /// resolution (directed half-edges; weight-zeroed slots still
+    /// count). Absent on `BRIQ_NO_CSR=1` / `use_csr: false` runs.
+    pub const CSR_NNZ: &str = "csr_nnz";
+    /// Histogram: approximate heap bytes retained by the per-worker
+    /// document arena (pooled scoring/retrieval/walk scratch) observed
+    /// after each document (unit: bytes).
+    pub const ARENA_BYTES_PEAK: &str = "arena_bytes_peak";
     /// Counter: alignments emitted.
     pub const ALIGNMENTS: &str = "alignments";
     /// Counter: diagnostics whose degraded action was `Truncated` — a

@@ -19,8 +19,7 @@ use crate::graph_builder::{build_graph_budgeted, GraphConfig};
 use crate::mention::{text_mentions, Alignment, TextMention};
 use crate::obs::{names, Recorder};
 use crate::resolution::{resolve_observed, ResolutionConfig, ResolutionEvent};
-use crate::retrieval::{CandidateIndex, RetrievalScratch};
-use crate::scoring::ScoringEngine;
+use crate::retrieval::CandidateIndex;
 use crate::span;
 use crate::tagger::{tagger_features, MentionTagger, TaggerExample};
 use crate::training::{
@@ -468,7 +467,7 @@ impl Briq {
     /// Fused stages 2+3 for the alignment path: per mention, retrieve
     /// the viable candidate set through the per-document
     /// [`CandidateIndex`] (DESIGN.md §13), fill only those feature rows,
-    /// score them through the batched [`ScoringEngine`] (unique-row
+    /// score them through the batched [`crate::scoring::ScoringEngine`] (unique-row
     /// dedup + block-wise flat-forest traversal + exact bound-based
     /// pruning, DESIGN.md §10), and filter the partially scored
     /// candidate set. Byte-identical to exhaustive
@@ -497,7 +496,11 @@ impl Briq {
         let no_index =
             !self.cfg.use_index || std::env::var_os("BRIQ_NO_INDEX").is_some_and(|v| v == "1");
         let mut featurizer = PairFeaturizer::new(mentions, targets, ctx);
-        let mut engine = ScoringEngine::new();
+        // Pooled per-worker scratch (DESIGN.md §14): reset engine and
+        // retrieval buffers from this thread's arena instead of cold
+        // construction. An early cancellation return simply drops them;
+        // the arena refills on the next document.
+        let mut engine = crate::arena::take_engine();
         let mut stats = FilterStats::default();
         let mut candidates = Vec::with_capacity(mentions.len());
         // Built once per document (tokenless: `retrieve` never consults
@@ -511,7 +514,7 @@ impl Briq {
         if index.is_some() {
             timings.classify_s += t_build.elapsed().as_secs_f64();
         }
-        let mut scratch = RetrievalScratch::default();
+        let mut scratch = crate::arena::take_retrieval_scratch();
         for (mi, x) in mentions.iter().enumerate() {
             if let Some(cause) = cancel.cause() {
                 return Err(cause);
@@ -587,6 +590,9 @@ impl Briq {
         timings.pairs_pruned += engine.pairs_pruned();
         engine.record_into(rec);
         stats.record_into(rec);
+        crate::arena::put_engine(engine);
+        crate::arena::put_retrieval_scratch(scratch);
+        rec.observe(names::ARENA_BYTES_PEAK, crate::arena::bytes_peak() as f64);
         Ok((candidates, stats))
     }
 

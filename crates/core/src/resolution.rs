@@ -7,7 +7,9 @@
 //! knowledge. A mention whose best `OverallScore` falls below `ε` is left
 //! unaligned (the mapping is partial, §II-A).
 
-use briq_graph::{try_random_walk_with_restart, ConvergenceReport, GraphError, RwrConfig};
+use briq_graph::{
+    try_random_walk_with_restart, ConvergenceReport, CsrGraph, GraphError, RwrConfig,
+};
 use briq_ml::entropy::normalized_entropy;
 
 use crate::filtering::Candidate;
@@ -34,6 +36,12 @@ pub struct ResolutionConfig {
     pub tolerance: f64,
     /// Iteration cap of the walk.
     pub max_iterations: usize,
+    /// Run walks on the frozen CSR kernel ([`briq_graph::csr`],
+    /// DESIGN.md §14) instead of rebuilding dense transition lists per
+    /// walk. Output is bit-identical either way; `BRIQ_NO_CSR=1` (or
+    /// `--no-csr`) force-disables it at run time, which CI uses to
+    /// cross-check the kernel on real output.
+    pub use_csr: bool,
 }
 
 impl Default for ResolutionConfig {
@@ -46,6 +54,7 @@ impl Default for ResolutionConfig {
             restart: 0.12,
             tolerance: 1e-8,
             max_iterations: 100,
+            use_csr: true,
         }
     }
 }
@@ -165,6 +174,19 @@ pub fn resolve_observed(
         max_iterations: cfg.max_iterations.min(max_rwr_iterations),
     };
 
+    // Walk backend: the CSR kernel freezes the graph once and models
+    // Algorithm 1's edge deletions by weight-zeroing; the dense oracle
+    // (`use_csr: false` or `BRIQ_NO_CSR=1`) mutates the adjacency graph
+    // as before. Bit-identical by the §14 equivalence contract, proven
+    // per run by CI's `kernels` stage.
+    let no_csr = !cfg.use_csr || std::env::var_os("BRIQ_NO_CSR").is_some_and(|v| v == "1");
+    let mut csr = (!no_csr).then(|| CsrGraph::from_graph(&ag.graph));
+    if let Some(c) = &csr {
+        rec.count(names::CSR_NNZ, c.nnz() as u64);
+    }
+    let mut scratch = crate::arena::take_csr_scratch();
+    let mut dense_pi: Vec<f64> = Vec::new();
+
     let mut out = Vec::new();
     let mut events = Vec::new();
     for &x in &order {
@@ -177,14 +199,29 @@ pub fn resolve_observed(
         // Per-mention fault isolation: a failed walk demotes this mention
         // to prior-only scoring; it never takes the document down.
         rec.count(names::RWR_WALKS, 1);
-        let pi = match try_random_walk_with_restart(&ag.graph, ag.text_nodes[x], &rwr) {
-            Ok((pi, report)) => {
+        let walked = match &csr {
+            Some(c) => c.walk_into(ag.text_nodes[x], &rwr, &mut scratch),
+            None => match try_random_walk_with_restart(&ag.graph, ag.text_nodes[x], &rwr) {
+                Ok((p, report)) => {
+                    dense_pi = p;
+                    Ok(report)
+                }
+                Err(e) => Err(e),
+            },
+        };
+        let pi: Option<&[f64]> = match walked {
+            Ok(report) => {
                 rec.observe(names::RWR_ITERATIONS, report.iterations as f64);
+                rec.count(names::RWR_MATVEC_ITERATIONS, report.iterations as u64);
                 if !report.converged {
                     rec.count(names::RWR_NOT_CONVERGED, 1);
                     events.push(ResolutionEvent::NotConverged { mention: x, report });
                 }
-                Some(pi)
+                Some(if csr.is_some() {
+                    scratch.distribution()
+                } else {
+                    &dense_pi
+                })
             }
             Err(error) => {
                 rec.count(names::RWR_FALLBACKS, 1);
@@ -231,7 +268,14 @@ pub fn resolve_observed(
                 for c in &candidates[x] {
                     if c.target != t_star {
                         if let Some(tn) = ag.table_node(c.target) {
-                            ag.graph.remove_edge(ag.text_nodes[x], tn);
+                            match &mut csr {
+                                Some(cg) => {
+                                    cg.zero_edge(ag.text_nodes[x], tn);
+                                }
+                                None => {
+                                    ag.graph.remove_edge(ag.text_nodes[x], tn);
+                                }
+                            }
                         }
                     }
                 }
@@ -245,12 +289,20 @@ pub fn resolve_observed(
                 // No alignment: drop all text-table edges of x.
                 for c in &candidates[x] {
                     if let Some(tn) = ag.table_node(c.target) {
-                        ag.graph.remove_edge(ag.text_nodes[x], tn);
+                        match &mut csr {
+                            Some(cg) => {
+                                cg.zero_edge(ag.text_nodes[x], tn);
+                            }
+                            None => {
+                                ag.graph.remove_edge(ag.text_nodes[x], tn);
+                            }
+                        }
                     }
                 }
             }
         }
     }
+    crate::arena::put_csr_scratch(scratch);
     out.sort_by_key(|r| r.mention);
     (out, events)
 }
@@ -474,12 +526,36 @@ mod tests {
     }
 }
 
-briq_json::json_struct!(ResolutionConfig {
-    alpha,
-    beta,
-    epsilon,
-    sigma_min,
-    restart,
-    tolerance,
-    max_iterations,
-});
+// Hand-written (not `json_struct!`) so `use_csr` can default to `true`
+// on model files serialized before the field existed.
+impl briq_json::ToJson for ResolutionConfig {
+    fn to_json(&self) -> briq_json::Value {
+        briq_json::Value::Object(vec![
+            ("alpha".to_string(), self.alpha.to_json()),
+            ("beta".to_string(), self.beta.to_json()),
+            ("epsilon".to_string(), self.epsilon.to_json()),
+            ("sigma_min".to_string(), self.sigma_min.to_json()),
+            ("restart".to_string(), self.restart.to_json()),
+            ("tolerance".to_string(), self.tolerance.to_json()),
+            ("max_iterations".to_string(), self.max_iterations.to_json()),
+            ("use_csr".to_string(), self.use_csr.to_json()),
+        ])
+    }
+}
+impl briq_json::FromJson for ResolutionConfig {
+    fn from_json(v: &briq_json::Value) -> briq_json::Result<Self> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| briq_json::JsonError::new("expected ResolutionConfig object"))?;
+        Ok(ResolutionConfig {
+            alpha: briq_json::field(obj, "alpha")?,
+            beta: briq_json::field(obj, "beta")?,
+            epsilon: briq_json::field(obj, "epsilon")?,
+            sigma_min: briq_json::field(obj, "sigma_min")?,
+            restart: briq_json::field(obj, "restart")?,
+            tolerance: briq_json::field(obj, "tolerance")?,
+            max_iterations: briq_json::field(obj, "max_iterations")?,
+            use_csr: briq_json::field_or(obj, "use_csr", true)?,
+        })
+    }
+}

@@ -3,16 +3,21 @@
 //! Graph substrate for BriQ's global resolution (§VI): an undirected
 //! edge-weighted graph with stochastic normalization and random walk with
 //! restart (personalized PageRank), computed by power iteration with a
-//! convergence bound. A dense linear solver provides an exact reference
-//! used by tests to validate the iterative walk.
+//! convergence bound. The [`csr`] module freezes a graph into a
+//! compressed-sparse-row layout whose walk kernel is bit-identical to
+//! the dense path while allocating nothing in steady state. A dense
+//! linear solver provides an exact reference used by tests to validate
+//! the iterative walk.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod csr;
 pub mod error;
 pub mod graph;
 pub mod rwr;
 pub mod solve;
 
+pub use csr::{random_walk_with_restart_csr, CsrGraph, CsrScratch};
 pub use error::GraphError;
 pub use graph::Graph;
 pub use rwr::{

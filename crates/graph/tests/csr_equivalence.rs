@@ -1,0 +1,168 @@
+//! The CSR walk kernel's equivalence contract (DESIGN.md §14): on any
+//! graph — connected or not, with or without interleaved edge deletions —
+//! [`CsrGraph::walk_into`] returns the **bit-identical** distribution and
+//! convergence report of the dense adjacency walk, and both agree with
+//! `solve.rs`'s exact linear solution within the iteration tolerance.
+
+use briq_graph::csr::{random_walk_with_restart_csr, CsrGraph, CsrScratch};
+use briq_graph::solve::exact_rwr;
+use briq_graph::{try_random_walk_with_restart, Graph, RwrConfig};
+use proptest::prelude::*;
+
+/// A random weighted graph that is *not* forced connected: isolated
+/// nodes and disconnected components arise naturally from the sparse
+/// edge sample.
+fn sparse_graph_strategy() -> impl Strategy<Value = Graph> {
+    (2usize..14).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n, 0.05f64..8.0), 0..24).prop_map(move |edges| {
+            let mut g = Graph::new(n);
+            for (a, b, w) in edges {
+                g.add_edge(a, b, w);
+            }
+            g
+        })
+    })
+}
+
+/// A connected graph (spanning chain + extra edges) for the exact-solver
+/// comparison, which needs enough structure for interesting walks.
+fn connected_graph_strategy() -> impl Strategy<Value = Graph> {
+    (3usize..12).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n, 0.1f64..5.0), 2..30).prop_map(move |edges| {
+            let mut g = Graph::new(n);
+            for i in 1..n {
+                g.add_edge(i - 1, i, 1.0);
+            }
+            for (a, b, w) in edges {
+                g.add_edge(a, b, w);
+            }
+            g
+        })
+    })
+}
+
+fn assert_bit_equal(dense: &[f64], sparse: &[f64]) -> Result<(), TestCaseError> {
+    prop_assert_eq!(dense.len(), sparse.len());
+    for (i, (a, b)) in dense.iter().zip(sparse).enumerate() {
+        prop_assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "node {}: dense {} vs csr {}",
+            i,
+            a,
+            b
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// CSR vs dense: bit-identical distribution and identical report on
+    /// arbitrary sparse graphs (disconnected components and isolated
+    /// start nodes included) from every start node.
+    #[test]
+    fn csr_walk_bit_equals_dense(g in sparse_graph_strategy(), restart in 0.05f64..0.9) {
+        let cfg = RwrConfig { restart, ..Default::default() };
+        let csr = CsrGraph::from_graph(&g);
+        let mut scratch = CsrScratch::default();
+        for start in 0..g.len() {
+            let (dense, dense_report) =
+                try_random_walk_with_restart(&g, start, &cfg).unwrap();
+            let report = csr.walk_into(start, &cfg, &mut scratch).unwrap();
+            assert_bit_equal(&dense, scratch.distribution())?;
+            prop_assert_eq!(dense_report, report);
+        }
+    }
+
+    /// Edge deletion equivalence: zeroing CSR weights tracks dense
+    /// `remove_edge` bit-for-bit through an arbitrary interleaved
+    /// deletion sequence — the exact mutation pattern Algorithm 1
+    /// performs between walks.
+    #[test]
+    fn csr_zeroing_tracks_dense_removal(
+        g in sparse_graph_strategy(),
+        deletions in proptest::collection::vec((0usize..14, 0usize..14), 1..10),
+        restart in 0.05f64..0.9,
+    ) {
+        let cfg = RwrConfig { restart, ..Default::default() };
+        let mut dense_g = g.clone();
+        let mut csr = CsrGraph::from_graph(&g);
+        let mut scratch = CsrScratch::default();
+        for (a, b) in deletions {
+            let (a, b) = (a % g.len(), b % g.len());
+            let dense_removed = dense_g.remove_edge(a, b);
+            let csr_removed = csr.zero_edge(a, b);
+            prop_assert_eq!(dense_removed, csr_removed, "edge {} - {}", a, b);
+            // Walk from every node after each deletion: still bit-equal.
+            for start in 0..g.len() {
+                let (dense, _) =
+                    try_random_walk_with_restart(&dense_g, start, &cfg).unwrap();
+                csr.walk_into(start, &cfg, &mut scratch).unwrap();
+                assert_bit_equal(&dense, scratch.distribution())?;
+            }
+        }
+    }
+
+    /// CSR vs the exact dense linear solution: the iterative CSR walk
+    /// converges to solve.rs's reference within tolerance.
+    #[test]
+    fn csr_walk_matches_exact_solver(
+        g in connected_graph_strategy(),
+        start_frac in 0.0f64..1.0,
+    ) {
+        let start = ((g.len() - 1) as f64 * start_frac) as usize;
+        let cfg = RwrConfig { restart: 0.2, tolerance: 1e-12, max_iterations: 500 };
+        let csr = CsrGraph::from_graph(&g);
+        let (p, _) = random_walk_with_restart_csr(&csr, start, &cfg).unwrap();
+        let exact = exact_rwr(&g, start, 0.2).expect("solvable");
+        for (a, b) in p.iter().zip(&exact) {
+            prop_assert!((a - b).abs() < 1e-6, "csr {} vs exact {}", a, b);
+        }
+    }
+
+    /// The CSR walk stays a probability distribution, even from isolated
+    /// starts inside disconnected graphs.
+    #[test]
+    fn csr_walk_is_distribution(g in sparse_graph_strategy(), restart in 0.05f64..0.9) {
+        let cfg = RwrConfig { restart, ..Default::default() };
+        let csr = CsrGraph::from_graph(&g);
+        let mut scratch = CsrScratch::default();
+        for start in 0..g.len() {
+            csr.walk_into(start, &cfg, &mut scratch).unwrap();
+            let total: f64 = scratch.distribution().iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-6, "sums to {}", total);
+            prop_assert!(scratch.distribution().iter().all(|&x| x >= 0.0));
+        }
+    }
+}
+
+/// Deterministic spot checks the proptest generators may not hit.
+#[test]
+fn isolated_start_keeps_all_mass_on_csr() {
+    let mut g = Graph::new(3);
+    g.add_edge(0, 1, 1.0);
+    let csr = CsrGraph::from_graph(&g);
+    let (p, _) = random_walk_with_restart_csr(&csr, 2, &RwrConfig::default()).unwrap();
+    assert!((p[2] - 1.0).abs() < 1e-9);
+    assert_eq!(p[0], 0.0);
+    assert_eq!(p[1], 0.0);
+}
+
+#[test]
+fn fully_zeroed_graph_degenerates_like_dense() {
+    let mut g = Graph::new(2);
+    g.add_edge(0, 1, 1.0);
+    let mut dense = g.clone();
+    let mut csr = CsrGraph::from_graph(&g);
+    dense.remove_edge(0, 1);
+    csr.zero_edge(0, 1);
+    let cfg = RwrConfig::default();
+    let (d, _) = try_random_walk_with_restart(&dense, 0, &cfg).unwrap();
+    let (s, _) = random_walk_with_restart_csr(&csr, 0, &cfg).unwrap();
+    assert_eq!(
+        d.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+        s.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+    );
+}

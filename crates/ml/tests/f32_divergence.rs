@@ -1,0 +1,89 @@
+//! The f32-quantized forest's tolerance contract (DESIGN.md §14): the
+//! opt-in [`FlatForestF32`] may diverge from the f64 [`FlatForest`] only
+//! where a feature value lands inside the f32 rounding interval of a
+//! threshold, and the score divergence is always bounded by the number
+//! of such witnessed trees over the tree count. On probes where every
+//! tree is witnessed safe, scores are bit-identical.
+
+use briq_ml::flat::{FlatForest, FlatForestF32};
+use briq_ml::{Dataset, RandomForest, RandomForestConfig};
+use proptest::prelude::*;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+fn random_dataset(n: usize, nf: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d = Dataset::new();
+    for _ in 0..n {
+        let row: Vec<f64> = (0..nf).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let label = row[0] + rng.random_range(-0.4..0.4) > 0.0;
+        d.push(row, label);
+    }
+    d
+}
+
+proptest! {
+    /// |p32 − p64| ≤ (trees not witnessed f32-safe) / n_trees, and probes
+    /// with every tree witnessed safe score bit-identically.
+    #[test]
+    fn divergence_bounded_by_witnessed_trees(
+        seed in 0u64..400,
+        n in 12usize..80,
+        nf in 1usize..6,
+        n_trees in 1usize..12,
+        probe_seed in 0u64..200,
+    ) {
+        let data = random_dataset(n, nf, seed);
+        let rf = RandomForest::fit(
+            &data,
+            RandomForestConfig { n_trees, seed, ..Default::default() },
+        );
+        let flat = FlatForest::from_forest(&rf);
+        let f32f = FlatForestF32::from_flat(&flat);
+        let mut rng = StdRng::seed_from_u64(probe_seed);
+        for _ in 0..25 {
+            let x: Vec<f64> = (0..nf).map(|_| rng.random_range(-2.0..2.0)).collect();
+            let p64 = flat.predict_proba_slice(&x);
+            let p32 = f32f.predict_proba_slice(&x);
+            let unsafe_trees = (0..flat.n_trees())
+                .filter(|&t| !flat.f32_equivalent_on(t, &x))
+                .count();
+            prop_assert!(
+                (p32 - p64).abs() <= unsafe_trees as f64 / flat.n_trees() as f64 + 1e-15,
+                "divergence {} exceeds witness bound {}/{}",
+                (p32 - p64).abs(), unsafe_trees, flat.n_trees()
+            );
+            if unsafe_trees == 0 {
+                prop_assert_eq!(p32.to_bits(), p64.to_bits());
+            }
+        }
+    }
+
+    /// Quantization is value-faithful away from rounding boundaries:
+    /// probes snapped onto f32-representable values (so `x as f32` is
+    /// exact) still obey the witness bound, and the f32 block kernel
+    /// matches its own per-row traversal bit-for-bit.
+    #[test]
+    fn f32_block_is_self_consistent(
+        seed in 0u64..200,
+        n in 12usize..60,
+        nf in 1usize..5,
+        n_rows in 1usize..30,
+    ) {
+        let data = random_dataset(n, nf, seed);
+        let rf = RandomForest::fit(
+            &data,
+            RandomForestConfig { n_trees: 8, seed, ..Default::default() },
+        );
+        let f32f = FlatForestF32::from_flat(&FlatForest::from_forest(&rf));
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF32F);
+        let rows: Vec<f64> = (0..n_rows * nf)
+            .map(|_| rng.random_range(-2.0f64..2.0) as f32 as f64)
+            .collect();
+        let mut out = vec![f64::NAN; n_rows];
+        f32f.score_block(&rows, nf, &mut out);
+        for (o, row) in out.iter().zip(rows.chunks_exact(nf)) {
+            prop_assert_eq!(o.to_bits(), f32f.predict_proba_slice(row).to_bits());
+        }
+    }
+}

@@ -9,10 +9,12 @@
 # bench-smoke stage passes its just-written artifact); without one, a
 # fresh point is measured into a temp file so the stage is standalone.
 #
-# The compared number is the sequential (--jobs 1) point's classify-stage
-# CPU-seconds — the hot path the retrieval index and scoring engine own.
-# Wall-clock comparisons are only meaningful within one host, which is
-# exactly the CI situation this guards (same machine, PR over PR).
+# The compared numbers are the sequential (--jobs 1) point's
+# classify-stage and resolve-stage CPU-seconds — the hot paths the
+# retrieval index + scoring engine and the CSR random-walk kernel own.
+# Both gates use the same $TREND_TOL. Wall-clock comparisons are only
+# meaningful within one host, which is exactly the CI situation this
+# guards (same machine, PR over PR).
 #
 # Hard rule: the two artifacts' index_enabled states must match.
 # Indexed and exhaustive numbers live on different complexity curves, so
@@ -71,23 +73,39 @@ if [ "$old_idx" != "$new_idx" ]; then
     exit 1
 fi
 
-old_s="$(json_field "$committed" classify_s)"
-new_s="$(json_field "$fresh" classify_s)"
-if [ -z "$old_s" ] || [ -z "$new_s" ]; then
-    echo "perf-trend: classify_s missing (committed: '${old_s:-}', fresh: '${new_s:-}')" >&2
-    exit 1
-fi
-
-awk -v old="$old_s" -v new="$new_s" -v tol="$TREND_TOL" -v idx="$new_idx" '
-BEGIN {
-    if (old <= 0) {
-        printf "perf-trend: committed classify_s %s not positive; skipping\n", old
-        exit 0
+# gate_stage <field> <label>: compare one stage's sequential
+# CPU-seconds, committed vs fresh, under $TREND_TOL. A field absent from
+# the *committed* artifact skips (older schema records a baseline on the
+# next commit); absent from the *fresh* artifact it fails — the bench
+# binary must keep reporting every gated stage.
+gate_stage() { # field label
+    local field="$1" label="$2" old_s new_s
+    old_s="$(json_field "$committed" "$field")"
+    new_s="$(json_field "$fresh" "$field")"
+    if [ -z "$old_s" ]; then
+        echo "perf-trend: committed artifact predates the $field schema; skipping $label gate"
+        return 0
+    fi
+    if [ -z "$new_s" ]; then
+        echo "perf-trend: $field missing from fresh artifact" >&2
+        return 1
+    fi
+    awk -v old="$old_s" -v new="$new_s" -v tol="$TREND_TOL" -v idx="$new_idx" -v label="$label" '
+    BEGIN {
+        if (old <= 0) {
+            printf "perf-trend: committed %s %s not positive; skipping\n", label, old
+            exit 0
+        }
+        pct = (new - old) / old * 100
+        printf "perf-trend: %s-stage %ss -> %ss (%+.1f%%, tolerance %s%%, index_enabled=%s)\n", label, old, new, pct, tol, idx
+        exit !(pct <= tol)
+    }' || {
+        echo "perf-trend: $label-stage regression beyond ${TREND_TOL}% (set TREND_TOL to adjust)" >&2
+        return 1
     }
-    pct = (new - old) / old * 100
-    printf "perf-trend: classify-stage %ss -> %ss (%+.1f%%, tolerance %s%%, index_enabled=%s)\n", old, new, pct, tol, idx
-    exit !(pct <= tol)
-}' || {
-    echo "perf-trend: classify-stage regression beyond ${TREND_TOL}% (set TREND_TOL to adjust)" >&2
-    exit 1
 }
+
+rc=0
+gate_stage classify_s classify || rc=1
+gate_stage resolve_s resolve || rc=1
+exit "$rc"
