@@ -43,11 +43,11 @@
 #                candidates_per_mention strictly below cells_per_mention.
 #   perf-trend   tools/bench_trend.sh: diff the fresh BENCH_throughput.json
 #                against the committed one (git show HEAD:...) and fail on
-#                a classify-stage OR resolve-stage regression beyond
-#                $TREND_TOL percent (default 25, same tolerance for both
-#                gates). Refuses to compare runs whose index_enabled
-#                states differ; skips loudly when HEAD has no artifact or
-#                one predating the compared schema fields.
+#                an extract-stage, classify-stage, OR resolve-stage
+#                regression beyond $TREND_TOL percent (default 25, same
+#                tolerance for all gates). Refuses to compare runs whose
+#                index_enabled states differ; skips loudly when HEAD has
+#                no artifact or one predating the compared schema fields.
 #   determinism  briq-align over the same seeded page corpus five times:
 #                --jobs 1, --jobs $(nproc or 8), --jobs 1 with
 #                BRIQ_NO_PRUNE=1 (bound-based pruning disabled), --jobs 1
@@ -66,6 +66,19 @@
 #                diagnostics JSONL must be byte-for-byte identical, so
 #                both fast-path kernels are provably unobservable in real
 #                output, not just in unit proptests
+#   store        incremental-vs-oracle equivalence of the versioned
+#                alignment store (DESIGN.md §15). Two checks on a seeded
+#                corpus: (a) unchanged corpus — briq-align --repeat 2
+#                against one warm store must byte-match a BRIQ_NO_STORE=1
+#                full recompute in stdout and diagnostics JSONL, and the
+#                warm repetition's stderr line must report hit_rate 1.000
+#                (every document served from cache); (b) mutated corpus —
+#                warm the store from the pristine corpus (--warm-from),
+#                rewrite digits in a few pages, and the incremental run
+#                over the mutated directory must byte-match the full
+#                recompute while reporting >= 1 store hit AND >= 1
+#                invalidation (both cache service and re-alignment
+#                actually happened).
 #   serve        boots the persistent alignment server (briq-serve) on a
 #                loopback port, byte-compares the drive client's output
 #                against briq-align --json over the same seeded corpus
@@ -89,7 +102,7 @@ NPROC="$(nproc 2>/dev/null || echo 1)"
 SPEEDUP_MIN="${SPEEDUP_MIN:-2.0}"
 BENCH_DOCS="${BENCH_DOCS:-60}"
 BENCH_SEED="${BENCH_SEED:-20190408}"
-ALL_STAGES=(fmt clippy build test docs bench-smoke perf-trend determinism kernels serve)
+ALL_STAGES=(fmt clippy build test docs bench-smoke perf-trend determinism kernels store serve)
 
 # Set once bench-smoke has written a fresh BENCH_throughput.json, so a
 # later perf-trend stage in the same invocation reuses it instead of
@@ -352,6 +365,93 @@ stage_kernels() {
         return 1
     }
     echo "kernels: default, BRIQ_NO_CSR=1, and BRIQ_NO_LANES=1 byte-identical ($(wc -c < "$dir/out_def.json") bytes of alignments)"
+}
+
+stage_store() {
+    cargo build --offline --release -q -p briq-bench || return 1
+    local dir rc_st rc_ns rc_inc rc_full
+    dir="$(mktemp -d)"
+    trap 'rm -rf "$dir"' RETURN
+    ./target/release/briq-align --gen-corpus "$dir/corpus" \
+        --docs "$BENCH_DOCS" --seed "$BENCH_SEED" || return 1
+
+    # (a) Unchanged corpus: two repetitions against one warm store vs the
+    # BRIQ_NO_STORE=1 full-recompute oracle. Stdout and diagnostics must
+    # be byte-identical, and the second repetition must be served
+    # entirely from cache (hit rate exactly 1.000, zero realignments).
+    ./target/release/briq-align --batch "$dir/corpus" --jobs 1 --json --repeat 2 \
+        --diagnostics "$dir/diag_st.jsonl" > "$dir/out_st.json" 2> "$dir/err_st.txt"
+    rc_st=$?
+    BRIQ_NO_STORE=1 ./target/release/briq-align --batch "$dir/corpus" --jobs 1 --json \
+        --diagnostics "$dir/diag_ns.jsonl" > "$dir/out_ns.json"
+    rc_ns=$?
+    if [ "$rc_st" -ne "$rc_ns" ] || { [ "$rc_st" -ne 0 ] && [ "$rc_st" -ne 2 ]; }; then
+        echo "store: exit codes diverged or failed (store: $rc_st, BRIQ_NO_STORE=1: $rc_ns)" >&2
+        return 1
+    fi
+    cmp -s "$dir/out_st.json" "$dir/out_ns.json" || {
+        echo "store: alignment output differs between warm store and BRIQ_NO_STORE=1" >&2
+        diff "$dir/out_st.json" "$dir/out_ns.json" | head -20 >&2
+        return 1
+    }
+    cmp -s "$dir/diag_st.jsonl" "$dir/diag_ns.jsonl" || {
+        echo "store: diagnostics JSONL differs between warm store and BRIQ_NO_STORE=1" >&2
+        diff "$dir/diag_st.jsonl" "$dir/diag_ns.jsonl" | head -20 >&2
+        return 1
+    }
+    grep -q 'store: repeat 2/2 .* hit_rate 1\.000 .* mentions_realigned 0$' "$dir/err_st.txt" || {
+        echo "store: warm repetition was not served entirely from cache:" >&2
+        grep '^store:' "$dir/err_st.txt" >&2
+        return 1
+    }
+
+    # (b) Mutated corpus: warm from the pristine pages, rewrite every
+    # digit in the first three pages, then compare the incremental run
+    # to the full recompute — and require that the run both served
+    # cached documents (hits >= 1) and invalidated the mutated ones
+    # (invalidations >= 1), so the equivalence really exercised the
+    # incremental path rather than degenerating to all-cold or all-warm.
+    cp -r "$dir/corpus" "$dir/mutated"
+    local n=0 f
+    for f in "$dir/mutated"/*.html; do
+        sed -i 'y/0123456789/1234567890/' "$f"
+        n=$((n + 1))
+        [ "$n" -ge 3 ] && break
+    done
+    ./target/release/briq-align --warm-from "$dir/corpus" --batch "$dir/mutated" \
+        --jobs 1 --json --diagnostics "$dir/diag_inc.jsonl" \
+        > "$dir/out_inc.json" 2> "$dir/err_inc.txt"
+    rc_inc=$?
+    BRIQ_NO_STORE=1 ./target/release/briq-align --batch "$dir/mutated" --jobs 1 --json \
+        --diagnostics "$dir/diag_full.jsonl" > "$dir/out_full.json"
+    rc_full=$?
+    if [ "$rc_inc" -ne "$rc_full" ]; then
+        echo "store: exit codes diverged on the mutated corpus (incremental: $rc_inc, full: $rc_full)" >&2
+        return 1
+    fi
+    cmp -s "$dir/out_inc.json" "$dir/out_full.json" || {
+        echo "store: incremental re-alignment differs from full recompute on the mutated corpus" >&2
+        diff "$dir/out_inc.json" "$dir/out_full.json" | head -20 >&2
+        return 1
+    }
+    cmp -s "$dir/diag_inc.jsonl" "$dir/diag_full.jsonl" || {
+        echo "store: diagnostics JSONL differs from full recompute on the mutated corpus" >&2
+        diff "$dir/diag_inc.jsonl" "$dir/diag_full.jsonl" | head -20 >&2
+        return 1
+    }
+    awk '/^store: repeat 1\/1 / {
+        for (i = 1; i <= NF; i++) {
+            if ($i == "hits") hits = $(i + 1)
+            if ($i == "invalidations") inv = $(i + 1)
+        }
+        ok = (hits >= 1 && inv >= 1)
+    }
+    END { exit !ok }' "$dir/err_inc.txt" || {
+        echo "store: mutated run did not both hit (>=1) and invalidate (>=1):" >&2
+        grep '^store:' "$dir/err_inc.txt" >&2
+        return 1
+    }
+    echo "store: warm-unchanged and mutated-incremental runs byte-identical to BRIQ_NO_STORE=1 ($(grep -c 'store: repeat' "$dir/err_st.txt" "$dir/err_inc.txt" | awk -F: '{s+=$NF} END {print s}') store reports checked)"
 }
 
 # Boot a briq-serve child, leaving its loopback address in SERVE_ADDR

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! briq-align <page.html>... [--batch dir] [--jobs N] [--model model.json]
-//!            [--json] [--no-index] [--no-csr] [--diagnostics diag.jsonl]
+//!            [--json] [--no-index] [--no-csr] [--no-store]
+//!            [--repeat N] [--warm-from dir] [--diagnostics diag.jsonl]
 //!            [--trace trace.json] [--metrics metrics.jsonl]
 //! briq-align --train-demo model.json       # train on a synthetic corpus
 //! briq-align --gen-corpus dir [--docs N] [--seed S] [--per-page K]
@@ -24,6 +25,18 @@
 //! otherwise they go to stderr. Timings never appear in the JSONL, so it
 //! is byte-stable across worker counts.
 //!
+//! The batch runs against a versioned [`briq_core::store::AlignmentStore`]
+//! keyed by page basename + segment index, so repeated runs in one
+//! process are incremental. `--repeat N` re-aligns the whole batch N
+//! times against the warm store and reports per-repetition stage timings
+//! plus store counters on stderr (cold vs warm in one invocation);
+//! `--warm-from <dir>` pre-warms the store from another page directory
+//! (output discarded) before the real batch — CI's store stage warms
+//! from a pristine corpus and aligns a mutated copy to exercise
+//! incremental re-alignment. `--no-store` (or `BRIQ_NO_STORE=1`) is the
+//! full-recompute oracle; stdout is bit-identical either way
+//! (DESIGN.md §15).
+//!
 //! `--trace <file>` writes a Chrome `trace_event` JSON file (open it in
 //! `chrome://tracing` or <https://ui.perfetto.dev>) with one track per
 //! document; `--metrics <file>` writes the merged metrics registry as
@@ -44,6 +57,7 @@
 
 use briq_core::batch::BatchConfig;
 use briq_core::pipeline::{Briq, BriqConfig};
+use briq_core::store::{AlignmentStore, Fingerprint};
 use briq_core::{DegradedAction, Diagnostic, Diagnostics, Stage};
 use briq_table::html::parse_page;
 use briq_table::segment::{segment_page, SegmentConfig};
@@ -54,8 +68,8 @@ use std::process::ExitCode;
 const EXIT_DEGRADED: u8 = 2;
 
 const USAGE: &str = "usage: briq-align <page.html>... [--batch dir] [--jobs N] \
-     [--model model.json] [--json] [--no-index] [--no-csr] \
-     [--diagnostics diag.jsonl] \
+     [--model model.json] [--json] [--no-index] [--no-csr] [--no-store] \
+     [--repeat N] [--warm-from dir] [--diagnostics diag.jsonl] \
      [--trace trace.json] [--metrics metrics.jsonl]\n       \
      briq-align --train-demo <model.json>\n       \
      briq-align --gen-corpus <dir> [--docs N] [--seed S] [--per-page K]";
@@ -68,6 +82,9 @@ struct Cli {
     model: Option<String>,
     no_index: bool,
     no_csr: bool,
+    no_store: bool,
+    repeat: usize,
+    warm_from: Option<String>,
     diagnostics: Option<String>,
     trace: Option<String>,
     metrics: Option<String>,
@@ -121,34 +138,11 @@ fn main() -> ExitCode {
     if cli.no_csr {
         briq.cfg.resolution.use_csr = false;
     }
-
-    // An unreadable or non-UTF-8 page degrades to one diagnostic and is
-    // skipped; the rest of the batch still aligns. Lossy decoding keeps
-    // pages with a few bad bytes (the HTML parser is byte-agnostic);
-    // only pages that cannot be opened at all are dropped.
-    let mut docs: Vec<Document> = Vec::new();
-    let mut io_diags = Diagnostics::default();
-    for page_path in &cli.pages {
-        let html = match std::fs::read(page_path) {
-            Ok(bytes) => String::from_utf8_lossy(&bytes).into_owned(),
-            Err(e) => {
-                io_diags.items.push(Diagnostic {
-                    stage: Stage::Batch,
-                    scope: format!("page {page_path}"),
-                    error: format!("cannot read page: {e}"),
-                    action: DegradedAction::Skipped,
-                });
-                eprintln!("cannot read {page_path}: {e} (page skipped)");
-                continue;
-            }
-        };
-        let page = parse_page(&html);
-        let mut segmented = segment_page(&page, &SegmentConfig::default(), docs.len());
-        if segmented.is_empty() {
-            eprintln!("warning: no paragraph/table documents found in {page_path}");
-        }
-        docs.append(&mut segmented);
+    if cli.no_store {
+        briq.cfg.use_store = false;
     }
+
+    let (docs, keys, io_diags) = load_documents(&cli.pages);
     if docs.is_empty() {
         eprintln!("no paragraph/table documents found in any readable input page");
         return ExitCode::FAILURE;
@@ -160,7 +154,56 @@ fn main() -> ExitCode {
         trace: cli.trace.is_some() || cli.metrics.is_some(),
         ..BatchConfig::with_jobs(cli.jobs)
     };
-    let report = briq.align_batch(&docs, &cfg);
+
+    // One store serves the whole process: the optional warm-from corpus,
+    // then every repetition of the real batch. Disabled stores fall
+    // through to the plain path inside `align_batch_stored`.
+    let store = AlignmentStore::for_system(&briq);
+    if let Some(dir) = &cli.warm_from {
+        let warm_paths = match html_files_in(dir) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let (warm_docs, warm_keys, _) = load_documents(&warm_paths);
+        briq.align_batch_stored(&warm_docs, &cfg, &store, Some(&warm_keys));
+        eprintln!(
+            "store: warmed from {dir} ({} documents, {} entries)",
+            warm_docs.len(),
+            store.len()
+        );
+        store.reset_counters();
+    }
+
+    let repeat = cli.repeat.max(1);
+    let mut report = briq.align_batch_stored(&docs, &cfg, &store, Some(&keys));
+    for rep in 1..=repeat {
+        if rep > 1 {
+            store.reset_counters();
+            report = briq.align_batch_stored(&docs, &cfg, &store, Some(&keys));
+        }
+        if repeat > 1 {
+            let t = &report.stage_totals;
+            eprintln!(
+                "repeat {rep}/{repeat}: extract {:.4}s classify {:.4}s filter {:.4}s \
+                 resolve {:.4}s wall {:.4}s",
+                t.extract_s, t.classify_s, t.filter_s, t.resolve_s, report.wall_s
+            );
+        }
+        if briq.store_effective() {
+            eprintln!(
+                "store: repeat {rep}/{repeat} lookups {} hits {} hit_rate {:.3} \
+                 invalidations {} mentions_realigned {}",
+                store.lookups(),
+                store.hits(),
+                store.hit_rate(),
+                store.invalidations(),
+                store.mentions_realigned()
+            );
+        }
+    }
     for (doc, dr) in docs.iter().zip(&report.documents) {
         if cli.as_json {
             println!("{}", briq_json::to_string_pretty(&dr.alignments));
@@ -231,6 +274,59 @@ fn main() -> ExitCode {
     }
 }
 
+/// Read, parse, and segment every page, producing the batch documents
+/// plus one stable store key per document: FNV of the page *basename*
+/// mixed with the segment index within the page. Basename (not full
+/// path) keying lets a warm store built from one directory serve a
+/// mutated copy of the same corpus in another (CI's store stage).
+///
+/// An unreadable or non-UTF-8 page degrades to one diagnostic and is
+/// skipped; the rest of the batch still aligns. Lossy decoding keeps
+/// pages with a few bad bytes (the HTML parser is byte-agnostic);
+/// only pages that cannot be opened at all are dropped.
+fn load_documents(paths: &[String]) -> (Vec<Document>, Vec<u64>, Diagnostics) {
+    let mut docs: Vec<Document> = Vec::new();
+    let mut keys: Vec<u64> = Vec::new();
+    let mut io_diags = Diagnostics::default();
+    for page_path in paths {
+        let html = match std::fs::read(page_path) {
+            Ok(bytes) => String::from_utf8_lossy(&bytes).into_owned(),
+            Err(e) => {
+                io_diags.items.push(Diagnostic {
+                    stage: Stage::Batch,
+                    scope: format!("page {page_path}"),
+                    error: format!("cannot read page: {e}"),
+                    action: DegradedAction::Skipped,
+                });
+                eprintln!("cannot read {page_path}: {e} (page skipped)");
+                continue;
+            }
+        };
+        let page = parse_page(&html);
+        let segmented = segment_page(&page, &SegmentConfig::default(), docs.len());
+        if segmented.is_empty() {
+            eprintln!("warning: no paragraph/table documents found in {page_path}");
+        }
+        let base = {
+            let mut f = Fingerprint::new();
+            let name = std::path::Path::new(page_path)
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| page_path.clone());
+            f.str(&name);
+            f.finish()
+        };
+        for (si, doc) in segmented.into_iter().enumerate() {
+            let mut f = Fingerprint::new();
+            f.u64(base);
+            f.usize(si);
+            keys.push(f.finish());
+            docs.push(doc);
+        }
+    }
+    (docs, keys, io_diags)
+}
+
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
     let mut cli = Cli {
         pages: Vec::new(),
@@ -239,6 +335,9 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         model: None,
         no_index: false,
         no_csr: false,
+        no_store: false,
+        repeat: 1,
+        warm_from: None,
         diagnostics: None,
         trace: None,
         metrics: None,
@@ -263,6 +362,17 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             "--model" => cli.model = Some(value("--model")?),
             "--no-index" => cli.no_index = true,
             "--no-csr" => cli.no_csr = true,
+            "--no-store" => cli.no_store = true,
+            "--repeat" => {
+                let v = value("--repeat")?;
+                cli.repeat = v
+                    .parse()
+                    .map_err(|_| format!("--repeat: invalid count {v:?}"))?;
+                if cli.repeat == 0 {
+                    return Err("--repeat: count must be >= 1".into());
+                }
+            }
+            "--warm-from" => cli.warm_from = Some(value("--warm-from")?),
             "--diagnostics" => cli.diagnostics = Some(value("--diagnostics")?),
             "--trace" => cli.trace = Some(value("--trace")?),
             "--metrics" => cli.metrics = Some(value("--metrics")?),

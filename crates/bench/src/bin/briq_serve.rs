@@ -40,7 +40,7 @@ use std::time::Duration;
 
 const USAGE: &str = "usage: briq-serve serve [--addr H:P] [--model model.json] [--workers N] \
      [--queue-depth N] [--deadline-ms N] [--drain-grace-ms N] [--retry-after-ms N] \
-     [--max-request-bytes N] [--no-index]\n       \
+     [--max-request-bytes N] [--no-index] [--no-store]\n       \
      briq-serve drive --addr H:P <page.html>... [--deadline-ms N]\n       \
      briq-serve chaos --addr H:P [--connections N] [--requests N] [--expect-shed]\n       \
      briq-serve stop --addr H:P";
@@ -154,6 +154,9 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     };
     if args.iter().any(|a| a == "--no-index") {
         briq.cfg.use_index = false;
+    }
+    if args.iter().any(|a| a == "--no-store") {
+        briq.cfg.use_store = false;
     }
 
     let server = match Server::bind(cfg) {

@@ -181,8 +181,35 @@ fn throughput_bench(docs: usize, seed: u64, jobs: usize, out: Option<&str>) {
         }
     });
 
+    // Cold-vs-warm store passes: the same workload twice against one
+    // AlignmentStore, sequentially (jobs 1) so the delta is the store's,
+    // not the scheduler's. The warm pass should be near-pure cache
+    // service: hit rate 1.0, zero mentions realigned.
+    let store_bench = briq.store_effective().then(|| {
+        use briq_core::store::AlignmentStore;
+        let seg_docs = briq_bench::throughput::segment_pages(&pages);
+        let store = AlignmentStore::for_system(&briq);
+        let cfg = briq_core::batch::BatchConfig::with_jobs(1);
+        let t0 = std::time::Instant::now();
+        briq.align_batch_stored(&seg_docs, &cfg, &store, None);
+        let cold_seconds = t0.elapsed().as_secs_f64();
+        store.reset_counters();
+        let t1 = std::time::Instant::now();
+        briq.align_batch_stored(&seg_docs, &cfg, &store, None);
+        let warm_seconds = t1.elapsed().as_secs_f64();
+        briq_bench::throughput::StoreBench {
+            cold_seconds,
+            warm_seconds,
+            warm_speedup: cold_seconds / warm_seconds.max(1e-9),
+            hit_rate: store.hit_rate(),
+            mentions_realigned: store.mentions_realigned(),
+            bytes_peak: store.bytes_peak(),
+        }
+    });
+
     let bench = ThroughputBench::from_runs(seed as usize, (1, baseline), (jobs, parallel))
-        .with_retrieval(index_enabled, recall);
+        .with_retrieval(index_enabled, recall)
+        .with_store(store_bench);
 
     println!(
         "== Batch-engine throughput smoke (seed {seed}, {} pages, {} host cores) ==",
@@ -241,6 +268,19 @@ fn throughput_bench(docs: usize, seed: u64, jobs: usize, out: Option<&str>) {
             "speedup: n/a (--jobs {} on a {}-core host gives {} effective worker(s); need >= 2)",
             bench.jobs_requested, bench.host_cores, bench.jobs_effective
         ),
+    }
+    match &bench.store {
+        Some(s) => println!(
+            "alignment store: cold {:.2}s -> warm {:.4}s ({:.0}x), hit rate {:.3}, \
+             {} mentions realigned, {} bytes peak",
+            s.cold_seconds,
+            s.warm_seconds,
+            s.warm_speedup,
+            s.hit_rate,
+            s.mentions_realigned,
+            s.bytes_peak
+        ),
+        None => println!("alignment store: off (full recompute each run)"),
     }
     for w in &bench.warnings {
         println!("warning: {w}");

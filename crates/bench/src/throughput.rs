@@ -228,6 +228,32 @@ pub struct ThroughputBench {
     /// empty when the measurement is clean. Readers that previously had
     /// to infer the situation from a `null` speedup can key off this.
     pub warnings: Vec<String>,
+    /// Cold-vs-warm timings of the same workload through the versioned
+    /// [`briq_core::store::AlignmentStore`] (DESIGN.md §15), sequential
+    /// runs. `None` when the store was disabled or not measured.
+    pub store: Option<StoreBench>,
+}
+
+/// Cold-vs-warm comparison of one workload through the alignment store:
+/// the first (cold) pass computes and caches everything, the second
+/// (warm, unchanged corpus) pass should serve every document from cache
+/// and skip classify/filter/resolve entirely.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoreBench {
+    /// Wall-clock seconds of the cold pass (cache empty).
+    pub cold_seconds: f64,
+    /// Wall-clock seconds of the warm pass (unchanged corpus).
+    pub warm_seconds: f64,
+    /// `cold_seconds / warm_seconds` — the re-alignment speedup a fully
+    /// warm store buys on an unchanged corpus.
+    pub warm_speedup: f64,
+    /// Store hit rate over the warm pass; `1.0` when nothing changed.
+    pub hit_rate: f64,
+    /// Mentions re-run through classify/filter on the warm pass; `0`
+    /// when nothing changed.
+    pub mentions_realigned: u64,
+    /// High-water mark of the store's resident artifact bytes.
+    pub bytes_peak: u64,
 }
 
 impl ThroughputBench {
@@ -299,7 +325,15 @@ impl ThroughputBench {
             cells_per_mention,
             retrieval_recall: None,
             warnings,
+            store: None,
         }
+    }
+
+    /// Attach a cold-vs-warm store measurement (`None` = store disabled
+    /// or not measured).
+    pub fn with_store(mut self, store: Option<StoreBench>) -> ThroughputBench {
+        self.store = store;
+        self
     }
 
     /// Pin the effective index state explicitly (config AND environment,
@@ -352,6 +386,15 @@ briq_json::json_struct!(ThroughputBench {
     cells_per_mention,
     retrieval_recall,
     warnings,
+    store,
+});
+briq_json::json_struct!(StoreBench {
+    cold_seconds,
+    warm_seconds,
+    warm_speedup,
+    hit_rate,
+    mentions_realigned,
+    bytes_peak,
 });
 
 #[cfg(test)]

@@ -32,15 +32,19 @@ use crate::mention::Alignment;
 use crate::obs::{chrome_trace_json, names, DocTrace, MetricsRegistry, Recorder};
 use crate::pipeline::Briq;
 use crate::span;
+use crate::store::AlignmentStore;
 
 /// `Briq` is shared by reference across the worker pool; if a future
 /// field (e.g. an interior-mutable cache) breaks that, this fails to
-/// compile instead of failing at the first parallel run.
+/// compile instead of failing at the first parallel run. The store is
+/// the one deliberately interior-mutable participant — its map is
+/// mutex-guarded and its counters are atomics, so sharing it is safe.
 const fn assert_share_safe<T: Send + Sync>() {}
 const _: () = {
     assert_share_safe::<Briq>();
     assert_share_safe::<Budget>();
     assert_share_safe::<Document>();
+    assert_share_safe::<AlignmentStore>();
 };
 
 /// Wall-clock seconds spent in each pipeline stage (Fig. 2) while
@@ -326,6 +330,54 @@ impl BatchReport {
 /// `cfg.effective_jobs(docs.len())` worker threads. See the module docs
 /// for the determinism and isolation contract.
 pub fn align_batch(briq: &Briq, docs: &[Document], cfg: &BatchConfig) -> BatchReport {
+    align_batch_inner(briq, docs, cfg, None)
+}
+
+/// [`align_batch`] against a shared [`AlignmentStore`]: one store serves
+/// every worker (its map is mutex-guarded; its counters are atomics),
+/// and each document is keyed by `keys[i]` — or its batch index when
+/// `keys` is `None`. Output stays input-order deterministic and
+/// bit-identical to [`align_batch`] for every cache state: the store
+/// only ever changes which work is *skipped*, never what a document's
+/// output is (see [`crate::store`]). When the store is disabled
+/// (`use_store: false` or `BRIQ_NO_STORE=1`) this *is* [`align_batch`].
+pub fn align_batch_stored(
+    briq: &Briq,
+    docs: &[Document],
+    cfg: &BatchConfig,
+    store: &AlignmentStore,
+    keys: Option<&[u64]>,
+) -> BatchReport {
+    debug_assert!(keys.is_none_or(|k| k.len() == docs.len()));
+    if !briq.store_effective() {
+        return align_batch_inner(briq, docs, cfg, None);
+    }
+    align_batch_inner(briq, docs, cfg, Some(StoreCtx { store, keys }))
+}
+
+/// The store context threaded through the worker pool when a batch runs
+/// against an [`AlignmentStore`].
+#[derive(Clone, Copy)]
+struct StoreCtx<'a> {
+    store: &'a AlignmentStore,
+    keys: Option<&'a [u64]>,
+}
+
+impl StoreCtx<'_> {
+    fn key(&self, index: usize) -> u64 {
+        match self.keys {
+            Some(keys) => keys.get(index).copied().unwrap_or(index as u64),
+            None => index as u64,
+        }
+    }
+}
+
+fn align_batch_inner(
+    briq: &Briq,
+    docs: &[Document],
+    cfg: &BatchConfig,
+    store: Option<StoreCtx<'_>>,
+) -> BatchReport {
     let start = Instant::now();
     let jobs = cfg.effective_jobs(docs.len());
     if docs.is_empty() {
@@ -348,6 +400,7 @@ pub fn align_batch(briq: &Briq, docs: &[Document], cfg: &BatchConfig) -> BatchRe
             chunk,
             cfg,
             start,
+            store,
         )]
     } else {
         let next = AtomicUsize::new(0);
@@ -355,7 +408,7 @@ pub fn align_batch(briq: &Briq, docs: &[Document], cfg: &BatchConfig) -> BatchRe
             let handles: Vec<_> = (0..jobs)
                 .map(|w| {
                     let next = &next;
-                    scope.spawn(move || run_worker(w, briq, docs, next, chunk, cfg, start))
+                    scope.spawn(move || run_worker(w, briq, docs, next, chunk, cfg, start, store))
                 })
                 .collect();
             handles
@@ -418,6 +471,7 @@ fn run_worker(
     chunk: usize,
     cfg: &BatchConfig,
     epoch: Instant,
+    store: Option<StoreCtx<'_>>,
 ) -> (WorkerStats, Vec<DocReport>) {
     let mut out = Vec::new();
     let mut busy_s = 0.0f64;
@@ -429,7 +483,7 @@ fn run_worker(
         let hi = (lo + chunk).min(docs.len());
         for (i, doc) in docs[lo..hi].iter().enumerate() {
             let t0 = Instant::now();
-            out.push(align_one(briq, lo + i, doc, cfg, epoch));
+            out.push(align_one(briq, lo + i, doc, cfg, epoch, store));
             busy_s += t0.elapsed().as_secs_f64();
         }
     }
@@ -449,6 +503,7 @@ fn align_one(
     doc: &Document,
     cfg: &BatchConfig,
     epoch: Instant,
+    store: Option<StoreCtx<'_>>,
 ) -> DocReport {
     // The recorder is worker-local (one per document, never shared), so
     // recording needs no locks; `epoch` is the batch start, putting every
@@ -461,7 +516,10 @@ fn align_one(
         };
         let (alignments, diagnostics, timings) = {
             let _g = span!(rec, names::SPAN_ALIGN, doc = index);
-            briq.align_observed(doc, &cfg.budget, &rec)
+            match store {
+                Some(ctx) => briq.align_stored(ctx.store, ctx.key(index), doc, &cfg.budget, &rec),
+                None => briq.align_observed(doc, &cfg.budget, &rec),
+            }
         };
         (alignments, diagnostics, timings, rec.finish())
     }));

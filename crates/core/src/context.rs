@@ -70,7 +70,10 @@ pub struct TableContext {
 }
 
 impl TableContext {
-    fn build(table: &briq_table::Table) -> TableContext {
+    /// Build the context of one table. Pure in the table's caption and
+    /// cell grid — the alignment store relies on this purity to reuse
+    /// cached table contexts across page versions (DESIGN.md §15).
+    pub fn build(table: &briq_table::Table) -> TableContext {
         let row_words: Vec<_> = (0..table.n_rows)
             .map(|r| stem_set(&table.row_text(r)))
             .collect();
@@ -173,6 +176,21 @@ pub struct DocContext {
 impl DocContext {
     /// Build the full context for `doc` and its extracted `mentions`.
     pub fn build(doc: &Document, mentions: &[TextMention], cfg: &ContextConfig) -> DocContext {
+        let tables = doc.tables.iter().map(TableContext::build).collect();
+        Self::build_with_tables(doc, mentions, cfg, tables)
+    }
+
+    /// [`DocContext::build`] with the per-table contexts supplied by the
+    /// caller. Everything else is derived from `doc.text` alone, so the
+    /// alignment store can recombine a cached text side with freshly (or
+    /// separately cached) built table contexts. `build` delegates here —
+    /// the two can never drift apart.
+    pub fn build_with_tables(
+        doc: &Document,
+        mentions: &[TextMention],
+        cfg: &ContextConfig,
+        tables: Vec<TableContext>,
+    ) -> DocContext {
         let tokens = tokenize(&doc.text);
         let sentences = split_sentences(&doc.text);
         let paragraph_words = stem_set(&doc.text);
@@ -183,7 +201,6 @@ impl DocContext {
             .collect();
         let paragraph_phrases: BTreeSet<String> =
             noun_phrase_strings(&doc.text).into_iter().collect();
-        let tables = doc.tables.iter().map(TableContext::build).collect();
 
         let mention_ctx = mentions
             .iter()

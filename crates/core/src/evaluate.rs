@@ -261,7 +261,7 @@ mod tests {
         r.add_document(
             &[
                 pred(0, sc, vec![(1, 1)], 0.9),
-                pred(10, sum.clone(), vec![(1, 1), (2, 1)], 0.8),
+                pred(10, sum, vec![(1, 1), (2, 1)], 0.8),
             ],
             &[
                 gold(0, sc, vec![(1, 1)]),

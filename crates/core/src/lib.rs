@@ -72,10 +72,13 @@ pub mod resolution_ilp;
 pub mod retrieval;
 pub mod scoring;
 pub mod serve;
+pub mod store;
 pub mod tagger;
 pub mod training;
 
-pub use batch::{align_batch, BatchConfig, BatchReport, DocReport, StageTimings, WorkerStats};
+pub use batch::{
+    align_batch, align_batch_stored, BatchConfig, BatchReport, DocReport, StageTimings, WorkerStats,
+};
 pub use error::{
     BriqError, Budget, CancelCause, CancelToken, DegradedAction, Diagnostic, Diagnostics, Stage,
 };
@@ -84,3 +87,4 @@ pub use jaro::jaro_winkler;
 pub use mention::{Alignment, GoldAlignment};
 pub use obs::{DocTrace, MetricsRegistry, Recorder};
 pub use pipeline::{Briq, BriqConfig};
+pub use store::AlignmentStore;

@@ -118,6 +118,19 @@ pub mod names {
     /// shutdown drain) with all partial work discarded.
     pub const CANCELLATIONS: &str = "cancellations";
 
+    /// Counter: documents served verbatim from the alignment store
+    /// (full fingerprint hit — classify/filter/resolve skipped).
+    pub const STORE_HITS: &str = "store_hits";
+    /// Counter: store entries found but invalidated by a fingerprint
+    /// change and replaced by an incremental re-alignment.
+    pub const STORE_INVALIDATIONS: &str = "store_invalidations";
+    /// Counter: mentions that re-ran classify/filter through the store
+    /// path (dirty + new + all mentions of cold documents).
+    pub const MENTIONS_REALIGNED: &str = "mentions_realigned";
+    /// Histogram: high-water estimated resident bytes of the alignment
+    /// store, observed after each insertion (unit: bytes).
+    pub const STORE_BYTES_PEAK: &str = "store_bytes_peak";
+
     /// Counter: align requests admitted by `briq-serve` (sheds excluded).
     pub const SERVE_REQUESTS: &str = "serve_requests";
     /// Counter: align requests shed by admission control (queue full or

@@ -7,7 +7,7 @@ use briq_text::cues::AggregationKind;
 
 use crate::batch::{align_batch, BatchConfig, BatchReport, StageTimings};
 use crate::classifier::PairClassifier;
-use crate::context::{ContextConfig, DocContext};
+use crate::context::{ContextConfig, DocContext, TableContext};
 use crate::error::{
     BriqError, Budget, CancelCause, CancelToken, DegradedAction, Diagnostics, Stage,
 };
@@ -53,6 +53,11 @@ pub struct BriqConfig {
     /// mention with every target (DESIGN.md §13). Output is bit-identical
     /// either way; `BRIQ_NO_INDEX=1` force-disables it at run time.
     pub use_index: bool,
+    /// Serve repeated alignments of unchanged (or partially changed)
+    /// documents from the versioned [`crate::store::AlignmentStore`]
+    /// when one is attached (DESIGN.md §15). Output is bit-identical
+    /// either way; `BRIQ_NO_STORE=1` force-disables it at run time.
+    pub use_store: bool,
 }
 
 impl Default for BriqConfig {
@@ -71,6 +76,7 @@ impl Default for BriqConfig {
             tagger_threshold: 0.6,
             mask: FeatureMask::all(),
             use_index: true,
+            use_store: true,
         }
     }
 }
@@ -375,9 +381,25 @@ impl Briq {
         doc: &Document,
         budget: &Budget,
     ) -> (Vec<TextMention>, DocContext, Vec<TableMention>, Diagnostics) {
-        let mut diags = Diagnostics::default();
         let mentions = text_mentions(doc);
-        let ctx = DocContext::build(doc, &mentions, &self.cfg.context);
+        let (tables, targets, diags) = self.extract_table_side(doc, budget);
+        let ctx = DocContext::build_with_tables(doc, &mentions, &self.cfg.context, tables);
+        (mentions, ctx, targets, diags)
+    }
+
+    /// The table half of extraction: per-table contexts, alignment
+    /// targets (single + capped virtual cells), and the degenerate-table
+    /// / budget-truncation diagnostics they produce. Pure in
+    /// `doc.tables` + config + budget, which is what lets the alignment
+    /// store reuse it verbatim when only the paragraph text of a page
+    /// changed (DESIGN.md §15).
+    pub(crate) fn extract_table_side(
+        &self,
+        doc: &Document,
+        budget: &Budget,
+    ) -> (Vec<TableContext>, Vec<TableMention>, Diagnostics) {
+        let mut diags = Diagnostics::default();
+        let tables: Vec<TableContext> = doc.tables.iter().map(TableContext::build).collect();
 
         for (i, t) in doc.tables.iter().enumerate() {
             if t.data_rows().is_empty() || t.data_cols().is_empty() {
@@ -406,7 +428,7 @@ impl Briq {
                 DegradedAction::Truncated,
             );
         }
-        (mentions, ctx, targets, diags)
+        (tables, targets, diags)
     }
 
     /// Stage 2: score every mention/target pair and tag each mention's
@@ -492,107 +514,21 @@ impl Briq {
         rec: &Recorder,
         cancel: &CancelToken,
     ) -> Result<(Vec<Vec<Candidate>>, FilterStats), CancelCause> {
-        let no_prune = std::env::var_os("BRIQ_NO_PRUNE").is_some_and(|v| v == "1");
-        let no_index =
-            !self.cfg.use_index || std::env::var_os("BRIQ_NO_INDEX").is_some_and(|v| v == "1");
-        let mut featurizer = PairFeaturizer::new(mentions, targets, ctx);
-        // Pooled per-worker scratch (DESIGN.md §14): reset engine and
-        // retrieval buffers from this thread's arena instead of cold
-        // construction. An early cancellation return simply drops them;
-        // the arena refills on the next document.
-        let mut engine = crate::arena::take_engine();
+        let mut pass = ClassifyPass::new(self, doc, mentions, ctx, targets, timings);
         let mut stats = FilterStats::default();
         let mut candidates = Vec::with_capacity(mentions.len());
-        // Built once per document (tokenless: `retrieve` never consults
-        // postings, so the hot path must not pay for them); retrieval
-        // per mention is then allocation-free and bounded by the viable
-        // candidate set. The build is charged to the classify stage so
-        // throughput artifacts and the perf-trend gate see its cost.
-        let t_build = Instant::now();
-        let index = (!no_index)
-            .then(|| CandidateIndex::build(targets, self.cfg.filter.value_diff_threshold));
-        if index.is_some() {
-            timings.classify_s += t_build.elapsed().as_secs_f64();
-        }
-        let mut scratch = crate::arena::take_retrieval_scratch();
-        for (mi, x) in mentions.iter().enumerate() {
+        for mi in 0..mentions.len() {
             if let Some(cause) = cancel.cause() {
                 return Err(cause);
             }
-            let t0 = Instant::now();
-            let tags = {
-                let _g = span!(rec, names::SPAN_CLASSIFY, mention = mi);
-                let mut tags = self.tagger.tags(&tagger_features(x, ctx, doc));
-                if self.cfg.virtual_cells.extended {
-                    tags.extend(crate::tagger::extended_lexical_tags(
-                        &ctx.mentions[mi].immediate_words,
-                    ));
-                }
-                match &index {
-                    Some(idx) => {
-                        idx.retrieve(x.quantity.value, x.quantity.unit, &tags, &mut scratch);
-                        engine.fill_rows_selected(&mut featurizer, mi, &scratch.near, &scratch.far);
-                        match &self.classifier {
-                            Some(clf) => engine.score_trained_selected(
-                                x,
-                                targets,
-                                &tags,
-                                clf,
-                                &self.cfg.filter,
-                                !no_prune,
-                            ),
-                            None => engine.score_heuristic_selected(&self.cfg.mask),
-                        }
-                        // Keep Table-VI totals identical to the oracle's.
-                        idx.record_dropped(&scratch, &mut stats);
-                        let retrieved = scratch.retrieved() as u64;
-                        let skipped = targets.len() as u64 - retrieved;
-                        timings.candidates_retrieved += retrieved;
-                        timings.pairs_skipped_retrieval += skipped;
-                        rec.count(names::RETRIEVAL_CANDIDATES, retrieved);
-                        rec.count(names::RETRIEVAL_PAIRS_DROPPED, skipped);
-                        rec.observe(names::RETRIEVAL_CANDIDATES_PER_MENTION, retrieved as f64);
-                    }
-                    None => {
-                        engine.fill_rows(&mut featurizer, mi);
-                        match &self.classifier {
-                            Some(clf) => engine.score_trained(
-                                x,
-                                targets,
-                                &tags,
-                                clf,
-                                &self.cfg.filter,
-                                !no_prune,
-                            ),
-                            None => engine.score_heuristic(&self.cfg.mask),
-                        }
-                    }
-                }
-                tags
-            };
-            timings.classify_s += t0.elapsed().as_secs_f64();
-            let t1 = Instant::now();
-            {
-                let _g = span!(rec, names::SPAN_FILTER, mention = mi);
-                candidates.push(filter_mention_pruned(
-                    x,
-                    engine.computed(),
-                    engine.pruned_targets(),
-                    targets,
-                    &tags,
-                    &self.cfg.filter,
-                    &mut stats,
-                ));
-            }
-            timings.filter_s += t1.elapsed().as_secs_f64();
+            let (cands, delta) = pass.run_mention(mi, timings, rec);
+            // Per-mention deltas merged in mention order reproduce the
+            // direct accumulation exactly: `FilterStats` is a pair of
+            // count maps and merge is entrywise addition.
+            stats.merge(&delta);
+            candidates.push(cands);
         }
-        timings.rows_deduped += engine.rows_deduped();
-        timings.pairs_pruned += engine.pairs_pruned();
-        engine.record_into(rec);
-        stats.record_into(rec);
-        crate::arena::put_engine(engine);
-        crate::arena::put_retrieval_scratch(scratch);
-        rec.observe(names::ARENA_BYTES_PEAK, crate::arena::bytes_peak() as f64);
+        pass.finish(timings, &stats, rec);
         Ok((candidates, stats))
     }
 
@@ -702,6 +638,107 @@ impl Briq {
         align_batch(self, docs, cfg)
     }
 
+    /// [`Briq::align_batch`] against a shared [`crate::store::AlignmentStore`]
+    /// — see [`crate::batch::align_batch_stored`].
+    pub fn align_batch_stored(
+        &self,
+        docs: &[Document],
+        cfg: &BatchConfig,
+        store: &crate::store::AlignmentStore,
+        keys: Option<&[u64]>,
+    ) -> BatchReport {
+        crate::batch::align_batch_stored(self, docs, cfg, store, keys)
+    }
+
+    /// Is the alignment store in force for this system right now? Both
+    /// the `use_store` config knob AND the `BRIQ_NO_STORE=1` escape
+    /// hatch must allow it — the hatch is the CI oracle that pins the
+    /// incremental path to the full recompute (DESIGN.md §15).
+    pub fn store_effective(&self) -> bool {
+        self.cfg.use_store && std::env::var_os("BRIQ_NO_STORE").is_none_or(|v| v != "1")
+    }
+
+    /// [`Briq::align_observed`] through a versioned
+    /// [`crate::store::AlignmentStore`]: serve unchanged documents from
+    /// cache, re-align only the dirty mentions of partially changed
+    /// ones, and fall back to the plain path (computing and caching
+    /// everything) on a cold key. Bit-identical to
+    /// [`Briq::align_observed`] in alignments and diagnostics for every
+    /// cache state — the store only ever replays artifacts whose inputs
+    /// fingerprint-match. With `use_store: false` or `BRIQ_NO_STORE=1`
+    /// this *is* [`Briq::align_observed`] (the store is not consulted
+    /// or populated).
+    pub fn align_stored(
+        &self,
+        store: &crate::store::AlignmentStore,
+        key: u64,
+        doc: &Document,
+        budget: &Budget,
+        rec: &Recorder,
+    ) -> (Vec<Alignment>, Diagnostics, StageTimings) {
+        self.align_stored_cancellable(store, key, doc, budget, rec, &CancelToken::none())
+    }
+
+    /// [`Briq::align_stored`] under a cooperative [`CancelToken`].
+    /// Cancelled runs return the usual no-partial-state shape and are
+    /// never cached.
+    pub fn align_stored_cancellable(
+        &self,
+        store: &crate::store::AlignmentStore,
+        key: u64,
+        doc: &Document,
+        budget: &Budget,
+        rec: &Recorder,
+        cancel: &CancelToken,
+    ) -> (Vec<Alignment>, Diagnostics, StageTimings) {
+        let mut timings = StageTimings::default();
+        if !self.store_effective() {
+            let (alignments, _, _, diags) =
+                self.align_budgeted_cancellable(doc, budget, &mut timings, rec, cancel);
+            return (alignments, diags, timings);
+        }
+        let (alignments, _, _, diags) =
+            store.align_cancellable(self, key, doc, budget, &mut timings, rec, cancel);
+        (alignments, diags, timings)
+    }
+
+    /// [`Briq::align_stored`] also returning filter totals and kept
+    /// candidates — the store-path twin of [`Briq::align_detailed`],
+    /// used by the equivalence suite to compare every output surface.
+    #[allow(clippy::type_complexity)]
+    pub fn align_stored_detailed(
+        &self,
+        store: &crate::store::AlignmentStore,
+        key: u64,
+        doc: &Document,
+        budget: &Budget,
+    ) -> (
+        Vec<Alignment>,
+        FilterStats,
+        Vec<Vec<Candidate>>,
+        Diagnostics,
+    ) {
+        let mut timings = StageTimings::default();
+        if !self.store_effective() {
+            return self.align_budgeted_cancellable(
+                doc,
+                budget,
+                &mut timings,
+                &Recorder::disabled(),
+                &CancelToken::none(),
+            );
+        }
+        store.align_cancellable(
+            self,
+            key,
+            doc,
+            budget,
+            &mut timings,
+            &Recorder::disabled(),
+            &CancelToken::none(),
+        )
+    }
+
     /// The one shared alignment code path. `align`/`align_detailed` call
     /// it with [`Budget::unlimited`] and discard the diagnostics;
     /// `align_checked` calls it with a finite budget — so budgeted and
@@ -762,19 +799,65 @@ impl Briq {
         timings.pairs_scored += (mentions.len() * targets.len()) as u64;
         rec.count(names::PAIRS_SCORED, (mentions.len() * targets.len()) as u64);
 
+        let alignments = match self.graph_resolve_stage(
+            &mentions,
+            &ctx,
+            &targets,
+            &candidates,
+            &mut diags,
+            budget,
+            timings,
+            rec,
+            cancel,
+        ) {
+            Ok(a) => a,
+            Err((stage, cause)) => return cancelled_result(stage, cause, diags, rec),
+        };
+        rec.count(
+            names::BUDGET_EXHAUSTIONS,
+            diags
+                .items
+                .iter()
+                .filter(|d| d.action == DegradedAction::Truncated)
+                .count() as u64,
+        );
+        (alignments, stats, candidates, diags)
+    }
+
+    /// Stages 4+5: budgeted graph construction and global resolution,
+    /// then the final alignment mapping. Shared verbatim between
+    /// [`Briq::align_budgeted_cancellable`] and the alignment store's
+    /// incremental path (DESIGN.md §15) — resolution is a global
+    /// algorithm (each decision updates the graph the next walk runs
+    /// on), so any changed document re-runs this stage in full, from
+    /// identical inputs, and can never drift from the full recompute.
+    /// A fired cancel token surfaces as `Err((stage, cause))`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn graph_resolve_stage(
+        &self,
+        mentions: &[TextMention],
+        ctx: &DocContext,
+        targets: &[TableMention],
+        candidates: &[Vec<Candidate>],
+        diags: &mut Diagnostics,
+        budget: &Budget,
+        timings: &mut StageTimings,
+        rec: &Recorder,
+        cancel: &CancelToken,
+    ) -> Result<Vec<Alignment>, (Stage, CancelCause)> {
         if let Some(cause) = cancel.cause() {
-            return cancelled_result(Stage::GraphConstruction, cause, diags, rec);
+            return Err((Stage::GraphConstruction, cause));
         }
         let t1 = Instant::now();
         let positions: Vec<usize> = ctx.mentions.iter().map(|m| m.token_index).collect();
         let (ag, edges_truncated) = {
             let _g = span!(rec, names::SPAN_GRAPH);
             build_graph_budgeted(
-                &mentions,
+                mentions,
                 &positions,
                 ctx.tokens.len(),
-                &targets,
-                &candidates,
+                targets,
+                candidates,
                 &self.cfg.graph,
                 budget.max_graph_edges,
             )
@@ -793,7 +876,7 @@ impl Briq {
             let _g = span!(rec, names::SPAN_RESOLVE);
             resolve_observed(
                 ag,
-                &candidates,
+                candidates,
                 &self.cfg.resolution,
                 budget.max_rwr_iterations,
                 rec,
@@ -801,7 +884,7 @@ impl Briq {
             )
         };
         if let Some(&ResolutionEvent::Cancelled { cause }) = events.first() {
-            return cancelled_result(Stage::Resolution, cause, diags, rec);
+            return Err((Stage::Resolution, cause));
         }
         for ev in events {
             match ev {
@@ -841,15 +924,178 @@ impl Briq {
             .collect();
         timings.resolve_s += t1.elapsed().as_secs_f64();
         rec.count(names::ALIGNMENTS, alignments.len() as u64);
-        rec.count(
-            names::BUDGET_EXHAUSTIONS,
-            diags
-                .items
-                .iter()
-                .filter(|d| d.action == DegradedAction::Truncated)
-                .count() as u64,
-        );
-        (alignments, stats, candidates, diags)
+        Ok(alignments)
+    }
+}
+
+/// The fused classify+filter stage, factored into a per-mention unit so
+/// the alignment store can re-run it for exactly the dirty mentions of a
+/// changed page version (DESIGN.md §15) while [`Briq::classify_filter_stage`]
+/// drives it over every mention. One instance per document: the
+/// featurizer, scoring engine, retrieval index, and scratch buffers are
+/// built once and shared across `run_mention` calls, exactly as the
+/// former monolithic loop did.
+pub(crate) struct ClassifyPass<'a> {
+    briq: &'a Briq,
+    doc: &'a Document,
+    mentions: &'a [TextMention],
+    ctx: &'a DocContext,
+    targets: &'a [TableMention],
+    featurizer: PairFeaturizer<'a>,
+    engine: crate::scoring::ScoringEngine,
+    scratch: crate::retrieval::RetrievalScratch,
+    index: Option<CandidateIndex>,
+    no_prune: bool,
+}
+
+impl<'a> ClassifyPass<'a> {
+    /// Build the per-document machinery. The retrieval-index build is
+    /// charged to the classify stage so throughput artifacts and the
+    /// perf-trend gate see its cost, as before.
+    pub(crate) fn new(
+        briq: &'a Briq,
+        doc: &'a Document,
+        mentions: &'a [TextMention],
+        ctx: &'a DocContext,
+        targets: &'a [TableMention],
+        timings: &mut StageTimings,
+    ) -> ClassifyPass<'a> {
+        let no_prune = std::env::var_os("BRIQ_NO_PRUNE").is_some_and(|v| v == "1");
+        let no_index =
+            !briq.cfg.use_index || std::env::var_os("BRIQ_NO_INDEX").is_some_and(|v| v == "1");
+        let featurizer = PairFeaturizer::new(mentions, targets, ctx);
+        // Pooled per-worker scratch (DESIGN.md §14): reset engine and
+        // retrieval buffers from this thread's arena instead of cold
+        // construction. An early cancellation return simply drops them;
+        // the arena refills on the next document.
+        let engine = crate::arena::take_engine();
+        // Built once per document (tokenless: `retrieve` never consults
+        // postings, so the hot path must not pay for them); retrieval
+        // per mention is then allocation-free and bounded by the viable
+        // candidate set.
+        let t_build = Instant::now();
+        let index = (!no_index)
+            .then(|| CandidateIndex::build(targets, briq.cfg.filter.value_diff_threshold));
+        if index.is_some() {
+            timings.classify_s += t_build.elapsed().as_secs_f64();
+        }
+        let scratch = crate::arena::take_retrieval_scratch();
+        ClassifyPass {
+            briq,
+            doc,
+            mentions,
+            ctx,
+            targets,
+            featurizer,
+            engine,
+            scratch,
+            index,
+            no_prune,
+        }
+    }
+
+    /// Classify + filter one mention. Returns its kept candidates and a
+    /// fresh [`FilterStats`] delta holding exactly this mention's
+    /// contribution to the document totals (filter counts plus
+    /// retrieval-dropped counts) — pure per mention, so the store can
+    /// cache and replay it.
+    pub(crate) fn run_mention(
+        &mut self,
+        mi: usize,
+        timings: &mut StageTimings,
+        rec: &Recorder,
+    ) -> (Vec<Candidate>, FilterStats) {
+        let x = &self.mentions[mi];
+        let mut delta = FilterStats::default();
+        let t0 = Instant::now();
+        let tags = {
+            let _g = span!(rec, names::SPAN_CLASSIFY, mention = mi);
+            let mut tags = self
+                .briq
+                .tagger
+                .tags(&tagger_features(x, self.ctx, self.doc));
+            if self.briq.cfg.virtual_cells.extended {
+                tags.extend(crate::tagger::extended_lexical_tags(
+                    &self.ctx.mentions[mi].immediate_words,
+                ));
+            }
+            match &self.index {
+                Some(idx) => {
+                    idx.retrieve(x.quantity.value, x.quantity.unit, &tags, &mut self.scratch);
+                    self.engine.fill_rows_selected(
+                        &mut self.featurizer,
+                        mi,
+                        &self.scratch.near,
+                        &self.scratch.far,
+                    );
+                    match &self.briq.classifier {
+                        Some(clf) => self.engine.score_trained_selected(
+                            x,
+                            self.targets,
+                            &tags,
+                            clf,
+                            &self.briq.cfg.filter,
+                            !self.no_prune,
+                        ),
+                        None => self.engine.score_heuristic_selected(&self.briq.cfg.mask),
+                    }
+                    // Keep Table-VI totals identical to the oracle's.
+                    idx.record_dropped(&self.scratch, &mut delta);
+                    let retrieved = self.scratch.retrieved() as u64;
+                    let skipped = self.targets.len() as u64 - retrieved;
+                    timings.candidates_retrieved += retrieved;
+                    timings.pairs_skipped_retrieval += skipped;
+                    rec.count(names::RETRIEVAL_CANDIDATES, retrieved);
+                    rec.count(names::RETRIEVAL_PAIRS_DROPPED, skipped);
+                    rec.observe(names::RETRIEVAL_CANDIDATES_PER_MENTION, retrieved as f64);
+                }
+                None => {
+                    self.engine.fill_rows(&mut self.featurizer, mi);
+                    match &self.briq.classifier {
+                        Some(clf) => self.engine.score_trained(
+                            x,
+                            self.targets,
+                            &tags,
+                            clf,
+                            &self.briq.cfg.filter,
+                            !self.no_prune,
+                        ),
+                        None => self.engine.score_heuristic(&self.briq.cfg.mask),
+                    }
+                }
+            }
+            tags
+        };
+        timings.classify_s += t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let cands;
+        {
+            let _g = span!(rec, names::SPAN_FILTER, mention = mi);
+            cands = filter_mention_pruned(
+                x,
+                self.engine.computed(),
+                self.engine.pruned_targets(),
+                self.targets,
+                &tags,
+                &self.briq.cfg.filter,
+                &mut delta,
+            );
+        }
+        timings.filter_s += t1.elapsed().as_secs_f64();
+        (cands, delta)
+    }
+
+    /// Flush engine totals and recycle the scratch buffers. `stats` is
+    /// the document's final (merged) filter totals, recorded exactly
+    /// where the former monolithic loop recorded them.
+    pub(crate) fn finish(self, timings: &mut StageTimings, stats: &FilterStats, rec: &Recorder) {
+        timings.rows_deduped += self.engine.rows_deduped();
+        timings.pairs_pruned += self.engine.pairs_pruned();
+        self.engine.record_into(rec);
+        stats.record_into(rec);
+        crate::arena::put_engine(self.engine);
+        crate::arena::put_retrieval_scratch(self.scratch);
+        rec.observe(names::ARENA_BYTES_PEAK, crate::arena::bytes_peak() as f64);
     }
 }
 
@@ -859,7 +1105,7 @@ impl Briq {
 /// token. Discarding the stage outputs wholesale is what "no partial
 /// state" means — a cancelled response can never leak a half-resolved
 /// alignment set.
-fn cancelled_result(
+pub(crate) fn cancelled_result(
     stage: Stage,
     cause: CancelCause,
     mut diags: Diagnostics,
@@ -1044,7 +1290,8 @@ mod tests {
         let mut cfg = BriqConfig::default();
         cfg.forest.n_trees = 16;
         cfg.tagger_forest.n_trees = 8;
-        let (briq, f1) = Briq::train_tuned(cfg, &[ld.clone()], &[ld]);
+        let (briq, f1) =
+            Briq::train_tuned(cfg, std::slice::from_ref(&ld), std::slice::from_ref(&ld));
         assert!(briq.cfg.resolution.alpha + briq.cfg.resolution.beta > 0.99);
         assert!((0.0..=1.0).contains(&f1));
     }
@@ -1065,7 +1312,11 @@ mod tests {
             document: doc.clone(),
             gold,
         };
-        let briq = Briq::train(BriqConfig::default(), &[ld.clone()], &[ld]);
+        let briq = Briq::train(
+            BriqConfig::default(),
+            std::slice::from_ref(&ld),
+            std::slice::from_ref(&ld),
+        );
         assert!(briq.is_trained());
         let alignments = briq.align(&doc);
         // The trained system still produces alignments on its train doc.
@@ -1091,6 +1342,7 @@ impl briq_json::ToJson for BriqConfig {
             ),
             ("mask".to_string(), self.mask.to_json()),
             ("use_index".to_string(), self.use_index.to_json()),
+            ("use_store".to_string(), self.use_store.to_json()),
         ])
     }
 }
@@ -1110,6 +1362,7 @@ impl briq_json::FromJson for BriqConfig {
             tagger_threshold: briq_json::field(obj, "tagger_threshold")?,
             mask: briq_json::field(obj, "mask")?,
             use_index: briq_json::field_or(obj, "use_index", true)?,
+            use_store: briq_json::field_or(obj, "use_store", true)?,
         })
     }
 }

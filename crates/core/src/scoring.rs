@@ -736,7 +736,7 @@ mod tests {
         let mut b = [0.0f64; FEATURE_COUNT];
         b[3] = -0.0;
         assert_ne!(row_key(&a), row_key(&b), "-0.0 and 0.0 must key apart");
-        assert_eq!(row_key(&a), row_key(&a.to_vec()));
+        assert_eq!(row_key(&a), row_key(a.as_ref()));
     }
 
     #[test]

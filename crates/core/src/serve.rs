@@ -71,6 +71,7 @@ use crate::error::{
 };
 use crate::obs::{names, MetricsRegistry, Recorder};
 use crate::pipeline::Briq;
+use crate::store::{AlignmentStore, Fingerprint};
 
 /// Lock a mutex, tolerating poisoning: a panicked holder (impossible on
 /// these lock scopes, which contain no user code — but cheap to survive)
@@ -249,23 +250,52 @@ pub struct AlignOutcome {
 /// (same `align_cancellable` path, same `catch_unwind` isolation, same
 /// panicked-document diagnostic, same `doc <i>: <scope>` prefixes), so
 /// clean responses are byte-compatible with `briq-align` output.
+///
+/// With `store: Some(..)` each segmented document runs through the
+/// warm [`AlignmentStore`] instead, keyed by the request identity (the
+/// client `id` when present, else the page HTML) mixed with the
+/// segment index — so a client re-submitting a page under a stable id
+/// is served incrementally. Responses stay bit-identical either way
+/// (the store contract, DESIGN.md §15).
 pub fn serve_align(
     briq: &Briq,
     id: Option<&Value>,
     html: &str,
     budget: &Budget,
     cancel: &CancelToken,
+    store: Option<&AlignmentStore>,
 ) -> (Value, AlignOutcome) {
     let page = parse_page(html);
     let docs = segment_page(&page, &SegmentConfig::default(), 0);
+    let request_fp = {
+        let mut f = Fingerprint::new();
+        match id {
+            Some(v) => f.str(&v.to_string_compact()),
+            None => f.str(html),
+        }
+        f.finish()
+    };
     let mut outcome = AlignOutcome {
         documents: docs.len(),
         ..AlignOutcome::default()
     };
     let mut doc_values = Vec::with_capacity(docs.len());
     for (i, doc) in docs.iter().enumerate() {
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            briq.align_cancellable(doc, budget, &Recorder::disabled(), cancel)
+        let result = catch_unwind(AssertUnwindSafe(|| match store {
+            Some(st) => {
+                let mut f = Fingerprint::new();
+                f.u64(request_fp);
+                f.usize(i);
+                briq.align_stored_cancellable(
+                    st,
+                    f.finish(),
+                    doc,
+                    budget,
+                    &Recorder::disabled(),
+                    cancel,
+                )
+            }
+            None => briq.align_cancellable(doc, budget, &Recorder::disabled(), cancel),
         }));
         let (alignments, diagnostics) = match result {
             Ok((alignments, diagnostics, timings)) => {
@@ -452,6 +482,10 @@ struct Shared<'a> {
     force_cancel: Arc<AtomicBool>,
     inflight: AtomicUsize,
     connections: AtomicUsize,
+    /// Warm alignment store shared across requests and workers — `None`
+    /// when disabled (`use_store: false` or `BRIQ_NO_STORE=1`), in
+    /// which case every request takes the plain full-recompute path.
+    store: Option<AlignmentStore>,
 }
 
 impl Shared<'_> {
@@ -531,6 +565,9 @@ impl Server {
             force_cancel: Arc::new(AtomicBool::new(false)),
             inflight: AtomicUsize::new(0),
             connections: AtomicUsize::new(0),
+            store: briq
+                .store_effective()
+                .then(|| AlignmentStore::for_system(briq)),
         };
         std::thread::scope(|s| {
             for _ in 0..self.cfg.workers.max(1) {
@@ -599,6 +636,7 @@ fn run_worker(sh: &Shared<'_>) {
                     &job.html,
                     &sh.cfg.budget,
                     &job.cancel,
+                    sh.store.as_ref(),
                 );
                 {
                     let mut m = lock(&sh.metrics);
@@ -751,11 +789,29 @@ fn handle_line(sh: &Shared<'_>, stream: &mut TcpStream, line: &str) -> After {
                             && std::env::var_os("BRIQ_NO_INDEX").is_none_or(|v| v != "1"),
                     ),
                 ),
+                // Effective alignment-store state (config knob AND the
+                // BRIQ_NO_STORE escape hatch) plus its lifetime hit
+                // rate — the fraction of lookups served fully warm.
+                ("store_enabled", Value::Bool(sh.store.is_some())),
+                (
+                    "store_hit_rate",
+                    Value::Num(sh.store.as_ref().map_or(0.0, |s| s.hit_rate())),
+                ),
             ]);
             ok_or_close(write_line(sh, stream, &resp))
         }
         Request::Metrics => {
-            let snapshot = metrics_snapshot(&lock(&sh.metrics));
+            // Store counters live on the store itself (atomics), not the
+            // registry — inject them into a snapshot copy so the metrics
+            // endpoint reports one merged view.
+            let mut reg = lock(&sh.metrics).clone();
+            if let Some(st) = &sh.store {
+                reg.count(names::STORE_HITS, st.hits());
+                reg.count(names::STORE_INVALIDATIONS, st.invalidations());
+                reg.count(names::MENTIONS_REALIGNED, st.mentions_realigned());
+                reg.observe(names::STORE_BYTES_PEAK, st.bytes_peak() as f64);
+            }
+            let snapshot = metrics_snapshot(&reg);
             let resp = obj(vec![
                 ("status", Value::Str("ok".into())),
                 ("op", Value::Str("metrics".into())),
@@ -899,8 +955,15 @@ mod tests {
     fn serve_align_matches_batch_path_bit_for_bit() {
         let briq = briq();
         let html = test_page();
-        let (resp, outcome) =
-            serve_align(&briq, None, &html, &Budget::default(), &CancelToken::none());
+        let store = AlignmentStore::for_system(&briq);
+        let (resp, outcome) = serve_align(
+            &briq,
+            None,
+            &html,
+            &Budget::default(),
+            &CancelToken::none(),
+            Some(&store),
+        );
         assert!(!outcome.degraded);
         assert_eq!(outcome.panics, 0);
 
@@ -933,6 +996,7 @@ mod tests {
             &test_page(),
             &Budget::default(),
             &CancelToken::with_flag(flag),
+            None,
         );
         assert!(outcome.degraded);
         assert!(outcome.shutdown_cancelled > 0);

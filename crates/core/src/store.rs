@@ -1,0 +1,768 @@
+//! Versioned alignment store with incremental re-alignment (DESIGN.md §15).
+//!
+//! The batch pipeline is stateless: every run recomputes every document
+//! from scratch, even though real workloads re-align near-identical page
+//! versions over and over. The [`AlignmentStore`] turns alignments into
+//! first-class precomputed artifacts: per document key it caches the
+//! text-side extraction, the table-side contexts and targets, every
+//! mention's classify/filter output, and the final alignments +
+//! diagnostics + filter totals, each guarded by a content fingerprint of
+//! exactly the inputs that artifact reads.
+//!
+//! On re-alignment of a new page version the store diffs fingerprints
+//! and serves the largest prefix of the pipeline it can prove unchanged:
+//!
+//! - **Full hit** — config, paragraph text, and every table fingerprint
+//!   match: the cached alignments, diagnostics, candidates, and filter
+//!   totals are served verbatim; classify, filter, and resolution do not
+//!   run at all.
+//! - **Text changed, tables unchanged** — the table side (per-table
+//!   contexts, targets, degenerate/truncation diagnostics) is replayed
+//!   from cache; the text side is re-extracted. Mentions whose own
+//!   fingerprint *and* the document's text-aggregate fingerprint are
+//!   unchanged are **clean**: their cached tags/candidates/filter deltas
+//!   are replayed. The rest are **dirty** (or **new**) and re-run
+//!   through the same per-mention `ClassifyPass` the full pipeline
+//!   uses.
+//! - **Tables changed** — every mention is dirty (the tagger reads every
+//!   table's quantities, so the per-mention read set spans all tables),
+//!   but the text side is still replayed from cache when the paragraph
+//!   is unchanged — and extraction is the slowest stage of the pipeline.
+//!
+//! Resolution is a global algorithm (every accepted alignment updates
+//! the graph the next walk runs on), so any changed document re-runs
+//! graph construction + resolution in full from the (partially replayed)
+//! candidate sets — through the very same `graph_resolve_stage` code
+//! the stateless path uses. That, plus the purity of each cached
+//! artifact in its fingerprinted inputs, is the bit-identity argument:
+//! the store can only ever replay values the full recompute would have
+//! produced.
+//! `BRIQ_NO_STORE=1` / `use_store: false` is the CI oracle hatch that
+//! byte-compares the two paths on real corpora every run.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use briq_table::{Document, Table, TableMention};
+
+use crate::batch::StageTimings;
+use crate::context::{DocContext, MentionContext, TableContext};
+use crate::error::{Budget, CancelToken, Diagnostics, Stage};
+use crate::filtering::{Candidate, FilterStats};
+use crate::mention::{text_mentions, Alignment, TextMention};
+use crate::obs::{names, Recorder};
+use crate::pipeline::{cancelled_result, Briq, ClassifyPass};
+
+/// Incremental FNV-1a hasher used for every content fingerprint. FNV is
+/// fully deterministic — no per-process seed — so fingerprints are
+/// stable across runs, processes, and hosts, which the store's
+/// versioning contract (and the fingerprint proptests) require.
+#[derive(Debug, Clone)]
+pub struct Fingerprint {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Fingerprint::new()
+    }
+}
+
+impl Fingerprint {
+    /// Start a fresh fingerprint.
+    pub fn new() -> Fingerprint {
+        Fingerprint { state: FNV_OFFSET }
+    }
+
+    /// Fold raw bytes into the fingerprint.
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Fold a `u64` (little-endian bytes).
+    pub fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// Fold a `usize` (widened; stable across pointer widths).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Fold an `f64` via its bit pattern — the store's equality is bit
+    /// equality, exactly like the pipeline's determinism contract.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Fold a bool.
+    pub fn bool(&mut self, v: bool) {
+        self.bytes(&[v as u8]);
+    }
+
+    /// Fold a string, length-prefixed so `("ab","c")` and `("a","bc")`
+    /// cannot collide structurally.
+    pub fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.bytes(s.as_bytes());
+    }
+
+    /// Fold any `Debug` value through its formatting — used for small
+    /// enums (units, approximation indicators, aggregation kinds) whose
+    /// derived `Debug` output is stable and total.
+    pub fn debug<T: std::fmt::Debug>(&mut self, v: &T) {
+        self.str(&format!("{v:?}"));
+    }
+
+    /// The 64-bit fingerprint.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// Fingerprint of a paragraph's raw text. Everything the text side of
+/// extraction produces (tokens, stem sets, phrases, mention contexts) is
+/// a pure function of this string plus the context config.
+pub fn text_fingerprint(text: &str) -> u64 {
+    let mut fp = Fingerprint::new();
+    fp.str(text);
+    fp.finish()
+}
+
+/// Fingerprint of one table: caption, shape, detected header split, and
+/// every cell string. All other [`Table`] state (parsed quantities, unit
+/// and scale hints) is derived deterministically from these, so two
+/// tables with equal fingerprints produce identical contexts, targets,
+/// and tagger counts.
+pub fn table_fingerprint(t: &Table) -> u64 {
+    let mut fp = Fingerprint::new();
+    fp.str(&t.caption);
+    fp.usize(t.n_rows);
+    fp.usize(t.n_cols);
+    fp.usize(t.header_rows);
+    fp.usize(t.header_cols);
+    fp.usize(t.cells.len());
+    for row in &t.cells {
+        fp.usize(row.len());
+        for cell in row {
+            fp.str(cell);
+        }
+    }
+    fp.finish()
+}
+
+/// Fingerprint of the per-call [`Budget`]. Budgets change which targets
+/// are generated and when graph/resolution truncate, so they are part of
+/// the store's config fingerprint.
+pub fn budget_fingerprint(b: &Budget) -> u64 {
+    let mut fp = Fingerprint::new();
+    fp.usize(b.max_regex_steps);
+    fp.usize(b.max_virtual_cells_per_table);
+    fp.usize(b.max_graph_edges);
+    fp.usize(b.max_rwr_iterations);
+    fp.finish()
+}
+
+/// Fingerprint of the whole system identity: configuration, trained
+/// classifier, and tagger, via the model's canonical JSON serialization.
+/// Any retrain or config change flips it, invalidating every entry.
+pub fn model_fingerprint(briq: &Briq) -> u64 {
+    let mut fp = Fingerprint::new();
+    match briq.to_json() {
+        Ok(s) => fp.str(&s),
+        Err(_) => fp.str("unserializable-model"),
+    }
+    fp.finish()
+}
+
+/// Fingerprint of the document-global text aggregates the per-mention
+/// classify path reads: the paragraph stem set (feature f3), the
+/// paragraph noun phrases (f5), and the ordered paragraph word list (the
+/// tagger's global scope). A mention can only be clean if these are
+/// unchanged — they are part of every mention's read set.
+fn aggregate_fingerprint(ctx: &DocContext) -> u64 {
+    let mut fp = Fingerprint::new();
+    fp.usize(ctx.paragraph_words.len());
+    for w in &ctx.paragraph_words {
+        fp.str(w);
+    }
+    fp.usize(ctx.paragraph_phrases.len());
+    for p in &ctx.paragraph_phrases {
+        fp.str(p);
+    }
+    fp.usize(ctx.paragraph_word_list.len());
+    for w in &ctx.paragraph_word_list {
+        fp.str(w);
+    }
+    fp.finish()
+}
+
+/// Fingerprint of one text mention's classify-path read set: the parsed
+/// quantity (minus its byte span) and the mention-local context (minus
+/// its token index). Byte positions deliberately do NOT participate —
+/// classification never reads absolute positions (they only feed graph
+/// construction, which re-runs for any changed document), so a mention
+/// that merely *moved* is still clean.
+fn mention_fingerprint(m: &TextMention, mc: &MentionContext) -> u64 {
+    let mut fp = Fingerprint::new();
+    let q = &m.quantity;
+    fp.str(&q.raw);
+    fp.f64(q.value);
+    fp.f64(q.unnormalized);
+    fp.debug(&q.unit);
+    fp.bytes(&[q.precision]);
+    fp.debug(&q.approx);
+    fp.usize(mc.local_weights.len());
+    for (w, &v) in &mc.local_weights {
+        fp.str(w);
+        fp.f64(v);
+    }
+    fp.usize(mc.sentence_phrases.len());
+    for p in &mc.sentence_phrases {
+        fp.str(p);
+    }
+    fp.usize(mc.immediate_words.len());
+    for w in &mc.immediate_words {
+        fp.str(w);
+    }
+    fp.usize(mc.sentence_words.len());
+    for w in &mc.sentence_words {
+        fp.str(w);
+    }
+    fp.debug(&mc.inferred_aggregation);
+    fp.finish()
+}
+
+/// One mention's cached classify/filter output: kept candidates plus its
+/// private contribution to the document's filter totals. Pure in the
+/// mention fingerprint + aggregate fingerprint + table fingerprints +
+/// config fingerprint, all of which gate its replay.
+#[derive(Debug, Clone)]
+struct MentionArtifact {
+    fp: u64,
+    candidates: Vec<Candidate>,
+    stats: FilterStats,
+}
+
+/// Everything the store remembers about one document version.
+#[derive(Debug)]
+struct DocEntry {
+    config_fp: u64,
+    text_fp: u64,
+    aggregate_fp: u64,
+    table_fps: Vec<u64>,
+    /// Text-side extraction artifacts: mentions and the text half of the
+    /// context (`text_ctx.tables` is empty; table contexts live below so
+    /// the two sides invalidate independently).
+    text_mentions: Vec<TextMention>,
+    text_ctx: DocContext,
+    /// Table-side extraction artifacts.
+    table_contexts: Vec<TableContext>,
+    targets: Vec<TableMention>,
+    extract_diags: Diagnostics,
+    /// Per-mention classify/filter artifacts, parallel to `text_mentions`.
+    artifacts: Vec<MentionArtifact>,
+    /// Final document outputs, served verbatim on a full hit.
+    alignments: Vec<Alignment>,
+    diagnostics: Diagnostics,
+    stats: FilterStats,
+    approx_bytes: u64,
+}
+
+impl DocEntry {
+    /// Coarse resident-size estimate for the `store_bytes_peak` gauge:
+    /// string payloads plus shallow container sizes. Observational only.
+    fn estimate_bytes(&self) -> u64 {
+        fn strings<'a, I: IntoIterator<Item = &'a String>>(it: I) -> usize {
+            it.into_iter().map(|s| s.len() + 32).sum()
+        }
+        let mut n = std::mem::size_of::<DocEntry>();
+        n += self.table_fps.len() * 8;
+        n += self.text_mentions.len() * std::mem::size_of::<TextMention>();
+        n += strings(self.text_mentions.iter().map(|m| &m.quantity.raw));
+        let ctx = &self.text_ctx;
+        n += std::mem::size_of_val(ctx.tokens.as_slice());
+        n += strings(&ctx.paragraph_words) + strings(&ctx.paragraph_phrases);
+        n += strings(&ctx.paragraph_word_list);
+        for mc in &ctx.mentions {
+            n += strings(mc.local_weights.keys()) + mc.local_weights.len() * 8;
+            n += strings(&mc.sentence_phrases);
+            n += strings(&mc.immediate_words) + strings(&mc.sentence_words);
+        }
+        for tc in &self.table_contexts {
+            n += strings(&tc.table_words) + strings(&tc.table_phrases);
+            for s in tc.row_words.iter().chain(&tc.col_words) {
+                n += strings(s);
+            }
+            for s in tc.row_phrases.iter().chain(&tc.col_phrases) {
+                n += strings(s);
+            }
+        }
+        n += self.targets.len() * std::mem::size_of::<TableMention>();
+        n += strings(self.targets.iter().map(|t| &t.raw));
+        for a in &self.artifacts {
+            n += a.candidates.len() * std::mem::size_of::<Candidate>() + 64;
+        }
+        n += self.alignments.len() * std::mem::size_of::<Alignment>();
+        n += strings(self.alignments.iter().map(|a| &a.mention_raw));
+        n += (self.diagnostics.items.len() + self.extract_diags.items.len()) * 128;
+        n as u64
+    }
+}
+
+/// A versioned, thread-shared cache of per-document alignment artifacts.
+///
+/// The store is deliberately **not** part of [`Briq`]: the system stays
+/// `Send + Sync + Clone` and batch/serve configs stay `Copy`; callers
+/// that want incremental re-alignment pass a store (and a stable
+/// per-document key) alongside the system. Interior mutability — one
+/// mutex around the entry map plus atomic counters — makes one store
+/// shareable across every batch worker and serve worker; output stays
+/// input-order deterministic because cache state can only ever change
+/// *which work is skipped*, never *what any document's output is*.
+#[derive(Debug)]
+pub struct AlignmentStore {
+    model_fp: u64,
+    entries: Mutex<HashMap<u64, DocEntry>>,
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    invalidations: AtomicU64,
+    mentions_realigned: AtomicU64,
+    bytes: AtomicU64,
+    bytes_peak: AtomicU64,
+}
+
+impl AlignmentStore {
+    /// Create an empty store bound to `briq`'s identity. The model
+    /// fingerprint is computed once here; aligning through the store
+    /// with a *different* (retrained/reconfigured) system invalidates
+    /// entries on contact rather than serving stale artifacts.
+    pub fn for_system(briq: &Briq) -> AlignmentStore {
+        AlignmentStore {
+            model_fp: model_fingerprint(briq),
+            entries: Mutex::new(HashMap::new()),
+            lookups: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            mentions_realigned: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            bytes_peak: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of cached documents.
+    pub fn len(&self) -> usize {
+        lock(&self.entries).len()
+    }
+
+    /// True if nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total lookups (one per aligned document).
+    pub fn lookups(&self) -> u64 {
+        self.lookups.load(Ordering::Relaxed)
+    }
+
+    /// Full-document hits served verbatim from cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found an entry but could not serve it verbatim
+    /// (some fingerprint changed) — the entry was invalidated and
+    /// replaced by the incremental re-alignment's result.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
+    }
+
+    /// Mentions that actually re-ran classify/filter (dirty + new + all
+    /// mentions of cold documents).
+    pub fn mentions_realigned(&self) -> u64 {
+        self.mentions_realigned.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of the store's estimated resident bytes.
+    pub fn bytes_peak(&self) -> u64 {
+        self.bytes_peak.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of lookups served verbatim from cache (0.0 when no
+    /// lookups happened yet).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / lookups as f64
+        }
+    }
+
+    /// Reset the hit/lookup/invalidation/realignment counters (entries
+    /// and byte gauges stay). Lets callers measure one pass — e.g. one
+    /// `--repeat` iteration — in isolation.
+    pub fn reset_counters(&self) {
+        self.lookups.store(0, Ordering::Relaxed);
+        self.hits.store(0, Ordering::Relaxed);
+        self.invalidations.store(0, Ordering::Relaxed);
+        self.mentions_realigned.store(0, Ordering::Relaxed);
+    }
+
+    fn bytes_add(&self, n: u64) {
+        let now = self.bytes.fetch_add(n, Ordering::Relaxed) + n;
+        self.bytes_peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn bytes_sub(&self, n: u64) {
+        self.bytes
+            .fetch_sub(n.min(self.bytes.load(Ordering::Relaxed)), Ordering::Relaxed);
+    }
+
+    /// Align `doc` through the store. Same output contract (and shape)
+    /// as `Briq::align_budgeted_cancellable`: alignments, filter totals,
+    /// kept candidates, diagnostics — bit-identical to the full
+    /// recompute for every possible cache state. Cancelled runs return
+    /// the no-partial-state shape and leave the cache untouched.
+    #[allow(clippy::too_many_arguments, clippy::type_complexity)]
+    pub(crate) fn align_cancellable(
+        &self,
+        briq: &Briq,
+        key: u64,
+        doc: &Document,
+        budget: &Budget,
+        timings: &mut StageTimings,
+        rec: &Recorder,
+        cancel: &CancelToken,
+    ) -> (
+        Vec<Alignment>,
+        FilterStats,
+        Vec<Vec<Candidate>>,
+        Diagnostics,
+    ) {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        if let Some(cause) = cancel.cause() {
+            return cancelled_result(Stage::Extraction, cause, Diagnostics::default(), rec);
+        }
+
+        // Fingerprint the inputs. Charged to the extract stage: it is
+        // the store's replacement for (most of) extraction.
+        let t_extract = Instant::now();
+        let mut cfp = Fingerprint::new();
+        cfp.u64(self.model_fp);
+        cfp.u64(budget_fingerprint(budget));
+        let config_fp = cfp.finish();
+        let text_fp = text_fingerprint(&doc.text);
+        let table_fps: Vec<u64> = doc.tables.iter().map(table_fingerprint).collect();
+
+        // Full hit: serve the cached outputs verbatim. Classify, filter,
+        // and resolution are skipped entirely — `timings` shows zero for
+        // all three stages.
+        {
+            let map = lock(&self.entries);
+            if let Some(e) = map.get(&key) {
+                if e.config_fp == config_fp && e.text_fp == text_fp && e.table_fps == table_fps {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    rec.count(names::STORE_HITS, 1);
+                    rec.count(names::MENTIONS, e.text_mentions.len() as u64);
+                    rec.count(names::TARGETS, e.targets.len() as u64);
+                    let out = (
+                        e.alignments.clone(),
+                        e.stats.clone(),
+                        e.artifacts.iter().map(|a| a.candidates.clone()).collect(),
+                        e.diagnostics.clone(),
+                    );
+                    drop(map);
+                    timings.extract_s += t_extract.elapsed().as_secs_f64();
+                    return out;
+                }
+            }
+        }
+
+        // Miss or stale: take the prior entry out (if any) and rebuild,
+        // replaying every artifact whose fingerprints still match.
+        let prior = {
+            let mut map = lock(&self.entries);
+            map.remove(&key)
+        };
+        if let Some(p) = &prior {
+            self.bytes_sub(p.approx_bytes);
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+            rec.count(names::STORE_INVALIDATIONS, 1);
+        }
+        // A config mismatch poisons everything; drop the entry outright.
+        let prior = prior.filter(|p| p.config_fp == config_fp);
+
+        // Text side: replay when the paragraph is unchanged.
+        let (mentions, mut ctx) = match &prior {
+            Some(p) if p.text_fp == text_fp => (p.text_mentions.clone(), p.text_ctx.clone()),
+            _ => {
+                let m = text_mentions(doc);
+                let c = DocContext::build_with_tables(doc, &m, &briq.cfg.context, Vec::new());
+                (m, c)
+            }
+        };
+        // Table side: replay contexts, targets, and extraction
+        // diagnostics when every table is unchanged.
+        let tables_clean = prior.as_ref().is_some_and(|p| p.table_fps == table_fps);
+        let (table_contexts, targets, extract_diags) = match &prior {
+            Some(p) if tables_clean => (
+                p.table_contexts.clone(),
+                p.targets.clone(),
+                p.extract_diags.clone(),
+            ),
+            _ => briq.extract_table_side(doc, budget),
+        };
+        ctx.tables = table_contexts;
+        let mut diags = extract_diags.clone();
+        timings.extract_s += t_extract.elapsed().as_secs_f64();
+        rec.count(names::MENTIONS, mentions.len() as u64);
+        rec.count(names::TARGETS, targets.len() as u64);
+
+        // Classify/filter: replay clean mentions, re-run dirty/new ones.
+        // A mention is clean only if its own fingerprint, the document's
+        // text aggregates, every table, and the config are unchanged —
+        // exactly its read set (module docs).
+        let aggregate_fp = aggregate_fingerprint(&ctx);
+        let mention_fps: Vec<u64> = mentions
+            .iter()
+            .zip(&ctx.mentions)
+            .map(|(m, mc)| mention_fingerprint(m, mc))
+            .collect();
+        let mentions_clean = tables_clean
+            && prior
+                .as_ref()
+                .is_some_and(|p| p.aggregate_fp == aggregate_fp);
+        // k-th occurrence of a fingerprint matches the k-th cached
+        // occurrence: duplicates (e.g. the same number twice in a
+        // paragraph) stay unambiguous.
+        let mut cached: HashMap<u64, Vec<usize>> = HashMap::new();
+        if mentions_clean {
+            if let Some(p) = &prior {
+                for (i, a) in p.artifacts.iter().enumerate() {
+                    cached.entry(a.fp).or_default().push(i);
+                }
+            }
+        }
+        let mut occurrence: HashMap<u64, usize> = HashMap::new();
+        let mut pass: Option<ClassifyPass<'_>> = None;
+        let mut stats = FilterStats::default();
+        let mut artifacts = Vec::with_capacity(mentions.len());
+        let mut candidates = Vec::with_capacity(mentions.len());
+        let mut realigned = 0u64;
+        for (mi, &fp) in mention_fps.iter().enumerate() {
+            if let Some(cause) = cancel.cause() {
+                return cancelled_result(Stage::Classification, cause, diags, rec);
+            }
+            let occ = occurrence.entry(fp).or_insert(0);
+            let slot = cached.get(&fp).and_then(|v| v.get(*occ)).copied();
+            *occ += 1;
+            match (slot, &prior) {
+                (Some(j), Some(p)) if mentions_clean => {
+                    let a = p.artifacts[j].clone();
+                    stats.merge(&a.stats);
+                    candidates.push(a.candidates.clone());
+                    artifacts.push(a);
+                }
+                _ => {
+                    let pass = pass.get_or_insert_with(|| {
+                        ClassifyPass::new(briq, doc, &mentions, &ctx, &targets, timings)
+                    });
+                    let (cands, delta) = pass.run_mention(mi, timings, rec);
+                    realigned += 1;
+                    stats.merge(&delta);
+                    artifacts.push(MentionArtifact {
+                        fp,
+                        candidates: cands.clone(),
+                        stats: delta,
+                    });
+                    candidates.push(cands);
+                }
+            }
+        }
+        if let Some(p) = pass {
+            p.finish(timings, &stats, rec);
+        }
+        self.mentions_realigned
+            .fetch_add(realigned, Ordering::Relaxed);
+        rec.count(names::MENTIONS_REALIGNED, realigned);
+        timings.pairs_scored += realigned * targets.len() as u64;
+        rec.count(names::PAIRS_SCORED, realigned * targets.len() as u64);
+
+        // Graph + resolution: always re-run for a changed document, via
+        // the same shared stage as the stateless path.
+        let alignments = match briq.graph_resolve_stage(
+            &mentions,
+            &ctx,
+            &targets,
+            &candidates,
+            &mut diags,
+            budget,
+            timings,
+            rec,
+            cancel,
+        ) {
+            Ok(a) => a,
+            Err((stage, cause)) => return cancelled_result(stage, cause, diags, rec),
+        };
+        rec.count(
+            names::BUDGET_EXHAUSTIONS,
+            diags
+                .items
+                .iter()
+                .filter(|d| d.action == crate::error::DegradedAction::Truncated)
+                .count() as u64,
+        );
+
+        // Cache the new version. `ctx.tables` moves out so the text side
+        // is stored table-free and the two sides invalidate separately.
+        let table_contexts = std::mem::take(&mut ctx.tables);
+        let mut entry = DocEntry {
+            config_fp,
+            text_fp,
+            aggregate_fp,
+            table_fps,
+            text_mentions: mentions,
+            text_ctx: ctx,
+            table_contexts,
+            targets,
+            extract_diags,
+            artifacts,
+            alignments: alignments.clone(),
+            diagnostics: diags.clone(),
+            stats: stats.clone(),
+            approx_bytes: 0,
+        };
+        entry.approx_bytes = entry.estimate_bytes();
+        self.bytes_add(entry.approx_bytes);
+        {
+            let mut map = lock(&self.entries);
+            if let Some(old) = map.insert(key, entry) {
+                self.bytes_sub(old.approx_bytes);
+            }
+        }
+        rec.observe(names::STORE_BYTES_PEAK, self.bytes_peak() as f64);
+
+        (alignments, stats, candidates, diags)
+    }
+}
+
+/// Poison-tolerant lock, mirroring the batch engine: a panicked worker
+/// (already isolated by `catch_unwind`) must not wedge the store for
+/// every other worker.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::BriqConfig;
+
+    fn doc(text: &str, grid: Vec<Vec<String>>) -> Document {
+        Document::new(0, text, vec![Table::from_grid("", grid)])
+    }
+
+    fn sample() -> Document {
+        doc(
+            "Overall, a total of 123 patients reported side effects. \
+             Depression was reported by 38 patients.",
+            vec![
+                vec!["side effects".into(), "patients".into()],
+                vec!["Rash".into(), "35".into()],
+                vec!["Depression".into(), "38".into()],
+            ],
+        )
+    }
+
+    #[test]
+    fn fingerprints_are_deterministic() {
+        let d = sample();
+        assert_eq!(text_fingerprint(&d.text), text_fingerprint(&d.text));
+        assert_eq!(
+            table_fingerprint(&d.tables[0]),
+            table_fingerprint(&d.tables[0].clone())
+        );
+        let briq = Briq::untrained(BriqConfig::default());
+        assert_eq!(model_fingerprint(&briq), model_fingerprint(&briq));
+    }
+
+    #[test]
+    fn fingerprints_track_content() {
+        let d = sample();
+        let edited = doc(
+            &d.text,
+            vec![
+                vec!["side effects".into(), "patients".into()],
+                vec!["Rash".into(), "36".into()],
+                vec!["Depression".into(), "38".into()],
+            ],
+        );
+        assert_ne!(
+            table_fingerprint(&d.tables[0]),
+            table_fingerprint(&edited.tables[0])
+        );
+        assert_ne!(
+            text_fingerprint(&d.text),
+            text_fingerprint("Depression was reported by 39 patients.")
+        );
+    }
+
+    #[test]
+    fn full_hit_serves_verbatim_and_skips_stages() {
+        let briq = Briq::untrained(BriqConfig::default());
+        let store = AlignmentStore::for_system(&briq);
+        let d = sample();
+        let budget = Budget::default();
+        let cold = briq.align_stored_detailed(&store, 7, &d, &budget);
+        assert_eq!(store.hits(), 0);
+        assert_eq!(store.lookups(), 1);
+        let mut timings = StageTimings::default();
+        let warm = store.align_cancellable(
+            &briq,
+            7,
+            &d,
+            &budget,
+            &mut timings,
+            &Recorder::disabled(),
+            &CancelToken::none(),
+        );
+        assert_eq!(store.hits(), 1);
+        assert_eq!(cold, warm);
+        assert_eq!(timings.classify_s, 0.0);
+        assert_eq!(timings.filter_s, 0.0);
+        assert_eq!(timings.resolve_s, 0.0);
+        assert_eq!(timings.pairs_scored, 0);
+    }
+
+    #[test]
+    fn store_matches_full_recompute_after_cell_edit() {
+        let briq = Briq::untrained(BriqConfig::default());
+        let store = AlignmentStore::for_system(&briq);
+        let budget = Budget::unlimited();
+        let d = sample();
+        briq.align_stored_detailed(&store, 1, &d, &budget);
+        let edited = doc(
+            &d.text,
+            vec![
+                vec!["side effects".into(), "patients".into()],
+                vec!["Rash".into(), "41".into()],
+                vec!["Depression".into(), "38".into()],
+            ],
+        );
+        let incremental = briq.align_stored_detailed(&store, 1, &edited, &budget);
+        let full = briq.align_detailed(&edited);
+        assert_eq!(incremental.0, full.0);
+        assert_eq!(incremental.1, full.1);
+        assert_eq!(incremental.2, full.2);
+        assert_eq!(store.invalidations(), 1);
+    }
+}

@@ -204,6 +204,29 @@ impl MentionTagger {
     }
 }
 
+// The serialized form stays `{forests, threshold}` exactly as
+// `json_struct!` produced before the flat layout existed — the flat
+// arrays are derived state, rebuilt on deserialization.
+impl briq_json::ToJson for MentionTagger {
+    fn to_json(&self) -> briq_json::Value {
+        briq_json::Value::Object(vec![
+            ("forests".to_string(), self.forests.to_json()),
+            ("threshold".to_string(), self.threshold.to_json()),
+        ])
+    }
+}
+
+impl briq_json::FromJson for MentionTagger {
+    fn from_json(v: &briq_json::Value) -> briq_json::Result<Self> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| briq_json::JsonError::new("expected MentionTagger object"))?;
+        let forests: Vec<RandomForest> = briq_json::field(obj, "forests")?;
+        let threshold: f64 = briq_json::field(obj, "threshold")?;
+        Ok(Self::from_parts(forests, threshold))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -300,28 +323,5 @@ mod tests {
         let v = tagger_features(&ms[0], &ctx, &d);
         let strict = MentionTagger::lexical(0.99);
         assert_eq!(strict.tag(&v), None); // lexical conf 0.75 < 0.99
-    }
-}
-
-// The serialized form stays `{forests, threshold}` exactly as
-// `json_struct!` produced before the flat layout existed — the flat
-// arrays are derived state, rebuilt on deserialization.
-impl briq_json::ToJson for MentionTagger {
-    fn to_json(&self) -> briq_json::Value {
-        briq_json::Value::Object(vec![
-            ("forests".to_string(), self.forests.to_json()),
-            ("threshold".to_string(), self.threshold.to_json()),
-        ])
-    }
-}
-
-impl briq_json::FromJson for MentionTagger {
-    fn from_json(v: &briq_json::Value) -> briq_json::Result<Self> {
-        let obj = v
-            .as_object()
-            .ok_or_else(|| briq_json::JsonError::new("expected MentionTagger object"))?;
-        let forests: Vec<RandomForest> = briq_json::field(obj, "forests")?;
-        let threshold: f64 = briq_json::field(obj, "threshold")?;
-        Ok(Self::from_parts(forests, threshold))
     }
 }

@@ -396,8 +396,10 @@ mod tests {
 
     #[test]
     fn type_mix_roughly_matches_table_i() {
-        let mut cfg = CorpusConfig::default();
-        cfg.n_documents = 300;
+        let cfg = CorpusConfig {
+            n_documents: 300,
+            ..CorpusConfig::default()
+        };
         let c = generate_corpus(&cfg);
         let total = c.gold_count() as f64;
         let count = |k: &str| {

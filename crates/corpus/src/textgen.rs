@@ -594,7 +594,7 @@ mod tests {
         let (g, mut rng) = setup(7);
         let (text, _) = render_document(
             Domain::Health,
-            &[g.clone()],
+            std::slice::from_ref(&g),
             &[MentionPlan::Sum { table: 0, col: 0 }],
             &TextGenConfig::default(),
             &mut rng,

@@ -34,10 +34,10 @@ proptest! {
         prop_assert_eq!(t.header_rows, 1);
         prop_assert_eq!(t.header_cols, 1);
         prop_assert_eq!(t.quantity_count(), (rows - 1) * (cols - 1));
-        for r in 1..rows {
-            for c in 1..cols {
+        for (r, row) in grid.iter().enumerate().take(rows).skip(1) {
+            for (c, cell) in row.iter().enumerate().take(cols).skip(1) {
                 let q = t.quantity(r, c).expect("data cell parses");
-                let expect: f64 = grid[r][c].parse().unwrap();
+                let expect: f64 = cell.parse().unwrap();
                 prop_assert_eq!(q.value, expect);
             }
         }

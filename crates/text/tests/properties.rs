@@ -108,7 +108,7 @@ fn group_thousands(v: u64) -> String {
     let mut out = String::new();
     let bytes = s.as_bytes();
     for (i, b) in bytes.iter().enumerate() {
-        if i > 0 && (bytes.len() - i) % 3 == 0 {
+        if i > 0 && (bytes.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(*b as char);

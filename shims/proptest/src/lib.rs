@@ -686,7 +686,7 @@ mod tests {
         #[test]
         fn macro_end_to_end(x in 1u64..1000, f in 0.0f64..1.0, s in "[a-c]{2,4}") {
             prop_assume!(x != 999);
-            prop_assert!(x >= 1 && x < 1000);
+            prop_assert!((1..1000).contains(&x));
             prop_assert!((0.0..1.0).contains(&f), "f = {f}");
             prop_assert_eq!(s.len(), s.chars().count());
             prop_assert_ne!(s.len(), 0);

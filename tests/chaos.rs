@@ -69,7 +69,7 @@ fn thousand_adversarial_documents_never_panic_and_respect_budgets() {
                 // Budget enforcement, verified on a sample to keep the
                 // harness fast: the scored document never carries more
                 // virtual cells per table than allowed.
-                if processed % 17 == 0 {
+                if processed.is_multiple_of(17) {
                     let (sd, _) = briq.score_document_budgeted(&doc, &budget);
                     for (ti, _) in doc.tables.iter().enumerate() {
                         let virtuals = sd

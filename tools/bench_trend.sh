@@ -10,9 +10,11 @@
 # fresh point is measured into a temp file so the stage is standalone.
 #
 # The compared numbers are the sequential (--jobs 1) point's
-# classify-stage and resolve-stage CPU-seconds — the hot paths the
-# retrieval index + scoring engine and the CSR random-walk kernel own.
-# Both gates use the same $TREND_TOL. Wall-clock comparisons are only
+# extract-stage, classify-stage, and resolve-stage CPU-seconds — the
+# paths the table/context extractors, the retrieval index + scoring
+# engine, and the CSR random-walk kernel own (extract is also what the
+# alignment store's incremental re-alignment amortizes, so it must not
+# creep). All gates use the same $TREND_TOL. Wall-clock comparisons are only
 # meaningful within one host, which is exactly the CI situation this
 # guards (same machine, PR over PR).
 #
@@ -106,6 +108,7 @@ gate_stage() { # field label
 }
 
 rc=0
+gate_stage extract_s extract || rc=1
 gate_stage classify_s classify || rc=1
 gate_stage resolve_s resolve || rc=1
 exit "$rc"
