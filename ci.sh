@@ -43,8 +43,9 @@
 #                candidates_per_mention strictly below cells_per_mention.
 #   perf-trend   tools/bench_trend.sh: diff the fresh BENCH_throughput.json
 #                against the committed one (git show HEAD:...) and fail on
-#                an extract-stage, classify-stage, OR resolve-stage
-#                regression beyond $TREND_TOL percent (default 25, same
+#                an extract-stage, classify-stage, resolve-stage, OR
+#                store-recovery (store.persist.recover_s) regression
+#                beyond $TREND_TOL percent (default 25, same
 #                tolerance for all gates). Refuses to compare runs whose
 #                index_enabled states differ; skips loudly when HEAD has
 #                no artifact or one predating the compared schema fields.
@@ -79,6 +80,21 @@
 #                recompute while reporting >= 1 store hit AND >= 1
 #                invalidation (both cache service and re-alignment
 #                actually happened).
+#   persist      durability gate for the on-disk store (DESIGN.md §16).
+#                Byte-compares a cold BRIQ_NO_STORE=1 oracle against (1) a
+#                fresh --store-dir run, (2) a restart-warmed run in a new
+#                process over the same directory (which must recover every
+#                entry and report hit_rate 1.000 / mentions_realigned 0),
+#                and (3) a run over a log whose tail was deliberately torn
+#                with garbage bytes (which must truncate and recompute,
+#                never fail). Then crash-tests briq-serve: a durable
+#                server is driven, SIGKILLed without drain (kill -9, so
+#                only the incrementally-appended novelty log survives),
+#                rebooted on the same --store-dir, must report
+#                store_recovered_entries >= 1 on /health, serve the
+#                unchanged re-drive entirely from cache (store_hits equal
+#                to the page count), match the oracle byte for byte on the
+#                wire, and persist a snapshot on clean drain.
 #   serve        boots the persistent alignment server (briq-serve) on a
 #                loopback port, byte-compares the drive client's output
 #                against briq-align --json over the same seeded corpus
@@ -102,7 +118,7 @@ NPROC="$(nproc 2>/dev/null || echo 1)"
 SPEEDUP_MIN="${SPEEDUP_MIN:-2.0}"
 BENCH_DOCS="${BENCH_DOCS:-60}"
 BENCH_SEED="${BENCH_SEED:-20190408}"
-ALL_STAGES=(fmt clippy build test docs bench-smoke perf-trend determinism kernels store serve)
+ALL_STAGES=(fmt clippy build test docs bench-smoke perf-trend determinism kernels store persist serve)
 
 # Set once bench-smoke has written a fresh BENCH_throughput.json, so a
 # later perf-trend stage in the same invocation reuses it instead of
@@ -452,6 +468,172 @@ stage_store() {
         return 1
     }
     echo "store: warm-unchanged and mutated-incremental runs byte-identical to BRIQ_NO_STORE=1 ($(grep -c 'store: repeat' "$dir/err_st.txt" "$dir/err_inc.txt" | awk -F: '{s+=$NF} END {print s}') store reports checked)"
+}
+
+# Send one JSONL request to the server at $1 over bash's /dev/tcp and
+# print the single response line. Used by stage_persist to inspect
+# /health and /metrics without a dedicated client binary.
+serve_request() {
+    local addr="$1" body="$2"
+    {
+        printf '%s\n' "$body" >&3
+        head -1 <&3
+    } 3<>"/dev/tcp/${addr%:*}/${addr##*:}"
+}
+
+stage_persist() {
+    cargo build --offline --release -q -p briq-bench || return 1
+    local dir rc_cold rc_run health metrics recovered hits pages
+    dir="$(mktemp -d)"
+    trap 'rm -rf "$dir"; [ -n "${SERVE_PID:-}" ] && kill -9 "$SERVE_PID" 2>/dev/null' RETURN
+    ./target/release/briq-align --gen-corpus "$dir/corpus" \
+        --docs "$BENCH_DOCS" --seed "$BENCH_SEED" || return 1
+
+    # (a) Cold full-recompute oracle: the store disabled entirely, so no
+    # cached or recovered state can possibly contribute to this output.
+    BRIQ_NO_STORE=1 ./target/release/briq-align --batch "$dir/corpus" --jobs 1 --json \
+        --diagnostics "$dir/diag_cold.jsonl" > "$dir/out_cold.json"
+    rc_cold=$?
+    if [ "$rc_cold" -ne 0 ] && [ "$rc_cold" -ne 2 ]; then
+        echo "persist: cold oracle run failed (exit $rc_cold)" >&2
+        return 1
+    fi
+
+    # (b) First durable run into an empty --store-dir: byte-identical to
+    # the oracle, and it must actually persist its entries on exit.
+    ./target/release/briq-align --batch "$dir/corpus" --jobs 1 --json \
+        --store-dir "$dir/store" --diagnostics "$dir/diag_first.jsonl" \
+        > "$dir/out_first.json" 2> "$dir/err_first.txt"
+    rc_run=$?
+    if [ "$rc_run" -ne "$rc_cold" ]; then
+        echo "persist: exit code diverged on the first durable run ($rc_run vs $rc_cold)" >&2
+        return 1
+    fi
+    cmp -s "$dir/out_first.json" "$dir/out_cold.json" || {
+        echo "persist: first durable run differs from the BRIQ_NO_STORE=1 oracle" >&2
+        diff "$dir/out_first.json" "$dir/out_cold.json" | head -20 >&2
+        return 1
+    }
+    cmp -s "$dir/diag_first.jsonl" "$dir/diag_cold.jsonl" || {
+        echo "persist: diagnostics differ on the first durable run" >&2
+        return 1
+    }
+    grep -q '^store: persisted ' "$dir/err_first.txt" || {
+        echo "persist: first durable run reported no persisted snapshot:" >&2
+        grep '^store:' "$dir/err_first.txt" >&2
+        return 1
+    }
+
+    # (c) Restart-warmed run in a NEW process over the same directory:
+    # must recover every entry, serve the unchanged corpus entirely from
+    # cache, and still byte-match the cold oracle.
+    ./target/release/briq-align --batch "$dir/corpus" --jobs 1 --json \
+        --store-dir "$dir/store" --diagnostics "$dir/diag_warm.jsonl" \
+        > "$dir/out_warm.json" 2> "$dir/err_warm.txt"
+    rc_run=$?
+    if [ "$rc_run" -ne "$rc_cold" ]; then
+        echo "persist: exit code diverged on the restart-warmed run ($rc_run vs $rc_cold)" >&2
+        return 1
+    fi
+    cmp -s "$dir/out_warm.json" "$dir/out_cold.json" || {
+        echo "persist: restart-warmed output differs from the BRIQ_NO_STORE=1 oracle" >&2
+        diff "$dir/out_warm.json" "$dir/out_cold.json" | head -20 >&2
+        return 1
+    }
+    cmp -s "$dir/diag_warm.jsonl" "$dir/diag_cold.jsonl" || {
+        echo "persist: diagnostics differ on the restart-warmed run" >&2
+        return 1
+    }
+    grep -q '^store: recovered ' "$dir/err_warm.txt" || {
+        echo "persist: restart-warmed run reported no recovery:" >&2
+        grep '^store:' "$dir/err_warm.txt" >&2
+        return 1
+    }
+    grep -q 'store: repeat 1/1 .* hit_rate 1\.000 .* mentions_realigned 0$' "$dir/err_warm.txt" || {
+        echo "persist: restart-warmed run was not served entirely from the recovered store:" >&2
+        grep '^store:' "$dir/err_warm.txt" >&2
+        return 1
+    }
+
+    # (d) Torn-tail smoke: append garbage to the novelty log. The next
+    # run must truncate the torn tail, recompute whatever was lost, and
+    # still byte-match the oracle — corruption costs time, never bits.
+    printf 'torn-tail-garbage-not-a-frame' >> "$dir/store/novelty.log"
+    ./target/release/briq-align --batch "$dir/corpus" --jobs 1 --json \
+        --store-dir "$dir/store" --diagnostics "$dir/diag_torn.jsonl" \
+        > "$dir/out_torn.json" 2> "$dir/err_torn.txt"
+    rc_run=$?
+    if [ "$rc_run" -ne "$rc_cold" ]; then
+        echo "persist: exit code diverged after log corruption ($rc_run vs $rc_cold)" >&2
+        return 1
+    fi
+    cmp -s "$dir/out_torn.json" "$dir/out_cold.json" || {
+        echo "persist: output differs after torn-tail log corruption" >&2
+        diff "$dir/out_torn.json" "$dir/out_cold.json" | head -20 >&2
+        return 1
+    }
+    grep -q 'torn tail truncated' "$dir/err_torn.txt" || {
+        echo "persist: corrupted log was not reported as truncated:" >&2
+        grep '^store:' "$dir/err_torn.txt" >&2
+        return 1
+    }
+
+    # (e) Serve crash-recovery: drive a durable server, SIGKILL it with
+    # no drain (only the incrementally-appended log survives), reboot it
+    # on the same --store-dir, and require full recovery: /health
+    # reports the recovered entries, the unchanged re-drive is served
+    # entirely from cache, the wire output byte-matches a cold
+    # BRIQ_NO_STORE=1 batch run, and the clean drain persists a snapshot.
+    # Note: --docs counts documents, not page files; the store caches
+    # per document, so the expected hit count is the document count.
+    pages=12
+    ./target/release/briq-align --gen-corpus "$dir/pages" \
+        --docs "$pages" --seed "$BENCH_SEED" || return 1
+    BRIQ_NO_STORE=1 ./target/release/briq-align --json "$dir/pages"/*.html \
+        > "$dir/out_batch.json" 2> /dev/null
+    boot_server "$dir/serve1.log" --store-dir "$dir/sstore" || return 1
+    ./target/release/briq-serve drive --addr "$SERVE_ADDR" "$dir/pages"/*.html \
+        > "$dir/out_drive1.json" 2> /dev/null
+    cmp -s "$dir/out_drive1.json" "$dir/out_batch.json" || {
+        echo "persist: durable server wire output differs from the cold batch run" >&2
+        diff "$dir/out_drive1.json" "$dir/out_batch.json" | head -20 >&2
+        return 1
+    }
+    kill -9 "$SERVE_PID"
+    wait "$SERVE_PID" 2> /dev/null
+    SERVE_PID=""
+    boot_server "$dir/serve2.log" --store-dir "$dir/sstore" || return 1
+    health="$(serve_request "$SERVE_ADDR" '{"op":"health"}')"
+    printf '%s' "$health" | grep -q '"store_persisted":true' || {
+        echo "persist: rebooted server does not report store_persisted:true: $health" >&2
+        return 1
+    }
+    recovered="$(printf '%s' "$health" | grep -o '"store_recovered_entries":[0-9][0-9.]*' | cut -d: -f2)"
+    awk -v r="${recovered:-0}" 'BEGIN { exit !(r >= 1) }' || {
+        echo "persist: rebooted server recovered ${recovered:-no} entries after SIGKILL: $health" >&2
+        return 1
+    }
+    ./target/release/briq-serve drive --addr "$SERVE_ADDR" "$dir/pages"/*.html \
+        > "$dir/out_drive2.json" 2> /dev/null
+    cmp -s "$dir/out_drive2.json" "$dir/out_batch.json" || {
+        echo "persist: recovered server wire output differs from the cold batch run" >&2
+        diff "$dir/out_drive2.json" "$dir/out_batch.json" | head -20 >&2
+        return 1
+    }
+    metrics="$(serve_request "$SERVE_ADDR" '{"op":"metrics"}')"
+    hits="$(printf '%s' "$metrics" | grep -o '"store_hits":[0-9][0-9.]*' | cut -d: -f2)"
+    awk -v h="${hits:-0}" -v n="$pages" 'BEGIN { exit !(h == n) }' || {
+        echo "persist: re-drive after recovery was not all cache hits (store_hits ${hits:-0} of $pages)" >&2
+        return 1
+    }
+    stop_server "$SERVE_ADDR" "$SERVE_PID" "$dir/serve2.log.err" || return 1
+    SERVE_PID=""
+    grep -q '^store: persisted ' "$dir/serve2.log.err" || {
+        echo "persist: drained server persisted no snapshot:" >&2
+        grep '^store:' "$dir/serve2.log.err" >&2
+        return 1
+    }
+    echo "persist: cold, fresh-durable, restart-warmed, and torn-log runs byte-identical; SIGKILLed server recovered $recovered entr$( [ "$recovered" = "1" ] && echo y || echo ies ) and served $hits/$pages re-driven pages from cache"
 }
 
 # Boot a briq-serve child, leaving its loopback address in SERVE_ADDR

@@ -69,6 +69,7 @@ const EXIT_DEGRADED: u8 = 2;
 
 const USAGE: &str = "usage: briq-align <page.html>... [--batch dir] [--jobs N] \
      [--model model.json] [--json] [--no-index] [--no-csr] [--no-store] \
+     [--store-dir DIR] [--store-max-bytes N] \
      [--repeat N] [--warm-from dir] [--diagnostics diag.jsonl] \
      [--trace trace.json] [--metrics metrics.jsonl]\n       \
      briq-align --train-demo <model.json>\n       \
@@ -83,6 +84,8 @@ struct Cli {
     no_index: bool,
     no_csr: bool,
     no_store: bool,
+    store_dir: Option<String>,
+    store_max_bytes: u64,
     repeat: usize,
     warm_from: Option<String>,
     diagnostics: Option<String>,
@@ -157,8 +160,49 @@ fn main() -> ExitCode {
 
     // One store serves the whole process: the optional warm-from corpus,
     // then every repetition of the real batch. Disabled stores fall
-    // through to the plain path inside `align_batch_stored`.
-    let store = AlignmentStore::for_system(&briq);
+    // through to the plain path inside `align_batch_stored`; --store-dir
+    // is ignored when the store is off, so a cold `--no-store` /
+    // `BRIQ_NO_STORE=1` oracle run can never touch warm on-disk state.
+    let store_opts = briq_core::store::StoreOptions {
+        dir: briq
+            .store_effective()
+            .then(|| cli.store_dir.clone().map(Into::into))
+            .flatten(),
+        max_bytes: cli.store_max_bytes,
+        ..briq_core::store::StoreOptions::default()
+    };
+    let store = match AlignmentStore::with_options(&briq, &store_opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "cannot open store dir {}: {e}",
+                cli.store_dir.as_deref().unwrap_or("?")
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    if store.persisted() {
+        eprintln!(
+            "store: recovered {} entr{} in {:.3}s{}{}",
+            store.recovered_entries(),
+            if store.recovered_entries() == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+            store.recover_seconds(),
+            if store.recover_truncated() {
+                " (torn tail truncated)"
+            } else {
+                ""
+            },
+            if store.recover_rebuilt() {
+                " (incompatible state rebuilt)"
+            } else {
+                ""
+            },
+        );
+    }
     if let Some(dir) = &cli.warm_from {
         let warm_paths = match html_files_in(dir) {
             Ok(p) => p,
@@ -202,6 +246,19 @@ fn main() -> ExitCode {
                 store.invalidations(),
                 store.mentions_realigned()
             );
+        }
+    }
+    // Compact everything into a snapshot so the next process recovers
+    // from one file instead of replaying the whole novelty log.
+    if store.persisted() {
+        match store.snapshot() {
+            Ok(()) => eprintln!(
+                "store: persisted {} entr{} ({} snapshot bytes)",
+                store.len(),
+                if store.len() == 1 { "y" } else { "ies" },
+                store.snapshot_bytes(),
+            ),
+            Err(e) => eprintln!("store: persist failed: {e}"),
         }
     }
     for (doc, dr) in docs.iter().zip(&report.documents) {
@@ -336,6 +393,8 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         no_index: false,
         no_csr: false,
         no_store: false,
+        store_dir: None,
+        store_max_bytes: 0,
         repeat: 1,
         warm_from: None,
         diagnostics: None,
@@ -363,6 +422,13 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             "--no-index" => cli.no_index = true,
             "--no-csr" => cli.no_csr = true,
             "--no-store" => cli.no_store = true,
+            "--store-dir" => cli.store_dir = Some(value("--store-dir")?),
+            "--store-max-bytes" => {
+                let v = value("--store-max-bytes")?;
+                cli.store_max_bytes = v
+                    .parse()
+                    .map_err(|_| format!("--store-max-bytes: invalid byte count {v:?}"))?;
+            }
             "--repeat" => {
                 let v = value("--repeat")?;
                 cli.repeat = v

@@ -40,7 +40,8 @@ use std::time::Duration;
 
 const USAGE: &str = "usage: briq-serve serve [--addr H:P] [--model model.json] [--workers N] \
      [--queue-depth N] [--deadline-ms N] [--drain-grace-ms N] [--retry-after-ms N] \
-     [--max-request-bytes N] [--no-index] [--no-store]\n       \
+     [--max-request-bytes N] [--no-index] [--no-store] [--store-dir DIR] \
+     [--store-max-bytes N]\n       \
      briq-serve drive --addr H:P <page.html>... [--deadline-ms N]\n       \
      briq-serve chaos --addr H:P [--connections N] [--requests N] [--expect-shed]\n       \
      briq-serve stop --addr H:P";
@@ -128,6 +129,12 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         }
         if let Some(v) = num_flag(args, "--max-request-bytes")? {
             cfg.max_request_bytes = v;
+        }
+        if let Some(v) = flag_value(args, "--store-dir") {
+            cfg.store_dir = Some(v.to_string());
+        }
+        if let Some(v) = num_flag(args, "--store-max-bytes")? {
+            cfg.store_max_bytes = v;
         }
         Ok(())
     })();

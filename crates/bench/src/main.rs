@@ -197,6 +197,44 @@ fn throughput_bench(docs: usize, seed: u64, jobs: usize, out: Option<&str>) {
         let t1 = std::time::Instant::now();
         briq.align_batch_stored(&seg_docs, &cfg, &store, None);
         let warm_seconds = t1.elapsed().as_secs_f64();
+        // Durable-store measurement: the same cold pass against a
+        // persistent store in a scratch directory, then a simulated
+        // restart (drop + reopen) and a restart-warmed re-drive. The
+        // interesting numbers are recovery time and the hit rate the
+        // recovered cache serves.
+        let persist = (|| {
+            use briq_core::store::StoreOptions;
+            let dir =
+                std::env::temp_dir().join(format!("briq-bench-persist-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            let opts = StoreOptions {
+                dir: Some(dir.clone()),
+                ..StoreOptions::default()
+            };
+            let pstore = AlignmentStore::with_options(&briq, &opts).ok()?;
+            briq.align_batch_stored(&seg_docs, &cfg, &pstore, None);
+            let log_bytes = pstore.log_bytes();
+            pstore.snapshot().ok()?;
+            let snapshot_bytes = pstore.snapshot_bytes();
+            let evictions = pstore.evictions();
+            drop(pstore);
+            // "Restart": a fresh store recovers everything from disk.
+            let recovered = AlignmentStore::with_options(&briq, &opts).ok()?;
+            let t2 = std::time::Instant::now();
+            briq.align_batch_stored(&seg_docs, &cfg, &recovered, None);
+            let restart_warm_seconds = t2.elapsed().as_secs_f64();
+            let out = briq_bench::throughput::PersistBench {
+                recover_s: recovered.recover_seconds(),
+                recovered_entries: recovered.recovered_entries(),
+                restart_warm_seconds,
+                restart_hit_rate: recovered.hit_rate(),
+                log_bytes,
+                snapshot_bytes,
+                evictions,
+            };
+            let _ = std::fs::remove_dir_all(&dir);
+            Some(out)
+        })();
         briq_bench::throughput::StoreBench {
             cold_seconds,
             warm_seconds,
@@ -204,6 +242,7 @@ fn throughput_bench(docs: usize, seed: u64, jobs: usize, out: Option<&str>) {
             hit_rate: store.hit_rate(),
             mentions_realigned: store.mentions_realigned(),
             bytes_peak: store.bytes_peak(),
+            persist,
         }
     });
 
@@ -281,6 +320,19 @@ fn throughput_bench(docs: usize, seed: u64, jobs: usize, out: Option<&str>) {
             s.bytes_peak
         ),
         None => println!("alignment store: off (full recompute each run)"),
+    }
+    if let Some(p) = bench.store.as_ref().and_then(|s| s.persist.as_ref()) {
+        println!(
+            "durable store: recovered {} entries in {:.4}s, restart-warm {:.4}s \
+             (hit rate {:.3}), log {} B, snapshot {} B, {} evictions",
+            p.recovered_entries,
+            p.recover_s,
+            p.restart_warm_seconds,
+            p.restart_hit_rate,
+            p.log_bytes,
+            p.snapshot_bytes,
+            p.evictions
+        );
     }
     for w in &bench.warnings {
         println!("warning: {w}");

@@ -254,6 +254,35 @@ pub struct StoreBench {
     pub mentions_realigned: u64,
     /// High-water mark of the store's resident artifact bytes.
     pub bytes_peak: u64,
+    /// Durable-store measurement (DESIGN.md §16): the same workload
+    /// persisted to disk, the process "restarted" (store dropped and
+    /// reopened from the same directory), and re-driven warm. `None`
+    /// when persistence was not measured.
+    pub persist: Option<PersistBench>,
+}
+
+/// Restart-warmed measurement of the durable store backing: how long
+/// recovery took, what it recovered, and what the on-disk footprint was.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PersistBench {
+    /// Wall-clock seconds to open the store directory and replay
+    /// snapshot + novelty log back into memory.
+    pub recover_s: f64,
+    /// Entries recovered by the reopen.
+    pub recovered_entries: u64,
+    /// Wall-clock seconds of the restart-warmed pass (recovered cache,
+    /// unchanged corpus) — the durable analogue of `warm_seconds`.
+    pub restart_warm_seconds: f64,
+    /// Store hit rate over the restart-warmed pass; `1.0` when the
+    /// recovery was complete and nothing changed.
+    pub restart_hit_rate: f64,
+    /// Novelty-log bytes on disk after the cold persisted pass.
+    pub log_bytes: u64,
+    /// Snapshot bytes on disk after the end-of-pass compaction.
+    pub snapshot_bytes: u64,
+    /// Entries evicted during the measurement (0 unless a byte budget
+    /// was configured).
+    pub evictions: u64,
 }
 
 impl ThroughputBench {
@@ -395,6 +424,16 @@ briq_json::json_struct!(StoreBench {
     hit_rate,
     mentions_realigned,
     bytes_peak,
+    persist,
+});
+briq_json::json_struct!(PersistBench {
+    recover_s,
+    recovered_entries,
+    restart_warm_seconds,
+    restart_hit_rate,
+    log_bytes,
+    snapshot_bytes,
+    evictions,
 });
 
 #[cfg(test)]

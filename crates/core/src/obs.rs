@@ -130,6 +130,21 @@ pub mod names {
     /// Histogram: high-water estimated resident bytes of the alignment
     /// store, observed after each insertion (unit: bytes).
     pub const STORE_BYTES_PEAK: &str = "store_bytes_peak";
+    /// Counter: store entries evicted to stay under the configured
+    /// memory budget (LRU order; see DESIGN.md §16).
+    pub const STORE_EVICTIONS: &str = "store_evictions";
+    /// Counter: store entries recovered from the on-disk snapshot +
+    /// novelty log when a persistent store was opened.
+    pub const STORE_RECOVERED_ENTRIES: &str = "store_recovered_entries";
+    /// Histogram: size in bytes of the persistent store's novelty log,
+    /// observed after each append (unit: bytes).
+    pub const STORE_LOG_BYTES: &str = "store_log_bytes";
+    /// Histogram: size in bytes of the persistent store's current
+    /// compacted snapshot (unit: bytes).
+    pub const STORE_SNAPSHOT_BYTES: &str = "store_snapshot_bytes";
+    /// Counter: compacting snapshots written by the persistent store
+    /// (threshold-triggered plus explicit drain/warm-up snapshots).
+    pub const STORE_COMPACTIONS: &str = "store_compactions";
 
     /// Counter: align requests admitted by `briq-serve` (sheds excluded).
     pub const SERVE_REQUESTS: &str = "serve_requests";

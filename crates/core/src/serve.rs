@@ -114,6 +114,14 @@ pub struct ServeConfig {
     pub poll_interval_ms: u64,
     /// Per-request resource budget (identical role to the batch path).
     pub budget: Budget,
+    /// Durable alignment-store directory. `None` keeps the store
+    /// in-memory: warm state dies with the process. With a directory
+    /// set, the server recovers the store on boot and persists it on
+    /// graceful drain (DESIGN.md §16, OPERATIONS.md §13).
+    pub store_dir: Option<String>,
+    /// Resident-memory budget for the alignment store in bytes; `0`
+    /// means unbounded. Entries beyond it are evicted LRU-first.
+    pub store_max_bytes: u64,
 }
 
 impl Default for ServeConfig {
@@ -129,6 +137,8 @@ impl Default for ServeConfig {
             drain_grace_ms: 2_000,
             poll_interval_ms: 10,
             budget: Budget::default(),
+            store_dir: None,
+            store_max_bytes: 0,
         }
     }
 }
@@ -565,9 +575,50 @@ impl Server {
             force_cancel: Arc::new(AtomicBool::new(false)),
             inflight: AtomicUsize::new(0),
             connections: AtomicUsize::new(0),
-            store: briq
-                .store_effective()
-                .then(|| AlignmentStore::for_system(briq)),
+            store: briq.store_effective().then(|| {
+                let opts = crate::store::StoreOptions {
+                    dir: self.cfg.store_dir.as_ref().map(Into::into),
+                    max_bytes: self.cfg.store_max_bytes,
+                    ..crate::store::StoreOptions::default()
+                };
+                match AlignmentStore::with_options(briq, &opts) {
+                    Ok(st) => {
+                        if st.persisted() {
+                            eprintln!(
+                                "store: recovered {} entr{} from {} in {:.3}s{}{}",
+                                st.recovered_entries(),
+                                if st.recovered_entries() == 1 {
+                                    "y"
+                                } else {
+                                    "ies"
+                                },
+                                self.cfg.store_dir.as_deref().unwrap_or("?"),
+                                st.recover_seconds(),
+                                if st.recover_truncated() {
+                                    " (torn tail truncated)"
+                                } else {
+                                    ""
+                                },
+                                if st.recover_rebuilt() {
+                                    " (incompatible state rebuilt)"
+                                } else {
+                                    ""
+                                },
+                            );
+                        }
+                        st
+                    }
+                    Err(e) => {
+                        // Persistence failing to open costs durability,
+                        // never availability: fall back to in-memory.
+                        eprintln!(
+                            "store: cannot open {}: {e}; continuing in-memory",
+                            self.cfg.store_dir.as_deref().unwrap_or("?")
+                        );
+                        AlignmentStore::for_system(briq)
+                    }
+                }
+            }),
         };
         std::thread::scope(|s| {
             for _ in 0..self.cfg.workers.max(1) {
@@ -608,6 +659,20 @@ impl Server {
             }
             sh.force_cancel.store(true, Ordering::SeqCst);
         });
+        // Persist on drain: compact everything resident into a snapshot
+        // so the next boot recovers from one file. Failure is logged,
+        // not fatal — the novelty log already holds every entry.
+        if let Some(st) = sh.store.as_ref().filter(|st| st.persisted()) {
+            match st.snapshot() {
+                Ok(()) => eprintln!(
+                    "store: persisted {} entr{} ({} snapshot bytes)",
+                    st.len(),
+                    if st.len() == 1 { "y" } else { "ies" },
+                    st.snapshot_bytes(),
+                ),
+                Err(e) => eprintln!("store: persist on drain failed: {e}"),
+            }
+        }
         let metrics = lock(&sh.metrics).clone();
         ServeReport {
             requests: metrics.counter(names::SERVE_REQUESTS),
@@ -797,6 +862,17 @@ fn handle_line(sh: &Shared<'_>, stream: &mut TcpStream, line: &str) -> After {
                     "store_hit_rate",
                     Value::Num(sh.store.as_ref().map_or(0.0, |s| s.hit_rate())),
                 ),
+                // Durable-store state: whether a --store-dir backs this
+                // server, and how many entries the boot recovered from
+                // it (0 on a cold first boot).
+                (
+                    "store_persisted",
+                    Value::Bool(sh.store.as_ref().is_some_and(|s| s.persisted())),
+                ),
+                (
+                    "store_recovered_entries",
+                    Value::Num(sh.store.as_ref().map_or(0, |s| s.recovered_entries()) as f64),
+                ),
             ]);
             ok_or_close(write_line(sh, stream, &resp))
         }
@@ -810,6 +886,13 @@ fn handle_line(sh: &Shared<'_>, stream: &mut TcpStream, line: &str) -> After {
                 reg.count(names::STORE_INVALIDATIONS, st.invalidations());
                 reg.count(names::MENTIONS_REALIGNED, st.mentions_realigned());
                 reg.observe(names::STORE_BYTES_PEAK, st.bytes_peak() as f64);
+                reg.count(names::STORE_EVICTIONS, st.evictions());
+                if st.persisted() {
+                    reg.count(names::STORE_RECOVERED_ENTRIES, st.recovered_entries());
+                    reg.count(names::STORE_COMPACTIONS, st.compactions());
+                    reg.observe(names::STORE_LOG_BYTES, st.log_bytes() as f64);
+                    reg.observe(names::STORE_SNAPSHOT_BYTES, st.snapshot_bytes() as f64);
+                }
             }
             let snapshot = metrics_snapshot(&reg);
             let resp = obj(vec![

@@ -39,8 +39,19 @@
 //! produced.
 //! `BRIQ_NO_STORE=1` / `use_store: false` is the CI oracle hatch that
 //! byte-compares the two paths on real corpora every run.
+//!
+//! With [`StoreOptions::dir`] set, the store is additionally backed by
+//! the [`persist`] layer (DESIGN.md §16): every cached entry is appended
+//! to an on-disk novelty log, periodically compacted into snapshots, and
+//! recovered on the next open — so warm starts survive process restarts.
+//! [`StoreOptions::max_bytes`] bounds resident memory with LRU eviction.
+//! Neither changes any output: persistence and eviction only move work
+//! between "served from cache" and "recomputed", never alter a result.
+
+pub mod persist;
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -254,7 +265,7 @@ struct MentionArtifact {
 
 /// Everything the store remembers about one document version.
 #[derive(Debug)]
-struct DocEntry {
+pub(crate) struct DocEntry {
     config_fp: u64,
     text_fp: u64,
     aggregate_fp: u64,
@@ -275,6 +286,9 @@ struct DocEntry {
     diagnostics: Diagnostics,
     stats: FilterStats,
     approx_bytes: u64,
+    /// LRU clock value of the last lookup that touched this entry
+    /// (monotone per-store counter, not wall time). Not persisted.
+    last_used: u64,
 }
 
 impl DocEntry {
@@ -318,6 +332,56 @@ impl DocEntry {
     }
 }
 
+/// Construction options for an [`AlignmentStore`].
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Directory for the durable backing (novelty log + snapshots +
+    /// manifest). `None` (the default) keeps the store in-memory only.
+    pub dir: Option<PathBuf>,
+    /// Resident-memory budget in (estimated) bytes; entries beyond it
+    /// are evicted least-recently-used. `0` means unbounded.
+    pub max_bytes: u64,
+    /// Novelty-log size that triggers a compacting snapshot. Only
+    /// meaningful with `dir` set.
+    pub compact_log_bytes: u64,
+}
+
+impl Default for StoreOptions {
+    fn default() -> StoreOptions {
+        StoreOptions {
+            dir: None,
+            max_bytes: 0,
+            compact_log_bytes: 4 << 20,
+        }
+    }
+}
+
+/// Pure LRU eviction planner: given `(key, last_used, bytes)` per entry
+/// and a byte budget, return the keys to evict — least-recently-used
+/// first (key order breaks ties deterministically) until the survivors
+/// fit. The most-recently-used entry is never evicted, so the entry a
+/// lookup just produced cannot be dropped before it is ever served.
+pub(crate) fn evict_plan(items: &[(u64, u64, u64)], max_bytes: u64) -> Vec<u64> {
+    let total: u64 = items.iter().map(|&(_, _, b)| b).sum();
+    if max_bytes == 0 || total <= max_bytes || items.is_empty() {
+        return Vec::new();
+    }
+    let mut order: Vec<&(u64, u64, u64)> = items.iter().collect();
+    order.sort_by_key(|&&(key, used, _)| (used, key));
+    let mut resident = total;
+    let mut evict = Vec::new();
+    // `order.len() - 1`: the last (most-recently-used) entry survives
+    // even when it alone exceeds the budget.
+    for &&(key, _, bytes) in order.iter().take(order.len() - 1) {
+        if resident <= max_bytes {
+            break;
+        }
+        resident -= bytes;
+        evict.push(key);
+    }
+    evict
+}
+
 /// A versioned, thread-shared cache of per-document alignment artifacts.
 ///
 /// The store is deliberately **not** part of [`Briq`]: the system stays
@@ -338,24 +402,102 @@ pub struct AlignmentStore {
     mentions_realigned: AtomicU64,
     bytes: AtomicU64,
     bytes_peak: AtomicU64,
+    /// Monotone LRU clock; bumped on every touch of an entry.
+    tick: AtomicU64,
+    max_bytes: u64,
+    evictions: AtomicU64,
+    evicted_bytes: AtomicU64,
+    persist_errors: AtomicU64,
+    recovered: u64,
+    recover_s: f64,
+    recover_truncated: bool,
+    recover_rebuilt: bool,
+    persist: Option<persist::Persistence>,
 }
 
 impl AlignmentStore {
-    /// Create an empty store bound to `briq`'s identity. The model
-    /// fingerprint is computed once here; aligning through the store
-    /// with a *different* (retrained/reconfigured) system invalidates
-    /// entries on contact rather than serving stale artifacts.
+    /// Create an empty in-memory store bound to `briq`'s identity. The
+    /// model fingerprint is computed once here; aligning through the
+    /// store with a *different* (retrained/reconfigured) system
+    /// invalidates entries on contact rather than serving stale
+    /// artifacts.
     pub fn for_system(briq: &Briq) -> AlignmentStore {
-        AlignmentStore {
-            model_fp: model_fingerprint(briq),
-            entries: Mutex::new(HashMap::new()),
+        // Infallible: `with_options` touches the filesystem only when a
+        // persistence directory is set, and the defaults set none.
+        match AlignmentStore::with_options(briq, &StoreOptions::default()) {
+            Ok(store) => store,
+            Err(_) => unreachable!("in-memory store construction cannot fail"),
+        }
+    }
+
+    /// Create a store with explicit [`StoreOptions`]. With a `dir` set,
+    /// opens (or creates) the durable backing and recovers every entry
+    /// it holds — replaying the snapshot then the novelty log, last
+    /// write per key winning — before the store serves its first
+    /// lookup. Fails only on real I/O errors; corrupt or incompatible
+    /// on-disk state recovers to a smaller (possibly empty) store
+    /// instead of failing (see [`persist`]).
+    pub fn with_options(briq: &Briq, opts: &StoreOptions) -> std::io::Result<AlignmentStore> {
+        let model_fp = model_fingerprint(briq);
+        let mut map = HashMap::new();
+        let mut clock = 0u64;
+        let mut resident = 0u64;
+        let mut recovered = 0u64;
+        let mut recover_s = 0.0;
+        let mut recover_truncated = false;
+        let mut recover_rebuilt = false;
+        let mut backing = None;
+        if let Some(dir) = &opts.dir {
+            let t = Instant::now();
+            let (p, rec) = persist::Persistence::open(dir, model_fp, opts.compact_log_bytes)?;
+            recover_truncated = rec.truncated;
+            recover_rebuilt = rec.rebuilt;
+            for (key, mut entry) in rec.entries {
+                clock += 1;
+                entry.last_used = clock;
+                resident += entry.approx_bytes;
+                if let Some(old) = map.insert(key, entry) {
+                    resident -= old.approx_bytes;
+                }
+            }
+            // Apply the memory budget to the recovered set too: a
+            // restart must not resurrect more than a live server would
+            // have kept resident.
+            if opts.max_bytes > 0 {
+                let items: Vec<(u64, u64, u64)> = map
+                    .iter()
+                    .map(|(&k, e)| (k, e.last_used, e.approx_bytes))
+                    .collect();
+                for key in evict_plan(&items, opts.max_bytes) {
+                    if let Some(old) = map.remove(&key) {
+                        resident -= old.approx_bytes;
+                    }
+                }
+            }
+            recovered = map.len() as u64;
+            recover_s = t.elapsed().as_secs_f64();
+            backing = Some(p);
+        }
+        Ok(AlignmentStore {
+            model_fp,
+            entries: Mutex::new(map),
             lookups: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
             mentions_realigned: AtomicU64::new(0),
-            bytes: AtomicU64::new(0),
-            bytes_peak: AtomicU64::new(0),
-        }
+            bytes: AtomicU64::new(resident),
+            bytes_peak: AtomicU64::new(resident),
+            tick: AtomicU64::new(clock),
+            max_bytes: opts.max_bytes,
+            evictions: AtomicU64::new(0),
+            evicted_bytes: AtomicU64::new(0),
+            persist_errors: AtomicU64::new(0),
+            recovered,
+            recover_s,
+            recover_truncated,
+            recover_rebuilt,
+            persist: backing,
+        })
     }
 
     /// Number of cached documents.
@@ -394,6 +536,136 @@ impl AlignmentStore {
     /// High-water mark of the store's estimated resident bytes.
     pub fn bytes_peak(&self) -> u64 {
         self.bytes_peak.load(Ordering::Relaxed)
+    }
+
+    /// True when this store has a durable on-disk backing.
+    pub fn persisted(&self) -> bool {
+        self.persist.is_some()
+    }
+
+    /// Store directory of the durable backing, if any.
+    pub fn store_dir(&self) -> Option<&std::path::Path> {
+        self.persist.as_ref().map(|p| p.dir())
+    }
+
+    /// Entries recovered from disk when this store was opened.
+    pub fn recovered_entries(&self) -> u64 {
+        self.recovered
+    }
+
+    /// Wall-clock seconds spent recovering the on-disk state at open.
+    pub fn recover_seconds(&self) -> f64 {
+        self.recover_s
+    }
+
+    /// True if recovery truncated a torn tail record in the snapshot or
+    /// log (a crash interrupted a write; the valid prefix was kept).
+    pub fn recover_truncated(&self) -> bool {
+        self.recover_truncated
+    }
+
+    /// True if recovery discarded incompatible or foreign on-disk state
+    /// (format-version bump, model/config change, unmanifested files)
+    /// and rebuilt the directory from scratch.
+    pub fn recover_rebuilt(&self) -> bool {
+        self.recover_rebuilt
+    }
+
+    /// Entries evicted to stay under the memory budget.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Estimated bytes released by eviction.
+    pub fn evicted_bytes(&self) -> u64 {
+        self.evicted_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Current novelty-log size in bytes (0 without persistence).
+    pub fn log_bytes(&self) -> u64 {
+        self.persist.as_ref().map_or(0, |p| p.log_bytes())
+    }
+
+    /// Current snapshot size in bytes (0 without persistence or before
+    /// the first snapshot).
+    pub fn snapshot_bytes(&self) -> u64 {
+        self.persist.as_ref().map_or(0, |p| p.snapshot_bytes())
+    }
+
+    /// Compacting snapshots written by this process.
+    pub fn compactions(&self) -> u64 {
+        self.persist.as_ref().map_or(0, |p| p.compactions())
+    }
+
+    /// Persistence I/O failures. Append/snapshot errors degrade the
+    /// store to best-effort (the in-memory cache and all outputs are
+    /// unaffected); this counter is how operators notice.
+    pub fn persist_errors(&self) -> u64 {
+        self.persist_errors.load(Ordering::Relaxed)
+    }
+
+    /// Write a compacting snapshot of the current entries and reset the
+    /// novelty log. No-op without persistence. Called on graceful drain
+    /// and after warm-up passes; also triggered automatically when the
+    /// log outgrows [`StoreOptions::compact_log_bytes`].
+    pub fn snapshot(&self) -> std::io::Result<()> {
+        let Some(p) = &self.persist else {
+            return Ok(());
+        };
+        // Hold the entry lock across the write so the snapshot is a
+        // consistent point-in-time view. write_snapshot takes the snap
+        // and log locks *inside* this — the lock order entries → snap →
+        // log is the only one used anywhere (appends take log alone).
+        let map = lock(&self.entries);
+        let mut payloads: Vec<(u64, Vec<u8>)> = map
+            .iter()
+            .map(|(&k, e)| (k, persist::encode_record(k, e)))
+            .collect();
+        payloads.sort_by_key(|&(k, _)| k);
+        let payloads: Vec<Vec<u8>> = payloads.into_iter().map(|(_, p)| p).collect();
+        p.write_snapshot(&payloads)
+    }
+
+    /// Fsync the novelty log. No-op without persistence.
+    pub fn sync(&self) -> std::io::Result<()> {
+        self.persist.as_ref().map_or(Ok(()), |p| p.sync())
+    }
+
+    /// Encoded record payloads of every resident entry, key-ordered.
+    /// Test/diagnostic surface for the persistence layer.
+    #[cfg(test)]
+    pub(crate) fn encoded_entries(&self) -> Vec<Vec<u8>> {
+        let map = lock(&self.entries);
+        let mut payloads: Vec<(u64, Vec<u8>)> = map
+            .iter()
+            .map(|(&k, e)| (k, persist::encode_record(k, e)))
+            .collect();
+        payloads.sort_by_key(|&(k, _)| k);
+        payloads.into_iter().map(|(_, p)| p).collect()
+    }
+
+    /// Evict least-recently-used entries until the resident estimate
+    /// fits the budget. Eviction only removes cache entries — a later
+    /// lookup for an evicted key recomputes (or recovers from disk on
+    /// the next restart) and produces identical output.
+    fn evict_to_budget(&self, rec: &Recorder) {
+        if self.max_bytes == 0 || self.bytes.load(Ordering::Relaxed) <= self.max_bytes {
+            return;
+        }
+        let mut map = lock(&self.entries);
+        let items: Vec<(u64, u64, u64)> = map
+            .iter()
+            .map(|(&k, e)| (k, e.last_used, e.approx_bytes))
+            .collect();
+        for key in evict_plan(&items, self.max_bytes) {
+            if let Some(old) = map.remove(&key) {
+                self.bytes_sub(old.approx_bytes);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.evicted_bytes
+                    .fetch_add(old.approx_bytes, Ordering::Relaxed);
+                rec.count(names::STORE_EVICTIONS, 1);
+            }
+        }
     }
 
     /// Fraction of lookups served verbatim from cache (0.0 when no
@@ -467,9 +739,10 @@ impl AlignmentStore {
         // and resolution are skipped entirely — `timings` shows zero for
         // all three stages.
         {
-            let map = lock(&self.entries);
-            if let Some(e) = map.get(&key) {
+            let mut map = lock(&self.entries);
+            if let Some(e) = map.get_mut(&key) {
                 if e.config_fp == config_fp && e.text_fp == text_fp && e.table_fps == table_fps {
+                    e.last_used = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     rec.count(names::STORE_HITS, 1);
                     rec.count(names::MENTIONS, e.text_mentions.len() as u64);
@@ -640,8 +913,16 @@ impl AlignmentStore {
             diagnostics: diags.clone(),
             stats: stats.clone(),
             approx_bytes: 0,
+            last_used: self.tick.fetch_add(1, Ordering::Relaxed) + 1,
         };
         entry.approx_bytes = entry.estimate_bytes();
+        // Encode for the novelty log before the entry moves into the
+        // map; the append itself happens after the lock drops so disk
+        // I/O never serializes other workers' lookups.
+        let payload = self
+            .persist
+            .as_ref()
+            .map(|_| persist::encode_record(key, &entry));
         self.bytes_add(entry.approx_bytes);
         {
             let mut map = lock(&self.entries);
@@ -649,6 +930,19 @@ impl AlignmentStore {
                 self.bytes_sub(old.approx_bytes);
             }
         }
+        if let (Some(p), Some(payload)) = (&self.persist, payload) {
+            // Persistence is best-effort on the hot path: an append or
+            // snapshot failure costs durability (counted), never
+            // correctness — the in-memory entry is already cached.
+            if p.append(&payload).is_err() {
+                self.persist_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            if p.wants_compact() && self.snapshot().is_err() {
+                self.persist_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            rec.observe(names::STORE_LOG_BYTES, p.log_bytes() as f64);
+        }
+        self.evict_to_budget(rec);
         rec.observe(names::STORE_BYTES_PEAK, self.bytes_peak() as f64);
 
         (alignments, stats, candidates, diags)
@@ -764,5 +1058,92 @@ mod tests {
         assert_eq!(incremental.1, full.1);
         assert_eq!(incremental.2, full.2);
         assert_eq!(store.invalidations(), 1);
+    }
+
+    /// Brute-force LRU oracle: evict globally-least-recently-used
+    /// entries one at a time (key breaks ties) until the survivors fit,
+    /// always sparing the most-recently-used entry.
+    fn evict_oracle(items: &[(u64, u64, u64)], max_bytes: u64) -> Vec<u64> {
+        let mut live: Vec<(u64, u64, u64)> = items.to_vec();
+        let mut evicted = Vec::new();
+        if max_bytes == 0 {
+            return evicted;
+        }
+        while live.len() > 1 && live.iter().map(|&(_, _, b)| b).sum::<u64>() > max_bytes {
+            let victim = live
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &(key, used, _))| (used, key))
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            evicted.push(live.remove(victim).0);
+        }
+        evicted
+    }
+
+    #[test]
+    fn evict_plan_matches_brute_force_oracle() {
+        // Deterministic pseudo-random item sets: keys, ages, and sizes
+        // from a simple LCG, budgets sweeping empty → everything-fits.
+        let mut state = 0x2019_0408_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for n in 0..24usize {
+            let items: Vec<(u64, u64, u64)> = (0..n)
+                .map(|_| (next(), next() % 7, next() % 512 + 1))
+                .collect();
+            let total: u64 = items.iter().map(|&(_, _, b)| b).sum();
+            for max_bytes in [0, 1, 64, total / 2, total, total + 1] {
+                assert_eq!(
+                    evict_plan(&items, max_bytes),
+                    evict_oracle(&items, max_bytes),
+                    "items={items:?} max_bytes={max_bytes}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eviction_bounds_memory_and_keeps_output_identical() {
+        let briq = Briq::untrained(BriqConfig::default());
+        // A 1-byte budget: after every insert, everything but the
+        // newest entry is evicted.
+        let bounded = AlignmentStore::with_options(
+            &briq,
+            &StoreOptions {
+                max_bytes: 1,
+                ..StoreOptions::default()
+            },
+        )
+        .expect("in-memory store");
+        let oracle = AlignmentStore::for_system(&briq);
+        let budget = Budget::default();
+        let d1 = sample();
+        let d2 = doc(
+            "Revenue grew to $12.5 million in 2018.",
+            vec![
+                vec!["year".into(), "revenue".into()],
+                vec!["2018".into(), "$12.5M".into()],
+            ],
+        );
+        for _ in 0..2 {
+            for (k, d) in [(1u64, &d1), (2u64, &d2)] {
+                assert_eq!(
+                    briq.align_stored_detailed(&bounded, k, d, &budget),
+                    briq.align_stored_detailed(&oracle, k, d, &budget),
+                );
+            }
+        }
+        assert_eq!(bounded.len(), 1, "budget keeps only the newest entry");
+        assert!(bounded.evictions() >= 3);
+        assert!(bounded.evicted_bytes() > 0);
+        // The unbounded oracle store served round 2 from cache; the
+        // bounded store recomputed — outputs matched regardless.
+        assert_eq!(oracle.hits(), 2);
+        assert_eq!(bounded.hits(), 0);
     }
 }

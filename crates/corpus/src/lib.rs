@@ -26,6 +26,8 @@
 //! Difficulty knobs live in [`corpus::CorpusConfig`] and are fixed once
 //! for all experiments (see DESIGN.md §1, substitution table).
 
+#![warn(missing_docs)]
+
 pub mod annotate;
 pub mod corpus;
 pub mod domain;

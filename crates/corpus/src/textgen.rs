@@ -43,31 +43,51 @@ impl Default for TextGenConfig {
 pub enum MentionPlan {
     /// One data cell `(table, data_row, data_col)`.
     Single {
+        /// Index of the table on the page.
         table: usize,
+        /// Data-row index within that table.
         row: usize,
+        /// Data-column index within that table.
         col: usize,
     },
     /// Sum over a data column.
-    Sum { table: usize, col: usize },
+    Sum {
+        /// Index of the table on the page.
+        table: usize,
+        /// Data column whose values are summed.
+        col: usize,
+    },
     /// Difference of two cells in the same data row.
     Diff {
+        /// Index of the table on the page.
         table: usize,
+        /// Data row both operand cells live in.
         row: usize,
+        /// Column of the minuend cell.
         col_a: usize,
+        /// Column of the subtrahend cell.
         col_b: usize,
     },
     /// Percentage of two cells in the same data column.
     Percent {
+        /// Index of the table on the page.
         table: usize,
+        /// Data column both operand cells live in.
         col: usize,
+        /// Row of the numerator cell.
         row_num: usize,
+        /// Row of the denominator cell.
         row_den: usize,
     },
     /// Change ratio of two cells in the same data row.
     Ratio {
+        /// Index of the table on the page.
         table: usize,
+        /// Data row both operand cells live in.
         row: usize,
+        /// Column of the new-value cell.
         col_new: usize,
+        /// Column of the old-value cell.
         col_old: usize,
     },
     /// A number that refers to no table.

@@ -10,6 +10,7 @@
 //! the iterative walk.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![warn(missing_docs)]
 
 pub mod csr;
 pub mod error;

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Perf-trajectory check: compare a fresh throughput measurement against
 # the committed BENCH_throughput.json (git show HEAD:...) and fail on a
-# classify-stage regression beyond $TREND_TOL percent (default 25).
+# gated-stage regression beyond $TREND_TOL percent (default 25).
 #
 #   tools/bench_trend.sh [fresh.json]
 #
@@ -14,7 +14,10 @@
 # paths the table/context extractors, the retrieval index + scoring
 # engine, and the CSR random-walk kernel own (extract is also what the
 # alignment store's incremental re-alignment amortizes, so it must not
-# creep). All gates use the same $TREND_TOL. Wall-clock comparisons are only
+# creep) — plus the durable store's warm-start recovery time
+# (store.persist.recover_s: the cost of replaying snapshot + novelty
+# log on reopen, which must stay O(entries) and must not creep as the
+# codec grows). All gates use the same $TREND_TOL. Wall-clock comparisons are only
 # meaningful within one host, which is exactly the CI situation this
 # guards (same machine, PR over PR).
 #
@@ -111,4 +114,7 @@ rc=0
 gate_stage extract_s extract || rc=1
 gate_stage classify_s classify || rc=1
 gate_stage resolve_s resolve || rc=1
+# store.persist.recover_s: the only "recover_s" key in the artifact, so
+# the flat first-occurrence scan finds the nested field unambiguously.
+gate_stage recover_s recovery || rc=1
 exit "$rc"
